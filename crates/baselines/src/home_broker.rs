@@ -1,0 +1,424 @@
+//! The *home-broker* baseline protocol.
+//!
+//! Paper, Section 2: every client is assigned a home broker which holds its
+//! subscription permanently (the Mobile-IP idea applied to pub/sub). When the
+//! client attaches to a foreign broker, that broker registers the client's
+//! current location with the home broker; the home broker forwards stored and
+//! future events to the foreign broker (triangle routing). The protocol is
+//! fast — a handoff is one registration round trip — but:
+//!
+//! * it is **not reliable**: events already in transit from the home broker
+//!   to a foreign broker the client has just left are dropped, and
+//! * all events for roaming clients detour through the home broker, so the
+//!   traffic overhead grows with the network size.
+
+use std::collections::BTreeMap;
+
+use mhh_pubsub::broker::{BrokerCore, BrokerCtx, MobilityProtocol};
+use mhh_pubsub::{
+    BrokerId, ClientId, ConnectInfo, Event, EventQueue, Filter, Peer, ProtocolMessage, QueueKind,
+};
+use mhh_simnet::TrafficClass;
+
+/// Home-broker protocol messages.
+#[derive(Debug, Clone)]
+pub enum HbMsg {
+    /// A foreign broker tells the home broker where the client now is.
+    Register {
+        /// The roaming client.
+        client: ClientId,
+        /// The foreign broker it attached to.
+        location: BrokerId,
+    },
+    /// A foreign broker tells the home broker the client detached.
+    Deregister {
+        /// The roaming client.
+        client: ClientId,
+        /// The foreign broker it detached from.
+        location: BrokerId,
+    },
+    /// An event forwarded from the home broker to the client's current
+    /// foreign broker (triangle routing).
+    ForwardEvent {
+        /// The roaming client.
+        client: ClientId,
+        /// The forwarded event.
+        event: Event,
+    },
+}
+
+impl ProtocolMessage for HbMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            HbMsg::Register { .. } => "hb_register",
+            HbMsg::Deregister { .. } => "hb_deregister",
+            HbMsg::ForwardEvent { .. } => "hb_forward",
+        }
+    }
+    fn traffic_class(&self) -> TrafficClass {
+        match self {
+            HbMsg::ForwardEvent { .. } => TrafficClass::MobilityTransfer,
+            _ => TrafficClass::MobilityControl,
+        }
+    }
+}
+
+/// Home-broker-side state for one client homed at this broker.
+#[derive(Debug, Clone)]
+struct HomeRecord {
+    /// Where the client currently is (None: disconnected or at home).
+    location: Option<BrokerId>,
+    /// Events stored while the client has no registered location and is not
+    /// attached at home.
+    store: EventQueue,
+}
+
+/// The home-broker protocol.
+#[derive(Debug, Clone, Default)]
+pub struct HomeBroker {
+    /// Clients homed at this broker.
+    homed: BTreeMap<ClientId, HomeRecord>,
+    /// Roaming clients currently attached to this (foreign) broker, with
+    /// their home broker — needed to address the deregistration on detach.
+    foreign: BTreeMap<ClientId, BrokerId>,
+}
+
+impl HomeBroker {
+    /// Create the protocol instance for one broker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current registered location of a homed client (tests and metrics).
+    pub fn location_of(&self, client: ClientId) -> Option<BrokerId> {
+        self.homed.get(&client).and_then(|r| r.location)
+    }
+
+    fn home_record(&mut self, core: &mut BrokerCore, client: ClientId) -> &mut HomeRecord {
+        self.homed.entry(client).or_insert_with(|| HomeRecord {
+            location: None,
+            store: EventQueue::new(core.alloc_pq_id(client), QueueKind::Persistent),
+        })
+    }
+}
+
+impl MobilityProtocol for HomeBroker {
+    type Msg = HbMsg;
+
+    fn name(&self) -> &'static str {
+        "home-broker"
+    }
+
+    fn on_client_connect(
+        &mut self,
+        core: &mut BrokerCore,
+        info: ConnectInfo,
+        ctx: &mut BrokerCtx<'_, HbMsg>,
+    ) {
+        let client = info.client;
+        if info.home_broker == core.id {
+            // The client came home: deliver anything stored and stop
+            // forwarding.
+            let rec = self.home_record(core, client);
+            rec.location = None;
+            let stored: Vec<Event> = rec.store.drain();
+            for ev in stored {
+                ctx.deliver(client, ev);
+            }
+        } else {
+            // Foreign broker: remember the home and register the new
+            // location there.
+            self.foreign.insert(client, info.home_broker);
+            ctx.send_protocol(
+                info.home_broker,
+                HbMsg::Register {
+                    client,
+                    location: core.id,
+                },
+            );
+        }
+    }
+
+    fn on_client_disconnect(
+        &mut self,
+        core: &mut BrokerCore,
+        client: ClientId,
+        _filter: Filter,
+        _proclaimed_dest: Option<BrokerId>,
+        ctx: &mut BrokerCtx<'_, HbMsg>,
+    ) {
+        if let Some(home) = self.foreign.remove(&client) {
+            // Detached from a foreign broker: stop the forwarding. Events
+            // already in flight toward this broker will be dropped on
+            // arrival — the protocol's inherent loss window.
+            ctx.send_protocol(
+                home,
+                HbMsg::Deregister {
+                    client,
+                    location: core.id,
+                },
+            );
+        } else if let Some(rec) = self.homed.get_mut(&client) {
+            // Disconnected while at home: keep storing locally.
+            rec.location = None;
+        } else {
+            // Disconnected at home before ever roaming: create the store.
+            let _ = self.home_record(core, client);
+        }
+    }
+
+    fn on_protocol_msg(
+        &mut self,
+        core: &mut BrokerCore,
+        _from: BrokerId,
+        msg: HbMsg,
+        ctx: &mut BrokerCtx<'_, HbMsg>,
+    ) {
+        match msg {
+            HbMsg::Register { client, location } => {
+                let rec = self.home_record(core, client);
+                rec.location = Some(location);
+                let stored: Vec<Event> = rec.store.drain();
+                for ev in stored {
+                    ctx.send_protocol(location, HbMsg::ForwardEvent { client, event: ev });
+                }
+            }
+            HbMsg::Deregister { client, location } => {
+                if let Some(rec) = self.homed.get_mut(&client) {
+                    // Ignore stale deregistrations from a broker the client
+                    // already left (it re-registered elsewhere meanwhile).
+                    if rec.location == Some(location) {
+                        rec.location = None;
+                    }
+                }
+            }
+            HbMsg::ForwardEvent { client, event } => {
+                // A forwarded event arriving at a foreign broker: deliver if
+                // the client is still here, otherwise it is lost (the paper's
+                // reliability gap).
+                if core.is_connected(client) {
+                    ctx.deliver(client, event);
+                }
+            }
+        }
+    }
+
+    fn on_client_event(
+        &mut self,
+        core: &mut BrokerCore,
+        client: ClientId,
+        event: Event,
+        _from: Peer,
+        ctx: &mut BrokerCtx<'_, HbMsg>,
+    ) {
+        // Events for a client only ever route to its home broker (the
+        // subscription root never moves under this protocol).
+        let connected_here = core.is_connected(client);
+        let rec = self.home_record(core, client);
+        match rec.location {
+            Some(foreign) => {
+                ctx.send_protocol(foreign, HbMsg::ForwardEvent { client, event });
+            }
+            None => {
+                if connected_here {
+                    ctx.deliver(client, event);
+                } else {
+                    rec.store.push(event);
+                }
+            }
+        }
+    }
+
+    fn buffered_events(&self) -> Vec<(ClientId, Event)> {
+        self.homed
+            .iter()
+            .flat_map(|(c, rec)| rec.store.iter().cloned().map(move |e| (*c, e)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhh_pubsub::delivery::{audit, SubscriberLog};
+    use mhh_pubsub::event::EventBuilder;
+    use mhh_pubsub::{ClientAction, ClientSpec, Deployment, DeploymentConfig, Op};
+    use mhh_simnet::{SimTime, TrafficClass};
+
+    fn filter(group: i64) -> Filter {
+        Filter::single("group", Op::Eq, group)
+    }
+
+    fn build(side: usize) -> Deployment<HomeBroker> {
+        let clients = vec![
+            ClientSpec {
+                filter: filter(1),
+                home: BrokerId(0),
+                mobile: true,
+            },
+            ClientSpec {
+                filter: filter(2),
+                home: BrokerId(((side * side) / 2) as u32),
+                mobile: false,
+            },
+            ClientSpec {
+                filter: filter(1),
+                home: BrokerId((side * side - 1) as u32),
+                mobile: false,
+            },
+        ];
+        let config = DeploymentConfig {
+            grid_side: side,
+            seed: 5,
+            ..DeploymentConfig::default()
+        };
+        Deployment::build(&config, &clients, |_| HomeBroker::new())
+    }
+
+    fn schedule_publishes(dep: &mut Deployment<HomeBroker>, count: u64, every_ms: u64) {
+        for i in 0..count {
+            let ev = EventBuilder::new()
+                .attr("group", 1i64)
+                .build(1000 + i, ClientId(1), i);
+            dep.schedule_publish(SimTime::from_millis(10 + i * every_ms), ClientId(1), ev);
+        }
+    }
+
+    fn audit_group1(dep: &Deployment<HomeBroker>) -> mhh_pubsub::DeliveryAudit {
+        let published: Vec<Event> = dep.clients().flat_map(|c| c.published.clone()).collect();
+        let buffered = dep.buffered_events();
+        let f = filter(1);
+        let logs: Vec<(ClientId, Vec<mhh_pubsub::DeliveryRecord>)> = dep
+            .clients()
+            .filter(|c| c.filter == f)
+            .map(|c| (c.id, c.received.clone()))
+            .collect();
+        let subs: Vec<SubscriberLog<'_>> = logs
+            .iter()
+            .map(|(id, recs)| SubscriberLog {
+                client: *id,
+                filter: &f,
+                deliveries: recs,
+            })
+            .collect();
+        audit(&published, &subs, &buffered)
+    }
+
+    #[test]
+    fn roaming_client_receives_events_via_home_broker() {
+        let mut dep = build(4);
+        schedule_publishes(&mut dep, 40, 100);
+        dep.schedule(
+            SimTime::from_millis(500),
+            ClientId(0),
+            ClientAction::Disconnect { proclaimed_dest: None },
+        );
+        dep.schedule(
+            SimTime::from_millis(1_000),
+            ClientId(0),
+            ClientAction::Reconnect { broker: BrokerId(15) },
+        );
+        dep.engine.run_to_completion();
+        let mobile = dep.client(ClientId(0));
+        assert!(mobile.received.len() >= 35, "most events delivered: {}", mobile.received.len());
+        assert_eq!(mobile.handoff_count(), 1);
+        assert!(!mobile.handoff_delays().is_empty());
+        // The home broker learned the foreign location and triangle-routed
+        // events there.
+        let stats = dep.engine.stats();
+        assert!(stats.kind("hb_register").messages >= 1);
+        assert!(stats.kind("hb_forward").messages > 0);
+        assert!(stats.class(TrafficClass::MobilityTransfer).hops > 0);
+    }
+
+    #[test]
+    fn events_stored_while_disconnected_are_forwarded_on_reconnect() {
+        let mut dep = build(4);
+        dep.schedule(
+            SimTime::from_millis(5),
+            ClientId(0),
+            ClientAction::Disconnect { proclaimed_dest: None },
+        );
+        schedule_publishes(&mut dep, 20, 100);
+        dep.schedule(
+            SimTime::from_millis(5_000),
+            ClientId(0),
+            ClientAction::Reconnect { broker: BrokerId(12) },
+        );
+        dep.engine.run_to_completion();
+        let a = audit_group1(&dep);
+        assert_eq!(a.lost, 0, "nothing in flight when the client is parked: {a:?}");
+        let mobile = dep.client(ClientId(0));
+        assert_eq!(mobile.received.len(), 20);
+    }
+
+    #[test]
+    fn in_transit_events_are_lost_when_the_client_moves_away() {
+        // The client leaves the foreign broker the moment events are being
+        // forwarded to it: those events are dropped.
+        let mut dep = build(5);
+        // A burst of events published while the client sits at a far foreign
+        // broker.
+        dep.schedule(
+            SimTime::from_millis(5),
+            ClientId(0),
+            ClientAction::Disconnect { proclaimed_dest: None },
+        );
+        dep.schedule(
+            SimTime::from_millis(100),
+            ClientId(0),
+            ClientAction::Reconnect { broker: BrokerId(24) },
+        );
+        schedule_publishes(&mut dep, 50, 20);
+        // Leave right in the middle of the burst, then come back home much
+        // later.
+        dep.schedule(
+            SimTime::from_millis(600),
+            ClientId(0),
+            ClientAction::Disconnect { proclaimed_dest: None },
+        );
+        dep.schedule(
+            SimTime::from_millis(2_000),
+            ClientId(0),
+            ClientAction::Reconnect { broker: BrokerId(0) },
+        );
+        dep.engine.run_to_completion();
+        let a = audit_group1(&dep);
+        assert!(a.lost > 0, "home-broker should lose in-transit events: {a:?}");
+        // The stationary subscriber is unaffected.
+        let stationary = dep.client(ClientId(2));
+        assert_eq!(stationary.received.len(), 50);
+    }
+
+    #[test]
+    fn returning_home_stops_triangle_routing() {
+        let mut dep = build(4);
+        dep.schedule(
+            SimTime::from_millis(5),
+            ClientId(0),
+            ClientAction::Disconnect { proclaimed_dest: None },
+        );
+        dep.schedule(
+            SimTime::from_millis(100),
+            ClientId(0),
+            ClientAction::Reconnect { broker: BrokerId(9) },
+        );
+        dep.schedule(
+            SimTime::from_millis(2_000),
+            ClientId(0),
+            ClientAction::Disconnect { proclaimed_dest: None },
+        );
+        dep.schedule(
+            SimTime::from_millis(3_000),
+            ClientId(0),
+            ClientAction::Reconnect { broker: BrokerId(0) },
+        );
+        schedule_publishes(&mut dep, 30, 200);
+        dep.engine.run_to_completion();
+        let home = dep.broker(BrokerId(0));
+        assert_eq!(home.proto.location_of(ClientId(0)), None);
+        let a = audit_group1(&dep);
+        assert_eq!(a.duplicates, 0);
+        assert_eq!(a.out_of_order, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # mhh-baselines — baseline mobility-management protocols
+//!
+//! The two comparison protocols of the MHH paper's evaluation (Section 2 and
+//! Section 5), re-implemented on the same `mhh-pubsub` broker substrate so
+//! all three protocols run on identical workloads:
+//!
+//! * [`sub_unsub::SubUnsub`] — the widely-used protocol of
+//!   Burcea et al. / Caporuscio et al.: on reconnection the client re-issues
+//!   its subscription at the new broker, the system waits long enough for the
+//!   new subscription to be known everywhere, then cancels the old
+//!   subscription and transfers the stored queue, merging / deduplicating /
+//!   sorting before delivery. Reliable but slow (the client waits for the
+//!   whole handoff) and expensive under frequent movement (the stored bulk is
+//!   shuttled between brokers).
+//! * [`home_broker::HomeBroker`] — the Mobile-IP-style protocol: a fixed home
+//!   broker holds the subscription forever and forwards events to wherever
+//!   the client currently is. Fast handoff, but triangle routing inflates
+//!   traffic with network size, and events in transit to a foreign broker the
+//!   client just left are lost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod home_broker;
+pub mod sub_unsub;
+
+pub use home_broker::{HbMsg, HomeBroker};
+pub use sub_unsub::{SubUnsub, SuMsg};

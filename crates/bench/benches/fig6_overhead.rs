@@ -1,0 +1,34 @@
+//! Figure 6(a): message overhead per handoff vs. network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mhh_bench::{bench_base, BENCH_FIG6_SIDES};
+use mhh_mobsim::{run_scenario, Protocol, ScenarioConfig};
+
+fn fig6_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_overhead_vs_network_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &side in &BENCH_FIG6_SIDES {
+        for proto in Protocol::ALL {
+            let config = ScenarioConfig {
+                grid_side: side,
+                ..bench_base()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(proto.label(), side * side),
+                &config,
+                |b, cfg| {
+                    b.iter(|| {
+                        let r = run_scenario(cfg, proto);
+                        std::hint::black_box(r.overhead_per_handoff)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6_overhead);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmark of the raw discrete-event engine throughput.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhh_simnet::{
+    Context, Engine, Envelope, Message, Node, NodeId, SimDuration, SimTime, TrafficClass,
+    UniformFabric,
+};
+
+#[derive(Debug, Clone)]
+struct Token(u64);
+
+impl Message for Token {
+    fn traffic_class(&self) -> TrafficClass {
+        TrafficClass::EventRouting
+    }
+    fn kind(&self) -> &'static str {
+        "token"
+    }
+}
+
+struct Ring {
+    next: NodeId,
+    remaining: u64,
+}
+
+impl Node<Token> for Ring {
+    fn on_message(&mut self, env: Envelope<Token>, ctx: &mut Context<Token>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(self.next, Token(env.msg.0 + 1));
+        }
+    }
+}
+
+fn micro_engine(c: &mut Criterion) {
+    c.bench_function("engine_ring_100k_messages", |b| {
+        b.iter(|| {
+            let n = 16u32;
+            let nodes: Vec<Ring> = (0..n)
+                .map(|i| Ring {
+                    next: NodeId((i + 1) % n),
+                    remaining: 100_000 / n as u64,
+                })
+                .collect();
+            let fabric = Arc::new(UniformFabric::new(SimDuration::from_millis(1)));
+            let mut eng = Engine::new(nodes, fabric);
+            eng.schedule_external(SimTime::ZERO, NodeId(0), Token(0));
+            eng.run_to_completion();
+            std::hint::black_box(eng.deliveries())
+        })
+    });
+}
+
+criterion_group!(benches, micro_engine);
+criterion_main!(benches);

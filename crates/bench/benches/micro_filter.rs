@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the content-filter substrate: matching and covering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhh_pubsub::event::EventBuilder;
+use mhh_pubsub::{ClientId, Filter, Op};
+
+fn micro_filter(c: &mut Criterion) {
+    let filters: Vec<Filter> = (0..1000)
+        .map(|i| {
+            let lo = (i as f64) / 1000.0 * 0.9375;
+            Filter::new(vec![])
+                .and("v", Op::Ge, lo)
+                .and("v", Op::Lt, lo + 0.0625)
+        })
+        .collect();
+    let events: Vec<_> = (0..256)
+        .map(|i| {
+            EventBuilder::new()
+                .attr("v", (i as f64) / 256.0)
+                .attr("source", i as i64)
+                .build(i as u64, ClientId(0), i as u64)
+        })
+        .collect();
+
+    c.bench_function("filter_match_1000x256", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for e in &events {
+                for f in &filters {
+                    if f.matches(e) {
+                        hits += 1;
+                    }
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+
+    c.bench_function("filter_covering_1000x1000", |b| {
+        b.iter(|| {
+            let mut covered = 0usize;
+            for f in filters.iter().step_by(10) {
+                for g in filters.iter().step_by(10) {
+                    if f.covers(g) {
+                        covered += 1;
+                    }
+                }
+            }
+            std::hint::black_box(covered)
+        })
+    });
+}
+
+criterion_group!(benches, micro_filter);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Micro-benchmark of a single handoff on an otherwise idle network, for all
+//! three protocols (the ablation referenced in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhh_bench::bench_base;
+use mhh_mobsim::{run_scenario, Protocol, ScenarioConfig};
+
+fn micro_handoff(c: &mut Criterion) {
+    // One mobile client, very low event rate: the run cost is dominated by
+    // the handoff machinery itself.
+    let base = ScenarioConfig {
+        grid_side: 6,
+        clients_per_broker: 1,
+        mobile_fraction: 0.1,
+        conn_mean_s: 20.0,
+        disc_mean_s: 20.0,
+        publish_interval_s: 30.0,
+        duration_s: 200.0,
+        ..bench_base()
+    };
+    let mut group = c.benchmark_group("single_handoff");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for proto in Protocol::ALL {
+        group.bench_function(proto.label(), |b| {
+            b.iter(|| std::hint::black_box(run_scenario(&base, proto).mobility_hops))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, micro_handoff);
+criterion_main!(benches);

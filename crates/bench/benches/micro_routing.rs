@@ -1,0 +1,28 @@
+//! Micro-benchmarks of topology construction and routing-table building.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mhh_simnet::Network;
+
+fn micro_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_build");
+    for &side in &[5usize, 10, 14] {
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &side, |b, &s| {
+            b.iter(|| std::hint::black_box(Network::grid(s, 42)))
+        });
+    }
+    group.finish();
+
+    let net = Network::grid(14, 42);
+    c.bench_function("tree_path_queries_196", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for a in 0..net.broker_count() {
+                total += net.tree_path(a, (a * 37) % net.broker_count()).len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, micro_routing);
+criterion_main!(benches);

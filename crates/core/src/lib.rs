@@ -1,0 +1,56 @@
+//! # mhh-core — the MHH multi-hop handoff protocol
+//!
+//! This crate implements the paper's contribution: the **multi-hop handoff
+//! (MHH)** mobility-management protocol for content-based publish/subscribe
+//! systems (Wang, Cao, Li, Wu — ICPP 2007), on top of the broker substrate of
+//! `mhh-pubsub`.
+//!
+//! ## Protocol summary
+//!
+//! A handoff is split into two concurrent tasks:
+//!
+//! 1. **Subscription migration** (Section 4.1/4.2): when a client that was
+//!    rooted at broker `Bo` reconnects at broker `Bn`, `Bn` sends a
+//!    `handoff_request` to `Bo`, and the subscription is migrated *hop by
+//!    hop* along the overlay path `Bo → B1 → … → Bn`. Each broker on the
+//!    path re-points its filter-table entries, marks the client entry with an
+//!    *accept-only-from* label, captures in-transit events in a temporary
+//!    queue (TQ), acknowledges the previous hop (which, thanks to per-link
+//!    FIFO, flushes the link), and forwards the migration to the next hop.
+//! 2. **Event migration**: the origin's stored persistent queue (PQ) and the
+//!    TQs captured along the path are transferred to `Bn` and delivered to
+//!    the client in an order that preserves per-publisher ordering and
+//!    exactly-once delivery.
+//!
+//! For **frequently moving clients** (Section 4.3) the protocol maintains a
+//! *distributed linked list of persistent queues* (the PQ-list): if the
+//! client disconnects again before event migration finishes, the remaining
+//! queues stay where they are and only their *references* travel with the
+//! subscription root, so the bulk of undelivered events is never shuttled
+//! around repeatedly.
+//!
+//! ## Implementation notes (deviations documented in DESIGN.md)
+//!
+//! * Event migration is *pull-based*: the origin streams the queue elements
+//!   it holds locally and hands the destination a manifest of the remaining
+//!   (possibly remote) PQ-list elements; the destination drains them one at a
+//!   time, which serialises arrivals and preserves ordering without global
+//!   coordination. Aborting a handoff simply stops issuing further drain
+//!   requests, which plays the role of the paper's `stop_event_migration`.
+//! * Temporary queues are always drained to the migration destination (the
+//!   paper redirects them to the origin when a handoff is aborted); both
+//!   choices preserve correctness, and TQs are small by construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod messages;
+pub mod protocol;
+pub mod state;
+
+pub use messages::{MhhMsg, TransferStage};
+pub use protocol::Mhh;
+pub use state::{AnchorState, DestState, MhhClient, OutboundState, StreamState, TqState};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,175 @@
+//! Scenario configuration mirroring Section 5.1 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Which mobility-management protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// The paper's multi-hop handoff protocol (`mhh-core`).
+    Mhh,
+    /// The sub-unsub baseline.
+    SubUnsub,
+    /// The home-broker baseline.
+    HomeBroker,
+}
+
+impl Protocol {
+    /// All three protocols, in the order the paper's figures list them.
+    pub const ALL: [Protocol; 3] = [Protocol::SubUnsub, Protocol::Mhh, Protocol::HomeBroker];
+
+    /// Display name used in reports (matches the paper's curve labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Mhh => "MHH",
+            Protocol::SubUnsub => "sub-unsub",
+            Protocol::HomeBroker => "HB",
+        }
+    }
+}
+
+/// Full description of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Grid side length k (k² base stations / brokers).
+    pub grid_side: usize,
+    /// Clients attached to each broker in the initial state (paper: 10).
+    pub clients_per_broker: usize,
+    /// Fraction of clients that move (paper: 0.2).
+    pub mobile_fraction: f64,
+    /// Mean connection-period length in seconds (exponentially distributed).
+    pub conn_mean_s: f64,
+    /// Mean disconnection-period length in seconds (paper: 300 s).
+    pub disc_mean_s: f64,
+    /// Publication interval per client in seconds (paper: 300 s).
+    pub publish_interval_s: f64,
+    /// Fraction of clients each event matches (paper: 0.0625).
+    pub selectivity: f64,
+    /// Simulated duration in seconds.
+    pub duration_s: f64,
+    /// Wired per-hop latency in milliseconds (paper: 10 ms).
+    pub wired_ms: u64,
+    /// Wireless link latency in milliseconds (paper: 20 ms).
+    pub wireless_ms: u64,
+    /// Whether brokers apply the covering optimisation.
+    pub covering: bool,
+    /// Master random seed; every run is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig::paper_defaults()
+    }
+}
+
+impl ScenarioConfig {
+    /// The paper's default environment: 100 base stations, 1000 clients,
+    /// five-minute connection and disconnection periods.
+    pub fn paper_defaults() -> Self {
+        ScenarioConfig {
+            grid_side: 10,
+            clients_per_broker: 10,
+            mobile_fraction: 0.2,
+            conn_mean_s: 300.0,
+            disc_mean_s: 300.0,
+            publish_interval_s: 300.0,
+            selectivity: 0.0625,
+            duration_s: 1_800.0,
+            wired_ms: 10,
+            wireless_ms: 20,
+            covering: true,
+            seed: 0x4d48_485f_3230,
+        }
+    }
+
+    /// A scaled-down configuration that keeps the paper's proportions but
+    /// runs in milliseconds of wall-clock time; used by unit tests and the
+    /// Criterion benchmarks (absolute magnitudes differ, relative protocol
+    /// behaviour does not).
+    pub fn small() -> Self {
+        ScenarioConfig {
+            grid_side: 5,
+            clients_per_broker: 4,
+            mobile_fraction: 0.25,
+            conn_mean_s: 60.0,
+            disc_mean_s: 60.0,
+            publish_interval_s: 30.0,
+            selectivity: 0.0625,
+            duration_s: 600.0,
+            wired_ms: 10,
+            wireless_ms: 20,
+            covering: true,
+            seed: 7,
+        }
+    }
+
+    /// Number of brokers (k²).
+    pub fn broker_count(&self) -> usize {
+        self.grid_side * self.grid_side
+    }
+
+    /// Total number of clients.
+    pub fn client_count(&self) -> usize {
+        self.broker_count() * self.clients_per_broker
+    }
+
+    /// Number of mobile clients.
+    pub fn mobile_count(&self) -> usize {
+        (self.client_count() as f64 * self.mobile_fraction).round() as usize
+    }
+
+    /// Pick a simulation duration long enough for every mobile client to
+    /// complete a couple of connection/disconnection cycles at the configured
+    /// period lengths (used by the figure sweeps so slow-moving points still
+    /// accumulate enough handoffs).
+    pub fn with_adaptive_duration(mut self, cycles: f64) -> Self {
+        let cycle = self.conn_mean_s + self.disc_mean_s;
+        self.duration_s = (cycle * cycles).max(self.duration_s);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5_1() {
+        let c = ScenarioConfig::paper_defaults();
+        assert_eq!(c.broker_count(), 100);
+        assert_eq!(c.client_count(), 1_000);
+        assert_eq!(c.mobile_count(), 200);
+        assert_eq!(c.wired_ms, 10);
+        assert_eq!(c.wireless_ms, 20);
+        assert!((c.selectivity - 0.0625).abs() < 1e-12);
+        assert_eq!(c.publish_interval_s, 300.0);
+    }
+
+    #[test]
+    fn adaptive_duration_extends_for_slow_movers() {
+        let c = ScenarioConfig {
+            conn_mean_s: 10_000.0,
+            disc_mean_s: 300.0,
+            duration_s: 600.0,
+            ..ScenarioConfig::paper_defaults()
+        }
+        .with_adaptive_duration(1.5);
+        assert!(c.duration_s >= 15_000.0);
+        // Short periods keep the configured floor.
+        let d = ScenarioConfig {
+            conn_mean_s: 1.0,
+            duration_s: 600.0,
+            ..ScenarioConfig::paper_defaults()
+        }
+        .with_adaptive_duration(1.5);
+        assert_eq!(d.duration_s, 600.0);
+    }
+
+    #[test]
+    fn protocol_labels_match_paper_curves() {
+        assert_eq!(Protocol::Mhh.label(), "MHH");
+        assert_eq!(Protocol::SubUnsub.label(), "sub-unsub");
+        assert_eq!(Protocol::HomeBroker.label(), "HB");
+        assert_eq!(Protocol::ALL.len(), 3);
+    }
+}

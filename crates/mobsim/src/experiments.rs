@@ -1,0 +1,226 @@
+//! The paper's parameter sweeps: Figure 5 (varying the connection-period
+//! length) and Figure 6 (varying the network size).
+//!
+//! Each point of each curve is an independent simulation run; points are
+//! distributed over a rayon thread pool (the runs themselves stay
+//! single-threaded for determinism).
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Protocol, ScenarioConfig};
+use crate::metrics::RunResult;
+use crate::runner::run_scenario;
+
+/// One `(x, protocol)` point of a figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentPoint {
+    /// The swept parameter value (connection period in seconds for Figure 5,
+    /// number of base stations for Figure 6).
+    pub x: f64,
+    /// The protocol run at this point.
+    pub protocol: Protocol,
+    /// The collected metrics.
+    pub result: RunResult,
+}
+
+/// A complete figure: all points of all curves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Figure identifier (e.g. `"figure5"`).
+    pub name: String,
+    /// Label of the swept parameter (the figures' x axis).
+    pub x_label: String,
+    /// All points.
+    pub points: Vec<ExperimentPoint>,
+}
+
+impl FigureResult {
+    /// The points of one protocol, sorted by x.
+    pub fn curve(&self, protocol: Protocol) -> Vec<&ExperimentPoint> {
+        let mut pts: Vec<&ExperimentPoint> = self
+            .points
+            .iter()
+            .filter(|p| p.protocol == protocol)
+            .collect();
+        pts.sort_by(|a, b| a.x.total_cmp(&b.x));
+        pts
+    }
+
+    /// The overhead-per-handoff series of one protocol (the y values of
+    /// Figures 5(a) / 6(a)).
+    pub fn overhead_series(&self, protocol: Protocol) -> Vec<(f64, f64)> {
+        self.curve(protocol)
+            .iter()
+            .map(|p| (p.x, p.result.overhead_per_handoff))
+            .collect()
+    }
+
+    /// The handoff-delay series of one protocol (the y values of
+    /// Figures 5(b) / 6(b)).
+    pub fn delay_series(&self, protocol: Protocol) -> Vec<(f64, f64)> {
+        self.curve(protocol)
+            .iter()
+            .map(|p| (p.x, p.result.avg_handoff_delay_ms))
+            .collect()
+    }
+}
+
+/// The connection-period values of Figure 5 (seconds, log-spaced).
+pub const FIG5_CONN_PERIODS_S: [f64; 5] = [1.0, 10.0, 100.0, 1_000.0, 10_000.0];
+
+/// The grid side lengths of Figure 6 (25, 49, 100, 144 and 196 stations).
+pub const FIG6_GRID_SIDES: [usize; 5] = [5, 7, 10, 12, 14];
+
+/// Run the Figure 5 sweep (message overhead and handoff delay vs. the average
+/// connection-period length) on top of the given base configuration. The
+/// paper fixes 100 base stations and a 5-minute mean disconnection period;
+/// the base config controls the scale so tests can run a smaller system.
+pub fn figure5(base: &ScenarioConfig, conn_periods_s: &[f64]) -> FigureResult {
+    let jobs: Vec<(f64, Protocol)> = conn_periods_s
+        .iter()
+        .flat_map(|&p| Protocol::ALL.into_iter().map(move |proto| (p, proto)))
+        .collect();
+    let points: Vec<ExperimentPoint> = jobs
+        .into_par_iter()
+        .map(|(conn, protocol)| {
+            let config = ScenarioConfig {
+                conn_mean_s: conn,
+                ..base.clone()
+            }
+            .with_adaptive_duration(1.5);
+            let result = run_scenario(&config, protocol);
+            ExperimentPoint {
+                x: conn,
+                protocol,
+                result,
+            }
+        })
+        .collect();
+    FigureResult {
+        name: "figure5".to_string(),
+        x_label: "avg. length of conn. period (s)".to_string(),
+        points,
+    }
+}
+
+/// Run the Figure 6 sweep (message overhead and handoff delay vs. the number
+/// of base stations) on top of the given base configuration. The paper fixes
+/// both period means at 5 minutes.
+pub fn figure6(base: &ScenarioConfig, grid_sides: &[usize]) -> FigureResult {
+    let jobs: Vec<(usize, Protocol)> = grid_sides
+        .iter()
+        .flat_map(|&side| Protocol::ALL.into_iter().map(move |proto| (side, proto)))
+        .collect();
+    let points: Vec<ExperimentPoint> = jobs
+        .into_par_iter()
+        .map(|(side, protocol)| {
+            let config = ScenarioConfig {
+                grid_side: side,
+                ..base.clone()
+            }
+            .with_adaptive_duration(1.5);
+            let result = run_scenario(&config, protocol);
+            ExperimentPoint {
+                x: (side * side) as f64,
+                protocol,
+                result,
+            }
+        })
+        .collect();
+    FigureResult {
+        name: "figure6".to_string(),
+        x_label: "number of base stations".to_string(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately tiny base configuration so the sweep smoke tests run in
+    /// seconds while still exercising the full pipeline.
+    fn tiny_base() -> ScenarioConfig {
+        ScenarioConfig {
+            grid_side: 4,
+            clients_per_broker: 3,
+            mobile_fraction: 0.25,
+            conn_mean_s: 30.0,
+            disc_mean_s: 30.0,
+            publish_interval_s: 15.0,
+            duration_s: 240.0,
+            seed: 3,
+            ..ScenarioConfig::paper_defaults()
+        }
+    }
+
+    #[test]
+    fn figure5_sweep_produces_all_curves() {
+        let fig = figure5(&tiny_base(), &[5.0, 60.0]);
+        assert_eq!(fig.points.len(), 6);
+        for proto in Protocol::ALL {
+            let series = fig.overhead_series(proto);
+            assert_eq!(series.len(), 2);
+            assert!(series[0].0 < series[1].0, "series sorted by x");
+            assert_eq!(fig.delay_series(proto).len(), 2);
+        }
+    }
+
+    /// A config with enough stored backlog per disconnection that the
+    /// protocol differences (bulk shuttling, wait intervals) dominate the
+    /// handoff metrics, as in the paper's full-size workload.
+    fn dense_base() -> ScenarioConfig {
+        ScenarioConfig {
+            grid_side: 4,
+            clients_per_broker: 4,
+            mobile_fraction: 0.25,
+            conn_mean_s: 30.0,
+            disc_mean_s: 60.0,
+            publish_interval_s: 5.0,
+            duration_s: 300.0,
+            seed: 3,
+            ..ScenarioConfig::paper_defaults()
+        }
+    }
+
+    #[test]
+    fn figure5_shape_mhh_beats_sub_unsub_under_frequent_movement() {
+        // At very short connection periods the sub-unsub protocol shuttles
+        // stored queues repeatedly and makes the client wait for the whole
+        // handoff; MHH must be cheaper per handoff and must deliver faster —
+        // the headline claim of Figure 5.
+        let fig = figure5(&dense_base(), &[5.0]);
+        let mhh = &fig.curve(Protocol::Mhh)[0].result;
+        let su = &fig.curve(Protocol::SubUnsub)[0].result;
+        assert!(mhh.reliable(), "{:?}", mhh.audit);
+        assert!(su.reliable(), "{:?}", su.audit);
+        assert!(
+            mhh.overhead_per_handoff < su.overhead_per_handoff,
+            "MHH {} vs sub-unsub {}",
+            mhh.overhead_per_handoff,
+            su.overhead_per_handoff
+        );
+        assert!(
+            mhh.avg_handoff_delay_ms < su.avg_handoff_delay_ms,
+            "MHH {} ms vs sub-unsub {} ms",
+            mhh.avg_handoff_delay_ms,
+            su.avg_handoff_delay_ms
+        );
+    }
+
+    #[test]
+    fn figure6_sweep_produces_all_curves() {
+        let fig = figure6(&tiny_base(), &[3, 4]);
+        assert_eq!(fig.points.len(), 6);
+        for proto in Protocol::ALL {
+            assert_eq!(fig.overhead_series(proto).len(), 2);
+            assert_eq!(fig.delay_series(proto).len(), 2);
+            // Every point produced at least one handoff and a sane delay.
+            for p in fig.curve(proto) {
+                assert!(p.result.handoffs > 0, "{proto:?} point {} had no handoffs", p.x);
+                assert!(p.result.avg_handoff_delay_ms >= 0.0);
+            }
+        }
+    }
+}

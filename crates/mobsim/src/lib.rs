@@ -1,0 +1,30 @@
+//! # mhh-mobsim — evaluation harness
+//!
+//! Recreates the experimental environment of Section 5 of the MHH paper:
+//! a k×k grid of base stations acting as event brokers, 10 clients per
+//! broker, 20 % of clients mobile with exponentially distributed connection
+//! and disconnection periods, one event per client per five minutes, and a
+//! content-based workload tuned so each event matches 6.25 % of the clients.
+//!
+//! The harness runs any of the three protocols (MHH, sub-unsub, home-broker)
+//! on identical pre-generated workloads, collects the paper's two metrics —
+//! *message overhead per handoff* (hops) and *average handoff delay* — plus a
+//! delivery-reliability audit, and sweeps the parameters of Figure 5
+//! (connection-period length) and Figure 6 (network size). Sweep points are
+//! independent simulations and run in parallel with rayon.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use config::{Protocol, ScenarioConfig};
+pub use experiments::{figure5, figure6, ExperimentPoint, FigureResult};
+pub use metrics::RunResult;
+pub use runner::run_scenario;
+pub use workload::Workload;

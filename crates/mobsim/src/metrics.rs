@@ -1,0 +1,83 @@
+//! Metrics collected from one simulation run.
+
+use serde::{Deserialize, Serialize};
+
+use mhh_pubsub::DeliveryAudit;
+
+use crate::config::Protocol;
+
+/// The outcome of one scenario run: the paper's two performance metrics plus
+/// the reliability audit and raw counters useful for debugging and reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The protocol that was run.
+    pub protocol: Protocol,
+    /// Number of handoffs that occurred (reconnections at a different
+    /// broker).
+    pub handoffs: u64,
+    /// Total network hops attributable to mobility management.
+    pub mobility_hops: u64,
+    /// The paper's "message overhead per handoff": mobility hops divided by
+    /// the number of handoffs.
+    pub overhead_per_handoff: f64,
+    /// The paper's "average handoff delay" in milliseconds (reconnection to
+    /// first delivered event), averaged over handoffs that received at least
+    /// one event.
+    pub avg_handoff_delay_ms: f64,
+    /// Number of handoffs that contributed a delay sample.
+    pub delay_samples: u64,
+    /// Delivery-reliability audit (loss / duplicates / ordering).
+    pub audit: DeliveryAudit,
+    /// Total events published during the run.
+    pub published: u64,
+    /// Total event deliveries to clients.
+    pub delivered_messages: u64,
+    /// Total hops over all network traffic (context for the overhead metric).
+    pub total_hops: u64,
+    /// Simulated duration in seconds.
+    pub sim_duration_s: f64,
+}
+
+impl RunResult {
+    /// Fraction of expected deliveries that were lost (home-broker's
+    /// reliability gap shows up here).
+    pub fn loss_rate(&self) -> f64 {
+        self.audit.loss_rate()
+    }
+
+    /// True when the run satisfied exactly-once ordered delivery.
+    pub fn reliable(&self) -> bool {
+        self.audit.is_reliable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let r = RunResult {
+            protocol: Protocol::Mhh,
+            handoffs: 10,
+            mobility_hops: 500,
+            overhead_per_handoff: 50.0,
+            avg_handoff_delay_ms: 123.0,
+            delay_samples: 9,
+            audit: DeliveryAudit {
+                expected: 100,
+                delivered: 98,
+                duplicates: 0,
+                pending: 2,
+                lost: 0,
+                out_of_order: 0,
+            },
+            published: 40,
+            delivered_messages: 98,
+            total_hops: 10_000,
+            sim_duration_s: 600.0,
+        };
+        assert!(r.reliable());
+        assert_eq!(r.loss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Plain-text and JSON reporting of experiment results.
+
+use std::fmt::Write as _;
+
+use crate::config::Protocol;
+use crate::experiments::FigureResult;
+
+/// Render one figure as two fixed-width tables (overhead panel and delay
+/// panel), in the same orientation as the paper's plots: one row per x value,
+/// one column per protocol.
+pub fn render_figure(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ==", fig.name);
+    let _ = writeln!(out, "-- (a) message overhead per handoff (hops) --");
+    out.push_str(&render_panel(fig, &fig.x_label, |p| {
+        p.result.overhead_per_handoff
+    }));
+    let _ = writeln!(out, "-- (b) average handoff delay (ms) --");
+    out.push_str(&render_panel(fig, &fig.x_label, |p| {
+        p.result.avg_handoff_delay_ms
+    }));
+    let _ = writeln!(out, "-- reliability (lost / duplicated / out-of-order) --");
+    out.push_str(&render_reliability(fig));
+    out
+}
+
+fn x_values(fig: &FigureResult) -> Vec<f64> {
+    let mut xs: Vec<f64> = fig.points.iter().map(|p| p.x).collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    xs
+}
+
+fn render_panel(
+    fig: &FigureResult,
+    x_label: &str,
+    metric: impl Fn(&crate::experiments::ExperimentPoint) -> f64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>28} | {:>12} | {:>12} | {:>12}",
+        x_label,
+        Protocol::SubUnsub.label(),
+        Protocol::Mhh.label(),
+        Protocol::HomeBroker.label()
+    );
+    let _ = writeln!(out, "{}", "-".repeat(28 + 3 * 15 + 3));
+    for x in x_values(fig) {
+        let cell = |proto: Protocol| -> String {
+            fig.points
+                .iter()
+                .find(|p| p.protocol == proto && (p.x - x).abs() < 1e-9)
+                .map(|p| format!("{:12.1}", metric(p)))
+                .unwrap_or_else(|| format!("{:>12}", "-"))
+        };
+        let _ = writeln!(
+            out,
+            "{:>28} | {} | {} | {}",
+            x,
+            cell(Protocol::SubUnsub),
+            cell(Protocol::Mhh),
+            cell(Protocol::HomeBroker)
+        );
+    }
+    out
+}
+
+fn render_reliability(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    for x in x_values(fig) {
+        let _ = write!(out, "{:>28} |", x);
+        for proto in [Protocol::SubUnsub, Protocol::Mhh, Protocol::HomeBroker] {
+            if let Some(p) = fig
+                .points
+                .iter()
+                .find(|p| p.protocol == proto && (p.x - x).abs() < 1e-9)
+            {
+                let a = &p.result.audit;
+                let _ = write!(out, " {}/{}/{} |", a.lost, a.duplicates, a.out_of_order);
+            } else {
+                let _ = write!(out, " - |");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Serialise a figure to pretty JSON (written next to EXPERIMENTS.md so the
+/// numbers in the write-up can be regenerated).
+pub fn to_json(fig: &FigureResult) -> String {
+    serde_json::to_string_pretty(fig).expect("figure results are serialisable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use crate::experiments::figure5;
+
+    #[test]
+    fn render_contains_all_protocols_and_x_values() {
+        let base = ScenarioConfig {
+            grid_side: 3,
+            clients_per_broker: 2,
+            mobile_fraction: 0.5,
+            conn_mean_s: 20.0,
+            disc_mean_s: 20.0,
+            publish_interval_s: 10.0,
+            duration_s: 120.0,
+            seed: 1,
+            ..ScenarioConfig::paper_defaults()
+        };
+        let fig = figure5(&base, &[10.0, 50.0]);
+        let text = render_figure(&fig);
+        assert!(text.contains("MHH"));
+        assert!(text.contains("sub-unsub"));
+        assert!(text.contains("HB"));
+        assert!(text.contains("10"));
+        assert!(text.contains("50"));
+        let json = to_json(&fig);
+        assert!(json.contains("\"figure5\""));
+    }
+}

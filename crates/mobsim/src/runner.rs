@@ -1,0 +1,186 @@
+//! Scenario runner: build the deployment for a protocol, inject the
+//! workload, run to completion and compute the metrics.
+
+use mhh_baselines::{HomeBroker, SubUnsub};
+use mhh_core::Mhh;
+use mhh_pubsub::broker::MobilityProtocol;
+use mhh_pubsub::delivery::{audit, SubscriberLog};
+use mhh_pubsub::{ClientId, Deployment, DeploymentConfig, Event, NetMsg};
+use mhh_simnet::{SimDuration, TrafficClass};
+
+use crate::config::{Protocol, ScenarioConfig};
+use crate::metrics::RunResult;
+use crate::workload::Workload;
+
+/// Translate a scenario config into the deployment config of the substrate.
+fn deployment_config(config: &ScenarioConfig) -> DeploymentConfig {
+    DeploymentConfig {
+        grid_side: config.grid_side,
+        seed: config.seed,
+        wired_latency: SimDuration::from_millis(config.wired_ms),
+        wireless_latency: SimDuration::from_millis(config.wireless_ms),
+        covering: config.covering,
+    }
+}
+
+/// Run one scenario with one protocol and collect the metrics. The workload
+/// is regenerated from the scenario seed, so calling this for different
+/// protocols with the same config performs a paired comparison.
+pub fn run_scenario(config: &ScenarioConfig, protocol: Protocol) -> RunResult {
+    let workload = Workload::generate(config);
+    match protocol {
+        Protocol::Mhh => run_with(config, protocol, &workload, |_| Mhh::new()),
+        Protocol::HomeBroker => run_with(config, protocol, &workload, |_| HomeBroker::new()),
+        Protocol::SubUnsub => {
+            // The safety interval is "the maximum time for message delivery
+            // between any two stations" (Section 5.1): the overlay diameter
+            // times the wired hop latency, plus one hop of slack.
+            let net = mhh_simnet::Network::grid(config.grid_side, config.seed);
+            let wait_hops = net.tree_diameter() as u64 + 1;
+            let wait = SimDuration::from_millis(wait_hops * config.wired_ms);
+            run_with(config, protocol, &workload, move |_| SubUnsub::new(wait))
+        }
+    }
+}
+
+fn run_with<P, F>(
+    config: &ScenarioConfig,
+    protocol: Protocol,
+    workload: &Workload,
+    make_protocol: F,
+) -> RunResult
+where
+    P: MobilityProtocol,
+    F: FnMut(mhh_pubsub::BrokerId) -> P,
+{
+    let dep_config = deployment_config(config);
+    let mut dep: Deployment<P> = Deployment::build(&dep_config, &workload.clients, make_protocol);
+
+    for entry in &workload.timeline {
+        dep.engine.schedule_external(
+            entry.at,
+            dep.book.client_node(entry.client),
+            NetMsg::Action(entry.action.clone()),
+        );
+    }
+    dep.engine.run_to_completion();
+    collect(config, protocol, dep)
+}
+
+fn collect<P: MobilityProtocol>(
+    config: &ScenarioConfig,
+    protocol: Protocol,
+    dep: Deployment<P>,
+) -> RunResult {
+    let published: Vec<Event> = dep.clients().flat_map(|c| c.published.clone()).collect();
+    let buffered = dep.buffered_events();
+
+    // Reliability audit over every subscriber.
+    let logs: Vec<(ClientId, mhh_pubsub::Filter, Vec<mhh_pubsub::DeliveryRecord>)> = dep
+        .clients()
+        .map(|c| (c.id, c.filter.clone(), c.received.clone()))
+        .collect();
+    let subscriber_logs: Vec<SubscriberLog<'_>> = logs
+        .iter()
+        .map(|(id, filter, recs)| SubscriberLog {
+            client: *id,
+            filter,
+            deliveries: recs,
+        })
+        .collect();
+    let audit_result = audit(&published, &subscriber_logs, &buffered);
+
+    // The paper's metrics.
+    let handoffs: u64 = dep.clients().map(|c| c.handoff_count() as u64).sum();
+    let delays: Vec<f64> = dep.clients().flat_map(|c| c.handoff_delays()).collect();
+    let delay_samples = delays.len() as u64;
+    let avg_delay = if delays.is_empty() {
+        0.0
+    } else {
+        delays.iter().sum::<f64>() / delays.len() as f64
+    };
+    let stats = dep.engine.stats();
+    let mobility_hops = stats.mobility_hops();
+    let overhead = if handoffs == 0 {
+        0.0
+    } else {
+        mobility_hops as f64 / handoffs as f64
+    };
+    let delivered_messages = stats.class(TrafficClass::EventDelivery).messages;
+
+    RunResult {
+        protocol,
+        handoffs,
+        mobility_hops,
+        overhead_per_handoff: overhead,
+        avg_handoff_delay_ms: avg_delay,
+        delay_samples,
+        audit: audit_result,
+        published: published.len() as u64,
+        delivered_messages,
+        total_hops: stats.total_hops(),
+        sim_duration_s: config.duration_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScenarioConfig {
+        ScenarioConfig {
+            grid_side: 4,
+            clients_per_broker: 3,
+            mobile_fraction: 0.25,
+            conn_mean_s: 40.0,
+            disc_mean_s: 40.0,
+            publish_interval_s: 20.0,
+            duration_s: 400.0,
+            seed: 11,
+            ..ScenarioConfig::paper_defaults()
+        }
+    }
+
+    #[test]
+    fn mhh_run_is_reliable_and_produces_handoffs() {
+        let r = run_scenario(&tiny(), Protocol::Mhh);
+        assert!(r.handoffs > 0, "workload must move clients: {r:?}");
+        assert!(r.reliable(), "MHH must be exactly-once/ordered: {:?}", r.audit);
+        assert!(r.mobility_hops > 0);
+        assert!(r.avg_handoff_delay_ms > 0.0);
+        assert!(r.published > 0);
+    }
+
+    #[test]
+    fn sub_unsub_run_is_reliable_but_slower() {
+        let cfg = tiny();
+        let su = run_scenario(&cfg, Protocol::SubUnsub);
+        let mhh = run_scenario(&cfg, Protocol::Mhh);
+        assert!(su.reliable(), "sub-unsub must be reliable: {:?}", su.audit);
+        assert_eq!(su.handoffs, mhh.handoffs, "paired workload → same handoffs");
+        assert!(
+            su.avg_handoff_delay_ms > mhh.avg_handoff_delay_ms,
+            "sub-unsub delay {} must exceed MHH delay {}",
+            su.avg_handoff_delay_ms,
+            mhh.avg_handoff_delay_ms
+        );
+    }
+
+    #[test]
+    fn home_broker_run_may_lose_but_never_duplicates() {
+        let r = run_scenario(&tiny(), Protocol::HomeBroker);
+        assert_eq!(r.audit.duplicates, 0, "{:?}", r.audit);
+        assert_eq!(r.audit.out_of_order, 0, "{:?}", r.audit);
+        assert!(r.handoffs > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_scenario(&tiny(), Protocol::Mhh);
+        let b = run_scenario(&tiny(), Protocol::Mhh);
+        assert_eq!(a.mobility_hops, b.mobility_hops);
+        assert_eq!(a.handoffs, b.handoffs);
+        assert_eq!(a.avg_handoff_delay_ms, b.avg_handoff_delay_ms);
+        assert_eq!(a.audit, b.audit);
+    }
+}

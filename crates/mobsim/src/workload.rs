@@ -1,0 +1,273 @@
+//! Workload generation: client population, subscriptions with the paper's
+//! 6.25 % selectivity, publication schedules and mobility timelines.
+//!
+//! Everything is a pure function of the scenario seed, so the *same* workload
+//! (same subscriptions, same events, same move times) is replayed for every
+//! protocol being compared — the comparison in the figures is therefore
+//! paired, like the paper's.
+
+use mhh_pubsub::event::EventBuilder;
+use mhh_pubsub::{BrokerId, ClientAction, ClientId, ClientSpec, Event, Filter, Op};
+use mhh_simnet::random::DetRng;
+use mhh_simnet::{SimDuration, SimTime};
+
+use crate::config::ScenarioConfig;
+
+/// One pre-scheduled client action.
+#[derive(Debug, Clone)]
+pub struct TimelineEntry {
+    /// When the action fires.
+    pub at: SimTime,
+    /// The client performing it.
+    pub client: ClientId,
+    /// The action.
+    pub action: ClientAction,
+}
+
+/// A complete, reproducible workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Client population (filters, homes, mobility flags).
+    pub clients: Vec<ClientSpec>,
+    /// Every pre-scheduled action, in no particular order (the engine sorts
+    /// by time).
+    pub timeline: Vec<TimelineEntry>,
+    /// Total number of publish actions scheduled.
+    pub publish_count: usize,
+    /// Number of disconnect/reconnect pairs scheduled.
+    pub move_count: usize,
+}
+
+impl Workload {
+    /// Generate the workload for a scenario.
+    pub fn generate(config: &ScenarioConfig) -> Workload {
+        let mut rng = DetRng::new(config.seed);
+        let brokers = config.broker_count();
+        let clients = make_clients(config, &mut rng);
+        let mut timeline = Vec::new();
+        let mut publish_count = 0usize;
+        let mut move_count = 0usize;
+        let horizon = config.duration_s;
+
+        let mut event_id = 1u64;
+        for (i, spec) in clients.iter().enumerate() {
+            let client = ClientId(i as u32);
+            let mut crng = rng.fork(i as u64 + 1);
+
+            // Publication schedule: one event every `publish_interval_s`,
+            // with a per-client phase so publications spread uniformly.
+            let phase = crng.range_f64(0.0, config.publish_interval_s);
+            let mut t = phase;
+            let mut seq = 0u64;
+            while t < horizon {
+                let value = crng.next_f64();
+                let event = make_event(event_id, client, seq, value);
+                event_id += 1;
+                seq += 1;
+                timeline.push(TimelineEntry {
+                    at: SimTime::ZERO + SimDuration::from_secs_f64(t),
+                    client,
+                    action: ClientAction::Publish(event),
+                });
+                publish_count += 1;
+                t += config.publish_interval_s;
+            }
+
+            // Mobility schedule for mobile clients: alternate exponential
+            // connection and disconnection periods; each reconnection picks a
+            // uniformly random base station (paper, Section 5.1).
+            if spec.mobile {
+                let mut t = crng.exponential(config.conn_mean_s);
+                while t < horizon {
+                    timeline.push(TimelineEntry {
+                        at: SimTime::ZERO + SimDuration::from_secs_f64(t),
+                        client,
+                        action: ClientAction::Disconnect { proclaimed_dest: None },
+                    });
+                    let off = crng.exponential(config.disc_mean_s);
+                    let reconnect_at = t + off.max(0.001);
+                    if reconnect_at >= horizon {
+                        break;
+                    }
+                    let target = BrokerId(crng.index(brokers) as u32);
+                    timeline.push(TimelineEntry {
+                        at: SimTime::ZERO + SimDuration::from_secs_f64(reconnect_at),
+                        client,
+                        action: ClientAction::Reconnect { broker: target },
+                    });
+                    move_count += 1;
+                    t = reconnect_at + crng.exponential(config.conn_mean_s).max(0.001);
+                }
+            }
+        }
+
+        Workload {
+            clients,
+            timeline,
+            publish_count,
+            move_count,
+        }
+    }
+}
+
+/// Build the client population: `clients_per_broker` clients at every broker,
+/// a random 20 % of them mobile, each with a distinct range subscription of
+/// width `selectivity` over the uniform `v` attribute (so each event matches
+/// the required fraction of clients in expectation, while filters stay
+/// distinct enough that covering rarely collapses them).
+fn make_clients(config: &ScenarioConfig, rng: &mut DetRng) -> Vec<ClientSpec> {
+    let brokers = config.broker_count();
+    let total = config.client_count();
+    let mobile_set: std::collections::BTreeSet<usize> = rng
+        .choose_indices(total, config.mobile_count())
+        .into_iter()
+        .collect();
+    (0..total)
+        .map(|i| {
+            let home = BrokerId((i % brokers) as u32);
+            let lo = rng.range_f64(0.0, 1.0 - config.selectivity);
+            let filter = Filter::new(vec![])
+                .and("v", Op::Ge, lo)
+                .and("v", Op::Lt, lo + config.selectivity);
+            ClientSpec {
+                filter,
+                home,
+                mobile: mobile_set.contains(&i),
+            }
+        })
+        .collect()
+}
+
+/// Build one workload event.
+fn make_event(id: u64, publisher: ClientId, seq: u64, value: f64) -> Event {
+    EventBuilder::new()
+        .attr("v", value)
+        .attr("source", publisher.0 as i64)
+        .build(id, publisher, seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScenarioConfig {
+        ScenarioConfig {
+            grid_side: 4,
+            clients_per_broker: 3,
+            duration_s: 900.0,
+            conn_mean_s: 120.0,
+            disc_mean_s: 120.0,
+            publish_interval_s: 60.0,
+            ..ScenarioConfig::paper_defaults()
+        }
+    }
+
+    #[test]
+    fn population_matches_config() {
+        let w = Workload::generate(&small());
+        let cfg = small();
+        assert_eq!(w.clients.len(), cfg.client_count());
+        let mobile = w.clients.iter().filter(|c| c.mobile).count();
+        assert_eq!(mobile, cfg.mobile_count());
+        // Every broker hosts the configured number of clients.
+        for b in 0..cfg.broker_count() {
+            let at_b = w
+                .clients
+                .iter()
+                .filter(|c| c.home == BrokerId(b as u32))
+                .count();
+            assert_eq!(at_b, cfg.clients_per_broker);
+        }
+    }
+
+    #[test]
+    fn selectivity_is_close_to_target() {
+        let cfg = ScenarioConfig {
+            grid_side: 5,
+            clients_per_broker: 8,
+            ..small()
+        };
+        let w = Workload::generate(&cfg);
+        // Sample events from the timeline and count how many client filters
+        // each matches.
+        let events: Vec<&Event> = w
+            .timeline
+            .iter()
+            .filter_map(|e| match &e.action {
+                ClientAction::Publish(ev) => Some(ev),
+                _ => None,
+            })
+            .take(400)
+            .collect();
+        assert!(!events.is_empty());
+        let mut total_matches = 0usize;
+        for ev in &events {
+            total_matches += w.clients.iter().filter(|c| c.filter.matches(ev)).count();
+        }
+        let observed = total_matches as f64 / (events.len() * w.clients.len()) as f64;
+        assert!(
+            (observed - cfg.selectivity).abs() < 0.02,
+            "observed selectivity {observed} too far from {}",
+            cfg.selectivity
+        );
+    }
+
+    #[test]
+    fn timeline_is_deterministic_and_within_horizon() {
+        let a = Workload::generate(&small());
+        let b = Workload::generate(&small());
+        assert_eq!(a.timeline.len(), b.timeline.len());
+        assert_eq!(a.publish_count, b.publish_count);
+        assert_eq!(a.move_count, b.move_count);
+        let horizon = SimTime::ZERO + SimDuration::from_secs_f64(small().duration_s);
+        assert!(a.timeline.iter().all(|e| e.at <= horizon));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Workload::generate(&small());
+        let b = Workload::generate(&ScenarioConfig { seed: 999, ..small() });
+        assert_ne!(a.move_count, 0);
+        // Move times differ between seeds (the filters almost surely too).
+        let a_moves: Vec<_> = a
+            .timeline
+            .iter()
+            .filter(|e| matches!(e.action, ClientAction::Reconnect { .. }))
+            .map(|e| e.at)
+            .collect();
+        let b_moves: Vec<_> = b
+            .timeline
+            .iter()
+            .filter(|e| matches!(e.action, ClientAction::Reconnect { .. }))
+            .map(|e| e.at)
+            .collect();
+        assert_ne!(a_moves, b_moves);
+    }
+
+    #[test]
+    fn mobile_clients_alternate_disconnect_reconnect() {
+        let w = Workload::generate(&small());
+        for (i, spec) in w.clients.iter().enumerate() {
+            let client = ClientId(i as u32);
+            let mut actions: Vec<(&TimelineEntry, u8)> = w
+                .timeline
+                .iter()
+                .filter(|e| e.client == client)
+                .filter_map(|e| match e.action {
+                    ClientAction::Disconnect { .. } => Some((e, 0u8)),
+                    ClientAction::Reconnect { .. } => Some((e, 1u8)),
+                    _ => None,
+                })
+                .collect();
+            actions.sort_by_key(|(e, _)| e.at);
+            if !spec.mobile {
+                assert!(actions.is_empty());
+                continue;
+            }
+            // Strict alternation starting with a disconnect.
+            for (idx, (_, kind)) in actions.iter().enumerate() {
+                assert_eq!(*kind as usize, idx % 2, "client {i} action order broken");
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Broker/client identifiers and the mapping onto simulator node ids.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mhh_simnet::NodeId;
+
+/// Identifier of an event broker (a base station of the k×k grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BrokerId(pub u32);
+
+/// Identifier of a client (publisher and/or subscriber, possibly mobile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+impl BrokerId {
+    /// Dense index of this broker.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ClientId {
+    /// Dense index of this client.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BrokerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A neighbor of a broker in the pub/sub sense: either a neighboring broker
+/// of the overlay or a client directly connected to the broker (paper,
+/// Section 3: "The neighbors of a broker include both the neighboring brokers
+/// and the clients that directly connect to the broker").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Peer {
+    /// A neighboring broker.
+    Broker(BrokerId),
+    /// A directly connected (or locally tracked offline) client.
+    Client(ClientId),
+}
+
+impl fmt::Display for Peer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Peer::Broker(b) => write!(f, "{b}"),
+            Peer::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Mapping between pub/sub identifiers and simulator node ids.
+///
+/// Brokers occupy node ids `0..broker_count`, clients occupy
+/// `broker_count..broker_count + client_count`. The struct is tiny and
+/// `Copy`, so every broker and client embeds its own copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressBook {
+    broker_count: u32,
+    client_count: u32,
+}
+
+impl AddressBook {
+    /// Create an address book for the given population.
+    pub fn new(broker_count: usize, client_count: usize) -> Self {
+        AddressBook {
+            broker_count: broker_count as u32,
+            client_count: client_count as u32,
+        }
+    }
+
+    /// Number of brokers.
+    pub fn broker_count(&self) -> usize {
+        self.broker_count as usize
+    }
+
+    /// Number of clients.
+    pub fn client_count(&self) -> usize {
+        self.client_count as usize
+    }
+
+    /// Total number of simulator nodes.
+    pub fn node_count(&self) -> usize {
+        (self.broker_count + self.client_count) as usize
+    }
+
+    /// Simulator node id of a broker.
+    pub fn broker_node(&self, b: BrokerId) -> NodeId {
+        debug_assert!(b.0 < self.broker_count, "broker id out of range");
+        NodeId(b.0)
+    }
+
+    /// Simulator node id of a client.
+    pub fn client_node(&self, c: ClientId) -> NodeId {
+        debug_assert!(c.0 < self.client_count, "client id out of range");
+        NodeId(self.broker_count + c.0)
+    }
+
+    /// Whether a node id belongs to a broker.
+    pub fn is_broker_node(&self, n: NodeId) -> bool {
+        n.0 < self.broker_count
+    }
+
+    /// Map a node id back to a broker id. Panics if it is a client node.
+    pub fn node_broker(&self, n: NodeId) -> BrokerId {
+        assert!(self.is_broker_node(n), "node {n} is not a broker");
+        BrokerId(n.0)
+    }
+
+    /// Map a node id back to a client id. Panics if it is a broker node.
+    pub fn node_client(&self, n: NodeId) -> ClientId {
+        assert!(!self.is_broker_node(n), "node {n} is not a client");
+        ClientId(n.0 - self.broker_count)
+    }
+
+    /// Map a node id to the pub/sub peer it represents.
+    pub fn node_peer(&self, n: NodeId) -> Peer {
+        if self.is_broker_node(n) {
+            Peer::Broker(self.node_broker(n))
+        } else {
+            Peer::Client(self.node_client(n))
+        }
+    }
+
+    /// Iterate over all broker ids.
+    pub fn brokers(&self) -> impl Iterator<Item = BrokerId> {
+        (0..self.broker_count).map(BrokerId)
+    }
+
+    /// Iterate over all client ids.
+    pub fn clients(&self) -> impl Iterator<Item = ClientId> {
+        (0..self.client_count).map(ClientId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_layout_is_dense_and_disjoint() {
+        let book = AddressBook::new(4, 3);
+        assert_eq!(book.node_count(), 7);
+        assert_eq!(book.broker_node(BrokerId(0)), NodeId(0));
+        assert_eq!(book.broker_node(BrokerId(3)), NodeId(3));
+        assert_eq!(book.client_node(ClientId(0)), NodeId(4));
+        assert_eq!(book.client_node(ClientId(2)), NodeId(6));
+    }
+
+    #[test]
+    fn round_trip_node_to_peer() {
+        let book = AddressBook::new(4, 3);
+        assert_eq!(book.node_peer(NodeId(2)), Peer::Broker(BrokerId(2)));
+        assert_eq!(book.node_peer(NodeId(5)), Peer::Client(ClientId(1)));
+        assert_eq!(book.node_broker(NodeId(1)), BrokerId(1));
+        assert_eq!(book.node_client(NodeId(6)), ClientId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a broker")]
+    fn client_node_is_not_a_broker() {
+        let book = AddressBook::new(2, 2);
+        book.node_broker(NodeId(3));
+    }
+
+    #[test]
+    fn iterators_cover_population() {
+        let book = AddressBook::new(3, 5);
+        assert_eq!(book.brokers().count(), 3);
+        assert_eq!(book.clients().count(), 5);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", BrokerId(4)), "B4");
+        assert_eq!(format!("{}", ClientId(9)), "C9");
+        assert_eq!(format!("{}", Peer::Broker(BrokerId(1))), "B1");
+        assert_eq!(format!("{}", Peer::Client(ClientId(2))), "C2");
+    }
+}

@@ -1,0 +1,751 @@
+//! The event broker node.
+//!
+//! A broker is split into two cooperating parts:
+//!
+//! * [`BrokerCore`] — the protocol-agnostic state of Section 3 of the paper:
+//!   the filter table, the overlay routing table, the set of locally
+//!   connected clients, and the reverse-path-forwarding subscription /
+//!   event propagation logic;
+//! * a [`MobilityProtocol`] implementation — everything that happens when
+//!   clients move: MHH (in `mhh-core`), sub-unsub and home-broker (in
+//!   `mhh-baselines`) plug in here.
+//!
+//! [`Broker`] glues the two together and implements the simulator's
+//! [`Node`] trait.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mhh_simnet::{Context, Envelope, Network, Node, SimDuration, SimTime};
+
+use crate::address::{AddressBook, BrokerId, ClientId, Peer};
+use crate::event::Event;
+use crate::filter::Filter;
+use crate::filter_table::FilterTable;
+use crate::messages::{ConnectInfo, NetMsg, ProtocolMessage};
+use crate::queue::PqId;
+
+/// Helper handed to broker/protocol code for sending messages; wraps the
+/// simulator context plus the address book so protocol code can speak in
+/// terms of broker and client ids.
+pub struct BrokerCtx<'a, P: ProtocolMessage> {
+    inner: &'a mut Context<NetMsg<P>>,
+    book: AddressBook,
+}
+
+impl<'a, P: ProtocolMessage> BrokerCtx<'a, P> {
+    /// Wrap a simulator context.
+    pub fn new(inner: &'a mut Context<NetMsg<P>>, book: AddressBook) -> Self {
+        BrokerCtx { inner, book }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    /// The address book of the deployment.
+    pub fn book(&self) -> AddressBook {
+        self.book
+    }
+
+    /// Send an arbitrary message to another broker.
+    pub fn send_to_broker(&mut self, broker: BrokerId, msg: NetMsg<P>) {
+        self.inner.send(self.book.broker_node(broker), msg);
+    }
+
+    /// Send a protocol-specific message to another broker.
+    pub fn send_protocol(&mut self, broker: BrokerId, msg: P) {
+        self.send_to_broker(broker, NetMsg::Protocol(msg));
+    }
+
+    /// Forward an event to a neighboring broker over the overlay.
+    pub fn forward(&mut self, broker: BrokerId, event: Event) {
+        self.send_to_broker(broker, NetMsg::Forward(event));
+    }
+
+    /// Deliver an event to a connected client over the wireless link.
+    pub fn deliver(&mut self, client: ClientId, event: Event) {
+        self.inner.send(self.book.client_node(client), NetMsg::Deliver(event));
+    }
+
+    /// Schedule a protocol message back to this broker after `delay`
+    /// (a timer — never counted as network traffic).
+    pub fn schedule_protocol(&mut self, delay: SimDuration, msg: P) {
+        self.inner.schedule(delay, NetMsg::Protocol(msg));
+    }
+}
+
+/// Behaviour a mobility-management protocol contributes to a broker.
+///
+/// The same trait is implemented by the paper's MHH protocol (`mhh-core`)
+/// and by the two baselines (`mhh-baselines`), which is what lets the
+/// evaluation harness run all three on identical workloads.
+pub trait MobilityProtocol: Sized {
+    /// The protocol's own message enum.
+    type Msg: ProtocolMessage;
+
+    /// Human-readable protocol name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// A client reconnected at this broker (non-initial attachments only;
+    /// initial attachments are handled by the core).
+    fn on_client_connect(
+        &mut self,
+        core: &mut BrokerCore,
+        info: ConnectInfo,
+        ctx: &mut BrokerCtx<'_, Self::Msg>,
+    );
+
+    /// A client disconnected from this broker.
+    fn on_client_disconnect(
+        &mut self,
+        core: &mut BrokerCore,
+        client: ClientId,
+        filter: Filter,
+        proclaimed_dest: Option<BrokerId>,
+        ctx: &mut BrokerCtx<'_, Self::Msg>,
+    );
+
+    /// A protocol-specific message arrived from `from` (equal to this
+    /// broker's own id for self-scheduled timers).
+    fn on_protocol_msg(
+        &mut self,
+        core: &mut BrokerCore,
+        from: BrokerId,
+        msg: Self::Msg,
+        ctx: &mut BrokerCtx<'_, Self::Msg>,
+    );
+
+    /// An event matched a client entry of this broker's filter table. The
+    /// protocol decides whether to deliver immediately, buffer, or move it.
+    fn on_client_event(
+        &mut self,
+        core: &mut BrokerCore,
+        client: ClientId,
+        event: Event,
+        from: Peer,
+        ctx: &mut BrokerCtx<'_, Self::Msg>,
+    );
+
+    /// Events currently buffered at this broker for disconnected or
+    /// mid-handoff clients. Used by the end-of-run delivery audit to tell
+    /// "still pending" apart from "lost".
+    fn buffered_events(&self) -> Vec<(ClientId, Event)> {
+        Vec::new()
+    }
+}
+
+/// Protocol-agnostic broker state.
+#[derive(Debug, Clone)]
+pub struct BrokerCore {
+    /// This broker's id.
+    pub id: BrokerId,
+    /// Address book of the deployment.
+    pub book: AddressBook,
+    /// The broker network (overlay tree + routing + distances).
+    pub network: Arc<Network>,
+    /// The filter table (Section 3).
+    pub filters: FilterTable,
+    /// Currently connected clients and their filters.
+    pub connected: BTreeMap<ClientId, Filter>,
+    /// Whether the covering optimisation is applied to subscription
+    /// propagation.
+    pub covering_enabled: bool,
+    /// Per-client allocator for persistent-queue identifiers.
+    pq_seq: BTreeMap<ClientId, u32>,
+}
+
+impl BrokerCore {
+    /// Create the core state for one broker.
+    pub fn new(id: BrokerId, book: AddressBook, network: Arc<Network>, covering: bool) -> Self {
+        BrokerCore {
+            id,
+            book,
+            network,
+            filters: FilterTable::new(),
+            connected: BTreeMap::new(),
+            covering_enabled: covering,
+            pq_seq: BTreeMap::new(),
+        }
+    }
+
+    /// This broker as a [`Peer`].
+    pub fn self_peer(&self) -> Peer {
+        Peer::Broker(self.id)
+    }
+
+    /// Overlay-tree neighbors of this broker.
+    pub fn neighbors(&self) -> Vec<BrokerId> {
+        self.network
+            .tree
+            .neighbors(self.id.index())
+            .iter()
+            .map(|&n| BrokerId(n as u32))
+            .collect()
+    }
+
+    /// The overlay neighbor on the path toward `dst` (Section 3's routing
+    /// table). Returns this broker's own id when `dst == self.id`.
+    pub fn next_hop_to(&self, dst: BrokerId) -> BrokerId {
+        BrokerId(self.network.next_hop(self.id.index(), dst.index()) as u32)
+    }
+
+    /// Hop distance to another broker over the physical grid.
+    pub fn grid_distance_to(&self, other: BrokerId) -> u32 {
+        self.network.grid_distance(self.id.index(), other.index())
+    }
+
+    /// Allocate a fresh persistent-queue id for a client at this broker.
+    pub fn alloc_pq_id(&mut self, client: ClientId) -> PqId {
+        let seq = self.pq_seq.entry(client).or_insert(0);
+        let id = PqId {
+            broker: self.id,
+            client,
+            seq: *seq,
+        };
+        *seq += 1;
+        id
+    }
+
+    /// Is the client currently attached to this broker?
+    pub fn is_connected(&self, client: ClientId) -> bool {
+        self.connected.contains_key(&client)
+    }
+
+    /// Deliver to the client if it is attached here; returns `false`
+    /// otherwise so the caller can buffer instead.
+    pub fn try_deliver<P: ProtocolMessage>(
+        &self,
+        client: ClientId,
+        event: Event,
+        ctx: &mut BrokerCtx<'_, P>,
+    ) -> bool {
+        if self.is_connected(client) {
+            ctx.deliver(client, event);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Register a subscription arriving from `from` and propagate it over
+    /// the overlay (reverse path forwarding: the subscription fans out to
+    /// every tree neighbor except the one it came from, unless the covering
+    /// optimisation suppresses it).
+    pub fn apply_subscribe<P: ProtocolMessage>(
+        &mut self,
+        from: Peer,
+        filter: Filter,
+        mobility: bool,
+        ctx: &mut BrokerCtx<'_, P>,
+    ) {
+        // Decide propagation before inserting so the new entry does not
+        // count as "already covering". Mobility-triggered re-subscriptions
+        // (the sub-unsub baseline) must reach *every* broker — "the system
+        // ensures that the client's subscription on the new broker is made
+        // known to all other brokers" — so the covering optimisation only
+        // suppresses ordinary subscription propagation.
+        let mut to_notify = Vec::new();
+        for nb in self.neighbors() {
+            if from == Peer::Broker(nb) {
+                continue;
+            }
+            if self.covering_enabled
+                && !mobility
+                && self.filters.covered_by_other(&filter, Peer::Broker(nb))
+            {
+                // A covering subscription has already been propagated toward
+                // this neighbor; no need to send another one.
+                continue;
+            }
+            to_notify.push(nb);
+        }
+        let inserted = self.filters.add(from, filter.clone());
+        if !inserted {
+            // Exact duplicate from the same peer: nothing new to tell anyone.
+            return;
+        }
+        for nb in to_notify {
+            ctx.send_to_broker(
+                nb,
+                NetMsg::SubPropagate {
+                    filter: filter.clone(),
+                    mobility,
+                },
+            );
+        }
+    }
+
+    /// Remove a subscription of `from` and propagate the unsubscription
+    /// where it is no longer needed.
+    pub fn apply_unsubscribe<P: ProtocolMessage>(
+        &mut self,
+        from: Peer,
+        filter: Filter,
+        mobility: bool,
+        ctx: &mut BrokerCtx<'_, P>,
+    ) {
+        let removed = self.filters.remove(from, &filter);
+        if !removed {
+            return;
+        }
+        for nb in self.neighbors() {
+            if from == Peer::Broker(nb) {
+                continue;
+            }
+            if self.filters.still_needed_by_other(&filter, Peer::Broker(nb)) {
+                // Another neighbor or local client still needs events
+                // matching this filter, so the neighbor must keep sending
+                // them to us.
+                continue;
+            }
+            ctx.send_to_broker(
+                nb,
+                NetMsg::UnsubPropagate {
+                    filter: filter.clone(),
+                    mobility,
+                },
+            );
+        }
+    }
+}
+
+/// A broker node: protocol-agnostic core plus a mobility protocol.
+pub struct Broker<P: MobilityProtocol> {
+    /// Protocol-agnostic state.
+    pub core: BrokerCore,
+    /// Mobility-protocol state.
+    pub proto: P,
+}
+
+impl<P: MobilityProtocol> Broker<P> {
+    /// Build a broker from its parts.
+    pub fn new(core: BrokerCore, proto: P) -> Self {
+        Broker { core, proto }
+    }
+
+    /// Route an event that arrived from `from` (a client publish or an
+    /// overlay forward): matching broker neighbors get a `Forward`, matching
+    /// client entries are handed to the protocol.
+    fn handle_event(&mut self, event: Event, from: Peer, ctx: &mut BrokerCtx<'_, P::Msg>) {
+        let targets = self.core.filters.matching_targets(&event, from);
+        for target in targets {
+            match target {
+                Peer::Broker(b) => ctx.forward(b, event.clone()),
+                Peer::Client(c) => {
+                    self.proto
+                        .on_client_event(&mut self.core, c, event.clone(), from, ctx)
+                }
+            }
+        }
+    }
+}
+
+impl<P: MobilityProtocol> Node<NetMsg<P::Msg>> for Broker<P> {
+    fn on_message(&mut self, env: Envelope<NetMsg<P::Msg>>, ctx: &mut Context<NetMsg<P::Msg>>) {
+        let book = self.core.book;
+        let mut bctx = BrokerCtx::new(ctx, book);
+        match env.msg {
+            NetMsg::Connect(info) => {
+                self.core
+                    .connected
+                    .insert(info.client, info.filter.clone());
+                if info.initial {
+                    // First attachment ever: a plain subscription, no handoff.
+                    self.core.apply_subscribe(
+                        Peer::Client(info.client),
+                        info.filter.clone(),
+                        false,
+                        &mut bctx,
+                    );
+                } else {
+                    self.proto.on_client_connect(&mut self.core, info, &mut bctx);
+                }
+            }
+            NetMsg::Disconnect {
+                client,
+                proclaimed_dest,
+            } => {
+                let filter = self
+                    .core
+                    .connected
+                    .remove(&client)
+                    .or_else(|| {
+                        self.core
+                            .filters
+                            .filters_for(Peer::Client(client))
+                            .first()
+                            .map(|f| (*f).clone())
+                    })
+                    .unwrap_or_default();
+                self.proto.on_client_disconnect(
+                    &mut self.core,
+                    client,
+                    filter,
+                    proclaimed_dest,
+                    &mut bctx,
+                );
+            }
+            NetMsg::Publish(event) => {
+                let from = Peer::Client(event.publisher);
+                self.handle_event(event, from, &mut bctx);
+            }
+            NetMsg::Forward(event) => {
+                let from = book.node_peer(env.from);
+                self.handle_event(event, from, &mut bctx);
+            }
+            NetMsg::SubPropagate { filter, mobility } => {
+                let from = book.node_peer(env.from);
+                self.core.apply_subscribe(from, filter, mobility, &mut bctx);
+            }
+            NetMsg::UnsubPropagate { filter, mobility } => {
+                let from = book.node_peer(env.from);
+                self.core
+                    .apply_unsubscribe(from, filter, mobility, &mut bctx);
+            }
+            NetMsg::Protocol(msg) => {
+                let from = if book.is_broker_node(env.from) {
+                    book.node_broker(env.from)
+                } else {
+                    // Protocol messages only travel between brokers (and as
+                    // self-timers); a client sender would be a logic error.
+                    self.core.id
+                };
+                self.proto.on_protocol_msg(&mut self.core, from, msg, &mut bctx);
+            }
+            // Messages addressed to clients or timer actions are never
+            // handled by brokers.
+            NetMsg::Deliver(_) | NetMsg::Action(_) => {}
+        }
+    }
+}
+
+/// Install a client's subscription across an already-built broker slice
+/// without exchanging any messages. Used by the evaluation harness to set up
+/// the initial state of Section 5.1 ("In the initial state, each broker
+/// serves 10 clients") without paying a warm-up phase, and by tests.
+///
+/// `subscription_root` is the broker the subscription is rooted at (the
+/// client's attachment broker, or its home broker for the home-broker
+/// baseline). When `attach` is true the client is also marked as connected
+/// there.
+pub fn install_subscription<P: MobilityProtocol>(
+    brokers: &mut [Broker<P>],
+    network: &Network,
+    client: ClientId,
+    filter: &Filter,
+    subscription_root: BrokerId,
+    attach: bool,
+) {
+    for broker in brokers.iter_mut() {
+        let here = broker.core.id;
+        if here == subscription_root {
+            broker
+                .core
+                .filters
+                .add(Peer::Client(client), filter.clone());
+            if attach {
+                broker.core.connected.insert(client, filter.clone());
+            }
+        } else {
+            let next = BrokerId(network.next_hop(here.index(), subscription_root.index()) as u32);
+            broker.core.filters.add(Peer::Broker(next), filter.clone());
+        }
+    }
+}
+
+/// A "no mobility support" protocol: reconnecting clients simply issue a new
+/// subscription at the new broker and events for absent clients are dropped.
+/// Used to test the static substrate and as the simplest possible example of
+/// the [`MobilityProtocol`] trait.
+#[derive(Debug, Default, Clone)]
+pub struct NoProtocol;
+
+impl MobilityProtocol for NoProtocol {
+    type Msg = crate::messages::NoProtocolMsg;
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn on_client_connect(
+        &mut self,
+        core: &mut BrokerCore,
+        info: ConnectInfo,
+        ctx: &mut BrokerCtx<'_, Self::Msg>,
+    ) {
+        // Behave exactly like an initial connect: subscribe here, leave any
+        // stale state elsewhere alone (that is precisely why a real mobility
+        // protocol is needed).
+        core.apply_subscribe(Peer::Client(info.client), info.filter, false, ctx);
+    }
+
+    fn on_client_disconnect(
+        &mut self,
+        _core: &mut BrokerCore,
+        _client: ClientId,
+        _filter: Filter,
+        _proclaimed_dest: Option<BrokerId>,
+        _ctx: &mut BrokerCtx<'_, Self::Msg>,
+    ) {
+    }
+
+    fn on_protocol_msg(
+        &mut self,
+        _core: &mut BrokerCore,
+        _from: BrokerId,
+        msg: Self::Msg,
+        _ctx: &mut BrokerCtx<'_, Self::Msg>,
+    ) {
+        match msg {}
+    }
+
+    fn on_client_event(
+        &mut self,
+        core: &mut BrokerCore,
+        client: ClientId,
+        event: Event,
+        _from: Peer,
+        ctx: &mut BrokerCtx<'_, Self::Msg>,
+    ) {
+        // Deliver if attached, silently drop otherwise.
+        let _ = core.try_deliver(client, event, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientNode;
+    use crate::filter::Op;
+    use crate::messages::ClientAction;
+    use mhh_simnet::{Engine, GridFabric, TrafficClass};
+
+    type M = NetMsg<crate::messages::NoProtocolMsg>;
+
+    /// A node that is either a broker or a client, so one engine can hold
+    /// both. The mobsim crate has its own richer version; this one is for
+    /// substrate tests.
+    enum TestNode {
+        Broker(Broker<NoProtocol>),
+        Client(ClientNode),
+    }
+
+    impl Node<M> for TestNode {
+        fn on_message(&mut self, env: Envelope<M>, ctx: &mut Context<M>) {
+            match self {
+                TestNode::Broker(b) => b.on_message(env, ctx),
+                TestNode::Client(c) => c.on_message(env, ctx),
+            }
+        }
+    }
+
+    /// Build a 3×3 broker grid with `clients` clients, all subscribed to
+    /// `group == 1`, attached round-robin.
+    fn build(clients: usize) -> (Engine<M, TestNode>, AddressBook, Arc<Network>) {
+        let network = Arc::new(Network::grid(3, 7));
+        let book = AddressBook::new(9, clients);
+        let fabric = Arc::new(GridFabric::paper_defaults(network.clone()));
+        let filter = Filter::single("group", Op::Eq, 1i64);
+
+        let mut brokers: Vec<Broker<NoProtocol>> = book
+            .brokers()
+            .map(|b| Broker::new(BrokerCore::new(b, book, network.clone(), true), NoProtocol))
+            .collect();
+        let mut client_nodes = Vec::new();
+        for c in book.clients() {
+            let home = BrokerId((c.0 as usize % 9) as u32);
+            install_subscription(&mut brokers, &network, c, &filter, home, true);
+            let mut node = ClientNode::new(c, book, filter.clone(), home);
+            node.current_broker = Some(home);
+            client_nodes.push(node);
+        }
+        let mut nodes: Vec<TestNode> = brokers.into_iter().map(TestNode::Broker).collect();
+        nodes.extend(client_nodes.into_iter().map(TestNode::Client));
+        (Engine::new(nodes, fabric), book, network)
+    }
+
+    fn publish_action(book: &AddressBook, publisher: ClientId, id: u64, group: i64) -> M {
+        let _ = book;
+        let event = crate::event::EventBuilder::new()
+            .attr("group", group)
+            .build(id, publisher, id);
+        NetMsg::Action(ClientAction::Publish(event))
+    }
+
+    #[test]
+    fn published_event_reaches_all_matching_subscribers() {
+        let (mut eng, book, _net) = build(6);
+        // Client 0 publishes a matching event; clients 1..6 must receive it,
+        // client 0 itself must not.
+        eng.schedule_external(
+            SimTime::from_millis(1),
+            book.client_node(ClientId(0)),
+            publish_action(&book, ClientId(0), 100, 1),
+        );
+        eng.run_to_completion();
+        for c in 1..6u32 {
+            let node = eng.node(book.client_node(ClientId(c)));
+            match node {
+                TestNode::Client(cl) => {
+                    assert_eq!(cl.received.len(), 1, "client {c} should get the event");
+                }
+                _ => unreachable!(),
+            }
+        }
+        match eng.node(book.client_node(ClientId(0))) {
+            TestNode::Client(cl) => assert!(cl.received.is_empty(), "publisher must not self-receive"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn non_matching_event_is_not_delivered() {
+        let (mut eng, book, _net) = build(4);
+        eng.schedule_external(
+            SimTime::from_millis(1),
+            book.client_node(ClientId(0)),
+            publish_action(&book, ClientId(0), 101, 99),
+        );
+        eng.run_to_completion();
+        for c in 1..4u32 {
+            match eng.node(book.client_node(ClientId(c))) {
+                TestNode::Client(cl) => assert!(cl.received.is_empty()),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn event_routing_uses_overlay_tree_only() {
+        let (mut eng, book, net) = build(9 * 2);
+        eng.schedule_external(
+            SimTime::from_millis(1),
+            book.client_node(ClientId(0)),
+            publish_action(&book, ClientId(0), 7, 1),
+        );
+        eng.run_to_completion();
+        // Every Forward hop is a single tree edge (1 grid hop because the MST
+        // uses grid edges), so hops == messages for the forward class.
+        let stats = eng.stats();
+        let fwd = stats.kind("forward");
+        assert!(fwd.messages > 0);
+        assert_eq!(fwd.messages, fwd.hops, "tree edges are single grid hops");
+        // The tree has broker_count-1 edges; a broadcast traverses each at
+        // most once.
+        assert!(fwd.messages <= (net.broker_count() - 1) as u64);
+        assert_eq!(stats.class(TrafficClass::MobilityControl).messages, 0);
+    }
+
+    #[test]
+    fn subscription_install_points_toward_root() {
+        let network = Arc::new(Network::grid(3, 7));
+        let book = AddressBook::new(9, 1);
+        let filter = Filter::single("group", Op::Eq, 2i64);
+        let mut brokers: Vec<Broker<NoProtocol>> = book
+            .brokers()
+            .map(|b| Broker::new(BrokerCore::new(b, book, network.clone(), true), NoProtocol))
+            .collect();
+        install_subscription(&mut brokers, &network, ClientId(0), &filter, BrokerId(4), true);
+        // The root broker has a client entry.
+        assert!(brokers[4].core.filters.contains(Peer::Client(ClientId(0)), &filter));
+        assert!(brokers[4].core.is_connected(ClientId(0)));
+        // Every other broker has exactly one entry pointing at its next hop
+        // toward broker 4.
+        for b in book.brokers().filter(|b| *b != BrokerId(4)) {
+            let next = BrokerId(network.next_hop(b.index(), 4) as u32);
+            assert!(brokers[b.index()]
+                .core
+                .filters
+                .contains(Peer::Broker(next), &filter));
+        }
+    }
+
+    #[test]
+    fn live_subscribe_via_messages_matches_static_install() {
+        // A client that connects "for real" (initial Connect message) must
+        // end up routable from everywhere: a publish from any other broker
+        // reaches it.
+        let network = Arc::new(Network::grid(3, 11));
+        let book = AddressBook::new(9, 2);
+        let fabric = Arc::new(GridFabric::paper_defaults(network.clone()));
+        let filter = Filter::single("group", Op::Eq, 5i64);
+        let brokers: Vec<Broker<NoProtocol>> = book
+            .brokers()
+            .map(|b| Broker::new(BrokerCore::new(b, book, network.clone(), true), NoProtocol))
+            .collect();
+        let mut c0 = ClientNode::new(ClientId(0), book, filter.clone(), BrokerId(0));
+        let c1 = ClientNode::new(ClientId(1), book, filter.clone(), BrokerId(8));
+        c0.current_broker = None;
+        let mut nodes: Vec<TestNode> = brokers.into_iter().map(TestNode::Broker).collect();
+        nodes.push(TestNode::Client(c0));
+        nodes.push(TestNode::Client(c1));
+        let mut eng = Engine::new(nodes, fabric);
+        // Client 0 attaches at broker 0 at t=0 (initial connect).
+        eng.schedule_external(
+            SimTime::ZERO,
+            book.client_node(ClientId(0)),
+            NetMsg::Action(ClientAction::Reconnect { broker: BrokerId(0) }),
+        );
+        // Client 1 (attached statically? no - it must attach too).
+        eng.schedule_external(
+            SimTime::ZERO,
+            book.client_node(ClientId(1)),
+            NetMsg::Action(ClientAction::Reconnect { broker: BrokerId(8) }),
+        );
+        // Give the subscription time to propagate, then publish from client 1.
+        let event = crate::event::EventBuilder::new()
+            .attr("group", 5i64)
+            .build(900, ClientId(1), 0);
+        eng.schedule_external(
+            SimTime::from_secs(5),
+            book.client_node(ClientId(1)),
+            NetMsg::Action(ClientAction::Publish(event)),
+        );
+        eng.run_to_completion();
+        match eng.node(book.client_node(ClientId(0))) {
+            TestNode::Client(c) => assert_eq!(c.received.len(), 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn covering_suppresses_duplicate_propagation() {
+        // Two clients at the same broker with identical filters: the second
+        // subscription must not generate another propagation wave.
+        let network = Arc::new(Network::grid(3, 1));
+        let book = AddressBook::new(9, 2);
+        let fabric = Arc::new(GridFabric::paper_defaults(network.clone()));
+        let filter = Filter::single("group", Op::Eq, 1i64);
+        let brokers: Vec<Broker<NoProtocol>> = book
+            .brokers()
+            .map(|b| Broker::new(BrokerCore::new(b, book, network.clone(), true), NoProtocol))
+            .collect();
+        let c0 = ClientNode::new(ClientId(0), book, filter.clone(), BrokerId(0));
+        let c1 = ClientNode::new(ClientId(1), book, filter.clone(), BrokerId(0));
+        let mut nodes: Vec<TestNode> = brokers.into_iter().map(TestNode::Broker).collect();
+        nodes.push(TestNode::Client(c0));
+        nodes.push(TestNode::Client(c1));
+        let mut eng = Engine::new(nodes, fabric);
+        eng.schedule_external(
+            SimTime::ZERO,
+            book.client_node(ClientId(0)),
+            NetMsg::Action(ClientAction::Reconnect { broker: BrokerId(0) }),
+        );
+        eng.run_to_completion();
+        let first_wave = eng.stats().kind("sub_propagate").messages;
+        assert_eq!(first_wave, 8, "first subscription floods the 9-broker tree");
+        eng.schedule_external(
+            eng.now(),
+            book.client_node(ClientId(1)),
+            NetMsg::Action(ClientAction::Reconnect { broker: BrokerId(0) }),
+        );
+        eng.run_to_completion();
+        let second_wave = eng.stats().kind("sub_propagate").messages;
+        assert_eq!(
+            second_wave, first_wave,
+            "identical covered subscription must not propagate again"
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Delivery auditing.
+//!
+//! The paper claims MHH (and sub-unsub) guarantee *exactly-once, ordered*
+//! delivery to mobile clients, while home-broker "may incur the loss of some
+//! events during a handoff process". This module turns those claims into
+//! measurable quantities over the logs a simulation run produces:
+//!
+//! * **lost** — events a subscriber should have received but that are neither
+//!   delivered nor still buffered anywhere at the end of the run,
+//! * **duplicates** — extra copies delivered,
+//! * **out-of-order** — deliveries violating per-publisher order,
+//! * **pending** — matching events still sitting in a protocol queue
+//!   (the client simply had not reconnected yet; not a protocol fault).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::ClientId;
+use crate::client::DeliveryRecord;
+use crate::event::{Event, EventId};
+use crate::filter::Filter;
+
+/// The result of auditing one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryAudit {
+    /// Total (subscriber, matching event) pairs that should eventually be
+    /// delivered.
+    pub expected: u64,
+    /// Distinct (subscriber, event) deliveries observed.
+    pub delivered: u64,
+    /// Extra copies delivered beyond the first.
+    pub duplicates: u64,
+    /// Matching events still buffered in some protocol queue at the end of
+    /// the run.
+    pub pending: u64,
+    /// Matching events that are neither delivered nor buffered: real loss.
+    pub lost: u64,
+    /// Per-publisher order violations observed in delivery logs.
+    pub out_of_order: u64,
+}
+
+impl DeliveryAudit {
+    /// True when the run satisfied exactly-once, ordered delivery
+    /// (pending events are allowed — they are not lost).
+    pub fn is_reliable(&self) -> bool {
+        self.lost == 0 && self.duplicates == 0 && self.out_of_order == 0
+    }
+
+    /// Fraction of expected deliveries that were lost.
+    pub fn loss_rate(&self) -> f64 {
+        if self.expected == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.expected as f64
+        }
+    }
+}
+
+/// One subscriber's view needed by the audit.
+#[derive(Debug, Clone)]
+pub struct SubscriberLog<'a> {
+    /// The subscriber.
+    pub client: ClientId,
+    /// Its subscription.
+    pub filter: &'a Filter,
+    /// Every delivery it received, in arrival order.
+    pub deliveries: &'a [DeliveryRecord],
+}
+
+/// Audit a run.
+///
+/// * `published` — every event actually handed to a broker by a publisher;
+/// * `subscribers` — each subscriber with its filter and delivery log;
+/// * `buffered` — events still held in protocol queues at the end of the
+///   run, as `(client, event id)` pairs.
+pub fn audit(
+    published: &[Event],
+    subscribers: &[SubscriberLog<'_>],
+    buffered: &[(ClientId, EventId)],
+) -> DeliveryAudit {
+    let mut buffered_by_client: BTreeMap<ClientId, BTreeSet<EventId>> = BTreeMap::new();
+    for (c, e) in buffered {
+        buffered_by_client.entry(*c).or_default().insert(*e);
+    }
+
+    let mut result = DeliveryAudit::default();
+
+    for sub in subscribers {
+        // What this subscriber should get: every published event matching its
+        // filter, except its own publications (reverse path forwarding never
+        // returns an event to its source).
+        let expected: BTreeSet<EventId> = published
+            .iter()
+            .filter(|e| e.publisher != sub.client && sub.filter.matches(e))
+            .map(|e| e.id)
+            .collect();
+        result.expected += expected.len() as u64;
+
+        // Count deliveries and duplicates.
+        let mut seen: BTreeSet<EventId> = BTreeSet::new();
+        for d in sub.deliveries {
+            if !seen.insert(d.event) {
+                result.duplicates += 1;
+            }
+        }
+        let delivered_expected = expected.intersection(&seen).count() as u64;
+        result.delivered += delivered_expected;
+
+        // Classify the remainder as pending or lost.
+        let empty = BTreeSet::new();
+        let buffered_here = buffered_by_client.get(&sub.client).unwrap_or(&empty);
+        for missing in expected.difference(&seen) {
+            if buffered_here.contains(missing) {
+                result.pending += 1;
+            } else {
+                result.lost += 1;
+            }
+        }
+
+        // Per-publisher ordering: the sequence numbers delivered from one
+        // publisher must be strictly increasing in delivery order.
+        let mut last_seq: BTreeMap<ClientId, u64> = BTreeMap::new();
+        let mut dup_guard: BTreeSet<EventId> = BTreeSet::new();
+        for d in sub.deliveries {
+            if !dup_guard.insert(d.event) {
+                continue; // duplicates already counted; don't double-count order
+            }
+            if let Some(&prev) = last_seq.get(&d.publisher) {
+                if d.seq <= prev {
+                    result.out_of_order += 1;
+                }
+            }
+            last_seq.insert(d.publisher, d.seq);
+        }
+    }
+
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventBuilder;
+    use crate::filter::Op;
+    use mhh_simnet::SimTime;
+
+    fn ev(id: u64, publisher: u32, seq: u64, group: i64) -> Event {
+        EventBuilder::new()
+            .attr("group", group)
+            .build(id, ClientId(publisher), seq)
+    }
+
+    fn delivery(id: u64, publisher: u32, seq: u64, at_ms: u64) -> DeliveryRecord {
+        DeliveryRecord {
+            at: SimTime::from_millis(at_ms),
+            event: EventId(id),
+            publisher: ClientId(publisher),
+            seq,
+            published_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn perfect_run_is_reliable() {
+        let published = vec![ev(1, 9, 0, 1), ev(2, 9, 1, 1), ev(3, 9, 2, 2)];
+        let filter = Filter::single("group", Op::Eq, 1i64);
+        let deliveries = vec![delivery(1, 9, 0, 10), delivery(2, 9, 1, 20)];
+        let subs = [SubscriberLog {
+            client: ClientId(0),
+            filter: &filter,
+            deliveries: &deliveries,
+        }];
+        let audit = audit(&published, &subs, &[]);
+        assert_eq!(audit.expected, 2);
+        assert_eq!(audit.delivered, 2);
+        assert!(audit.is_reliable());
+        assert_eq!(audit.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn missing_event_is_lost_unless_buffered() {
+        let published = vec![ev(1, 9, 0, 1), ev(2, 9, 1, 1)];
+        let filter = Filter::single("group", Op::Eq, 1i64);
+        let deliveries = vec![delivery(1, 9, 0, 10)];
+        let subs = [SubscriberLog {
+            client: ClientId(0),
+            filter: &filter,
+            deliveries: &deliveries,
+        }];
+        let lost = audit(&published, &subs, &[]);
+        assert_eq!(lost.lost, 1);
+        assert!(!lost.is_reliable());
+        assert!(lost.loss_rate() > 0.0);
+
+        let pending = audit(&published, &subs, &[(ClientId(0), EventId(2))]);
+        assert_eq!(pending.lost, 0);
+        assert_eq!(pending.pending, 1);
+        assert!(pending.is_reliable());
+    }
+
+    #[test]
+    fn duplicates_are_counted() {
+        let published = vec![ev(1, 9, 0, 1)];
+        let filter = Filter::single("group", Op::Eq, 1i64);
+        let deliveries = vec![delivery(1, 9, 0, 10), delivery(1, 9, 0, 20)];
+        let subs = [SubscriberLog {
+            client: ClientId(0),
+            filter: &filter,
+            deliveries: &deliveries,
+        }];
+        let a = audit(&published, &subs, &[]);
+        assert_eq!(a.duplicates, 1);
+        assert_eq!(a.delivered, 1);
+        assert!(!a.is_reliable());
+    }
+
+    #[test]
+    fn out_of_order_detected_per_publisher() {
+        let published = vec![ev(1, 9, 0, 1), ev(2, 9, 1, 1), ev(3, 7, 0, 1)];
+        let filter = Filter::single("group", Op::Eq, 1i64);
+        // Publisher 9's events delivered in reverse order; publisher 7 fine.
+        let deliveries = vec![delivery(2, 9, 1, 10), delivery(1, 9, 0, 20), delivery(3, 7, 0, 30)];
+        let subs = [SubscriberLog {
+            client: ClientId(0),
+            filter: &filter,
+            deliveries: &deliveries,
+        }];
+        let a = audit(&published, &subs, &[]);
+        assert_eq!(a.out_of_order, 1);
+        assert!(!a.is_reliable());
+    }
+
+    #[test]
+    fn own_publications_are_not_expected() {
+        let published = vec![ev(1, 0, 0, 1)];
+        let filter = Filter::single("group", Op::Eq, 1i64);
+        let subs = [SubscriberLog {
+            client: ClientId(0),
+            filter: &filter,
+            deliveries: &[],
+        }];
+        let a = audit(&published, &subs, &[]);
+        assert_eq!(a.expected, 0);
+        assert!(a.is_reliable());
+    }
+
+    #[test]
+    fn non_matching_events_are_not_expected() {
+        let published = vec![ev(1, 9, 0, 2)];
+        let filter = Filter::single("group", Op::Eq, 1i64);
+        let subs = [SubscriberLog {
+            client: ClientId(0),
+            filter: &filter,
+            deliveries: &[],
+        }];
+        assert_eq!(audit(&published, &subs, &[]).expected, 0);
+    }
+}

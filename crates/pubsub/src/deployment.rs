@@ -1,0 +1,245 @@
+//! Deployment helpers: build a complete simulated pub/sub system (brokers +
+//! clients + engine) for a given mobility protocol.
+//!
+//! The evaluation harness (`mhh-mobsim`), the protocol crates' own tests and
+//! the examples all need the same boilerplate: a grid [`Network`], one
+//! [`Broker`] per base station, a set of [`ClientNode`]s with their
+//! subscriptions pre-installed, and an [`Engine`] over the union of the two
+//! node populations. [`Deployment`] packages that.
+
+use std::sync::Arc;
+
+use mhh_simnet::{Context, Engine, Envelope, GridFabric, Network, Node, SimDuration, SimTime};
+
+use crate::address::{AddressBook, BrokerId, ClientId};
+use crate::broker::{install_subscription, Broker, BrokerCore, MobilityProtocol};
+use crate::client::ClientNode;
+use crate::event::Event;
+use crate::filter::Filter;
+use crate::messages::{ClientAction, NetMsg};
+
+/// Either a broker or a client, so one engine can hold the whole system.
+pub enum SimNode<P: MobilityProtocol> {
+    /// An event broker.
+    Broker(Broker<P>),
+    /// A (possibly mobile) client.
+    Client(ClientNode),
+}
+
+impl<P: MobilityProtocol> SimNode<P> {
+    /// The broker inside, if this node is a broker.
+    pub fn as_broker(&self) -> Option<&Broker<P>> {
+        match self {
+            SimNode::Broker(b) => Some(b),
+            SimNode::Client(_) => None,
+        }
+    }
+
+    /// The client inside, if this node is a client.
+    pub fn as_client(&self) -> Option<&ClientNode> {
+        match self {
+            SimNode::Broker(_) => None,
+            SimNode::Client(c) => Some(c),
+        }
+    }
+}
+
+impl<P: MobilityProtocol> Node<NetMsg<P::Msg>> for SimNode<P> {
+    fn on_message(&mut self, env: Envelope<NetMsg<P::Msg>>, ctx: &mut Context<NetMsg<P::Msg>>) {
+        match self {
+            SimNode::Broker(b) => b.on_message(env, ctx),
+            SimNode::Client(c) => c.on_message(env, ctx),
+        }
+    }
+}
+
+/// Configuration of a deployment.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Grid side length (k ⇒ k² brokers).
+    pub grid_side: usize,
+    /// Seed for the overlay tree construction.
+    pub seed: u64,
+    /// Wired per-hop latency (paper: 10 ms).
+    pub wired_latency: SimDuration,
+    /// Wireless link latency (paper: 20 ms).
+    pub wireless_latency: SimDuration,
+    /// Whether brokers apply the covering optimisation.
+    pub covering: bool,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            grid_side: 3,
+            seed: 1,
+            wired_latency: SimDuration::from_millis(10),
+            wireless_latency: SimDuration::from_millis(20),
+            covering: true,
+        }
+    }
+}
+
+/// A fully-built simulated pub/sub system, ready to run.
+pub struct Deployment<P: MobilityProtocol> {
+    /// The broker network.
+    pub network: Arc<Network>,
+    /// The address book.
+    pub book: AddressBook,
+    /// The engine holding all broker and client nodes.
+    pub engine: Engine<NetMsg<P::Msg>, SimNode<P>>,
+}
+
+/// Description of one client to create.
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// Subscription filter.
+    pub filter: Filter,
+    /// Initial (home) broker.
+    pub home: BrokerId,
+    /// Whether the client is in the mobile 20 %.
+    pub mobile: bool,
+}
+
+impl<P: MobilityProtocol> Deployment<P> {
+    /// Build a deployment. `make_protocol` constructs one protocol instance
+    /// per broker, `clients` describes the client population; every client is
+    /// attached to its home broker with its subscription pre-installed
+    /// everywhere (no warm-up messages).
+    pub fn build(
+        config: &DeploymentConfig,
+        clients: &[ClientSpec],
+        mut make_protocol: impl FnMut(BrokerId) -> P,
+    ) -> Self {
+        let network = Arc::new(Network::grid(config.grid_side, config.seed));
+        let broker_count = network.broker_count();
+        let book = AddressBook::new(broker_count, clients.len());
+        let fabric = Arc::new(GridFabric::new(
+            network.clone(),
+            config.wired_latency,
+            config.wireless_latency,
+        ));
+
+        let mut brokers: Vec<Broker<P>> = book
+            .brokers()
+            .map(|b| {
+                Broker::new(
+                    BrokerCore::new(b, book, network.clone(), config.covering),
+                    make_protocol(b),
+                )
+            })
+            .collect();
+
+        let mut client_nodes = Vec::with_capacity(clients.len());
+        for (i, spec) in clients.iter().enumerate() {
+            let id = ClientId(i as u32);
+            install_subscription(&mut brokers, &network, id, &spec.filter, spec.home, true);
+            let mut node = ClientNode::new(id, book, spec.filter.clone(), spec.home);
+            node.attach_initially();
+            node.mobile = spec.mobile;
+            client_nodes.push(node);
+        }
+
+        let mut nodes: Vec<SimNode<P>> = brokers.into_iter().map(SimNode::Broker).collect();
+        nodes.extend(client_nodes.into_iter().map(SimNode::Client));
+        Deployment {
+            network,
+            book,
+            engine: Engine::new(nodes, fabric),
+        }
+    }
+
+    /// Schedule a client action at an absolute time.
+    pub fn schedule(&mut self, at: SimTime, client: ClientId, action: ClientAction) {
+        self.engine
+            .schedule_external(at, self.book.client_node(client), NetMsg::Action(action));
+    }
+
+    /// Schedule a publish action.
+    pub fn schedule_publish(&mut self, at: SimTime, client: ClientId, event: Event) {
+        self.schedule(at, client, ClientAction::Publish(event));
+    }
+
+    /// Borrow a broker.
+    pub fn broker(&self, id: BrokerId) -> &Broker<P> {
+        self.engine
+            .node(self.book.broker_node(id))
+            .as_broker()
+            .expect("broker node ids map to brokers")
+    }
+
+    /// Borrow a client.
+    pub fn client(&self, id: ClientId) -> &ClientNode {
+        self.engine
+            .node(self.book.client_node(id))
+            .as_client()
+            .expect("client node ids map to clients")
+    }
+
+    /// Iterate over all brokers.
+    pub fn brokers(&self) -> impl Iterator<Item = &Broker<P>> {
+        self.engine.nodes().filter_map(SimNode::as_broker)
+    }
+
+    /// Iterate over all clients.
+    pub fn clients(&self) -> impl Iterator<Item = &ClientNode> {
+        self.engine.nodes().filter_map(SimNode::as_client)
+    }
+
+    /// All events still buffered by the mobility protocol across brokers, as
+    /// `(client, event id)` pairs (for the delivery audit).
+    pub fn buffered_events(&self) -> Vec<(ClientId, crate::event::EventId)> {
+        self.brokers()
+            .flat_map(|b| b.proto.buffered_events())
+            .map(|(c, e)| (c, e.id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::NoProtocol;
+    use crate::event::EventBuilder;
+    use crate::filter::Op;
+
+    fn specs(n: usize, brokers: usize) -> Vec<ClientSpec> {
+        (0..n)
+            .map(|i| ClientSpec {
+                filter: Filter::single("group", Op::Eq, 1i64),
+                home: BrokerId((i % brokers) as u32),
+                mobile: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_wires_everything_up() {
+        let config = DeploymentConfig::default();
+        let clients = specs(5, 9);
+        let dep: Deployment<NoProtocol> = Deployment::build(&config, &clients, |_| NoProtocol);
+        assert_eq!(dep.book.broker_count(), 9);
+        assert_eq!(dep.book.client_count(), 5);
+        assert_eq!(dep.engine.node_count(), 14);
+        assert_eq!(dep.clients().count(), 5);
+        assert_eq!(dep.brokers().count(), 9);
+        assert!(dep.client(ClientId(0)).current_broker.is_some());
+    }
+
+    #[test]
+    fn scheduled_publish_is_delivered_to_all_other_subscribers() {
+        let config = DeploymentConfig::default();
+        let clients = specs(6, 9);
+        let mut dep: Deployment<NoProtocol> = Deployment::build(&config, &clients, |_| NoProtocol);
+        let event = EventBuilder::new().attr("group", 1i64).build(1, ClientId(2), 0);
+        dep.schedule_publish(SimTime::from_millis(1), ClientId(2), event);
+        dep.engine.run_to_completion();
+        for c in dep.clients() {
+            if c.id == ClientId(2) {
+                assert!(c.received.is_empty());
+            } else {
+                assert_eq!(c.received.len(), 1, "client {} missed the event", c.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Events: the notifications published into the system.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use mhh_simnet::SimTime;
+
+use crate::address::ClientId;
+use crate::value::Value;
+
+/// Globally unique event identifier, assigned by the publisher side
+/// (workload generator or example application).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId(pub u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The immutable payload of an event. Shared behind an [`Arc`] so that
+/// forwarding an event across many overlay hops never copies attribute data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventData {
+    /// Attribute name/value pairs. Events carry few attributes, so linear
+    /// lookup is faster than a map and keeps the type compact.
+    pub attrs: Vec<(String, Value)>,
+}
+
+/// A published event.
+///
+/// The identity fields needed for the paper's delivery guarantees travel by
+/// value: `publisher` and `seq` give the per-publisher order ("publisher
+/// order of events", footnote 1 of the paper), `id` gives exactly-once
+/// accounting, `published_at` records publication time for delay metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Event {
+    /// Globally unique id.
+    pub id: EventId,
+    /// The client that published the event.
+    pub publisher: ClientId,
+    /// Per-publisher sequence number (strictly increasing per publisher).
+    pub seq: u64,
+    /// Simulation time at which the event was published.
+    pub published_at: SimTime,
+    /// Shared attribute payload.
+    pub data: Arc<EventData>,
+}
+
+impl Event {
+    /// Build an event from attribute pairs.
+    pub fn new(
+        id: EventId,
+        publisher: ClientId,
+        seq: u64,
+        attrs: Vec<(String, Value)>,
+    ) -> Self {
+        Event {
+            id,
+            publisher,
+            seq,
+            published_at: SimTime::ZERO,
+            data: Arc::new(EventData { attrs }),
+        }
+    }
+
+    /// Look up an attribute by name.
+    pub fn get(&self, attr: &str) -> Option<&Value> {
+        self.data
+            .attrs
+            .iter()
+            .find(|(name, _)| name == attr)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the event carries the named attribute.
+    pub fn has(&self, attr: &str) -> bool {
+        self.get(attr).is_some()
+    }
+
+    /// Number of attributes.
+    pub fn attr_count(&self) -> usize {
+        self.data.attrs.len()
+    }
+
+    /// Return a copy of the event stamped with a publication time (used by
+    /// the client node at the moment of publication).
+    pub fn stamped(mut self, at: SimTime) -> Self {
+        self.published_at = at;
+        self
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for Event {}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{} #{}]", self.id, self.publisher, self.seq)
+    }
+}
+
+/// Convenience builder used by tests and examples.
+#[derive(Debug, Default, Clone)]
+pub struct EventBuilder {
+    attrs: Vec<(String, Value)>,
+}
+
+impl EventBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an attribute.
+    pub fn attr(mut self, name: &str, value: impl Into<Value>) -> Self {
+        self.attrs.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Finish, assigning identity fields.
+    pub fn build(self, id: u64, publisher: ClientId, seq: u64) -> Event {
+        Event::new(EventId(id), publisher, seq, self.attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        EventBuilder::new()
+            .attr("group", 3i64)
+            .attr("price", 12.5f64)
+            .attr("symbol", "ACME")
+            .build(1, ClientId(7), 4)
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let e = sample();
+        assert_eq!(e.get("group"), Some(&Value::Int(3)));
+        assert_eq!(e.get("symbol"), Some(&Value::Str("ACME".into())));
+        assert_eq!(e.get("missing"), None);
+        assert!(e.has("price"));
+        assert_eq!(e.attr_count(), 3);
+    }
+
+    #[test]
+    fn identity_equality_ignores_payload() {
+        let a = sample();
+        let mut b = sample();
+        b.seq = 99;
+        assert_eq!(a, b, "events compare by id");
+    }
+
+    #[test]
+    fn cloning_shares_payload() {
+        let a = sample();
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+    }
+
+    #[test]
+    fn stamping_sets_publication_time() {
+        let e = sample().stamped(SimTime::from_millis(25));
+        assert_eq!(e.published_at, SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn display_mentions_publisher_and_seq() {
+        assert_eq!(format!("{}", sample()), "e1[C7 #4]");
+    }
+}

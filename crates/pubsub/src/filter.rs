@@ -1,0 +1,417 @@
+//! Content filters: conjunctions of attribute constraints, with matching and
+//! the *covering* relation.
+//!
+//! Covering (a filter `F` covers `G` when every event matching `G` also
+//! matches `F`) is the optimisation SIENA-style brokers use to suppress
+//! redundant subscription propagation; the paper notes it is the reason the
+//! sub-unsub protocol's overhead grows sub-linearly with the network size
+//! (Section 5.2). Our covering check is *sound but conservative*: when it
+//! returns `true` covering definitely holds; it may return `false` for some
+//! semantically-covering pairs, which only costs extra propagation, never
+//! correctness. A property test asserts the soundness direction.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::Event;
+use crate::value::Value;
+
+/// Comparison operator of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Attribute equals the value.
+    Eq,
+    /// Attribute differs from the value.
+    Ne,
+    /// Attribute is strictly less than the value.
+    Lt,
+    /// Attribute is less than or equal to the value.
+    Le,
+    /// Attribute is strictly greater than the value.
+    Gt,
+    /// Attribute is greater than or equal to the value.
+    Ge,
+    /// Attribute exists (value ignored).
+    Exists,
+    /// Attribute is a string starting with the given prefix.
+    Prefix,
+}
+
+/// A single attribute constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Attribute name.
+    pub attr: String,
+    /// Operator.
+    pub op: Op,
+    /// Comparison value.
+    pub value: Value,
+}
+
+impl Constraint {
+    /// Build a constraint.
+    pub fn new(attr: &str, op: Op, value: impl Into<Value>) -> Self {
+        Constraint {
+            attr: attr.to_string(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Does the event satisfy this constraint?
+    pub fn matches(&self, event: &Event) -> bool {
+        let Some(actual) = event.get(&self.attr) else {
+            return false;
+        };
+        self.matches_value(actual)
+    }
+
+    /// Does a concrete attribute value satisfy this constraint?
+    pub fn matches_value(&self, actual: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        match self.op {
+            Op::Exists => true,
+            Op::Eq => actual.eq_value(&self.value),
+            Op::Ne => {
+                // Ne is only meaningful between comparable values; an
+                // incomparable pair is "different" for matching purposes.
+                !actual.eq_value(&self.value)
+            }
+            Op::Lt => matches!(actual.partial_cmp_value(&self.value), Some(Less)),
+            Op::Le => matches!(actual.partial_cmp_value(&self.value), Some(Less | Equal)),
+            Op::Gt => matches!(actual.partial_cmp_value(&self.value), Some(Greater)),
+            Op::Ge => matches!(actual.partial_cmp_value(&self.value), Some(Greater | Equal)),
+            Op::Prefix => match (actual.as_str(), self.value.as_str()) {
+                (Some(a), Some(p)) => a.starts_with(p),
+                _ => false,
+            },
+        }
+    }
+
+    /// Conservative implication check: does satisfying `self` imply
+    /// satisfying `other`? Used for covering. Only constraints on the same
+    /// attribute can imply each other.
+    pub fn implies(&self, other: &Constraint) -> bool {
+        use std::cmp::Ordering::*;
+        if self.attr != other.attr {
+            return false;
+        }
+        // Anything on the attribute implies Exists.
+        if other.op == Op::Exists {
+            return true;
+        }
+        let cmp = self.value.partial_cmp_value(&other.value);
+        match (self.op, other.op) {
+            (Op::Eq, _) => {
+                // x == v implies any predicate that v itself satisfies.
+                other.matches_value(&self.value)
+            }
+            (Op::Ne, Op::Ne) => matches!(cmp, Some(Equal)),
+            (Op::Gt, Op::Gt) => matches!(cmp, Some(Greater | Equal)),
+            (Op::Gt, Op::Ge) => matches!(cmp, Some(Greater | Equal)),
+            (Op::Ge, Op::Ge) => matches!(cmp, Some(Greater | Equal)),
+            (Op::Ge, Op::Gt) => matches!(cmp, Some(Greater)),
+            (Op::Lt, Op::Lt) => matches!(cmp, Some(Less | Equal)),
+            (Op::Lt, Op::Le) => matches!(cmp, Some(Less | Equal)),
+            (Op::Le, Op::Le) => matches!(cmp, Some(Less | Equal)),
+            (Op::Le, Op::Lt) => matches!(cmp, Some(Less)),
+            (Op::Gt, Op::Ne) | (Op::Lt, Op::Ne) => {
+                // x > v implies x != w when w <= v; x < v implies x != w when w >= v.
+                match (self.op, cmp) {
+                    (Op::Gt, Some(Greater | Equal)) => true,
+                    (Op::Lt, Some(Less | Equal)) => true,
+                    _ => false,
+                }
+            }
+            (Op::Prefix, Op::Prefix) => {
+                // "abc*" implies "ab*"
+                match (self.value.as_str(), other.value.as_str()) {
+                    (Some(mine), Some(theirs)) => mine.starts_with(theirs),
+                    _ => false,
+                }
+            }
+            (Op::Prefix, Op::Ne) => match (self.value.as_str(), other.value.as_str()) {
+                // "abc*" implies x != s whenever s does NOT start with "abc"
+                (Some(prefix), Some(excluded)) => !excluded.starts_with(prefix),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            Op::Eq => "=",
+            Op::Ne => "!=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+            Op::Exists => "exists",
+            Op::Prefix => "starts-with",
+        };
+        if self.op == Op::Exists {
+            write!(f, "{} exists", self.attr)
+        } else {
+            write!(f, "{} {} {}", self.attr, op, self.value)
+        }
+    }
+}
+
+/// A conjunctive content filter: an event matches when every constraint is
+/// satisfied. The empty filter matches everything.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Filter {
+    /// The conjunction of constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl Filter {
+    /// The filter that matches every event.
+    pub fn match_all() -> Self {
+        Filter::default()
+    }
+
+    /// Build a filter from constraints.
+    pub fn new(constraints: Vec<Constraint>) -> Self {
+        Filter { constraints }
+    }
+
+    /// Single-constraint convenience constructor.
+    pub fn single(attr: &str, op: Op, value: impl Into<Value>) -> Self {
+        Filter::new(vec![Constraint::new(attr, op, value)])
+    }
+
+    /// Add another constraint (builder style).
+    pub fn and(mut self, attr: &str, op: Op, value: impl Into<Value>) -> Self {
+        self.constraints.push(Constraint::new(attr, op, value));
+        self
+    }
+
+    /// Does the event satisfy the filter?
+    pub fn matches(&self, event: &Event) -> bool {
+        self.constraints.iter().all(|c| c.matches(event))
+    }
+
+    /// Conservative covering check: does `self` cover `other`, i.e. does
+    /// every event matching `other` match `self`?
+    ///
+    /// Rule: for every constraint of `self` there must be a constraint of
+    /// `other` that implies it. (Sound: if the check passes, any event
+    /// matching all of `other`'s constraints satisfies each of `self`'s.)
+    pub fn covers(&self, other: &Filter) -> bool {
+        self.constraints
+            .iter()
+            .all(|mine| other.constraints.iter().any(|theirs| theirs.implies(mine)))
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True for the match-all filter.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.constraints.is_empty() {
+            return write!(f, "(*)");
+        }
+        let parts: Vec<String> = self.constraints.iter().map(|c| c.to_string()).collect();
+        write!(f, "({})", parts.join(" AND "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::ClientId;
+    use crate::event::EventBuilder;
+
+    fn quote(group: i64, price: f64, symbol: &str) -> Event {
+        EventBuilder::new()
+            .attr("group", group)
+            .attr("price", price)
+            .attr("symbol", symbol)
+            .build(1, ClientId(0), 0)
+    }
+
+    #[test]
+    fn matching_basic_operators() {
+        let e = quote(3, 99.5, "ACME");
+        assert!(Filter::single("group", Op::Eq, 3i64).matches(&e));
+        assert!(!Filter::single("group", Op::Eq, 4i64).matches(&e));
+        assert!(Filter::single("price", Op::Gt, 50.0).matches(&e));
+        assert!(Filter::single("price", Op::Le, 99.5).matches(&e));
+        assert!(!Filter::single("price", Op::Lt, 99.5).matches(&e));
+        assert!(Filter::single("symbol", Op::Prefix, "AC").matches(&e));
+        assert!(!Filter::single("symbol", Op::Prefix, "XY").matches(&e));
+        assert!(Filter::single("symbol", Op::Exists, 0i64).matches(&e));
+        assert!(Filter::single("symbol", Op::Ne, "OTHER").matches(&e));
+        assert!(!Filter::single("missing", Op::Exists, 0i64).matches(&e));
+    }
+
+    #[test]
+    fn conjunction_requires_all_constraints() {
+        let e = quote(3, 99.5, "ACME");
+        let f = Filter::single("group", Op::Eq, 3i64).and("price", Op::Ge, 100.0);
+        assert!(!f.matches(&e));
+        let g = Filter::single("group", Op::Eq, 3i64).and("price", Op::Ge, 99.0);
+        assert!(g.matches(&e));
+    }
+
+    #[test]
+    fn match_all_matches_everything() {
+        let e = quote(1, 1.0, "X");
+        assert!(Filter::match_all().matches(&e));
+        assert!(Filter::match_all().is_empty());
+    }
+
+    #[test]
+    fn covering_identical_filters() {
+        let f = Filter::single("group", Op::Eq, 3i64);
+        assert!(f.covers(&f.clone()));
+    }
+
+    #[test]
+    fn covering_wider_range_covers_narrower() {
+        let wide = Filter::single("price", Op::Ge, 10.0);
+        let narrow = Filter::single("price", Op::Ge, 50.0);
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+        let eq = Filter::single("price", Op::Eq, 60.0);
+        assert!(wide.covers(&eq));
+        assert!(!eq.covers(&wide));
+    }
+
+    #[test]
+    fn covering_fewer_constraints_cover_more() {
+        let wide = Filter::single("group", Op::Eq, 3i64);
+        let narrow = Filter::single("group", Op::Eq, 3i64).and("price", Op::Gt, 10.0);
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+        assert!(Filter::match_all().covers(&narrow));
+    }
+
+    #[test]
+    fn covering_prefix_relation() {
+        let wide = Filter::single("symbol", Op::Prefix, "AC");
+        let narrow = Filter::single("symbol", Op::Prefix, "ACME");
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+    }
+
+    #[test]
+    fn covering_is_sound_on_examples() {
+        // Whenever covers() says yes, matching must propagate.
+        let pairs = vec![
+            (
+                Filter::single("price", Op::Ge, 10.0),
+                Filter::single("price", Op::Gt, 10.0),
+            ),
+            (
+                Filter::single("price", Op::Lt, 100.0),
+                Filter::single("price", Op::Le, 50.0),
+            ),
+            (
+                Filter::single("group", Op::Ne, 9i64),
+                Filter::single("group", Op::Eq, 3i64),
+            ),
+        ];
+        let events: Vec<Event> = (0..200)
+            .map(|i| quote(i % 16, i as f64, if i % 2 == 0 { "ACME" } else { "ZETA" }))
+            .collect();
+        for (wide, narrow) in pairs {
+            assert!(wide.covers(&narrow), "{wide} should cover {narrow}");
+            for e in &events {
+                if narrow.matches(e) {
+                    assert!(wide.matches(e), "{wide} must match whatever {narrow} matches");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = Filter::single("group", Op::Eq, 3i64).and("price", Op::Ge, 10.0);
+        assert_eq!(format!("{f}"), "(group = 3 AND price >= 10)");
+        assert_eq!(format!("{}", Filter::match_all()), "(*)");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::address::ClientId;
+    use crate::event::EventBuilder;
+    use proptest::prelude::*;
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            Just(Op::Eq),
+            Just(Op::Ne),
+            Just(Op::Lt),
+            Just(Op::Le),
+            Just(Op::Gt),
+            Just(Op::Ge),
+            Just(Op::Exists),
+        ]
+    }
+
+    fn arb_constraint() -> impl Strategy<Value = Constraint> {
+        (arb_op(), -20i64..20, prop_oneof![Just("a"), Just("b"), Just("c")])
+            .prop_map(|(op, v, attr)| Constraint::new(attr, op, v))
+    }
+
+    fn arb_filter() -> impl Strategy<Value = Filter> {
+        proptest::collection::vec(arb_constraint(), 0..4).prop_map(Filter::new)
+    }
+
+    fn arb_event() -> impl Strategy<Value = Event> {
+        (-20i64..20, -20i64..20, -20i64..20).prop_map(|(a, b, c)| {
+            EventBuilder::new()
+                .attr("a", a)
+                .attr("b", b)
+                .attr("c", c)
+                .build(0, ClientId(0), 0)
+        })
+    }
+
+    proptest! {
+        /// Soundness of covering: if F covers G then every event matching G
+        /// matches F.
+        #[test]
+        fn covering_soundness(f in arb_filter(), g in arb_filter(), e in arb_event()) {
+            if f.covers(&g) && g.matches(&e) {
+                prop_assert!(f.matches(&e));
+            }
+        }
+
+        /// Soundness of constraint implication.
+        #[test]
+        fn implication_soundness(c1 in arb_constraint(), c2 in arb_constraint(), e in arb_event()) {
+            if c1.implies(&c2) && c1.matches(&e) {
+                prop_assert!(c2.matches(&e));
+            }
+        }
+
+        /// Covering is reflexive.
+        #[test]
+        fn covering_reflexive(f in arb_filter()) {
+            prop_assert!(f.covers(&f));
+        }
+
+        /// The match-all filter covers everything.
+        #[test]
+        fn match_all_covers_all(f in arb_filter()) {
+            prop_assert!(Filter::match_all().covers(&f));
+        }
+    }
+}

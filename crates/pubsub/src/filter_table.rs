@@ -1,0 +1,309 @@
+//! The per-broker filter table.
+//!
+//! Section 3 of the paper: "Each event broker maintains a filter table to
+//! record the subscriptions of its neighbors. [...] The filter table of a
+//! broker can be represented as the set {(nb, f)}, where each pair means that
+//! neighbor nb is interested in the events that satisfy the filter f."
+//!
+//! Two extensions required by the protocols are supported:
+//!
+//! * **accept-only-from labels** — MHH marks a client entry with a neighbor
+//!   label meaning "only accept events for this client when they arrive from
+//!   that neighbor" (paper, Section 4.1 steps 2–3); matching honours the
+//!   label;
+//! * per-entry bookkeeping helpers used by subscription propagation with the
+//!   optional covering optimisation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::Peer;
+use crate::event::Event;
+use crate::filter::Filter;
+
+/// One `(neighbor, filter)` entry, optionally labeled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterEntry {
+    /// The interested neighbor (broker or client).
+    pub peer: Peer,
+    /// The filter the neighbor is interested in.
+    pub filter: Filter,
+    /// MHH accept-only-from label: when set, events for this entry are only
+    /// accepted when they arrive from the given neighbor.
+    pub accept_only_from: Option<Peer>,
+}
+
+/// The filter table of a broker.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FilterTable {
+    entries: Vec<FilterEntry>,
+}
+
+impl FilterTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over all entries.
+    pub fn entries(&self) -> impl Iterator<Item = &FilterEntry> {
+        self.entries.iter()
+    }
+
+    /// Add an unlabeled entry. Duplicate `(peer, filter)` pairs are ignored
+    /// (the table is a set).
+    pub fn add(&mut self, peer: Peer, filter: Filter) -> bool {
+        self.add_labeled(peer, filter, None)
+    }
+
+    /// Add an entry with an accept-only-from label.
+    /// Returns `true` when the entry was actually inserted.
+    pub fn add_labeled(&mut self, peer: Peer, filter: Filter, label: Option<Peer>) -> bool {
+        if self
+            .entries
+            .iter()
+            .any(|e| e.peer == peer && e.filter == filter)
+        {
+            return false;
+        }
+        self.entries.push(FilterEntry {
+            peer,
+            filter,
+            accept_only_from: label,
+        });
+        true
+    }
+
+    /// Remove the `(peer, filter)` entry. Returns `true` when present.
+    pub fn remove(&mut self, peer: Peer, filter: &Filter) -> bool {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| !(e.peer == peer && &e.filter == filter));
+        self.entries.len() != before
+    }
+
+    /// Remove every entry for a peer, returning the removed filters.
+    pub fn remove_peer(&mut self, peer: Peer) -> Vec<Filter> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            if e.peer == peer {
+                removed.push(e.filter.clone());
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Whether the `(peer, filter)` entry exists.
+    pub fn contains(&self, peer: Peer, filter: &Filter) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.peer == peer && &e.filter == filter)
+    }
+
+    /// All filters registered for a peer.
+    pub fn filters_for(&self, peer: Peer) -> Vec<&Filter> {
+        self.entries
+            .iter()
+            .filter(|e| e.peer == peer)
+            .map(|e| &e.filter)
+            .collect()
+    }
+
+    /// Set (or clear) the accept-only-from label on an existing entry.
+    /// Returns `true` when the entry was found.
+    pub fn set_label(&mut self, peer: Peer, filter: &Filter, label: Option<Peer>) -> bool {
+        for e in &mut self.entries {
+            if e.peer == peer && &e.filter == filter {
+                e.accept_only_from = label;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The current label of an entry (None when unlabeled or absent).
+    pub fn label_of(&self, peer: Peer, filter: &Filter) -> Option<Peer> {
+        self.entries
+            .iter()
+            .find(|e| e.peer == peer && &e.filter == filter)
+            .and_then(|e| e.accept_only_from)
+    }
+
+    /// Reverse-path-forwarding matching: the set of neighbors an event
+    /// arriving from `from` must be handed to.
+    ///
+    /// * the neighbor the event came from is never selected (RPF),
+    /// * labeled entries only match when the event arrived from the label.
+    ///
+    /// Each peer is returned at most once even if several of its filters
+    /// match.
+    pub fn matching_targets(&self, event: &Event, from: Peer) -> Vec<Peer> {
+        let mut out: Vec<Peer> = Vec::new();
+        for e in &self.entries {
+            if e.peer == from {
+                continue;
+            }
+            if let Some(label) = e.accept_only_from {
+                if label != from {
+                    continue;
+                }
+            }
+            if e.filter.matches(event) && !out.contains(&e.peer) {
+                out.push(e.peer);
+            }
+        }
+        out
+    }
+
+    /// Is there an entry from a peer other than `except` whose filter covers
+    /// `filter`? Used by the covering optimisation to decide whether a new
+    /// subscription needs to be propagated to a neighbor, and whether an
+    /// unsubscription may be suppressed.
+    pub fn covered_by_other(&self, filter: &Filter, except: Peer) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.peer != except && e.filter.covers(filter))
+    }
+
+    /// Is there an entry from a peer other than `except` whose filter equals
+    /// or covers `filter`, *ignoring* labels? Used when deciding whether an
+    /// unsubscription must be forwarded.
+    pub fn still_needed_by_other(&self, filter: &Filter, except: Peer) -> bool {
+        self.covered_by_other(filter, except)
+    }
+
+    /// All client peers that currently have at least one entry.
+    pub fn client_peers(&self) -> Vec<Peer> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            if matches!(e.peer, Peer::Client(_)) && !out.contains(&e.peer) {
+                out.push(e.peer);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::{BrokerId, ClientId};
+    use crate::event::EventBuilder;
+    use crate::filter::Op;
+
+    fn ev(group: i64) -> Event {
+        EventBuilder::new()
+            .attr("group", group)
+            .build(1, ClientId(0), 0)
+    }
+
+    fn f(group: i64) -> Filter {
+        Filter::single("group", Op::Eq, group)
+    }
+
+    const B1: Peer = Peer::Broker(BrokerId(1));
+    const B2: Peer = Peer::Broker(BrokerId(2));
+    const C1: Peer = Peer::Client(ClientId(1));
+
+    #[test]
+    fn add_remove_contains() {
+        let mut t = FilterTable::new();
+        assert!(t.add(B1, f(3)));
+        assert!(!t.add(B1, f(3)), "duplicates are ignored");
+        assert!(t.contains(B1, &f(3)));
+        assert!(!t.contains(B2, &f(3)));
+        assert!(t.remove(B1, &f(3)));
+        assert!(!t.remove(B1, &f(3)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn matching_respects_rpf() {
+        let mut t = FilterTable::new();
+        t.add(B1, f(3));
+        t.add(B2, f(3));
+        t.add(C1, f(3));
+        // Event arriving from B1 goes to B2 and C1 but never back to B1.
+        let targets = t.matching_targets(&ev(3), B1);
+        assert_eq!(targets, vec![B2, C1]);
+        // Non-matching event goes nowhere.
+        assert!(t.matching_targets(&ev(4), B1).is_empty());
+    }
+
+    #[test]
+    fn matching_respects_labels() {
+        let mut t = FilterTable::new();
+        t.add(B1, f(3));
+        t.add_labeled(C1, f(3), Some(B1));
+        // From B1 the labeled client entry is accepted.
+        assert_eq!(t.matching_targets(&ev(3), B1), vec![C1]);
+        // From B2 the labeled entry is skipped; B1's broker entry matches.
+        assert_eq!(t.matching_targets(&ev(3), B2), vec![B1]);
+    }
+
+    #[test]
+    fn label_set_and_clear() {
+        let mut t = FilterTable::new();
+        t.add(C1, f(3));
+        assert_eq!(t.label_of(C1, &f(3)), None);
+        assert!(t.set_label(C1, &f(3), Some(B2)));
+        assert_eq!(t.label_of(C1, &f(3)), Some(B2));
+        assert!(t.set_label(C1, &f(3), None));
+        assert_eq!(t.label_of(C1, &f(3)), None);
+        assert!(!t.set_label(B1, &f(3), Some(B2)), "absent entry");
+    }
+
+    #[test]
+    fn peer_deduplication_in_targets() {
+        let mut t = FilterTable::new();
+        t.add(B2, f(3));
+        t.add(B2, Filter::match_all());
+        let targets = t.matching_targets(&ev(3), B1);
+        assert_eq!(targets, vec![B2], "peer appears once even with two matching filters");
+    }
+
+    #[test]
+    fn remove_peer_returns_filters() {
+        let mut t = FilterTable::new();
+        t.add(C1, f(1));
+        t.add(C1, f(2));
+        t.add(B1, f(1));
+        let removed = t.remove_peer(C1);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.client_peers(), Vec::<Peer>::new());
+    }
+
+    #[test]
+    fn covered_by_other_uses_covering() {
+        let mut t = FilterTable::new();
+        t.add(B1, Filter::single("price", Op::Ge, 10.0));
+        let narrow = Filter::single("price", Op::Ge, 50.0);
+        assert!(t.covered_by_other(&narrow, B2));
+        assert!(
+            !t.covered_by_other(&narrow, B1),
+            "the only covering entry is excluded"
+        );
+    }
+
+    #[test]
+    fn filters_for_lists_per_peer() {
+        let mut t = FilterTable::new();
+        t.add(C1, f(1));
+        t.add(C1, f(2));
+        assert_eq!(t.filters_for(C1).len(), 2);
+        assert!(t.filters_for(B1).is_empty());
+    }
+}

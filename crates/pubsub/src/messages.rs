@@ -1,0 +1,209 @@
+//! The on-wire message set.
+//!
+//! A single enum, [`NetMsg`], covers client↔broker and broker↔broker
+//! traffic. It is generic over the mobility protocol's own message type so
+//! that MHH, sub-unsub and home-broker all reuse the same broker/client/engine
+//! machinery while contributing their protocol-specific messages through the
+//! [`ProtocolMessage`] trait.
+
+use serde::{Deserialize, Serialize};
+
+use mhh_simnet::{Message, TrafficClass};
+
+use crate::address::{BrokerId, ClientId};
+use crate::event::Event;
+use crate::filter::Filter;
+
+/// Trait implemented by a mobility protocol's message enum.
+pub trait ProtocolMessage: Clone + std::fmt::Debug {
+    /// Short label for traffic breakdowns (e.g. `"sub_migration"`).
+    fn kind(&self) -> &'static str;
+    /// Traffic class for the overhead metric. Protocol control messages are
+    /// [`TrafficClass::MobilityControl`]; moved events are
+    /// [`TrafficClass::MobilityTransfer`].
+    fn traffic_class(&self) -> TrafficClass;
+}
+
+/// Information a client presents when it (re)connects to a broker.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConnectInfo {
+    /// The connecting client.
+    pub client: ClientId,
+    /// The client's subscription filter.
+    pub filter: Filter,
+    /// The client's home broker (used by the home-broker baseline).
+    pub home_broker: BrokerId,
+    /// The broker the client last visited, if any ("we require that each
+    /// client maintains the identifier of its last-visited broker", §4.2).
+    pub last_broker: Option<BrokerId>,
+    /// True for the very first attachment (no handoff needed).
+    pub initial: bool,
+}
+
+/// Pre-scheduled workload actions delivered to client nodes as timers.
+#[derive(Debug, Clone)]
+pub enum ClientAction {
+    /// Publish the given event now (skipped when the client is disconnected).
+    Publish(Event),
+    /// Disconnect from the current broker. When `proclaimed_dest` is set the
+    /// client announces its destination broker (proclaimed move, §4.1);
+    /// otherwise it leaves silently (§4.2).
+    Disconnect {
+        /// The announced destination, for a proclaimed move.
+        proclaimed_dest: Option<BrokerId>,
+    },
+    /// Reconnect at the given broker.
+    Reconnect {
+        /// The broker the client attaches to.
+        broker: BrokerId,
+    },
+}
+
+/// The complete message set transported by the simulation engine.
+#[derive(Debug, Clone)]
+pub enum NetMsg<P> {
+    // ------------------------------------------------------------------
+    // client -> broker
+    // ------------------------------------------------------------------
+    /// A client attaches to this broker.
+    Connect(ConnectInfo),
+    /// A client detaches from this broker.
+    Disconnect {
+        /// The detaching client.
+        client: ClientId,
+        /// Destination broker for a proclaimed move.
+        proclaimed_dest: Option<BrokerId>,
+    },
+    /// A client publishes an event through this broker.
+    Publish(Event),
+
+    // ------------------------------------------------------------------
+    // broker -> client
+    // ------------------------------------------------------------------
+    /// Final delivery of an event to a connected subscriber.
+    Deliver(Event),
+
+    // ------------------------------------------------------------------
+    // broker <-> broker
+    // ------------------------------------------------------------------
+    /// Subscription propagation along the overlay tree.
+    SubPropagate {
+        /// The propagated filter.
+        filter: Filter,
+        /// True when the propagation was triggered by a handoff (counts as
+        /// mobility overhead).
+        mobility: bool,
+    },
+    /// Unsubscription propagation along the overlay tree.
+    UnsubPropagate {
+        /// The withdrawn filter.
+        filter: Filter,
+        /// True when triggered by a handoff.
+        mobility: bool,
+    },
+    /// Event forwarding along the overlay tree (reverse path forwarding).
+    Forward(Event),
+    /// A mobility-protocol-specific message.
+    Protocol(P),
+
+    // ------------------------------------------------------------------
+    // self-scheduled (timers, workload injection) — never traverse links
+    // ------------------------------------------------------------------
+    /// A pre-scheduled client action (workload driver).
+    Action(ClientAction),
+}
+
+impl<P: ProtocolMessage> Message for NetMsg<P> {
+    fn traffic_class(&self) -> TrafficClass {
+        match self {
+            NetMsg::Connect(_) | NetMsg::Disconnect { .. } | NetMsg::Publish(_) => {
+                TrafficClass::ClientControl
+            }
+            NetMsg::Deliver(_) => TrafficClass::EventDelivery,
+            NetMsg::SubPropagate { mobility, .. } | NetMsg::UnsubPropagate { mobility, .. } => {
+                if *mobility {
+                    TrafficClass::MobilityControl
+                } else {
+                    TrafficClass::Subscription
+                }
+            }
+            NetMsg::Forward(_) => TrafficClass::EventRouting,
+            NetMsg::Protocol(p) => p.traffic_class(),
+            NetMsg::Action(_) => TrafficClass::Timer,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            NetMsg::Connect(_) => "connect",
+            NetMsg::Disconnect { .. } => "disconnect",
+            NetMsg::Publish(_) => "publish",
+            NetMsg::Deliver(_) => "deliver",
+            NetMsg::SubPropagate { .. } => "sub_propagate",
+            NetMsg::UnsubPropagate { .. } => "unsub_propagate",
+            NetMsg::Forward(_) => "forward",
+            NetMsg::Protocol(p) => p.kind(),
+            NetMsg::Action(_) => "action",
+        }
+    }
+}
+
+/// A trivial protocol message type for tests and for running the substrate
+/// without any mobility support ("static" pub/sub).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NoProtocolMsg {}
+
+impl ProtocolMessage for NoProtocolMsg {
+    fn kind(&self) -> &'static str {
+        match *self {}
+    }
+    fn traffic_class(&self) -> TrafficClass {
+        match *self {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventBuilder;
+    use crate::filter::Op;
+
+    fn ev() -> Event {
+        EventBuilder::new().attr("group", 1i64).build(1, ClientId(0), 0)
+    }
+
+    #[test]
+    fn traffic_classes_follow_message_role() {
+        type M = NetMsg<NoProtocolMsg>;
+        let publish: M = NetMsg::Publish(ev());
+        assert_eq!(publish.traffic_class(), TrafficClass::ClientControl);
+        let deliver: M = NetMsg::Deliver(ev());
+        assert_eq!(deliver.traffic_class(), TrafficClass::EventDelivery);
+        let fwd: M = NetMsg::Forward(ev());
+        assert_eq!(fwd.traffic_class(), TrafficClass::EventRouting);
+        let sub: M = NetMsg::SubPropagate {
+            filter: Filter::single("group", Op::Eq, 1i64),
+            mobility: false,
+        };
+        assert_eq!(sub.traffic_class(), TrafficClass::Subscription);
+        let sub_mob: M = NetMsg::SubPropagate {
+            filter: Filter::match_all(),
+            mobility: true,
+        };
+        assert_eq!(sub_mob.traffic_class(), TrafficClass::MobilityControl);
+        let action: M = NetMsg::Action(ClientAction::Reconnect { broker: BrokerId(0) });
+        assert_eq!(action.traffic_class(), TrafficClass::Timer);
+    }
+
+    #[test]
+    fn kinds_are_stable_labels() {
+        type M = NetMsg<NoProtocolMsg>;
+        let m: M = NetMsg::Publish(ev());
+        assert_eq!(m.kind(), "publish");
+        let m: M = NetMsg::UnsubPropagate {
+            filter: Filter::match_all(),
+            mobility: true,
+        };
+        assert_eq!(m.kind(), "unsub_propagate");
+    }
+}

@@ -1,0 +1,207 @@
+//! Event queues.
+//!
+//! Section 4 of the paper defines two queue types:
+//!
+//! > "1) Persistent Queue (PQ): to store potentially large number of events
+//! > for a considerably long period; 2) Temporary Queue (TQ): to temporarily
+//! > store events during the handoff period."
+//!
+//! Both are FIFO event buffers; the distinction matters for protocol
+//! bookkeeping (a broker keeps at most one PQ chain element per client plus
+//! at most one TQ per in-flight handoff), so the queue carries its kind and a
+//! unique [`PqId`] used by the distributed PQ-list of Section 4.3.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::{BrokerId, ClientId};
+use crate::event::Event;
+
+/// Whether a queue is persistent or temporary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// Long-lived storage for a disconnected client.
+    Persistent,
+    /// Short-lived capture of in-transit events during a handoff.
+    Temporary,
+}
+
+/// Identity of a queue inside the distributed PQ-list: the broker holding it
+/// plus a per-client monotonically increasing sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PqId {
+    /// The broker that owns the queue.
+    pub broker: BrokerId,
+    /// The client the queue belongs to.
+    pub client: ClientId,
+    /// Creation sequence number (unique per client).
+    pub seq: u32,
+}
+
+impl fmt::Display for PqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PQ{}@{}/{}", self.seq, self.broker, self.client)
+    }
+}
+
+/// A FIFO buffer of events for one client.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventQueue {
+    /// Identity of the queue (used by the PQ-list).
+    pub id: PqId,
+    /// Persistent or temporary.
+    pub kind: QueueKind,
+    events: VecDeque<Event>,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new(id: PqId, kind: QueueKind) -> Self {
+        EventQueue {
+            id,
+            kind,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push_back(event);
+    }
+
+    /// Remove and return the oldest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.events.pop_front()
+    }
+
+    /// Peek at the oldest event.
+    pub fn front(&self) -> Option<&Event> {
+        self.events.front()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drain all events in FIFO order.
+    pub fn drain(&mut self) -> Vec<Event> {
+        self.events.drain(..).collect()
+    }
+
+    /// Iterate without consuming.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Append all events of another queue (used when concatenating a TQ onto
+    /// a PQ, Section 4.2: "it just appends the in-transit events [...] to the
+    /// end of PQ1").
+    pub fn append(&mut self, other: &mut EventQueue) {
+        self.events.append(&mut other.events);
+    }
+
+    /// Merge a batch of events into this queue, dropping events already
+    /// present (by id), then re-sort the whole queue by
+    /// `(publisher, per-publisher sequence)` groups while keeping global
+    /// publication-time order. This is the merge step of the *sub-unsub*
+    /// baseline ("merge the events in the two queues, delete the duplicated
+    /// events, sort them into correct order").
+    pub fn merge_dedup_sorted(&mut self, incoming: Vec<Event>) {
+        let mut all: Vec<Event> = self.events.drain(..).collect();
+        for e in incoming {
+            if !all.iter().any(|x| x.id == e.id) {
+                all.push(e);
+            }
+        }
+        // Publication time is a total order consistent with per-publisher
+        // sequence numbers (a publisher publishes one event at a time), so
+        // sorting by it restores publisher order; ties broken by id for
+        // determinism.
+        all.sort_by_key(|e| (e.published_at, e.id));
+        self.events = all.into();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventBuilder;
+    use mhh_simnet::SimTime;
+
+    fn pq_id(seq: u32) -> PqId {
+        PqId {
+            broker: BrokerId(1),
+            client: ClientId(2),
+            seq,
+        }
+    }
+
+    fn ev(id: u64, publisher: u32, seq: u64, at_ms: u64) -> Event {
+        EventBuilder::new()
+            .attr("group", 1i64)
+            .build(id, ClientId(publisher), seq)
+            .stamped(SimTime::from_millis(at_ms))
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = EventQueue::new(pq_id(0), QueueKind::Persistent);
+        q.push(ev(1, 0, 0, 1));
+        q.push(ev(2, 0, 1, 2));
+        q.push(ev(3, 0, 2, 3));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().id.0, 1);
+        assert_eq!(q.front().unwrap().id.0, 2);
+        assert_eq!(q.drain().iter().map(|e| e.id.0).collect::<Vec<_>>(), vec![2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn append_concatenates_in_order() {
+        let mut pq = EventQueue::new(pq_id(0), QueueKind::Persistent);
+        let mut tq = EventQueue::new(pq_id(1), QueueKind::Temporary);
+        pq.push(ev(1, 0, 0, 1));
+        tq.push(ev(2, 0, 1, 2));
+        tq.push(ev(3, 0, 2, 3));
+        pq.append(&mut tq);
+        assert!(tq.is_empty());
+        assert_eq!(pq.iter().map(|e| e.id.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_dedup_sorted_removes_duplicates_and_orders() {
+        let mut q = EventQueue::new(pq_id(0), QueueKind::Persistent);
+        q.push(ev(10, 0, 0, 100));
+        q.push(ev(12, 0, 2, 300));
+        // Incoming overlaps (id 12) and interleaves (id 11 at t=200).
+        q.merge_dedup_sorted(vec![ev(12, 0, 2, 300), ev(11, 0, 1, 200), ev(13, 1, 0, 50)]);
+        let ids: Vec<u64> = q.iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![13, 10, 11, 12]);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn merge_preserves_per_publisher_order() {
+        let mut q = EventQueue::new(pq_id(0), QueueKind::Persistent);
+        q.push(ev(1, 7, 0, 10));
+        q.push(ev(3, 7, 2, 30));
+        q.merge_dedup_sorted(vec![ev(2, 7, 1, 20), ev(4, 7, 3, 40)]);
+        let seqs: Vec<u64> = q.iter().filter(|e| e.publisher == ClientId(7)).map(|e| e.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted);
+    }
+
+    #[test]
+    fn pq_id_display() {
+        assert_eq!(format!("{}", pq_id(4)), "PQ4@B1/C2");
+    }
+}

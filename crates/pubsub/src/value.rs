@@ -1,0 +1,170 @@
+//! Attribute values carried by events and constrained by filters.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A typed attribute value.
+///
+/// Content-based pub/sub systems such as SIENA describe events as sets of
+/// typed attribute/value pairs; we support the types the evaluation workload
+/// and the examples need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Short type name used in error/debug output.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Bool(_) => "bool",
+        }
+    }
+
+    /// Numeric view of the value, when it has one. Integers widen to `f64`
+    /// so that `Int` and `Float` attributes compare against each other the
+    /// way a subscriber would expect.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Ordering between two values when they are comparable: numerics compare
+    /// numerically (cross-type `Int`/`Float` allowed), strings
+    /// lexicographically, booleans as `false < true`. Values of incomparable
+    /// types return `None`, which makes every ordered constraint on them
+    /// evaluate to false.
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Equality that follows the same comparability rules as
+    /// [`partial_cmp_value`](Self::partial_cmp_value).
+    pub fn eq_value(&self, other: &Value) -> bool {
+        matches!(self.partial_cmp_value(other), Some(Ordering::Equal))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(
+            Value::Int(3).partial_cmp_value(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(2.5).partial_cmp_value(&Value::Int(3)),
+            Some(Ordering::Less)
+        );
+        assert!(Value::Int(3).eq_value(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn incomparable_types_return_none() {
+        assert_eq!(Value::Int(1).partial_cmp_value(&Value::Str("1".into())), None);
+        assert_eq!(Value::Bool(true).partial_cmp_value(&Value::Int(1)), None);
+        assert!(!Value::Str("x".into()).eq_value(&Value::Int(0)));
+    }
+
+    #[test]
+    fn string_and_bool_ordering() {
+        assert_eq!(
+            Value::Str("abc".into()).partial_cmp_value(&Value::Str("abd".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Bool(false).partial_cmp_value(&Value::Bool(true)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn conversions_and_views() {
+        assert_eq!(Value::from(4i64).as_f64(), Some(4.0));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::from(true).type_name(), "bool");
+        assert_eq!(Value::from(1.5f64).type_name(), "float");
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        assert_eq!(format!("{}", Value::Int(7)), "7");
+        assert_eq!(format!("{}", Value::Str("a".into())), "\"a\"");
+    }
+}

@@ -1,0 +1,545 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns a set of [`Node`]s and a future-event list. Nodes react to
+//! messages by emitting further messages through a [`Context`]; the engine
+//! stamps each outgoing message with the latency and hop count provided by
+//! the configured [`Fabric`] and delivers it at the corresponding future
+//! instant.
+//!
+//! # FIFO links
+//!
+//! The MHH correctness argument (paper, Sections 3 and 4.1) depends on FIFO
+//! message delivery per link: the `sub_migration_ack` "pushes" all in-transit
+//! events on a link ahead of it. The engine guarantees FIFO per
+//! `(from, to)` pair because (a) the latency of a pair is constant during a
+//! run and (b) ties in delivery time are broken by the global send sequence
+//! number, which increases monotonically. A property test in this module
+//! checks the guarantee directly.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use crate::fabric::Fabric;
+use crate::ids::NodeId;
+use crate::stats::{Message, TrafficStats};
+use crate::time::{SimDuration, SimTime};
+
+/// A message in flight, as seen by the receiving node.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// The sender (equal to the destination for timers and injected actions).
+    pub from: NodeId,
+    /// The destination node.
+    pub to: NodeId,
+    /// When the message was sent.
+    pub sent_at: SimTime,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Behaviour of a simulated node.
+pub trait Node<M: Message> {
+    /// Handle one delivered message. All outgoing traffic goes through `ctx`.
+    fn on_message(&mut self, env: Envelope<M>, ctx: &mut Context<M>);
+}
+
+/// Per-delivery context handed to a node: lets the node read the clock and
+/// queue outgoing messages/timers. The engine drains it after the callback.
+#[derive(Debug)]
+pub struct Context<M> {
+    now: SimTime,
+    self_id: NodeId,
+    outbox: Vec<Outgoing<M>>,
+}
+
+#[derive(Debug)]
+enum Outgoing<M> {
+    Send { to: NodeId, msg: M },
+    Timer { delay: SimDuration, msg: M },
+}
+
+impl<M> Context<M> {
+    fn new(now: SimTime, self_id: NodeId) -> Self {
+        Context {
+            now,
+            self_id,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node currently executing.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Send a message to another node (delivered after the fabric latency).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push(Outgoing::Send { to, msg });
+    }
+
+    /// Schedule a message back to the executing node after `delay`.
+    /// Timers do not traverse the network and are never counted as traffic.
+    pub fn schedule(&mut self, delay: SimDuration, msg: M) {
+        self.outbox.push(Outgoing::Timer { delay, msg });
+    }
+}
+
+/// One entry of the future event list.
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Hard cap on the number of deliveries in one `run` call; exceeded caps
+    /// return [`RunOutcome::HitDeliveryLimit`] so runaway protocols surface
+    /// as test failures instead of hangs.
+    pub max_deliveries: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_deliveries: 500_000_000,
+        }
+    }
+}
+
+/// Why a `run_*` call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The future event list drained completely.
+    Drained,
+    /// The configured horizon was reached with work still pending.
+    ReachedHorizon,
+    /// The safety delivery limit was hit.
+    HitDeliveryLimit,
+}
+
+/// The discrete-event engine.
+pub struct Engine<M: Message, N: Node<M>> {
+    nodes: Vec<N>,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    now: SimTime,
+    seq: u64,
+    fabric: Arc<dyn Fabric>,
+    stats: TrafficStats,
+    config: EngineConfig,
+    delivered: u64,
+}
+
+impl<M: Message, N: Node<M>> Engine<M, N> {
+    /// Create an engine over the given nodes and fabric.
+    pub fn new(nodes: Vec<N>, fabric: Arc<dyn Fabric>) -> Self {
+        Engine {
+            nodes,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            fabric,
+            stats: TrafficStats::new(),
+            config: EngineConfig::default(),
+            delivered: 0,
+        }
+    }
+
+    /// Replace the default configuration.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node (metrics collection after a run).
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node (setup before a run).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterate over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// Traffic statistics accumulated so far.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Number of messages delivered so far (including timers).
+    pub fn deliveries(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of messages still waiting in the future event list.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Inject a message from the outside world (workload driver) to be
+    /// delivered to `to` at absolute time `at`. The `from` field of the
+    /// envelope is set to `to` itself, mirroring a local timer.
+    pub fn schedule_external(&mut self, at: SimTime, to: NodeId, msg: M) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            env: Envelope {
+                from: to,
+                to,
+                sent_at: at,
+                msg,
+            },
+        }));
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn enqueue_outgoing(&mut self, origin: NodeId, sent_at: SimTime, out: Vec<Outgoing<M>>) {
+        for o in out {
+            match o {
+                Outgoing::Send { to, msg } => {
+                    let latency = self.fabric.latency(origin, to);
+                    let hops = self.fabric.hops(origin, to);
+                    self.stats.record(msg.traffic_class(), msg.kind(), hops);
+                    let seq = self.next_seq();
+                    self.queue.push(Reverse(Scheduled {
+                        at: sent_at + latency,
+                        seq,
+                        env: Envelope {
+                            from: origin,
+                            to,
+                            sent_at,
+                            msg,
+                        },
+                    }));
+                }
+                Outgoing::Timer { delay, msg } => {
+                    let seq = self.next_seq();
+                    self.queue.push(Reverse(Scheduled {
+                        at: sent_at + delay,
+                        seq,
+                        env: Envelope {
+                            from: origin,
+                            to: origin,
+                            sent_at,
+                            msg,
+                        },
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Deliver a single message. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(next)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(next.at >= self.now, "time must be monotone");
+        self.now = next.at;
+        self.delivered += 1;
+        self.stats.deliveries += 1;
+        let to = next.env.to;
+        let mut ctx = Context::new(self.now, to);
+        self.nodes[to.index()].on_message(next.env, &mut ctx);
+        let outbox = std::mem::take(&mut ctx.outbox);
+        self.enqueue_outgoing(to, self.now, outbox);
+        true
+    }
+
+    /// Run until the future event list is empty or a limit is hit.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        let budget = self.config.max_deliveries;
+        let start = self.delivered;
+        while self.step() {
+            if self.delivered - start >= budget {
+                return RunOutcome::HitDeliveryLimit;
+            }
+        }
+        RunOutcome::Drained
+    }
+
+    /// Run until the clock passes `horizon` (events scheduled later stay in
+    /// the queue), the queue drains, or a limit is hit.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        let budget = self.config.max_deliveries;
+        let start = self.delivered;
+        loop {
+            match self.queue.peek() {
+                None => return RunOutcome::Drained,
+                Some(Reverse(next)) if next.at > horizon => return RunOutcome::ReachedHorizon,
+                Some(_) => {}
+            }
+            let progressed = self.step();
+            debug_assert!(progressed);
+            if self.delivered - start >= budget {
+                return RunOutcome::HitDeliveryLimit;
+            }
+        }
+    }
+
+    /// Consume the engine and return its parts (nodes + stats), used by the
+    /// harness to collect per-node logs after a run.
+    pub fn into_parts(self) -> (Vec<N>, TrafficStats, SimTime) {
+        (self.nodes, self.stats, self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::UniformFabric;
+    use crate::stats::TrafficClass;
+
+    /// A toy message for engine tests.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Toy {
+        Ping(u32),
+        Pong(u32),
+        Tick,
+    }
+
+    impl Message for Toy {
+        fn traffic_class(&self) -> TrafficClass {
+            match self {
+                Toy::Tick => TrafficClass::Timer,
+                _ => TrafficClass::EventRouting,
+            }
+        }
+        fn kind(&self) -> &'static str {
+            match self {
+                Toy::Ping(_) => "ping",
+                Toy::Pong(_) => "pong",
+                Toy::Tick => "tick",
+            }
+        }
+    }
+
+    /// A node that answers pings with pongs and records what it saw.
+    #[derive(Default)]
+    struct Echo {
+        seen: Vec<(SimTime, Toy)>,
+        peer: Option<NodeId>,
+        ticks: u32,
+    }
+
+    impl Node<Toy> for Echo {
+        fn on_message(&mut self, env: Envelope<Toy>, ctx: &mut Context<Toy>) {
+            self.seen.push((ctx.now(), env.msg.clone()));
+            match env.msg {
+                Toy::Ping(n) => ctx.send(env.from, Toy::Pong(n)),
+                Toy::Pong(_) => {}
+                Toy::Tick => {
+                    self.ticks += 1;
+                    if let Some(peer) = self.peer {
+                        ctx.send(peer, Toy::Ping(self.ticks));
+                    }
+                    if self.ticks < 3 {
+                        ctx.schedule(SimDuration::from_millis(100), Toy::Tick);
+                    }
+                }
+            }
+        }
+    }
+
+    fn two_node_engine(latency_ms: u64) -> Engine<Toy, Echo> {
+        let fabric = Arc::new(UniformFabric::new(SimDuration::from_millis(latency_ms)));
+        let mut a = Echo::default();
+        a.peer = Some(NodeId(1));
+        let b = Echo::default();
+        Engine::new(vec![a, b], fabric)
+    }
+
+    #[test]
+    fn ping_pong_round_trip_timing() {
+        let mut eng = two_node_engine(10);
+        eng.schedule_external(SimTime::from_millis(0), NodeId(0), Toy::Tick);
+        let outcome = eng.run_to_completion();
+        assert_eq!(outcome, RunOutcome::Drained);
+        // node 0 ticked 3 times at t=0,100,200; each tick pings node 1 (10ms)
+        // which pongs back (another 10ms).
+        let node1 = eng.node(NodeId(1));
+        assert_eq!(node1.seen.len(), 3);
+        assert_eq!(node1.seen[0].0, SimTime::from_millis(10));
+        let node0 = eng.node(NodeId(0));
+        let pongs: Vec<_> = node0
+            .seen
+            .iter()
+            .filter(|(_, m)| matches!(m, Toy::Pong(_)))
+            .collect();
+        assert_eq!(pongs.len(), 3);
+        assert_eq!(pongs[0].0, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn stats_count_network_messages_but_not_timers() {
+        let mut eng = two_node_engine(10);
+        eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+        eng.run_to_completion();
+        let stats = eng.stats();
+        assert_eq!(stats.kind("ping").messages, 3);
+        assert_eq!(stats.kind("pong").messages, 3);
+        assert_eq!(stats.class(TrafficClass::EventRouting).hops, 6);
+        // The three self-scheduled ticks travelled zero network hops and two
+        // of them (after the injected one) are recorded as Timer class.
+        assert_eq!(stats.class(TrafficClass::Timer).hops, 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut eng = two_node_engine(10);
+        eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+        let outcome = eng.run_until(SimTime::from_millis(150));
+        assert_eq!(outcome, RunOutcome::ReachedHorizon);
+        assert!(eng.now() <= SimTime::from_millis(150));
+        assert!(eng.pending() > 0);
+        // Finishing afterwards drains the rest.
+        assert_eq!(eng.run_to_completion(), RunOutcome::Drained);
+    }
+
+    #[test]
+    fn delivery_limit_guards_runaway() {
+        // Node 0 pings node 1 forever because every pong triggers a new ping.
+        struct Loopy;
+        impl Node<Toy> for Loopy {
+            fn on_message(&mut self, env: Envelope<Toy>, ctx: &mut Context<Toy>) {
+                match env.msg {
+                    Toy::Ping(n) => ctx.send(env.from, Toy::Pong(n)),
+                    Toy::Pong(n) => ctx.send(env.from, Toy::Ping(n + 1)),
+                    Toy::Tick => ctx.send(NodeId(1), Toy::Ping(0)),
+                }
+            }
+        }
+        let fabric = Arc::new(UniformFabric::new(SimDuration::from_millis(1)));
+        let mut eng = Engine::new(vec![Loopy, Loopy], fabric).with_config(EngineConfig {
+            max_deliveries: 1_000,
+        });
+        eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+        assert_eq!(eng.run_to_completion(), RunOutcome::HitDeliveryLimit);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut eng = two_node_engine(1);
+        eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+        eng.run_to_completion();
+        eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+    }
+
+    #[test]
+    fn fifo_per_link_holds_for_bursts() {
+        // Node 0 sends 100 pings to node 1 back-to-back; they must arrive in
+        // send order.
+        struct Burst;
+        impl Node<Toy> for Burst {
+            fn on_message(&mut self, env: Envelope<Toy>, ctx: &mut Context<Toy>) {
+                if let Toy::Tick = env.msg {
+                    for i in 0..100 {
+                        ctx.send(NodeId(1), Toy::Ping(i));
+                    }
+                }
+            }
+        }
+        struct Sink {
+            got: Vec<u32>,
+        }
+        impl Node<Toy> for Sink {
+            fn on_message(&mut self, env: Envelope<Toy>, _ctx: &mut Context<Toy>) {
+                if let Toy::Ping(i) = env.msg {
+                    self.got.push(i);
+                }
+            }
+        }
+        enum Either {
+            B(Burst),
+            S(Sink),
+        }
+        impl Node<Toy> for Either {
+            fn on_message(&mut self, env: Envelope<Toy>, ctx: &mut Context<Toy>) {
+                match self {
+                    Either::B(b) => b.on_message(env, ctx),
+                    Either::S(s) => s.on_message(env, ctx),
+                }
+            }
+        }
+        let fabric = Arc::new(UniformFabric::new(SimDuration::from_millis(7)));
+        let mut eng = Engine::new(
+            vec![Either::B(Burst), Either::S(Sink { got: Vec::new() })],
+            fabric,
+        );
+        eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+        eng.run_to_completion();
+        match eng.node(NodeId(1)) {
+            Either::S(s) => assert_eq!(s.got, (0..100).collect::<Vec<_>>()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn external_injection_preserves_order_at_same_time() {
+        struct Sink {
+            got: Vec<u32>,
+        }
+        impl Node<Toy> for Sink {
+            fn on_message(&mut self, env: Envelope<Toy>, _ctx: &mut Context<Toy>) {
+                if let Toy::Ping(i) = env.msg {
+                    self.got.push(i);
+                }
+            }
+        }
+        let fabric = Arc::new(UniformFabric::new(SimDuration::from_millis(1)));
+        let mut eng = Engine::new(vec![Sink { got: Vec::new() }], fabric);
+        for i in 0..50 {
+            eng.schedule_external(SimTime::from_millis(5), NodeId(0), Toy::Ping(i));
+        }
+        eng.run_to_completion();
+        assert_eq!(eng.node(NodeId(0)).got, (0..50).collect::<Vec<_>>());
+    }
+}

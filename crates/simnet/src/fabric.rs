@@ -1,0 +1,196 @@
+//! Latency and hop models ("fabrics").
+//!
+//! The engine asks a [`Fabric`] for the latency and hop count of every
+//! message it transports. Two implementations are provided:
+//!
+//! * [`GridFabric`] — the paper's environment: brokers live on a k×k wired
+//!   grid (10 ms per wired hop, point-to-point messages travel the shortest
+//!   grid path), clients attach over 20 ms wireless links (one hop);
+//! * [`UniformFabric`] — every message takes a fixed latency and one hop;
+//!   used in unit tests where topology is irrelevant.
+
+use std::sync::Arc;
+
+use crate::ids::NodeId;
+use crate::time::SimDuration;
+use crate::topology::Network;
+
+/// Computes per-message latency and hop cost.
+pub trait Fabric: Send + Sync {
+    /// Latency from `from` to `to`.
+    fn latency(&self, from: NodeId, to: NodeId) -> SimDuration;
+    /// Number of network hops the message traverses (for traffic accounting).
+    fn hops(&self, from: NodeId, to: NodeId) -> u32;
+}
+
+/// Fixed-latency fabric for unit tests: every message takes `latency` and
+/// one hop.
+#[derive(Debug, Clone)]
+pub struct UniformFabric {
+    /// Latency applied to every message.
+    pub latency: SimDuration,
+}
+
+impl UniformFabric {
+    /// Create a uniform fabric with the given per-message latency.
+    pub fn new(latency: SimDuration) -> Self {
+        UniformFabric { latency }
+    }
+}
+
+impl Fabric for UniformFabric {
+    fn latency(&self, _from: NodeId, _to: NodeId) -> SimDuration {
+        self.latency
+    }
+    fn hops(&self, _from: NodeId, _to: NodeId) -> u32 {
+        1
+    }
+}
+
+/// The paper's network model.
+///
+/// Node ids `0..broker_count` are brokers placed on the grid; every id at or
+/// above `broker_count` is a (possibly mobile) client reached over a wireless
+/// link. Broker-to-broker messages travel the shortest path in the wired
+/// grid: latency = grid distance × `wired_latency`, hops = grid distance.
+/// Client links cost `wireless_latency` and one hop.
+#[derive(Clone)]
+pub struct GridFabric {
+    network: Arc<Network>,
+    broker_count: usize,
+    wired_latency: SimDuration,
+    wireless_latency: SimDuration,
+}
+
+impl GridFabric {
+    /// Build a grid fabric with the paper's default latencies
+    /// (10 ms wired, 20 ms wireless).
+    pub fn paper_defaults(network: Arc<Network>) -> Self {
+        Self::new(
+            network,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+        )
+    }
+
+    /// Build a grid fabric with explicit latencies.
+    pub fn new(network: Arc<Network>, wired: SimDuration, wireless: SimDuration) -> Self {
+        let broker_count = network.broker_count();
+        GridFabric {
+            network,
+            broker_count,
+            wired_latency: wired,
+            wireless_latency: wireless,
+        }
+    }
+
+    fn is_broker(&self, id: NodeId) -> bool {
+        id.index() < self.broker_count
+    }
+
+    /// The wired per-hop latency.
+    pub fn wired_latency(&self) -> SimDuration {
+        self.wired_latency
+    }
+
+    /// The wireless link latency.
+    pub fn wireless_latency(&self) -> SimDuration {
+        self.wireless_latency
+    }
+
+    /// The underlying broker network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+}
+
+impl Fabric for GridFabric {
+    fn latency(&self, from: NodeId, to: NodeId) -> SimDuration {
+        if from == to {
+            return SimDuration::ZERO;
+        }
+        if self.is_broker(from) && self.is_broker(to) {
+            let d = self.network.grid_distance(from.index(), to.index()) as u64;
+            self.wired_latency.times(d)
+        } else {
+            // client <-> broker (or, degenerately, client <-> client which the
+            // pub/sub layer never does): one wireless link.
+            self.wireless_latency
+        }
+    }
+
+    fn hops(&self, from: NodeId, to: NodeId) -> u32 {
+        if from == to {
+            return 0;
+        }
+        if self.is_broker(from) && self.is_broker(to) {
+            self.network.grid_distance(from.index(), to.index())
+        } else {
+            1
+        }
+    }
+}
+
+impl std::fmt::Debug for GridFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GridFabric")
+            .field("brokers", &self.broker_count)
+            .field("wired_latency", &self.wired_latency)
+            .field("wireless_latency", &self.wireless_latency)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(k: usize) -> GridFabric {
+        GridFabric::paper_defaults(Arc::new(Network::grid(k, 42)))
+    }
+
+    #[test]
+    fn uniform_fabric_is_constant() {
+        let f = UniformFabric::new(SimDuration::from_millis(5));
+        assert_eq!(f.latency(NodeId(0), NodeId(9)), SimDuration::from_millis(5));
+        assert_eq!(f.hops(NodeId(0), NodeId(9)), 1);
+    }
+
+    #[test]
+    fn broker_to_broker_uses_grid_distance() {
+        let f = fabric(5);
+        // Brokers 0 and 24 are opposite corners of a 5×5 grid: distance 8.
+        assert_eq!(f.hops(NodeId(0), NodeId(24)), 8);
+        assert_eq!(f.latency(NodeId(0), NodeId(24)), SimDuration::from_millis(80));
+        // Adjacent brokers: one hop, 10 ms.
+        assert_eq!(f.hops(NodeId(0), NodeId(1)), 1);
+        assert_eq!(f.latency(NodeId(0), NodeId(1)), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn client_links_are_wireless() {
+        let f = fabric(5);
+        // Node 25 is the first client id for a 5×5 grid.
+        assert_eq!(f.latency(NodeId(3), NodeId(25)), SimDuration::from_millis(20));
+        assert_eq!(f.latency(NodeId(25), NodeId(3)), SimDuration::from_millis(20));
+        assert_eq!(f.hops(NodeId(25), NodeId(3)), 1);
+    }
+
+    #[test]
+    fn self_messages_are_free() {
+        let f = fabric(3);
+        assert_eq!(f.latency(NodeId(4), NodeId(4)), SimDuration::ZERO);
+        assert_eq!(f.hops(NodeId(4), NodeId(4)), 0);
+    }
+
+    #[test]
+    fn latency_is_symmetric() {
+        let f = fabric(6);
+        for a in 0..10u32 {
+            for b in 0..10u32 {
+                assert_eq!(f.latency(NodeId(a), NodeId(b)), f.latency(NodeId(b), NodeId(a)));
+                assert_eq!(f.hops(NodeId(a), NodeId(b)), f.hops(NodeId(b), NodeId(a)));
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Strongly-typed node identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node managed by the simulation [`Engine`](crate::Engine).
+///
+/// Node ids are dense indices assigned by the caller when the node vector is
+/// built; the pub/sub layer maps broker ids and client ids onto disjoint
+/// ranges of node ids (see `mhh-pubsub::address`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        let id = NodeId::from(42usize);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(3) < NodeId(10));
+        assert_eq!(NodeId(7), NodeId(7));
+    }
+}

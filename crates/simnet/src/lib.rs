@@ -1,0 +1,44 @@
+//! # mhh-simnet — deterministic discrete-event network simulator
+//!
+//! This crate is the lowest substrate of the MHH reproduction. It provides
+//! everything the paper's evaluation environment needs that is *not*
+//! publish/subscribe specific:
+//!
+//! * a logical clock and strongly typed simulation time ([`SimTime`],
+//!   [`SimDuration`]),
+//! * a discrete-event engine ([`Engine`]) delivering messages between
+//!   [`Node`]s with per-link FIFO ordering — the correctness assumption the
+//!   MHH protocol relies on (paper, Section 3),
+//! * topology construction: the k×k base-station grid of Section 5.1, a
+//!   minimum spanning tree overlay, shortest-path distances and per-broker
+//!   routing tables ([`topology`]),
+//! * a latency/hop model ([`Fabric`]) with the paper's constants
+//!   (10 ms wired, 20 ms wireless),
+//! * traffic accounting by class ([`stats::TrafficStats`]) so that the
+//!   "message overhead measured in hops" metric of Section 5.1 can be
+//!   collected without instrumenting protocol code, and
+//! * small deterministic random-number utilities ([`random`]) so that every
+//!   experiment run is exactly reproducible from a seed.
+//!
+//! The simulator is intentionally single-threaded per run: determinism is a
+//! property the reproduction tests rely on. Parallelism is applied one level
+//! up (in `mhh-mobsim`) across *independent* runs using rayon, following the
+//! data-parallel style of the HPC guides.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod fabric;
+pub mod ids;
+pub mod random;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use engine::{Engine, Envelope, EngineConfig, Node, Context, RunOutcome};
+pub use fabric::{Fabric, GridFabric, UniformFabric};
+pub use ids::NodeId;
+pub use stats::{Message, TrafficClass, TrafficStats};
+pub use time::{SimDuration, SimTime};
+pub use topology::{Graph, Network, Tree};

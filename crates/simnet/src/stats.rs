@@ -1,0 +1,232 @@
+//! Traffic accounting.
+//!
+//! The paper's primary overhead metric is:
+//!
+//! > "Message overhead per handoff: the total overhead on the network traffic
+//! > caused by mobile clients divided by the number of handoff processes.
+//! > Network traffic is measured as the total hops that all messages traveled
+//! > in the network."
+//!
+//! Rather than instrumenting each protocol, the simulation engine classifies
+//! every message it transports through the [`Message`] trait and accumulates
+//! per-class hop counts here. The evaluation harness then derives
+//! "overhead caused by mobile clients" as the sum of the mobility classes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse classification of simulated traffic used for the paper's metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Event dissemination over the overlay tree toward stationary
+    /// subscription points — traffic that exists regardless of mobility.
+    EventRouting,
+    /// Final delivery of an event to a connected client over a wireless link.
+    EventDelivery,
+    /// Subscription/unsubscription propagation that is part of the *static*
+    /// system operation (initial subscriptions).
+    Subscription,
+    /// Subscription/unsubscription propagation *caused by a handoff*
+    /// (sub-unsub re-subscribe / unsubscribe waves, MHH `sub_migration`).
+    MobilityControl,
+    /// Events moved between brokers because of mobility: queue transfers,
+    /// in-transit captures, home-broker triangle forwarding.
+    MobilityTransfer,
+    /// Control messages between a client and its broker (connect, disconnect,
+    /// publish requests).
+    ClientControl,
+    /// Self-scheduled timers — not transported on any link, never counted.
+    Timer,
+}
+
+impl TrafficClass {
+    /// Whether this class counts toward the paper's "overhead caused by
+    /// mobile clients".
+    pub fn is_mobility(self) -> bool {
+        matches!(self, TrafficClass::MobilityControl | TrafficClass::MobilityTransfer)
+    }
+
+    /// Whether this class is transported on network links at all.
+    pub fn is_network(self) -> bool {
+        !matches!(self, TrafficClass::Timer)
+    }
+}
+
+/// Trait implemented by every message type transported by the engine so that
+/// traffic can be classified without the engine knowing protocol details.
+pub trait Message: Clone + std::fmt::Debug {
+    /// Classify the message for traffic accounting.
+    fn traffic_class(&self) -> TrafficClass;
+
+    /// A short human-readable kind label used in per-kind breakdowns.
+    fn kind(&self) -> &'static str {
+        "message"
+    }
+}
+
+/// Per-class counters plus a per-kind breakdown.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// messages and hops per traffic class
+    per_class: BTreeMap<TrafficClass, ClassCounter>,
+    /// messages and hops per message kind string
+    per_kind: BTreeMap<String, ClassCounter>,
+    /// Total number of engine deliveries (including timers).
+    pub deliveries: u64,
+}
+
+/// A (messages, hops) pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounter {
+    /// Number of messages recorded.
+    pub messages: u64,
+    /// Total hops traveled by those messages.
+    pub hops: u64,
+}
+
+impl TrafficStats {
+    /// Create an empty stats collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one transported message.
+    pub fn record(&mut self, class: TrafficClass, kind: &'static str, hops: u32) {
+        let c = self.per_class.entry(class).or_default();
+        c.messages += 1;
+        c.hops += hops as u64;
+        let k = self.per_kind.entry(kind.to_string()).or_default();
+        k.messages += 1;
+        k.hops += hops as u64;
+    }
+
+    /// Counter for one class.
+    pub fn class(&self, class: TrafficClass) -> ClassCounter {
+        self.per_class.get(&class).copied().unwrap_or_default()
+    }
+
+    /// Counter for one message kind.
+    pub fn kind(&self, kind: &str) -> ClassCounter {
+        self.per_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Iterate over the per-kind breakdown (sorted by kind name).
+    pub fn kinds(&self) -> impl Iterator<Item = (&str, ClassCounter)> {
+        self.per_kind.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Total hops attributable to mobility management ("overhead caused by
+    /// mobile clients" in the paper's metric).
+    pub fn mobility_hops(&self) -> u64 {
+        self.per_class
+            .iter()
+            .filter(|(c, _)| c.is_mobility())
+            .map(|(_, v)| v.hops)
+            .sum()
+    }
+
+    /// Total messages attributable to mobility management.
+    pub fn mobility_messages(&self) -> u64 {
+        self.per_class
+            .iter()
+            .filter(|(c, _)| c.is_mobility())
+            .map(|(_, v)| v.messages)
+            .sum()
+    }
+
+    /// Total hops over all network classes.
+    pub fn total_hops(&self) -> u64 {
+        self.per_class
+            .iter()
+            .filter(|(c, _)| c.is_network())
+            .map(|(_, v)| v.hops)
+            .sum()
+    }
+
+    /// Total messages over all network classes.
+    pub fn total_messages(&self) -> u64 {
+        self.per_class
+            .iter()
+            .filter(|(c, _)| c.is_network())
+            .map(|(_, v)| v.messages)
+            .sum()
+    }
+
+    /// Merge another stats collector into this one (used when aggregating
+    /// across repeated runs of the same experiment point).
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for (class, counter) in &other.per_class {
+            let c = self.per_class.entry(*class).or_default();
+            c.messages += counter.messages;
+            c.hops += counter.hops;
+        }
+        for (kind, counter) in &other.per_kind {
+            let c = self.per_kind.entry(kind.clone()).or_default();
+            c.messages += counter.messages;
+            c.hops += counter.hops;
+        }
+        self.deliveries += other.deliveries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_by_class_and_kind() {
+        let mut s = TrafficStats::new();
+        s.record(TrafficClass::MobilityControl, "sub_migration", 1);
+        s.record(TrafficClass::MobilityControl, "sub_migration", 1);
+        s.record(TrafficClass::MobilityTransfer, "pq_transfer", 5);
+        s.record(TrafficClass::EventRouting, "forward", 1);
+
+        assert_eq!(s.class(TrafficClass::MobilityControl).messages, 2);
+        assert_eq!(s.class(TrafficClass::MobilityControl).hops, 2);
+        assert_eq!(s.kind("pq_transfer").hops, 5);
+        assert_eq!(s.mobility_hops(), 7);
+        assert_eq!(s.mobility_messages(), 3);
+        assert_eq!(s.total_hops(), 8);
+        assert_eq!(s.total_messages(), 4);
+    }
+
+    #[test]
+    fn timers_never_count_as_network_traffic() {
+        let mut s = TrafficStats::new();
+        s.record(TrafficClass::Timer, "timer", 0);
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.total_hops(), 0);
+        assert!(!TrafficClass::Timer.is_network());
+    }
+
+    #[test]
+    fn mobility_classification() {
+        assert!(TrafficClass::MobilityControl.is_mobility());
+        assert!(TrafficClass::MobilityTransfer.is_mobility());
+        assert!(!TrafficClass::EventRouting.is_mobility());
+        assert!(!TrafficClass::Subscription.is_mobility());
+        assert!(!TrafficClass::EventDelivery.is_mobility());
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = TrafficStats::new();
+        a.record(TrafficClass::EventRouting, "forward", 3);
+        let mut b = TrafficStats::new();
+        b.record(TrafficClass::EventRouting, "forward", 4);
+        b.record(TrafficClass::MobilityControl, "handoff_request", 6);
+        b.deliveries = 10;
+        a.merge(&b);
+        assert_eq!(a.class(TrafficClass::EventRouting).hops, 7);
+        assert_eq!(a.mobility_hops(), 6);
+        assert_eq!(a.deliveries, 10);
+    }
+
+    #[test]
+    fn unknown_kind_is_zero() {
+        let s = TrafficStats::new();
+        assert_eq!(s.kind("nope"), ClassCounter::default());
+        assert_eq!(s.class(TrafficClass::EventDelivery), ClassCounter::default());
+    }
+}

@@ -1,0 +1,557 @@
+//! Network topology: the k×k base-station grid, minimum spanning tree
+//! overlay, shortest-path distances and per-broker routing tables.
+//!
+//! The paper's experiment setup (Section 5.1):
+//!
+//! > "we simulated a wireless network with k² base stations organized into
+//! > cells [...] The base stations are organized into k rows with each row
+//! > containing k stations. Each base station directly connects to its
+//! > neighboring stations with wired links. Any pair of stations can connect
+//! > with each other via the shortest path in the network. [...] each base
+//! > station acts as an event broker and a minimum cost spanning tree of the
+//! > network is built to serve as the acyclic overlay."
+//!
+//! Two distance notions therefore co-exist and are both provided by
+//! [`Network`]:
+//!
+//! * **grid distance** — shortest path in the physical wired network; it
+//!   determines latency and hop cost of *point-to-point* broker messages
+//!   (handoff requests, queue transfers, home-broker forwarding);
+//! * **tree structure** — the acyclic overlay used by reverse-path-forwarding
+//!   event routing and by MHH's hop-by-hop subscription migration.
+
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::random::DetRng;
+
+/// An undirected weighted graph with dense `usize` node indices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<Vec<(usize, u64)>>,
+}
+
+impl Graph {
+    /// An empty graph with `n` nodes and no edges.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            n,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Add an undirected edge with the given weight. Panics on out-of-range
+    /// endpoints or self loops (the broker overlay is simple).
+    pub fn add_edge(&mut self, a: usize, b: usize, weight: u64) {
+        assert!(a < self.n && b < self.n, "edge endpoint out of range");
+        assert_ne!(a, b, "self loops are not allowed");
+        self.adj[a].push((b, weight));
+        self.adj[b].push((a, weight));
+    }
+
+    /// Neighbors (and edge weights) of a node.
+    pub fn neighbors(&self, v: usize) -> &[(usize, u64)] {
+        &self.adj[v]
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Build the k×k grid of base stations with unit-weight wired links
+    /// between horizontally and vertically adjacent stations.
+    pub fn grid(k: usize) -> Self {
+        assert!(k >= 1, "grid needs at least one station");
+        let n = k * k;
+        let mut g = Graph::with_nodes(n);
+        for row in 0..k {
+            for col in 0..k {
+                let v = row * k + col;
+                if col + 1 < k {
+                    g.add_edge(v, v + 1, 1);
+                }
+                if row + 1 < k {
+                    g.add_edge(v, v + k, 1);
+                }
+            }
+        }
+        g
+    }
+
+    /// Build the k×k grid but perturb edge weights deterministically from a
+    /// seed. With unit weights every spanning tree of the grid is minimal;
+    /// the perturbation makes the "minimum cost spanning tree" of the paper a
+    /// specific, seed-dependent tree so that different runs exercise
+    /// different overlays while remaining replayable.
+    pub fn grid_jittered(k: usize, seed: u64) -> Self {
+        let mut rng = DetRng::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let n = k * k;
+        let mut g = Graph::with_nodes(n);
+        for row in 0..k {
+            for col in 0..k {
+                let v = row * k + col;
+                if col + 1 < k {
+                    g.add_edge(v, v + 1, 1_000 + rng.next_below(64));
+                }
+                if row + 1 < k {
+                    g.add_edge(v, v + k, 1_000 + rng.next_below(64));
+                }
+            }
+        }
+        g
+    }
+
+    /// Hop-count (unweighted) breadth-first distances from `src` to all
+    /// nodes. Unreachable nodes get `u32::MAX`.
+    pub fn bfs_distances(&self, src: usize) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            for &(w, _) in &self.adj[v] {
+                if dist[w] == u32::MAX {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// All-pairs hop-count distances (BFS from every node). Quadratic in the
+    /// node count, which is fine at the paper's scales (≤ 196 brokers).
+    pub fn all_pairs_hops(&self) -> Vec<Vec<u32>> {
+        (0..self.n).map(|v| self.bfs_distances(v)).collect()
+    }
+
+    /// True if every node is reachable from node 0 (or the graph is empty).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != u32::MAX)
+    }
+
+    /// Compute a minimum spanning tree with Prim's algorithm, returning the
+    /// tree as an adjacency structure. Panics if the graph is not connected.
+    pub fn minimum_spanning_tree(&self) -> Tree {
+        assert!(self.n > 0, "cannot build an MST of an empty graph");
+        let mut in_tree = vec![false; self.n];
+        let mut parent: Vec<Option<usize>> = vec![None; self.n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        // (Reverse(weight), tie-break node, from) — deterministic tie-breaks.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+        in_tree[0] = true;
+        let mut added = 1usize;
+        for &(w, weight) in &self.adj[0] {
+            heap.push(std::cmp::Reverse((weight, w, 0)));
+        }
+        while let Some(std::cmp::Reverse((weight, v, from))) = heap.pop() {
+            let _ = weight;
+            if in_tree[v] {
+                continue;
+            }
+            in_tree[v] = true;
+            added += 1;
+            parent[v] = Some(from);
+            adj[from].push(v);
+            adj[v].push(from);
+            for &(w, wt) in &self.adj[v] {
+                if !in_tree[w] {
+                    heap.push(std::cmp::Reverse((wt, w, v)));
+                }
+            }
+        }
+        assert_eq!(added, self.n, "graph must be connected to span it");
+        Tree { parent, adj }
+    }
+}
+
+/// A rooted spanning tree over the broker graph — the acyclic overlay of the
+/// pub/sub system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tree {
+    parent: Vec<Option<usize>>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl Tree {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Tree neighbors of a node.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Parent of a node in the rooted representation (root has `None`).
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        self.parent[v]
+    }
+
+    /// Total number of tree edges (always `len() - 1` for a spanning tree).
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Hop distances from `src` over the tree.
+    pub fn distances_from(&self, src: usize) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.adj[v] {
+                if dist[w] == u32::MAX {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// For a node `src`, compute the next tree hop toward every destination.
+    /// `next[dst]` is `src` itself when `dst == src`.
+    pub fn next_hops_from(&self, src: usize) -> Vec<usize> {
+        let n = self.len();
+        let mut next = vec![src; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[src] = true;
+        // Seed the frontier: everything reached through neighbor `nb` keeps
+        // `nb` as its first hop.
+        for &nb in &self.adj[src] {
+            visited[nb] = true;
+            next[nb] = nb;
+            queue.push_back(nb);
+        }
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.adj[v] {
+                if !visited[w] {
+                    visited[w] = true;
+                    next[w] = next[v];
+                    queue.push_back(w);
+                }
+            }
+        }
+        next
+    }
+
+    /// The unique tree path from `a` to `b`, inclusive of both endpoints.
+    pub fn path(&self, a: usize, b: usize) -> Vec<usize> {
+        if a == b {
+            return vec![a];
+        }
+        // BFS from b recording predecessors, then walk from a.
+        let n = self.len();
+        let mut pred = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        pred[b] = b;
+        queue.push_back(b);
+        while let Some(v) = queue.pop_front() {
+            if v == a {
+                break;
+            }
+            for &w in &self.adj[v] {
+                if pred[w] == usize::MAX {
+                    pred[w] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+        assert_ne!(pred[a], usize::MAX, "tree must be connected");
+        let mut path = vec![a];
+        let mut cur = a;
+        while cur != b {
+            cur = pred[cur];
+            path.push(cur);
+        }
+        path
+    }
+
+    /// The largest pairwise hop distance over the tree. This is the quantity
+    /// the sub-unsub protocol's safety interval is derived from (paper,
+    /// Section 5.1: "the maximum time for message delivery between any two
+    /// stations").
+    pub fn diameter(&self) -> u32 {
+        (0..self.len())
+            .map(|v| {
+                self.distances_from(v)
+                    .into_iter()
+                    .filter(|&d| d != u32::MAX)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A fully pre-processed broker network: physical grid + overlay tree +
+/// distance tables + per-broker routing tables.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Grid side length (k).
+    pub side: usize,
+    /// The physical wired graph.
+    pub graph: Graph,
+    /// The acyclic overlay (minimum spanning tree of the grid).
+    pub tree: Tree,
+    /// All-pairs hop distances over the physical grid.
+    pub grid_dist: Vec<Vec<u32>>,
+    /// All-pairs hop distances over the overlay tree.
+    pub tree_dist: Vec<Vec<u32>>,
+    /// `routing[src][dst]` = the overlay neighbor of `src` that is the next
+    /// hop toward `dst` (equal to `src` when `dst == src`). This is the
+    /// "routing table for the broker overlay network" of Section 3.
+    pub routing: Vec<Vec<usize>>,
+}
+
+impl Network {
+    /// Build a k×k broker network with a deterministic, seed-dependent MST
+    /// overlay.
+    pub fn grid(k: usize, seed: u64) -> Self {
+        let graph = Graph::grid_jittered(k, seed);
+        Self::from_graph(k, graph)
+    }
+
+    /// Build from an arbitrary connected graph (used by tests and the
+    /// quickstart example for tiny hand-made topologies). `side` is kept for
+    /// reporting only.
+    pub fn from_graph(side: usize, graph: Graph) -> Self {
+        assert!(graph.is_connected(), "broker network must be connected");
+        let tree = graph.minimum_spanning_tree();
+        let grid_dist = graph.all_pairs_hops();
+        let tree_dist: Vec<Vec<u32>> = (0..tree.len()).map(|v| tree.distances_from(v)).collect();
+        let routing: Vec<Vec<usize>> = (0..tree.len()).map(|v| tree.next_hops_from(v)).collect();
+        Network {
+            side,
+            graph,
+            tree,
+            grid_dist,
+            tree_dist,
+            routing,
+        }
+    }
+
+    /// Number of brokers.
+    pub fn broker_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Hop distance between two brokers over the physical grid.
+    pub fn grid_distance(&self, a: usize, b: usize) -> u32 {
+        self.grid_dist[a][b]
+    }
+
+    /// Hop distance between two brokers over the overlay tree.
+    pub fn tree_distance(&self, a: usize, b: usize) -> u32 {
+        self.tree_dist[a][b]
+    }
+
+    /// Next overlay hop from `src` toward `dst`.
+    pub fn next_hop(&self, src: usize, dst: usize) -> usize {
+        self.routing[src][dst]
+    }
+
+    /// The unique overlay path between two brokers.
+    pub fn tree_path(&self, a: usize, b: usize) -> Vec<usize> {
+        self.tree.path(a, b)
+    }
+
+    /// Maximum pairwise grid distance.
+    pub fn grid_diameter(&self) -> u32 {
+        self.grid_dist
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum pairwise overlay distance.
+    pub fn tree_diameter(&self) -> u32 {
+        self.tree_dist
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average pairwise grid distance over distinct broker pairs.
+    pub fn average_grid_distance(&self) -> f64 {
+        let n = self.broker_count();
+        if n < 2 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .grid_dist
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().enumerate().filter(move |(j, _)| *j > i))
+            .map(|(_, &d)| d as u64)
+            .sum();
+        total as f64 / (n * (n - 1) / 2) as f64
+    }
+
+    /// Average pairwise overlay distance over distinct broker pairs.
+    pub fn average_tree_distance(&self) -> f64 {
+        let n = self.broker_count();
+        if n < 2 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .tree_dist
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().enumerate().filter(move |(j, _)| *j > i))
+            .map(|(_, &d)| d as u64)
+            .sum();
+        total as f64 / (n * (n - 1) / 2) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_expected_shape() {
+        let g = Graph::grid(4);
+        assert_eq!(g.len(), 16);
+        // 2 * k * (k - 1) edges in a k×k grid
+        assert_eq!(g.edge_count(), 24);
+        assert!(g.is_connected());
+        // Corner has 2 neighbors, centre has 4.
+        assert_eq!(g.neighbors(0).len(), 2);
+        assert_eq!(g.neighbors(5).len(), 4);
+    }
+
+    #[test]
+    fn bfs_distance_is_manhattan_on_grid() {
+        let g = Graph::grid(5);
+        let d = g.bfs_distances(0);
+        // node (r, c) has index r*5+c; manhattan distance from (0,0)
+        for r in 0..5 {
+            for c in 0..5 {
+                assert_eq!(d[r * 5 + c], (r + c) as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn mst_spans_and_is_acyclic() {
+        let g = Graph::grid_jittered(6, 99);
+        let t = g.minimum_spanning_tree();
+        assert_eq!(t.len(), 36);
+        assert_eq!(t.edge_count(), 35);
+        // Connected: every node reachable from 0.
+        assert!(t.distances_from(0).iter().all(|&d| d != u32::MAX));
+    }
+
+    #[test]
+    fn tree_path_endpoints_and_adjacency() {
+        let net = Network::grid(5, 7);
+        let p = net.tree_path(0, 24);
+        assert_eq!(*p.first().unwrap(), 0);
+        assert_eq!(*p.last().unwrap(), 24);
+        for w in p.windows(2) {
+            assert!(net.tree.neighbors(w[0]).contains(&w[1]));
+        }
+        assert_eq!(p.len() as u32 - 1, net.tree_distance(0, 24));
+    }
+
+    #[test]
+    fn next_hop_lies_on_tree_path() {
+        let net = Network::grid(6, 3);
+        for src in 0..net.broker_count() {
+            for dst in 0..net.broker_count() {
+                if src == dst {
+                    assert_eq!(net.next_hop(src, dst), src);
+                    continue;
+                }
+                let hop = net.next_hop(src, dst);
+                let path = net.tree_path(src, dst);
+                assert_eq!(path[1], hop, "next hop must be second node on the path");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_distance_at_least_grid_distance() {
+        let net = Network::grid(7, 11);
+        for a in 0..net.broker_count() {
+            for b in 0..net.broker_count() {
+                assert!(net.tree_distance(a, b) >= net.grid_distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn diameters_and_averages_are_sane() {
+        let net = Network::grid(10, 1);
+        assert_eq!(net.grid_diameter(), 18); // (k-1)*2 for a grid
+        assert!(net.tree_diameter() >= net.grid_diameter());
+        let avg_grid = net.average_grid_distance();
+        let avg_tree = net.average_tree_distance();
+        assert!(avg_grid > 0.0 && avg_grid < net.grid_diameter() as f64);
+        assert!(avg_tree >= avg_grid);
+        assert!(avg_tree <= net.tree_diameter() as f64);
+    }
+
+    #[test]
+    fn single_node_network_works() {
+        let g = Graph::grid(1);
+        let net = Network::from_graph(1, g);
+        assert_eq!(net.broker_count(), 1);
+        assert_eq!(net.tree_path(0, 0), vec![0]);
+        assert_eq!(net.grid_diameter(), 0);
+        assert_eq!(net.average_grid_distance(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn self_loops_rejected() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(1, 1, 1);
+    }
+
+    #[test]
+    fn jittered_grids_differ_by_seed_but_not_shape() {
+        let a = Network::grid(6, 1);
+        let b = Network::grid(6, 2);
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        // Overlay trees usually differ across seeds; distances over the grid
+        // must be identical because weights only perturb tree choice.
+        assert_eq!(a.grid_dist, b.grid_dist);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = Network::grid(8, 5);
+        let b = Network::grid(8, 5);
+        assert_eq!(a.tree_dist, b.tree_dist);
+        assert_eq!(a.routing, b.routing);
+    }
+}

@@ -1,0 +1,92 @@
+//! Quickstart: build a small broker grid, attach a mobile subscriber and a
+//! publisher, move the subscriber with the MHH protocol and show that every
+//! event is delivered exactly once and in order.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mhh_suite::mhh::Mhh;
+use mhh_suite::pubsub::event::EventBuilder;
+use mhh_suite::pubsub::{
+    BrokerId, ClientAction, ClientId, ClientSpec, Deployment, DeploymentConfig, Filter, Op,
+};
+use mhh_suite::simnet::SimTime;
+
+fn main() {
+    // A 4×4 grid of brokers (base stations).
+    let config = DeploymentConfig {
+        grid_side: 4,
+        seed: 1,
+        ..DeploymentConfig::default()
+    };
+
+    // Client 0: a mobile subscriber interested in temperature alerts.
+    // Client 1: a stationary sensor publishing readings.
+    let alert_filter = Filter::single("kind", Op::Eq, "temperature").and("celsius", Op::Ge, 30.0);
+    let clients = vec![
+        ClientSpec {
+            filter: alert_filter.clone(),
+            home: BrokerId(0),
+            mobile: true,
+        },
+        ClientSpec {
+            filter: Filter::single("kind", Op::Eq, "none"),
+            home: BrokerId(10),
+            mobile: false,
+        },
+    ];
+    let mut dep: Deployment<Mhh> = Deployment::build(&config, &clients, |_| Mhh::new());
+
+    // The sensor publishes one reading every 200 ms; half of them are hot
+    // enough to match the subscription.
+    for i in 0..40u64 {
+        let event = EventBuilder::new()
+            .attr("kind", "temperature")
+            .attr("celsius", 20.0 + (i % 4) as f64 * 5.0)
+            .build(i, ClientId(1), i);
+        dep.schedule_publish(SimTime::from_millis(10 + i * 200), ClientId(1), event);
+    }
+
+    // The subscriber walks away from broker 0 at t = 2 s and reappears at the
+    // far corner of the grid two seconds later (a silent move).
+    dep.schedule(
+        SimTime::from_millis(2_000),
+        ClientId(0),
+        ClientAction::Disconnect { proclaimed_dest: None },
+    );
+    dep.schedule(
+        SimTime::from_millis(4_000),
+        ClientId(0),
+        ClientAction::Reconnect { broker: BrokerId(15) },
+    );
+
+    dep.engine.run_to_completion();
+
+    let subscriber = dep.client(ClientId(0));
+    println!("=== MHH quickstart ===");
+    println!("events published           : {}", dep.client(ClientId(1)).published.len());
+    println!(
+        "alerts delivered to client : {}",
+        subscriber.received.len()
+    );
+    println!("handoffs performed         : {}", subscriber.handoff_count());
+    println!(
+        "handoff delay              : {:.1} ms",
+        subscriber.handoff_delays().first().copied().unwrap_or(0.0)
+    );
+    let stats = dep.engine.stats();
+    println!(
+        "mobility traffic           : {} messages / {} hops",
+        stats.mobility_messages(),
+        stats.mobility_hops()
+    );
+
+    // Exactly-once, ordered delivery: sequence numbers from the single
+    // publisher must be strictly increasing with no duplicates.
+    let seqs: Vec<u64> = subscriber.received.iter().map(|r| r.seq).collect();
+    let mut sorted = seqs.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(seqs.len(), sorted.len(), "no duplicates");
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "publisher order preserved");
+    println!("delivery check             : exactly-once, in order ✓");
+}

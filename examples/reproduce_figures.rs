@@ -1,0 +1,70 @@
+//! Reproduce the paper's evaluation figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --example reproduce_figures            # both figures, reduced scale
+//! cargo run --release --example reproduce_figures -- fig5    # Figure 5 only
+//! cargo run --release --example reproduce_figures -- fig6    # Figure 6 only
+//! cargo run --release --example reproduce_figures -- fig5 --paper-scale
+//! ```
+//!
+//! By default the sweeps run at a reduced scale (49 brokers, 5 clients per
+//! broker) so the whole run finishes in a few minutes on a laptop while
+//! preserving the figure *shapes*; `--paper-scale` switches to the paper's
+//! full 100-broker / 1000-client environment (Figure 5) and 25–196 brokers
+//! (Figure 6), which takes considerably longer.
+//!
+//! Results are printed as tables and written as JSON next to the repository's
+//! EXPERIMENTS.md.
+
+use mhh_suite::mobsim::experiments::{FIG5_CONN_PERIODS_S, FIG6_GRID_SIDES};
+use mhh_suite::mobsim::report::{render_figure, to_json};
+use mhh_suite::mobsim::{figure5, figure6, ScenarioConfig};
+
+fn reduced_base() -> ScenarioConfig {
+    ScenarioConfig {
+        grid_side: 7,
+        clients_per_broker: 5,
+        publish_interval_s: 60.0,
+        duration_s: 900.0,
+        ..ScenarioConfig::paper_defaults()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper_scale = args.iter().any(|a| a == "--paper-scale");
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name) || (args.len() == 1 && paper_scale);
+
+    let base = if paper_scale {
+        ScenarioConfig::paper_defaults()
+    } else {
+        reduced_base()
+    };
+    println!(
+        "running with {} brokers, {} clients per broker (paper scale: {})",
+        base.broker_count(),
+        base.clients_per_broker,
+        paper_scale
+    );
+
+    if want("fig5") {
+        let conn: &[f64] = if paper_scale {
+            &FIG5_CONN_PERIODS_S
+        } else {
+            &[1.0, 10.0, 100.0, 1_000.0]
+        };
+        let fig = figure5(&base, conn);
+        println!("{}", render_figure(&fig));
+        std::fs::write("figure5.json", to_json(&fig)).expect("write figure5.json");
+        println!("wrote figure5.json");
+    }
+    if want("fig6") {
+        let sides: &[usize] = if paper_scale { &FIG6_GRID_SIDES } else { &[5, 7, 10] };
+        let fig = figure6(&base, sides);
+        println!("{}", render_figure(&fig));
+        std::fs::write("figure6.json", to_json(&fig)).expect("write figure6.json");
+        println!("wrote figure6.json");
+    }
+}

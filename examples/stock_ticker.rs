@@ -1,0 +1,132 @@
+//! Stock-ticker scenario: content-based subscriptions over a quote stream
+//! with mobile traders, comparing MHH against the two baseline protocols on
+//! the exact same workload.
+//!
+//! Traders subscribe to price ranges of specific symbols; a market-data
+//! gateway publishes quotes; traders roam between office, home and mobile
+//! base stations. The example prints, per protocol, the handoff metrics and
+//! the delivery audit — the home-broker baseline typically shows loss.
+//!
+//! Run with: `cargo run --release --example stock_ticker`
+
+use mhh_suite::baselines::{HomeBroker, SubUnsub};
+use mhh_suite::mhh::Mhh;
+use mhh_suite::pubsub::broker::MobilityProtocol;
+use mhh_suite::pubsub::delivery::{audit, SubscriberLog};
+use mhh_suite::pubsub::event::EventBuilder;
+use mhh_suite::pubsub::{
+    BrokerId, ClientAction, ClientId, ClientSpec, Deployment, DeploymentConfig, Event, Filter, Op,
+};
+use mhh_suite::simnet::{SimDuration, SimTime};
+
+const SYMBOLS: [&str; 4] = ["ACME", "GLOBEX", "INITECH", "UMBRELLA"];
+
+fn trader_specs() -> Vec<ClientSpec> {
+    // Twelve traders spread over a 5×5 metro grid; trader i watches one
+    // symbol above a price threshold. Trader 0..3 are mobile.
+    (0..12)
+        .map(|i| ClientSpec {
+            filter: Filter::single("symbol", Op::Eq, SYMBOLS[i % SYMBOLS.len()])
+                .and("price", Op::Ge, 50.0 + (i as f64 % 3.0) * 10.0),
+            home: BrokerId((i * 2 % 25) as u32),
+            mobile: i < 4,
+        })
+        .chain(std::iter::once(ClientSpec {
+            // The market-data gateway: publishes, subscribes to nothing real.
+            filter: Filter::single("symbol", Op::Eq, "NONE"),
+            home: BrokerId(12),
+            mobile: false,
+        }))
+        .collect()
+}
+
+fn quote(id: u64, seq: u64, gateway: ClientId) -> Event {
+    let symbol = SYMBOLS[(id as usize) % SYMBOLS.len()];
+    let price = 40.0 + ((id * 7919) % 600) as f64 / 10.0;
+    EventBuilder::new()
+        .attr("symbol", symbol)
+        .attr("price", price)
+        .attr("volume", ((id * 13) % 1000) as i64)
+        .build(id, gateway, seq)
+}
+
+fn drive<P: MobilityProtocol>(mut dep: Deployment<P>) -> (String, String) {
+    let gateway = ClientId(12);
+    // 600 quotes, one every 50 ms.
+    for i in 0..600u64 {
+        dep.schedule_publish(SimTime::from_millis(10 + i * 50), gateway, quote(i, i, gateway));
+    }
+    // The four mobile traders commute twice during the stream.
+    for t in 0..4u32 {
+        let c = ClientId(t);
+        for (leg, target) in [(1_u64, 6 + t), (2, 18 + t)] {
+            let leave = SimTime::from_millis(5_000 * leg + t as u64 * 400);
+            let arrive = leave + SimDuration::from_millis(1_200);
+            dep.schedule(leave, c, ClientAction::Disconnect { proclaimed_dest: None });
+            dep.schedule(arrive, c, ClientAction::Reconnect { broker: BrokerId(target) });
+        }
+    }
+    dep.engine.run_to_completion();
+
+    let published: Vec<Event> = dep.clients().flat_map(|c| c.published.clone()).collect();
+    let buffered = dep.buffered_events();
+    let logs: Vec<(ClientId, Filter, Vec<mhh_suite::pubsub::DeliveryRecord>)> = dep
+        .clients()
+        .filter(|c| c.id != gateway)
+        .map(|c| (c.id, c.filter.clone(), c.received.clone()))
+        .collect();
+    let subs: Vec<SubscriberLog<'_>> = logs
+        .iter()
+        .map(|(id, f, recs)| SubscriberLog {
+            client: *id,
+            filter: f,
+            deliveries: recs,
+        })
+        .collect();
+    let a = audit(&published, &subs, &buffered);
+
+    let handoffs: usize = dep.clients().map(|c| c.handoff_count()).sum();
+    let delays: Vec<f64> = dep.clients().flat_map(|c| c.handoff_delays()).collect();
+    let avg_delay = if delays.is_empty() {
+        0.0
+    } else {
+        delays.iter().sum::<f64>() / delays.len() as f64
+    };
+    let stats = dep.engine.stats();
+    let metrics = format!(
+        "handoffs {:2} | avg delay {:7.1} ms | mobility hops {:6} | overhead/handoff {:7.1}",
+        handoffs,
+        avg_delay,
+        stats.mobility_hops(),
+        stats.mobility_hops() as f64 / handoffs.max(1) as f64
+    );
+    let reliability = format!(
+        "expected {:5} delivered {:5} lost {:3} dup {:3} out-of-order {:3} pending {:3}",
+        a.expected, a.delivered, a.lost, a.duplicates, a.out_of_order, a.pending
+    );
+    (metrics, reliability)
+}
+
+fn main() {
+    let config = DeploymentConfig {
+        grid_side: 5,
+        seed: 99,
+        ..DeploymentConfig::default()
+    };
+    let specs = trader_specs();
+
+    println!("=== stock ticker: 25 brokers, 12 traders (4 mobile), 600 quotes ===");
+    let net = mhh_suite::simnet::Network::grid(config.grid_side, config.seed);
+    let wait = SimDuration::from_millis((net.tree_diameter() as u64 + 1) * 10);
+
+    let (m, r) = drive(Deployment::<Mhh>::build(&config, &specs, |_| Mhh::new()));
+    println!("MHH         {m}\n            {r}");
+    let (m, r) = drive(Deployment::<SubUnsub>::build(&config, &specs, |_| {
+        SubUnsub::new(wait)
+    }));
+    println!("sub-unsub   {m}\n            {r}");
+    let (m, r) = drive(Deployment::<HomeBroker>::build(&config, &specs, |_| {
+        HomeBroker::new()
+    }));
+    println!("home-broker {m}\n            {r}");
+}

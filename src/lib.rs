@@ -1,0 +1,36 @@
+//! # mhh-suite — reproduction of "MHH: A Novel Protocol for Mobility
+//! Management in Publish/Subscribe Systems" (ICPP 2007)
+//!
+//! This umbrella crate re-exports the workspace members under short names and
+//! hosts the runnable examples and the cross-crate integration tests.
+//!
+//! * [`simnet`] — deterministic discrete-event network simulator (grid
+//!   topologies, MST overlays, FIFO links, hop accounting).
+//! * [`pubsub`] — content-based publish/subscribe substrate (events, filters,
+//!   covering, filter tables, reverse-path-forwarding brokers, queues).
+//! * [`mhh`] — the paper's contribution: the multi-hop handoff protocol.
+//! * [`baselines`] — the comparison protocols: sub-unsub and home-broker.
+//! * [`mobsim`] — the evaluation harness: workloads, mobility model, metrics
+//!   and the Figure 5 / Figure 6 sweeps.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mhh_suite::mobsim::{run_scenario, Protocol, ScenarioConfig};
+//!
+//! // A small deterministic scenario (the paper-size defaults live in
+//! // `ScenarioConfig::paper_defaults()`).
+//! let config = ScenarioConfig::small();
+//! let result = run_scenario(&config, Protocol::Mhh);
+//! assert!(result.reliable(), "MHH delivers exactly-once and in order");
+//! assert!(result.handoffs > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mhh_baselines as baselines;
+pub use mhh_core as mhh;
+pub use mhh_mobsim as mobsim;
+pub use mhh_pubsub as pubsub;
+pub use mhh_simnet as simnet;

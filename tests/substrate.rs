@@ -1,0 +1,89 @@
+//! Integration tests of the substrates through the umbrella crate: static
+//! (no-mobility) pub/sub correctness and simulator invariants, plus
+//! property-based tests spanning crates.
+
+use mhh_suite::pubsub::broker::NoProtocol;
+use mhh_suite::pubsub::event::EventBuilder;
+use mhh_suite::pubsub::{
+    BrokerId, ClientId, ClientSpec, Deployment, DeploymentConfig, Filter, Op,
+};
+use mhh_suite::simnet::{Network, SimTime};
+
+use proptest::prelude::*;
+
+#[test]
+fn static_pubsub_reaches_every_matching_subscriber_on_a_large_grid() {
+    let config = DeploymentConfig {
+        grid_side: 7,
+        seed: 3,
+        ..DeploymentConfig::default()
+    };
+    // 3 clients per broker, subscribing to one of three groups.
+    let clients: Vec<ClientSpec> = (0..147)
+        .map(|i| ClientSpec {
+            filter: Filter::single("group", Op::Eq, (i % 3) as i64),
+            home: BrokerId((i % 49) as u32),
+            mobile: false,
+        })
+        .collect();
+    let mut dep: Deployment<NoProtocol> = Deployment::build(&config, &clients, |_| NoProtocol);
+    // One event per group.
+    for g in 0..3i64 {
+        let ev = EventBuilder::new()
+            .attr("group", g)
+            .build(g as u64, ClientId(100), g as u64);
+        dep.schedule_publish(SimTime::from_millis(1 + g as u64), ClientId(100), ev);
+    }
+    dep.engine.run_to_completion();
+    for c in dep.clients() {
+        let expect = if c.id == ClientId(100) { 0 } else { 1 };
+        assert_eq!(
+            c.received.len(),
+            expect,
+            "client {} (group {}) received wrong count",
+            c.id,
+            c.id.0 % 3
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Overlay routing invariant across random grid sizes and seeds: the next
+    /// hop toward any destination always lies on the unique tree path, and
+    /// following next hops always reaches the destination in exactly
+    /// tree-distance steps.
+    #[test]
+    fn routing_tables_follow_tree_paths(side in 2usize..9, seed in 0u64..1000) {
+        let net = Network::grid(side, seed);
+        let n = net.broker_count();
+        for src in 0..n {
+            for dst in 0..n {
+                let mut cur = src;
+                let mut steps = 0;
+                while cur != dst {
+                    cur = net.next_hop(cur, dst);
+                    steps += 1;
+                    prop_assert!(steps <= n, "routing loop from {src} to {dst}");
+                }
+                prop_assert_eq!(steps, net.tree_distance(src, dst) as usize);
+            }
+        }
+    }
+
+    /// The grid fabric's latency is consistent with hop counts for arbitrary
+    /// broker pairs.
+    #[test]
+    fn fabric_latency_matches_hops(side in 2usize..8, a in 0usize..36, b in 0usize..36, seed in 0u64..100) {
+        use mhh_suite::simnet::{Fabric, GridFabric, NodeId};
+        use std::sync::Arc;
+        let net = Arc::new(Network::grid(side, seed));
+        let n = net.broker_count();
+        let fabric = GridFabric::paper_defaults(net);
+        let a = NodeId((a % n) as u32);
+        let b = NodeId((b % n) as u32);
+        let hops = fabric.hops(a, b) as u64;
+        prop_assert_eq!(fabric.latency(a, b).as_micros(), hops * 10_000);
+    }
+}
