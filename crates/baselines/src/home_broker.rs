@@ -311,16 +311,24 @@ mod tests {
         dep.schedule(
             SimTime::from_millis(500),
             ClientId(0),
-            ClientAction::Disconnect { proclaimed_dest: None },
+            ClientAction::Disconnect {
+                proclaimed_dest: None,
+            },
         );
         dep.schedule(
             SimTime::from_millis(1_000),
             ClientId(0),
-            ClientAction::Reconnect { broker: BrokerId(15) },
+            ClientAction::Reconnect {
+                broker: BrokerId(15),
+            },
         );
         dep.engine.run_to_completion();
         let mobile = dep.client(ClientId(0));
-        assert!(mobile.received.len() >= 35, "most events delivered: {}", mobile.received.len());
+        assert!(
+            mobile.received.len() >= 35,
+            "most events delivered: {}",
+            mobile.received.len()
+        );
         assert_eq!(mobile.handoff_count(), 1);
         assert!(!mobile.handoff_delays().is_empty());
         // The home broker learned the foreign location and triangle-routed
@@ -337,17 +345,24 @@ mod tests {
         dep.schedule(
             SimTime::from_millis(5),
             ClientId(0),
-            ClientAction::Disconnect { proclaimed_dest: None },
+            ClientAction::Disconnect {
+                proclaimed_dest: None,
+            },
         );
         schedule_publishes(&mut dep, 20, 100);
         dep.schedule(
             SimTime::from_millis(5_000),
             ClientId(0),
-            ClientAction::Reconnect { broker: BrokerId(12) },
+            ClientAction::Reconnect {
+                broker: BrokerId(12),
+            },
         );
         dep.engine.run_to_completion();
         let a = audit_group1(&dep);
-        assert_eq!(a.lost, 0, "nothing in flight when the client is parked: {a:?}");
+        assert_eq!(
+            a.lost, 0,
+            "nothing in flight when the client is parked: {a:?}"
+        );
         let mobile = dep.client(ClientId(0));
         assert_eq!(mobile.received.len(), 20);
     }
@@ -362,12 +377,16 @@ mod tests {
         dep.schedule(
             SimTime::from_millis(5),
             ClientId(0),
-            ClientAction::Disconnect { proclaimed_dest: None },
+            ClientAction::Disconnect {
+                proclaimed_dest: None,
+            },
         );
         dep.schedule(
             SimTime::from_millis(100),
             ClientId(0),
-            ClientAction::Reconnect { broker: BrokerId(24) },
+            ClientAction::Reconnect {
+                broker: BrokerId(24),
+            },
         );
         schedule_publishes(&mut dep, 50, 20);
         // Leave right in the middle of the burst, then come back home much
@@ -375,16 +394,23 @@ mod tests {
         dep.schedule(
             SimTime::from_millis(600),
             ClientId(0),
-            ClientAction::Disconnect { proclaimed_dest: None },
+            ClientAction::Disconnect {
+                proclaimed_dest: None,
+            },
         );
         dep.schedule(
             SimTime::from_millis(2_000),
             ClientId(0),
-            ClientAction::Reconnect { broker: BrokerId(0) },
+            ClientAction::Reconnect {
+                broker: BrokerId(0),
+            },
         );
         dep.engine.run_to_completion();
         let a = audit_group1(&dep);
-        assert!(a.lost > 0, "home-broker should lose in-transit events: {a:?}");
+        assert!(
+            a.lost > 0,
+            "home-broker should lose in-transit events: {a:?}"
+        );
         // The stationary subscriber is unaffected.
         let stationary = dep.client(ClientId(2));
         assert_eq!(stationary.received.len(), 50);
@@ -396,22 +422,30 @@ mod tests {
         dep.schedule(
             SimTime::from_millis(5),
             ClientId(0),
-            ClientAction::Disconnect { proclaimed_dest: None },
+            ClientAction::Disconnect {
+                proclaimed_dest: None,
+            },
         );
         dep.schedule(
             SimTime::from_millis(100),
             ClientId(0),
-            ClientAction::Reconnect { broker: BrokerId(9) },
+            ClientAction::Reconnect {
+                broker: BrokerId(9),
+            },
         );
         dep.schedule(
             SimTime::from_millis(2_000),
             ClientId(0),
-            ClientAction::Disconnect { proclaimed_dest: None },
+            ClientAction::Disconnect {
+                proclaimed_dest: None,
+            },
         );
         dep.schedule(
             SimTime::from_millis(3_000),
             ClientId(0),
-            ClientAction::Reconnect { broker: BrokerId(0) },
+            ClientAction::Reconnect {
+                broker: BrokerId(0),
+            },
         );
         schedule_publishes(&mut dep, 30, 200);
         dep.engine.run_to_completion();

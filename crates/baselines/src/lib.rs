@@ -25,4 +25,4 @@ pub mod home_broker;
 pub mod sub_unsub;
 
 pub use home_broker::{HbMsg, HomeBroker};
-pub use sub_unsub::{SubUnsub, SuMsg};
+pub use sub_unsub::{SuMsg, SubUnsub};

@@ -158,7 +158,13 @@ impl SubUnsub {
             if Some(nb) == from {
                 continue;
             }
-            ctx.send_protocol(nb, SuMsg::LocationNotice { client, cancellation });
+            ctx.send_protocol(
+                nb,
+                SuMsg::LocationNotice {
+                    client,
+                    cancellation,
+                },
+            );
         }
     }
 
@@ -182,7 +188,9 @@ impl SubUnsub {
         client: ClientId,
         ctx: &mut BrokerCtx<'_, SuMsg>,
     ) {
-        let Some(handoff) = st.handoff.take() else { return };
+        let Some(handoff) = st.handoff.take() else {
+            return;
+        };
         let mut merged = handoff.buffer;
         merged.merge_dedup_sorted(handoff.incoming);
         if handoff.client_connected && core.is_connected(client) {
@@ -293,7 +301,10 @@ impl MobilityProtocol for SubUnsub {
             return;
         }
         if st.store.is_none() {
-            st.store = Some(EventQueue::new(core.alloc_pq_id(client), QueueKind::Persistent));
+            st.store = Some(EventQueue::new(
+                core.alloc_pq_id(client),
+                QueueKind::Persistent,
+            ));
         }
     }
 
@@ -306,13 +317,14 @@ impl MobilityProtocol for SubUnsub {
     ) {
         match msg {
             SuMsg::WaitTimer { client } => {
-                let Some(st) = self.clients.get_mut(&client) else { return };
-                let Some(handoff) = st.handoff.as_ref() else { return };
+                let Some(st) = self.clients.get_mut(&client) else {
+                    return;
+                };
+                let Some(handoff) = st.handoff.as_ref() else {
+                    return;
+                };
                 let filter = st.filter.clone();
-                ctx.send_protocol(
-                    handoff.old_broker,
-                    SuMsg::FetchQueue { client, filter },
-                );
+                ctx.send_protocol(handoff.old_broker, SuMsg::FetchQueue { client, filter });
             }
             SuMsg::FetchQueue { client, filter } => {
                 let st = self.entry(client, &filter);
@@ -333,10 +345,15 @@ impl MobilityProtocol for SubUnsub {
                 }
             }
             SuMsg::QueueTransferDone { client } => {
-                let Some(st) = self.clients.get_mut(&client) else { return };
+                let Some(st) = self.clients.get_mut(&client) else {
+                    return;
+                };
                 Self::complete_handoff(st, core, client, ctx);
             }
-            SuMsg::LocationNotice { client, cancellation } => {
+            SuMsg::LocationNotice {
+                client,
+                cancellation,
+            } => {
                 Self::flood_notice(core, client, cancellation, Some(from), ctx);
             }
         }
@@ -461,12 +478,16 @@ mod tests {
         dep.schedule(
             SimTime::from_millis(1_500),
             ClientId(0),
-            ClientAction::Disconnect { proclaimed_dest: None },
+            ClientAction::Disconnect {
+                proclaimed_dest: None,
+            },
         );
         dep.schedule(
             SimTime::from_millis(3_000),
             ClientId(0),
-            ClientAction::Reconnect { broker: BrokerId(15) },
+            ClientAction::Reconnect {
+                broker: BrokerId(15),
+            },
         );
         dep.engine.run_to_completion();
         let a = audit_group1(&dep);
@@ -476,7 +497,10 @@ mod tests {
         let delays = mobile.handoff_delays();
         assert_eq!(delays.len(), 1);
         // The client cannot be served before the safety interval elapses.
-        assert!(delays[0] >= 400.0, "delay {delays:?} must exceed the wait interval");
+        assert!(
+            delays[0] >= 400.0,
+            "delay {delays:?} must exceed the wait interval"
+        );
     }
 
     #[test]
@@ -488,12 +512,16 @@ mod tests {
         dep.schedule(
             SimTime::from_millis(2_000),
             ClientId(0),
-            ClientAction::Disconnect { proclaimed_dest: None },
+            ClientAction::Disconnect {
+                proclaimed_dest: None,
+            },
         );
         dep.schedule(
             SimTime::from_millis(2_200),
             ClientId(0),
-            ClientAction::Reconnect { broker: BrokerId(10) },
+            ClientAction::Reconnect {
+                broker: BrokerId(10),
+            },
         );
         dep.engine.run_to_completion();
         let a = audit_group1(&dep);
@@ -512,13 +540,17 @@ mod tests {
             dep.schedule(
                 SimTime::from_millis(t),
                 ClientId(0),
-                ClientAction::Disconnect { proclaimed_dest: None },
+                ClientAction::Disconnect {
+                    proclaimed_dest: None,
+                },
             );
             t += 150;
             dep.schedule(
                 SimTime::from_millis(t),
                 ClientId(0),
-                ClientAction::Reconnect { broker: BrokerId(b) },
+                ClientAction::Reconnect {
+                    broker: BrokerId(b),
+                },
             );
             t += 250;
         }
@@ -536,16 +568,22 @@ mod tests {
         dep.schedule(
             SimTime::from_millis(200),
             ClientId(0),
-            ClientAction::Disconnect { proclaimed_dest: None },
+            ClientAction::Disconnect {
+                proclaimed_dest: None,
+            },
         );
         dep.schedule(
             SimTime::from_millis(400),
             ClientId(0),
-            ClientAction::Reconnect { broker: BrokerId(8) },
+            ClientAction::Reconnect {
+                broker: BrokerId(8),
+            },
         );
         dep.engine.run_to_completion();
         let stats = dep.engine.stats();
         assert!(stats.mobility_hops() > 0);
-        assert!(stats.kind("sub_propagate").messages > 0 || stats.kind("su_fetch_queue").messages > 0);
+        assert!(
+            stats.kind("sub_propagate").messages > 0 || stats.kind("su_fetch_queue").messages > 0
+        );
     }
 }

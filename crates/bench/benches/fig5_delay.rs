@@ -15,16 +15,12 @@ fn fig5_delay(c: &mut Criterion) {
                 conn_mean_s: conn,
                 ..bench_base()
             };
-            group.bench_with_input(
-                BenchmarkId::new(proto.label(), conn),
-                &config,
-                |b, cfg| {
-                    b.iter(|| {
-                        let r = run_scenario(cfg, proto);
-                        std::hint::black_box(r.avg_handoff_delay_ms)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(proto.label(), conn), &config, |b, cfg| {
+                b.iter(|| {
+                    let r = run_scenario(cfg, proto);
+                    std::hint::black_box(r.avg_handoff_delay_ms)
+                })
+            });
         }
     }
     group.finish();

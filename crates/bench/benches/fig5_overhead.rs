@@ -16,16 +16,12 @@ fn fig5_overhead(c: &mut Criterion) {
                 conn_mean_s: conn,
                 ..bench_base()
             };
-            group.bench_with_input(
-                BenchmarkId::new(proto.label(), conn),
-                &config,
-                |b, cfg| {
-                    b.iter(|| {
-                        let r = run_scenario(cfg, proto);
-                        std::hint::black_box(r.overhead_per_handoff)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(proto.label(), conn), &config, |b, cfg| {
+                b.iter(|| {
+                    let r = run_scenario(cfg, proto);
+                    std::hint::black_box(r.overhead_per_handoff)
+                })
+            });
         }
     }
     group.finish();

@@ -1,0 +1,106 @@
+//! Benchmark of the parallel sweep runner: wall-clock per scenario point and
+//! serial vs. parallel speedup for a Figure-5-style sweep.
+//!
+//! Besides the usual printed timings, this bench emits a machine-readable
+//! `BENCH_mobility.json` (path overridable via `BENCH_MOBILITY_OUT`) so the
+//! performance trajectory can be tracked across PRs.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mhh_bench::{bench_base, BENCH_FIG5_CONN_S};
+use mhh_mobility::sweep::available_workers;
+use mhh_mobsim::experiments::figure5_with_workers;
+use mhh_mobsim::json::Json;
+use mhh_mobsim::{run_scenario, Protocol, ScenarioConfig};
+
+fn sweep_runner(c: &mut Criterion) {
+    let base = bench_base();
+    let workers = available_workers();
+
+    let mut group = c.benchmark_group("sweep_runner");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &(label, w) in &[("serial", 1usize), ("parallel", workers)] {
+        group.bench_with_input(BenchmarkId::new("figure5", label), &w, |b, &w| {
+            b.iter(|| {
+                let fig = figure5_with_workers(&base, &BENCH_FIG5_CONN_S, w);
+                std::hint::black_box(fig.points.len())
+            })
+        });
+    }
+    group.finish();
+
+    // One precise, single-shot measurement pair for the JSON trajectory file
+    // (the shim's group timings above are for humans). The serial baseline
+    // is run point by point so the same pass yields both the serial wall
+    // clock and the per-point timings; the job list and per-point config
+    // mirror `figure5_with_workers` exactly, which the byte-identity
+    // assertion below depends on.
+    let jobs: Vec<(f64, Protocol)> = BENCH_FIG5_CONN_S
+        .iter()
+        .flat_map(|&conn| Protocol::ALL.into_iter().map(move |proto| (conn, proto)))
+        .collect();
+    let t0 = Instant::now();
+    let mut per_point = Vec::with_capacity(jobs.len());
+    let mut serial_results = Vec::with_capacity(jobs.len());
+    for &(conn, protocol) in &jobs {
+        let config = ScenarioConfig {
+            conn_mean_s: conn,
+            ..base.clone()
+        }
+        .with_adaptive_duration(1.5);
+        let t = Instant::now();
+        let result = run_scenario(&config, protocol);
+        let wall_s = t.elapsed().as_secs_f64();
+        per_point.push(Json::obj(vec![
+            ("x", Json::Num(conn)),
+            ("protocol", Json::str(protocol.label())),
+            ("mobility", Json::str(config.mobility.label())),
+            ("wall_s", Json::Num(wall_s)),
+        ]));
+        serial_results.push(result);
+    }
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = figure5_with_workers(&base, &BENCH_FIG5_CONN_S, workers);
+    let parallel_s = t1.elapsed().as_secs_f64();
+    let parallel_results: Vec<_> = parallel.points.iter().map(|p| &p.result).collect();
+    assert_eq!(
+        format!("{serial_results:?}"),
+        format!("{parallel_results:?}"),
+        "parallel sweep must be byte-identical to a serial run of the same seeds"
+    );
+
+    let points = jobs.len();
+    let doc = Json::obj(vec![
+        ("bench", Json::str("sweep_runner/figure5")),
+        ("scenario_points", Json::UInt(points as u64)),
+        ("workers", Json::UInt(workers as u64)),
+        ("serial_wall_s", Json::Num(serial_s)),
+        ("parallel_wall_s", Json::Num(parallel_s)),
+        ("serial_s_per_point", Json::Num(serial_s / points as f64)),
+        (
+            "parallel_s_per_point",
+            Json::Num(parallel_s / points as f64),
+        ),
+        ("speedup", Json::Num(serial_s / parallel_s)),
+        ("per_point_wall_s", Json::Arr(per_point)),
+    ]);
+    // Benches run with CWD = the package dir; anchor the default at the
+    // workspace root so the trajectory file lands in one stable place.
+    let out = std::env::var("BENCH_MOBILITY_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mobility.json").into()
+    });
+    std::fs::write(&out, doc.pretty() + "\n").expect("write BENCH_mobility.json");
+    println!(
+        "sweep_runner: {points} points, serial {serial_s:.2}s, parallel {parallel_s:.2}s \
+         ({workers} workers, speedup {:.2}x) -> {out}",
+        serial_s / parallel_s
+    );
+}
+
+criterion_group!(benches, sweep_runner);
+criterion_main!(benches);

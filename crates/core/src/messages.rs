@@ -5,8 +5,6 @@
 //! queue-transfer messages that realise event migration and the distributed
 //! PQ-list of Section 4.3.
 
-use serde::{Deserialize, Serialize};
-
 use mhh_pubsub::{BrokerId, ClientId, Event, Filter, PqId, ProtocolMessage};
 use mhh_simnet::TrafficClass;
 
@@ -14,7 +12,7 @@ use mhh_simnet::TrafficClass;
 /// migration or to a temporary queue captured along the migration path.
 /// The destination delivers all PQ-list events first, then the TQ events,
 /// then newly-arrived events, which preserves per-publisher order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransferStage {
     /// An event from a persistent queue (the stored backlog).
     PqList,

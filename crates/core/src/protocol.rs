@@ -123,12 +123,16 @@ fn start_outbound(
 /// manifest of the remaining (remote or stopped) elements plus the
 /// `deliver_TQ` chain trigger.
 fn stream_batch(st: &mut MhhClient, core: &mut BrokerCore, client: ClientId, ctx: &mut Ctx<'_>) {
-    let Some(stream) = st.stream.as_mut() else { return };
+    let Some(stream) = st.stream.as_mut() else {
+        return;
+    };
     let dest = stream.dest;
     let mut batch: Vec<Event> = Vec::new();
     if !stream.stopped {
         while batch.len() < STREAM_BATCH {
-            let Some(&head) = stream.list.front() else { break };
+            let Some(&head) = stream.list.front() else {
+                break;
+            };
             if head.broker != core.id {
                 break;
             }
@@ -312,7 +316,10 @@ fn handle_local_resume(
     d.got_sub_migration = true;
     d.tq_done = true;
     d.remaining = Some(VecDeque::from(anchor.list));
-    d.new_q = Some(EventQueue::new(core.alloc_pq_id(client), QueueKind::Persistent));
+    d.new_q = Some(EventQueue::new(
+        core.alloc_pq_id(client),
+        QueueKind::Persistent,
+    ));
     st.dest = Some(d);
     pull_next(st, core, client, ctx);
     if st.dest.as_ref().map(|d| d.finished()).unwrap_or(false) {
@@ -366,7 +373,13 @@ impl MobilityProtocol for Mhh {
             Some(origin) => {
                 let imm = EventQueue::new(core.alloc_pq_id(client), QueueKind::Persistent);
                 let tq_buf = EventQueue::new(core.alloc_pq_id(client), QueueKind::Temporary);
-                st.dest = Some(DestState::new(origin, info.filter.clone(), true, imm, tq_buf));
+                st.dest = Some(DestState::new(
+                    origin,
+                    info.filter.clone(),
+                    true,
+                    imm,
+                    tq_buf,
+                ));
                 ctx.send_protocol(
                     origin,
                     MhhMsg::HandoffRequest {
@@ -478,7 +491,13 @@ impl MobilityProtocol for Mhh {
                         let imm = EventQueue::new(core.alloc_pq_id(client), QueueKind::Persistent);
                         let tq_buf =
                             EventQueue::new(core.alloc_pq_id(client), QueueKind::Temporary);
-                        st.dest = Some(DestState::new(origin, filter.clone(), connected, imm, tq_buf));
+                        st.dest = Some(DestState::new(
+                            origin,
+                            filter.clone(),
+                            connected,
+                            imm,
+                            tq_buf,
+                        ));
                     }
                     let d = st.dest.as_mut().expect("destination state present");
                     d.got_sub_migration = true;
@@ -498,8 +517,11 @@ impl MobilityProtocol for Mhh {
                     // capture in-transit events, acknowledge and forward.
                     let next = core.next_hop_to(dest);
                     core.filters.add(Peer::Broker(next), filter.clone());
-                    core.filters
-                        .add_labeled(Peer::Client(client), filter.clone(), Some(Peer::Broker(next)));
+                    core.filters.add_labeled(
+                        Peer::Client(client),
+                        filter.clone(),
+                        Some(Peer::Broker(next)),
+                    );
                     st.tq = Some(TqState {
                         queue: EventQueue::new(core.alloc_pq_id(client), QueueKind::Temporary),
                         next,

@@ -99,7 +99,13 @@ pub struct DestState {
 
 impl DestState {
     /// Fresh destination state.
-    pub fn new(origin: BrokerId, filter: Filter, client_connected: bool, imm: EventQueue, tq_buf: EventQueue) -> Self {
+    pub fn new(
+        origin: BrokerId,
+        filter: Filter,
+        client_connected: bool,
+        imm: EventQueue,
+        tq_buf: EventQueue,
+    ) -> Self {
         DestState {
             origin,
             client_connected,
@@ -222,7 +228,11 @@ pub fn empty_queue(id: PqId, kind: QueueKind) -> EventQueue {
 /// Convenience: a placeholder PQ id (used for destination-side buffers whose
 /// identity only matters if they end up parked).
 pub fn scratch_pq(broker: BrokerId, client: ClientId, seq: u32) -> PqId {
-    PqId { broker, client, seq }
+    PqId {
+        broker,
+        client,
+        seq,
+    }
 }
 
 #[cfg(test)]
@@ -252,7 +262,9 @@ mod tests {
             seq: 3,
         });
         assert!(taken.is_some());
-        assert!(c.take_local(scratch_pq(BrokerId(0), ClientId(0), 3)).is_none());
+        assert!(c
+            .take_local(scratch_pq(BrokerId(0), ClientId(0), 3))
+            .is_none());
     }
 
     #[test]
@@ -291,7 +303,11 @@ mod tests {
         d.pulling = None;
         // Abort with non-empty remaining still counts as done (elements stay
         // parked where they are).
-        d.remaining = Some(VecDeque::from(vec![scratch_pq(BrokerId(1), ClientId(0), 1)]));
+        d.remaining = Some(VecDeque::from(vec![scratch_pq(
+            BrokerId(1),
+            ClientId(0),
+            1,
+        )]));
         assert!(!d.pq_done());
         d.aborted = true;
         assert!(d.pq_done());

@@ -65,7 +65,11 @@ fn build(side: usize) -> Deployment<Mhh> {
 fn schedule_publishes(dep: &mut Deployment<Mhh>, start_ms: u64, every_ms: u64, count: u64) {
     for i in 0..count {
         let at = SimTime::from_millis(start_ms + i * every_ms);
-        dep.schedule_publish(at, ClientId(1), event(1000 + i, ClientId(1), i, GROUP_WATCHED));
+        dep.schedule_publish(
+            at,
+            ClientId(1),
+            event(1000 + i, ClientId(1), i, GROUP_WATCHED),
+        );
     }
 }
 
@@ -111,17 +115,24 @@ fn silent_move_is_exactly_once_and_ordered() {
     dep.schedule(
         SimTime::from_millis(1_500),
         ClientId(0),
-        ClientAction::Disconnect { proclaimed_dest: None },
+        ClientAction::Disconnect {
+            proclaimed_dest: None,
+        },
     );
     dep.schedule(
         SimTime::from_millis(3_000),
         ClientId(0),
-        ClientAction::Reconnect { broker: BrokerId(15) },
+        ClientAction::Reconnect {
+            broker: BrokerId(15),
+        },
     );
     let (dep, audit) = run_and_audit(dep);
     assert!(audit.is_reliable(), "audit: {audit:?}");
     assert_eq!(audit.lost, 0);
-    assert_eq!(audit.pending, 0, "client reconnected, nothing should stay parked");
+    assert_eq!(
+        audit.pending, 0,
+        "client reconnected, nothing should stay parked"
+    );
     // The mobile client saw a real handoff with a measured delay.
     let mobile = dep.client(ClientId(0));
     assert_eq!(mobile.handoff_count(), 1);
@@ -141,13 +152,17 @@ fn events_during_disconnection_are_stored_then_delivered_in_order() {
     dep.schedule(
         SimTime::from_millis(5),
         ClientId(0),
-        ClientAction::Disconnect { proclaimed_dest: None },
+        ClientAction::Disconnect {
+            proclaimed_dest: None,
+        },
     );
     schedule_publishes(&mut dep, 100, 50, 30);
     dep.schedule(
         SimTime::from_millis(5_000),
         ClientId(0),
-        ClientAction::Reconnect { broker: BrokerId(10) },
+        ClientAction::Reconnect {
+            broker: BrokerId(10),
+        },
     );
     let (dep, audit) = run_and_audit(dep);
     assert!(audit.is_reliable(), "audit: {audit:?}");
@@ -174,7 +189,9 @@ fn proclaimed_move_delivers_everything() {
     dep.schedule(
         SimTime::from_millis(4_000),
         ClientId(0),
-        ClientAction::Reconnect { broker: BrokerId(12) },
+        ClientAction::Reconnect {
+            broker: BrokerId(12),
+        },
     );
     let (dep, audit) = run_and_audit(dep);
     assert!(audit.is_reliable(), "audit: {audit:?}");
@@ -190,12 +207,16 @@ fn reconnect_at_same_broker_needs_no_handoff() {
     dep.schedule(
         SimTime::from_millis(500),
         ClientId(0),
-        ClientAction::Disconnect { proclaimed_dest: None },
+        ClientAction::Disconnect {
+            proclaimed_dest: None,
+        },
     );
     dep.schedule(
         SimTime::from_millis(1_500),
         ClientId(0),
-        ClientAction::Reconnect { broker: BrokerId(0) },
+        ClientAction::Reconnect {
+            broker: BrokerId(0),
+        },
     );
     let (dep, audit) = run_and_audit(dep);
     assert!(audit.is_reliable(), "audit: {audit:?}");
@@ -219,13 +240,17 @@ fn frequent_moving_keeps_exactly_once_delivery() {
         dep.schedule(
             SimTime::from_millis(t),
             ClientId(0),
-            ClientAction::Disconnect { proclaimed_dest: None },
+            ClientAction::Disconnect {
+                proclaimed_dest: None,
+            },
         );
         t += 40 + (i as u64 * 20) % 120;
         dep.schedule(
             SimTime::from_millis(t),
             ClientId(0),
-            ClientAction::Reconnect { broker: BrokerId(*b) },
+            ClientAction::Reconnect {
+                broker: BrokerId(*b),
+            },
         );
         t += 60 + (i as u64 * 37) % 160;
     }
@@ -243,7 +268,9 @@ fn client_disconnected_at_end_has_pending_not_lost_events() {
     dep.schedule(
         SimTime::from_millis(5),
         ClientId(0),
-        ClientAction::Disconnect { proclaimed_dest: None },
+        ClientAction::Disconnect {
+            proclaimed_dest: None,
+        },
     );
     schedule_publishes(&mut dep, 100, 100, 10);
     // The client never comes back.
@@ -305,7 +332,9 @@ fn concurrent_mobility_of_same_filter_clients_does_not_disturb_others() {
         dep.schedule(
             SimTime::from_millis(disc),
             cid,
-            ClientAction::Disconnect { proclaimed_dest: None },
+            ClientAction::Disconnect {
+                proclaimed_dest: None,
+            },
         );
         dep.schedule(
             SimTime::from_millis(reco),
@@ -345,12 +374,16 @@ fn handoff_rewires_filter_tables_toward_new_broker() {
     dep.schedule(
         SimTime::from_millis(300),
         ClientId(0),
-        ClientAction::Disconnect { proclaimed_dest: None },
+        ClientAction::Disconnect {
+            proclaimed_dest: None,
+        },
     );
     dep.schedule(
         SimTime::from_millis(800),
         ClientId(0),
-        ClientAction::Reconnect { broker: BrokerId(15) },
+        ClientAction::Reconnect {
+            broker: BrokerId(15),
+        },
     );
     let (dep, audit) = run_and_audit(dep);
     assert!(audit.is_reliable(), "audit: {audit:?}");
@@ -372,7 +405,11 @@ fn handoff_rewires_filter_tables_toward_new_broker() {
         if let Some(st) = b.proto.client_state(ClientId(0)) {
             assert!(st.tq.is_none(), "broker {} kept a TQ", b.core.id);
             assert!(st.dest.is_none(), "broker {} kept dest state", b.core.id);
-            assert!(st.outbound.is_none(), "broker {} kept outbound state", b.core.id);
+            assert!(
+                st.outbound.is_none(),
+                "broker {} kept outbound state",
+                b.core.id
+            );
         }
     }
 }
@@ -386,12 +423,16 @@ fn handoff_delay_scales_with_distance_not_network_diameter() {
     near.schedule(
         SimTime::from_millis(1_000),
         ClientId(0),
-        ClientAction::Disconnect { proclaimed_dest: None },
+        ClientAction::Disconnect {
+            proclaimed_dest: None,
+        },
     );
     near.schedule(
         SimTime::from_millis(1_500),
         ClientId(0),
-        ClientAction::Reconnect { broker: BrokerId(1) },
+        ClientAction::Reconnect {
+            broker: BrokerId(1),
+        },
     );
     let (near, near_audit) = run_and_audit(near);
     assert!(near_audit.is_reliable());
@@ -401,12 +442,16 @@ fn handoff_delay_scales_with_distance_not_network_diameter() {
     far.schedule(
         SimTime::from_millis(1_000),
         ClientId(0),
-        ClientAction::Disconnect { proclaimed_dest: None },
+        ClientAction::Disconnect {
+            proclaimed_dest: None,
+        },
     );
     far.schedule(
         SimTime::from_millis(1_500),
         ClientId(0),
-        ClientAction::Reconnect { broker: BrokerId(24) },
+        ClientAction::Reconnect {
+            broker: BrokerId(24),
+        },
     );
     let (far, far_audit) = run_and_audit(far);
     assert!(far_audit.is_reliable());

@@ -1,0 +1,289 @@
+//! Offline drop-in shim for the [criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment of this repository has no network access, so the
+//! real `criterion` crate cannot be fetched. This shim implements the API
+//! subset the `mhh-bench` targets use — `Criterion`, `benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter` and
+//! the `criterion_group!` / `criterion_main!` macros — with a simple
+//! wall-clock measurement loop instead of criterion's statistics engine.
+//! Each benchmark prints `name ... mean <t> (min <t>, <n> samples)` so runs
+//! remain grep-able, and [`Measurement`] values can be harvested
+//! programmatically by custom benches (the sweep-runner bench uses this to
+//! emit `BENCH_mobility.json`).
+//!
+//! Swapping the real criterion back in is a one-line `Cargo.toml` change;
+//! no bench source needs to be touched.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// One benchmark's aggregated timing result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function` or `group/label/param`).
+    pub id: String,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Number of timed iterations.
+    pub samples: usize,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Runs closures under timing; handed to the `bench_*` callbacks.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Time the closure. The closure is run once per sample after a warm-up
+    /// pass; the mean and minimum are recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut samples = 0usize;
+        let measure_start = Instant::now();
+        while samples < self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            samples += 1;
+            // Stop early if the measurement budget is exhausted (but keep at
+            // least three samples so mean/min stay meaningful).
+            if samples >= 3 && measure_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.result = Some(Measurement {
+            id: String::new(),
+            mean: total / samples.max(1) as u32,
+            min,
+            samples,
+        });
+    }
+}
+
+/// Identifier for one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id, as in real criterion.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a closure against one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut b, input);
+        self.criterion.record(full, b.result);
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut b);
+        self.criterion.record(full, b.result);
+        self
+    }
+
+    /// Finish the group (printing happens per-benchmark; kept for API
+    /// compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            result: None,
+        };
+        f(&mut b);
+        self.record(name.to_string(), b.result);
+        self
+    }
+
+    fn record(&mut self, id: String, result: Option<Measurement>) {
+        if let Some(mut m) = result {
+            m.id = id;
+            println!(
+                "{:<48} mean {:>12} (min {:>12}, {} samples)",
+                m.id,
+                fmt_duration(m.mean),
+                fmt_duration(m.min),
+                m.samples
+            );
+            self.measurements.push(m);
+        }
+    }
+
+    /// All measurements recorded so far (used by benches that post-process
+    /// their own timings).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+}
+
+/// Re-export so `criterion::black_box` call sites work.
+pub use std::hint::black_box;
+
+/// Declare a group of benchmark functions, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_measurement() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].samples >= 1);
+    }
+
+    #[test]
+    fn group_records_parameterised_ids() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(5));
+            g.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        assert_eq!(c.measurements()[0].id, "g/f/7");
+    }
+}

@@ -1,0 +1,81 @@
+//! Geometry of the k×k base-station grid.
+//!
+//! Brokers are numbered row-major: broker `b` sits at row `b / k`, column
+//! `b % k`. Mobility models use the *physical* 4-neighbourhood of this grid
+//! (a client walking down a street passes through adjacent cells); the
+//! broker *overlay* tree built by `mhh-simnet` is a separate concern.
+
+/// Row/column of a broker on a `side × side` grid.
+pub fn cell(broker: u32, side: usize) -> (usize, usize) {
+    let b = broker as usize;
+    (b / side, b % side)
+}
+
+/// Broker index of a row/column pair.
+pub fn broker(row: usize, col: usize, side: usize) -> u32 {
+    (row * side + col) as u32
+}
+
+/// Manhattan (taxicab) distance between two brokers on the grid.
+pub fn manhattan(a: u32, b: u32, side: usize) -> usize {
+    let (ar, ac) = cell(a, side);
+    let (br, bc) = cell(b, side);
+    ar.abs_diff(br) + ac.abs_diff(bc)
+}
+
+/// The 2–4 physically adjacent brokers of `b` (street neighbours).
+pub fn neighbours(b: u32, side: usize) -> Vec<u32> {
+    let (r, c) = cell(b, side);
+    let mut out = Vec::with_capacity(4);
+    if r > 0 {
+        out.push(broker(r - 1, c, side));
+    }
+    if r + 1 < side {
+        out.push(broker(r + 1, c, side));
+    }
+    if c > 0 {
+        out.push(broker(r, c - 1, side));
+    }
+    if c + 1 < side {
+        out.push(broker(r, c + 1, side));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_and_broker_are_inverse() {
+        for side in 1..6 {
+            for b in 0..(side * side) as u32 {
+                let (r, c) = cell(b, side);
+                assert_eq!(broker(r, c, side), b);
+            }
+        }
+    }
+
+    #[test]
+    fn corner_and_centre_neighbour_counts() {
+        // 3×3 grid: corners have 2 neighbours, edges 3, centre 4.
+        assert_eq!(neighbours(0, 3).len(), 2);
+        assert_eq!(neighbours(1, 3).len(), 3);
+        assert_eq!(neighbours(4, 3).len(), 4);
+        // All neighbours are at Manhattan distance 1.
+        for b in 0..9 {
+            for n in neighbours(b, 3) {
+                assert_eq!(manhattan(b, n, 3), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn manhattan_distance_is_symmetric() {
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(manhattan(a, b, 4), manhattan(b, a, 4));
+            }
+        }
+    }
+}

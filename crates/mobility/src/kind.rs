@@ -1,0 +1,107 @@
+//! [`ModelKind`] — the cheap, cloneable *description* of a mobility model
+//! that scenario configurations carry. `build()` turns the description into
+//! a live [`MobilityModel`].
+
+use std::sync::Arc;
+
+use crate::models::{
+    HotspotCommuter, ManhattanGrid, RandomWaypoint, TracePlayback, TraceRecord, UniformRandom,
+};
+use crate::trace::MobilityModel;
+
+/// Which mobility model a scenario runs, with its parameters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum ModelKind {
+    /// Uniform random broker-to-broker jumps (the paper's pattern).
+    #[default]
+    UniformRandom,
+    /// Walk to random waypoints via grid-adjacent hops, pausing on arrival.
+    RandomWaypoint {
+        /// Mean pause length at a reached waypoint, in seconds.
+        pause_mean_s: f64,
+    },
+    /// Street-grid movement between physically adjacent brokers.
+    ManhattanGrid,
+    /// Oscillation between the home broker and a shared hotspot set.
+    HotspotCommuter {
+        /// Number of hotspot brokers shared by all commuters.
+        hotspots: usize,
+    },
+    /// Replay of an explicit `(time, client, from, to)` move list.
+    TracePlayback(Arc<Vec<TraceRecord>>),
+}
+
+impl ModelKind {
+    /// Instantiate the described model.
+    pub fn build(&self) -> Box<dyn MobilityModel> {
+        match self {
+            ModelKind::UniformRandom => Box::new(UniformRandom),
+            ModelKind::RandomWaypoint { pause_mean_s } => Box::new(RandomWaypoint {
+                pause_mean_s: *pause_mean_s,
+            }),
+            ModelKind::ManhattanGrid => Box::new(ManhattanGrid),
+            ModelKind::HotspotCommuter { hotspots } => Box::new(HotspotCommuter {
+                hotspots: *hotspots,
+            }),
+            // Through the constructor so the records are time-sorted even
+            // when the config was built from an unsorted list.
+            ModelKind::TracePlayback(records) => {
+                Box::new(TracePlayback::new(records.as_ref().clone()))
+            }
+        }
+    }
+
+    /// The model's label (same as the built model's
+    /// [`name`](MobilityModel::name)), used in reports and JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::UniformRandom => "uniform-random",
+            ModelKind::RandomWaypoint { .. } => "random-waypoint",
+            ModelKind::ManhattanGrid => "manhattan-grid",
+            ModelKind::HotspotCommuter { .. } => "hotspot-commuter",
+            ModelKind::TracePlayback(_) => "trace-playback",
+        }
+    }
+
+    /// The four synthetic models with default parameters (everything except
+    /// trace playback, which needs explicit records). The matrix experiments
+    /// iterate over these.
+    pub fn synthetic() -> Vec<ModelKind> {
+        vec![
+            ModelKind::UniformRandom,
+            ModelKind::RandomWaypoint { pause_mean_s: 60.0 },
+            ModelKind::ManhattanGrid,
+            ModelKind::HotspotCommuter { hotspots: 3 },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_built_model_names() {
+        let playback = ModelKind::TracePlayback(Arc::new(vec![]));
+        let mut kinds = ModelKind::synthetic();
+        kinds.push(playback);
+        for kind in kinds {
+            assert_eq!(kind.label(), kind.build().name());
+        }
+    }
+
+    #[test]
+    fn default_is_the_papers_model() {
+        assert_eq!(ModelKind::default(), ModelKind::UniformRandom);
+        assert_eq!(ModelKind::default().label(), "uniform-random");
+    }
+
+    #[test]
+    fn synthetic_covers_four_distinct_models() {
+        let labels: Vec<_> = ModelKind::synthetic().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 4);
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(dedup, labels);
+    }
+}

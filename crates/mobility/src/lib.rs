@@ -1,0 +1,57 @@
+//! # mhh-mobility — pluggable, deterministic mobility models
+//!
+//! The MHH paper evaluates its handoff protocol under a single synthetic
+//! mobility pattern: uniform random broker-to-broker moves with
+//! exponentially distributed connection and disconnection periods
+//! (Section 5.1). Handover cost, however, is highly sensitive to *where* and
+//! *how often* clients move — road-network mobility produces mostly
+//! short-distance handoffs, commuting produces filter-table contention at a
+//! few hotspot brokers. This crate makes the mobility pattern a first-class,
+//! pluggable subsystem so the evaluation harness (`mhh-mobsim`) can sweep
+//! protocol × mobility matrices.
+//!
+//! ## The contract
+//!
+//! A [`MobilityModel`] turns `(world, client, home, seed)` into a *move
+//! trace*: a sorted list of [`MoveStep`]s, each one a disconnect at
+//! `depart_s` followed by a reconnect at `arrive_s` at broker `to`. Models
+//! are **deterministic** (same seed ⇒ same trace), never emit self-moves
+//! (`from != to`), keep every step inside the simulation horizon and chain
+//! positions correctly (`from` equals the previous step's `to`). The
+//! [`trace::TraceBuilder`] helper enforces all of this, so models only
+//! express *where to go next and how long to linger*.
+//!
+//! ## Choosing a model
+//!
+//! | Model | Pattern | Use it to stress |
+//! |-------|---------|------------------|
+//! | [`UniformRandom`](models::UniformRandom) | jump to any other broker (the paper's model) | long-distance subscription migration |
+//! | [`RandomWaypoint`](models::RandomWaypoint) | walk to a target broker via grid-adjacent hops, pause, repeat | sustained short-hop handoff chains |
+//! | [`ManhattanGrid`](models::ManhattanGrid) | street-grid movement with straight-line persistence, only adjacent hops | frequent cheap handoffs / locality |
+//! | [`HotspotCommuter`](models::HotspotCommuter) | oscillate between a home broker and a few shared hotspots | filter-table contention at hot brokers |
+//! | [`TracePlayback`](models::TracePlayback) | replay an explicit `(time, client, from, to)` move list | reproducible regression scenarios |
+//!
+//! [`ModelKind`] is the cheap, cloneable description of a model that
+//! configurations carry; `ModelKind::build()` instantiates the model.
+//!
+//! ## Parallel sweeps
+//!
+//! [`sweep::map_parallel`] is an order-preserving, scoped-thread work-stealing
+//! executor for scenario sweeps: results are byte-identical to a serial run
+//! of the same inputs (each point is a pure function of its input) while the
+//! wall-clock scales with the available cores.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod kind;
+pub mod models;
+pub mod sweep;
+pub mod trace;
+
+pub use kind::ModelKind;
+pub use models::{
+    HotspotCommuter, ManhattanGrid, RandomWaypoint, TracePlayback, TraceRecord, UniformRandom,
+};
+pub use trace::{MobilityModel, MobilityWorld, MoveStep};

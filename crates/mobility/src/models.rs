@@ -1,0 +1,523 @@
+//! The built-in mobility models.
+//!
+//! All models sample dwell (connected) and gap (disconnected) lengths from
+//! exponential distributions with the world's means, matching the paper's
+//! Section 5.1 statistics; they differ in *where* the client goes next. See
+//! the crate-level docs for a model-choice guide.
+
+use std::sync::Arc;
+
+use mhh_simnet::random::DetRng;
+
+use crate::grid;
+use crate::trace::{MobilityModel, MobilityWorld, MoveTrace, TraceBuilder, MIN_PERIOD_S};
+
+/// Pick a uniformly random broker different from `cur`.
+fn random_other(rng: &mut DetRng, cur: u32, broker_count: usize) -> u32 {
+    debug_assert!(broker_count >= 2);
+    let pick = rng.index(broker_count - 1) as u32;
+    if pick >= cur {
+        pick + 1
+    } else {
+        pick
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UniformRandom
+// ---------------------------------------------------------------------------
+
+/// The paper's mobility pattern (Section 5.1): after an exponential
+/// connection period the client disconnects, stays away for an exponential
+/// disconnection period and reappears at a uniformly random *other* broker.
+/// Stresses long-distance subscription migration, since the expected overlay
+/// distance of a move is large.
+///
+/// Deliberate deviation from the v0 workload generator it replaces: v0
+/// sampled the reconnect target over *all* brokers, so ~1/k² of "moves"
+/// reconnected at the same broker. The mobility-subsystem contract forbids
+/// self-moves (every trace step is a real handoff), so this model excludes
+/// the current broker; the protocol's reconnect-at-same-broker path stays
+/// covered by `mhh-core`'s unit tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UniformRandom;
+
+impl MobilityModel for UniformRandom {
+    fn name(&self) -> &'static str {
+        "uniform-random"
+    }
+
+    fn trace(&self, world: &MobilityWorld, _client: u32, home: u32, seed: u64) -> MoveTrace {
+        let mut tb = TraceBuilder::new(world, home);
+        let count = world.broker_count();
+        if count >= 2 {
+            let mut rng = DetRng::new(seed);
+            loop {
+                let dwell = rng.exponential(world.conn_mean_s);
+                let gap = rng.exponential(world.disc_mean_s);
+                let to = random_other(&mut rng, tb.position(), count);
+                if !tb.move_after(dwell, gap, to) {
+                    break;
+                }
+            }
+        }
+        tb.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RandomWaypoint
+// ---------------------------------------------------------------------------
+
+/// The classic random-waypoint pattern mapped onto the broker grid: the
+/// client picks a random target broker and *walks* there through grid-adjacent
+/// cells (one handoff per street block), pauses at the waypoint, then picks
+/// the next target. Produces sustained chains of short-distance handoffs —
+/// the regime where MHH's hop-by-hop migration should shine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWaypoint {
+    /// Mean pause length at a reached waypoint, in seconds (exponentially
+    /// distributed, added to the regular dwell).
+    pub pause_mean_s: f64,
+}
+
+impl Default for RandomWaypoint {
+    fn default() -> Self {
+        RandomWaypoint { pause_mean_s: 60.0 }
+    }
+}
+
+/// One grid step from `cur` toward `target`, choosing uniformly between the
+/// row-wise and column-wise moves when both reduce the distance.
+fn step_toward(rng: &mut DetRng, cur: u32, target: u32, side: usize) -> u32 {
+    let (r, c) = grid::cell(cur, side);
+    let (tr, tc) = grid::cell(target, side);
+    let mut options = Vec::with_capacity(2);
+    if r < tr {
+        options.push(grid::broker(r + 1, c, side));
+    } else if r > tr {
+        options.push(grid::broker(r - 1, c, side));
+    }
+    if c < tc {
+        options.push(grid::broker(r, c + 1, side));
+    } else if c > tc {
+        options.push(grid::broker(r, c - 1, side));
+    }
+    debug_assert!(!options.is_empty(), "step_toward called at the target");
+    options[rng.index(options.len())]
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn name(&self) -> &'static str {
+        "random-waypoint"
+    }
+
+    fn trace(&self, world: &MobilityWorld, _client: u32, home: u32, seed: u64) -> MoveTrace {
+        let mut tb = TraceBuilder::new(world, home);
+        let count = world.broker_count();
+        if count >= 2 {
+            let mut rng = DetRng::new(seed);
+            let mut waypoint = random_other(&mut rng, home, count);
+            let mut pause = 0.0f64;
+            loop {
+                if tb.position() == waypoint {
+                    pause = rng.exponential(self.pause_mean_s);
+                    waypoint = random_other(&mut rng, tb.position(), count);
+                }
+                let to = step_toward(&mut rng, tb.position(), waypoint, world.grid_side);
+                let dwell = rng.exponential(world.conn_mean_s) + pause;
+                pause = 0.0;
+                let gap = rng.exponential(world.disc_mean_s);
+                if !tb.move_after(dwell, gap, to) {
+                    break;
+                }
+            }
+        }
+        tb.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ManhattanGrid
+// ---------------------------------------------------------------------------
+
+/// Street-grid movement: the client only ever hops to a physically adjacent
+/// broker, keeps its heading with probability 1/2 and turns left/right with
+/// probability 1/4 each (the classic Manhattan mobility model), bouncing off
+/// the grid edge. Every handoff is between topologically close brokers,
+/// stressing the short-distance handoff path and broker-local state churn.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManhattanGrid;
+
+const DIRS: [(i32, i32); 4] = [(-1, 0), (1, 0), (0, -1), (0, 1)];
+
+fn apply_dir(cur: u32, dir: (i32, i32), side: usize) -> Option<u32> {
+    let (r, c) = grid::cell(cur, side);
+    let nr = r as i32 + dir.0;
+    let nc = c as i32 + dir.1;
+    if nr < 0 || nc < 0 || nr >= side as i32 || nc >= side as i32 {
+        None
+    } else {
+        Some(grid::broker(nr as usize, nc as usize, side))
+    }
+}
+
+/// Left and right turns of a heading.
+fn turns(dir: (i32, i32)) -> [(i32, i32); 2] {
+    [(-dir.1, dir.0), (dir.1, -dir.0)]
+}
+
+impl MobilityModel for ManhattanGrid {
+    fn name(&self) -> &'static str {
+        "manhattan-grid"
+    }
+
+    fn trace(&self, world: &MobilityWorld, _client: u32, home: u32, seed: u64) -> MoveTrace {
+        let mut tb = TraceBuilder::new(world, home);
+        let side = world.grid_side;
+        if world.broker_count() >= 2 {
+            let mut rng = DetRng::new(seed);
+            let mut heading = DIRS[rng.index(4)];
+            loop {
+                // Keep going straight with p=1/2, turn with p=1/4 each; fall
+                // back to any open street at a wall.
+                let u = rng.next_f64();
+                let [left, right] = turns(heading);
+                let preference = if u < 0.5 {
+                    [heading, left, right]
+                } else if u < 0.75 {
+                    [left, heading, right]
+                } else {
+                    [right, heading, left]
+                };
+                // On a square grid with side >= 2 the two perpendicular
+                // turns cover both directions of the other axis, so at
+                // least one of the three candidates is always in-grid.
+                let (dir, to) = preference
+                    .iter()
+                    .find_map(|&d| apply_dir(tb.position(), d, side).map(|b| (d, b)))
+                    .expect("a >=2x2 square grid always has an open street");
+                heading = dir;
+                let dwell = rng.exponential(world.conn_mean_s);
+                let gap = rng.exponential(world.disc_mean_s);
+                if !tb.move_after(dwell, gap, to) {
+                    break;
+                }
+            }
+        }
+        tb.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HotspotCommuter
+// ---------------------------------------------------------------------------
+
+/// Commuter traffic: every client oscillates between its home broker and a
+/// small, *shared* set of hotspot brokers (offices, stadiums). All clients
+/// agree on the hotspot set — it derives from the world's scenario seed —
+/// so the hotspot brokers' filter tables absorb a large share of the
+/// migrations, creating the contention this model exists to expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotspotCommuter {
+    /// Number of hotspot brokers shared by all commuters.
+    pub hotspots: usize,
+}
+
+impl Default for HotspotCommuter {
+    fn default() -> Self {
+        HotspotCommuter { hotspots: 3 }
+    }
+}
+
+impl HotspotCommuter {
+    /// The hotspot brokers of a world (shared by every client).
+    pub fn hotspot_set(&self, world: &MobilityWorld) -> Vec<u32> {
+        let count = world.broker_count();
+        let k = self.hotspots.clamp(1, count);
+        let mut rng = DetRng::new(world.scenario_seed ^ 0x486f_7453_706f_7421);
+        let mut set = rng.choose_indices(count, k);
+        set.sort_unstable();
+        set.into_iter().map(|b| b as u32).collect()
+    }
+}
+
+impl MobilityModel for HotspotCommuter {
+    fn name(&self) -> &'static str {
+        "hotspot-commuter"
+    }
+
+    fn trace(&self, world: &MobilityWorld, _client: u32, home: u32, seed: u64) -> MoveTrace {
+        let mut tb = TraceBuilder::new(world, home);
+        let count = world.broker_count();
+        if count >= 2 {
+            let hotspots = self.hotspot_set(world);
+            let mut rng = DetRng::new(seed);
+            loop {
+                let at_home = tb.position() == home;
+                let to = if at_home {
+                    // Commute to a random hotspot (skipping home itself; if
+                    // home is the only hotspot, visit a random other broker).
+                    let choices: Vec<u32> =
+                        hotspots.iter().copied().filter(|&h| h != home).collect();
+                    if choices.is_empty() {
+                        random_other(&mut rng, home, count)
+                    } else {
+                        choices[rng.index(choices.len())]
+                    }
+                } else {
+                    home
+                };
+                let dwell = rng.exponential(world.conn_mean_s);
+                let gap = rng.exponential(world.disc_mean_s);
+                if !tb.move_after(dwell, gap, to) {
+                    break;
+                }
+            }
+        }
+        tb.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TracePlayback
+// ---------------------------------------------------------------------------
+
+/// One externally supplied move: at `at_s` seconds `client` leaves `from`
+/// and, one mean disconnection period later, reattaches at `to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Departure time in seconds.
+    pub at_s: f64,
+    /// The moving client's index.
+    pub client: u32,
+    /// Broker the client leaves (must match its current position; mismatched
+    /// records are skipped).
+    pub from: u32,
+    /// Broker the client reattaches to.
+    pub to: u32,
+}
+
+/// Replays an explicit `(time, client, from, to)` move list — the
+/// reproducible-regression model. Records are applied in time order; records
+/// that do not chain (wrong `from`, out-of-range broker, past the horizon)
+/// are skipped rather than trusted, as are same-broker records (`from ==
+/// to`): the subsystem contract is that models never emit self-moves, so a
+/// disconnect-and-return-to-the-same-broker in external data is dropped.
+/// The reconnect happens `world.disc_mean_s` seconds after the departure,
+/// making the gap explicit in the scenario configuration.
+///
+/// Records are grouped per client at construction, so a workload generation
+/// pass over C clients costs O(records) total, not O(C × records).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TracePlayback {
+    by_client: Arc<std::collections::BTreeMap<u32, Vec<TraceRecord>>>,
+}
+
+impl TracePlayback {
+    /// Build a playback model from `(time, client, from, to)` tuples; the
+    /// records are time-sorted and grouped per client once, here.
+    pub fn new(mut records: Vec<TraceRecord>) -> Self {
+        records.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        let mut by_client: std::collections::BTreeMap<u32, Vec<TraceRecord>> =
+            std::collections::BTreeMap::new();
+        for rec in records {
+            by_client.entry(rec.client).or_default().push(rec);
+        }
+        TracePlayback {
+            by_client: Arc::new(by_client),
+        }
+    }
+}
+
+impl MobilityModel for TracePlayback {
+    fn name(&self) -> &'static str {
+        "trace-playback"
+    }
+
+    fn trace(&self, world: &MobilityWorld, client: u32, home: u32, _seed: u64) -> MoveTrace {
+        let mut tb = TraceBuilder::new(world, home);
+        if let Some(records) = self.by_client.get(&client) {
+            // Clamp like move_after does its sampled gap, so a zero
+            // disc_mean_s config replays instant handoffs instead of
+            // silently dropping every record.
+            let gap = world.disc_mean_s.max(MIN_PERIOD_S);
+            for rec in records {
+                tb.move_at(rec.at_s, rec.at_s + gap, rec.from, rec.to);
+            }
+        }
+        tb.finish()
+    }
+
+    fn drives_all_clients(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::validate_trace;
+
+    fn world() -> MobilityWorld {
+        MobilityWorld {
+            grid_side: 5,
+            conn_mean_s: 30.0,
+            disc_mean_s: 20.0,
+            horizon_s: 2_000.0,
+            scenario_seed: 99,
+        }
+    }
+
+    fn all_models() -> Vec<Box<dyn MobilityModel>> {
+        vec![
+            Box::new(UniformRandom),
+            Box::new(RandomWaypoint::default()),
+            Box::new(ManhattanGrid),
+            Box::new(HotspotCommuter::default()),
+            Box::new(TracePlayback::new(vec![
+                TraceRecord {
+                    at_s: 10.0,
+                    client: 0,
+                    from: 3,
+                    to: 4,
+                },
+                TraceRecord {
+                    at_s: 90.0,
+                    client: 0,
+                    from: 4,
+                    to: 9,
+                },
+                TraceRecord {
+                    at_s: 50.0,
+                    client: 1,
+                    from: 7,
+                    to: 2,
+                },
+            ])),
+        ]
+    }
+
+    #[test]
+    fn every_model_produces_valid_nonempty_traces() {
+        let w = world();
+        for model in all_models() {
+            let home = if model.name() == "trace-playback" {
+                3
+            } else {
+                6
+            };
+            let t = model.trace(&w, 0, home, 42);
+            assert!(!t.steps.is_empty(), "{} produced no moves", model.name());
+            validate_trace(&w, home, &t)
+                .unwrap_or_else(|e| panic!("{}: invalid trace: {e}", model.name()));
+        }
+    }
+
+    #[test]
+    fn waypoint_and_manhattan_only_hop_to_adjacent_brokers() {
+        let w = world();
+        for model in [
+            Box::new(RandomWaypoint::default()) as Box<dyn MobilityModel>,
+            Box::new(ManhattanGrid),
+        ] {
+            for seed in 0..5u64 {
+                for s in model.trace(&w, 0, 12, seed).steps {
+                    assert_eq!(
+                        grid::manhattan(s.from, s.to, w.grid_side),
+                        1,
+                        "{} hopped {} -> {}",
+                        model.name(),
+                        s.from,
+                        s.to
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_set_is_shared_and_deterministic() {
+        let w = world();
+        let m = HotspotCommuter { hotspots: 3 };
+        assert_eq!(m.hotspot_set(&w), m.hotspot_set(&w));
+        assert_eq!(m.hotspot_set(&w).len(), 3);
+        // Commuters spend their away time at hotspots (or home).
+        let spots = m.hotspot_set(&w);
+        for seed in 0..4u64 {
+            for s in m.trace(&w, 0, 6, seed).steps {
+                assert!(
+                    s.to == 6 || spots.contains(&s.to),
+                    "commuter visited non-hotspot {}",
+                    s.to
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_degenerate_single_broker_world_is_empty() {
+        let w = MobilityWorld {
+            grid_side: 1,
+            ..world()
+        };
+        for model in all_models() {
+            assert!(model.trace(&w, 0, 0, 7).is_empty(), "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn playback_replays_under_zero_disconnection_gap() {
+        let w = MobilityWorld {
+            disc_mean_s: 0.0,
+            ..world()
+        };
+        let m = TracePlayback::new(vec![TraceRecord {
+            at_s: 10.0,
+            client: 0,
+            from: 3,
+            to: 4,
+        }]);
+        let t = m.trace(&w, 0, 3, 0);
+        assert_eq!(t.steps.len(), 1, "zero gap must clamp, not drop");
+        assert!(t.steps[0].arrive_s > t.steps[0].depart_s);
+    }
+
+    #[test]
+    fn playback_skips_nonchaining_records_and_drives_all_clients() {
+        let w = world();
+        let m = TracePlayback::new(vec![
+            TraceRecord {
+                at_s: 10.0,
+                client: 0,
+                from: 3,
+                to: 4,
+            },
+            TraceRecord {
+                at_s: 20.0,
+                client: 0,
+                from: 9,
+                to: 5,
+            }, // wrong from
+            TraceRecord {
+                at_s: 60.0,
+                client: 0,
+                from: 4,
+                to: 4,
+            }, // self-move
+            TraceRecord {
+                at_s: 80.0,
+                client: 0,
+                from: 4,
+                to: 8,
+            },
+        ]);
+        let t = m.trace(&w, 0, 3, 0);
+        assert_eq!(t.steps.len(), 2);
+        assert_eq!(t.steps[1].to, 8);
+        assert!(m.drives_all_clients());
+        assert!(!UniformRandom.drives_all_clients());
+        // Clients with no records do not move.
+        assert!(m.trace(&w, 5, 0, 0).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Order-preserving parallel executor for scenario sweeps.
+//!
+//! Each sweep point (one `(scenario, protocol)` pair) is an independent,
+//! single-threaded, deterministic simulation — embarrassingly parallel work.
+//! [`map_parallel`] fans the points out over scoped `std::thread` workers
+//! pulling indices from a shared atomic counter (work stealing without
+//! queues), writing each result into its input's slot. Because every point
+//! is a pure function of its input, the output vector is **byte-identical**
+//! to [`map_serial`] on the same inputs, whatever the thread interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers the machine supports (≥ 1).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Serial reference implementation: `items.iter().map(f)`.
+pub fn map_serial<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    F: Fn(&I) -> O,
+{
+    items.iter().map(f).collect()
+}
+
+/// Apply `f` to every item on `workers` scoped threads, returning results in
+/// input order. Equivalent to [`map_serial`] output-wise; panics in `f`
+/// propagate. `workers <= 1` (or a single item) degrades to the serial path.
+pub fn map_parallel<I, O, F>(items: &[I], workers: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return map_serial(items, f);
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<O>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                slots.lock().expect("sweep worker poisoned the slots")[i] = Some(out);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("sweep workers poisoned the slots")
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |x: &u64| x * x + 1;
+        let serial = map_serial(&items, f);
+        for workers in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                map_parallel(&items, workers, f),
+                serial,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(map_parallel(&none, 4, |x| *x).is_empty());
+        assert_eq!(map_parallel(&[7u32], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let items = [1u32, 2, 3];
+        assert_eq!(map_parallel(&items, 100, |x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn available_workers_is_positive() {
+        assert!(available_workers() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = map_parallel(&items, 4, |x| {
+            assert!(*x < 4, "boom");
+            *x
+        });
+    }
+}

@@ -1,0 +1,361 @@
+//! The [`MobilityModel`] trait, the move-trace data model and the
+//! invariant-enforcing [`TraceBuilder`].
+
+/// Static description of the world a model moves clients through.
+///
+/// Everything a model may depend on is in here (plus the per-call seed), so
+/// traces are pure functions of `(world, client, home, seed)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilityWorld {
+    /// Side length k of the k×k base-station grid (k² brokers).
+    pub grid_side: usize,
+    /// Mean connection-period length in seconds (how long a client lingers
+    /// at a broker before moving; exponentially distributed where sampled).
+    pub conn_mean_s: f64,
+    /// Mean disconnection-period length in seconds (how long a move takes).
+    pub disc_mean_s: f64,
+    /// Simulation horizon in seconds; every emitted step finishes before it.
+    pub horizon_s: f64,
+    /// The scenario's master seed. Shared, world-level randomness (e.g. the
+    /// hotspot set every commuter agrees on) derives from this, never from
+    /// the per-client seed.
+    pub scenario_seed: u64,
+}
+
+impl MobilityWorld {
+    /// Number of brokers (k²).
+    pub fn broker_count(&self) -> usize {
+        self.grid_side * self.grid_side
+    }
+}
+
+/// One move of one client: disconnect from `from` at `depart_s`, reconnect
+/// at broker `to` at `arrive_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoveStep {
+    /// Disconnection time (seconds since simulation start).
+    pub depart_s: f64,
+    /// Reconnection time; strictly greater than `depart_s`.
+    pub arrive_s: f64,
+    /// The broker the client leaves.
+    pub from: u32,
+    /// The broker the client reattaches to; never equal to `from`.
+    pub to: u32,
+}
+
+/// A client's complete mobility schedule: the completed moves plus,
+/// possibly, a final departure whose return would have fallen past the
+/// horizon — the client ends the run disconnected, matching the paper's
+/// steady state where some clients are mid-disconnection when the
+/// simulation stops.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MoveTrace {
+    /// Completed disconnect/reconnect pairs, in time order.
+    pub steps: Vec<MoveStep>,
+    /// Time of a trailing disconnect with no in-horizon reconnect, if any.
+    pub park_depart_s: Option<f64>,
+}
+
+impl MoveTrace {
+    /// True when the client never moves (and never parks).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty() && self.park_depart_s.is_none()
+    }
+}
+
+/// A pluggable mobility pattern.
+///
+/// Implementations must be deterministic: two calls to [`trace`] with equal
+/// arguments return equal vectors. Building traces through [`TraceBuilder`]
+/// guarantees the structural invariants (chained positions, no self-moves,
+/// monotone times inside the horizon).
+///
+/// [`trace`]: MobilityModel::trace
+pub trait MobilityModel: Send + Sync {
+    /// Short machine-friendly name, used to label experiment results.
+    fn name(&self) -> &'static str;
+
+    /// Generate the full move trace of one client.
+    ///
+    /// * `client` — the client's index (stable across runs).
+    /// * `home` — the broker the client starts at.
+    /// * `seed` — per-client random seed; the only source of randomness
+    ///   besides `world.scenario_seed`.
+    fn trace(&self, world: &MobilityWorld, client: u32, home: u32, seed: u64) -> MoveTrace;
+
+    /// Whether the workload generator should consult this model for *every*
+    /// client rather than only the mobile fraction. Trace playback returns
+    /// `true`: the replayed move list, not the sampled mobile flag, decides
+    /// who moves.
+    fn drives_all_clients(&self) -> bool {
+        false
+    }
+}
+
+/// Minimum dwell/gap length in seconds; keeps successive times strictly
+/// increasing even when an exponential sample is ~0.
+pub const MIN_PERIOD_S: f64 = 0.001;
+
+/// Accumulates [`MoveStep`]s while enforcing every trace invariant.
+#[derive(Debug)]
+pub struct TraceBuilder<'w> {
+    world: &'w MobilityWorld,
+    position: u32,
+    clock_s: f64,
+    steps: Vec<MoveStep>,
+    parked: Option<f64>,
+}
+
+impl<'w> TraceBuilder<'w> {
+    /// Start a trace for a client currently at `home` at time zero.
+    pub fn new(world: &'w MobilityWorld, home: u32) -> Self {
+        TraceBuilder {
+            world,
+            position: home,
+            clock_s: 0.0,
+            steps: Vec::new(),
+            parked: None,
+        }
+    }
+
+    /// The broker the client is currently at.
+    pub fn position(&self) -> u32 {
+        self.position
+    }
+
+    /// The current time (arrival time of the last step, or 0).
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Append a move: linger at the current broker for `dwell_s`, then spend
+    /// `gap_s` disconnected, reappearing at `to`. Returns `false` — without
+    /// recording the step — when the move would not finish before the
+    /// horizon, which is the model's signal to stop; if the *departure*
+    /// still fits, it is recorded as the trace's final park (the client
+    /// leaves and never returns in-horizon).
+    ///
+    /// # Panics
+    /// Panics when `to` is the current broker (self-move) or out of range;
+    /// those are model bugs, not data conditions.
+    pub fn move_after(&mut self, dwell_s: f64, gap_s: f64, to: u32) -> bool {
+        if self.parked.is_some() {
+            return false;
+        }
+        assert_ne!(to, self.position, "mobility model emitted a self-move");
+        assert!(
+            (to as usize) < self.world.broker_count(),
+            "mobility model emitted an out-of-range broker {to}"
+        );
+        let depart = self.clock_s + dwell_s.max(MIN_PERIOD_S);
+        let arrive = depart + gap_s.max(MIN_PERIOD_S);
+        if arrive >= self.world.horizon_s {
+            if depart < self.world.horizon_s {
+                self.parked = Some(depart);
+            }
+            return false;
+        }
+        self.steps.push(MoveStep {
+            depart_s: depart,
+            arrive_s: arrive,
+            from: self.position,
+            to,
+        });
+        self.position = to;
+        self.clock_s = arrive;
+        true
+    }
+
+    /// Like [`move_after`](Self::move_after) but at absolute times, for
+    /// playback-style models. Returns `false` and records nothing when the
+    /// step is unusable: departs before the current clock or at/after the
+    /// horizon, is a self-move, starts from a broker other than the current
+    /// position, or targets an out-of-range broker. (Playback data is
+    /// external input, so bad records are skipped, not panicked on.) A
+    /// record that departs in-horizon but arrives past it parks the client,
+    /// like [`move_after`](Self::move_after).
+    pub fn move_at(&mut self, depart_s: f64, arrive_s: f64, from: u32, to: u32) -> bool {
+        if self.parked.is_some()
+            || from != self.position
+            || to == from
+            || (to as usize) >= self.world.broker_count()
+            || depart_s <= self.clock_s
+            || depart_s >= self.world.horizon_s
+            || arrive_s <= depart_s
+        {
+            return false;
+        }
+        if arrive_s >= self.world.horizon_s {
+            self.parked = Some(depart_s);
+            return false;
+        }
+        self.steps.push(MoveStep {
+            depart_s,
+            arrive_s,
+            from,
+            to,
+        });
+        self.position = to;
+        self.clock_s = arrive_s;
+        true
+    }
+
+    /// Finish and return the trace.
+    pub fn finish(self) -> MoveTrace {
+        MoveTrace {
+            steps: self.steps,
+            park_depart_s: self.parked,
+        }
+    }
+}
+
+/// Check every structural invariant of a trace against a world; returns a
+/// description of the first violation. Used by the property tests and
+/// available to downstream consumers validating external traces.
+pub fn validate_trace(world: &MobilityWorld, home: u32, trace: &MoveTrace) -> Result<(), String> {
+    let mut position = home;
+    let mut clock = 0.0f64;
+    for (i, s) in trace.steps.iter().enumerate() {
+        if s.from != position {
+            return Err(format!(
+                "step {i}: from {} but client is at {position}",
+                s.from
+            ));
+        }
+        if s.to == s.from {
+            return Err(format!("step {i}: self-move at broker {}", s.from));
+        }
+        if s.to as usize >= world.broker_count() {
+            return Err(format!("step {i}: broker {} out of range", s.to));
+        }
+        if s.depart_s <= clock {
+            return Err(format!(
+                "step {i}: departs at {} before clock {clock}",
+                s.depart_s
+            ));
+        }
+        if s.arrive_s <= s.depart_s {
+            return Err(format!("step {i}: arrives before departing"));
+        }
+        if s.arrive_s >= world.horizon_s {
+            return Err(format!("step {i}: arrives after the horizon"));
+        }
+        position = s.to;
+        clock = s.arrive_s;
+    }
+    if let Some(park) = trace.park_depart_s {
+        if park <= clock {
+            return Err(format!("park departs at {park} before clock {clock}"));
+        }
+        if park >= world.horizon_s {
+            return Err(format!("park departs at {park} after the horizon"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> MobilityWorld {
+        MobilityWorld {
+            grid_side: 3,
+            conn_mean_s: 10.0,
+            disc_mean_s: 5.0,
+            horizon_s: 100.0,
+            scenario_seed: 1,
+        }
+    }
+
+    #[test]
+    fn builder_chains_positions_and_times() {
+        let w = world();
+        let mut tb = TraceBuilder::new(&w, 0);
+        assert!(tb.move_after(10.0, 5.0, 1));
+        assert!(tb.move_after(10.0, 5.0, 4));
+        let trace = tb.finish();
+        assert_eq!(trace.steps.len(), 2);
+        assert_eq!(trace.steps[0].from, 0);
+        assert_eq!(trace.steps[0].to, 1);
+        assert_eq!(trace.steps[1].from, 1);
+        assert_eq!(trace.steps[1].to, 4);
+        assert!(trace.steps[0].arrive_s < trace.steps[1].depart_s);
+        assert_eq!(trace.park_depart_s, None);
+        assert!(validate_trace(&w, 0, &trace).is_ok());
+    }
+
+    #[test]
+    fn refused_step_with_in_horizon_departure_parks_the_client() {
+        let w = world();
+        let mut tb = TraceBuilder::new(&w, 0);
+        // Departs at 98 (< 100) but would return at 103: the client leaves
+        // and never comes back — v0's trailing disconnect.
+        assert!(!tb.move_after(98.0, 5.0, 1));
+        // Once parked, nothing more is accepted.
+        assert!(!tb.move_after(0.5, 0.5, 1));
+        let trace = tb.finish();
+        assert!(trace.steps.is_empty());
+        assert_eq!(trace.park_depart_s, Some(98.0));
+        assert!(validate_trace(&w, 0, &trace).is_ok());
+    }
+
+    #[test]
+    fn builder_refuses_steps_entirely_past_the_horizon() {
+        let w = world();
+        let mut tb = TraceBuilder::new(&w, 0);
+        assert!(!tb.move_after(150.0, 5.0, 1));
+        assert!(tb.finish().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-move")]
+    fn builder_panics_on_self_move() {
+        let w = world();
+        let mut tb = TraceBuilder::new(&w, 0);
+        tb.move_after(1.0, 1.0, 0);
+    }
+
+    #[test]
+    fn move_at_skips_bad_records() {
+        let w = world();
+        let mut tb = TraceBuilder::new(&w, 0);
+        assert!(!tb.move_at(1.0, 2.0, 5, 1), "wrong from");
+        assert!(!tb.move_at(1.0, 2.0, 0, 0), "self move");
+        assert!(!tb.move_at(1.0, 2.0, 0, 99), "out of range");
+        assert!(tb.move_at(1.0, 2.0, 0, 3));
+        assert!(!tb.move_at(1.5, 2.5, 3, 4), "departs before clock");
+        assert!(
+            !tb.move_at(200.0, 201.0, 3, 4),
+            "departure past horizon is skipped, not parked"
+        );
+        assert!(!tb.move_at(99.5, 100.5, 3, 4), "arrival past horizon parks");
+        let trace = tb.finish();
+        assert_eq!(trace.steps.len(), 1);
+        assert_eq!(trace.park_depart_s, Some(99.5));
+    }
+
+    #[test]
+    fn validate_trace_reports_violations() {
+        let w = world();
+        let bad = MoveTrace {
+            steps: vec![MoveStep {
+                depart_s: 1.0,
+                arrive_s: 2.0,
+                from: 3,
+                to: 4,
+            }],
+            park_depart_s: None,
+        };
+        assert!(validate_trace(&w, 0, &bad).is_err());
+        assert!(validate_trace(&w, 3, &bad).is_ok());
+        let bad_park = MoveTrace {
+            park_depart_s: Some(1.5),
+            ..bad.clone()
+        };
+        assert!(
+            validate_trace(&w, 3, &bad_park).is_err(),
+            "park before last arrival"
+        );
+    }
+}

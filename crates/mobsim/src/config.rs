@@ -1,9 +1,10 @@
-//! Scenario configuration mirroring Section 5.1 of the paper.
+//! Scenario configuration mirroring Section 5.1 of the paper, extended with
+//! a pluggable mobility model (`mhh-mobility`).
 
-use serde::{Deserialize, Serialize};
+use mhh_mobility::ModelKind;
 
 /// Which mobility-management protocol to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// The paper's multi-hop handoff protocol (`mhh-core`).
     Mhh,
@@ -28,7 +29,7 @@ impl Protocol {
 }
 
 /// Full description of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioConfig {
     /// Grid side length k (k² base stations / brokers).
     pub grid_side: usize,
@@ -54,6 +55,8 @@ pub struct ScenarioConfig {
     pub covering: bool,
     /// Master random seed; every run is a pure function of it.
     pub seed: u64,
+    /// The mobility model moving the mobile clients (paper: uniform random).
+    pub mobility: ModelKind,
 }
 
 impl Default for ScenarioConfig {
@@ -79,6 +82,7 @@ impl ScenarioConfig {
             wireless_ms: 20,
             covering: true,
             seed: 0x4d48_485f_3230,
+            mobility: ModelKind::UniformRandom,
         }
     }
 
@@ -100,6 +104,7 @@ impl ScenarioConfig {
             wireless_ms: 20,
             covering: true,
             seed: 7,
+            mobility: ModelKind::UniformRandom,
         }
     }
 
@@ -116,6 +121,12 @@ impl ScenarioConfig {
     /// Number of mobile clients.
     pub fn mobile_count(&self) -> usize {
         (self.client_count() as f64 * self.mobile_fraction).round() as usize
+    }
+
+    /// Replace the mobility model, keeping everything else.
+    pub fn with_mobility(mut self, mobility: ModelKind) -> Self {
+        self.mobility = mobility;
+        self
     }
 
     /// Pick a simulation duration long enough for every mobile client to

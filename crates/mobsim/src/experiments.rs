@@ -1,31 +1,36 @@
-//! The paper's parameter sweeps: Figure 5 (varying the connection-period
-//! length) and Figure 6 (varying the network size).
+//! The paper's parameter sweeps — Figure 5 (varying the connection-period
+//! length) and Figure 6 (varying the network size) — plus the
+//! mobility-model × protocol matrix the paper never ran.
 //!
 //! Each point of each curve is an independent simulation run; points are
-//! distributed over a rayon thread pool (the runs themselves stay
-//! single-threaded for determinism).
+//! distributed over scoped worker threads by
+//! [`mhh_mobility::sweep::map_parallel`] (the runs themselves stay
+//! single-threaded for determinism, so parallel results are byte-identical
+//! to a serial sweep of the same seeds).
 
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use mhh_mobility::sweep::{available_workers, map_parallel};
+use mhh_mobility::ModelKind;
 
 use crate::config::{Protocol, ScenarioConfig};
 use crate::metrics::RunResult;
 use crate::runner::run_scenario;
 
 /// One `(x, protocol)` point of a figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentPoint {
     /// The swept parameter value (connection period in seconds for Figure 5,
     /// number of base stations for Figure 6).
     pub x: f64,
     /// The protocol run at this point.
     pub protocol: Protocol,
+    /// Label of the mobility model the point ran under.
+    pub mobility: String,
     /// The collected metrics.
     pub result: RunResult,
 }
 
 /// A complete figure: all points of all curves.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigureResult {
     /// Figure identifier (e.g. `"figure5"`).
     pub name: String,
@@ -77,26 +82,34 @@ pub const FIG6_GRID_SIDES: [usize; 5] = [5, 7, 10, 12, 14];
 /// paper fixes 100 base stations and a 5-minute mean disconnection period;
 /// the base config controls the scale so tests can run a smaller system.
 pub fn figure5(base: &ScenarioConfig, conn_periods_s: &[f64]) -> FigureResult {
+    figure5_with_workers(base, conn_periods_s, available_workers())
+}
+
+/// [`figure5`] with an explicit worker count (1 = serial). Parallel and
+/// serial runs of the same base config produce byte-identical results.
+pub fn figure5_with_workers(
+    base: &ScenarioConfig,
+    conn_periods_s: &[f64],
+    workers: usize,
+) -> FigureResult {
     let jobs: Vec<(f64, Protocol)> = conn_periods_s
         .iter()
         .flat_map(|&p| Protocol::ALL.into_iter().map(move |proto| (p, proto)))
         .collect();
-    let points: Vec<ExperimentPoint> = jobs
-        .into_par_iter()
-        .map(|(conn, protocol)| {
-            let config = ScenarioConfig {
-                conn_mean_s: conn,
-                ..base.clone()
-            }
-            .with_adaptive_duration(1.5);
-            let result = run_scenario(&config, protocol);
-            ExperimentPoint {
-                x: conn,
-                protocol,
-                result,
-            }
-        })
-        .collect();
+    let points = map_parallel(&jobs, workers, |&(conn, protocol)| {
+        let config = ScenarioConfig {
+            conn_mean_s: conn,
+            ..base.clone()
+        }
+        .with_adaptive_duration(1.5);
+        let result = run_scenario(&config, protocol);
+        ExperimentPoint {
+            x: conn,
+            protocol,
+            mobility: config.mobility.label().to_string(),
+            result,
+        }
+    });
     FigureResult {
         name: "figure5".to_string(),
         x_label: "avg. length of conn. period (s)".to_string(),
@@ -108,31 +121,117 @@ pub fn figure5(base: &ScenarioConfig, conn_periods_s: &[f64]) -> FigureResult {
 /// of base stations) on top of the given base configuration. The paper fixes
 /// both period means at 5 minutes.
 pub fn figure6(base: &ScenarioConfig, grid_sides: &[usize]) -> FigureResult {
+    figure6_with_workers(base, grid_sides, available_workers())
+}
+
+/// [`figure6`] with an explicit worker count (1 = serial).
+pub fn figure6_with_workers(
+    base: &ScenarioConfig,
+    grid_sides: &[usize],
+    workers: usize,
+) -> FigureResult {
     let jobs: Vec<(usize, Protocol)> = grid_sides
         .iter()
         .flat_map(|&side| Protocol::ALL.into_iter().map(move |proto| (side, proto)))
         .collect();
-    let points: Vec<ExperimentPoint> = jobs
-        .into_par_iter()
-        .map(|(side, protocol)| {
-            let config = ScenarioConfig {
-                grid_side: side,
-                ..base.clone()
-            }
-            .with_adaptive_duration(1.5);
-            let result = run_scenario(&config, protocol);
-            ExperimentPoint {
-                x: (side * side) as f64,
-                protocol,
-                result,
-            }
-        })
-        .collect();
+    let points = map_parallel(&jobs, workers, |&(side, protocol)| {
+        let config = ScenarioConfig {
+            grid_side: side,
+            ..base.clone()
+        }
+        .with_adaptive_duration(1.5);
+        let result = run_scenario(&config, protocol);
+        ExperimentPoint {
+            x: (side * side) as f64,
+            protocol,
+            mobility: config.mobility.label().to_string(),
+            result,
+        }
+    });
     FigureResult {
         name: "figure6".to_string(),
         x_label: "number of base stations".to_string(),
         points,
     }
+}
+
+/// One cell of the mobility-model × protocol matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixPoint {
+    /// Label of the mobility model.
+    pub mobility: String,
+    /// The protocol run in this cell.
+    pub protocol: Protocol,
+    /// The collected metrics.
+    pub result: RunResult,
+}
+
+/// The full mobility-model × protocol matrix: every model of the sweep run
+/// against every protocol on the same base scenario.
+#[derive(Debug, Clone)]
+pub struct MatrixResult {
+    /// All cells, one per (model, protocol) pair.
+    pub points: Vec<MatrixPoint>,
+}
+
+impl MatrixResult {
+    /// The distinct model labels, in first-seen order.
+    pub fn models(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for p in &self.points {
+            if !out.contains(&p.mobility.as_str()) {
+                out.push(&p.mobility);
+            }
+        }
+        out
+    }
+
+    /// Look up one cell.
+    pub fn cell(&self, mobility: &str, protocol: Protocol) -> Option<&MatrixPoint> {
+        self.points
+            .iter()
+            .find(|p| p.mobility == mobility && p.protocol == protocol)
+    }
+}
+
+/// Run every mobility model against every protocol on `base` (the model
+/// stored in `base` itself is ignored in favour of each sweep entry), in
+/// parallel over the available cores.
+///
+/// Matrix cells are keyed by model *label*, so the `models` slice should
+/// contain at most one entry per model kind — two `RandomWaypoint`s with
+/// different pause times collide on `"random-waypoint"` and
+/// [`MatrixResult::cell`] / [`MatrixResult::models`] would surface only the
+/// first. To sweep one model across parameter values, run
+/// [`figure5_with_workers`]-style sweeps (or separate matrices) instead.
+pub fn mobility_matrix(base: &ScenarioConfig, models: &[ModelKind]) -> MatrixResult {
+    mobility_matrix_with_workers(base, models, available_workers())
+}
+
+/// [`mobility_matrix`] with an explicit worker count (1 = serial).
+pub fn mobility_matrix_with_workers(
+    base: &ScenarioConfig,
+    models: &[ModelKind],
+    workers: usize,
+) -> MatrixResult {
+    let jobs: Vec<(ModelKind, Protocol)> = models
+        .iter()
+        .flat_map(|kind| {
+            Protocol::ALL
+                .into_iter()
+                .map(move |proto| (kind.clone(), proto))
+        })
+        .collect();
+    let points = map_parallel(&jobs, workers, |(kind, protocol)| {
+        let config = base.clone().with_mobility(kind.clone());
+        let result = run_scenario(&config, *protocol);
+        MatrixPoint {
+            mobility: kind.label().to_string(),
+            protocol: *protocol,
+            result,
+        }
+    });
+    MatrixResult { points }
 }
 
 #[cfg(test)]
@@ -218,7 +317,11 @@ mod tests {
             assert_eq!(fig.delay_series(proto).len(), 2);
             // Every point produced at least one handoff and a sane delay.
             for p in fig.curve(proto) {
-                assert!(p.result.handoffs > 0, "{proto:?} point {} had no handoffs", p.x);
+                assert!(
+                    p.result.handoffs > 0,
+                    "{proto:?} point {} had no handoffs",
+                    p.x
+                );
                 assert!(p.result.avg_handoff_delay_ms >= 0.0);
             }
         }

@@ -10,21 +10,30 @@
 //! on identical pre-generated workloads, collects the paper's two metrics —
 //! *message overhead per handoff* (hops) and *average handoff delay* — plus a
 //! delivery-reliability audit, and sweeps the parameters of Figure 5
-//! (connection-period length) and Figure 6 (network size). Sweep points are
-//! independent simulations and run in parallel with rayon.
+//! (connection-period length) and Figure 6 (network size), as well as the
+//! mobility-model × protocol matrix enabled by `mhh-mobility`. Sweep points
+//! are independent simulations and run in parallel on scoped worker threads
+//! ([`mhh_mobility::sweep`]); named presets live in the [`scenarios`]
+//! registry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod experiments;
+pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod scenarios;
 pub mod workload;
 
 pub use config::{Protocol, ScenarioConfig};
-pub use experiments::{figure5, figure6, ExperimentPoint, FigureResult};
+pub use experiments::{
+    figure5, figure6, mobility_matrix, ExperimentPoint, FigureResult, MatrixPoint, MatrixResult,
+};
 pub use metrics::RunResult;
+pub use mhh_mobility::ModelKind;
 pub use runner::run_scenario;
+pub use scenarios::Scenario;
 pub use workload::Workload;

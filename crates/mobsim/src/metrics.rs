@@ -1,14 +1,12 @@
 //! Metrics collected from one simulation run.
 
-use serde::{Deserialize, Serialize};
-
 use mhh_pubsub::DeliveryAudit;
 
 use crate::config::Protocol;
 
 /// The outcome of one scenario run: the paper's two performance metrics plus
 /// the reliability audit and raw counters useful for debugging and reports.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// The protocol that was run.
     pub protocol: Protocol,

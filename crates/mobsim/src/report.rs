@@ -3,7 +3,9 @@
 use std::fmt::Write as _;
 
 use crate::config::Protocol;
-use crate::experiments::FigureResult;
+use crate::experiments::{FigureResult, MatrixResult};
+use crate::json::Json;
+use crate::metrics::RunResult;
 
 /// Render one figure as two fixed-width tables (overhead panel and delay
 /// panel), in the same orientation as the paper's plots: one row per x value,
@@ -87,10 +89,119 @@ fn render_reliability(fig: &FigureResult) -> String {
     out
 }
 
+/// JSON document for one run's metrics.
+pub fn run_result_json(r: &RunResult) -> Json {
+    Json::obj(vec![
+        ("protocol", Json::str(r.protocol.label())),
+        ("handoffs", Json::UInt(r.handoffs)),
+        ("mobility_hops", Json::UInt(r.mobility_hops)),
+        ("overhead_per_handoff", Json::Num(r.overhead_per_handoff)),
+        ("avg_handoff_delay_ms", Json::Num(r.avg_handoff_delay_ms)),
+        ("delay_samples", Json::UInt(r.delay_samples)),
+        (
+            "audit",
+            Json::obj(vec![
+                ("expected", Json::UInt(r.audit.expected)),
+                ("delivered", Json::UInt(r.audit.delivered)),
+                ("duplicates", Json::UInt(r.audit.duplicates)),
+                ("pending", Json::UInt(r.audit.pending)),
+                ("lost", Json::UInt(r.audit.lost)),
+                ("out_of_order", Json::UInt(r.audit.out_of_order)),
+            ]),
+        ),
+        ("published", Json::UInt(r.published)),
+        ("delivered_messages", Json::UInt(r.delivered_messages)),
+        ("total_hops", Json::UInt(r.total_hops)),
+        ("sim_duration_s", Json::Num(r.sim_duration_s)),
+    ])
+}
+
 /// Serialise a figure to pretty JSON (written next to EXPERIMENTS.md so the
 /// numbers in the write-up can be regenerated).
 pub fn to_json(fig: &FigureResult) -> String {
-    serde_json::to_string_pretty(fig).expect("figure results are serialisable")
+    Json::obj(vec![
+        ("name", Json::str(&fig.name)),
+        ("x_label", Json::str(&fig.x_label)),
+        (
+            "points",
+            Json::Arr(
+                fig.points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("x", Json::Num(p.x)),
+                            ("protocol", Json::str(p.protocol.label())),
+                            ("mobility", Json::str(&p.mobility)),
+                            ("result", run_result_json(&p.result)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .pretty()
+}
+
+/// Metric accessor used by the matrix tables.
+type MetricFn = fn(&RunResult) -> f64;
+
+/// Render the mobility-model × protocol matrix as fixed-width tables: one
+/// row per model, one column per protocol, one table per metric.
+pub fn render_matrix(matrix: &MatrixResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== mobility-model x protocol matrix ==");
+    let metrics: [(&str, MetricFn); 3] = [
+        ("message overhead per handoff (hops)", |r| {
+            r.overhead_per_handoff
+        }),
+        ("average handoff delay (ms)", |r| r.avg_handoff_delay_ms),
+        ("lost events", |r| r.audit.lost as f64),
+    ];
+    for (title, metric) in metrics {
+        let _ = writeln!(out, "-- {title} --");
+        let _ = write!(out, "{:>20}", "model");
+        for proto in Protocol::ALL {
+            let _ = write!(out, " | {:>12}", proto.label());
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{}", "-".repeat(20 + Protocol::ALL.len() * 15));
+        for model in matrix.models() {
+            let _ = write!(out, "{model:>20}");
+            for proto in Protocol::ALL {
+                match matrix.cell(model, proto) {
+                    Some(p) => {
+                        let _ = write!(out, " | {:12.1}", metric(&p.result));
+                    }
+                    None => {
+                        let _ = write!(out, " | {:>12}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Serialise the matrix to pretty JSON.
+pub fn matrix_to_json(matrix: &MatrixResult) -> String {
+    Json::obj(vec![(
+        "points",
+        Json::Arr(
+            matrix
+                .points
+                .iter()
+                .map(|p| {
+                    Json::obj(vec![
+                        ("mobility", Json::str(&p.mobility)),
+                        ("protocol", Json::str(p.protocol.label())),
+                        ("result", run_result_json(&p.result)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+    .pretty()
 }
 
 #[cfg(test)]

@@ -76,7 +76,11 @@ fn collect<P: MobilityProtocol>(
     let buffered = dep.buffered_events();
 
     // Reliability audit over every subscriber.
-    let logs: Vec<(ClientId, mhh_pubsub::Filter, Vec<mhh_pubsub::DeliveryRecord>)> = dep
+    let logs: Vec<(
+        ClientId,
+        mhh_pubsub::Filter,
+        Vec<mhh_pubsub::DeliveryRecord>,
+    )> = dep
         .clients()
         .map(|c| (c.id, c.filter.clone(), c.received.clone()))
         .collect();
@@ -145,7 +149,11 @@ mod tests {
     fn mhh_run_is_reliable_and_produces_handoffs() {
         let r = run_scenario(&tiny(), Protocol::Mhh);
         assert!(r.handoffs > 0, "workload must move clients: {r:?}");
-        assert!(r.reliable(), "MHH must be exactly-once/ordered: {:?}", r.audit);
+        assert!(
+            r.reliable(),
+            "MHH must be exactly-once/ordered: {:?}",
+            r.audit
+        );
         assert!(r.mobility_hops > 0);
         assert!(r.avg_handoff_delay_ms > 0.0);
         assert!(r.published > 0);

@@ -1,0 +1,186 @@
+//! The scenario registry: named presets combining a [`ScenarioConfig`] with
+//! a mobility model, so experiments, examples and benches can refer to
+//! well-known setups by name instead of re-tuning parameters.
+//!
+//! ```
+//! use mhh_mobsim::scenarios;
+//! use mhh_mobsim::{run_scenario, Protocol};
+//!
+//! let preset = scenarios::find("trace-smoke").expect("registered");
+//! let result = run_scenario(&preset.config, Protocol::Mhh);
+//! assert!(result.reliable());
+//! ```
+
+use std::sync::Arc;
+
+use mhh_mobility::{ModelKind, TraceRecord};
+
+use crate::config::ScenarioConfig;
+
+/// One named preset.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Registry key (kebab-case).
+    pub name: &'static str,
+    /// One-line description of what the preset stresses.
+    pub summary: &'static str,
+    /// The full configuration, including the mobility model.
+    pub config: ScenarioConfig,
+}
+
+/// All registered presets.
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "paper-fig5",
+            summary: "The paper's Figure 5 environment: 100 brokers, 1000 clients, \
+                      uniform random mobility; sweep conn_mean_s externally.",
+            config: ScenarioConfig::paper_defaults(),
+        },
+        Scenario {
+            name: "paper-fig6",
+            summary: "The paper's Figure 6 environment (same base; sweep grid_side \
+                      externally).",
+            config: ScenarioConfig::paper_defaults(),
+        },
+        Scenario {
+            name: "manhattan-rush-hour",
+            summary: "Street-grid movement with short connection periods: many cheap \
+                      adjacent-broker handoffs in quick succession.",
+            config: ScenarioConfig {
+                conn_mean_s: 60.0,
+                disc_mean_s: 30.0,
+                publish_interval_s: 120.0,
+                mobility: ModelKind::ManhattanGrid,
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
+            name: "hotspot-flash-crowd",
+            summary: "Commuters oscillating between homes and three shared hotspot \
+                      brokers: filter-table contention at the hot brokers.",
+            config: ScenarioConfig {
+                mobile_fraction: 0.4,
+                conn_mean_s: 120.0,
+                disc_mean_s: 60.0,
+                mobility: ModelKind::HotspotCommuter { hotspots: 3 },
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
+            name: "waypoint-campus",
+            summary: "Random-waypoint walks with two-minute pauses: sustained chains \
+                      of short-distance handoffs.",
+            config: ScenarioConfig {
+                conn_mean_s: 45.0,
+                disc_mean_s: 20.0,
+                mobility: ModelKind::RandomWaypoint {
+                    pause_mean_s: 120.0,
+                },
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
+            name: "trace-smoke",
+            summary: "Tiny deterministic trace-playback scenario for regression \
+                      tests: fixed move list, fixed gaps, no sampled mobility.",
+            config: ScenarioConfig {
+                grid_side: 3,
+                clients_per_broker: 2,
+                mobile_fraction: 0.0,
+                conn_mean_s: 60.0,
+                disc_mean_s: 5.0,
+                publish_interval_s: 20.0,
+                duration_s: 300.0,
+                seed: 42,
+                mobility: ModelKind::TracePlayback(Arc::new(vec![
+                    // Client 0 lives on broker 0, tours the first column.
+                    TraceRecord {
+                        at_s: 40.0,
+                        client: 0,
+                        from: 0,
+                        to: 3,
+                    },
+                    TraceRecord {
+                        at_s: 110.0,
+                        client: 0,
+                        from: 3,
+                        to: 6,
+                    },
+                    TraceRecord {
+                        at_s: 190.0,
+                        client: 0,
+                        from: 6,
+                        to: 0,
+                    },
+                    // Client 7 (home broker 7) visits the centre and returns.
+                    TraceRecord {
+                        at_s: 75.0,
+                        client: 7,
+                        from: 7,
+                        to: 4,
+                    },
+                    TraceRecord {
+                        at_s: 150.0,
+                        client: 7,
+                        from: 4,
+                        to: 7,
+                    },
+                ])),
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+    ]
+}
+
+/// Look up a preset by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Protocol;
+    use crate::runner::run_scenario;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate preset names");
+        for name in names {
+            assert!(find(name).is_some());
+        }
+        assert!(find("no-such-preset").is_none());
+    }
+
+    #[test]
+    fn trace_smoke_replays_exactly_five_moves() {
+        let preset = find("trace-smoke").unwrap();
+        let r = run_scenario(&preset.config, Protocol::Mhh);
+        assert_eq!(r.handoffs, 5, "the fixed move list has five moves");
+        assert!(r.reliable(), "{:?}", r.audit);
+        // Byte-for-byte reproducible: same preset, same metrics.
+        let again = run_scenario(&preset.config, Protocol::Mhh);
+        assert_eq!(format!("{r:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn presets_carry_the_advertised_models() {
+        assert_eq!(
+            find("manhattan-rush-hour").unwrap().config.mobility.label(),
+            "manhattan-grid"
+        );
+        assert_eq!(
+            find("hotspot-flash-crowd").unwrap().config.mobility.label(),
+            "hotspot-commuter"
+        );
+        assert_eq!(
+            find("paper-fig5").unwrap().config.mobility.label(),
+            "uniform-random"
+        );
+    }
+}

@@ -6,6 +6,7 @@
 //! protocol being compared — the comparison in the figures is therefore
 //! paired, like the paper's.
 
+use mhh_mobility::{MobilityWorld, MoveStep};
 use mhh_pubsub::event::EventBuilder;
 use mhh_pubsub::{BrokerId, ClientAction, ClientId, ClientSpec, Event, Filter, Op};
 use mhh_simnet::random::DetRng;
@@ -39,11 +40,19 @@ pub struct Workload {
 }
 
 impl Workload {
-    /// Generate the workload for a scenario.
+    /// Generate the workload for a scenario. Mobility timelines come from
+    /// the scenario's pluggable [`MobilityModel`](mhh_mobility::MobilityModel).
     pub fn generate(config: &ScenarioConfig) -> Workload {
         let mut rng = DetRng::new(config.seed);
-        let brokers = config.broker_count();
         let clients = make_clients(config, &mut rng);
+        let model = config.mobility.build();
+        let world = MobilityWorld {
+            grid_side: config.grid_side,
+            conn_mean_s: config.conn_mean_s,
+            disc_mean_s: config.disc_mean_s,
+            horizon_s: config.duration_s,
+            scenario_seed: config.seed,
+        };
         let mut timeline = Vec::new();
         let mut publish_count = 0usize;
         let mut move_count = 0usize;
@@ -73,30 +82,47 @@ impl Workload {
                 t += config.publish_interval_s;
             }
 
-            // Mobility schedule for mobile clients: alternate exponential
-            // connection and disconnection periods; each reconnection picks a
-            // uniformly random base station (paper, Section 5.1).
-            if spec.mobile {
-                let mut t = crng.exponential(config.conn_mean_s);
-                while t < horizon {
+            // Mobility schedule: the model turns (world, client, home, seed)
+            // into a deterministic move trace; each step becomes a
+            // disconnect/reconnect pair on the timeline. Synthetic models
+            // move the sampled mobile fraction; trace playback drives
+            // exactly the clients its records mention.
+            if spec.mobile || model.drives_all_clients() {
+                let trace = model.trace(&world, client.0, spec.home.0, crng.next_u64());
+                for MoveStep {
+                    depart_s,
+                    arrive_s,
+                    to,
+                    ..
+                } in trace.steps
+                {
                     timeline.push(TimelineEntry {
-                        at: SimTime::ZERO + SimDuration::from_secs_f64(t),
+                        at: SimTime::ZERO + SimDuration::from_secs_f64(depart_s),
                         client,
-                        action: ClientAction::Disconnect { proclaimed_dest: None },
+                        action: ClientAction::Disconnect {
+                            proclaimed_dest: None,
+                        },
                     });
-                    let off = crng.exponential(config.disc_mean_s);
-                    let reconnect_at = t + off.max(0.001);
-                    if reconnect_at >= horizon {
-                        break;
-                    }
-                    let target = BrokerId(crng.index(brokers) as u32);
                     timeline.push(TimelineEntry {
-                        at: SimTime::ZERO + SimDuration::from_secs_f64(reconnect_at),
+                        at: SimTime::ZERO + SimDuration::from_secs_f64(arrive_s),
                         client,
-                        action: ClientAction::Reconnect { broker: target },
+                        action: ClientAction::Reconnect {
+                            broker: BrokerId(to),
+                        },
                     });
                     move_count += 1;
-                    t = reconnect_at + crng.exponential(config.conn_mean_s).max(0.001);
+                }
+                // A trailing departure with no in-horizon return: the client
+                // ends the run disconnected (paper steady state), leaving
+                // its stored events pending.
+                if let Some(depart_s) = trace.park_depart_s {
+                    timeline.push(TimelineEntry {
+                        at: SimTime::ZERO + SimDuration::from_secs_f64(depart_s),
+                        client,
+                        action: ClientAction::Disconnect {
+                            proclaimed_dest: None,
+                        },
+                    });
                 }
             }
         }
@@ -126,9 +152,10 @@ fn make_clients(config: &ScenarioConfig, rng: &mut DetRng) -> Vec<ClientSpec> {
         .map(|i| {
             let home = BrokerId((i % brokers) as u32);
             let lo = rng.range_f64(0.0, 1.0 - config.selectivity);
-            let filter = Filter::new(vec![])
-                .and("v", Op::Ge, lo)
-                .and("v", Op::Lt, lo + config.selectivity);
+            let filter =
+                Filter::new(vec![])
+                    .and("v", Op::Ge, lo)
+                    .and("v", Op::Lt, lo + config.selectivity);
             ClientSpec {
                 filter,
                 home,
@@ -226,7 +253,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = Workload::generate(&small());
-        let b = Workload::generate(&ScenarioConfig { seed: 999, ..small() });
+        let b = Workload::generate(&ScenarioConfig {
+            seed: 999,
+            ..small()
+        });
         assert_ne!(a.move_count, 0);
         // Move times differ between seeds (the filters almost surely too).
         let a_moves: Vec<_> = a

@@ -2,16 +2,14 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use mhh_simnet::NodeId;
 
 /// Identifier of an event broker (a base station of the k×k grid).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BrokerId(pub u32);
 
 /// Identifier of a client (publisher and/or subscriber, possibly mobile).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClientId(pub u32);
 
 impl BrokerId {
@@ -44,7 +42,7 @@ impl fmt::Display for ClientId {
 /// of the overlay or a client directly connected to the broker (paper,
 /// Section 3: "The neighbors of a broker include both the neighboring brokers
 /// and the clients that directly connect to the broker").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Peer {
     /// A neighboring broker.
     Broker(BrokerId),
@@ -66,7 +64,7 @@ impl fmt::Display for Peer {
 /// Brokers occupy node ids `0..broker_count`, clients occupy
 /// `broker_count..broker_count + client_count`. The struct is tiny and
 /// `Copy`, so every broker and client embeds its own copy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressBook {
     broker_count: u32,
     client_count: u32,

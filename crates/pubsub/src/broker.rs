@@ -66,7 +66,8 @@ impl<'a, P: ProtocolMessage> BrokerCtx<'a, P> {
 
     /// Deliver an event to a connected client over the wireless link.
     pub fn deliver(&mut self, client: ClientId, event: Event) {
-        self.inner.send(self.book.client_node(client), NetMsg::Deliver(event));
+        self.inner
+            .send(self.book.client_node(client), NetMsg::Deliver(event));
     }
 
     /// Schedule a protocol message back to this broker after `delay`
@@ -294,7 +295,10 @@ impl BrokerCore {
             if from == Peer::Broker(nb) {
                 continue;
             }
-            if self.filters.still_needed_by_other(&filter, Peer::Broker(nb)) {
+            if self
+                .filters
+                .still_needed_by_other(&filter, Peer::Broker(nb))
+            {
                 // Another neighbor or local client still needs events
                 // matching this filter, so the neighbor must keep sending
                 // them to us.
@@ -348,9 +352,7 @@ impl<P: MobilityProtocol> Node<NetMsg<P::Msg>> for Broker<P> {
         let mut bctx = BrokerCtx::new(ctx, book);
         match env.msg {
             NetMsg::Connect(info) => {
-                self.core
-                    .connected
-                    .insert(info.client, info.filter.clone());
+                self.core.connected.insert(info.client, info.filter.clone());
                 if info.initial {
                     // First attachment ever: a plain subscription, no handoff.
                     self.core.apply_subscribe(
@@ -360,7 +362,8 @@ impl<P: MobilityProtocol> Node<NetMsg<P::Msg>> for Broker<P> {
                         &mut bctx,
                     );
                 } else {
-                    self.proto.on_client_connect(&mut self.core, info, &mut bctx);
+                    self.proto
+                        .on_client_connect(&mut self.core, info, &mut bctx);
                 }
             }
             NetMsg::Disconnect {
@@ -412,7 +415,8 @@ impl<P: MobilityProtocol> Node<NetMsg<P::Msg>> for Broker<P> {
                     // self-timers); a client sender would be a logic error.
                     self.core.id
                 };
-                self.proto.on_protocol_msg(&mut self.core, from, msg, &mut bctx);
+                self.proto
+                    .on_protocol_msg(&mut self.core, from, msg, &mut bctx);
             }
             // Messages addressed to clients or timer actions are never
             // handled by brokers.
@@ -595,7 +599,9 @@ mod tests {
             }
         }
         match eng.node(book.client_node(ClientId(0))) {
-            TestNode::Client(cl) => assert!(cl.received.is_empty(), "publisher must not self-receive"),
+            TestNode::Client(cl) => {
+                assert!(cl.received.is_empty(), "publisher must not self-receive")
+            }
             _ => unreachable!(),
         }
     }
@@ -647,9 +653,19 @@ mod tests {
             .brokers()
             .map(|b| Broker::new(BrokerCore::new(b, book, network.clone(), true), NoProtocol))
             .collect();
-        install_subscription(&mut brokers, &network, ClientId(0), &filter, BrokerId(4), true);
+        install_subscription(
+            &mut brokers,
+            &network,
+            ClientId(0),
+            &filter,
+            BrokerId(4),
+            true,
+        );
         // The root broker has a client entry.
-        assert!(brokers[4].core.filters.contains(Peer::Client(ClientId(0)), &filter));
+        assert!(brokers[4]
+            .core
+            .filters
+            .contains(Peer::Client(ClientId(0)), &filter));
         assert!(brokers[4].core.is_connected(ClientId(0)));
         // Every other broker has exactly one entry pointing at its next hop
         // toward broker 4.
@@ -686,18 +702,23 @@ mod tests {
         eng.schedule_external(
             SimTime::ZERO,
             book.client_node(ClientId(0)),
-            NetMsg::Action(ClientAction::Reconnect { broker: BrokerId(0) }),
+            NetMsg::Action(ClientAction::Reconnect {
+                broker: BrokerId(0),
+            }),
         );
         // Client 1 (attached statically? no - it must attach too).
         eng.schedule_external(
             SimTime::ZERO,
             book.client_node(ClientId(1)),
-            NetMsg::Action(ClientAction::Reconnect { broker: BrokerId(8) }),
+            NetMsg::Action(ClientAction::Reconnect {
+                broker: BrokerId(8),
+            }),
         );
         // Give the subscription time to propagate, then publish from client 1.
-        let event = crate::event::EventBuilder::new()
-            .attr("group", 5i64)
-            .build(900, ClientId(1), 0);
+        let event =
+            crate::event::EventBuilder::new()
+                .attr("group", 5i64)
+                .build(900, ClientId(1), 0);
         eng.schedule_external(
             SimTime::from_secs(5),
             book.client_node(ClientId(1)),
@@ -731,7 +752,9 @@ mod tests {
         eng.schedule_external(
             SimTime::ZERO,
             book.client_node(ClientId(0)),
-            NetMsg::Action(ClientAction::Reconnect { broker: BrokerId(0) }),
+            NetMsg::Action(ClientAction::Reconnect {
+                broker: BrokerId(0),
+            }),
         );
         eng.run_to_completion();
         let first_wave = eng.stats().kind("sub_propagate").messages;
@@ -739,7 +762,9 @@ mod tests {
         eng.schedule_external(
             eng.now(),
             book.client_node(ClientId(1)),
-            NetMsg::Action(ClientAction::Reconnect { broker: BrokerId(0) }),
+            NetMsg::Action(ClientAction::Reconnect {
+                broker: BrokerId(0),
+            }),
         );
         eng.run_to_completion();
         let second_wave = eng.stats().kind("sub_propagate").messages;

@@ -12,8 +12,6 @@
 //! *handoff delay* ("the period from a client's reconnection time to the
 //! time it receives the first event").
 
-use serde::{Deserialize, Serialize};
-
 use mhh_simnet::{Context, Envelope, Node, SimTime};
 
 use crate::address::{AddressBook, BrokerId, ClientId};
@@ -22,7 +20,7 @@ use crate::filter::Filter;
 use crate::messages::{ClientAction, ConnectInfo, NetMsg, ProtocolMessage};
 
 /// One delivered event as seen by a client.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeliveryRecord {
     /// Delivery time at the client.
     pub at: SimTime,
@@ -37,7 +35,7 @@ pub struct DeliveryRecord {
 }
 
 /// One reconnection of a mobile client.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ReconnectRecord {
     /// When the client reconnected.
     pub at: SimTime,
@@ -281,7 +279,9 @@ mod tests {
     }
 
     fn ev(id: u64) -> Event {
-        EventBuilder::new().attr("group", 1i64).build(id, ClientId(0), id)
+        EventBuilder::new()
+            .attr("group", 1i64)
+            .build(id, ClientId(0), id)
     }
 
     #[test]
@@ -312,7 +312,9 @@ mod tests {
         eng.schedule_external(
             SimTime::from_millis(1),
             book.client_node(ClientId(0)),
-            NetMsg::Action(ClientAction::Disconnect { proclaimed_dest: None }),
+            NetMsg::Action(ClientAction::Disconnect {
+                proclaimed_dest: None,
+            }),
         );
         eng.schedule_external(
             SimTime::from_millis(2),
@@ -338,12 +340,16 @@ mod tests {
         eng.schedule_external(
             SimTime::from_millis(1),
             c,
-            NetMsg::Action(ClientAction::Disconnect { proclaimed_dest: None }),
+            NetMsg::Action(ClientAction::Disconnect {
+                proclaimed_dest: None,
+            }),
         );
         eng.schedule_external(
             SimTime::from_millis(100),
             c,
-            NetMsg::Action(ClientAction::Reconnect { broker: BrokerId(1) }),
+            NetMsg::Action(ClientAction::Reconnect {
+                broker: BrokerId(1),
+            }),
         );
         eng.run_to_completion();
         match eng.node(book.broker_node(BrokerId(1))) {
@@ -372,12 +378,16 @@ mod tests {
         eng.schedule_external(
             SimTime::from_millis(1),
             c,
-            NetMsg::Action(ClientAction::Disconnect { proclaimed_dest: None }),
+            NetMsg::Action(ClientAction::Disconnect {
+                proclaimed_dest: None,
+            }),
         );
         eng.schedule_external(
             SimTime::from_millis(50),
             c,
-            NetMsg::Action(ClientAction::Reconnect { broker: BrokerId(0) }),
+            NetMsg::Action(ClientAction::Reconnect {
+                broker: BrokerId(0),
+            }),
         );
         eng.run_to_completion();
         match eng.node(c) {
@@ -393,12 +403,16 @@ mod tests {
         eng.schedule_external(
             SimTime::from_millis(1),
             c,
-            NetMsg::Action(ClientAction::Disconnect { proclaimed_dest: None }),
+            NetMsg::Action(ClientAction::Disconnect {
+                proclaimed_dest: None,
+            }),
         );
         eng.schedule_external(
             SimTime::from_millis(100),
             c,
-            NetMsg::Action(ClientAction::Reconnect { broker: BrokerId(1) }),
+            NetMsg::Action(ClientAction::Reconnect {
+                broker: BrokerId(1),
+            }),
         );
         // A delivery arriving after the reconnect.
         eng.schedule_external(SimTime::from_millis(180), c, NetMsg::Deliver(ev(9)));

@@ -14,15 +14,13 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 use crate::address::ClientId;
 use crate::client::DeliveryRecord;
 use crate::event::{Event, EventId};
 use crate::filter::Filter;
 
 /// The result of auditing one run.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeliveryAudit {
     /// Total (subscriber, matching event) pairs that should eventually be
     /// delivered.
@@ -220,7 +218,11 @@ mod tests {
         let published = vec![ev(1, 9, 0, 1), ev(2, 9, 1, 1), ev(3, 7, 0, 1)];
         let filter = Filter::single("group", Op::Eq, 1i64);
         // Publisher 9's events delivered in reverse order; publisher 7 fine.
-        let deliveries = vec![delivery(2, 9, 1, 10), delivery(1, 9, 0, 20), delivery(3, 7, 0, 30)];
+        let deliveries = vec![
+            delivery(2, 9, 1, 10),
+            delivery(1, 9, 0, 20),
+            delivery(3, 7, 0, 30),
+        ];
         let subs = [SubscriberLog {
             client: ClientId(0),
             filter: &filter,

@@ -231,7 +231,9 @@ mod tests {
         let config = DeploymentConfig::default();
         let clients = specs(6, 9);
         let mut dep: Deployment<NoProtocol> = Deployment::build(&config, &clients, |_| NoProtocol);
-        let event = EventBuilder::new().attr("group", 1i64).build(1, ClientId(2), 0);
+        let event = EventBuilder::new()
+            .attr("group", 1i64)
+            .build(1, ClientId(2), 0);
         dep.schedule_publish(SimTime::from_millis(1), ClientId(2), event);
         dep.engine.run_to_completion();
         for c in dep.clients() {

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use mhh_simnet::SimTime;
 
 use crate::address::ClientId;
@@ -12,7 +10,7 @@ use crate::value::Value;
 
 /// Globally unique event identifier, assigned by the publisher side
 /// (workload generator or example application).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(pub u64);
 
 impl fmt::Display for EventId {
@@ -23,7 +21,7 @@ impl fmt::Display for EventId {
 
 /// The immutable payload of an event. Shared behind an [`Arc`] so that
 /// forwarding an event across many overlay hops never copies attribute data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventData {
     /// Attribute name/value pairs. Events carry few attributes, so linear
     /// lookup is faster than a map and keeps the type compact.
@@ -36,7 +34,7 @@ pub struct EventData {
 /// value: `publisher` and `seq` give the per-publisher order ("publisher
 /// order of events", footnote 1 of the paper), `id` gives exactly-once
 /// accounting, `published_at` records publication time for delay metrics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Event {
     /// Globally unique id.
     pub id: EventId,
@@ -52,12 +50,7 @@ pub struct Event {
 
 impl Event {
     /// Build an event from attribute pairs.
-    pub fn new(
-        id: EventId,
-        publisher: ClientId,
-        seq: u64,
-        attrs: Vec<(String, Value)>,
-    ) -> Self {
+    pub fn new(id: EventId, publisher: ClientId, seq: u64, attrs: Vec<(String, Value)>) -> Self {
         Event {
             id,
             publisher,

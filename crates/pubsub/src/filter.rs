@@ -12,13 +12,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::event::Event;
 use crate::value::Value;
 
 /// Comparison operator of a constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Attribute equals the value.
     Eq,
@@ -39,7 +37,7 @@ pub enum Op {
 }
 
 /// A single attribute constraint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Constraint {
     /// Attribute name.
     pub attr: String,
@@ -118,11 +116,10 @@ impl Constraint {
             (Op::Le, Op::Lt) => matches!(cmp, Some(Less)),
             (Op::Gt, Op::Ne) | (Op::Lt, Op::Ne) => {
                 // x > v implies x != w when w <= v; x < v implies x != w when w >= v.
-                match (self.op, cmp) {
-                    (Op::Gt, Some(Greater | Equal)) => true,
-                    (Op::Lt, Some(Less | Equal)) => true,
-                    _ => false,
-                }
+                matches!(
+                    (self.op, cmp),
+                    (Op::Gt, Some(Greater | Equal)) | (Op::Lt, Some(Less | Equal))
+                )
             }
             (Op::Prefix, Op::Prefix) => {
                 // "abc*" implies "ab*"
@@ -163,7 +160,7 @@ impl fmt::Display for Constraint {
 
 /// A conjunctive content filter: an event matches when every constraint is
 /// satisfied. The empty filter matches everything.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Filter {
     /// The conjunction of constraints.
     pub constraints: Vec<Constraint>,
@@ -332,7 +329,10 @@ mod tests {
             assert!(wide.covers(&narrow), "{wide} should cover {narrow}");
             for e in &events {
                 if narrow.matches(e) {
-                    assert!(wide.matches(e), "{wide} must match whatever {narrow} matches");
+                    assert!(
+                        wide.matches(e),
+                        "{wide} must match whatever {narrow} matches"
+                    );
                 }
             }
         }
@@ -348,70 +348,87 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    //! Deterministic property loops (the environment cannot fetch
+    //! `proptest`; cases are sampled from a seeded [`DetRng`], which also
+    //! makes failures exactly reproducible).
+
     use super::*;
     use crate::address::ClientId;
     use crate::event::EventBuilder;
-    use proptest::prelude::*;
+    use mhh_simnet::random::DetRng;
 
-    fn arb_op() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            Just(Op::Eq),
-            Just(Op::Ne),
-            Just(Op::Lt),
-            Just(Op::Le),
-            Just(Op::Gt),
-            Just(Op::Ge),
-            Just(Op::Exists),
-        ]
+    const OPS: [Op; 7] = [Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge, Op::Exists];
+    const ATTRS: [&str; 3] = ["a", "b", "c"];
+
+    fn arb_constraint(rng: &mut DetRng) -> Constraint {
+        let op = OPS[rng.index(OPS.len())];
+        let v = rng.range_u64(0, 40) as i64 - 20;
+        let attr = ATTRS[rng.index(ATTRS.len())];
+        Constraint::new(attr, op, v)
     }
 
-    fn arb_constraint() -> impl Strategy<Value = Constraint> {
-        (arb_op(), -20i64..20, prop_oneof![Just("a"), Just("b"), Just("c")])
-            .prop_map(|(op, v, attr)| Constraint::new(attr, op, v))
+    fn arb_filter(rng: &mut DetRng) -> Filter {
+        let n = rng.index(4);
+        Filter::new((0..n).map(|_| arb_constraint(rng)).collect())
     }
 
-    fn arb_filter() -> impl Strategy<Value = Filter> {
-        proptest::collection::vec(arb_constraint(), 0..4).prop_map(Filter::new)
+    fn arb_event(rng: &mut DetRng) -> Event {
+        EventBuilder::new()
+            .attr("a", rng.range_u64(0, 40) as i64 - 20)
+            .attr("b", rng.range_u64(0, 40) as i64 - 20)
+            .attr("c", rng.range_u64(0, 40) as i64 - 20)
+            .build(0, ClientId(0), 0)
     }
 
-    fn arb_event() -> impl Strategy<Value = Event> {
-        (-20i64..20, -20i64..20, -20i64..20).prop_map(|(a, b, c)| {
-            EventBuilder::new()
-                .attr("a", a)
-                .attr("b", b)
-                .attr("c", c)
-                .build(0, ClientId(0), 0)
-        })
-    }
-
-    proptest! {
-        /// Soundness of covering: if F covers G then every event matching G
-        /// matches F.
-        #[test]
-        fn covering_soundness(f in arb_filter(), g in arb_filter(), e in arb_event()) {
+    /// Soundness of covering: if F covers G then every event matching G
+    /// matches F.
+    #[test]
+    fn covering_soundness() {
+        let mut rng = DetRng::new(0xc07e_1111);
+        for _ in 0..512 {
+            let f = arb_filter(&mut rng);
+            let g = arb_filter(&mut rng);
+            let e = arb_event(&mut rng);
             if f.covers(&g) && g.matches(&e) {
-                prop_assert!(f.matches(&e));
+                assert!(
+                    f.matches(&e),
+                    "F={f} covers G={g} but misses event matching G"
+                );
             }
         }
+    }
 
-        /// Soundness of constraint implication.
-        #[test]
-        fn implication_soundness(c1 in arb_constraint(), c2 in arb_constraint(), e in arb_event()) {
+    /// Soundness of constraint implication.
+    #[test]
+    fn implication_soundness() {
+        let mut rng = DetRng::new(0xc07e_2222);
+        for _ in 0..512 {
+            let c1 = arb_constraint(&mut rng);
+            let c2 = arb_constraint(&mut rng);
+            let e = arb_event(&mut rng);
             if c1.implies(&c2) && c1.matches(&e) {
-                prop_assert!(c2.matches(&e));
+                assert!(c2.matches(&e), "{c1:?} implies {c2:?} but event breaks it");
             }
         }
+    }
 
-        /// Covering is reflexive.
-        #[test]
-        fn covering_reflexive(f in arb_filter()) {
-            prop_assert!(f.covers(&f));
+    /// Covering is reflexive.
+    #[test]
+    fn covering_reflexive() {
+        let mut rng = DetRng::new(0xc07e_3333);
+        for _ in 0..256 {
+            let f = arb_filter(&mut rng);
+            assert!(f.covers(&f), "{f} does not cover itself");
         }
+    }
 
-        /// The match-all filter covers everything.
-        #[test]
-        fn match_all_covers_all(f in arb_filter()) {
-            prop_assert!(Filter::match_all().covers(&f));
+    /// The match-all filter covers everything.
+    #[test]
+    fn match_all_covers_all() {
+        let mut rng = DetRng::new(0xc07e_4444);
+        for _ in 0..256 {
+            let f = arb_filter(&mut rng);
+            assert!(Filter::match_all().covers(&f));
         }
     }
 }

@@ -14,14 +14,12 @@
 //! * per-entry bookkeeping helpers used by subscription propagation with the
 //!   optional covering optimisation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::address::Peer;
 use crate::event::Event;
 use crate::filter::Filter;
 
 /// One `(neighbor, filter)` entry, optionally labeled.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FilterEntry {
     /// The interested neighbor (broker or client).
     pub peer: Peer,
@@ -33,7 +31,7 @@ pub struct FilterEntry {
 }
 
 /// The filter table of a broker.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FilterTable {
     entries: Vec<FilterEntry>,
 }
@@ -271,7 +269,11 @@ mod tests {
         t.add(B2, f(3));
         t.add(B2, Filter::match_all());
         let targets = t.matching_targets(&ev(3), B1);
-        assert_eq!(targets, vec![B2], "peer appears once even with two matching filters");
+        assert_eq!(
+            targets,
+            vec![B2],
+            "peer appears once even with two matching filters"
+        );
     }
 
     #[test]

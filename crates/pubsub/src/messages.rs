@@ -6,8 +6,6 @@
 //! machinery while contributing their protocol-specific messages through the
 //! [`ProtocolMessage`] trait.
 
-use serde::{Deserialize, Serialize};
-
 use mhh_simnet::{Message, TrafficClass};
 
 use crate::address::{BrokerId, ClientId};
@@ -25,7 +23,7 @@ pub trait ProtocolMessage: Clone + std::fmt::Debug {
 }
 
 /// Information a client presents when it (re)connects to a broker.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ConnectInfo {
     /// The connecting client.
     pub client: ClientId,
@@ -150,7 +148,7 @@ impl<P: ProtocolMessage> Message for NetMsg<P> {
 
 /// A trivial protocol message type for tests and for running the substrate
 /// without any mobility support ("static" pub/sub).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum NoProtocolMsg {}
 
 impl ProtocolMessage for NoProtocolMsg {
@@ -169,7 +167,9 @@ mod tests {
     use crate::filter::Op;
 
     fn ev() -> Event {
-        EventBuilder::new().attr("group", 1i64).build(1, ClientId(0), 0)
+        EventBuilder::new()
+            .attr("group", 1i64)
+            .build(1, ClientId(0), 0)
     }
 
     #[test]
@@ -191,7 +191,9 @@ mod tests {
             mobility: true,
         };
         assert_eq!(sub_mob.traffic_class(), TrafficClass::MobilityControl);
-        let action: M = NetMsg::Action(ClientAction::Reconnect { broker: BrokerId(0) });
+        let action: M = NetMsg::Action(ClientAction::Reconnect {
+            broker: BrokerId(0),
+        });
         assert_eq!(action.traffic_class(), TrafficClass::Timer);
     }
 

@@ -14,13 +14,11 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::address::{BrokerId, ClientId};
 use crate::event::Event;
 
 /// Whether a queue is persistent or temporary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueKind {
     /// Long-lived storage for a disconnected client.
     Persistent,
@@ -30,7 +28,7 @@ pub enum QueueKind {
 
 /// Identity of a queue inside the distributed PQ-list: the broker holding it
 /// plus a per-client monotonically increasing sequence number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PqId {
     /// The broker that owns the queue.
     pub broker: BrokerId,
@@ -47,7 +45,7 @@ impl fmt::Display for PqId {
 }
 
 /// A FIFO buffer of events for one client.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EventQueue {
     /// Identity of the queue (used by the PQ-list).
     pub id: PqId,
@@ -160,7 +158,10 @@ mod tests {
         assert_eq!(q.len(), 3);
         assert_eq!(q.pop().unwrap().id.0, 1);
         assert_eq!(q.front().unwrap().id.0, 2);
-        assert_eq!(q.drain().iter().map(|e| e.id.0).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(
+            q.drain().iter().map(|e| e.id.0).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
         assert!(q.is_empty());
     }
 
@@ -194,7 +195,11 @@ mod tests {
         q.push(ev(1, 7, 0, 10));
         q.push(ev(3, 7, 2, 30));
         q.merge_dedup_sorted(vec![ev(2, 7, 1, 20), ev(4, 7, 3, 40)]);
-        let seqs: Vec<u64> = q.iter().filter(|e| e.publisher == ClientId(7)).map(|e| e.seq).collect();
+        let seqs: Vec<u64> = q
+            .iter()
+            .filter(|e| e.publisher == ClientId(7))
+            .map(|e| e.seq)
+            .collect();
         let mut sorted = seqs.clone();
         sorted.sort_unstable();
         assert_eq!(seqs, sorted);

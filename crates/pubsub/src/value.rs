@@ -3,14 +3,12 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A typed attribute value.
 ///
 /// Content-based pub/sub systems such as SIENA describe events as sets of
 /// typed attribute/value pairs; we support the types the evaluation workload
 /// and the examples need.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Signed integer.
     Int(i64),
@@ -137,7 +135,10 @@ mod tests {
 
     #[test]
     fn incomparable_types_return_none() {
-        assert_eq!(Value::Int(1).partial_cmp_value(&Value::Str("1".into())), None);
+        assert_eq!(
+            Value::Int(1).partial_cmp_value(&Value::Str("1".into())),
+            None
+        );
         assert_eq!(Value::Bool(true).partial_cmp_value(&Value::Int(1)), None);
         assert!(!Value::Str("x".into()).eq_value(&Value::Int(0)));
     }

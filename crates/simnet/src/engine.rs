@@ -390,8 +390,10 @@ mod tests {
 
     fn two_node_engine(latency_ms: u64) -> Engine<Toy, Echo> {
         let fabric = Arc::new(UniformFabric::new(SimDuration::from_millis(latency_ms)));
-        let mut a = Echo::default();
-        a.peer = Some(NodeId(1));
+        let a = Echo {
+            peer: Some(NodeId(1)),
+            ..Echo::default()
+        };
         let b = Echo::default();
         Engine::new(vec![a, b], fabric)
     }

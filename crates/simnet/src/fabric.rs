@@ -161,18 +161,30 @@ mod tests {
         let f = fabric(5);
         // Brokers 0 and 24 are opposite corners of a 5×5 grid: distance 8.
         assert_eq!(f.hops(NodeId(0), NodeId(24)), 8);
-        assert_eq!(f.latency(NodeId(0), NodeId(24)), SimDuration::from_millis(80));
+        assert_eq!(
+            f.latency(NodeId(0), NodeId(24)),
+            SimDuration::from_millis(80)
+        );
         // Adjacent brokers: one hop, 10 ms.
         assert_eq!(f.hops(NodeId(0), NodeId(1)), 1);
-        assert_eq!(f.latency(NodeId(0), NodeId(1)), SimDuration::from_millis(10));
+        assert_eq!(
+            f.latency(NodeId(0), NodeId(1)),
+            SimDuration::from_millis(10)
+        );
     }
 
     #[test]
     fn client_links_are_wireless() {
         let f = fabric(5);
         // Node 25 is the first client id for a 5×5 grid.
-        assert_eq!(f.latency(NodeId(3), NodeId(25)), SimDuration::from_millis(20));
-        assert_eq!(f.latency(NodeId(25), NodeId(3)), SimDuration::from_millis(20));
+        assert_eq!(
+            f.latency(NodeId(3), NodeId(25)),
+            SimDuration::from_millis(20)
+        );
+        assert_eq!(
+            f.latency(NodeId(25), NodeId(3)),
+            SimDuration::from_millis(20)
+        );
         assert_eq!(f.hops(NodeId(25), NodeId(3)), 1);
     }
 
@@ -188,7 +200,10 @@ mod tests {
         let f = fabric(6);
         for a in 0..10u32 {
             for b in 0..10u32 {
-                assert_eq!(f.latency(NodeId(a), NodeId(b)), f.latency(NodeId(b), NodeId(a)));
+                assert_eq!(
+                    f.latency(NodeId(a), NodeId(b)),
+                    f.latency(NodeId(b), NodeId(a))
+                );
                 assert_eq!(f.hops(NodeId(a), NodeId(b)), f.hops(NodeId(b), NodeId(a)));
             }
         }

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node managed by the simulation [`Engine`](crate::Engine).
 ///
 /// Node ids are dense indices assigned by the caller when the node vector is
 /// built; the pub/sub layer maps broker ids and client ids onto disjoint
 /// ranges of node ids (see `mhh-pubsub::address`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

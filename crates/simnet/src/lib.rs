@@ -22,8 +22,8 @@
 //!
 //! The simulator is intentionally single-threaded per run: determinism is a
 //! property the reproduction tests rely on. Parallelism is applied one level
-//! up (in `mhh-mobsim`) across *independent* runs using rayon, following the
-//! data-parallel style of the HPC guides.
+//! up across *independent* runs, by the scoped-thread sweep executor in
+//! `mhh-mobility::sweep`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,7 +36,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
-pub use engine::{Engine, Envelope, EngineConfig, Node, Context, RunOutcome};
+pub use engine::{Context, Engine, EngineConfig, Envelope, Node, RunOutcome};
 pub use fabric::{Fabric, GridFabric, UniformFabric};
 pub use ids::NodeId;
 pub use stats::{Message, TrafficClass, TrafficStats};

@@ -14,10 +14,8 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Coarse classification of simulated traffic used for the paper's metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TrafficClass {
     /// Event dissemination over the overlay tree toward stationary
     /// subscription points — traffic that exists regardless of mobility.
@@ -44,7 +42,10 @@ impl TrafficClass {
     /// Whether this class counts toward the paper's "overhead caused by
     /// mobile clients".
     pub fn is_mobility(self) -> bool {
-        matches!(self, TrafficClass::MobilityControl | TrafficClass::MobilityTransfer)
+        matches!(
+            self,
+            TrafficClass::MobilityControl | TrafficClass::MobilityTransfer
+        )
     }
 
     /// Whether this class is transported on network links at all.
@@ -66,7 +67,7 @@ pub trait Message: Clone + std::fmt::Debug {
 }
 
 /// Per-class counters plus a per-kind breakdown.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TrafficStats {
     /// messages and hops per traffic class
     per_class: BTreeMap<TrafficClass, ClassCounter>,
@@ -77,7 +78,7 @@ pub struct TrafficStats {
 }
 
 /// A (messages, hops) pair.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassCounter {
     /// Number of messages recorded.
     pub messages: u64,
@@ -227,6 +228,9 @@ mod tests {
     fn unknown_kind_is_zero() {
         let s = TrafficStats::new();
         assert_eq!(s.kind("nope"), ClassCounter::default());
-        assert_eq!(s.class(TrafficClass::EventDelivery), ClassCounter::default());
+        assert_eq!(
+            s.class(TrafficClass::EventDelivery),
+            ClassCounter::default()
+        );
     }
 }

@@ -22,12 +22,10 @@
 
 use std::collections::BinaryHeap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::random::DetRng;
 
 /// An undirected weighted graph with dense `usize` node indices.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     n: usize,
     adj: Vec<Vec<(usize, u64)>>,
@@ -183,7 +181,7 @@ impl Graph {
 
 /// A rooted spanning tree over the broker graph — the acyclic overlay of the
 /// pub/sub system.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Tree {
     parent: Vec<Option<usize>>,
     adj: Vec<Vec<usize>>,

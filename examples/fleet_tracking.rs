@@ -26,8 +26,7 @@ fn main() {
     let zones = 4i64;
     let mut specs: Vec<ClientSpec> = (0..vans)
         .map(|i| ClientSpec {
-            filter: Filter::single("zone", Op::Eq, (i as i64) % zones)
-                .and("kind", Op::Eq, "order"),
+            filter: Filter::single("zone", Op::Eq, (i as i64) % zones).and("kind", Op::Eq, "order"),
             home: BrokerId((i * 4 % 36) as u32),
             mobile: true,
         })
@@ -61,12 +60,16 @@ fn main() {
             dep.schedule(
                 SimTime::from_millis(t),
                 ClientId(v),
-                ClientAction::Disconnect { proclaimed_dest: None },
+                ClientAction::Disconnect {
+                    proclaimed_dest: None,
+                },
             );
             dep.schedule(
                 SimTime::from_millis(t + away),
                 ClientId(v),
-                ClientAction::Reconnect { broker: BrokerId(next) },
+                ClientAction::Reconnect {
+                    broker: BrokerId(next),
+                },
             );
             t += away + 3_000 + rng.next_below(5_000);
         }

@@ -1,0 +1,108 @@
+//! Run the mobility-model × protocol matrix the paper never had: every
+//! registered mobility model against MHH, sub-unsub and home-broker on one
+//! shared base scenario, sweeping in parallel over all cores.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --example mobility_matrix                 # reduced scale
+//! cargo run --release --example mobility_matrix -- --paper-scale
+//! cargo run --release --example mobility_matrix -- --json       # also dump JSON
+//! ```
+
+use std::sync::Arc;
+
+use mhh_suite::mobility::sweep::available_workers;
+use mhh_suite::mobility::{ModelKind, TraceRecord};
+use mhh_suite::mobsim::experiments::mobility_matrix;
+use mhh_suite::mobsim::report::{matrix_to_json, render_matrix};
+use mhh_suite::mobsim::ScenarioConfig;
+
+fn reduced_base() -> ScenarioConfig {
+    ScenarioConfig {
+        grid_side: 6,
+        clients_per_broker: 4,
+        mobile_fraction: 0.25,
+        conn_mean_s: 60.0,
+        disc_mean_s: 30.0,
+        publish_interval_s: 20.0,
+        duration_s: 600.0,
+        ..ScenarioConfig::paper_defaults()
+    }
+}
+
+/// A playback trace that chains from the workload's home assignment
+/// (client i starts at broker i % broker_count), so the matrix can include
+/// the regression model alongside the synthetic ones. Departure times are
+/// derived from the scenario's disconnection gap (playback reconnects
+/// `disc_mean_s` after departing), so the records chain at any scale
+/// instead of degenerating when the gap is long (paper scale: 300 s).
+fn demo_trace(config: &ScenarioConfig) -> ModelKind {
+    let gap = config.disc_mean_s;
+    let hop = |n: f64| 60.0 + n * (gap + 60.0);
+    ModelKind::TracePlayback(Arc::new(vec![
+        TraceRecord {
+            at_s: hop(0.0),
+            client: 0,
+            from: 0,
+            to: 7,
+        },
+        TraceRecord {
+            at_s: hop(1.0),
+            client: 0,
+            from: 7,
+            to: 14,
+        },
+        TraceRecord {
+            at_s: hop(2.0),
+            client: 0,
+            from: 14,
+            to: 0,
+        },
+        TraceRecord {
+            at_s: hop(0.5),
+            client: 5,
+            from: 5,
+            to: 12,
+        },
+        TraceRecord {
+            at_s: hop(1.5),
+            client: 5,
+            from: 12,
+            to: 5,
+        },
+        TraceRecord {
+            at_s: hop(0.25),
+            client: 9,
+            from: 9,
+            to: 10,
+        },
+    ]))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper_scale = args.iter().any(|a| a == "--paper-scale");
+    let dump_json = args.iter().any(|a| a == "--json");
+
+    let base = if paper_scale {
+        ScenarioConfig::paper_defaults()
+    } else {
+        reduced_base()
+    };
+    let mut models = ModelKind::synthetic();
+    models.push(demo_trace(&base));
+
+    eprintln!(
+        "running {} models x 3 protocols on {} brokers ({} workers)...",
+        models.len(),
+        base.broker_count(),
+        available_workers()
+    );
+    let matrix = mobility_matrix(&base, &models);
+    print!("{}", render_matrix(&matrix));
+
+    if dump_json {
+        println!("{}", matrix_to_json(&matrix));
+    }
+}

@@ -51,24 +51,31 @@ fn main() {
     dep.schedule(
         SimTime::from_millis(2_000),
         ClientId(0),
-        ClientAction::Disconnect { proclaimed_dest: None },
+        ClientAction::Disconnect {
+            proclaimed_dest: None,
+        },
     );
     dep.schedule(
         SimTime::from_millis(4_000),
         ClientId(0),
-        ClientAction::Reconnect { broker: BrokerId(15) },
+        ClientAction::Reconnect {
+            broker: BrokerId(15),
+        },
     );
 
     dep.engine.run_to_completion();
 
     let subscriber = dep.client(ClientId(0));
     println!("=== MHH quickstart ===");
-    println!("events published           : {}", dep.client(ClientId(1)).published.len());
     println!(
-        "alerts delivered to client : {}",
-        subscriber.received.len()
+        "events published           : {}",
+        dep.client(ClientId(1)).published.len()
     );
-    println!("handoffs performed         : {}", subscriber.handoff_count());
+    println!("alerts delivered to client : {}", subscriber.received.len());
+    println!(
+        "handoffs performed         : {}",
+        subscriber.handoff_count()
+    );
     println!(
         "handoff delay              : {:.1} ms",
         subscriber.handoff_delays().first().copied().unwrap_or(0.0)
@@ -87,6 +94,9 @@ fn main() {
     sorted.sort_unstable();
     sorted.dedup();
     assert_eq!(seqs.len(), sorted.len(), "no duplicates");
-    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "publisher order preserved");
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "publisher order preserved"
+    );
     println!("delivery check             : exactly-once, in order ✓");
 }

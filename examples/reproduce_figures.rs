@@ -35,7 +35,9 @@ fn reduced_base() -> ScenarioConfig {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name) || (args.len() == 1 && paper_scale);
+    let want = |name: &str| {
+        args.is_empty() || args.iter().any(|a| a == name) || (args.len() == 1 && paper_scale)
+    };
 
     let base = if paper_scale {
         ScenarioConfig::paper_defaults()
@@ -61,7 +63,11 @@ fn main() {
         println!("wrote figure5.json");
     }
     if want("fig6") {
-        let sides: &[usize] = if paper_scale { &FIG6_GRID_SIDES } else { &[5, 7, 10] };
+        let sides: &[usize] = if paper_scale {
+            &FIG6_GRID_SIDES
+        } else {
+            &[5, 7, 10]
+        };
         let fig = figure6(&base, sides);
         println!("{}", render_figure(&fig));
         std::fs::write("figure6.json", to_json(&fig)).expect("write figure6.json");

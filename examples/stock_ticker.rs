@@ -26,8 +26,11 @@ fn trader_specs() -> Vec<ClientSpec> {
     // symbol above a price threshold. Trader 0..3 are mobile.
     (0..12)
         .map(|i| ClientSpec {
-            filter: Filter::single("symbol", Op::Eq, SYMBOLS[i % SYMBOLS.len()])
-                .and("price", Op::Ge, 50.0 + (i as f64 % 3.0) * 10.0),
+            filter: Filter::single("symbol", Op::Eq, SYMBOLS[i % SYMBOLS.len()]).and(
+                "price",
+                Op::Ge,
+                50.0 + (i as f64 % 3.0) * 10.0,
+            ),
             home: BrokerId((i * 2 % 25) as u32),
             mobile: i < 4,
         })
@@ -54,7 +57,11 @@ fn drive<P: MobilityProtocol>(mut dep: Deployment<P>) -> (String, String) {
     let gateway = ClientId(12);
     // 600 quotes, one every 50 ms.
     for i in 0..600u64 {
-        dep.schedule_publish(SimTime::from_millis(10 + i * 50), gateway, quote(i, i, gateway));
+        dep.schedule_publish(
+            SimTime::from_millis(10 + i * 50),
+            gateway,
+            quote(i, i, gateway),
+        );
     }
     // The four mobile traders commute twice during the stream.
     for t in 0..4u32 {
@@ -62,8 +69,20 @@ fn drive<P: MobilityProtocol>(mut dep: Deployment<P>) -> (String, String) {
         for (leg, target) in [(1_u64, 6 + t), (2, 18 + t)] {
             let leave = SimTime::from_millis(5_000 * leg + t as u64 * 400);
             let arrive = leave + SimDuration::from_millis(1_200);
-            dep.schedule(leave, c, ClientAction::Disconnect { proclaimed_dest: None });
-            dep.schedule(arrive, c, ClientAction::Reconnect { broker: BrokerId(target) });
+            dep.schedule(
+                leave,
+                c,
+                ClientAction::Disconnect {
+                    proclaimed_dest: None,
+                },
+            );
+            dep.schedule(
+                arrive,
+                c,
+                ClientAction::Reconnect {
+                    broker: BrokerId(target),
+                },
+            );
         }
     }
     dep.engine.run_to_completion();

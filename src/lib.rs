@@ -10,8 +10,11 @@
 //!   covering, filter tables, reverse-path-forwarding brokers, queues).
 //! * [`mhh`] — the paper's contribution: the multi-hop handoff protocol.
 //! * [`baselines`] — the comparison protocols: sub-unsub and home-broker.
-//! * [`mobsim`] — the evaluation harness: workloads, mobility model, metrics
-//!   and the Figure 5 / Figure 6 sweeps.
+//! * [`mobility`] — pluggable deterministic mobility models (uniform random,
+//!   random waypoint, Manhattan grid, hotspot commuter, trace playback) and
+//!   the parallel sweep executor.
+//! * [`mobsim`] — the evaluation harness: workloads, scenario registry,
+//!   metrics and the Figure 5 / Figure 6 / model-matrix sweeps.
 //!
 //! ## Quick start
 //!
@@ -31,6 +34,7 @@
 
 pub use mhh_baselines as baselines;
 pub use mhh_core as mhh;
+pub use mhh_mobility as mobility;
 pub use mhh_mobsim as mobsim;
 pub use mhh_pubsub as pubsub;
 pub use mhh_simnet as simnet;

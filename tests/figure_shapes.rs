@@ -57,7 +57,11 @@ fn figure5_shape_holds_at_reduced_scale() {
     // Reliability: MHH and sub-unsub lose nothing at any point.
     for proto in [Protocol::Mhh, Protocol::SubUnsub] {
         for p in fig.curve(proto) {
-            assert_eq!(p.result.audit.lost, 0, "{proto:?} lost events: {:?}", p.result.audit);
+            assert_eq!(
+                p.result.audit.lost, 0,
+                "{proto:?} lost events: {:?}",
+                p.result.audit
+            );
             assert_eq!(p.result.audit.duplicates, 0);
             assert_eq!(p.result.audit.out_of_order, 0);
         }
@@ -79,13 +83,19 @@ fn figure6_shape_holds_at_reduced_scale() {
     }
     let mhh = fig.overhead_series(Protocol::Mhh)[1].1;
     let su = fig.overhead_series(Protocol::SubUnsub)[1].1;
-    assert!(mhh < su, "MHH {mhh} should be cheaper than sub-unsub {su} at 49 brokers");
+    assert!(
+        mhh < su,
+        "MHH {mhh} should be cheaper than sub-unsub {su} at 49 brokers"
+    );
 
     // (b) sub-unsub delay tracks the network diameter, so it grows and stays
     // the largest; MHH tracks the average distance.
     let su_delay = fig.delay_series(Protocol::SubUnsub);
     let mhh_delay = fig.delay_series(Protocol::Mhh);
-    assert!(su_delay[1].1 > su_delay[0].1, "sub-unsub delay grows with size: {su_delay:?}");
+    assert!(
+        su_delay[1].1 > su_delay[0].1,
+        "sub-unsub delay grows with size: {su_delay:?}"
+    );
     for i in 0..2 {
         assert!(
             su_delay[i].1 > mhh_delay[i].1,

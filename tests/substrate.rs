@@ -4,12 +4,9 @@
 
 use mhh_suite::pubsub::broker::NoProtocol;
 use mhh_suite::pubsub::event::EventBuilder;
-use mhh_suite::pubsub::{
-    BrokerId, ClientId, ClientSpec, Deployment, DeploymentConfig, Filter, Op,
-};
+use mhh_suite::pubsub::{BrokerId, ClientId, ClientSpec, Deployment, DeploymentConfig, Filter, Op};
+use mhh_suite::simnet::random::DetRng;
 use mhh_suite::simnet::{Network, SimTime};
-
-use proptest::prelude::*;
 
 #[test]
 fn static_pubsub_reaches_every_matching_subscriber_on_a_large_grid() {
@@ -47,15 +44,20 @@ fn static_pubsub_reaches_every_matching_subscriber_on_a_large_grid() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+// Deterministic property loops (the environment cannot fetch `proptest`;
+// cases are sampled from a seeded `DetRng` instead, which also makes
+// failures exactly reproducible).
 
-    /// Overlay routing invariant across random grid sizes and seeds: the next
-    /// hop toward any destination always lies on the unique tree path, and
-    /// following next hops always reaches the destination in exactly
-    /// tree-distance steps.
-    #[test]
-    fn routing_tables_follow_tree_paths(side in 2usize..9, seed in 0u64..1000) {
+/// Overlay routing invariant across random grid sizes and seeds: the next
+/// hop toward any destination always lies on the unique tree path, and
+/// following next hops always reaches the destination in exactly
+/// tree-distance steps.
+#[test]
+fn routing_tables_follow_tree_paths() {
+    let mut sampler = DetRng::new(0x5b51);
+    for _case in 0..16 {
+        let side = 2 + sampler.index(7); // 2..9
+        let seed = sampler.next_below(1000);
         let net = Network::grid(side, seed);
         let n = net.broker_count();
         for src in 0..n {
@@ -65,25 +67,33 @@ proptest! {
                 while cur != dst {
                     cur = net.next_hop(cur, dst);
                     steps += 1;
-                    prop_assert!(steps <= n, "routing loop from {src} to {dst}");
+                    assert!(
+                        steps <= n,
+                        "routing loop from {src} to {dst} (side {side}, seed {seed})"
+                    );
                 }
-                prop_assert_eq!(steps, net.tree_distance(src, dst) as usize);
+                assert_eq!(steps, net.tree_distance(src, dst) as usize);
             }
         }
     }
+}
 
-    /// The grid fabric's latency is consistent with hop counts for arbitrary
-    /// broker pairs.
-    #[test]
-    fn fabric_latency_matches_hops(side in 2usize..8, a in 0usize..36, b in 0usize..36, seed in 0u64..100) {
-        use mhh_suite::simnet::{Fabric, GridFabric, NodeId};
-        use std::sync::Arc;
+/// The grid fabric's latency is consistent with hop counts for arbitrary
+/// broker pairs.
+#[test]
+fn fabric_latency_matches_hops() {
+    use mhh_suite::simnet::{Fabric, GridFabric, NodeId};
+    use std::sync::Arc;
+    let mut sampler = DetRng::new(0xfab2);
+    for _case in 0..16 {
+        let side = 2 + sampler.index(6); // 2..8
+        let seed = sampler.next_below(100);
         let net = Arc::new(Network::grid(side, seed));
         let n = net.broker_count();
         let fabric = GridFabric::paper_defaults(net);
-        let a = NodeId((a % n) as u32);
-        let b = NodeId((b % n) as u32);
+        let a = NodeId(sampler.index(n) as u32);
+        let b = NodeId(sampler.index(n) as u32);
         let hops = fabric.hops(a, b) as u64;
-        prop_assert_eq!(fabric.latency(a, b).as_micros(), hops * 10_000);
+        assert_eq!(fabric.latency(a, b).as_micros(), hops * 10_000);
     }
 }
