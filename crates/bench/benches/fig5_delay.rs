@@ -2,22 +2,26 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mhh_bench::{bench_base, BENCH_FIG5_CONN_S};
-use mhh_mobsim::{run_scenario, Protocol, ScenarioConfig};
+use mhh_mobsim::{ProtocolRegistry, ScenarioConfig, Sim};
 
 fn fig5_delay(c: &mut Criterion) {
+    let registry = ProtocolRegistry::global();
     let mut group = c.benchmark_group("fig5b_handoff_delay");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for &conn in &BENCH_FIG5_CONN_S {
-        for proto in Protocol::ALL {
+        for spec in registry.specs() {
             let config = ScenarioConfig {
                 conn_mean_s: conn,
                 ..bench_base()
             };
-            group.bench_with_input(BenchmarkId::new(proto.label(), conn), &config, |b, cfg| {
+            group.bench_with_input(BenchmarkId::new(spec.label(), conn), &config, |b, cfg| {
                 b.iter(|| {
-                    let r = run_scenario(cfg, proto);
+                    let r = Sim::config(cfg.clone())
+                        .protocol(spec.name())
+                        .run()
+                        .expect("registry protocol resolves");
                     std::hint::black_box(r.avg_handoff_delay_ms)
                 })
             });

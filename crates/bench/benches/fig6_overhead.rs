@@ -2,25 +2,29 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mhh_bench::{bench_base, BENCH_FIG6_SIDES};
-use mhh_mobsim::{run_scenario, Protocol, ScenarioConfig};
+use mhh_mobsim::{ProtocolRegistry, ScenarioConfig, Sim};
 
 fn fig6_overhead(c: &mut Criterion) {
+    let registry = ProtocolRegistry::global();
     let mut group = c.benchmark_group("fig6a_overhead_vs_network_size");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for &side in &BENCH_FIG6_SIDES {
-        for proto in Protocol::ALL {
+        for spec in registry.specs() {
             let config = ScenarioConfig {
                 grid_side: side,
                 ..bench_base()
             };
             group.bench_with_input(
-                BenchmarkId::new(proto.label(), side * side),
+                BenchmarkId::new(spec.label(), side * side),
                 &config,
                 |b, cfg| {
                     b.iter(|| {
-                        let r = run_scenario(cfg, proto);
+                        let r = Sim::config(cfg.clone())
+                            .protocol(spec.name())
+                            .run()
+                            .expect("registry protocol resolves");
                         std::hint::black_box(r.overhead_per_handoff)
                     })
                 },

@@ -2,17 +2,26 @@
 //! serial vs. parallel speedup for a Figure-5-style sweep.
 //!
 //! Besides the usual printed timings, this bench emits a machine-readable
-//! `BENCH_mobility.json` (path overridable via `BENCH_MOBILITY_OUT`) so the
-//! performance trajectory can be tracked across PRs.
+//! `BENCH_mobility.json` (path overridable via `BENCH_MOBILITY_OUT`) with
+//! the total *and per-point* serial/parallel wall-clock, so the performance
+//! trajectory can be tracked across PRs.
+//!
+//! Serial and parallel passes both run the registry's dyn-dispatched path
+//! (`run_spec`) exactly as `figure5` does, so the `speedup` field isolates
+//! the executor. A third, generic-fast-path pass (`run_scenario`) anchors
+//! the `dyn_overhead` field and the byte-identity assertion (dyn ==
+//! generic == parallel).
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mhh_bench::{bench_base, BENCH_FIG5_CONN_S};
-use mhh_mobility::sweep::available_workers;
+use mhh_mobility::sweep::{available_workers, map_parallel};
 use mhh_mobsim::experiments::figure5_with_workers;
 use mhh_mobsim::json::Json;
-use mhh_mobsim::{run_scenario, Protocol, ScenarioConfig};
+use mhh_mobsim::{
+    run_scenario, run_spec, Protocol, ProtocolRegistry, ProtocolSpec, RunResult, ScenarioConfig,
+};
 
 fn sweep_runner(c: &mut Criterion) {
     let base = bench_base();
@@ -32,47 +41,86 @@ fn sweep_runner(c: &mut Criterion) {
     }
     group.finish();
 
-    // One precise, single-shot measurement pair for the JSON trajectory file
-    // (the shim's group timings above are for humans). The serial baseline
-    // is run point by point so the same pass yields both the serial wall
-    // clock and the per-point timings; the job list and per-point config
-    // mirror `figure5_with_workers` exactly, which the byte-identity
-    // assertion below depends on.
-    let jobs: Vec<(f64, Protocol)> = BENCH_FIG5_CONN_S
+    // One precise, single-shot measurement pair for the JSON trajectory
+    // file (the shim's group timings above are for humans). Both passes
+    // time every point individually; the job list and per-point config
+    // mirror `figure5` exactly, which the byte-identity assertion depends
+    // on.
+    let registry = ProtocolRegistry::builtin();
+    let jobs: Vec<(f64, &ProtocolSpec)> = BENCH_FIG5_CONN_S
         .iter()
-        .flat_map(|&conn| Protocol::ALL.into_iter().map(move |proto| (conn, proto)))
+        .flat_map(|&conn| registry.specs().iter().map(move |spec| (conn, spec)))
         .collect();
-    let t0 = Instant::now();
-    let mut per_point = Vec::with_capacity(jobs.len());
-    let mut serial_results = Vec::with_capacity(jobs.len());
-    for &(conn, protocol) in &jobs {
-        let config = ScenarioConfig {
+    let point_config = |conn: f64| {
+        ScenarioConfig {
             conn_mean_s: conn,
             ..base.clone()
         }
-        .with_adaptive_duration(1.5);
+        .with_adaptive_duration(1.5)
+    };
+
+    // Generic reference pass: the monomorphized fast path, serial. Its
+    // total wall-clock quantifies the cost of dyn dispatch (the
+    // `dyn_overhead` field); its results anchor the byte-identity check.
+    let tg = Instant::now();
+    let mut generic_results: Vec<RunResult> = Vec::with_capacity(jobs.len());
+    for &(conn, spec) in &jobs {
+        let protocol = Protocol::ALL
+            .into_iter()
+            .find(|p| p.name() == spec.name())
+            .expect("builtin specs map to Protocol variants");
+        generic_results.push(run_scenario(&point_config(conn), protocol));
+    }
+    let generic_serial_s = tg.elapsed().as_secs_f64();
+
+    // Serial and parallel passes, both on the dyn path `figure5` uses, so
+    // the speedup isolates the executor (same dispatch on both sides).
+    let t0 = Instant::now();
+    let mut serial_wall_s = Vec::with_capacity(jobs.len());
+    let mut serial_results: Vec<RunResult> = Vec::with_capacity(jobs.len());
+    for &(conn, spec) in &jobs {
+        let config = point_config(conn);
         let t = Instant::now();
-        let result = run_scenario(&config, protocol);
-        let wall_s = t.elapsed().as_secs_f64();
-        per_point.push(Json::obj(vec![
-            ("x", Json::Num(conn)),
-            ("protocol", Json::str(protocol.label())),
-            ("mobility", Json::str(config.mobility.label())),
-            ("wall_s", Json::Num(wall_s)),
-        ]));
+        let result = run_spec(&config, spec);
+        serial_wall_s.push(t.elapsed().as_secs_f64());
         serial_results.push(result);
     }
     let serial_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let parallel = figure5_with_workers(&base, &BENCH_FIG5_CONN_S, workers);
+    let parallel: Vec<(RunResult, f64)> = map_parallel(&jobs, workers, |&(conn, spec)| {
+        let config = point_config(conn);
+        let t = Instant::now();
+        let result = run_spec(&config, spec);
+        (result, t.elapsed().as_secs_f64())
+    });
     let parallel_s = t1.elapsed().as_secs_f64();
-    let parallel_results: Vec<_> = parallel.points.iter().map(|p| &p.result).collect();
+
+    let parallel_results: Vec<&RunResult> = parallel.iter().map(|(r, _)| r).collect();
     assert_eq!(
         format!("{serial_results:?}"),
         format!("{parallel_results:?}"),
         "parallel sweep must be byte-identical to a serial run of the same seeds"
     );
+    assert_eq!(
+        format!("{generic_results:?}"),
+        format!("{serial_results:?}"),
+        "dyn-dispatched runs must be byte-identical to the generic fast path"
+    );
+
+    let per_point: Vec<Json> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, &(conn, spec))| {
+            Json::obj(vec![
+                ("x", Json::Num(conn)),
+                ("protocol", Json::str(spec.label())),
+                ("mobility", Json::str(base.mobility.to_string())),
+                ("serial_wall_s", Json::Num(serial_wall_s[i])),
+                ("parallel_wall_s", Json::Num(parallel[i].1)),
+            ])
+        })
+        .collect();
 
     let points = jobs.len();
     let doc = Json::obj(vec![
@@ -81,12 +129,16 @@ fn sweep_runner(c: &mut Criterion) {
         ("workers", Json::UInt(workers as u64)),
         ("serial_wall_s", Json::Num(serial_s)),
         ("parallel_wall_s", Json::Num(parallel_s)),
+        ("generic_serial_wall_s", Json::Num(generic_serial_s)),
         ("serial_s_per_point", Json::Num(serial_s / points as f64)),
         (
             "parallel_s_per_point",
             Json::Num(parallel_s / points as f64),
         ),
+        // Executor speedup: serial vs parallel on the *same* (dyn) path.
         ("speedup", Json::Num(serial_s / parallel_s)),
+        // Cost of dyn dispatch: dyn serial vs generic serial.
+        ("dyn_overhead", Json::Num(serial_s / generic_serial_s)),
         ("per_point_wall_s", Json::Arr(per_point)),
     ]);
     // Benches run with CWD = the package dir; anchor the default at the
@@ -97,8 +149,10 @@ fn sweep_runner(c: &mut Criterion) {
     std::fs::write(&out, doc.pretty() + "\n").expect("write BENCH_mobility.json");
     println!(
         "sweep_runner: {points} points, serial {serial_s:.2}s, parallel {parallel_s:.2}s \
-         ({workers} workers, speedup {:.2}x) -> {out}",
-        serial_s / parallel_s
+         ({workers} workers, speedup {:.2}x, dyn overhead {:.2}x vs generic \
+         {generic_serial_s:.2}s) -> {out}",
+        serial_s / parallel_s,
+        serial_s / generic_serial_s
     );
 }
 

@@ -76,6 +76,27 @@ impl ModelKind {
     }
 }
 
+/// Display renders the *parameter point*, not just the kind: two
+/// `RandomWaypoint`s with different pause times format differently, which is
+/// what lets experiment matrices key rows by `ModelKind` and still print
+/// unambiguous tables. Parameter-free kinds format as their plain label.
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelKind::UniformRandom | ModelKind::ManhattanGrid => f.write_str(self.label()),
+            ModelKind::RandomWaypoint { pause_mean_s } => {
+                write!(f, "{}(pause={pause_mean_s}s)", self.label())
+            }
+            ModelKind::HotspotCommuter { hotspots } => {
+                write!(f, "{}(hotspots={hotspots})", self.label())
+            }
+            ModelKind::TracePlayback(records) => {
+                write!(f, "{}(n={})", self.label(), records.len())
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +115,30 @@ mod tests {
     fn default_is_the_papers_model() {
         assert_eq!(ModelKind::default(), ModelKind::UniformRandom);
         assert_eq!(ModelKind::default().label(), "uniform-random");
+    }
+
+    #[test]
+    fn display_distinguishes_parameter_points() {
+        assert_eq!(ModelKind::UniformRandom.to_string(), "uniform-random");
+        assert_eq!(
+            ModelKind::RandomWaypoint { pause_mean_s: 60.0 }.to_string(),
+            "random-waypoint(pause=60s)"
+        );
+        assert_ne!(
+            ModelKind::RandomWaypoint { pause_mean_s: 60.0 }.to_string(),
+            ModelKind::RandomWaypoint {
+                pause_mean_s: 120.0
+            }
+            .to_string()
+        );
+        assert_eq!(
+            ModelKind::HotspotCommuter { hotspots: 3 }.to_string(),
+            "hotspot-commuter(hotspots=3)"
+        );
+        assert_eq!(
+            ModelKind::TracePlayback(Arc::new(vec![])).to_string(),
+            "trace-playback(n=0)"
+        );
     }
 
     #[test]

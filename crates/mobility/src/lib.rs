@@ -25,11 +25,11 @@
 //!
 //! | Model | Pattern | Use it to stress |
 //! |-------|---------|------------------|
-//! | [`UniformRandom`](models::UniformRandom) | jump to any other broker (the paper's model) | long-distance subscription migration |
-//! | [`RandomWaypoint`](models::RandomWaypoint) | walk to a target broker via grid-adjacent hops, pause, repeat | sustained short-hop handoff chains |
-//! | [`ManhattanGrid`](models::ManhattanGrid) | street-grid movement with straight-line persistence, only adjacent hops | frequent cheap handoffs / locality |
-//! | [`HotspotCommuter`](models::HotspotCommuter) | oscillate between a home broker and a few shared hotspots | filter-table contention at hot brokers |
-//! | [`TracePlayback`](models::TracePlayback) | replay an explicit `(time, client, from, to)` move list | reproducible regression scenarios |
+//! | [`models::UniformRandom`] | jump to any other broker (the paper's model) | long-distance subscription migration |
+//! | [`models::RandomWaypoint`] | walk to a target broker via grid-adjacent hops, pause, repeat | sustained short-hop handoff chains |
+//! | [`models::ManhattanGrid`] | street-grid movement with straight-line persistence, only adjacent hops | frequent cheap handoffs / locality |
+//! | [`models::HotspotCommuter`] | oscillate between a home broker and a few shared hotspots | filter-table contention at hot brokers |
+//! | [`models::TracePlayback`] | replay an explicit `(time, client, from, to)` move list | reproducible regression scenarios |
 //!
 //! [`ModelKind`] is the cheap, cloneable description of a model that
 //! configurations carry; `ModelKind::build()` instantiates the model.
@@ -47,6 +47,7 @@
 pub mod grid;
 pub mod kind;
 pub mod models;
+pub mod parse;
 pub mod sweep;
 pub mod trace;
 
@@ -54,4 +55,5 @@ pub use kind::ModelKind;
 pub use models::{
     HotspotCommuter, ManhattanGrid, RandomWaypoint, TracePlayback, TraceRecord, UniformRandom,
 };
+pub use parse::{parse_trace, TraceParseError};
 pub use trace::{MobilityModel, MobilityWorld, MoveStep};

@@ -1,0 +1,164 @@
+//! Parse `(time, client, from, to)` move lists from CSV / whitespace text
+//! into [`TraceRecord`]s — the import path for real-world (CRAWDAD-style)
+//! traces into [`TracePlayback`](crate::models::TracePlayback).
+//!
+//! ## Accepted format
+//!
+//! One record per line, four fields: departure time in seconds (float),
+//! client index, origin broker, destination broker. Fields are separated by
+//! commas and/or whitespace, so `12.5,3,0,4`, `12.5, 3, 0, 4` and
+//! `12.5 3 0 4` all parse to the same record. Blank lines and lines starting
+//! with `#` are skipped; a single leading header line of field names (e.g.
+//! `time,client,from,to`) is skipped too.
+//!
+//! Errors carry the 1-based line number and the offending text, so a typo in
+//! a 100k-line trace file points straight at the line.
+
+use std::fmt;
+
+use crate::models::TraceRecord;
+
+/// A parse failure, pinned to its input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn fields(line: &str) -> Vec<&str> {
+    line.split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|f| !f.is_empty())
+        .collect()
+}
+
+fn looks_like_header(fields: &[&str]) -> bool {
+    // A header names the columns; none of its fields parse as a number.
+    fields.iter().all(|f| f.parse::<f64>().is_err())
+}
+
+/// Parse a whole trace document into records (in file order; the
+/// [`TracePlayback`](crate::models::TracePlayback) constructor time-sorts).
+pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, TraceParseError> {
+    let mut records = Vec::new();
+    let mut first_content = true;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let parts = fields(trimmed);
+        // Exactly one leading header line is tolerated; a second
+        // non-numeric line is a format error, not more header.
+        if std::mem::take(&mut first_content) && looks_like_header(&parts) {
+            continue;
+        }
+        if parts.len() != 4 {
+            return Err(TraceParseError {
+                line,
+                message: format!(
+                    "expected 4 fields (time, client, from, to), found {}: {trimmed:?}",
+                    parts.len()
+                ),
+            });
+        }
+        let err = |field: &str, value: &str| TraceParseError {
+            line,
+            message: format!("bad {field} value {value:?} in {trimmed:?}"),
+        };
+        let at_s: f64 = parts[0].parse().map_err(|_| err("time", parts[0]))?;
+        if !at_s.is_finite() || at_s < 0.0 {
+            return Err(err("time", parts[0]));
+        }
+        let client: u32 = parts[1].parse().map_err(|_| err("client", parts[1]))?;
+        let from: u32 = parts[2].parse().map_err(|_| err("from", parts[2]))?;
+        let to: u32 = parts[3].parse().map_err(|_| err("to", parts[3]))?;
+        records.push(TraceRecord {
+            at_s,
+            client,
+            from,
+            to,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_csv_whitespace_comments_and_header() {
+        let text = "\
+# CRAWDAD-style export
+time,client,from,to
+40.0,0,0,3
+110.5, 0, 3, 6
+
+75 7 7 4
+";
+        let records = parse_trace(text).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records[0],
+            TraceRecord {
+                at_s: 40.0,
+                client: 0,
+                from: 0,
+                to: 3
+            }
+        );
+        assert_eq!(records[1].at_s, 110.5);
+        assert_eq!(records[2].client, 7);
+    }
+
+    #[test]
+    fn empty_and_comment_only_inputs_parse_to_nothing() {
+        assert!(parse_trace("").unwrap().is_empty());
+        assert!(parse_trace("# only a comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn errors_carry_the_line_number() {
+        let text = "time,client,from,to\n1.0,0,0,3\n2.0,0,3\n";
+        let e = parse_trace(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("expected 4 fields"), "{e}");
+
+        let e = parse_trace("1.0,zero,0,3").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("client"), "{e}");
+
+        let e = parse_trace("-5,0,0,3").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("time"), "{e}");
+
+        // A header is only tolerated before the first data line.
+        let e = parse_trace("1.0,0,0,3\ntime,client,from,to").unwrap_err();
+        assert_eq!(e.line, 2);
+
+        // Only ONE header line: a prose preamble must error, not be
+        // silently swallowed as more header.
+        let e =
+            parse_trace("some prose preamble here\nmore prose text lines\n1.0,0,0,3").unwrap_err();
+        assert_eq!(e.line, 2, "second non-numeric line is a format error");
+    }
+
+    #[test]
+    fn display_is_actionable() {
+        let e = parse_trace("1.0 garbage 2 3").unwrap_err();
+        let shown = e.to_string();
+        assert!(shown.contains("line 1"), "{shown}");
+        assert!(shown.contains("garbage"), "{shown}");
+    }
+}

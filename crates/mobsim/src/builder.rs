@@ -1,0 +1,339 @@
+//! The fluent simulation facade: one entry point to configure and run any
+//! scenario × protocol × mobility-model × worker-count combination.
+//!
+//! [`Sim`] starts a builder from a named scenario preset (the
+//! [`crate::scenarios`] registry) or a raw [`ScenarioConfig`];
+//! [`SimBuilder`] layers overrides on top and ends in a run:
+//!
+//! ```
+//! use mhh_mobsim::{ModelKind, Sim};
+//!
+//! let result = Sim::scenario("paper-fig5")
+//!     .protocol("mhh")
+//!     .mobility(ModelKind::ManhattanGrid)
+//!     .grid_side(4)
+//!     .clients_per_broker(3)
+//!     .duration_s(300.0)
+//!     .run()
+//!     .unwrap();
+//! assert!(result.reliable());
+//! ```
+//!
+//! Lookup failures (unknown scenario or protocol name) are carried inside
+//! the builder and surface as a [`SimError`] from the terminal call, so the
+//! chain itself stays `?`-free. Protocol names resolve against the
+//! process-wide [`ProtocolRegistry`] (builtin three plus anything passed to
+//! [`crate::protocols::register`]) unless a local registry is supplied via
+//! [`SimBuilder::registry`].
+
+use mhh_mobility::sweep::{available_workers, map_parallel};
+use mhh_mobility::ModelKind;
+
+use crate::config::ScenarioConfig;
+use crate::experiments::{figure5_in, figure6_in, mobility_matrix_in, FigureResult, MatrixResult};
+use crate::metrics::RunResult;
+use crate::protocols::ProtocolRegistry;
+use crate::runner::run_spec;
+use crate::scenarios;
+
+/// What went wrong while resolving a builder chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No scenario preset with this name.
+    UnknownScenario {
+        /// The requested name.
+        name: String,
+        /// All registered preset names.
+        available: Vec<String>,
+    },
+    /// No protocol with this name in the registry in use.
+    UnknownProtocol {
+        /// The requested name.
+        name: String,
+        /// All registered protocol names.
+        available: Vec<String>,
+    },
+}
+
+impl SimError {
+    pub(crate) fn unknown_scenario(name: &str) -> SimError {
+        SimError::UnknownScenario {
+            name: name.to_string(),
+            available: scenarios::registry()
+                .iter()
+                .map(|s| s.name.to_string())
+                .collect(),
+        }
+    }
+
+    pub(crate) fn unknown_protocol(name: &str, registry: &ProtocolRegistry) -> SimError {
+        SimError::UnknownProtocol {
+            name: name.to_string(),
+            available: registry.names().iter().map(|n| n.to_string()).collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownScenario { name, available } => write!(
+                f,
+                "unknown scenario {name:?}; registered scenarios: {}",
+                available.join(", ")
+            ),
+            SimError::UnknownProtocol { name, available } => write!(
+                f,
+                "unknown protocol {name:?}; registered protocols: {}",
+                available.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Entry point of the fluent API.
+pub struct Sim;
+
+impl Sim {
+    /// Start from a named preset of the scenario registry. An unknown name
+    /// is reported by the terminal `run`/sweep call, not here.
+    pub fn scenario(name: &str) -> SimBuilder {
+        SimBuilder {
+            config: scenarios::find(name)
+                .map(|s| s.config)
+                .ok_or_else(|| SimError::unknown_scenario(name)),
+            protocol: "mhh".to_string(),
+            workers: None,
+            registry: None,
+        }
+    }
+
+    /// Start from an explicit configuration.
+    pub fn config(config: ScenarioConfig) -> SimBuilder {
+        SimBuilder {
+            config: Ok(config),
+            protocol: "mhh".to_string(),
+            workers: None,
+            registry: None,
+        }
+    }
+}
+
+/// Accumulates scenario, protocol, mobility and execution choices; terminal
+/// calls ([`run`](SimBuilder::run), [`run_all`](SimBuilder::run_all),
+/// [`figure5`](SimBuilder::figure5), [`figure6`](SimBuilder::figure6),
+/// [`matrix`](SimBuilder::matrix)) execute the simulation(s). Cloning is
+/// cheap, so one configured builder can seed several runs.
+#[derive(Clone)]
+pub struct SimBuilder {
+    config: Result<ScenarioConfig, SimError>,
+    protocol: String,
+    workers: Option<usize>,
+    registry: Option<ProtocolRegistry>,
+}
+
+impl SimBuilder {
+    /// Select the protocol by registry name (default `"mhh"`).
+    pub fn protocol(mut self, name: impl Into<String>) -> Self {
+        self.protocol = name.into();
+        self
+    }
+
+    /// Replace the mobility model.
+    pub fn mobility(mut self, kind: ModelKind) -> Self {
+        self.configure_in_place(|c| c.mobility = kind);
+        self
+    }
+
+    /// Number of sweep worker threads (default: all cores). Single runs are
+    /// one simulation and always execute on the calling thread.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Replace the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.configure_in_place(|c| c.seed = seed);
+        self
+    }
+
+    /// Replace the simulated duration (seconds).
+    pub fn duration_s(mut self, duration_s: f64) -> Self {
+        self.configure_in_place(|c| c.duration_s = duration_s);
+        self
+    }
+
+    /// Replace the grid side length (k ⇒ k² brokers).
+    pub fn grid_side(mut self, side: usize) -> Self {
+        self.configure_in_place(|c| c.grid_side = side);
+        self
+    }
+
+    /// Replace the per-broker client count.
+    pub fn clients_per_broker(mut self, clients: usize) -> Self {
+        self.configure_in_place(|c| c.clients_per_broker = clients);
+        self
+    }
+
+    /// Arbitrary configuration access, for knobs without a dedicated
+    /// builder method.
+    pub fn configure(mut self, f: impl FnOnce(&mut ScenarioConfig)) -> Self {
+        self.configure_in_place(f);
+        self
+    }
+
+    /// Resolve protocol names against this registry instead of the
+    /// process-wide one (hermetic tests, experiment-local protocol sets).
+    pub fn registry(mut self, registry: ProtocolRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    fn configure_in_place(&mut self, f: impl FnOnce(&mut ScenarioConfig)) {
+        if let Ok(config) = &mut self.config {
+            f(config);
+        }
+    }
+
+    fn registry_in_use(&self) -> ProtocolRegistry {
+        self.registry
+            .clone()
+            .unwrap_or_else(ProtocolRegistry::global)
+    }
+
+    fn workers_in_use(&self) -> usize {
+        self.workers.unwrap_or_else(available_workers)
+    }
+
+    /// The fully-resolved configuration (mainly for inspection and tests).
+    pub fn build_config(self) -> Result<ScenarioConfig, SimError> {
+        self.config
+    }
+
+    /// Run the configured scenario with the selected protocol.
+    pub fn run(self) -> Result<RunResult, SimError> {
+        let registry = self.registry_in_use();
+        let config = self.config?;
+        let spec = registry
+            .find(&self.protocol)
+            .ok_or_else(|| SimError::unknown_protocol(&self.protocol, &registry))?;
+        Ok(run_spec(&config, spec))
+    }
+
+    /// Run the configured scenario once per registered protocol (paired
+    /// comparison over the identical workload), in registry order, fanned
+    /// out over the configured workers.
+    pub fn run_all(self) -> Result<Vec<RunResult>, SimError> {
+        let registry = self.registry_in_use();
+        let workers = self.workers_in_use();
+        let config = self.config?;
+        let specs: Vec<_> = registry.specs().to_vec();
+        Ok(map_parallel(&specs, workers, |spec| {
+            run_spec(&config, spec)
+        }))
+    }
+
+    /// Run the Figure 5 sweep (connection-period lengths × every registered
+    /// protocol) on top of this configuration.
+    pub fn figure5(self, conn_periods_s: &[f64]) -> Result<FigureResult, SimError> {
+        let registry = self.registry_in_use();
+        let workers = self.workers_in_use();
+        let config = self.config?;
+        Ok(figure5_in(&registry, &config, conn_periods_s, workers))
+    }
+
+    /// Run the Figure 6 sweep (grid sizes × every registered protocol) on
+    /// top of this configuration.
+    pub fn figure6(self, grid_sides: &[usize]) -> Result<FigureResult, SimError> {
+        let registry = self.registry_in_use();
+        let workers = self.workers_in_use();
+        let config = self.config?;
+        Ok(figure6_in(&registry, &config, grid_sides, workers))
+    }
+
+    /// Run the mobility-model × protocol matrix: every given model
+    /// parameter point against every registered protocol.
+    pub fn matrix(self, models: &[ModelKind]) -> Result<MatrixResult, SimError> {
+        let registry = self.registry_in_use();
+        let workers = self.workers_in_use();
+        let config = self.config?;
+        Ok(mobility_matrix_in(&registry, &config, models, workers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_names_surface_at_the_terminal_call() {
+        let err = Sim::scenario("no-such-scenario").run().unwrap_err();
+        match err {
+            SimError::UnknownScenario { name, available } => {
+                assert_eq!(name, "no-such-scenario");
+                assert!(available.iter().any(|s| s == "paper-fig5"));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+
+        let err = Sim::scenario("trace-smoke")
+            .protocol("no-such-protocol")
+            .run()
+            .unwrap_err();
+        match err {
+            SimError::UnknownProtocol { name, available } => {
+                assert_eq!(name, "no-such-protocol");
+                assert!(available.iter().any(|s| s == "mhh"));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        // Errors render actionably.
+        let shown = Sim::scenario("nope").run().unwrap_err().to_string();
+        assert!(
+            shown.contains("nope") && shown.contains("paper-fig5"),
+            "{shown}"
+        );
+    }
+
+    #[test]
+    fn builder_overrides_compose() {
+        let config = Sim::scenario("paper-fig5")
+            .mobility(ModelKind::ManhattanGrid)
+            .grid_side(4)
+            .clients_per_broker(2)
+            .duration_s(120.0)
+            .seed(9)
+            .configure(|c| c.publish_interval_s = 30.0)
+            .build_config()
+            .unwrap();
+        assert_eq!(config.grid_side, 4);
+        assert_eq!(config.clients_per_broker, 2);
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.publish_interval_s, 30.0);
+        assert_eq!(config.mobility, ModelKind::ManhattanGrid);
+    }
+
+    #[test]
+    fn fluent_run_executes_the_scenario() {
+        let result = Sim::scenario("trace-smoke").protocol("mhh").run().unwrap();
+        assert_eq!(result.protocol, "MHH");
+        assert_eq!(result.handoffs, 5, "trace-smoke replays five moves");
+        assert!(result.reliable(), "{:?}", result.audit);
+    }
+
+    #[test]
+    fn run_all_is_a_paired_comparison_in_registry_order() {
+        let results = Sim::scenario("trace-smoke")
+            .registry(ProtocolRegistry::builtin())
+            .workers(2)
+            .run_all()
+            .unwrap();
+        let labels: Vec<&str> = results.iter().map(|r| r.protocol.as_str()).collect();
+        assert_eq!(labels, vec!["sub-unsub", "MHH", "HB"]);
+        // Identical workload for every protocol.
+        assert!(results.windows(2).all(|w| w[0].handoffs == w[1].handoffs));
+    }
+}

@@ -3,7 +3,12 @@
 
 use mhh_mobility::ModelKind;
 
-/// Which mobility-management protocol to run.
+/// Which of the paper's three protocols to run on the generic fast path
+/// ([`run_scenario`](crate::runner::run_scenario)).
+///
+/// The enum is a convenience for the builtin protocols only; the open,
+/// by-name axis lives in [`crate::protocols::ProtocolRegistry`], and
+/// [`Protocol::name`] is the bridge (the enum variant's registry key).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// The paper's multi-hop handoff protocol (`mhh-core`).
@@ -24,6 +29,16 @@ impl Protocol {
             Protocol::Mhh => "MHH",
             Protocol::SubUnsub => "sub-unsub",
             Protocol::HomeBroker => "HB",
+        }
+    }
+
+    /// The protocol's key in the
+    /// [`ProtocolRegistry`](crate::protocols::ProtocolRegistry).
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Mhh => "mhh",
+            Protocol::SubUnsub => "sub-unsub",
+            Protocol::HomeBroker => "home-broker",
         }
     }
 }

@@ -2,6 +2,13 @@
 //! length) and Figure 6 (varying the network size) — plus the
 //! mobility-model × protocol matrix the paper never ran.
 //!
+//! The protocol axis is data-driven: every sweep iterates the entries of a
+//! [`ProtocolRegistry`] and runs them through the dyn-dispatched
+//! [`run_spec`] path, so registering a new protocol adds a curve to every
+//! figure and a column to every matrix without touching this module. The
+//! default entry points use the process-wide registry; the `*_in` variants
+//! take an explicit one.
+//!
 //! Each point of each curve is an independent simulation run; points are
 //! distributed over scoped worker threads by
 //! [`mhh_mobility::sweep::map_parallel`] (the runs themselves stay
@@ -11,9 +18,22 @@
 use mhh_mobility::sweep::{available_workers, map_parallel};
 use mhh_mobility::ModelKind;
 
-use crate::config::{Protocol, ScenarioConfig};
+use crate::config::ScenarioConfig;
 use crate::metrics::RunResult;
-use crate::runner::run_scenario;
+use crate::protocols::{ProtocolRegistry, ProtocolSpec};
+use crate::runner::run_spec;
+
+/// First-seen-order deduplication, shared by the curve/row/column
+/// accessors below (first-seen order = registry order for protocols).
+fn first_seen<'a, T: PartialEq + ?Sized>(items: impl Iterator<Item = &'a T>) -> Vec<&'a T> {
+    let mut out: Vec<&'a T> = Vec::new();
+    for item in items {
+        if !out.contains(&item) {
+            out.push(item);
+        }
+    }
+    out
+}
 
 /// One `(x, protocol)` point of a figure.
 #[derive(Debug, Clone)]
@@ -21,9 +41,10 @@ pub struct ExperimentPoint {
     /// The swept parameter value (connection period in seconds for Figure 5,
     /// number of base stations for Figure 6).
     pub x: f64,
-    /// The protocol run at this point.
-    pub protocol: Protocol,
-    /// Label of the mobility model the point ran under.
+    /// Display label of the protocol run at this point.
+    pub protocol: String,
+    /// Label of the mobility model the point ran under (parameter point
+    /// included, e.g. `random-waypoint(pause=60s)`).
     pub mobility: String,
     /// The collected metrics.
     pub result: RunResult,
@@ -41,8 +62,13 @@ pub struct FigureResult {
 }
 
 impl FigureResult {
-    /// The points of one protocol, sorted by x.
-    pub fn curve(&self, protocol: Protocol) -> Vec<&ExperimentPoint> {
+    /// The distinct protocol labels, in first-seen (= registry) order.
+    pub fn protocols(&self) -> Vec<&str> {
+        first_seen(self.points.iter().map(|p| p.protocol.as_str()))
+    }
+
+    /// The points of one protocol (by display label), sorted by x.
+    pub fn curve(&self, protocol: &str) -> Vec<&ExperimentPoint> {
         let mut pts: Vec<&ExperimentPoint> = self
             .points
             .iter()
@@ -54,7 +80,7 @@ impl FigureResult {
 
     /// The overhead-per-handoff series of one protocol (the y values of
     /// Figures 5(a) / 6(a)).
-    pub fn overhead_series(&self, protocol: Protocol) -> Vec<(f64, f64)> {
+    pub fn overhead_series(&self, protocol: &str) -> Vec<(f64, f64)> {
         self.curve(protocol)
             .iter()
             .map(|p| (p.x, p.result.overhead_per_handoff))
@@ -63,7 +89,7 @@ impl FigureResult {
 
     /// The handoff-delay series of one protocol (the y values of
     /// Figures 5(b) / 6(b)).
-    pub fn delay_series(&self, protocol: Protocol) -> Vec<(f64, f64)> {
+    pub fn delay_series(&self, protocol: &str) -> Vec<(f64, f64)> {
         self.curve(protocol)
             .iter()
             .map(|p| (p.x, p.result.avg_handoff_delay_ms))
@@ -78,9 +104,10 @@ pub const FIG5_CONN_PERIODS_S: [f64; 5] = [1.0, 10.0, 100.0, 1_000.0, 10_000.0];
 pub const FIG6_GRID_SIDES: [usize; 5] = [5, 7, 10, 12, 14];
 
 /// Run the Figure 5 sweep (message overhead and handoff delay vs. the average
-/// connection-period length) on top of the given base configuration. The
-/// paper fixes 100 base stations and a 5-minute mean disconnection period;
-/// the base config controls the scale so tests can run a smaller system.
+/// connection-period length) on top of the given base configuration, with
+/// every protocol of the process-wide registry. The paper fixes 100 base
+/// stations and a 5-minute mean disconnection period; the base config
+/// controls the scale so tests can run a smaller system.
 pub fn figure5(base: &ScenarioConfig, conn_periods_s: &[f64]) -> FigureResult {
     figure5_with_workers(base, conn_periods_s, available_workers())
 }
@@ -92,21 +119,31 @@ pub fn figure5_with_workers(
     conn_periods_s: &[f64],
     workers: usize,
 ) -> FigureResult {
-    let jobs: Vec<(f64, Protocol)> = conn_periods_s
+    figure5_in(&ProtocolRegistry::global(), base, conn_periods_s, workers)
+}
+
+/// [`figure5`] over an explicit protocol registry.
+pub fn figure5_in(
+    registry: &ProtocolRegistry,
+    base: &ScenarioConfig,
+    conn_periods_s: &[f64],
+    workers: usize,
+) -> FigureResult {
+    let jobs: Vec<(f64, &ProtocolSpec)> = conn_periods_s
         .iter()
-        .flat_map(|&p| Protocol::ALL.into_iter().map(move |proto| (p, proto)))
+        .flat_map(|&p| registry.specs().iter().map(move |spec| (p, spec)))
         .collect();
-    let points = map_parallel(&jobs, workers, |&(conn, protocol)| {
+    let points = map_parallel(&jobs, workers, |&(conn, spec)| {
         let config = ScenarioConfig {
             conn_mean_s: conn,
             ..base.clone()
         }
         .with_adaptive_duration(1.5);
-        let result = run_scenario(&config, protocol);
+        let result = run_spec(&config, spec);
         ExperimentPoint {
             x: conn,
-            protocol,
-            mobility: config.mobility.label().to_string(),
+            protocol: spec.label().to_string(),
+            mobility: config.mobility.to_string(),
             result,
         }
     });
@@ -118,8 +155,9 @@ pub fn figure5_with_workers(
 }
 
 /// Run the Figure 6 sweep (message overhead and handoff delay vs. the number
-/// of base stations) on top of the given base configuration. The paper fixes
-/// both period means at 5 minutes.
+/// of base stations) on top of the given base configuration, with every
+/// protocol of the process-wide registry. The paper fixes both period means
+/// at 5 minutes.
 pub fn figure6(base: &ScenarioConfig, grid_sides: &[usize]) -> FigureResult {
     figure6_with_workers(base, grid_sides, available_workers())
 }
@@ -130,21 +168,31 @@ pub fn figure6_with_workers(
     grid_sides: &[usize],
     workers: usize,
 ) -> FigureResult {
-    let jobs: Vec<(usize, Protocol)> = grid_sides
+    figure6_in(&ProtocolRegistry::global(), base, grid_sides, workers)
+}
+
+/// [`figure6`] over an explicit protocol registry.
+pub fn figure6_in(
+    registry: &ProtocolRegistry,
+    base: &ScenarioConfig,
+    grid_sides: &[usize],
+    workers: usize,
+) -> FigureResult {
+    let jobs: Vec<(usize, &ProtocolSpec)> = grid_sides
         .iter()
-        .flat_map(|&side| Protocol::ALL.into_iter().map(move |proto| (side, proto)))
+        .flat_map(|&side| registry.specs().iter().map(move |spec| (side, spec)))
         .collect();
-    let points = map_parallel(&jobs, workers, |&(side, protocol)| {
+    let points = map_parallel(&jobs, workers, |&(side, spec)| {
         let config = ScenarioConfig {
             grid_side: side,
             ..base.clone()
         }
         .with_adaptive_duration(1.5);
-        let result = run_scenario(&config, protocol);
+        let result = run_spec(&config, spec);
         ExperimentPoint {
             x: (side * side) as f64,
-            protocol,
-            mobility: config.mobility.label().to_string(),
+            protocol: spec.label().to_string(),
+            mobility: config.mobility.to_string(),
             result,
         }
     });
@@ -158,52 +206,51 @@ pub fn figure6_with_workers(
 /// One cell of the mobility-model × protocol matrix.
 #[derive(Debug, Clone)]
 pub struct MatrixPoint {
-    /// Label of the mobility model.
-    pub mobility: String,
-    /// The protocol run in this cell.
-    pub protocol: Protocol,
+    /// The mobility model of this cell, *including its parameters* — the
+    /// same kind may appear at several parameter points in one matrix.
+    pub mobility: ModelKind,
+    /// Display label of the protocol run in this cell.
+    pub protocol: String,
     /// The collected metrics.
     pub result: RunResult,
 }
 
-/// The full mobility-model × protocol matrix: every model of the sweep run
-/// against every protocol on the same base scenario.
+/// The full mobility-model × protocol matrix: every model parameter point
+/// of the sweep run against every registered protocol on the same base
+/// scenario.
 #[derive(Debug, Clone)]
 pub struct MatrixResult {
-    /// All cells, one per (model, protocol) pair.
+    /// All cells, one per (model parameter point, protocol) pair.
     pub points: Vec<MatrixPoint>,
 }
 
 impl MatrixResult {
-    /// The distinct model labels, in first-seen order.
-    pub fn models(&self) -> Vec<&str> {
-        let mut out: Vec<&str> = Vec::new();
-        for p in &self.points {
-            if !out.contains(&p.mobility.as_str()) {
-                out.push(&p.mobility);
-            }
-        }
-        out
+    /// The distinct model parameter points, in first-seen order.
+    pub fn models(&self) -> Vec<&ModelKind> {
+        first_seen(self.points.iter().map(|p| &p.mobility))
     }
 
-    /// Look up one cell.
-    pub fn cell(&self, mobility: &str, protocol: Protocol) -> Option<&MatrixPoint> {
+    /// The distinct protocol labels, in first-seen (= registry) order.
+    pub fn protocols(&self) -> Vec<&str> {
+        first_seen(self.points.iter().map(|p| p.protocol.as_str()))
+    }
+
+    /// Look up one cell by exact model parameter point and protocol label.
+    pub fn cell(&self, mobility: &ModelKind, protocol: &str) -> Option<&MatrixPoint> {
         self.points
             .iter()
-            .find(|p| p.mobility == mobility && p.protocol == protocol)
+            .find(|p| &p.mobility == mobility && p.protocol == protocol)
     }
 }
 
-/// Run every mobility model against every protocol on `base` (the model
-/// stored in `base` itself is ignored in favour of each sweep entry), in
-/// parallel over the available cores.
+/// Run every mobility model against every protocol of the process-wide
+/// registry on `base` (the model stored in `base` itself is ignored in
+/// favour of each sweep entry), in parallel over the available cores.
 ///
-/// Matrix cells are keyed by model *label*, so the `models` slice should
-/// contain at most one entry per model kind — two `RandomWaypoint`s with
-/// different pause times collide on `"random-waypoint"` and
-/// [`MatrixResult::cell`] / [`MatrixResult::models`] would surface only the
-/// first. To sweep one model across parameter values, run
-/// [`figure5_with_workers`]-style sweeps (or separate matrices) instead.
+/// Cells are keyed by the full [`ModelKind`] value — kind *and* parameters —
+/// so the `models` slice may sweep one kind across several parameter points
+/// (e.g. three `RandomWaypoint`s with different pause times) without
+/// collisions.
 pub fn mobility_matrix(base: &ScenarioConfig, models: &[ModelKind]) -> MatrixResult {
     mobility_matrix_with_workers(base, models, available_workers())
 }
@@ -214,20 +261,26 @@ pub fn mobility_matrix_with_workers(
     models: &[ModelKind],
     workers: usize,
 ) -> MatrixResult {
-    let jobs: Vec<(ModelKind, Protocol)> = models
+    mobility_matrix_in(&ProtocolRegistry::global(), base, models, workers)
+}
+
+/// [`mobility_matrix`] over an explicit protocol registry.
+pub fn mobility_matrix_in(
+    registry: &ProtocolRegistry,
+    base: &ScenarioConfig,
+    models: &[ModelKind],
+    workers: usize,
+) -> MatrixResult {
+    let jobs: Vec<(&ModelKind, &ProtocolSpec)> = models
         .iter()
-        .flat_map(|kind| {
-            Protocol::ALL
-                .into_iter()
-                .map(move |proto| (kind.clone(), proto))
-        })
+        .flat_map(|kind| registry.specs().iter().map(move |spec| (kind, spec)))
         .collect();
-    let points = map_parallel(&jobs, workers, |(kind, protocol)| {
+    let points = map_parallel(&jobs, workers, |&(kind, spec)| {
         let config = base.clone().with_mobility(kind.clone());
-        let result = run_scenario(&config, *protocol);
+        let result = run_spec(&config, spec);
         MatrixPoint {
-            mobility: kind.label().to_string(),
-            protocol: *protocol,
+            mobility: kind.clone(),
+            protocol: spec.label().to_string(),
             result,
         }
     });
@@ -237,6 +290,7 @@ pub fn mobility_matrix_with_workers(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Protocol;
 
     /// A deliberately tiny base configuration so the sweep smoke tests run in
     /// seconds while still exercising the full pipeline.
@@ -256,13 +310,14 @@ mod tests {
 
     #[test]
     fn figure5_sweep_produces_all_curves() {
-        let fig = figure5(&tiny_base(), &[5.0, 60.0]);
+        let fig = figure5_in(&ProtocolRegistry::builtin(), &tiny_base(), &[5.0, 60.0], 4);
         assert_eq!(fig.points.len(), 6);
+        assert_eq!(fig.protocols(), vec!["sub-unsub", "MHH", "HB"]);
         for proto in Protocol::ALL {
-            let series = fig.overhead_series(proto);
+            let series = fig.overhead_series(proto.label());
             assert_eq!(series.len(), 2);
             assert!(series[0].0 < series[1].0, "series sorted by x");
-            assert_eq!(fig.delay_series(proto).len(), 2);
+            assert_eq!(fig.delay_series(proto.label()).len(), 2);
         }
     }
 
@@ -289,9 +344,9 @@ mod tests {
         // stored queues repeatedly and makes the client wait for the whole
         // handoff; MHH must be cheaper per handoff and must deliver faster —
         // the headline claim of Figure 5.
-        let fig = figure5(&dense_base(), &[5.0]);
-        let mhh = &fig.curve(Protocol::Mhh)[0].result;
-        let su = &fig.curve(Protocol::SubUnsub)[0].result;
+        let fig = figure5_in(&ProtocolRegistry::builtin(), &dense_base(), &[5.0], 4);
+        let mhh = &fig.curve("MHH")[0].result;
+        let su = &fig.curve("sub-unsub")[0].result;
         assert!(mhh.reliable(), "{:?}", mhh.audit);
         assert!(su.reliable(), "{:?}", su.audit);
         assert!(
@@ -310,13 +365,13 @@ mod tests {
 
     #[test]
     fn figure6_sweep_produces_all_curves() {
-        let fig = figure6(&tiny_base(), &[3, 4]);
+        let fig = figure6_in(&ProtocolRegistry::builtin(), &tiny_base(), &[3, 4], 4);
         assert_eq!(fig.points.len(), 6);
         for proto in Protocol::ALL {
-            assert_eq!(fig.overhead_series(proto).len(), 2);
-            assert_eq!(fig.delay_series(proto).len(), 2);
+            assert_eq!(fig.overhead_series(proto.label()).len(), 2);
+            assert_eq!(fig.delay_series(proto.label()).len(), 2);
             // Every point produced at least one handoff and a sane delay.
-            for p in fig.curve(proto) {
+            for p in fig.curve(proto.label()) {
                 assert!(
                     p.result.handoffs > 0,
                     "{proto:?} point {} had no handoffs",
@@ -325,5 +380,45 @@ mod tests {
                 assert!(p.result.avg_handoff_delay_ms >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn matrix_keys_cells_by_parameter_point_not_label() {
+        // One model kind at two parameter points in the same matrix — the
+        // collision the old label-keyed cells could not represent.
+        let short = ModelKind::RandomWaypoint { pause_mean_s: 5.0 };
+        let long = ModelKind::RandomWaypoint {
+            pause_mean_s: 2_000.0,
+        };
+        let models = [short.clone(), long.clone()];
+        let matrix = mobility_matrix_in(&ProtocolRegistry::builtin(), &tiny_base(), &models, 4);
+        assert_eq!(matrix.points.len(), 6);
+        assert_eq!(matrix.models(), vec![&short, &long]);
+        let s = matrix.cell(&short, "MHH").expect("short-pause cell");
+        let l = matrix.cell(&long, "MHH").expect("long-pause cell");
+        assert!(
+            s.result.handoffs > l.result.handoffs,
+            "short pauses ({}) must move more than pauses longer than the \
+             horizon ({})",
+            s.result.handoffs,
+            l.result.handoffs
+        );
+    }
+
+    #[test]
+    fn registered_protocols_join_every_sweep() {
+        use crate::protocols::ProtocolSpec;
+        use mhh_pubsub::{broker::NoProtocol, erase};
+        let mut registry = ProtocolRegistry::builtin();
+        registry.register(ProtocolSpec::new(
+            "static",
+            "static",
+            "no mobility support",
+            |_| Box::new(|_| erase(NoProtocol)),
+        ));
+        let matrix = mobility_matrix_in(&registry, &tiny_base(), &[ModelKind::UniformRandom], 2);
+        assert_eq!(matrix.points.len(), 4);
+        assert_eq!(matrix.protocols(), vec!["sub-unsub", "MHH", "HB", "static"]);
+        assert!(matrix.cell(&ModelKind::UniformRandom, "static").is_some());
     }
 }

@@ -6,34 +6,58 @@
 //! and disconnection periods, one event per client per five minutes, and a
 //! content-based workload tuned so each event matches 6.25 % of the clients.
 //!
-//! The harness runs any of the three protocols (MHH, sub-unsub, home-broker)
-//! on identical pre-generated workloads, collects the paper's two metrics —
-//! *message overhead per handoff* (hops) and *average handoff delay* — plus a
+//! The harness runs any registered protocol on identical pre-generated
+//! workloads, collects the paper's two metrics — *message overhead per
+//! handoff* (hops) and *average handoff delay* — plus a
 //! delivery-reliability audit, and sweeps the parameters of Figure 5
 //! (connection-period length) and Figure 6 (network size), as well as the
 //! mobility-model × protocol matrix enabled by `mhh-mobility`. Sweep points
 //! are independent simulations and run in parallel on scoped worker threads
-//! ([`mhh_mobility::sweep`]); named presets live in the [`scenarios`]
-//! registry.
+//! ([`mhh_mobility::sweep`]).
+//!
+//! Both experiment axes are open registries:
+//!
+//! * named scenario presets live in [`scenarios`];
+//! * named protocol constructors live in [`protocols`] — the paper's three
+//!   are builtin, external protocols join via
+//!   [`protocols::register`] and run dyn-dispatched
+//!   (`Box<dyn DynProtocol>`) through the exact same harness.
+//!
+//! The [`Sim`] builder is the one fluent entry point tying the axes
+//! together:
+//!
+//! ```
+//! use mhh_mobsim::{ModelKind, Sim};
+//!
+//! let result = Sim::scenario("trace-smoke")
+//!     .protocol("mhh")
+//!     .run()
+//!     .unwrap();
+//! assert!(result.reliable());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod config;
 pub mod experiments;
 pub mod json;
 pub mod metrics;
+pub mod protocols;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
 pub mod workload;
 
+pub use builder::{Sim, SimBuilder, SimError};
 pub use config::{Protocol, ScenarioConfig};
 pub use experiments::{
     figure5, figure6, mobility_matrix, ExperimentPoint, FigureResult, MatrixPoint, MatrixResult,
 };
 pub use metrics::RunResult;
 pub use mhh_mobility::ModelKind;
-pub use runner::run_scenario;
+pub use protocols::{ProtocolRegistry, ProtocolSpec};
+pub use runner::{run_named, run_scenario, run_spec};
 pub use scenarios::Scenario;
 pub use workload::Workload;

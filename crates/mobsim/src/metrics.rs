@@ -2,14 +2,16 @@
 
 use mhh_pubsub::DeliveryAudit;
 
-use crate::config::Protocol;
-
 /// The outcome of one scenario run: the paper's two performance metrics plus
 /// the reliability audit and raw counters useful for debugging and reports.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// The protocol that was run.
-    pub protocol: Protocol,
+    /// Display label of the protocol that was run (e.g. `"MHH"`). A label
+    /// rather than a closed enum, so registry-provided protocols flow
+    /// through the metrics and reports unchanged; generic and
+    /// dyn-dispatched runs of the same protocol carry the same label, which
+    /// is what makes their results byte-identical.
+    pub protocol: String,
     /// Number of handoffs that occurred (reconnections at a different
     /// broker).
     pub handoffs: u64,
@@ -56,7 +58,7 @@ mod tests {
     #[test]
     fn derived_quantities() {
         let r = RunResult {
-            protocol: Protocol::Mhh,
+            protocol: "MHH".to_string(),
             handoffs: 10,
             mobility_hops: 500,
             overhead_per_handoff: 50.0,

@@ -1,8 +1,12 @@
 //! Plain-text and JSON reporting of experiment results.
+//!
+//! Tables are fully data-driven: protocol columns come from the points
+//! themselves (first-seen order = registry order), so a figure or matrix
+//! run with extra registered protocols renders extra columns without any
+//! change here.
 
 use std::fmt::Write as _;
 
-use crate::config::Protocol;
 use crate::experiments::{FigureResult, MatrixResult};
 use crate::json::Json;
 use crate::metrics::RunResult;
@@ -38,32 +42,31 @@ fn render_panel(
     x_label: &str,
     metric: impl Fn(&crate::experiments::ExperimentPoint) -> f64,
 ) -> String {
+    let protocols = fig.protocols();
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:>28} | {:>12} | {:>12} | {:>12}",
-        x_label,
-        Protocol::SubUnsub.label(),
-        Protocol::Mhh.label(),
-        Protocol::HomeBroker.label()
-    );
-    let _ = writeln!(out, "{}", "-".repeat(28 + 3 * 15 + 3));
+    let _ = write!(out, "{x_label:>28}");
+    for proto in &protocols {
+        let _ = write!(out, " | {proto:>12}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(28 + protocols.len() * 15));
     for x in x_values(fig) {
-        let cell = |proto: Protocol| -> String {
-            fig.points
+        let _ = write!(out, "{x:>28}");
+        for proto in &protocols {
+            match fig
+                .points
                 .iter()
-                .find(|p| p.protocol == proto && (p.x - x).abs() < 1e-9)
-                .map(|p| format!("{:12.1}", metric(p)))
-                .unwrap_or_else(|| format!("{:>12}", "-"))
-        };
-        let _ = writeln!(
-            out,
-            "{:>28} | {} | {} | {}",
-            x,
-            cell(Protocol::SubUnsub),
-            cell(Protocol::Mhh),
-            cell(Protocol::HomeBroker)
-        );
+                .find(|p| p.protocol == *proto && (p.x - x).abs() < 1e-9)
+            {
+                Some(p) => {
+                    let _ = write!(out, " | {:12.1}", metric(p));
+                }
+                None => {
+                    let _ = write!(out, " | {:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
     }
     out
 }
@@ -71,8 +74,8 @@ fn render_panel(
 fn render_reliability(fig: &FigureResult) -> String {
     let mut out = String::new();
     for x in x_values(fig) {
-        let _ = write!(out, "{:>28} |", x);
-        for proto in [Protocol::SubUnsub, Protocol::Mhh, Protocol::HomeBroker] {
+        let _ = write!(out, "{x:>28} |");
+        for proto in fig.protocols() {
             if let Some(p) = fig
                 .points
                 .iter()
@@ -92,7 +95,7 @@ fn render_reliability(fig: &FigureResult) -> String {
 /// JSON document for one run's metrics.
 pub fn run_result_json(r: &RunResult) -> Json {
     Json::obj(vec![
-        ("protocol", Json::str(r.protocol.label())),
+        ("protocol", Json::str(&r.protocol)),
         ("handoffs", Json::UInt(r.handoffs)),
         ("mobility_hops", Json::UInt(r.mobility_hops)),
         ("overhead_per_handoff", Json::Num(r.overhead_per_handoff)),
@@ -130,7 +133,7 @@ pub fn to_json(fig: &FigureResult) -> String {
                     .map(|p| {
                         Json::obj(vec![
                             ("x", Json::Num(p.x)),
-                            ("protocol", Json::str(p.protocol.label())),
+                            ("protocol", Json::str(&p.protocol)),
                             ("mobility", Json::str(&p.mobility)),
                             ("result", run_result_json(&p.result)),
                         ])
@@ -146,8 +149,17 @@ pub fn to_json(fig: &FigureResult) -> String {
 type MetricFn = fn(&RunResult) -> f64;
 
 /// Render the mobility-model × protocol matrix as fixed-width tables: one
-/// row per model, one column per protocol, one table per metric.
+/// row per model parameter point, one column per protocol, one table per
+/// metric.
 pub fn render_matrix(matrix: &MatrixResult) -> String {
+    let protocols = matrix.protocols();
+    let models = matrix.models();
+    let row_width = models
+        .iter()
+        .map(|m| m.to_string().len())
+        .max()
+        .unwrap_or(0)
+        .max(20);
     let mut out = String::new();
     let _ = writeln!(out, "== mobility-model x protocol matrix ==");
     let metrics: [(&str, MetricFn); 3] = [
@@ -159,15 +171,15 @@ pub fn render_matrix(matrix: &MatrixResult) -> String {
     ];
     for (title, metric) in metrics {
         let _ = writeln!(out, "-- {title} --");
-        let _ = write!(out, "{:>20}", "model");
-        for proto in Protocol::ALL {
-            let _ = write!(out, " | {:>12}", proto.label());
+        let _ = write!(out, "{:>row_width$}", "model");
+        for proto in &protocols {
+            let _ = write!(out, " | {proto:>12}");
         }
         let _ = writeln!(out);
-        let _ = writeln!(out, "{}", "-".repeat(20 + Protocol::ALL.len() * 15));
-        for model in matrix.models() {
-            let _ = write!(out, "{model:>20}");
-            for proto in Protocol::ALL {
+        let _ = writeln!(out, "{}", "-".repeat(row_width + protocols.len() * 15));
+        for model in &models {
+            let _ = write!(out, "{:>row_width$}", model.to_string());
+            for proto in &protocols {
                 match matrix.cell(model, proto) {
                     Some(p) => {
                         let _ = write!(out, " | {:12.1}", metric(&p.result));
@@ -183,7 +195,8 @@ pub fn render_matrix(matrix: &MatrixResult) -> String {
     out
 }
 
-/// Serialise the matrix to pretty JSON.
+/// Serialise the matrix to pretty JSON. `mobility` is the parameter-point
+/// label (e.g. `"random-waypoint(pause=60s)"`), `model` the bare kind label.
 pub fn matrix_to_json(matrix: &MatrixResult) -> String {
     Json::obj(vec![(
         "points",
@@ -193,8 +206,9 @@ pub fn matrix_to_json(matrix: &MatrixResult) -> String {
                 .iter()
                 .map(|p| {
                     Json::obj(vec![
-                        ("mobility", Json::str(&p.mobility)),
-                        ("protocol", Json::str(p.protocol.label())),
+                        ("mobility", Json::str(p.mobility.to_string())),
+                        ("model", Json::str(p.mobility.label())),
+                        ("protocol", Json::str(&p.protocol)),
                         ("result", run_result_json(&p.result)),
                     ])
                 })
@@ -208,11 +222,12 @@ pub fn matrix_to_json(matrix: &MatrixResult) -> String {
 mod tests {
     use super::*;
     use crate::config::ScenarioConfig;
-    use crate::experiments::figure5;
+    use crate::experiments::{figure5_in, mobility_matrix_in};
+    use crate::protocols::ProtocolRegistry;
+    use mhh_mobility::ModelKind;
 
-    #[test]
-    fn render_contains_all_protocols_and_x_values() {
-        let base = ScenarioConfig {
+    fn base() -> ScenarioConfig {
+        ScenarioConfig {
             grid_side: 3,
             clients_per_broker: 2,
             mobile_fraction: 0.5,
@@ -222,8 +237,12 @@ mod tests {
             duration_s: 120.0,
             seed: 1,
             ..ScenarioConfig::paper_defaults()
-        };
-        let fig = figure5(&base, &[10.0, 50.0]);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_protocols_and_x_values() {
+        let fig = figure5_in(&ProtocolRegistry::builtin(), &base(), &[10.0, 50.0], 4);
         let text = render_figure(&fig);
         assert!(text.contains("MHH"));
         assert!(text.contains("sub-unsub"));
@@ -232,5 +251,20 @@ mod tests {
         assert!(text.contains("50"));
         let json = to_json(&fig);
         assert!(json.contains("\"figure5\""));
+    }
+
+    #[test]
+    fn matrix_rows_carry_parameter_points() {
+        let models = [
+            ModelKind::RandomWaypoint { pause_mean_s: 5.0 },
+            ModelKind::RandomWaypoint { pause_mean_s: 50.0 },
+        ];
+        let matrix = mobility_matrix_in(&ProtocolRegistry::builtin(), &base(), &models, 4);
+        let text = render_matrix(&matrix);
+        assert!(text.contains("random-waypoint(pause=5s)"), "{text}");
+        assert!(text.contains("random-waypoint(pause=50s)"), "{text}");
+        let json = matrix_to_json(&matrix);
+        assert!(json.contains("\"random-waypoint(pause=5s)\""));
+        assert!(json.contains("\"model\": \"random-waypoint\""));
     }
 }

@@ -1,5 +1,13 @@
 //! Scenario runner: build the deployment for a protocol, inject the
 //! workload, run to completion and compute the metrics.
+//!
+//! Two equivalent paths exist. [`run_scenario`] is the generic fast path:
+//! the deployment is monomorphized per protocol. [`run_spec`] /
+//! [`run_named`] are the dyn paths: the protocol comes out of a
+//! [`crate::protocols::ProtocolRegistry`] entry and runs
+//! behind `Box<dyn DynProtocol>`. Both replay the identical seeded workload
+//! and exchange the identical messages, so their [`RunResult`]s are
+//! byte-identical — asserted by the integration tests and the sweep bench.
 
 use mhh_baselines::{HomeBroker, SubUnsub};
 use mhh_core::Mhh;
@@ -8,8 +16,10 @@ use mhh_pubsub::delivery::{audit, SubscriberLog};
 use mhh_pubsub::{ClientId, Deployment, DeploymentConfig, Event, NetMsg};
 use mhh_simnet::{SimDuration, TrafficClass};
 
+use crate::builder::SimError;
 use crate::config::{Protocol, ScenarioConfig};
 use crate::metrics::RunResult;
+use crate::protocols::{ProtocolRegistry, ProtocolSpec};
 use crate::workload::Workload;
 
 /// Translate a scenario config into the deployment config of the substrate.
@@ -23,14 +33,16 @@ fn deployment_config(config: &ScenarioConfig) -> DeploymentConfig {
     }
 }
 
-/// Run one scenario with one protocol and collect the metrics. The workload
-/// is regenerated from the scenario seed, so calling this for different
+/// Run one scenario with one protocol and collect the metrics — the generic
+/// fast path (one monomorphized deployment per protocol). The workload is
+/// regenerated from the scenario seed, so calling this for different
 /// protocols with the same config performs a paired comparison.
 pub fn run_scenario(config: &ScenarioConfig, protocol: Protocol) -> RunResult {
     let workload = Workload::generate(config);
+    let label = protocol.label();
     match protocol {
-        Protocol::Mhh => run_with(config, protocol, &workload, |_| Mhh::new()),
-        Protocol::HomeBroker => run_with(config, protocol, &workload, |_| HomeBroker::new()),
+        Protocol::Mhh => run_with(config, label, &workload, |_| Mhh::new()),
+        Protocol::HomeBroker => run_with(config, label, &workload, |_| HomeBroker::new()),
         Protocol::SubUnsub => {
             // The safety interval is "the maximum time for message delivery
             // between any two stations" (Section 5.1): the overlay diameter
@@ -38,14 +50,34 @@ pub fn run_scenario(config: &ScenarioConfig, protocol: Protocol) -> RunResult {
             let net = mhh_simnet::Network::grid(config.grid_side, config.seed);
             let wait_hops = net.tree_diameter() as u64 + 1;
             let wait = SimDuration::from_millis(wait_hops * config.wired_ms);
-            run_with(config, protocol, &workload, move |_| SubUnsub::new(wait))
+            run_with(config, label, &workload, move |_| SubUnsub::new(wait))
         }
     }
 }
 
+/// Run one scenario with a registry protocol — the dyn path. The deployment
+/// is `Deployment<Box<dyn DynProtocol>>`, so one compiled code path runs
+/// every registered protocol; results are byte-identical to the generic
+/// path for the same protocol.
+pub fn run_spec(config: &ScenarioConfig, spec: &ProtocolSpec) -> RunResult {
+    let workload = Workload::generate(config);
+    let factory = spec.instantiate(config);
+    run_with(config, spec.label(), &workload, factory)
+}
+
+/// Run one scenario with a protocol resolved by name in the process-wide
+/// [`ProtocolRegistry`].
+pub fn run_named(config: &ScenarioConfig, protocol: &str) -> Result<RunResult, SimError> {
+    let registry = ProtocolRegistry::global();
+    let spec = registry
+        .find(protocol)
+        .ok_or_else(|| SimError::unknown_protocol(protocol, &registry))?;
+    Ok(run_spec(config, spec))
+}
+
 fn run_with<P, F>(
     config: &ScenarioConfig,
-    protocol: Protocol,
+    label: &str,
     workload: &Workload,
     make_protocol: F,
 ) -> RunResult
@@ -64,12 +96,12 @@ where
         );
     }
     dep.engine.run_to_completion();
-    collect(config, protocol, dep)
+    collect(config, label, dep)
 }
 
 fn collect<P: MobilityProtocol>(
     config: &ScenarioConfig,
-    protocol: Protocol,
+    protocol: &str,
     dep: Deployment<P>,
 ) -> RunResult {
     let published: Vec<Event> = dep.clients().flat_map(|c| c.published.clone()).collect();
@@ -113,7 +145,7 @@ fn collect<P: MobilityProtocol>(
     let delivered_messages = stats.class(TrafficClass::EventDelivery).messages;
 
     RunResult {
-        protocol,
+        protocol: protocol.to_string(),
         handoffs,
         mobility_hops,
         overhead_per_handoff: overhead,
@@ -180,6 +212,32 @@ mod tests {
         assert_eq!(r.audit.duplicates, 0, "{:?}", r.audit);
         assert_eq!(r.audit.out_of_order, 0, "{:?}", r.audit);
         assert!(r.handoffs > 0);
+    }
+
+    #[test]
+    fn dyn_path_is_byte_identical_to_generic_path() {
+        let cfg = tiny();
+        let registry = ProtocolRegistry::builtin();
+        for protocol in Protocol::ALL {
+            let generic = run_scenario(&cfg, protocol);
+            let spec = registry.find(protocol.name()).expect("builtin registered");
+            let erased = run_spec(&cfg, spec);
+            assert_eq!(
+                format!("{generic:?}"),
+                format!("{erased:?}"),
+                "{}: dyn dispatch must not change the metrics",
+                protocol.label()
+            );
+        }
+    }
+
+    #[test]
+    fn run_named_resolves_the_global_registry() {
+        let cfg = tiny();
+        let by_name = run_named(&cfg, "mhh").expect("mhh is builtin");
+        let generic = run_scenario(&cfg, Protocol::Mhh);
+        assert_eq!(format!("{by_name:?}"), format!("{generic:?}"));
+        assert!(run_named(&cfg, "no-such-protocol").is_err());
     }
 
     #[test]

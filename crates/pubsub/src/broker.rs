@@ -19,29 +19,48 @@ use std::sync::Arc;
 use mhh_simnet::{Context, Envelope, Network, Node, SimDuration, SimTime};
 
 use crate::address::{AddressBook, BrokerId, ClientId, Peer};
+use crate::dynproto::BoxedMsg;
 use crate::event::Event;
 use crate::filter::Filter;
 use crate::filter_table::FilterTable;
 use crate::messages::{ConnectInfo, NetMsg, ProtocolMessage};
 use crate::queue::PqId;
 
+/// Where a [`BrokerCtx`] routes outgoing messages.
+///
+/// The `Direct` arm is the generic fast path: messages go straight into the
+/// engine context with their concrete protocol payload type. The `Erased`
+/// arm backs dyn-dispatched protocols ([`crate::dynproto`]): the engine runs
+/// on [`BoxedMsg`] payloads, and a protocol's native messages are boxed at
+/// the send boundary.
+enum CtxSink<'a, P: ProtocolMessage> {
+    Direct(&'a mut Context<NetMsg<P>>),
+    Erased(&'a mut Context<NetMsg<BoxedMsg>>),
+}
+
 /// Helper handed to broker/protocol code for sending messages; wraps the
 /// simulator context plus the address book so protocol code can speak in
 /// terms of broker and client ids.
 pub struct BrokerCtx<'a, P: ProtocolMessage> {
-    inner: &'a mut Context<NetMsg<P>>,
+    sink: CtxSink<'a, P>,
     book: AddressBook,
 }
 
 impl<'a, P: ProtocolMessage> BrokerCtx<'a, P> {
     /// Wrap a simulator context.
     pub fn new(inner: &'a mut Context<NetMsg<P>>, book: AddressBook) -> Self {
-        BrokerCtx { inner, book }
+        BrokerCtx {
+            sink: CtxSink::Direct(inner),
+            book,
+        }
     }
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.inner.now()
+        match &self.sink {
+            CtxSink::Direct(inner) => inner.now(),
+            CtxSink::Erased(inner) => inner.now(),
+        }
     }
 
     /// The address book of the deployment.
@@ -49,9 +68,16 @@ impl<'a, P: ProtocolMessage> BrokerCtx<'a, P> {
         self.book
     }
 
+    fn send(&mut self, to: mhh_simnet::NodeId, msg: NetMsg<P>) {
+        match &mut self.sink {
+            CtxSink::Direct(inner) => inner.send(to, msg),
+            CtxSink::Erased(inner) => inner.send(to, msg.map_protocol(BoxedMsg::new)),
+        }
+    }
+
     /// Send an arbitrary message to another broker.
     pub fn send_to_broker(&mut self, broker: BrokerId, msg: NetMsg<P>) {
-        self.inner.send(self.book.broker_node(broker), msg);
+        self.send(self.book.broker_node(broker), msg);
     }
 
     /// Send a protocol-specific message to another broker.
@@ -66,14 +92,35 @@ impl<'a, P: ProtocolMessage> BrokerCtx<'a, P> {
 
     /// Deliver an event to a connected client over the wireless link.
     pub fn deliver(&mut self, client: ClientId, event: Event) {
-        self.inner
-            .send(self.book.client_node(client), NetMsg::Deliver(event));
+        self.send(self.book.client_node(client), NetMsg::Deliver(event));
     }
 
     /// Schedule a protocol message back to this broker after `delay`
     /// (a timer — never counted as network traffic).
     pub fn schedule_protocol(&mut self, delay: SimDuration, msg: P) {
-        self.inner.schedule(delay, NetMsg::Protocol(msg));
+        match &mut self.sink {
+            CtxSink::Direct(inner) => inner.schedule(delay, NetMsg::Protocol(msg)),
+            CtxSink::Erased(inner) => inner.schedule(delay, NetMsg::Protocol(BoxedMsg::new(msg))),
+        }
+    }
+}
+
+impl<'a> BrokerCtx<'a, BoxedMsg> {
+    /// Reborrow this context for a protocol whose native message type is
+    /// `M`: sends are boxed back into [`BoxedMsg`] at the boundary. This is
+    /// how [`crate::dynproto::ErasedProtocol`] hands the wrapped protocol a
+    /// context of its own message type while the engine runs type-erased.
+    pub fn erased<M: ProtocolMessage>(&mut self) -> BrokerCtx<'_, M> {
+        let book = self.book;
+        // Both arms hold a `Context<NetMsg<BoxedMsg>>` when `P = BoxedMsg`.
+        let inner: &mut Context<NetMsg<BoxedMsg>> = match &mut self.sink {
+            CtxSink::Direct(inner) => inner,
+            CtxSink::Erased(inner) => inner,
+        };
+        BrokerCtx {
+            sink: CtxSink::Erased(inner),
+            book,
+        }
     }
 }
 

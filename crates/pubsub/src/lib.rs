@@ -16,10 +16,14 @@
 //! * the on-wire message set, generic over a mobility protocol
 //!   ([`messages`]),
 //! * the broker node: protocol-agnostic core plus a
-//!   [`MobilityProtocol`](broker::MobilityProtocol) trait that `mhh-core`
+//!   [`broker::MobilityProtocol`] trait that `mhh-core`
 //!   (MHH itself) and `mhh-baselines` (sub-unsub, home-broker) plug into
 //!   ([`broker`]),
-//! * the mobile client node ([`client`]), and
+//! * the mobile client node ([`client`]),
+//! * type-erased protocols ([`dynproto`]): any [`MobilityProtocol`] can run
+//!   behind a `Box<dyn DynProtocol>` (`Deployment<Box<dyn DynProtocol>>`),
+//!   which is what lets registries and data-driven experiments pick
+//!   protocols by name at run time, and
 //! * delivery auditing: exactly-once, loss, duplication and per-publisher
 //!   ordering checks ([`delivery`]).
 
@@ -31,6 +35,7 @@ pub mod broker;
 pub mod client;
 pub mod delivery;
 pub mod deployment;
+pub mod dynproto;
 pub mod event;
 pub mod filter;
 pub mod filter_table;
@@ -43,6 +48,7 @@ pub use broker::{Broker, BrokerCore, BrokerCtx, MobilityProtocol};
 pub use client::{ClientNode, DeliveryRecord, ReconnectRecord};
 pub use delivery::{audit, DeliveryAudit};
 pub use deployment::{ClientSpec, Deployment, DeploymentConfig, SimNode};
+pub use dynproto::{erase, BoxedMsg, DynProtocol, ErasedProtocol};
 pub use event::{Event, EventId};
 pub use filter::{Constraint, Filter, Op};
 pub use filter_table::{FilterEntry, FilterTable};

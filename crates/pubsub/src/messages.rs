@@ -13,7 +13,11 @@ use crate::event::Event;
 use crate::filter::Filter;
 
 /// Trait implemented by a mobility protocol's message enum.
-pub trait ProtocolMessage: Clone + std::fmt::Debug {
+///
+/// The `'static` bound is what lets a message be type-erased into a
+/// [`BoxedMsg`](crate::dynproto::BoxedMsg) for dyn-dispatched protocols; all
+/// protocol message enums are owned data, so the bound costs nothing.
+pub trait ProtocolMessage: Clone + std::fmt::Debug + 'static {
     /// Short label for traffic breakdowns (e.g. `"sub_migration"`).
     fn kind(&self) -> &'static str;
     /// Traffic class for the overhead metric. Protocol control messages are
@@ -109,6 +113,34 @@ pub enum NetMsg<P> {
     // ------------------------------------------------------------------
     /// A pre-scheduled client action (workload driver).
     Action(ClientAction),
+}
+
+impl<P> NetMsg<P> {
+    /// Re-wrap the protocol payload (if any), keeping every other variant
+    /// unchanged. This is the mechanical bridge between the generic message
+    /// set and its type-erased form: `msg.map_protocol(BoxedMsg::new)` turns
+    /// a `NetMsg<P>` into a `NetMsg<BoxedMsg>`.
+    pub fn map_protocol<Q>(self, f: impl FnOnce(P) -> Q) -> NetMsg<Q> {
+        match self {
+            NetMsg::Connect(info) => NetMsg::Connect(info),
+            NetMsg::Disconnect {
+                client,
+                proclaimed_dest,
+            } => NetMsg::Disconnect {
+                client,
+                proclaimed_dest,
+            },
+            NetMsg::Publish(e) => NetMsg::Publish(e),
+            NetMsg::Deliver(e) => NetMsg::Deliver(e),
+            NetMsg::SubPropagate { filter, mobility } => NetMsg::SubPropagate { filter, mobility },
+            NetMsg::UnsubPropagate { filter, mobility } => {
+                NetMsg::UnsubPropagate { filter, mobility }
+            }
+            NetMsg::Forward(e) => NetMsg::Forward(e),
+            NetMsg::Protocol(p) => NetMsg::Protocol(f(p)),
+            NetMsg::Action(a) => NetMsg::Action(a),
+        }
+    }
 }
 
 impl<P: ProtocolMessage> Message for NetMsg<P> {

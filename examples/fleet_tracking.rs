@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example fleet_tracking`
 
 use mhh_suite::mhh::Mhh;
-use mhh_suite::mobsim::{run_scenario, Protocol, ScenarioConfig};
+use mhh_suite::mobsim::Sim;
 use mhh_suite::pubsub::event::EventBuilder;
 use mhh_suite::pubsub::{
     BrokerId, ClientAction, ClientId, ClientSpec, Deployment, DeploymentConfig, Filter, Op,
@@ -99,24 +99,25 @@ fn main() {
         stats.mobility_hops() as f64 / total_handoffs.max(1) as f64
     );
 
-    // Part 2: the same story at workload scale through the evaluation
-    // harness, comparing the three protocols on one configuration.
+    // Part 2: the same story at workload scale through the fluent harness
+    // facade, comparing every registered protocol on one configuration.
     println!();
     println!("=== harness comparison (25 brokers, 100 clients, 5 min horizon) ===");
-    let cfg = ScenarioConfig {
-        grid_side: 5,
-        clients_per_broker: 4,
-        conn_mean_s: 20.0,
-        disc_mean_s: 40.0,
-        publish_interval_s: 10.0,
-        duration_s: 300.0,
-        ..ScenarioConfig::paper_defaults()
-    };
-    for proto in Protocol::ALL {
-        let r = run_scenario(&cfg, proto);
+    let results = Sim::scenario("paper-fig5")
+        .grid_side(5)
+        .clients_per_broker(4)
+        .duration_s(300.0)
+        .configure(|c| {
+            c.conn_mean_s = 20.0;
+            c.disc_mean_s = 40.0;
+            c.publish_interval_s = 10.0;
+        })
+        .run_all()
+        .expect("builtin protocols are registered");
+    for r in results {
         println!(
             "{:11} overhead/handoff {:8.1} | delay {:7.1} ms | lost {:3} | dup {:3} | out-of-order {:3}",
-            proto.label(),
+            r.protocol,
             r.overhead_per_handoff,
             r.avg_handoff_delay_ms,
             r.audit.lost,

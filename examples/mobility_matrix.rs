@@ -1,6 +1,6 @@
 //! Run the mobility-model × protocol matrix the paper never had: every
-//! registered mobility model against MHH, sub-unsub and home-broker on one
-//! shared base scenario, sweeping in parallel over all cores.
+//! mobility model (at one or more parameter points) against every protocol
+//! in the registry, on one shared base scenario, sweeping in parallel.
 //!
 //! Usage:
 //!
@@ -8,27 +8,34 @@
 //! cargo run --release --example mobility_matrix                 # reduced scale
 //! cargo run --release --example mobility_matrix -- --paper-scale
 //! cargo run --release --example mobility_matrix -- --json       # also dump JSON
+//! cargo run --release --example mobility_matrix -- --workers 4
+//! cargo run --release --example mobility_matrix -- --trace moves.csv
 //! ```
+//!
+//! `--trace FILE` replaces the built-in demo trace with a real move list:
+//! one `(time, client, from, to)` record per line (CSV or whitespace
+//! separated, `#` comments and a header line allowed). Parse errors report
+//! the offending line number.
+//!
+//! The protocol axis is fully data-driven: the matrix iterates the protocol
+//! registry, so protocols registered via `mhh_mobsim::protocols::register`
+//! before this runs appear as extra columns.
 
 use std::sync::Arc;
 
 use mhh_suite::mobility::sweep::available_workers;
-use mhh_suite::mobility::{ModelKind, TraceRecord};
-use mhh_suite::mobsim::experiments::mobility_matrix;
+use mhh_suite::mobility::{parse_trace, ModelKind, TraceRecord};
 use mhh_suite::mobsim::report::{matrix_to_json, render_matrix};
-use mhh_suite::mobsim::ScenarioConfig;
+use mhh_suite::mobsim::{Sim, SimBuilder};
 
-fn reduced_base() -> ScenarioConfig {
-    ScenarioConfig {
-        grid_side: 6,
-        clients_per_broker: 4,
-        mobile_fraction: 0.25,
-        conn_mean_s: 60.0,
-        disc_mean_s: 30.0,
-        publish_interval_s: 20.0,
-        duration_s: 600.0,
-        ..ScenarioConfig::paper_defaults()
-    }
+fn reduced(b: SimBuilder) -> SimBuilder {
+    b.grid_side(6).clients_per_broker(4).configure(|c| {
+        c.mobile_fraction = 0.25;
+        c.conn_mean_s = 60.0;
+        c.disc_mean_s = 30.0;
+        c.publish_interval_s = 20.0;
+        c.duration_s = 600.0;
+    })
 }
 
 /// A playback trace that chains from the workload's home assignment
@@ -37,10 +44,9 @@ fn reduced_base() -> ScenarioConfig {
 /// derived from the scenario's disconnection gap (playback reconnects
 /// `disc_mean_s` after departing), so the records chain at any scale
 /// instead of degenerating when the gap is long (paper scale: 300 s).
-fn demo_trace(config: &ScenarioConfig) -> ModelKind {
-    let gap = config.disc_mean_s;
-    let hop = |n: f64| 60.0 + n * (gap + 60.0);
-    ModelKind::TracePlayback(Arc::new(vec![
+fn demo_trace(disc_mean_s: f64) -> Vec<TraceRecord> {
+    let hop = |n: f64| 60.0 + n * (disc_mean_s + 60.0);
+    vec![
         TraceRecord {
             at_s: hop(0.0),
             client: 0,
@@ -77,29 +83,66 @@ fn demo_trace(config: &ScenarioConfig) -> ModelKind {
             from: 9,
             to: 10,
         },
-    ]))
+    ]
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
     let dump_json = args.iter().any(|a| a == "--json");
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(available_workers);
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1));
 
-    let base = if paper_scale {
-        ScenarioConfig::paper_defaults()
-    } else {
-        reduced_base()
+    let builder = {
+        let b = Sim::scenario("paper-fig5").workers(workers);
+        if paper_scale {
+            b
+        } else {
+            reduced(b)
+        }
     };
+    let config = builder
+        .clone()
+        .build_config()
+        .expect("paper-fig5 is registered");
+
+    let playback = match trace_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read trace file {path}: {e}");
+                std::process::exit(2);
+            });
+            match parse_trace(&text) {
+                Ok(records) => {
+                    eprintln!("loaded {} trace records from {path}", records.len());
+                    records
+                }
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => demo_trace(config.disc_mean_s),
+    };
+
     let mut models = ModelKind::synthetic();
-    models.push(demo_trace(&base));
+    models.push(ModelKind::TracePlayback(Arc::new(playback)));
 
     eprintln!(
-        "running {} models x 3 protocols on {} brokers ({} workers)...",
+        "running {} model parameter points x the protocol registry on {} brokers ({workers} workers)...",
         models.len(),
-        base.broker_count(),
-        available_workers()
+        config.broker_count(),
     );
-    let matrix = mobility_matrix(&base, &models);
+    let matrix = builder.matrix(&models).expect("paper-fig5 is registered");
     print!("{}", render_matrix(&matrix));
 
     if dump_json {

@@ -1,102 +1,133 @@
-//! Quickstart: build a small broker grid, attach a mobile subscriber and a
-//! publisher, move the subscriber with the MHH protocol and show that every
-//! event is delivered exactly once and in order.
+//! Quickstart: the fluent `Sim` facade — pick a named scenario, pick a
+//! protocol from the registry, override what you like, run, and compare all
+//! registered protocols on the identical workload.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use mhh_suite::mhh::Mhh;
-use mhh_suite::pubsub::event::EventBuilder;
-use mhh_suite::pubsub::{
-    BrokerId, ClientAction, ClientId, ClientSpec, Deployment, DeploymentConfig, Filter, Op,
-};
-use mhh_suite::simnet::SimTime;
+use std::sync::Arc;
+
+use mhh_suite::mobility::{ModelKind, TraceRecord};
+use mhh_suite::mobsim::{protocols::ProtocolRegistry, scenarios, Sim};
 
 fn main() {
-    // A 4×4 grid of brokers (base stations).
-    let config = DeploymentConfig {
-        grid_side: 4,
-        seed: 1,
-        ..DeploymentConfig::default()
-    };
+    println!("=== MHH quickstart ===");
 
-    // Client 0: a mobile subscriber interested in temperature alerts.
-    // Client 1: a stationary sensor publishing readings.
-    let alert_filter = Filter::single("kind", Op::Eq, "temperature").and("celsius", Op::Ge, 30.0);
-    let clients = vec![
-        ClientSpec {
-            filter: alert_filter.clone(),
-            home: BrokerId(0),
-            mobile: true,
-        },
-        ClientSpec {
-            filter: Filter::single("kind", Op::Eq, "none"),
-            home: BrokerId(10),
-            mobile: false,
-        },
-    ];
-    let mut dep: Deployment<Mhh> = Deployment::build(&config, &clients, |_| Mhh::new());
-
-    // The sensor publishes one reading every 200 ms; half of them are hot
-    // enough to match the subscription.
-    for i in 0..40u64 {
-        let event = EventBuilder::new()
-            .attr("kind", "temperature")
-            .attr("celsius", 20.0 + (i % 4) as f64 * 5.0)
-            .build(i, ClientId(1), i);
-        dep.schedule_publish(SimTime::from_millis(10 + i * 200), ClientId(1), event);
+    // The two registries the builder ties together.
+    println!("registered scenarios :");
+    for s in scenarios::registry() {
+        println!(
+            "  {:20} {}",
+            s.name,
+            s.summary.split('.').next().unwrap_or("")
+        );
+    }
+    println!("registered protocols :");
+    for spec in ProtocolRegistry::global().specs() {
+        println!(
+            "  {:12} ({:9}) {}",
+            spec.name(),
+            spec.label(),
+            spec.summary()
+        );
     }
 
-    // The subscriber walks away from broker 0 at t = 2 s and reappears at the
-    // far corner of the grid two seconds later (a silent move).
-    dep.schedule(
-        SimTime::from_millis(2_000),
-        ClientId(0),
-        ClientAction::Disconnect {
-            proclaimed_dest: None,
+    // One fluent chain: the paper's Figure 5 environment, scaled down,
+    // moved by a hand-written trace instead of uniform random jumps, run
+    // under the MHH protocol.
+    let trace = ModelKind::TracePlayback(Arc::new(vec![
+        // Client 0 (home broker 0 on the 4×4 grid) tours the first column.
+        TraceRecord {
+            at_s: 40.0,
+            client: 0,
+            from: 0,
+            to: 4,
         },
-    );
-    dep.schedule(
-        SimTime::from_millis(4_000),
-        ClientId(0),
-        ClientAction::Reconnect {
-            broker: BrokerId(15),
+        TraceRecord {
+            at_s: 110.0,
+            client: 0,
+            from: 4,
+            to: 8,
         },
-    );
+        TraceRecord {
+            at_s: 190.0,
+            client: 0,
+            from: 8,
+            to: 0,
+        },
+        // Client 5 visits the far corner and returns.
+        TraceRecord {
+            at_s: 75.0,
+            client: 5,
+            from: 5,
+            to: 15,
+        },
+        TraceRecord {
+            at_s: 150.0,
+            client: 5,
+            from: 15,
+            to: 5,
+        },
+    ]));
+    let result = Sim::scenario("paper-fig5")
+        .protocol("mhh")
+        .mobility(trace)
+        .grid_side(4)
+        .clients_per_broker(2)
+        .duration_s(300.0)
+        // Playback reconnects `disc_mean_s` after each departure; the
+        // paper's 5-minute gap would overshoot the 300 s horizon.
+        .configure(|c| c.disc_mean_s = 20.0)
+        .run()
+        .expect("scenario and protocol are registered");
 
-    dep.engine.run_to_completion();
-
-    let subscriber = dep.client(ClientId(0));
-    println!("=== MHH quickstart ===");
+    println!();
     println!(
-        "events published           : {}",
-        dep.client(ClientId(1)).published.len()
+        "one run: paper-fig5 (4x4, trace mobility) under {}",
+        result.protocol
     );
-    println!("alerts delivered to client : {}", subscriber.received.len());
+    println!("  events published   : {}", result.published);
+    println!("  handoffs performed : {}", result.handoffs);
     println!(
-        "handoffs performed         : {}",
-        subscriber.handoff_count()
+        "  overhead/handoff   : {:.1} hops",
+        result.overhead_per_handoff
     );
     println!(
-        "handoff delay              : {:.1} ms",
-        subscriber.handoff_delays().first().copied().unwrap_or(0.0)
+        "  avg handoff delay  : {:.1} ms",
+        result.avg_handoff_delay_ms
     );
-    let stats = dep.engine.stats();
-    println!(
-        "mobility traffic           : {} messages / {} hops",
-        stats.mobility_messages(),
-        stats.mobility_hops()
-    );
-
-    // Exactly-once, ordered delivery: sequence numbers from the single
-    // publisher must be strictly increasing with no duplicates.
-    let seqs: Vec<u64> = subscriber.received.iter().map(|r| r.seq).collect();
-    let mut sorted = seqs.clone();
-    sorted.sort_unstable();
-    sorted.dedup();
-    assert_eq!(seqs.len(), sorted.len(), "no duplicates");
+    assert_eq!(result.handoffs, 5, "the trace replays five moves");
     assert!(
-        seqs.windows(2).all(|w| w[0] < w[1]),
-        "publisher order preserved"
+        result.reliable(),
+        "MHH is exactly-once and ordered: {:?}",
+        result.audit
     );
-    println!("delivery check             : exactly-once, in order ✓");
+    println!("  delivery check     : exactly-once, in order ✓");
+
+    // The same scenario for *every* registered protocol — a paired
+    // comparison over the identical seeded workload, fanned out over the
+    // available cores.
+    println!();
+    println!("all registered protocols on the same workload:");
+    let results = Sim::scenario("paper-fig5")
+        .mobility(ModelKind::ManhattanGrid)
+        .grid_side(4)
+        .clients_per_broker(3)
+        .duration_s(300.0)
+        .configure(|c| {
+            c.conn_mean_s = 45.0;
+            c.disc_mean_s = 30.0;
+            c.publish_interval_s = 60.0;
+        })
+        .run_all()
+        .expect("builtin protocols are registered");
+    for r in &results {
+        println!(
+            "  {:10} overhead/handoff {:7.1} | delay {:7.1} ms | lost {:3}",
+            r.protocol, r.overhead_per_handoff, r.avg_handoff_delay_ms, r.audit.lost
+        );
+    }
+    assert!(
+        results.windows(2).all(|w| w[0].handoffs == w[1].handoffs),
+        "paired workload: every protocol sees the same moves"
+    );
 }

@@ -1,4 +1,4 @@
-//! Reproduce the paper's evaluation figures.
+//! Reproduce the paper's evaluation figures through the fluent `Sim` API.
 //!
 //! Usage:
 //!
@@ -7,48 +7,60 @@
 //! cargo run --release --example reproduce_figures -- fig5    # Figure 5 only
 //! cargo run --release --example reproduce_figures -- fig6    # Figure 6 only
 //! cargo run --release --example reproduce_figures -- fig5 --paper-scale
+//! cargo run --release --example reproduce_figures -- --workers 4
 //! ```
 //!
 //! By default the sweeps run at a reduced scale (49 brokers, 5 clients per
 //! broker) so the whole run finishes in a few minutes on a laptop while
 //! preserving the figure *shapes*; `--paper-scale` switches to the paper's
 //! full 100-broker / 1000-client environment (Figure 5) and 25–196 brokers
-//! (Figure 6), which takes considerably longer.
+//! (Figure 6), which takes considerably longer. `--workers N` bounds the
+//! sweep worker threads (default: all cores).
+//!
+//! Every curve comes from the protocol registry, so a protocol registered
+//! via `mhh_mobsim::protocols::register` before the sweep gains a column in
+//! both figures automatically.
 //!
 //! Results are printed as tables and written as JSON next to the repository's
 //! EXPERIMENTS.md.
 
+use mhh_suite::mobility::sweep::available_workers;
 use mhh_suite::mobsim::experiments::{FIG5_CONN_PERIODS_S, FIG6_GRID_SIDES};
 use mhh_suite::mobsim::report::{render_figure, to_json};
-use mhh_suite::mobsim::{figure5, figure6, ScenarioConfig};
+use mhh_suite::mobsim::{Sim, SimBuilder};
 
-fn reduced_base() -> ScenarioConfig {
-    ScenarioConfig {
-        grid_side: 7,
-        clients_per_broker: 5,
-        publish_interval_s: 60.0,
-        duration_s: 900.0,
-        ..ScenarioConfig::paper_defaults()
+/// Parse `--workers N` (defaults to all cores).
+fn workers_flag(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(available_workers)
+}
+
+fn builder(scenario: &str, paper_scale: bool, workers: usize) -> SimBuilder {
+    let b = Sim::scenario(scenario).workers(workers);
+    if paper_scale {
+        b
+    } else {
+        b.grid_side(7).clients_per_broker(5).configure(|c| {
+            c.publish_interval_s = 60.0;
+            c.duration_s = 900.0;
+        })
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
+    let workers = workers_flag(&args);
     let want = |name: &str| {
-        args.is_empty() || args.iter().any(|a| a == name) || (args.len() == 1 && paper_scale)
+        !args.iter().any(|a| a == "fig5" || a == "fig6") || args.iter().any(|a| a == name)
     };
 
-    let base = if paper_scale {
-        ScenarioConfig::paper_defaults()
-    } else {
-        reduced_base()
-    };
     println!(
-        "running with {} brokers, {} clients per broker (paper scale: {})",
-        base.broker_count(),
-        base.clients_per_broker,
-        paper_scale
+        "running at {} scale with {workers} workers",
+        if paper_scale { "paper" } else { "reduced" }
     );
 
     if want("fig5") {
@@ -57,7 +69,9 @@ fn main() {
         } else {
             &[1.0, 10.0, 100.0, 1_000.0]
         };
-        let fig = figure5(&base, conn);
+        let fig = builder("paper-fig5", paper_scale, workers)
+            .figure5(conn)
+            .expect("paper-fig5 is registered");
         println!("{}", render_figure(&fig));
         std::fs::write("figure5.json", to_json(&fig)).expect("write figure5.json");
         println!("wrote figure5.json");
@@ -68,7 +82,9 @@ fn main() {
         } else {
             &[5, 7, 10]
         };
-        let fig = figure6(&base, sides);
+        let fig = builder("paper-fig6", paper_scale, workers)
+            .figure6(sides)
+            .expect("paper-fig6 is registered");
         println!("{}", render_figure(&fig));
         std::fs::write("figure6.json", to_json(&fig)).expect("write figure6.json");
         println!("wrote figure6.json");

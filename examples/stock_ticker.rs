@@ -1,21 +1,26 @@
 //! Stock-ticker scenario: content-based subscriptions over a quote stream
-//! with mobile traders, comparing MHH against the two baseline protocols on
-//! the exact same workload.
+//! with mobile traders, comparing every registered protocol on the exact
+//! same hand-built workload.
 //!
 //! Traders subscribe to price ranges of specific symbols; a market-data
 //! gateway publishes quotes; traders roam between office, home and mobile
 //! base stations. The example prints, per protocol, the handoff metrics and
 //! the delivery audit — the home-broker baseline typically shows loss.
 //!
+//! Unlike the evaluation harness, the workload here is scheduled by hand on
+//! a raw [`Deployment`] — and the deployment is *dyn-dispatched*
+//! (`Deployment<Box<dyn DynProtocol>>`), so one non-generic `drive`
+//! function runs whatever the protocol registry provides, including
+//! protocols registered by downstream crates.
+//!
 //! Run with: `cargo run --release --example stock_ticker`
 
-use mhh_suite::baselines::{HomeBroker, SubUnsub};
-use mhh_suite::mhh::Mhh;
-use mhh_suite::pubsub::broker::MobilityProtocol;
+use mhh_suite::mobsim::{protocols::ProtocolRegistry, ScenarioConfig};
 use mhh_suite::pubsub::delivery::{audit, SubscriberLog};
 use mhh_suite::pubsub::event::EventBuilder;
 use mhh_suite::pubsub::{
-    BrokerId, ClientAction, ClientId, ClientSpec, Deployment, DeploymentConfig, Event, Filter, Op,
+    BrokerId, ClientAction, ClientId, ClientSpec, Deployment, DeploymentConfig, DynProtocol, Event,
+    Filter, Op,
 };
 use mhh_suite::simnet::{SimDuration, SimTime};
 
@@ -53,7 +58,9 @@ fn quote(id: u64, seq: u64, gateway: ClientId) -> Event {
         .build(id, gateway, seq)
 }
 
-fn drive<P: MobilityProtocol>(mut dep: Deployment<P>) -> (String, String) {
+/// Drive the hand-built workload on a dyn-dispatched deployment. Not
+/// generic: the same compiled function runs every registry protocol.
+fn drive(mut dep: Deployment<Box<dyn DynProtocol>>) -> (String, String) {
     let gateway = ClientId(12);
     // 600 quotes, one every 50 ms.
     for i in 0..600u64 {
@@ -134,18 +141,20 @@ fn main() {
     };
     let specs = trader_specs();
 
-    println!("=== stock ticker: 25 brokers, 12 traders (4 mobile), 600 quotes ===");
-    let net = mhh_suite::simnet::Network::grid(config.grid_side, config.seed);
-    let wait = SimDuration::from_millis((net.tree_diameter() as u64 + 1) * 10);
+    // Protocol constructors see a ScenarioConfig to derive run-wide
+    // parameters (the sub-unsub safety interval needs the overlay
+    // diameter); mirror the deployment's shape into one.
+    let scenario = ScenarioConfig {
+        grid_side: config.grid_side,
+        seed: config.seed,
+        ..ScenarioConfig::paper_defaults()
+    };
 
-    let (m, r) = drive(Deployment::<Mhh>::build(&config, &specs, |_| Mhh::new()));
-    println!("MHH         {m}\n            {r}");
-    let (m, r) = drive(Deployment::<SubUnsub>::build(&config, &specs, |_| {
-        SubUnsub::new(wait)
-    }));
-    println!("sub-unsub   {m}\n            {r}");
-    let (m, r) = drive(Deployment::<HomeBroker>::build(&config, &specs, |_| {
-        HomeBroker::new()
-    }));
-    println!("home-broker {m}\n            {r}");
+    println!("=== stock ticker: 25 brokers, 12 traders (4 mobile), 600 quotes ===");
+    for spec in ProtocolRegistry::global().specs() {
+        let factory = spec.instantiate(&scenario);
+        let dep: Deployment<Box<dyn DynProtocol>> = Deployment::build(&config, &specs, factory);
+        let (m, r) = drive(dep);
+        println!("{:11} {m}\n            {r}", spec.label());
+    }
 }

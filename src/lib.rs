@@ -13,20 +13,30 @@
 //! * [`mobility`] — pluggable deterministic mobility models (uniform random,
 //!   random waypoint, Manhattan grid, hotspot commuter, trace playback) and
 //!   the parallel sweep executor.
-//! * [`mobsim`] — the evaluation harness: workloads, scenario registry,
-//!   metrics and the Figure 5 / Figure 6 / model-matrix sweeps.
+//! * [`mobsim`] — the evaluation harness: workloads, scenario and protocol
+//!   registries, the fluent [`mobsim::Sim`] builder, metrics and the
+//!   Figure 5 / Figure 6 / model-matrix sweeps.
 //!
 //! ## Quick start
+//!
+//! One fluent chain configures and runs any scenario × protocol × mobility
+//! combination:
+//!
+//! ```
+//! use mhh_suite::mobsim::Sim;
+//!
+//! let result = Sim::scenario("trace-smoke").protocol("mhh").run().unwrap();
+//! assert!(result.reliable(), "MHH delivers exactly-once and in order");
+//! assert!(result.handoffs > 0);
+//! ```
+//!
+//! The generic fast path is still there for the builtin protocols:
 //!
 //! ```
 //! use mhh_suite::mobsim::{run_scenario, Protocol, ScenarioConfig};
 //!
-//! // A small deterministic scenario (the paper-size defaults live in
-//! // `ScenarioConfig::paper_defaults()`).
-//! let config = ScenarioConfig::small();
-//! let result = run_scenario(&config, Protocol::Mhh);
-//! assert!(result.reliable(), "MHH delivers exactly-once and in order");
-//! assert!(result.handoffs > 0);
+//! let result = run_scenario(&ScenarioConfig::small(), Protocol::Mhh);
+//! assert!(result.reliable());
 //! ```
 
 #![forbid(unsafe_code)]

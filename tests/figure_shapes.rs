@@ -26,8 +26,8 @@ fn figure5_shape_holds_at_reduced_scale() {
     // (a) message overhead per handoff: MHH below sub-unsub at both ends, and
     // far below it when clients move frequently (left end).
     for (i, _conn) in [2.0f64, 200.0].iter().enumerate() {
-        let mhh = fig.overhead_series(Protocol::Mhh)[i].1;
-        let su = fig.overhead_series(Protocol::SubUnsub)[i].1;
+        let mhh = fig.overhead_series(Protocol::Mhh.label())[i].1;
+        let su = fig.overhead_series(Protocol::SubUnsub.label())[i].1;
         assert!(
             mhh < su,
             "point {i}: MHH overhead {mhh} should be below sub-unsub {su}"
@@ -35,7 +35,7 @@ fn figure5_shape_holds_at_reduced_scale() {
     }
     // Home-broker's per-handoff overhead grows with the connection period
     // (triangle routing accumulates while the client sits still).
-    let hb = fig.overhead_series(Protocol::HomeBroker);
+    let hb = fig.overhead_series(Protocol::HomeBroker.label());
     assert!(
         hb[1].1 > hb[0].1,
         "HB overhead should grow with the connection period: {hb:?}"
@@ -44,9 +44,9 @@ fn figure5_shape_holds_at_reduced_scale() {
     // (b) handoff delay: sub-unsub well above MHH; MHH and home-broker in the
     // same ballpark (within a factor of two here).
     for i in 0..2 {
-        let mhh = fig.delay_series(Protocol::Mhh)[i].1;
-        let su = fig.delay_series(Protocol::SubUnsub)[i].1;
-        let hb = fig.delay_series(Protocol::HomeBroker)[i].1;
+        let mhh = fig.delay_series(Protocol::Mhh.label())[i].1;
+        let su = fig.delay_series(Protocol::SubUnsub.label())[i].1;
+        let hb = fig.delay_series(Protocol::HomeBroker.label())[i].1;
         assert!(su > mhh, "sub-unsub delay {su} must exceed MHH {mhh}");
         assert!(
             mhh < hb * 2.0 + 100.0,
@@ -56,7 +56,7 @@ fn figure5_shape_holds_at_reduced_scale() {
 
     // Reliability: MHH and sub-unsub lose nothing at any point.
     for proto in [Protocol::Mhh, Protocol::SubUnsub] {
-        for p in fig.curve(proto) {
+        for p in fig.curve(proto.label()) {
             assert_eq!(
                 p.result.audit.lost, 0,
                 "{proto:?} lost events: {:?}",
@@ -75,14 +75,14 @@ fn figure6_shape_holds_at_reduced_scale() {
     // (a) overhead grows with network size for every protocol, and MHH stays
     // below sub-unsub at the larger size (the margin the paper reports).
     for proto in Protocol::ALL {
-        let s = fig.overhead_series(proto);
+        let s = fig.overhead_series(proto.label());
         assert!(
             s[1].1 > s[0].1 * 0.8,
             "{proto:?} overhead should not collapse as the network grows: {s:?}"
         );
     }
-    let mhh = fig.overhead_series(Protocol::Mhh)[1].1;
-    let su = fig.overhead_series(Protocol::SubUnsub)[1].1;
+    let mhh = fig.overhead_series(Protocol::Mhh.label())[1].1;
+    let su = fig.overhead_series(Protocol::SubUnsub.label())[1].1;
     assert!(
         mhh < su,
         "MHH {mhh} should be cheaper than sub-unsub {su} at 49 brokers"
@@ -90,8 +90,8 @@ fn figure6_shape_holds_at_reduced_scale() {
 
     // (b) sub-unsub delay tracks the network diameter, so it grows and stays
     // the largest; MHH tracks the average distance.
-    let su_delay = fig.delay_series(Protocol::SubUnsub);
-    let mhh_delay = fig.delay_series(Protocol::Mhh);
+    let su_delay = fig.delay_series(Protocol::SubUnsub.label());
+    let mhh_delay = fig.delay_series(Protocol::Mhh.label());
     assert!(
         su_delay[1].1 > su_delay[0].1,
         "sub-unsub delay grows with size: {su_delay:?}"

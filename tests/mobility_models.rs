@@ -168,21 +168,24 @@ fn all_models_times_all_protocols_keep_the_delivery_guarantees() {
 #[test]
 fn short_hop_models_magnify_mhh_overhead_advantage() {
     let matrix = mobility_matrix(&matrix_base(), &ModelKind::synthetic());
-    let advantage = |model: &str| {
-        let mhh = matrix.cell(model, Protocol::Mhh).unwrap();
-        let su = matrix.cell(model, Protocol::SubUnsub).unwrap();
+    let advantage = |model: &ModelKind| {
+        let mhh = matrix.cell(model, "MHH").unwrap();
+        let su = matrix.cell(model, "sub-unsub").unwrap();
         su.result.overhead_per_handoff / mhh.result.overhead_per_handoff
     };
-    let uniform = advantage("uniform-random");
+    let uniform = advantage(&ModelKind::UniformRandom);
     assert!(
         uniform > 1.0,
         "MHH must beat sub-unsub even under uniform jumps"
     );
-    for short_hop in ["random-waypoint", "manhattan-grid"] {
+    for short_hop in [
+        ModelKind::RandomWaypoint { pause_mean_s: 60.0 },
+        ModelKind::ManhattanGrid,
+    ] {
         assert!(
-            advantage(short_hop) > uniform,
+            advantage(&short_hop) > uniform,
             "{short_hop} advantage {} should exceed uniform-random {uniform}",
-            advantage(short_hop)
+            advantage(&short_hop)
         );
     }
 }
