@@ -45,6 +45,24 @@ pub enum HbMsg {
         /// The forwarded event.
         event: Event,
     },
+    /// The honest proclaimed-move (§4.1) equivalent for this protocol: the
+    /// departure broker relays the announced destination to the home broker,
+    /// which re-targets its forwarding *before* the client arrives. Replaces
+    /// the `Deregister` of a silent departure.
+    HandoffAhead {
+        /// The roaming client.
+        client: ClientId,
+        /// The destination broker the client proclaimed.
+        location: BrokerId,
+    },
+    /// The home broker tells the announced destination to expect the client:
+    /// events forwarded ahead of the client's arrival are buffered there
+    /// instead of dropped. Sent on the same FIFO path as the forwards that
+    /// follow it, so no new loss window opens.
+    Expect {
+        /// The roaming client about to arrive.
+        client: ClientId,
+    },
 }
 
 impl ProtocolMessage for HbMsg {
@@ -53,12 +71,17 @@ impl ProtocolMessage for HbMsg {
             HbMsg::Register { .. } => "hb_register",
             HbMsg::Deregister { .. } => "hb_deregister",
             HbMsg::ForwardEvent { .. } => "hb_forward",
+            HbMsg::HandoffAhead { .. } => "hb_handoff_ahead",
+            HbMsg::Expect { .. } => "hb_expect",
         }
     }
     fn traffic_class(&self) -> TrafficClass {
         match self {
             HbMsg::ForwardEvent { .. } => TrafficClass::MobilityTransfer,
-            _ => TrafficClass::MobilityControl,
+            HbMsg::Register { .. }
+            | HbMsg::Deregister { .. }
+            | HbMsg::HandoffAhead { .. }
+            | HbMsg::Expect { .. } => TrafficClass::MobilityControl,
         }
     }
 }
@@ -81,6 +104,10 @@ pub struct HomeBroker {
     /// Roaming clients currently attached to this (foreign) broker, with
     /// their home broker — needed to address the deregistration on detach.
     foreign: BTreeMap<ClientId, BrokerId>,
+    /// Clients proclaimed to arrive here but not yet attached: events
+    /// forwarded ahead of them are buffered in these queues and delivered
+    /// on attachment.
+    expected: BTreeMap<ClientId, EventQueue>,
 }
 
 impl HomeBroker {
@@ -116,6 +143,13 @@ impl MobilityProtocol for HomeBroker {
         ctx: &mut BrokerCtx<'_, HbMsg>,
     ) {
         let client = info.client;
+        // A proclaimed arrival: deliver whatever was forwarded ahead of the
+        // client first (it is the oldest backlog), then proceed normally.
+        if let Some(mut q) = self.expected.remove(&client) {
+            for ev in q.drain() {
+                ctx.deliver(client, ev);
+            }
+        }
         if info.home_broker == core.id {
             // The client came home: deliver anything stored and stop
             // forwarding.
@@ -144,20 +178,51 @@ impl MobilityProtocol for HomeBroker {
         core: &mut BrokerCore,
         client: ClientId,
         _filter: Filter,
-        _proclaimed_dest: Option<BrokerId>,
+        proclaimed_dest: Option<BrokerId>,
         ctx: &mut BrokerCtx<'_, HbMsg>,
     ) {
+        // A proclaimed destination other than this broker re-targets the
+        // forwarding ahead of the client; a silent move (or a degenerate
+        // proclamation back to this broker) takes the reactive path.
+        let proclaimed = proclaimed_dest.filter(|d| *d != core.id);
         if let Some(home) = self.foreign.remove(&client) {
-            // Detached from a foreign broker: stop the forwarding. Events
-            // already in flight toward this broker will be dropped on
-            // arrival — the protocol's inherent loss window.
-            ctx.send_protocol(
-                home,
-                HbMsg::Deregister {
-                    client,
-                    location: core.id,
-                },
-            );
+            match proclaimed {
+                Some(dest) => {
+                    // Detached from a foreign broker announcing the next
+                    // one: the home broker starts forwarding there before
+                    // the client arrives. Events already in flight toward
+                    // *this* broker are still dropped on arrival — the
+                    // protocol's inherent loss window is unchanged.
+                    ctx.send_protocol(
+                        home,
+                        HbMsg::HandoffAhead {
+                            client,
+                            location: dest,
+                        },
+                    );
+                }
+                None => {
+                    // Silent detach: stop the forwarding.
+                    ctx.send_protocol(
+                        home,
+                        HbMsg::Deregister {
+                            client,
+                            location: core.id,
+                        },
+                    );
+                }
+            }
+        } else if let Some(dest) = proclaimed {
+            // Proclaimed departure from the client's own home broker: expect
+            // it at the destination, then forward from here on (the Expect
+            // precedes every forward on the same FIFO path).
+            ctx.send_protocol(dest, HbMsg::Expect { client });
+            let rec = self.home_record(core, client);
+            rec.location = Some(dest);
+            let stored: Vec<Event> = rec.store.drain();
+            for ev in stored {
+                ctx.send_protocol(dest, HbMsg::ForwardEvent { client, event: ev });
+            }
         } else if let Some(rec) = self.homed.get_mut(&client) {
             // Disconnected while at home: keep storing locally.
             rec.location = None;
@@ -194,10 +259,39 @@ impl MobilityProtocol for HomeBroker {
             }
             HbMsg::ForwardEvent { client, event } => {
                 // A forwarded event arriving at a foreign broker: deliver if
-                // the client is still here, otherwise it is lost (the paper's
-                // reliability gap).
+                // the client is here, buffer if it was proclaimed to arrive,
+                // otherwise it is lost (the paper's reliability gap).
                 if core.is_connected(client) {
                     ctx.deliver(client, event);
+                } else if let Some(q) = self.expected.get_mut(&client) {
+                    q.push(event);
+                }
+            }
+            HbMsg::HandoffAhead { client, location } => {
+                if location == core.id {
+                    // The client proclaimed it is coming home: keep storing
+                    // here until it arrives (connect-at-home delivers).
+                    let rec = self.home_record(core, client);
+                    rec.location = None;
+                } else {
+                    // Expect first, forwards after, on the same FIFO path.
+                    ctx.send_protocol(location, HbMsg::Expect { client });
+                    let rec = self.home_record(core, client);
+                    rec.location = Some(location);
+                    let stored: Vec<Event> = rec.store.drain();
+                    for ev in stored {
+                        ctx.send_protocol(location, HbMsg::ForwardEvent { client, event: ev });
+                    }
+                }
+            }
+            HbMsg::Expect { client } => {
+                // Open the arrival buffer unless the client already beat the
+                // announcement here.
+                if !core.is_connected(client) && !self.expected.contains_key(&client) {
+                    self.expected.insert(
+                        client,
+                        EventQueue::new(core.alloc_pq_id(client), QueueKind::Persistent),
+                    );
                 }
             }
         }
@@ -233,6 +327,11 @@ impl MobilityProtocol for HomeBroker {
         self.homed
             .iter()
             .flat_map(|(c, rec)| rec.store.iter().cloned().map(move |e| (*c, e)))
+            .chain(
+                self.expected
+                    .iter()
+                    .flat_map(|(c, q)| q.iter().cloned().map(move |e| (*c, e))),
+            )
             .collect()
     }
 }
@@ -414,6 +513,99 @@ mod tests {
         // The stationary subscriber is unaffected.
         let stationary = dep.client(ClientId(2));
         assert_eq!(stationary.received.len(), 50);
+    }
+
+    #[test]
+    fn proclaimed_move_buffers_ahead_and_cuts_the_first_delivery_gap() {
+        // Same move reactive vs proclaimed: the proclaimed run forwards the
+        // stored backlog to the announced destination during the gap, so the
+        // client is served immediately on arrival (no register round trip).
+        let run = |proclaimed: bool| {
+            let mut dep = build(4);
+            dep.schedule(
+                SimTime::from_millis(5),
+                ClientId(0),
+                ClientAction::Disconnect {
+                    proclaimed_dest: proclaimed.then_some(BrokerId(15)),
+                },
+            );
+            schedule_publishes(&mut dep, 20, 50);
+            dep.schedule(
+                SimTime::from_millis(5_000),
+                ClientId(0),
+                ClientAction::Reconnect {
+                    broker: BrokerId(15),
+                },
+            );
+            dep.engine.run_to_completion();
+            dep
+        };
+
+        let dep = run(true);
+        let a = audit_group1(&dep);
+        assert_eq!(a.lost, 0, "parked burst, nothing in flight: {a:?}");
+        assert_eq!(a.duplicates, 0, "{a:?}");
+        assert_eq!(a.out_of_order, 0, "{a:?}");
+        let mobile = dep.client(ClientId(0));
+        assert_eq!(mobile.received.len(), 20, "whole backlog delivered");
+        let stats = dep.engine.stats();
+        assert!(stats.kind("hb_expect").messages >= 1);
+        let proclaimed_delay = mobile.handoff_delays()[0];
+
+        let reactive_delay = run(false).client(ClientId(0)).handoff_delays()[0];
+        assert!(
+            proclaimed_delay < reactive_delay,
+            "proclaimed {proclaimed_delay} ms must beat reactive {reactive_delay} ms"
+        );
+    }
+
+    #[test]
+    fn proclaimed_move_from_foreign_broker_retargets_forwarding() {
+        let mut dep = build(4);
+        // Roam to broker 9 first, then proclaim the move to broker 15.
+        dep.schedule(
+            SimTime::from_millis(5),
+            ClientId(0),
+            ClientAction::Disconnect {
+                proclaimed_dest: None,
+            },
+        );
+        dep.schedule(
+            SimTime::from_millis(100),
+            ClientId(0),
+            ClientAction::Reconnect {
+                broker: BrokerId(9),
+            },
+        );
+        dep.schedule(
+            SimTime::from_millis(1_000),
+            ClientId(0),
+            ClientAction::Disconnect {
+                proclaimed_dest: Some(BrokerId(15)),
+            },
+        );
+        // Publish during the gap: events go home, forward to 15, buffer.
+        schedule_publishes(&mut dep, 10, 100);
+        dep.schedule(
+            SimTime::from_millis(4_000),
+            ClientId(0),
+            ClientAction::Reconnect {
+                broker: BrokerId(15),
+            },
+        );
+        dep.engine.run_to_completion();
+        let stats = dep.engine.stats();
+        assert!(stats.kind("hb_handoff_ahead").messages >= 1);
+        let a = audit_group1(&dep);
+        assert_eq!(a.duplicates, 0, "{a:?}");
+        assert_eq!(a.out_of_order, 0, "{a:?}");
+        // Events published squarely inside the gap must all arrive.
+        let mobile = dep.client(ClientId(0));
+        assert!(
+            mobile.received.len() >= 8,
+            "gap backlog delivered via the expect buffer: {}",
+            mobile.received.len()
+        );
     }
 
     #[test]

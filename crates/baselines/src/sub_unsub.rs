@@ -60,6 +60,21 @@ pub enum SuMsg {
         /// True when the notice announces the cancellation at the old broker.
         cancellation: bool,
     },
+    /// The honest proclaimed-move (§4.1) equivalent for this protocol: the
+    /// departure broker tells the *announced destination* to start the
+    /// handoff right away — re-subscribe there, run the safety interval and
+    /// fetch the stored queue while the client is still in transit. The
+    /// protocol's rules are unchanged (subscribe first, wait, then cancel
+    /// and shuttle); only the trigger moves from the client's reconnection
+    /// to its departure, so the wait is paid during the disconnection gap.
+    PreSubscribe {
+        /// The client that proclaimed the move.
+        client: ClientId,
+        /// Its subscription (the destination has never seen it).
+        filter: Filter,
+        /// The departure broker holding the stored queue.
+        old_broker: BrokerId,
+    },
 }
 
 impl ProtocolMessage for SuMsg {
@@ -70,6 +85,7 @@ impl ProtocolMessage for SuMsg {
             SuMsg::QueueTransfer { .. } => "su_queue_transfer",
             SuMsg::QueueTransferDone { .. } => "su_queue_done",
             SuMsg::LocationNotice { .. } => "su_location_notice",
+            SuMsg::PreSubscribe { .. } => "su_pre_subscribe",
         }
     }
     fn traffic_class(&self) -> TrafficClass {
@@ -109,6 +125,10 @@ struct SuClient {
     /// A newer broker asked for the queue while our own handoff was still
     /// completing; served as soon as it does.
     pending_fetch: Option<BrokerId>,
+    /// A proclaimed arrival was announced while our own inbound handoff was
+    /// still completing; the next handoff (fetching from this broker) starts
+    /// as soon as it does.
+    pending_presub: Option<BrokerId>,
 }
 
 /// The sub-unsub protocol.
@@ -181,11 +201,37 @@ impl SubUnsub {
         }
     }
 
+    /// Start a handoff with this broker as the destination: re-subscribe
+    /// here (a mobility wave + flooded notice), open the handoff buffer and
+    /// arm the safety timer. Shared by the reactive trigger (the client's
+    /// reconnection) and the proclaimed trigger (a [`SuMsg::PreSubscribe`]
+    /// from the departure broker).
+    fn begin_handoff(
+        st: &mut SuClient,
+        core: &mut BrokerCore,
+        client: ClientId,
+        old_broker: BrokerId,
+        wait: SimDuration,
+        ctx: &mut BrokerCtx<'_, SuMsg>,
+    ) {
+        let filter = st.filter.clone();
+        core.apply_subscribe(Peer::Client(client), filter, true, ctx);
+        Self::flood_notice(core, client, false, None, ctx);
+        st.handoff = Some(Handoff {
+            old_broker,
+            buffer: EventQueue::new(core.alloc_pq_id(client), QueueKind::Temporary),
+            incoming: Vec::new(),
+            client_connected: core.is_connected(client),
+        });
+        ctx.schedule_protocol(wait, SuMsg::WaitTimer { client });
+    }
+
     /// Finish a handoff at the new broker: merge, dedupe, sort, deliver.
     fn complete_handoff(
         st: &mut SuClient,
         core: &mut BrokerCore,
         client: ClientId,
+        wait: SimDuration,
         ctx: &mut BrokerCtx<'_, SuMsg>,
     ) {
         let Some(handoff) = st.handoff.take() else {
@@ -209,6 +255,11 @@ impl SubUnsub {
         }
         if let Some(next_broker) = st.pending_fetch.take() {
             Self::serve_fetch(st, core, client, next_broker, ctx);
+        }
+        if let Some(old_broker) = st.pending_presub.take() {
+            // A proclaimed arrival queued up behind the handoff that just
+            // finished: chain straight into the next one.
+            Self::begin_handoff(st, core, client, old_broker, wait, ctx);
         }
     }
 
@@ -258,23 +309,20 @@ impl MobilityProtocol for SubUnsub {
 
         match info.last_broker {
             Some(last) if last != core.id => {
-                // Re-issue the subscription here (a mobility-caused wave) and
-                // start the safety timer; everything arriving meanwhile is
-                // buffered so it can be merged with the old queue later.
-                core.apply_subscribe(Peer::Client(client), info.filter.clone(), true, ctx);
-                Self::flood_notice(core, client, false, None, ctx);
-                st.handoff = Some(Handoff {
-                    old_broker: last,
-                    buffer: EventQueue::new(core.alloc_pq_id(client), QueueKind::Temporary),
-                    incoming: Vec::new(),
-                    client_connected: true,
-                });
-                ctx.schedule_protocol(wait, SuMsg::WaitTimer { client });
+                // Reactive (silent) move: re-issue the subscription here (a
+                // mobility-caused wave) and start the safety timer;
+                // everything arriving meanwhile is buffered so it can be
+                // merged with the old queue later.
+                Self::begin_handoff(st, core, client, last, wait, ctx);
             }
             _ => {
-                // Reconnected where it already was: deliver the stored queue.
+                // Reconnected where the subscription already roots — either
+                // a bounce back to the same broker or a *proclaimed* arrival
+                // (the client's last-broker pointer was redirected here when
+                // it departed, and the PreSubscribe-triggered handoff has
+                // been running since then). Deliver whatever is ready.
                 if let Some(handoff) = st.handoff.as_mut() {
-                    // Bounced back mid-handoff: just mark it connected again;
+                    // Handoff still in flight: mark the client present;
                     // completion will deliver.
                     handoff.client_connected = true;
                 } else if let Some(mut store) = st.store.take() {
@@ -291,20 +339,33 @@ impl MobilityProtocol for SubUnsub {
         core: &mut BrokerCore,
         client: ClientId,
         filter: Filter,
-        _proclaimed_dest: Option<BrokerId>,
+        proclaimed_dest: Option<BrokerId>,
         ctx: &mut BrokerCtx<'_, SuMsg>,
     ) {
-        let _ = ctx;
         let st = self.entry(client, &filter);
+        let filter = st.filter.clone();
         if let Some(handoff) = st.handoff.as_mut() {
             handoff.client_connected = false;
-            return;
-        }
-        if st.store.is_none() {
+        } else if st.store.is_none() {
             st.store = Some(EventQueue::new(
                 core.alloc_pq_id(client),
                 QueueKind::Persistent,
             ));
+        }
+        // Proclaimed move: tell the announced destination to start the
+        // handoff now, so the safety interval runs during the disconnection
+        // gap instead of after the reconnection.
+        if let Some(dest) = proclaimed_dest {
+            if dest != core.id {
+                ctx.send_protocol(
+                    dest,
+                    SuMsg::PreSubscribe {
+                        client,
+                        filter,
+                        old_broker: core.id,
+                    },
+                );
+            }
         }
     }
 
@@ -345,10 +406,30 @@ impl MobilityProtocol for SubUnsub {
                 }
             }
             SuMsg::QueueTransferDone { client } => {
+                let wait = self.wait;
                 let Some(st) = self.clients.get_mut(&client) else {
                     return;
                 };
-                Self::complete_handoff(st, core, client, ctx);
+                Self::complete_handoff(st, core, client, wait, ctx);
+            }
+            SuMsg::PreSubscribe {
+                client,
+                filter,
+                old_broker,
+            } => {
+                let wait = self.wait;
+                let st = self.entry(client, &filter);
+                if old_broker == core.id {
+                    return;
+                }
+                if st.handoff.is_some() {
+                    // Our own inbound handoff is still completing (the
+                    // client is oscillating faster than handoffs finish);
+                    // start the proclaimed one as soon as it does.
+                    st.pending_presub = Some(old_broker);
+                    return;
+                }
+                Self::begin_handoff(st, core, client, old_broker, wait, ctx);
             }
             SuMsg::LocationNotice {
                 client,
@@ -559,6 +640,94 @@ mod tests {
         assert_eq!(a.lost, 0, "audit: {a:?}");
         assert_eq!(a.duplicates, 0, "audit: {a:?}");
         assert_eq!(a.out_of_order, 0, "audit: {a:?}");
+    }
+
+    #[test]
+    fn proclaimed_move_is_reliable_and_beats_the_safety_interval() {
+        // Reactive and proclaimed runs of the same move: the proclaimed one
+        // pays the safety interval during the 1.5 s disconnection gap, so
+        // its post-reconnect first-delivery gap drops below the interval.
+        let wait_ms = 400u64;
+        let run = |proclaimed: bool| {
+            let mut dep = build(4, wait_ms);
+            schedule_publishes(&mut dep, 60);
+            dep.schedule(
+                SimTime::from_millis(1_500),
+                ClientId(0),
+                ClientAction::Disconnect {
+                    proclaimed_dest: proclaimed.then_some(BrokerId(15)),
+                },
+            );
+            dep.schedule(
+                SimTime::from_millis(3_000),
+                ClientId(0),
+                ClientAction::Reconnect {
+                    broker: BrokerId(15),
+                },
+            );
+            dep.engine.run_to_completion();
+            dep
+        };
+
+        let dep = run(true);
+        let a = audit_group1(&dep);
+        assert!(a.is_reliable(), "proclaimed audit: {a:?}");
+        let mobile = dep.client(ClientId(0));
+        assert_eq!(mobile.handoff_count(), 1, "proclaimed move is a handoff");
+        let delays = mobile.handoff_delays();
+        assert_eq!(delays.len(), 1);
+        assert!(
+            delays[0] < wait_ms as f64,
+            "proclaimed delay {delays:?} must undercut the safety interval"
+        );
+        assert!(
+            dep.engine.stats().kind("su_pre_subscribe").messages > 0,
+            "the departure broker must announce the destination"
+        );
+
+        let reactive = run(false);
+        let reactive_delay = reactive.client(ClientId(0)).handoff_delays()[0];
+        assert!(
+            delays[0] < reactive_delay,
+            "proclaimed {} ms must beat reactive {} ms",
+            delays[0],
+            reactive_delay
+        );
+    }
+
+    #[test]
+    fn proclaimed_oscillation_chains_handoffs_reliably() {
+        // Move every 150/250 ms with a 500 ms safety interval: proclaimed
+        // handoffs overlap and must queue behind each other (pending
+        // pre-subscribe) without losing, duplicating or reordering events.
+        let mut dep = build(4, 500);
+        schedule_publishes(&mut dep, 120);
+        let hops = [5u32, 14, 3, 9];
+        let mut t = 800u64;
+        for b in hops {
+            dep.schedule(
+                SimTime::from_millis(t),
+                ClientId(0),
+                ClientAction::Disconnect {
+                    proclaimed_dest: Some(BrokerId(b)),
+                },
+            );
+            t += 150;
+            dep.schedule(
+                SimTime::from_millis(t),
+                ClientId(0),
+                ClientAction::Reconnect {
+                    broker: BrokerId(b),
+                },
+            );
+            t += 250;
+        }
+        dep.engine.run_to_completion();
+        let a = audit_group1(&dep);
+        assert_eq!(a.lost, 0, "audit: {a:?}");
+        assert_eq!(a.duplicates, 0, "audit: {a:?}");
+        assert_eq!(a.out_of_order, 0, "audit: {a:?}");
+        assert_eq!(dep.client(ClientId(0)).handoff_count(), 4);
     }
 
     #[test]

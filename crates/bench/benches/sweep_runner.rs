@@ -140,6 +140,10 @@ fn sweep_runner(c: &mut Criterion) {
         // Cost of dyn dispatch: dyn serial vs generic serial.
         ("dyn_overhead", Json::Num(serial_s / generic_serial_s)),
         ("per_point_wall_s", Json::Arr(per_point)),
+        // The bench always runs unbudgeted; the field keeps the trajectory
+        // schema aligned with the budgeted figure/matrix JSONs, where
+        // `skipped` lists the points a --budget-ms deadline dropped.
+        ("skipped", Json::Arr(Vec::new())),
     ]);
     // Benches run with CWD = the package dir; anchor the default at the
     // workspace root so the trajectory file lands in one stable place.

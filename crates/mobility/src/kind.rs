@@ -5,7 +5,8 @@
 use std::sync::Arc;
 
 use crate::models::{
-    HotspotCommuter, ManhattanGrid, RandomWaypoint, TracePlayback, TraceRecord, UniformRandom,
+    GroupPlatoon, HotspotCommuter, ManhattanGrid, RandomWaypoint, TracePlayback, TraceRecord,
+    UniformRandom,
 };
 use crate::trace::MobilityModel;
 
@@ -27,6 +28,14 @@ pub enum ModelKind {
         /// Number of hotspot brokers shared by all commuters.
         hotspots: usize,
     },
+    /// Platoons sharing one trajectory with jittered departures (bulk
+    /// migration to the same destination broker).
+    GroupPlatoon {
+        /// Clients per platoon (by contiguous client index).
+        platoon_size: usize,
+        /// Maximum per-client departure jitter in seconds.
+        jitter_s: f64,
+    },
     /// Replay of an explicit `(time, client, from, to)` move list.
     TracePlayback(Arc<Vec<TraceRecord>>),
 }
@@ -42,6 +51,13 @@ impl ModelKind {
             ModelKind::ManhattanGrid => Box::new(ManhattanGrid),
             ModelKind::HotspotCommuter { hotspots } => Box::new(HotspotCommuter {
                 hotspots: *hotspots,
+            }),
+            ModelKind::GroupPlatoon {
+                platoon_size,
+                jitter_s,
+            } => Box::new(GroupPlatoon {
+                platoon_size: *platoon_size,
+                jitter_s: *jitter_s,
             }),
             // Through the constructor so the records are time-sorted even
             // when the config was built from an unsorted list.
@@ -59,11 +75,12 @@ impl ModelKind {
             ModelKind::RandomWaypoint { .. } => "random-waypoint",
             ModelKind::ManhattanGrid => "manhattan-grid",
             ModelKind::HotspotCommuter { .. } => "hotspot-commuter",
+            ModelKind::GroupPlatoon { .. } => "group-platoon",
             ModelKind::TracePlayback(_) => "trace-playback",
         }
     }
 
-    /// The four synthetic models with default parameters (everything except
+    /// The five synthetic models with default parameters (everything except
     /// trace playback, which needs explicit records). The matrix experiments
     /// iterate over these.
     pub fn synthetic() -> Vec<ModelKind> {
@@ -72,6 +89,10 @@ impl ModelKind {
             ModelKind::RandomWaypoint { pause_mean_s: 60.0 },
             ModelKind::ManhattanGrid,
             ModelKind::HotspotCommuter { hotspots: 3 },
+            ModelKind::GroupPlatoon {
+                platoon_size: 4,
+                jitter_s: 5.0,
+            },
         ]
     }
 }
@@ -89,6 +110,16 @@ impl std::fmt::Display for ModelKind {
             }
             ModelKind::HotspotCommuter { hotspots } => {
                 write!(f, "{}(hotspots={hotspots})", self.label())
+            }
+            ModelKind::GroupPlatoon {
+                platoon_size,
+                jitter_s,
+            } => {
+                write!(
+                    f,
+                    "{}(size={platoon_size},jitter={jitter_s}s)",
+                    self.label()
+                )
             }
             ModelKind::TracePlayback(records) => {
                 write!(f, "{}(n={})", self.label(), records.len())
@@ -136,17 +167,26 @@ mod tests {
             "hotspot-commuter(hotspots=3)"
         );
         assert_eq!(
+            ModelKind::GroupPlatoon {
+                platoon_size: 4,
+                jitter_s: 5.0
+            }
+            .to_string(),
+            "group-platoon(size=4,jitter=5s)"
+        );
+        assert_eq!(
             ModelKind::TracePlayback(Arc::new(vec![])).to_string(),
             "trace-playback(n=0)"
         );
     }
 
     #[test]
-    fn synthetic_covers_four_distinct_models() {
+    fn synthetic_covers_five_distinct_models() {
         let labels: Vec<_> = ModelKind::synthetic().iter().map(|k| k.label()).collect();
-        assert_eq!(labels.len(), 4);
+        assert_eq!(labels.len(), 5);
         let mut dedup = labels.clone();
         dedup.dedup();
         assert_eq!(dedup, labels);
+        assert!(labels.contains(&"group-platoon"));
     }
 }

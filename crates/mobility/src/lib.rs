@@ -23,13 +23,22 @@
 //!
 //! ## Choosing a model
 //!
-//! | Model | Pattern | Use it to stress |
-//! |-------|---------|------------------|
-//! | [`models::UniformRandom`] | jump to any other broker (the paper's model) | long-distance subscription migration |
-//! | [`models::RandomWaypoint`] | walk to a target broker via grid-adjacent hops, pause, repeat | sustained short-hop handoff chains |
-//! | [`models::ManhattanGrid`] | street-grid movement with straight-line persistence, only adjacent hops | frequent cheap handoffs / locality |
-//! | [`models::HotspotCommuter`] | oscillate between a home broker and a few shared hotspots | filter-table contention at hot brokers |
-//! | [`models::TracePlayback`] | replay an explicit `(time, client, from, to)` move list | reproducible regression scenarios |
+//! | Model | Pattern | Proclaims? | Use it to stress |
+//! |-------|---------|------------|------------------|
+//! | [`models::UniformRandom`] | jump to any other broker (the paper's model) | no | long-distance subscription migration |
+//! | [`models::RandomWaypoint`] | walk to a target broker via grid-adjacent hops, pause, repeat | yes | sustained short-hop handoff chains |
+//! | [`models::ManhattanGrid`] | street-grid movement with straight-line persistence, only adjacent hops | yes | frequent cheap handoffs / locality |
+//! | [`models::HotspotCommuter`] | oscillate between a home broker and a few shared hotspots | no | filter-table contention at hot brokers |
+//! | [`models::GroupPlatoon`] | platoons sharing one trajectory with jittered departures | yes | bulk migration to one destination broker |
+//! | [`models::TracePlayback`] | replay an explicit `(time, client, from, to)` move list | no | reproducible regression scenarios |
+//!
+//! Each [`MoveStep`] carries the model's *proclamation decision*: predictable
+//! moves (street grids, platoon convoys, waypoint walks) are flagged
+//! `proclaimed`, meaning the client can announce its destination broker to
+//! the departure broker before leaving (the paper's §4.1 proclaimed handoff);
+//! unpredictable moves stay silent (§4.2). The evaluation harness turns the
+//! flag into `ClientAction::Disconnect { proclaimed_dest }` and can override
+//! it with a scenario-level `proclaimed_fraction` knob.
 //!
 //! [`ModelKind`] is the cheap, cloneable description of a model that
 //! configurations carry; `ModelKind::build()` instantiates the model.
@@ -53,7 +62,8 @@ pub mod trace;
 
 pub use kind::ModelKind;
 pub use models::{
-    HotspotCommuter, ManhattanGrid, RandomWaypoint, TracePlayback, TraceRecord, UniformRandom,
+    GroupPlatoon, HotspotCommuter, ManhattanGrid, RandomWaypoint, TracePlayback, TraceRecord,
+    UniformRandom,
 };
 pub use parse::{parse_trace, TraceParseError};
 pub use trace::{MobilityModel, MobilityWorld, MoveStep};

@@ -114,6 +114,9 @@ impl MobilityModel for RandomWaypoint {
 
     fn trace(&self, world: &MobilityWorld, _client: u32, home: u32, seed: u64) -> MoveTrace {
         let mut tb = TraceBuilder::new(world, home);
+        // The walker picks the next street block before leaving the current
+        // one, so every hop is predictable and proclaimed (§4.1).
+        tb.proclaiming(true);
         let count = world.broker_count();
         if count >= 2 {
             let mut rng = DetRng::new(seed);
@@ -174,6 +177,10 @@ impl MobilityModel for ManhattanGrid {
 
     fn trace(&self, world: &MobilityWorld, _client: u32, home: u32, seed: u64) -> MoveTrace {
         let mut tb = TraceBuilder::new(world, home);
+        // Street-grid movement keeps its heading: the next cell is known
+        // before departure, so every move is proclaimed (§4.1) — this is the
+        // road-network predictability argument of the mix-zones literature.
+        tb.proclaiming(true);
         let side = world.grid_side;
         if world.broker_count() >= 2 {
             let mut rng = DetRng::new(seed);
@@ -354,6 +361,110 @@ impl MobilityModel for TracePlayback {
     }
 }
 
+// ---------------------------------------------------------------------------
+// GroupPlatoon
+// ---------------------------------------------------------------------------
+
+/// Group mobility: clients travel in *platoons* (vehicle convoys, guided
+/// tours) that share one trajectory. All members of a platoon visit the same
+/// broker sequence at the same nominal times, offset by a small per-client
+/// departure jitter, so a whole platoon migrates to the *same destination
+/// broker* within a short window — the bulk-migration stress case for
+/// mobility protocols (many simultaneous handoffs into one filter table).
+///
+/// Platoon membership is by client index (`client / platoon_size`); the
+/// shared trajectory derives from the world's scenario seed and the platoon
+/// id, never from the per-client seed, so members agree on it exactly. The
+/// per-client seed only contributes the departure jitter. Platoon moves are
+/// predictable (the convoy's route is known), so every step is proclaimed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupPlatoon {
+    /// Number of clients per platoon (by contiguous client index).
+    pub platoon_size: usize,
+    /// Maximum departure jitter in seconds (uniform per client, applied to
+    /// every step of the shared trajectory).
+    pub jitter_s: f64,
+}
+
+impl Default for GroupPlatoon {
+    fn default() -> Self {
+        GroupPlatoon {
+            platoon_size: 4,
+            jitter_s: 5.0,
+        }
+    }
+}
+
+impl GroupPlatoon {
+    /// The platoon a client belongs to.
+    pub fn platoon_of(&self, client: u32) -> u32 {
+        client / self.platoon_size.max(1) as u32
+    }
+
+    /// The platoon's shared schedule: `(depart_s, gap_s, to)` legs, derived
+    /// only from world-level state and the platoon id — identical for every
+    /// member regardless of its home broker. The nominal route start is also
+    /// platoon-derived; members not at a leg's implicit origin simply join
+    /// the convoy at that leg's destination.
+    pub fn shared_legs(&self, world: &MobilityWorld, platoon: u32) -> Vec<(f64, f64, u32)> {
+        let count = world.broker_count();
+        let mut rng = DetRng::new(
+            world
+                .scenario_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(17)
+                ^ (platoon as u64).wrapping_mul(0x50_6c61_746f_6f6e),
+        );
+        let mut legs = Vec::new();
+        let mut clock = 0.0f64;
+        let mut position = rng.index(count) as u32;
+        // Leave room for the jitter so the last jittered arrival stays
+        // in-horizon for every member.
+        let horizon = world.horizon_s - self.jitter_s.max(0.0);
+        loop {
+            let dwell = rng.exponential(world.conn_mean_s).max(MIN_PERIOD_S);
+            let gap = rng.exponential(world.disc_mean_s).max(MIN_PERIOD_S);
+            let depart = clock + dwell;
+            let arrive = depart + gap;
+            if arrive >= horizon {
+                break;
+            }
+            let to = random_other(&mut rng, position, count);
+            legs.push((depart, gap, to));
+            position = to;
+            clock = arrive;
+        }
+        legs
+    }
+}
+
+impl MobilityModel for GroupPlatoon {
+    fn name(&self) -> &'static str {
+        "group-platoon"
+    }
+
+    fn trace(&self, world: &MobilityWorld, client: u32, home: u32, seed: u64) -> MoveTrace {
+        let mut tb = TraceBuilder::new(world, home);
+        tb.proclaiming(true);
+        if world.broker_count() >= 2 {
+            // Every member replays the platoon's shared legs; the per-client
+            // seed contributes only the departure jitter. The first leg
+            // pulls each member from wherever it actually lives toward the
+            // shared destination, after which the whole platoon is
+            // co-located and moves in lockstep.
+            let platoon = self.platoon_of(client);
+            let jitter = DetRng::new(seed).range_f64(0.0, self.jitter_s.max(MIN_PERIOD_S));
+            for (depart, gap, to) in self.shared_legs(world, platoon) {
+                // `move_at` skips records that do not chain (e.g. a member
+                // whose position already is the leg's destination skips that
+                // self-move and picks the route up at the next leg).
+                tb.move_at(depart + jitter, depart + jitter + gap, tb.position(), to);
+            }
+        }
+        tb.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +486,7 @@ mod tests {
             Box::new(RandomWaypoint::default()),
             Box::new(ManhattanGrid),
             Box::new(HotspotCommuter::default()),
+            Box::new(GroupPlatoon::default()),
             Box::new(TracePlayback::new(vec![
                 TraceRecord {
                     at_s: 10.0,
@@ -464,6 +576,60 @@ mod tests {
         for model in all_models() {
             assert!(model.trace(&w, 0, 0, 7).is_empty(), "{}", model.name());
         }
+    }
+
+    #[test]
+    fn proclamation_follows_the_model() {
+        let w = world();
+        // Predictable movement proclaims every step; unpredictable movement
+        // and external playback never do.
+        for (model, expect) in [
+            (Box::new(ManhattanGrid) as Box<dyn MobilityModel>, true),
+            (Box::new(RandomWaypoint::default()), true),
+            (Box::new(GroupPlatoon::default()), true),
+            (Box::new(UniformRandom), false),
+            (Box::new(HotspotCommuter::default()), false),
+        ] {
+            let t = model.trace(&w, 0, 6, 9);
+            assert!(!t.steps.is_empty(), "{}", model.name());
+            assert!(
+                t.steps.iter().all(|s| s.proclaimed == expect),
+                "{}: expected proclaimed={expect}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn platoon_members_share_destinations_with_jittered_departures() {
+        let w = world();
+        let m = GroupPlatoon {
+            platoon_size: 3,
+            jitter_s: 4.0,
+        };
+        // Clients 0..3 form platoon 0; same homes or not, after the first
+        // leg they visit the same broker sequence.
+        let a = m.trace(&w, 0, 6, 1);
+        let b = m.trace(&w, 1, 6, 2);
+        let dests_a: Vec<u32> = a.steps.iter().map(|s| s.to).collect();
+        let dests_b: Vec<u32> = b.steps.iter().map(|s| s.to).collect();
+        assert_eq!(dests_a, dests_b, "same platoon, same route");
+        assert!(!dests_a.is_empty());
+        // Departures differ only by the members' jitter (bounded by jitter_s).
+        for (sa, sb) in a.steps.iter().zip(&b.steps) {
+            assert!((sa.depart_s - sb.depart_s).abs() <= m.jitter_s);
+            assert_ne!(sa.depart_s, sb.depart_s, "distinct jitter per member");
+        }
+        // A member of another platoon travels a different route.
+        let other = m.trace(&w, 7, 6, 3);
+        let dests_other: Vec<u32> = other.steps.iter().map(|s| s.to).collect();
+        assert_ne!(dests_a, dests_other, "platoon 2 has its own trajectory");
+        // A member whose home differs joins the convoy at the first leg and
+        // is co-located from then on.
+        let far = m.trace(&w, 2, 13, 4);
+        let dests_far: Vec<u32> = far.steps.iter().map(|s| s.to).collect();
+        assert_eq!(dests_a, dests_far);
+        validate_trace(&w, 13, &far).expect("platoon trace valid");
     }
 
     #[test]

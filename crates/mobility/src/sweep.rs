@@ -10,6 +10,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Number of workers the machine supports (≥ 1).
 pub fn available_workers() -> usize {
@@ -35,14 +36,69 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
+    map_parallel_budgeted(items, workers, None, f)
+        .results
+        .into_iter()
+        .map(|slot| slot.expect("an unbudgeted map completes every item"))
+        .collect()
+}
+
+/// Outcome of a budgeted sweep: one slot per input, `None` where the
+/// wall-clock budget ran out before the point could *start* (points already
+/// running when the budget expires are finished, never killed — a partial
+/// simulation result would be meaningless). `skipped` lists the `None`
+/// indices, so callers can report what was dropped instead of silently
+/// truncating.
+#[derive(Debug)]
+pub struct BudgetedMap<O> {
+    /// Per-input result slots, in input order.
+    pub results: Vec<Option<O>>,
+    /// Indices of inputs that were never started.
+    pub skipped: Vec<usize>,
+}
+
+impl<O> BudgetedMap<O> {
+    /// True when every input completed.
+    pub fn is_complete(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+/// [`map_parallel`] under a wall-clock budget: once `budget` has elapsed
+/// (measured from the call), workers stop claiming new items; items not yet
+/// started are reported as skipped. `budget: None` disables the deadline and
+/// behaves exactly like [`map_parallel`]. Which points complete under a
+/// tight budget depends on real time and is therefore *not* deterministic —
+/// but every completed point's value is byte-identical to what an unbudgeted
+/// run would produce, because each point is a pure function of its input.
+pub fn map_parallel_budgeted<I, O, F>(
+    items: &[I],
+    workers: usize,
+    budget: Option<Duration>,
+    f: F,
+) -> BudgetedMap<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let deadline = budget.map(|b| Instant::now() + b);
+    let expired = || deadline.is_some_and(|d| Instant::now() >= d);
     if workers <= 1 || items.len() <= 1 {
-        return map_serial(items, f);
+        let mut results = Vec::with_capacity(items.len());
+        for item in items {
+            results.push(if expired() { None } else { Some(f(item)) });
+        }
+        return collect_budgeted(results);
     }
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<O>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers.min(items.len()) {
             scope.spawn(|| loop {
+                if expired() {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
@@ -52,12 +108,21 @@ where
             });
         }
     });
-    slots
-        .into_inner()
-        .expect("sweep workers poisoned the slots")
-        .into_iter()
-        .map(|slot| slot.expect("every slot filled"))
-        .collect()
+    collect_budgeted(
+        slots
+            .into_inner()
+            .expect("sweep workers poisoned the slots"),
+    )
+}
+
+fn collect_budgeted<O>(results: Vec<Option<O>>) -> BudgetedMap<O> {
+    let skipped = results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    BudgetedMap { results, skipped }
 }
 
 #[cfg(test)]
@@ -94,6 +159,39 @@ mod tests {
     #[test]
     fn available_workers_is_positive() {
         assert!(available_workers() >= 1);
+    }
+
+    #[test]
+    fn no_budget_completes_everything_identically() {
+        let items: Vec<u64> = (0..57).collect();
+        let f = |x: &u64| x * 3 + 1;
+        for workers in [1, 4] {
+            let budgeted = map_parallel_budgeted(&items, workers, None, f);
+            assert!(budgeted.is_complete());
+            assert!(budgeted.skipped.is_empty());
+            let unwrapped: Vec<u64> = budgeted.results.into_iter().map(Option::unwrap).collect();
+            assert_eq!(unwrapped, map_serial(&items, f));
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_skips_and_reports_all_points() {
+        let items: Vec<u64> = (0..20).collect();
+        for workers in [1, 4] {
+            let budgeted = map_parallel_budgeted(&items, workers, Some(Duration::ZERO), |x| x + 1);
+            assert!(!budgeted.is_complete());
+            assert_eq!(budgeted.skipped.len(), 20, "workers={workers}");
+            assert!(budgeted.results.iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn generous_budget_behaves_like_unbudgeted() {
+        let items: Vec<u64> = (0..31).collect();
+        let budgeted = map_parallel_budgeted(&items, 4, Some(Duration::from_secs(3600)), |x| x * x);
+        assert!(budgeted.is_complete());
+        let unwrapped: Vec<u64> = budgeted.results.into_iter().map(Option::unwrap).collect();
+        assert_eq!(unwrapped, map_serial(&items, |x| x * x));
     }
 
     #[test]

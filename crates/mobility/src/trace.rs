@@ -41,6 +41,11 @@ pub struct MoveStep {
     pub from: u32,
     /// The broker the client reattaches to; never equal to `from`.
     pub to: u32,
+    /// Whether the model considers this move *predictable*: the client knows
+    /// `to` before departing and can proclaim it to the departure broker
+    /// (the paper's §4.1 proclaimed handoff). Street-grid and platoon moves
+    /// are predictable; flash-crowd and replayed moves are not.
+    pub proclaimed: bool,
 }
 
 /// A client's complete mobility schedule: the completed moves plus,
@@ -104,6 +109,7 @@ pub struct TraceBuilder<'w> {
     clock_s: f64,
     steps: Vec<MoveStep>,
     parked: Option<f64>,
+    proclaiming: bool,
 }
 
 impl<'w> TraceBuilder<'w> {
@@ -115,7 +121,17 @@ impl<'w> TraceBuilder<'w> {
             clock_s: 0.0,
             steps: Vec::new(),
             parked: None,
+            proclaiming: false,
         }
+    }
+
+    /// Declare whether subsequently recorded steps are predictable
+    /// (proclaimed) moves. Models whose next destination is known before
+    /// departure (street grids, platoons, waypoint walks) set this once
+    /// after construction; it defaults to `false` (silent moves, §4.2).
+    pub fn proclaiming(&mut self, proclaiming: bool) -> &mut Self {
+        self.proclaiming = proclaiming;
+        self
     }
 
     /// The broker the client is currently at.
@@ -160,6 +176,7 @@ impl<'w> TraceBuilder<'w> {
             arrive_s: arrive,
             from: self.position,
             to,
+            proclaimed: self.proclaiming,
         });
         self.position = to;
         self.clock_s = arrive;
@@ -194,6 +211,7 @@ impl<'w> TraceBuilder<'w> {
             arrive_s,
             from,
             to,
+            proclaimed: self.proclaiming,
         });
         self.position = to;
         self.clock_s = arrive_s;
@@ -309,6 +327,22 @@ mod tests {
     }
 
     #[test]
+    fn proclaiming_stamps_subsequent_steps() {
+        let w = world();
+        let mut tb = TraceBuilder::new(&w, 0);
+        assert!(tb.move_after(5.0, 2.0, 1), "silent by default");
+        tb.proclaiming(true);
+        assert!(tb.move_after(5.0, 2.0, 4));
+        assert!(tb.move_at(30.0, 32.0, 4, 7));
+        let trace = tb.finish();
+        assert_eq!(
+            trace.steps.iter().map(|s| s.proclaimed).collect::<Vec<_>>(),
+            vec![false, true, true]
+        );
+        assert!(validate_trace(&w, 0, &trace).is_ok());
+    }
+
+    #[test]
     #[should_panic(expected = "self-move")]
     fn builder_panics_on_self_move() {
         let w = world();
@@ -344,6 +378,7 @@ mod tests {
                 arrive_s: 2.0,
                 from: 3,
                 to: 4,
+                proclaimed: false,
             }],
             park_depart_s: None,
         };

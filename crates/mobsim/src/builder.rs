@@ -26,11 +26,16 @@
 //! [`crate::protocols::register`]) unless a local registry is supplied via
 //! [`SimBuilder::registry`].
 
+use std::time::Duration;
+
 use mhh_mobility::sweep::{available_workers, map_parallel};
 use mhh_mobility::ModelKind;
 
 use crate::config::ScenarioConfig;
-use crate::experiments::{figure5_in, figure6_in, mobility_matrix_in, FigureResult, MatrixResult};
+use crate::experiments::{
+    figure5_budgeted_in, figure6_budgeted_in, mobility_matrix_budgeted_in,
+    proclaimed_comparison_budgeted_in, FigureResult, MatrixResult, ProclaimedCompareResult,
+};
 use crate::metrics::RunResult;
 use crate::protocols::ProtocolRegistry;
 use crate::runner::run_spec;
@@ -107,6 +112,7 @@ impl Sim {
             protocol: "mhh".to_string(),
             workers: None,
             registry: None,
+            budget: None,
         }
     }
 
@@ -117,6 +123,7 @@ impl Sim {
             protocol: "mhh".to_string(),
             workers: None,
             registry: None,
+            budget: None,
         }
     }
 }
@@ -132,6 +139,7 @@ pub struct SimBuilder {
     protocol: String,
     workers: Option<usize>,
     registry: Option<ProtocolRegistry>,
+    budget: Option<Duration>,
 }
 
 impl SimBuilder {
@@ -157,6 +165,24 @@ impl SimBuilder {
     /// Replace the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.configure_in_place(|c| c.seed = seed);
+        self
+    }
+
+    /// Replace the proclamation override fraction (§4.1): moves the model
+    /// left silent proclaim with this probability. `1.0` makes every move
+    /// proclaimed, `0.0` (the default) defers to the model.
+    pub fn proclaimed_fraction(mut self, fraction: f64) -> Self {
+        self.configure_in_place(|c| c.proclaimed_fraction = fraction.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Bound the wall-clock time of the sweep terminals
+    /// ([`figure5`](Self::figure5), [`figure6`](Self::figure6),
+    /// [`matrix`](Self::matrix)): points that cannot start before the
+    /// budget elapses are reported in the result's `skipped` list instead
+    /// of running. Single runs ignore the budget.
+    pub fn budget_ms(mut self, budget_ms: u64) -> Self {
+        self.budget = Some(Duration::from_millis(budget_ms));
         self
     }
 
@@ -237,30 +263,61 @@ impl SimBuilder {
     }
 
     /// Run the Figure 5 sweep (connection-period lengths × every registered
-    /// protocol) on top of this configuration.
+    /// protocol) on top of this configuration, honouring any
+    /// [`budget_ms`](Self::budget_ms).
     pub fn figure5(self, conn_periods_s: &[f64]) -> Result<FigureResult, SimError> {
         let registry = self.registry_in_use();
         let workers = self.workers_in_use();
+        let budget = self.budget;
         let config = self.config?;
-        Ok(figure5_in(&registry, &config, conn_periods_s, workers))
+        Ok(figure5_budgeted_in(
+            &registry,
+            &config,
+            conn_periods_s,
+            workers,
+            budget,
+        ))
     }
 
     /// Run the Figure 6 sweep (grid sizes × every registered protocol) on
-    /// top of this configuration.
+    /// top of this configuration, honouring any
+    /// [`budget_ms`](Self::budget_ms).
     pub fn figure6(self, grid_sides: &[usize]) -> Result<FigureResult, SimError> {
         let registry = self.registry_in_use();
         let workers = self.workers_in_use();
+        let budget = self.budget;
         let config = self.config?;
-        Ok(figure6_in(&registry, &config, grid_sides, workers))
+        Ok(figure6_budgeted_in(
+            &registry, &config, grid_sides, workers, budget,
+        ))
     }
 
     /// Run the mobility-model × protocol matrix: every given model
-    /// parameter point against every registered protocol.
+    /// parameter point against every registered protocol, honouring any
+    /// [`budget_ms`](Self::budget_ms).
     pub fn matrix(self, models: &[ModelKind]) -> Result<MatrixResult, SimError> {
         let registry = self.registry_in_use();
         let workers = self.workers_in_use();
+        let budget = self.budget;
         let config = self.config?;
-        Ok(mobility_matrix_in(&registry, &config, models, workers))
+        Ok(mobility_matrix_budgeted_in(
+            &registry, &config, models, workers, budget,
+        ))
+    }
+
+    /// Run the reactive-vs-proclaimed comparison (§4.2 vs §4.1): every
+    /// registered protocol twice on the identical move schedule, once with
+    /// `proclaimed_fraction = 0.0` and once with `1.0`, honouring any
+    /// [`budget_ms`](Self::budget_ms) (a pair whose halves cannot both
+    /// complete is dropped and recorded as skipped).
+    pub fn compare_proclaimed(self) -> Result<ProclaimedCompareResult, SimError> {
+        let registry = self.registry_in_use();
+        let workers = self.workers_in_use();
+        let budget = self.budget;
+        let config = self.config?;
+        Ok(proclaimed_comparison_budgeted_in(
+            &registry, &config, workers, budget,
+        ))
     }
 }
 

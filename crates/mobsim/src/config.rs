@@ -72,6 +72,15 @@ pub struct ScenarioConfig {
     pub seed: u64,
     /// The mobility model moving the mobile clients (paper: uniform random).
     pub mobility: ModelKind,
+    /// Scenario-level proclamation override (§4.1): each move the model left
+    /// *silent* is upgraded to a proclaimed move with this probability
+    /// (deterministically, from the scenario seed). `0.0` (the default)
+    /// leaves the per-model decision alone — street-grid and platoon moves
+    /// proclaim, flash crowds and replayed traces do not; `1.0` proclaims
+    /// every move, which is how `paper-fig5-proclaimed` exercises the
+    /// paper's proclaimed handoff under the otherwise-unpredictable uniform
+    /// random pattern.
+    pub proclaimed_fraction: f64,
 }
 
 impl Default for ScenarioConfig {
@@ -98,6 +107,7 @@ impl ScenarioConfig {
             covering: true,
             seed: 0x4d48_485f_3230,
             mobility: ModelKind::UniformRandom,
+            proclaimed_fraction: 0.0,
         }
     }
 
@@ -120,6 +130,7 @@ impl ScenarioConfig {
             covering: true,
             seed: 7,
             mobility: ModelKind::UniformRandom,
+            proclaimed_fraction: 0.0,
         }
     }
 
@@ -141,6 +152,14 @@ impl ScenarioConfig {
     /// Replace the mobility model, keeping everything else.
     pub fn with_mobility(mut self, mobility: ModelKind) -> Self {
         self.mobility = mobility;
+        self
+    }
+
+    /// Replace the proclamation override fraction (clamped to `[0, 1]`),
+    /// keeping everything else. `1.0` proclaims every move; `0.0` (default)
+    /// defers to the mobility model's own per-move decision.
+    pub fn with_proclaimed_fraction(mut self, fraction: f64) -> Self {
+        self.proclaimed_fraction = fraction.clamp(0.0, 1.0);
         self
     }
 

@@ -15,7 +15,9 @@
 //! single-threaded for determinism, so parallel results are byte-identical
 //! to a serial sweep of the same seeds).
 
-use mhh_mobility::sweep::{available_workers, map_parallel};
+use std::time::Duration;
+
+use mhh_mobility::sweep::{available_workers, map_parallel_budgeted};
 use mhh_mobility::ModelKind;
 
 use crate::config::ScenarioConfig;
@@ -57,8 +59,11 @@ pub struct FigureResult {
     pub name: String,
     /// Label of the swept parameter (the figures' x axis).
     pub x_label: String,
-    /// All points.
+    /// All completed points.
     pub points: Vec<ExperimentPoint>,
+    /// Points skipped because a wall-clock budget ran out before they could
+    /// start, as `"x × protocol"` labels. Empty for unbudgeted sweeps.
+    pub skipped: Vec<String>,
 }
 
 impl FigureResult {
@@ -129,11 +134,24 @@ pub fn figure5_in(
     conn_periods_s: &[f64],
     workers: usize,
 ) -> FigureResult {
+    figure5_budgeted_in(registry, base, conn_periods_s, workers, None)
+}
+
+/// [`figure5_in`] under an optional wall-clock budget: points that cannot
+/// start before the budget elapses are recorded in
+/// [`FigureResult::skipped`] instead of silently truncating the sweep.
+pub fn figure5_budgeted_in(
+    registry: &ProtocolRegistry,
+    base: &ScenarioConfig,
+    conn_periods_s: &[f64],
+    workers: usize,
+    budget: Option<Duration>,
+) -> FigureResult {
     let jobs: Vec<(f64, &ProtocolSpec)> = conn_periods_s
         .iter()
         .flat_map(|&p| registry.specs().iter().map(move |spec| (p, spec)))
         .collect();
-    let points = map_parallel(&jobs, workers, |&(conn, spec)| {
+    let budgeted = map_parallel_budgeted(&jobs, workers, budget, |&(conn, spec)| {
         let config = ScenarioConfig {
             conn_mean_s: conn,
             ..base.clone()
@@ -147,10 +165,16 @@ pub fn figure5_in(
             result,
         }
     });
+    let skipped = budgeted
+        .skipped
+        .iter()
+        .map(|&i| format!("{} × {}", jobs[i].0, jobs[i].1.label()))
+        .collect();
     FigureResult {
         name: "figure5".to_string(),
         x_label: "avg. length of conn. period (s)".to_string(),
-        points,
+        points: budgeted.results.into_iter().flatten().collect(),
+        skipped,
     }
 }
 
@@ -178,11 +202,23 @@ pub fn figure6_in(
     grid_sides: &[usize],
     workers: usize,
 ) -> FigureResult {
+    figure6_budgeted_in(registry, base, grid_sides, workers, None)
+}
+
+/// [`figure6_in`] under an optional wall-clock budget; see
+/// [`figure5_budgeted_in`].
+pub fn figure6_budgeted_in(
+    registry: &ProtocolRegistry,
+    base: &ScenarioConfig,
+    grid_sides: &[usize],
+    workers: usize,
+    budget: Option<Duration>,
+) -> FigureResult {
     let jobs: Vec<(usize, &ProtocolSpec)> = grid_sides
         .iter()
         .flat_map(|&side| registry.specs().iter().map(move |spec| (side, spec)))
         .collect();
-    let points = map_parallel(&jobs, workers, |&(side, spec)| {
+    let budgeted = map_parallel_budgeted(&jobs, workers, budget, |&(side, spec)| {
         let config = ScenarioConfig {
             grid_side: side,
             ..base.clone()
@@ -196,10 +232,16 @@ pub fn figure6_in(
             result,
         }
     });
+    let skipped = budgeted
+        .skipped
+        .iter()
+        .map(|&i| format!("{} × {}", jobs[i].0 * jobs[i].0, jobs[i].1.label()))
+        .collect();
     FigureResult {
         name: "figure6".to_string(),
         x_label: "number of base stations".to_string(),
-        points,
+        points: budgeted.results.into_iter().flatten().collect(),
+        skipped,
     }
 }
 
@@ -220,8 +262,11 @@ pub struct MatrixPoint {
 /// scenario.
 #[derive(Debug, Clone)]
 pub struct MatrixResult {
-    /// All cells, one per (model parameter point, protocol) pair.
+    /// All completed cells, one per (model parameter point, protocol) pair.
     pub points: Vec<MatrixPoint>,
+    /// Cells skipped because a wall-clock budget ran out before they could
+    /// start, as `"model × protocol"` labels. Empty for unbudgeted sweeps.
+    pub skipped: Vec<String>,
 }
 
 impl MatrixResult {
@@ -271,11 +316,24 @@ pub fn mobility_matrix_in(
     models: &[ModelKind],
     workers: usize,
 ) -> MatrixResult {
+    mobility_matrix_budgeted_in(registry, base, models, workers, None)
+}
+
+/// [`mobility_matrix_in`] under an optional wall-clock budget: matrix cells
+/// that cannot start before the budget elapses are recorded in
+/// [`MatrixResult::skipped`] instead of silently truncating the matrix.
+pub fn mobility_matrix_budgeted_in(
+    registry: &ProtocolRegistry,
+    base: &ScenarioConfig,
+    models: &[ModelKind],
+    workers: usize,
+    budget: Option<Duration>,
+) -> MatrixResult {
     let jobs: Vec<(&ModelKind, &ProtocolSpec)> = models
         .iter()
         .flat_map(|kind| registry.specs().iter().map(move |spec| (kind, spec)))
         .collect();
-    let points = map_parallel(&jobs, workers, |&(kind, spec)| {
+    let budgeted = map_parallel_budgeted(&jobs, workers, budget, |&(kind, spec)| {
         let config = base.clone().with_mobility(kind.clone());
         let result = run_spec(&config, spec);
         MatrixPoint {
@@ -284,7 +342,123 @@ pub fn mobility_matrix_in(
             result,
         }
     });
-    MatrixResult { points }
+    let skipped = budgeted
+        .skipped
+        .iter()
+        .map(|&i| format!("{} × {}", jobs[i].0, jobs[i].1.label()))
+        .collect();
+    MatrixResult {
+        points: budgeted.results.into_iter().flatten().collect(),
+        skipped,
+    }
+}
+
+/// One protocol's paired reactive-vs-proclaimed comparison: the *same* move
+/// schedule (same seed, same workload) run once with every move silent and
+/// once with every move proclaimed.
+#[derive(Debug, Clone)]
+pub struct ProclaimedComparePoint {
+    /// Display label of the protocol.
+    pub protocol: String,
+    /// The run with `proclaimed_fraction = 0.0` (every move §4.2).
+    pub reactive: RunResult,
+    /// The run with `proclaimed_fraction = 1.0` (every move §4.1).
+    pub proclaimed: RunResult,
+}
+
+impl ProclaimedComparePoint {
+    /// Mean per-handover first-delivery gap of the reactive run (ms).
+    pub fn reactive_gap_ms(&self) -> f64 {
+        self.reactive.avg_handoff_delay_ms
+    }
+
+    /// Mean per-handover first-delivery gap of the proclaimed run (ms).
+    pub fn proclaimed_gap_ms(&self) -> f64 {
+        self.proclaimed.avg_handoff_delay_ms
+    }
+
+    /// How much of the reactive gap the proclamation removed (0..1; negative
+    /// when proclamation hurt).
+    pub fn gap_reduction(&self) -> f64 {
+        let r = self.reactive_gap_ms();
+        if r == 0.0 {
+            0.0
+        } else {
+            1.0 - self.proclaimed_gap_ms() / r
+        }
+    }
+}
+
+/// The proclaimed-vs-reactive comparison across every registered protocol.
+#[derive(Debug, Clone)]
+pub struct ProclaimedCompareResult {
+    /// One paired comparison per protocol, in registry order.
+    pub points: Vec<ProclaimedComparePoint>,
+    /// Protocols whose pair could not complete before a wall-clock budget
+    /// ran out (a half-finished pair is useless, so the whole pair is
+    /// dropped and recorded here). Empty for unbudgeted runs.
+    pub skipped: Vec<String>,
+}
+
+impl ProclaimedCompareResult {
+    /// Look up one protocol's pair by display label.
+    pub fn point(&self, protocol: &str) -> Option<&ProclaimedComparePoint> {
+        self.points.iter().find(|p| p.protocol == protocol)
+    }
+}
+
+/// Run the reactive-vs-proclaimed comparison (§4.1 vs §4.2) for every
+/// protocol of the process-wide registry on `base`. The base's own
+/// `proclaimed_fraction` is overridden to 0 and 1; everything else —
+/// including the move schedule — is shared, so each pair is a true paired
+/// comparison.
+pub fn proclaimed_comparison(base: &ScenarioConfig) -> ProclaimedCompareResult {
+    proclaimed_comparison_in(&ProtocolRegistry::global(), base, available_workers())
+}
+
+/// [`proclaimed_comparison`] over an explicit registry and worker count.
+pub fn proclaimed_comparison_in(
+    registry: &ProtocolRegistry,
+    base: &ScenarioConfig,
+    workers: usize,
+) -> ProclaimedCompareResult {
+    proclaimed_comparison_budgeted_in(registry, base, workers, None)
+}
+
+/// [`proclaimed_comparison_in`] under an optional wall-clock budget:
+/// protocols whose reactive/proclaimed pair cannot both complete are
+/// recorded in [`ProclaimedCompareResult::skipped`].
+pub fn proclaimed_comparison_budgeted_in(
+    registry: &ProtocolRegistry,
+    base: &ScenarioConfig,
+    workers: usize,
+    budget: Option<Duration>,
+) -> ProclaimedCompareResult {
+    let jobs: Vec<(&ProtocolSpec, f64)> = registry
+        .specs()
+        .iter()
+        .flat_map(|spec| [(spec, 0.0f64), (spec, 1.0f64)])
+        .collect();
+    let budgeted = map_parallel_budgeted(&jobs, workers, budget, |&(spec, fraction)| {
+        let config = base.clone().with_proclaimed_fraction(fraction);
+        run_spec(&config, spec)
+    });
+    let mut points = Vec::new();
+    let mut skipped = Vec::new();
+    let mut results = budgeted.results.into_iter();
+    for spec in registry.specs() {
+        let reactive = results.next().expect("two slots per spec");
+        let proclaimed = results.next().expect("two slots per spec");
+        match (reactive, proclaimed) {
+            (Some(reactive), Some(proclaimed)) => points.push(ProclaimedComparePoint {
+                protocol: spec.label().to_string(),
+                reactive,
+                proclaimed,
+            }),
+            _ => skipped.push(spec.label().to_string()),
+        }
+    }
+    ProclaimedCompareResult { points, skipped }
 }
 
 #[cfg(test)]
@@ -403,6 +577,76 @@ mod tests {
             s.result.handoffs,
             l.result.handoffs
         );
+    }
+
+    #[test]
+    fn exhausted_budget_reports_skipped_points() {
+        let registry = ProtocolRegistry::builtin();
+        let fig = figure5_budgeted_in(
+            &registry,
+            &tiny_base(),
+            &[5.0, 60.0],
+            2,
+            Some(Duration::ZERO),
+        );
+        assert!(fig.points.is_empty());
+        assert_eq!(fig.skipped.len(), 6, "every point recorded as skipped");
+        assert!(
+            fig.skipped.iter().any(|s| s.contains("MHH")),
+            "{:?}",
+            fig.skipped
+        );
+
+        let matrix = mobility_matrix_budgeted_in(
+            &registry,
+            &tiny_base(),
+            &[ModelKind::UniformRandom],
+            2,
+            Some(Duration::ZERO),
+        );
+        assert!(matrix.points.is_empty());
+        assert_eq!(matrix.skipped.len(), 3);
+
+        // A generous budget completes everything and reports nothing.
+        let full = figure5_budgeted_in(
+            &registry,
+            &tiny_base(),
+            &[5.0],
+            2,
+            Some(Duration::from_secs(3600)),
+        );
+        assert!(full.skipped.is_empty());
+        assert_eq!(full.points.len(), 3);
+
+        // The comparison drops whole pairs under an exhausted budget.
+        let cmp =
+            proclaimed_comparison_budgeted_in(&registry, &tiny_base(), 2, Some(Duration::ZERO));
+        assert!(cmp.points.is_empty());
+        assert_eq!(cmp.skipped, vec!["sub-unsub", "MHH", "HB"]);
+    }
+
+    #[test]
+    fn proclaimed_comparison_is_paired_and_helps_mhh() {
+        let cmp = proclaimed_comparison_in(&ProtocolRegistry::builtin(), &dense_base(), 4);
+        assert_eq!(cmp.points.len(), 3);
+        assert!(cmp.skipped.is_empty());
+        let mhh = cmp.point("MHH").expect("builtin");
+        // Paired: identical move schedule on both sides.
+        assert_eq!(mhh.reactive.handoffs, mhh.proclaimed.handoffs);
+        assert_eq!(mhh.reactive.proclaimed_handoffs(), 0);
+        assert_eq!(
+            mhh.proclaimed.proclaimed_handoffs(),
+            mhh.proclaimed.handoffs
+        );
+        // Migrating ahead of the client must shrink the disruption window.
+        assert!(
+            mhh.proclaimed_gap_ms() < mhh.reactive_gap_ms(),
+            "proclaimed {} ms must beat reactive {} ms",
+            mhh.proclaimed_gap_ms(),
+            mhh.reactive_gap_ms()
+        );
+        assert!(mhh.gap_reduction() > 0.0);
+        assert!(mhh.proclaimed.reliable(), "{:?}", mhh.proclaimed.audit);
     }
 
     #[test]

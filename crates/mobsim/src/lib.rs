@@ -53,9 +53,10 @@ pub mod workload;
 pub use builder::{Sim, SimBuilder, SimError};
 pub use config::{Protocol, ScenarioConfig};
 pub use experiments::{
-    figure5, figure6, mobility_matrix, ExperimentPoint, FigureResult, MatrixPoint, MatrixResult,
+    figure5, figure6, mobility_matrix, proclaimed_comparison, ExperimentPoint, FigureResult,
+    MatrixPoint, MatrixResult, ProclaimedComparePoint, ProclaimedCompareResult,
 };
-pub use metrics::RunResult;
+pub use metrics::{HandoverKind, HandoverLedger, HandoverRecord, RunResult};
 pub use mhh_mobility::ModelKind;
 pub use protocols::{ProtocolRegistry, ProtocolSpec};
 pub use runner::{run_named, run_scenario, run_spec};

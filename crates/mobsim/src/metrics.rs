@@ -1,9 +1,287 @@
 //! Metrics collected from one simulation run.
+//!
+//! Since the handover-lifecycle refactor the primary artifact is the
+//! [`HandoverLedger`]: one typed [`HandoverRecord`] per disconnect/reconnect
+//! pair, carrying the handover kind (reactive §4.2 vs proclaimed §4.1), the
+//! physical move, the disruption window and the per-handover delivery
+//! counters. The run-level aggregates the paper's figures plot —
+//! handoff count and average handoff delay — are *derived* from the ledger
+//! instead of being counted separately, so the per-handover and aggregate
+//! views can never drift apart.
 
-use mhh_pubsub::DeliveryAudit;
+use std::collections::{BTreeMap, BTreeSet};
+
+use mhh_pubsub::client::{DeliveryRecord, DisconnectRecord, ReconnectRecord};
+use mhh_pubsub::{ClientId, DeliveryAudit, Event, EventId, Filter};
+use mhh_simnet::SimTime;
+
+/// How a handover was initiated (paper §4.1 vs §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoverKind {
+    /// Silent move: the client departed without announcing a destination;
+    /// the handoff starts when it reconnects (§4.2).
+    Reactive,
+    /// Proclaimed move: the client announced its destination broker at
+    /// disconnect time, so the subscription migrated ahead of it (§4.1).
+    Proclaimed,
+}
+
+/// One completed handover of one client: a disconnect paired with the
+/// following reconnect, plus everything the per-handover analysis needs.
+///
+/// The *disruption window* of a handover starts at its departure and ends at
+/// the client's next departure (or the end of the run): losses are
+/// attributed to the window containing the lost event's publication,
+/// duplicates and buffered catch-ups to the window containing their
+/// delivery. Summed over the ledger these partitions reproduce the run-level
+/// audit counts exactly — asserted by the paired-workload integration test.
+#[derive(Debug, Clone)]
+pub struct HandoverRecord {
+    /// The moving client.
+    pub client: ClientId,
+    /// Reactive (silent, §4.2) or proclaimed (§4.1).
+    pub kind: HandoverKind,
+    /// The broker the client physically departed.
+    pub from: mhh_pubsub::BrokerId,
+    /// The broker it reattached to.
+    pub to: mhh_pubsub::BrokerId,
+    /// Disconnection time.
+    pub departed: SimTime,
+    /// Reconnection time.
+    pub arrived: SimTime,
+    /// First delivery after the reconnection, if any arrived before the
+    /// client moved on (or the run ended).
+    pub first_delivery: Option<SimTime>,
+    /// Whether the move was a real handoff (`from != to`); a disconnect
+    /// that reconnects at the same broker is a reconnection, not a handoff.
+    pub is_handoff: bool,
+    /// Events published before the reconnection but delivered after it in
+    /// this window — the backlog that was buffered (or migrated) for the
+    /// client during the disruption.
+    pub buffered: u64,
+    /// Matching events published in this window that were neither delivered
+    /// nor left pending: real loss attributed to this handover.
+    pub lost: u64,
+    /// Duplicate deliveries observed in this window.
+    pub duplicates: u64,
+}
+
+impl HandoverRecord {
+    /// The paper's per-handover disruption measure: reconnection to first
+    /// delivery, in milliseconds. `None` when nothing was delivered before
+    /// the client moved on.
+    pub fn first_delivery_gap_ms(&self) -> Option<f64> {
+        self.first_delivery
+            .map(|d| d.since(self.arrived).as_millis_f64())
+    }
+}
+
+/// One subscriber's raw logs, as the ledger assembler needs them.
+#[derive(Debug, Clone)]
+pub struct ClientHandoverLog<'a> {
+    /// The client.
+    pub client: ClientId,
+    /// Its subscription (decides which published events it should see).
+    pub filter: &'a Filter,
+    /// Its disconnections, in time order.
+    pub disconnects: &'a [DisconnectRecord],
+    /// Its reconnections, in time order.
+    pub reconnects: &'a [ReconnectRecord],
+    /// Every delivery it received, in arrival order.
+    pub deliveries: &'a [DeliveryRecord],
+}
+
+/// The per-handover ledger of one run: every handover of every client as a
+/// typed [`HandoverRecord`], in client order (and time order per client).
+///
+/// The ledger replaces the aggregate-only counters the harness used to
+/// keep: [`RunResult`]'s `handoffs`, `avg_handoff_delay_ms` and
+/// `delay_samples` are now computed *from* these records (see
+/// [`HandoverLedger::handoff_count`] and
+/// [`HandoverLedger::mean_delay_ms`]), and the proclaimed-vs-reactive
+/// comparison the paper's §4.1 motivates reads straight out of
+/// [`HandoverLedger::kind_count`] / [`HandoverLedger::mean_gap_ms_of`].
+#[derive(Debug, Clone, Default)]
+pub struct HandoverLedger {
+    /// All records, grouped by client in client-id order, time-ordered
+    /// within a client.
+    pub records: Vec<HandoverRecord>,
+}
+
+impl HandoverLedger {
+    /// Build the ledger from raw run logs.
+    ///
+    /// * `published` — every event actually published (stamped);
+    /// * `clients` — each subscriber's disconnect/reconnect/delivery logs,
+    ///   in the order the aggregates should be accumulated (client order);
+    /// * `pending` — events still buffered in protocol queues at the end of
+    ///   the run (excluded from loss, as in the audit).
+    pub fn assemble(
+        published: &[Event],
+        clients: &[ClientHandoverLog<'_>],
+        pending: &[(ClientId, EventId)],
+    ) -> HandoverLedger {
+        let publish_time: BTreeMap<EventId, SimTime> =
+            published.iter().map(|e| (e.id, e.published_at)).collect();
+        let mut pending_by_client: BTreeMap<ClientId, BTreeSet<EventId>> = BTreeMap::new();
+        for (c, e) in pending {
+            pending_by_client.entry(*c).or_default().insert(*e);
+        }
+
+        let mut records = Vec::new();
+        for log in clients {
+            let base = records.len();
+            // Pair each reconnection with the earliest unconsumed
+            // disconnection that precedes it. A reconnect with no such
+            // disconnect (a client attached by an explicit action instead of
+            // the pre-installed initial state) is an initial attachment, not
+            // a handover; a trailing unconsumed disconnect is a parked
+            // client.
+            let mut di = 0usize;
+            for rec in log.reconnects {
+                let Some(disc) = log.disconnects.get(di).filter(|d| d.at <= rec.at) else {
+                    continue;
+                };
+                di += 1;
+                records.push(HandoverRecord {
+                    client: log.client,
+                    kind: if disc.proclaimed_dest.is_some() {
+                        HandoverKind::Proclaimed
+                    } else {
+                        HandoverKind::Reactive
+                    },
+                    from: disc.broker,
+                    to: rec.to,
+                    departed: disc.at,
+                    arrived: rec.at,
+                    first_delivery: rec.first_delivery,
+                    is_handoff: rec.is_handoff,
+                    buffered: 0,
+                    lost: 0,
+                    duplicates: 0,
+                });
+            }
+            let count = records.len() - base;
+            if count == 0 {
+                continue;
+            }
+            // Disruption windows: record i owns [departed_i, departed_{i+1}),
+            // the last record owns everything after its departure, and
+            // anything before the first departure also falls to record 0 —
+            // a partition, so per-window counts sum exactly to the client's
+            // run-level audit counts.
+            let windows = &mut records[base..];
+            let departs: Vec<SimTime> = windows.iter().map(|r| r.departed).collect();
+            let window_of = |t: SimTime| departs.partition_point(|&d| d <= t).saturating_sub(1);
+
+            let expected: BTreeSet<EventId> = published
+                .iter()
+                .filter(|e| e.publisher != log.client && log.filter.matches(e))
+                .map(|e| e.id)
+                .collect();
+            let mut seen: BTreeSet<EventId> = BTreeSet::new();
+            for d in log.deliveries {
+                if seen.insert(d.event) {
+                    let w = &mut windows[window_of(d.at)];
+                    if d.at >= w.arrived && d.published_at < w.arrived {
+                        w.buffered += 1;
+                    }
+                } else {
+                    windows[window_of(d.at)].duplicates += 1;
+                }
+            }
+            let empty = BTreeSet::new();
+            let pending_here = pending_by_client.get(&log.client).unwrap_or(&empty);
+            for missing in expected.difference(&seen) {
+                if pending_here.contains(missing) {
+                    continue;
+                }
+                let at = publish_time.get(missing).copied().unwrap_or(SimTime::ZERO);
+                windows[window_of(at)].lost += 1;
+            }
+        }
+        HandoverLedger { records }
+    }
+
+    /// Number of handover records (including same-broker reconnections).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no client ever moved.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of real handoffs (`from != to`) — the paper's denominator.
+    pub fn handoff_count(&self) -> u64 {
+        self.records.iter().filter(|r| r.is_handoff).count() as u64
+    }
+
+    /// Number of real handoffs of one kind.
+    pub fn kind_count(&self, kind: HandoverKind) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.is_handoff && r.kind == kind)
+            .count() as u64
+    }
+
+    /// First-delivery gaps (ms) of all real handoffs that saw a delivery,
+    /// in ledger order.
+    pub fn delays_ms(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.is_handoff)
+            .filter_map(HandoverRecord::first_delivery_gap_ms)
+            .collect()
+    }
+
+    /// Mean first-delivery gap over all real handoffs with a delivery
+    /// (0.0 when none saw one) — the paper's "average handoff delay".
+    pub fn mean_delay_ms(&self) -> f64 {
+        let delays = self.delays_ms();
+        if delays.is_empty() {
+            0.0
+        } else {
+            delays.iter().sum::<f64>() / delays.len() as f64
+        }
+    }
+
+    /// Mean first-delivery gap of one handover kind, or `None` when no
+    /// handoff of that kind saw a delivery.
+    pub fn mean_gap_ms_of(&self, kind: HandoverKind) -> Option<f64> {
+        let delays: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.is_handoff && r.kind == kind)
+            .filter_map(HandoverRecord::first_delivery_gap_ms)
+            .collect();
+        if delays.is_empty() {
+            None
+        } else {
+            Some(delays.iter().sum::<f64>() / delays.len() as f64)
+        }
+    }
+
+    /// Sum of per-handover lost counts.
+    pub fn total_lost(&self) -> u64 {
+        self.records.iter().map(|r| r.lost).sum()
+    }
+
+    /// Sum of per-handover duplicate counts.
+    pub fn total_duplicates(&self) -> u64 {
+        self.records.iter().map(|r| r.duplicates).sum()
+    }
+
+    /// Sum of per-handover buffered-catch-up counts.
+    pub fn total_buffered(&self) -> u64 {
+        self.records.iter().map(|r| r.buffered).sum()
+    }
+}
 
 /// The outcome of one scenario run: the paper's two performance metrics plus
-/// the reliability audit and raw counters useful for debugging and reports.
+/// the reliability audit, the per-handover ledger and raw counters useful
+/// for debugging and reports.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Display label of the protocol that was run (e.g. `"MHH"`). A label
@@ -13,7 +291,7 @@ pub struct RunResult {
     /// is what makes their results byte-identical.
     pub protocol: String,
     /// Number of handoffs that occurred (reconnections at a different
-    /// broker).
+    /// broker). Derived from the ledger.
     pub handoffs: u64,
     /// Total network hops attributable to mobility management.
     pub mobility_hops: u64,
@@ -22,12 +300,15 @@ pub struct RunResult {
     pub overhead_per_handoff: f64,
     /// The paper's "average handoff delay" in milliseconds (reconnection to
     /// first delivered event), averaged over handoffs that received at least
-    /// one event.
+    /// one event. Derived from the ledger.
     pub avg_handoff_delay_ms: f64,
-    /// Number of handoffs that contributed a delay sample.
+    /// Number of handoffs that contributed a delay sample. Derived from the
+    /// ledger.
     pub delay_samples: u64,
     /// Delivery-reliability audit (loss / duplicates / ordering).
     pub audit: DeliveryAudit,
+    /// The per-handover ledger (one record per disconnect/reconnect pair).
+    pub ledger: HandoverLedger,
     /// Total events published during the run.
     pub published: u64,
     /// Total event deliveries to clients.
@@ -49,21 +330,38 @@ impl RunResult {
     pub fn reliable(&self) -> bool {
         self.audit.is_reliable()
     }
+
+    /// Number of proclaimed (§4.1) handoffs in the run.
+    pub fn proclaimed_handoffs(&self) -> u64 {
+        self.ledger.kind_count(HandoverKind::Proclaimed)
+    }
+
+    /// Number of reactive (§4.2) handoffs in the run.
+    pub fn reactive_handoffs(&self) -> u64 {
+        self.ledger.kind_count(HandoverKind::Reactive)
+    }
+
+    /// Mean first-delivery gap of one handover kind, if any handoff of that
+    /// kind saw a delivery.
+    pub fn mean_gap_ms(&self, kind: HandoverKind) -> Option<f64> {
+        self.ledger.mean_gap_ms_of(kind)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mhh_pubsub::event::EventBuilder;
+    use mhh_pubsub::{BrokerId, Op};
 
-    #[test]
-    fn derived_quantities() {
-        let r = RunResult {
+    fn sample_result(ledger: HandoverLedger) -> RunResult {
+        RunResult {
             protocol: "MHH".to_string(),
-            handoffs: 10,
+            handoffs: ledger.handoff_count(),
             mobility_hops: 500,
             overhead_per_handoff: 50.0,
-            avg_handoff_delay_ms: 123.0,
-            delay_samples: 9,
+            avg_handoff_delay_ms: ledger.mean_delay_ms(),
+            delay_samples: ledger.delays_ms().len() as u64,
             audit: DeliveryAudit {
                 expected: 100,
                 delivered: 98,
@@ -72,12 +370,228 @@ mod tests {
                 lost: 0,
                 out_of_order: 0,
             },
+            ledger,
             published: 40,
             delivered_messages: 98,
             total_hops: 10_000,
             sim_duration_s: 600.0,
+        }
+    }
+
+    fn record(kind: HandoverKind, arrived_ms: u64, first_ms: Option<u64>) -> HandoverRecord {
+        HandoverRecord {
+            client: ClientId(0),
+            kind,
+            from: BrokerId(0),
+            to: BrokerId(1),
+            departed: SimTime::from_millis(arrived_ms.saturating_sub(50)),
+            arrived: SimTime::from_millis(arrived_ms),
+            first_delivery: first_ms.map(SimTime::from_millis),
+            is_handoff: true,
+            buffered: 0,
+            lost: 0,
+            duplicates: 0,
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let ledger = HandoverLedger {
+            records: vec![
+                record(HandoverKind::Reactive, 100, Some(180)),
+                record(HandoverKind::Proclaimed, 400, Some(420)),
+                record(HandoverKind::Proclaimed, 700, None),
+            ],
         };
+        let r = sample_result(ledger);
         assert!(r.reliable());
         assert_eq!(r.loss_rate(), 0.0);
+        assert_eq!(r.handoffs, 3);
+        assert_eq!(r.delay_samples, 2);
+        assert_eq!(r.proclaimed_handoffs(), 2);
+        assert_eq!(r.reactive_handoffs(), 1);
+        assert_eq!(r.mean_gap_ms(HandoverKind::Reactive), Some(80.0));
+        assert_eq!(r.mean_gap_ms(HandoverKind::Proclaimed), Some(20.0));
+        assert_eq!(r.avg_handoff_delay_ms, 50.0);
+    }
+
+    #[test]
+    fn assemble_pairs_disconnects_with_reconnects_and_partitions_counts() {
+        let filter = Filter::single("g", Op::Eq, 1i64);
+        let ev = |id: u64, publisher: u32, at_ms: u64| {
+            EventBuilder::new()
+                .attr("g", 1i64)
+                .build(id, ClientId(publisher), id)
+                .stamped(SimTime::from_millis(at_ms))
+        };
+        // Publisher 9 publishes four matching events across two windows.
+        let published = vec![
+            ev(1, 9, 50),
+            ev(2, 9, 150),
+            ev(3, 9, 1_150),
+            ev(4, 9, 1_200),
+        ];
+        let disconnects = vec![
+            DisconnectRecord {
+                at: SimTime::from_millis(100),
+                broker: BrokerId(0),
+                proclaimed_dest: None,
+            },
+            DisconnectRecord {
+                at: SimTime::from_millis(1_100),
+                broker: BrokerId(2),
+                proclaimed_dest: Some(BrokerId(3)),
+            },
+        ];
+        let reconnects = vec![
+            ReconnectRecord {
+                at: SimTime::from_millis(300),
+                from: Some(BrokerId(0)),
+                to: BrokerId(2),
+                first_delivery: Some(SimTime::from_millis(350)),
+                is_handoff: true,
+            },
+            ReconnectRecord {
+                at: SimTime::from_millis(1_300),
+                from: Some(BrokerId(2)),
+                to: BrokerId(3),
+                first_delivery: Some(SimTime::from_millis(1_320)),
+                is_handoff: true,
+            },
+        ];
+        // Event 2 (published during window 0) delivered after the first
+        // reconnect (buffered catch-up); event 2 delivered again later
+        // (duplicate, in window 1); event 3 delivered promptly; event 4
+        // never delivered and not pending -> lost, in window 1. Event 1 was
+        // delivered live before the first disconnect.
+        let mk = |id: u64, pub_ms: u64, at_ms: u64| DeliveryRecord {
+            at: SimTime::from_millis(at_ms),
+            event: EventId(id),
+            publisher: ClientId(9),
+            seq: id,
+            published_at: SimTime::from_millis(pub_ms),
+        };
+        let deliveries = vec![
+            mk(1, 50, 80),
+            mk(2, 150, 350),
+            mk(3, 1_150, 1_320),
+            mk(2, 150, 1_400),
+        ];
+        let logs = [ClientHandoverLog {
+            client: ClientId(0),
+            filter: &filter,
+            disconnects: &disconnects,
+            reconnects: &reconnects,
+            deliveries: &deliveries,
+        }];
+        let ledger = HandoverLedger::assemble(&published, &logs, &[]);
+        assert_eq!(ledger.len(), 2);
+        let (w0, w1) = (&ledger.records[0], &ledger.records[1]);
+        assert_eq!(w0.kind, HandoverKind::Reactive);
+        assert_eq!(w1.kind, HandoverKind::Proclaimed);
+        assert_eq!(w0.buffered, 1, "event 2 caught up after the reconnect");
+        assert_eq!(w0.duplicates, 0);
+        assert_eq!(w0.lost, 0);
+        assert_eq!(w1.buffered, 1, "event 3 published at 1150 < arrive 1300");
+        assert_eq!(w1.duplicates, 1, "event 2 redelivered at 1400");
+        assert_eq!(w1.lost, 1, "event 4 vanished in window 1");
+        assert_eq!(ledger.total_lost(), 1);
+        assert_eq!(ledger.total_duplicates(), 1);
+        assert_eq!(ledger.handoff_count(), 2);
+        assert_eq!(ledger.kind_count(HandoverKind::Proclaimed), 1);
+        // Pending events are not lost.
+        let with_pending =
+            HandoverLedger::assemble(&published, &logs, &[(ClientId(0), EventId(4))]);
+        assert_eq!(with_pending.total_lost(), 0);
+    }
+
+    #[test]
+    fn unpaired_initial_reconnect_is_skipped() {
+        let filter = Filter::single("g", Op::Eq, 1i64);
+        let reconnects = vec![
+            ReconnectRecord {
+                at: SimTime::from_millis(10),
+                from: None,
+                to: BrokerId(0),
+                first_delivery: None,
+                is_handoff: false,
+            },
+            ReconnectRecord {
+                at: SimTime::from_millis(500),
+                from: Some(BrokerId(0)),
+                to: BrokerId(1),
+                first_delivery: None,
+                is_handoff: true,
+            },
+        ];
+        let disconnects = vec![DisconnectRecord {
+            at: SimTime::from_millis(200),
+            broker: BrokerId(0),
+            proclaimed_dest: None,
+        }];
+        let logs = [ClientHandoverLog {
+            client: ClientId(0),
+            filter: &filter,
+            disconnects: &disconnects,
+            reconnects: &reconnects,
+            deliveries: &[],
+        }];
+        let ledger = HandoverLedger::assemble(&[], &logs, &[]);
+        assert_eq!(
+            ledger.len(),
+            1,
+            "the action-driven initial attach is not a handover"
+        );
+        assert_eq!(ledger.records[0].from, BrokerId(0));
+        assert_eq!(ledger.records[0].to, BrokerId(1));
+    }
+
+    #[test]
+    fn initial_attach_plus_trailing_park_pair_by_time_not_by_count() {
+        // Equal-length lists that must NOT pair index-to-index: the first
+        // reconnect is an initial attach (precedes every disconnect) and the
+        // last disconnect is a park (never followed by a reconnect).
+        let filter = Filter::single("g", Op::Eq, 1i64);
+        let reconnects = vec![
+            ReconnectRecord {
+                at: SimTime::from_millis(10),
+                from: None,
+                to: BrokerId(0),
+                first_delivery: None,
+                is_handoff: false,
+            },
+            ReconnectRecord {
+                at: SimTime::from_millis(500),
+                from: Some(BrokerId(0)),
+                to: BrokerId(1),
+                first_delivery: None,
+                is_handoff: true,
+            },
+        ];
+        let disconnects = vec![
+            DisconnectRecord {
+                at: SimTime::from_millis(200),
+                broker: BrokerId(0),
+                proclaimed_dest: None,
+            },
+            DisconnectRecord {
+                at: SimTime::from_millis(900),
+                broker: BrokerId(1),
+                proclaimed_dest: None,
+            },
+        ];
+        let logs = [ClientHandoverLog {
+            client: ClientId(0),
+            filter: &filter,
+            disconnects: &disconnects,
+            reconnects: &reconnects,
+            deliveries: &[],
+        }];
+        let ledger = HandoverLedger::assemble(&[], &logs, &[]);
+        assert_eq!(ledger.len(), 1);
+        let r = &ledger.records[0];
+        assert_eq!(r.departed, SimTime::from_millis(200));
+        assert_eq!(r.arrived, SimTime::from_millis(500));
+        assert!(r.departed <= r.arrived, "windows never run backwards");
     }
 }

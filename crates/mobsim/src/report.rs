@@ -7,9 +7,9 @@
 
 use std::fmt::Write as _;
 
-use crate::experiments::{FigureResult, MatrixResult};
+use crate::experiments::{FigureResult, MatrixResult, ProclaimedCompareResult};
 use crate::json::Json;
-use crate::metrics::RunResult;
+use crate::metrics::{HandoverKind, RunResult};
 
 /// Render one figure as two fixed-width tables (overhead panel and delay
 /// panel), in the same orientation as the paper's plots: one row per x value,
@@ -27,6 +27,48 @@ pub fn render_figure(fig: &FigureResult) -> String {
     }));
     let _ = writeln!(out, "-- reliability (lost / duplicated / out-of-order) --");
     out.push_str(&render_reliability(fig));
+    // The handover-mix panel only appears when some run actually proclaimed
+    // a move, so purely reactive figures render exactly as before.
+    if fig
+        .points
+        .iter()
+        .any(|p| p.result.proclaimed_handoffs() > 0)
+    {
+        let _ = writeln!(out, "-- handover mix (proclaimed/reactive) --");
+        out.push_str(&render_handover_mix(fig));
+    }
+    if !fig.skipped.is_empty() {
+        let _ = writeln!(
+            out,
+            "-- skipped (wall-clock budget exhausted): {} --",
+            fig.skipped.join(", ")
+        );
+    }
+    out
+}
+
+fn render_handover_mix(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    for x in x_values(fig) {
+        let _ = write!(out, "{x:>28} |");
+        for proto in fig.protocols() {
+            if let Some(p) = fig
+                .points
+                .iter()
+                .find(|p| p.protocol == proto && (p.x - x).abs() < 1e-9)
+            {
+                let _ = write!(
+                    out,
+                    " {}/{} |",
+                    p.result.proclaimed_handoffs(),
+                    p.result.reactive_handoffs()
+                );
+            } else {
+                let _ = write!(out, " - |");
+            }
+        }
+        let _ = writeln!(out);
+    }
     out
 }
 
@@ -92,8 +134,11 @@ fn render_reliability(fig: &FigureResult) -> String {
     out
 }
 
-/// JSON document for one run's metrics.
+/// JSON document for one run's metrics, including the ledger-derived
+/// handover summary (counts per kind, mean first-delivery gap per kind,
+/// buffered catch-ups).
 pub fn run_result_json(r: &RunResult) -> Json {
+    let gap = |kind| r.mean_gap_ms(kind).map(Json::Num).unwrap_or(Json::Null);
     Json::obj(vec![
         ("protocol", Json::str(&r.protocol)),
         ("handoffs", Json::UInt(r.handoffs)),
@@ -101,6 +146,18 @@ pub fn run_result_json(r: &RunResult) -> Json {
         ("overhead_per_handoff", Json::Num(r.overhead_per_handoff)),
         ("avg_handoff_delay_ms", Json::Num(r.avg_handoff_delay_ms)),
         ("delay_samples", Json::UInt(r.delay_samples)),
+        (
+            "handover",
+            Json::obj(vec![
+                ("proclaimed", Json::UInt(r.proclaimed_handoffs())),
+                ("reactive", Json::UInt(r.reactive_handoffs())),
+                ("proclaimed_gap_ms", gap(HandoverKind::Proclaimed)),
+                ("reactive_gap_ms", gap(HandoverKind::Reactive)),
+                ("buffered", Json::UInt(r.ledger.total_buffered())),
+                ("ledger_lost", Json::UInt(r.ledger.total_lost())),
+                ("ledger_duplicates", Json::UInt(r.ledger.total_duplicates())),
+            ]),
+        ),
         (
             "audit",
             Json::obj(vec![
@@ -120,7 +177,9 @@ pub fn run_result_json(r: &RunResult) -> Json {
 }
 
 /// Serialise a figure to pretty JSON (written next to EXPERIMENTS.md so the
-/// numbers in the write-up can be regenerated).
+/// numbers in the write-up can be regenerated). Budget-skipped points are
+/// listed under `"skipped"` so a truncated sweep is distinguishable from a
+/// complete one.
 pub fn to_json(fig: &FigureResult) -> String {
     Json::obj(vec![
         ("name", Json::str(&fig.name)),
@@ -140,6 +199,10 @@ pub fn to_json(fig: &FigureResult) -> String {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "skipped",
+            Json::Arr(fig.skipped.iter().map(Json::str).collect()),
         ),
     ])
     .pretty()
@@ -197,24 +260,98 @@ pub fn render_matrix(matrix: &MatrixResult) -> String {
 
 /// Serialise the matrix to pretty JSON. `mobility` is the parameter-point
 /// label (e.g. `"random-waypoint(pause=60s)"`), `model` the bare kind label.
+/// Budget-skipped cells are listed under `"skipped"`.
 pub fn matrix_to_json(matrix: &MatrixResult) -> String {
-    Json::obj(vec![(
-        "points",
-        Json::Arr(
-            matrix
-                .points
-                .iter()
-                .map(|p| {
-                    Json::obj(vec![
-                        ("mobility", Json::str(p.mobility.to_string())),
-                        ("model", Json::str(p.mobility.label())),
-                        ("protocol", Json::str(&p.protocol)),
-                        ("result", run_result_json(&p.result)),
-                    ])
-                })
-                .collect(),
+    Json::obj(vec![
+        (
+            "points",
+            Json::Arr(
+                matrix
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("mobility", Json::str(p.mobility.to_string())),
+                            ("model", Json::str(p.mobility.label())),
+                            ("protocol", Json::str(&p.protocol)),
+                            ("result", run_result_json(&p.result)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
-    )])
+        (
+            "skipped",
+            Json::Arr(matrix.skipped.iter().map(Json::str).collect()),
+        ),
+    ])
+    .pretty()
+}
+
+/// Render the reactive-vs-proclaimed comparison as a fixed-width table: one
+/// row per protocol, the paired per-handover first-delivery gaps, the
+/// reduction the proclamation bought, and the paired overhead.
+pub fn render_proclaimed(cmp: &ProclaimedCompareResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== reactive (§4.2) vs proclaimed (§4.1) handovers ==");
+    let _ = writeln!(
+        out,
+        "{:>12} | {:>16} | {:>17} | {:>9} | {:>14} | {:>14}",
+        "protocol",
+        "reactive gap ms",
+        "proclaimed gap ms",
+        "reduction",
+        "reactive ovh",
+        "proclaimed ovh"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(96));
+    for p in &cmp.points {
+        let _ = writeln!(
+            out,
+            "{:>12} | {:>16.1} | {:>17.1} | {:>8.0}% | {:>14.1} | {:>14.1}",
+            p.protocol,
+            p.reactive_gap_ms(),
+            p.proclaimed_gap_ms(),
+            p.gap_reduction() * 100.0,
+            p.reactive.overhead_per_handoff,
+            p.proclaimed.overhead_per_handoff,
+        );
+    }
+    if !cmp.skipped.is_empty() {
+        let _ = writeln!(
+            out,
+            "-- skipped (wall-clock budget exhausted): {} --",
+            cmp.skipped.join(", ")
+        );
+    }
+    out
+}
+
+/// Serialise the reactive-vs-proclaimed comparison to pretty JSON.
+/// Budget-skipped protocol pairs are listed under `"skipped"`.
+pub fn proclaimed_to_json(cmp: &ProclaimedCompareResult) -> String {
+    Json::obj(vec![
+        (
+            "points",
+            Json::Arr(
+                cmp.points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("protocol", Json::str(&p.protocol)),
+                            ("gap_reduction", Json::Num(p.gap_reduction())),
+                            ("reactive", run_result_json(&p.reactive)),
+                            ("proclaimed", run_result_json(&p.proclaimed)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "skipped",
+            Json::Arr(cmp.skipped.iter().map(Json::str).collect()),
+        ),
+    ])
     .pretty()
 }
 
@@ -251,6 +388,35 @@ mod tests {
         assert!(text.contains("50"));
         let json = to_json(&fig);
         assert!(json.contains("\"figure5\""));
+    }
+
+    #[test]
+    fn proclaimed_runs_render_the_handover_dimension() {
+        use crate::experiments::proclaimed_comparison_in;
+        let proclaimed_base = base().with_proclaimed_fraction(1.0);
+        let fig = figure5_in(&ProtocolRegistry::builtin(), &proclaimed_base, &[20.0], 2);
+        let text = render_figure(&fig);
+        assert!(
+            text.contains("handover mix"),
+            "proclaimed figure renders the mix panel:\n{text}"
+        );
+        let json = to_json(&fig);
+        assert!(json.contains("\"proclaimed\""), "{json}");
+        assert!(json.contains("\"proclaimed_gap_ms\""), "{json}");
+        assert!(json.contains("\"skipped\": []"), "{json}");
+
+        // Purely reactive figures render without the panel.
+        let reactive = figure5_in(&ProtocolRegistry::builtin(), &base(), &[20.0], 2);
+        assert!(!render_figure(&reactive).contains("handover mix"));
+
+        let cmp = proclaimed_comparison_in(&ProtocolRegistry::builtin(), &base(), 2);
+        let table = render_proclaimed(&cmp);
+        assert!(
+            table.contains("MHH") && table.contains("reduction"),
+            "{table}"
+        );
+        let cjson = proclaimed_to_json(&cmp);
+        assert!(cjson.contains("\"gap_reduction\""));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use mhh_simnet::{SimDuration, TrafficClass};
 
 use crate::builder::SimError;
 use crate::config::{Protocol, ScenarioConfig};
-use crate::metrics::RunResult;
+use crate::metrics::{ClientHandoverLog, HandoverLedger, RunResult};
 use crate::protocols::{ProtocolRegistry, ProtocolSpec};
 use crate::workload::Workload;
 
@@ -126,15 +126,24 @@ fn collect<P: MobilityProtocol>(
         .collect();
     let audit_result = audit(&published, &subscriber_logs, &buffered);
 
-    // The paper's metrics.
-    let handoffs: u64 = dep.clients().map(|c| c.handoff_count() as u64).sum();
-    let delays: Vec<f64> = dep.clients().flat_map(|c| c.handoff_delays()).collect();
+    // The per-handover ledger; the paper's aggregate metrics derive from it.
+    let handover_logs: Vec<ClientHandoverLog<'_>> = dep
+        .clients()
+        .zip(logs.iter())
+        .map(|(c, (_, filter, recs))| ClientHandoverLog {
+            client: c.id,
+            filter,
+            disconnects: &c.disconnects,
+            reconnects: &c.reconnects,
+            deliveries: recs,
+        })
+        .collect();
+    let ledger = HandoverLedger::assemble(&published, &handover_logs, &buffered);
+
+    let handoffs = ledger.handoff_count();
+    let delays = ledger.delays_ms();
     let delay_samples = delays.len() as u64;
-    let avg_delay = if delays.is_empty() {
-        0.0
-    } else {
-        delays.iter().sum::<f64>() / delays.len() as f64
-    };
+    let avg_delay = ledger.mean_delay_ms();
     let stats = dep.engine.stats();
     let mobility_hops = stats.mobility_hops();
     let overhead = if handoffs == 0 {
@@ -152,6 +161,7 @@ fn collect<P: MobilityProtocol>(
         avg_handoff_delay_ms: avg_delay,
         delay_samples,
         audit: audit_result,
+        ledger,
         published: published.len() as u64,
         delivered_messages,
         total_hops: stats.total_hops(),

@@ -44,6 +44,43 @@ pub fn registry() -> Vec<Scenario> {
             config: ScenarioConfig::paper_defaults(),
         },
         Scenario {
+            name: "paper-fig5-proclaimed",
+            summary: "The Figure 5 environment with every move proclaimed (§4.1): \
+                      the paired counterpart of paper-fig5 for reactive-vs-proclaimed \
+                      comparisons on the identical move schedule.",
+            config: ScenarioConfig::paper_defaults().with_proclaimed_fraction(1.0),
+        },
+        Scenario {
+            name: "vehicular-commute",
+            summary: "Road-network commuting: street-grid movement at commute pace, \
+                      every handoff between adjacent cells and proclaimed ahead \
+                      (the next cell is predictable on a road).",
+            config: ScenarioConfig {
+                mobile_fraction: 0.3,
+                conn_mean_s: 45.0,
+                disc_mean_s: 20.0,
+                publish_interval_s: 120.0,
+                mobility: ModelKind::ManhattanGrid,
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
+            name: "platoon-convoy",
+            summary: "Vehicle platoons sharing one trajectory with jittered \
+                      departures: bulk migration of whole groups into the same \
+                      destination broker, proclaimed ahead.",
+            config: ScenarioConfig {
+                mobile_fraction: 0.5,
+                conn_mean_s: 90.0,
+                disc_mean_s: 30.0,
+                mobility: ModelKind::GroupPlatoon {
+                    platoon_size: 5,
+                    jitter_s: 10.0,
+                },
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
             name: "manhattan-rush-hour",
             summary: "Street-grid movement with short connection periods: many cheap \
                       adjacent-broker handoffs in quick succession.",
@@ -182,5 +219,26 @@ mod tests {
             find("paper-fig5").unwrap().config.mobility.label(),
             "uniform-random"
         );
+        assert_eq!(
+            find("vehicular-commute").unwrap().config.mobility.label(),
+            "manhattan-grid"
+        );
+        assert_eq!(
+            find("platoon-convoy").unwrap().config.mobility.label(),
+            "group-platoon"
+        );
+    }
+
+    #[test]
+    fn proclaimed_preset_pairs_with_the_reactive_figure_preset() {
+        let reactive = find("paper-fig5").unwrap().config;
+        let proclaimed = find("paper-fig5-proclaimed").unwrap().config;
+        assert_eq!(reactive.proclaimed_fraction, 0.0);
+        assert_eq!(proclaimed.proclaimed_fraction, 1.0);
+        // Same seed and environment: the move schedules are identical, so
+        // runs of the two presets are a paired §4.1-vs-§4.2 comparison.
+        assert_eq!(reactive.seed, proclaimed.seed);
+        assert_eq!(reactive.grid_side, proclaimed.grid_side);
+        assert_eq!(reactive.conn_mean_s, proclaimed.conn_mean_s);
     }
 }

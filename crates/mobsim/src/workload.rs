@@ -37,6 +37,9 @@ pub struct Workload {
     pub publish_count: usize,
     /// Number of disconnect/reconnect pairs scheduled.
     pub move_count: usize,
+    /// How many of the scheduled moves are proclaimed (§4.1) — the model's
+    /// own decision plus the scenario's `proclaimed_fraction` override.
+    pub proclaimed_count: usize,
 }
 
 impl Workload {
@@ -56,7 +59,9 @@ impl Workload {
         let mut timeline = Vec::new();
         let mut publish_count = 0usize;
         let mut move_count = 0usize;
+        let mut proclaimed_count = 0usize;
         let horizon = config.duration_s;
+        let proclaimed_fraction = config.proclaimed_fraction.clamp(0.0, 1.0);
 
         let mut event_id = 1u64;
         for (i, spec) in clients.iter().enumerate() {
@@ -89,18 +94,29 @@ impl Workload {
             // exactly the clients its records mention.
             if spec.mobile || model.drives_all_clients() {
                 let trace = model.trace(&world, client.0, spec.home.0, crng.next_u64());
+                // The proclamation override draws from a stream forked *after*
+                // the trace seed, so enabling it never perturbs the move
+                // schedule itself — proclaimed and reactive runs of the same
+                // scenario seed are paired move for move.
+                let mut prng = crng.fork(0x5052_4f43);
                 for MoveStep {
                     depart_s,
                     arrive_s,
                     to,
+                    proclaimed,
                     ..
                 } in trace.steps
                 {
+                    let proclaimed = proclaimed
+                        || (proclaimed_fraction > 0.0 && prng.chance(proclaimed_fraction));
+                    if proclaimed {
+                        proclaimed_count += 1;
+                    }
                     timeline.push(TimelineEntry {
                         at: SimTime::ZERO + SimDuration::from_secs_f64(depart_s),
                         client,
                         action: ClientAction::Disconnect {
-                            proclaimed_dest: None,
+                            proclaimed_dest: proclaimed.then_some(BrokerId(to)),
                         },
                     });
                     timeline.push(TimelineEntry {
@@ -114,7 +130,8 @@ impl Workload {
                 }
                 // A trailing departure with no in-horizon return: the client
                 // ends the run disconnected (paper steady state), leaving
-                // its stored events pending.
+                // its stored events pending. A parked departure has no
+                // destination, so it is always silent.
                 if let Some(depart_s) = trace.park_depart_s {
                     timeline.push(TimelineEntry {
                         at: SimTime::ZERO + SimDuration::from_secs_f64(depart_s),
@@ -132,6 +149,7 @@ impl Workload {
             timeline,
             publish_count,
             move_count,
+            proclaimed_count,
         }
     }
 }
@@ -272,6 +290,62 @@ mod tests {
             .map(|e| e.at)
             .collect();
         assert_ne!(a_moves, b_moves);
+    }
+
+    #[test]
+    fn proclaimed_fraction_flags_moves_without_perturbing_the_schedule() {
+        let reactive = Workload::generate(&small());
+        let proclaimed = Workload::generate(&ScenarioConfig {
+            proclaimed_fraction: 1.0,
+            ..small()
+        });
+        // Identical move schedule (paired comparison), different flags.
+        assert_eq!(reactive.move_count, proclaimed.move_count);
+        assert_eq!(reactive.timeline.len(), proclaimed.timeline.len());
+        assert_eq!(reactive.proclaimed_count, 0, "uniform-random stays silent");
+        assert_eq!(proclaimed.proclaimed_count, proclaimed.move_count);
+        for (r, p) in reactive.timeline.iter().zip(&proclaimed.timeline) {
+            assert_eq!(r.at, p.at);
+            assert_eq!(r.client, p.client);
+        }
+        // Every proclaimed destination matches the broker actually
+        // reconnected to next.
+        let mut dests: std::collections::BTreeMap<ClientId, Vec<BrokerId>> = Default::default();
+        let mut reconnects: std::collections::BTreeMap<ClientId, Vec<BrokerId>> =
+            Default::default();
+        let mut sorted = proclaimed.timeline.clone();
+        sorted.sort_by_key(|e| e.at);
+        for e in &sorted {
+            match e.action {
+                ClientAction::Disconnect {
+                    proclaimed_dest: Some(d),
+                } => dests.entry(e.client).or_default().push(d),
+                ClientAction::Reconnect { broker } => {
+                    reconnects.entry(e.client).or_default().push(broker)
+                }
+                _ => {}
+            }
+        }
+        for (client, ds) in &dests {
+            assert_eq!(
+                ds, &reconnects[client],
+                "client {client} proclaims truthfully"
+            );
+        }
+    }
+
+    #[test]
+    fn predictable_models_proclaim_on_their_own() {
+        let cfg = ScenarioConfig {
+            mobility: mhh_mobility::ModelKind::ManhattanGrid,
+            ..small()
+        };
+        let w = Workload::generate(&cfg);
+        assert!(w.move_count > 0);
+        assert_eq!(
+            w.proclaimed_count, w.move_count,
+            "street-grid moves are predictable and proclaim without any override"
+        );
     }
 
     #[test]

@@ -34,20 +34,35 @@ pub struct DeliveryRecord {
     pub published_at: SimTime,
 }
 
-/// One reconnection of a mobile client.
+/// One disconnection of a mobile client — the opening half of a handover.
+#[derive(Debug, Clone)]
+pub struct DisconnectRecord {
+    /// When the client disconnected.
+    pub at: SimTime,
+    /// The broker it physically left.
+    pub broker: BrokerId,
+    /// The destination it announced (proclaimed move, §4.1), if any.
+    pub proclaimed_dest: Option<BrokerId>,
+}
+
+/// One reconnection of a mobile client — the closing half of a handover.
 #[derive(Debug, Clone)]
 pub struct ReconnectRecord {
     /// When the client reconnected.
     pub at: SimTime,
-    /// The broker it was last attached to, if any.
+    /// The broker it was *physically* attached to before this reconnection,
+    /// if any (for a proclaimed move this is the broker it departed, not the
+    /// announced destination).
     pub from: Option<BrokerId>,
     /// The broker it attached to.
     pub to: BrokerId,
     /// When the first event after this reconnection arrived (None if the
     /// client disconnected again, or the run ended, before any event).
     pub first_delivery: Option<SimTime>,
-    /// Whether this reconnection counts as a handoff (it attached to a
-    /// different broker than the previous one).
+    /// Whether this reconnection counts as a handoff: it attached to a
+    /// broker different from the one it physically departed. A proclaimed
+    /// move to broker B followed by the reconnection at B *is* a handoff
+    /// even though the subscription migrated ahead of the client.
     pub is_handoff: bool,
 }
 
@@ -66,7 +81,14 @@ pub struct ClientNode {
     pub current_broker: Option<BrokerId>,
     /// Identifier of the last visited broker, maintained across
     /// disconnections as the silent-move handoff requires (Section 4.2).
+    /// For a proclaimed move this is the *announced destination* — the
+    /// broker the subscription migrated to, and therefore the broker a
+    /// later handoff request would have to be sent to.
     pub last_broker: Option<BrokerId>,
+    /// The broker this client physically left at its last disconnection
+    /// (unlike [`last_broker`](Self::last_broker), never redirected by a
+    /// proclamation); drives the handoff accounting.
+    pub departed_broker: Option<BrokerId>,
     /// Whether this client moves (20 % of clients in the paper's workload).
     pub mobile: bool,
     /// Events this client actually published.
@@ -75,6 +97,10 @@ pub struct ClientNode {
     pub skipped_publishes: u64,
     /// Every delivery received.
     pub received: Vec<DeliveryRecord>,
+    /// Every disconnection performed (pairs up with
+    /// [`reconnects`](Self::reconnects) to form the handover timeline; a
+    /// trailing unpaired entry is a client that ended the run disconnected).
+    pub disconnects: Vec<DisconnectRecord>,
     /// Every reconnection performed.
     pub reconnects: Vec<ReconnectRecord>,
 }
@@ -91,10 +117,12 @@ impl ClientNode {
             home_broker: home,
             current_broker: None,
             last_broker: None,
+            departed_broker: None,
             mobile: false,
             published: Vec::new(),
             skipped_publishes: 0,
             received: Vec::new(),
+            disconnects: Vec::new(),
             reconnects: Vec::new(),
         }
     }
@@ -144,8 +172,16 @@ impl ClientNode {
                 if let Some(broker) = self.current_broker.take() {
                     // For a proclaimed move the subscription migrates to the
                     // announced destination immediately, so that is the broker
-                    // a later handoff request must be sent to.
+                    // a later handoff request must be sent to. The physically
+                    // departed broker is tracked separately for the handover
+                    // accounting.
                     self.last_broker = Some(proclaimed_dest.unwrap_or(broker));
+                    self.departed_broker = Some(broker);
+                    self.disconnects.push(DisconnectRecord {
+                        at: ctx.now(),
+                        broker,
+                        proclaimed_dest,
+                    });
                     ctx.send(
                         self.book.broker_node(broker),
                         NetMsg::Disconnect {
@@ -163,14 +199,18 @@ impl ClientNode {
                     return;
                 }
                 let initial = self.last_broker.is_none();
-                let is_handoff = match self.last_broker {
+                // A handoff is a *physical* move: the client reattaches at a
+                // broker other than the one it departed. (Judging by
+                // `last_broker` would silently discount proclaimed moves,
+                // whose pointer is redirected to the destination.)
+                let is_handoff = match self.departed_broker {
                     Some(prev) => prev != broker,
                     None => false,
                 };
                 self.current_broker = Some(broker);
                 self.reconnects.push(ReconnectRecord {
                     at: ctx.now(),
-                    from: self.last_broker,
+                    from: self.departed_broker,
                     to: broker,
                     first_delivery: None,
                     is_handoff,
@@ -423,6 +463,40 @@ mod tests {
                 assert_eq!(delays.len(), 1);
                 assert!((delays[0] - 80.0).abs() < 1e-9);
                 assert_eq!(cl.received.len(), 1);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn proclaimed_move_counts_as_a_handoff_and_is_recorded() {
+        let (mut eng, book) = setup();
+        let c = book.client_node(ClientId(0));
+        eng.schedule_external(
+            SimTime::from_millis(1),
+            c,
+            NetMsg::Action(ClientAction::Disconnect {
+                proclaimed_dest: Some(BrokerId(1)),
+            }),
+        );
+        eng.schedule_external(
+            SimTime::from_millis(100),
+            c,
+            NetMsg::Action(ClientAction::Reconnect {
+                broker: BrokerId(1),
+            }),
+        );
+        eng.run_to_completion();
+        match eng.node(c) {
+            N::Client(cl) => {
+                // The protocol pointer follows the proclamation...
+                assert_eq!(cl.last_broker, Some(BrokerId(1)));
+                // ...but the handover accounting tracks the physical move.
+                assert_eq!(cl.handoff_count(), 1, "proclaimed move is a handoff");
+                assert_eq!(cl.disconnects.len(), 1);
+                assert_eq!(cl.disconnects[0].broker, BrokerId(0));
+                assert_eq!(cl.disconnects[0].proclaimed_dest, Some(BrokerId(1)));
+                assert_eq!(cl.reconnects[0].from, Some(BrokerId(0)));
             }
             _ => unreachable!(),
         }

@@ -45,7 +45,7 @@ pub mod value;
 
 pub use address::{AddressBook, BrokerId, ClientId, Peer};
 pub use broker::{Broker, BrokerCore, BrokerCtx, MobilityProtocol};
-pub use client::{ClientNode, DeliveryRecord, ReconnectRecord};
+pub use client::{ClientNode, DeliveryRecord, DisconnectRecord, ReconnectRecord};
 pub use delivery::{audit, DeliveryAudit};
 pub use deployment::{ClientSpec, Deployment, DeploymentConfig, SimNode};
 pub use dynproto::{erase, BoxedMsg, DynProtocol, ErasedProtocol};

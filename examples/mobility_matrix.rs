@@ -10,12 +10,17 @@
 //! cargo run --release --example mobility_matrix -- --json       # also dump JSON
 //! cargo run --release --example mobility_matrix -- --workers 4
 //! cargo run --release --example mobility_matrix -- --trace moves.csv
+//! cargo run --release --example mobility_matrix -- --budget-ms 30000
 //! ```
 //!
 //! `--trace FILE` replaces the built-in demo trace with a real move list:
 //! one `(time, client, from, to)` record per line (CSV or whitespace
 //! separated, `#` comments and a header line allowed). Parse errors report
 //! the offending line number.
+//!
+//! `--budget-ms N` bounds the matrix's wall-clock: cells that cannot start
+//! before the budget elapses are skipped and *recorded* in the output (and
+//! in the JSON's `skipped` array) instead of silently truncating.
 //!
 //! The protocol axis is fully data-driven: the matrix iterates the protocol
 //! registry, so protocols registered via `mhh_mobsim::protocols::register`
@@ -100,9 +105,17 @@ fn main() {
         .iter()
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1));
+    let budget_ms: Option<u64> = args
+        .iter()
+        .position(|a| a == "--budget-ms")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok());
 
     let builder = {
-        let b = Sim::scenario("paper-fig5").workers(workers);
+        let mut b = Sim::scenario("paper-fig5").workers(workers);
+        if let Some(ms) = budget_ms {
+            b = b.budget_ms(ms);
+        }
         if paper_scale {
             b
         } else {
@@ -144,6 +157,13 @@ fn main() {
     );
     let matrix = builder.matrix(&models).expect("paper-fig5 is registered");
     print!("{}", render_matrix(&matrix));
+    if !matrix.skipped.is_empty() {
+        eprintln!(
+            "budget exhausted: {} cell(s) skipped: {}",
+            matrix.skipped.len(),
+            matrix.skipped.join(", ")
+        );
+    }
 
     if dump_json {
         println!("{}", matrix_to_json(&matrix));

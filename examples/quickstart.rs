@@ -3,13 +3,59 @@
 //! registered protocols on the identical workload.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! With a scenario name as argument (`quickstart -- vehicular-commute`) it
+//! instead smoke-runs that preset at reduced scale for every registered
+//! protocol — the CI example matrix uses this to exercise new presets.
 
 use std::sync::Arc;
 
 use mhh_suite::mobility::{ModelKind, TraceRecord};
 use mhh_suite::mobsim::{protocols::ProtocolRegistry, scenarios, Sim};
 
+/// Smoke-run a named preset, scaled down, across every registered protocol.
+fn smoke(name: &str) {
+    println!("=== smoke: {name} (reduced scale) ===");
+    let results = Sim::scenario(name)
+        .grid_side(4)
+        .clients_per_broker(3)
+        .duration_s(300.0)
+        .configure(|c| {
+            c.conn_mean_s = c.conn_mean_s.min(60.0);
+            c.disc_mean_s = c.disc_mean_s.min(30.0);
+            c.publish_interval_s = c.publish_interval_s.min(30.0);
+        })
+        .run_all()
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+    for r in &results {
+        println!(
+            "  {:10} handoffs {:4} ({} proclaimed / {} reactive) | \
+             overhead/handoff {:7.1} | delay {:7.1} ms | lost {:3}",
+            r.protocol,
+            r.handoffs,
+            r.proclaimed_handoffs(),
+            r.reactive_handoffs(),
+            r.overhead_per_handoff,
+            r.avg_handoff_delay_ms,
+            r.audit.lost
+        );
+    }
+    let mhh = results
+        .iter()
+        .find(|r| r.protocol == "MHH")
+        .expect("MHH is builtin");
+    assert!(mhh.handoffs > 0, "smoke scenario must move clients");
+    assert!(mhh.reliable(), "MHH must stay reliable: {:?}", mhh.audit);
+}
+
 fn main() {
+    if let Some(name) = std::env::args().nth(1) {
+        smoke(&name);
+        return;
+    }
     println!("=== MHH quickstart ===");
 
     // The two registries the builder ties together.

@@ -6,8 +6,10 @@
 //! cargo run --release --example reproduce_figures            # both figures, reduced scale
 //! cargo run --release --example reproduce_figures -- fig5    # Figure 5 only
 //! cargo run --release --example reproduce_figures -- fig6    # Figure 6 only
+//! cargo run --release --example reproduce_figures -- handover # §4.1 vs §4.2 comparison
 //! cargo run --release --example reproduce_figures -- fig5 --paper-scale
 //! cargo run --release --example reproduce_figures -- --workers 4
+//! cargo run --release --example reproduce_figures -- --budget-ms 60000
 //! ```
 //!
 //! By default the sweeps run at a reduced scale (49 brokers, 5 clients per
@@ -15,7 +17,14 @@
 //! preserving the figure *shapes*; `--paper-scale` switches to the paper's
 //! full 100-broker / 1000-client environment (Figure 5) and 25–196 brokers
 //! (Figure 6), which takes considerably longer. `--workers N` bounds the
-//! sweep worker threads (default: all cores).
+//! sweep worker threads (default: all cores). `--budget-ms N` bounds each
+//! sweep's wall-clock: points that cannot start in time are *recorded as
+//! skipped* in the JSON output instead of silently truncating the sweep.
+//!
+//! The `handover` mode runs the proclaimed-vs-reactive comparison the
+//! paper's §4.1 motivates: every registered protocol twice on the identical
+//! move schedule (`proclaimed_fraction` 0 and 1), reporting the paired
+//! per-handover first-delivery gaps from the handover ledger.
 //!
 //! Every curve comes from the protocol registry, so a protocol registered
 //! via `mhh_mobsim::protocols::register` before the sweep gains a column in
@@ -26,7 +35,7 @@
 
 use mhh_suite::mobility::sweep::available_workers;
 use mhh_suite::mobsim::experiments::{FIG5_CONN_PERIODS_S, FIG6_GRID_SIDES};
-use mhh_suite::mobsim::report::{render_figure, to_json};
+use mhh_suite::mobsim::report::{proclaimed_to_json, render_figure, render_proclaimed, to_json};
 use mhh_suite::mobsim::{Sim, SimBuilder};
 
 /// Parse `--workers N` (defaults to all cores).
@@ -38,8 +47,24 @@ fn workers_flag(args: &[String]) -> usize {
         .unwrap_or_else(available_workers)
 }
 
-fn builder(scenario: &str, paper_scale: bool, workers: usize) -> SimBuilder {
-    let b = Sim::scenario(scenario).workers(workers);
+/// Parse `--budget-ms N` (default: unbudgeted).
+fn budget_flag(args: &[String]) -> Option<u64> {
+    args.iter()
+        .position(|a| a == "--budget-ms")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+}
+
+fn builder(
+    scenario: &str,
+    paper_scale: bool,
+    workers: usize,
+    budget_ms: Option<u64>,
+) -> SimBuilder {
+    let mut b = Sim::scenario(scenario).workers(workers);
+    if let Some(ms) = budget_ms {
+        b = b.budget_ms(ms);
+    }
     if paper_scale {
         b
     } else {
@@ -50,17 +75,39 @@ fn builder(scenario: &str, paper_scale: bool, workers: usize) -> SimBuilder {
     }
 }
 
+fn report_skipped(skipped: &[String]) {
+    if !skipped.is_empty() {
+        println!(
+            "budget exhausted: {} point(s) skipped: {}",
+            skipped.len(),
+            skipped.join(", ")
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
     let workers = workers_flag(&args);
+    let budget_ms = budget_flag(&args);
+    let modes = ["fig5", "fig6", "handover"];
+    let explicit = args.iter().any(|a| modes.contains(&a.as_str()));
+    // Without an explicit mode the example keeps its documented default:
+    // both figures. The handover comparison is opt-in.
     let want = |name: &str| {
-        !args.iter().any(|a| a == "fig5" || a == "fig6") || args.iter().any(|a| a == name)
+        if explicit {
+            args.iter().any(|a| a == name)
+        } else {
+            name != "handover"
+        }
     };
 
     println!(
-        "running at {} scale with {workers} workers",
-        if paper_scale { "paper" } else { "reduced" }
+        "running at {} scale with {workers} workers{}",
+        if paper_scale { "paper" } else { "reduced" },
+        budget_ms
+            .map(|ms| format!(", {ms} ms budget per sweep"))
+            .unwrap_or_default()
     );
 
     if want("fig5") {
@@ -69,10 +116,11 @@ fn main() {
         } else {
             &[1.0, 10.0, 100.0, 1_000.0]
         };
-        let fig = builder("paper-fig5", paper_scale, workers)
+        let fig = builder("paper-fig5", paper_scale, workers, budget_ms)
             .figure5(conn)
             .expect("paper-fig5 is registered");
         println!("{}", render_figure(&fig));
+        report_skipped(&fig.skipped);
         std::fs::write("figure5.json", to_json(&fig)).expect("write figure5.json");
         println!("wrote figure5.json");
     }
@@ -82,11 +130,21 @@ fn main() {
         } else {
             &[5, 7, 10]
         };
-        let fig = builder("paper-fig6", paper_scale, workers)
+        let fig = builder("paper-fig6", paper_scale, workers, budget_ms)
             .figure6(sides)
             .expect("paper-fig6 is registered");
         println!("{}", render_figure(&fig));
+        report_skipped(&fig.skipped);
         std::fs::write("figure6.json", to_json(&fig)).expect("write figure6.json");
         println!("wrote figure6.json");
+    }
+    if want("handover") {
+        let cmp = builder("paper-fig5", paper_scale, workers, budget_ms)
+            .compare_proclaimed()
+            .expect("paper-fig5 is registered");
+        println!("{}", render_proclaimed(&cmp));
+        report_skipped(&cmp.skipped);
+        std::fs::write("handover.json", proclaimed_to_json(&cmp)).expect("write handover.json");
+        println!("wrote handover.json");
     }
 }
