@@ -1,11 +1,14 @@
-//! Micro-benchmark of the raw discrete-event engine throughput.
+//! Micro-benchmarks of the raw discrete-event engine throughput and of the
+//! fabric dispatch cost: the old two-virtual-call `latency()` + `hops()`
+//! pair against the unified single-call `link()` fast path the engine now
+//! uses.
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mhh_simnet::{
-    Context, Engine, Envelope, Message, Node, NodeId, SimDuration, SimTime, TrafficClass,
-    UniformFabric,
+    Context, Engine, Envelope, Fabric, GridFabric, Message, Network, Node, NodeId, SimDuration,
+    SimTime, TrafficClass, UniformFabric,
 };
 
 #[derive(Debug, Clone)]
@@ -53,5 +56,38 @@ fn micro_engine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, micro_engine);
+/// Old vs new fabric dispatch on the engine's hot path, both through
+/// `Arc<dyn Fabric>` as the engine holds it: `latency()` + `hops()` was two
+/// virtual calls per message; `link()` answers both in one.
+fn micro_fabric_dispatch(c: &mut Criterion) {
+    let fabric: Arc<dyn Fabric> =
+        Arc::new(GridFabric::paper_defaults(Arc::new(Network::grid(10, 7))));
+    let pairs: Vec<(NodeId, NodeId)> = (0..100u32)
+        .map(|i| (NodeId(i), NodeId((i * 37 + 11) % 100)))
+        .collect();
+
+    let mut group = c.benchmark_group("fabric_dispatch");
+    group.bench_function("two_call_latency_plus_hops", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(from, to) in &pairs {
+                acc += fabric.latency(from, to).as_micros() + fabric.hops(from, to) as u64;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("single_call_link", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(from, to) in &pairs {
+                let cost = fabric.link(from, to, SimTime::ZERO, 0);
+                acc += cost.latency.as_micros() + cost.hops as u64;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, micro_engine, micro_fabric_dispatch);
 criterion_main!(benches);

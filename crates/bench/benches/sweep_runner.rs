@@ -116,6 +116,7 @@ fn sweep_runner(c: &mut Criterion) {
                 ("x", Json::Num(conn)),
                 ("protocol", Json::str(spec.label())),
                 ("mobility", Json::str(base.mobility.to_string())),
+                ("topology", Json::str(base.topology.to_string())),
                 ("serial_wall_s", Json::Num(serial_wall_s[i])),
                 ("parallel_wall_s", Json::Num(parallel[i].1)),
             ])
@@ -126,6 +127,7 @@ fn sweep_runner(c: &mut Criterion) {
     let doc = Json::obj(vec![
         ("bench", Json::str("sweep_runner/figure5")),
         ("scenario_points", Json::UInt(points as u64)),
+        ("topology", Json::str(base.topology.to_string())),
         ("workers", Json::UInt(workers as u64)),
         ("serial_wall_s", Json::Num(serial_s)),
         ("parallel_wall_s", Json::Num(parallel_s)),

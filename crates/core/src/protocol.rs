@@ -188,6 +188,28 @@ fn stream_batch(st: &mut MhhClient, core: &mut BrokerCore, client: ClientId, ctx
     );
 }
 
+/// Close a path broker's capture window: ship the TQ contents to the
+/// migration destination and pass the `deliver_TQ` chain on to the next
+/// hop. Only called once the next hop's `sub_migration_ack` has arrived
+/// (every old-direction in-transit event precedes the ack, per-link FIFO),
+/// so the queue is complete.
+fn flush_tq(st: &mut MhhClient, _core: &mut BrokerCore, client: ClientId, ctx: &mut Ctx<'_>) {
+    let Some(mut tq) = st.tq.take() else { return };
+    let dest = tq.dest;
+    let events = tq.queue.drain();
+    if !events.is_empty() {
+        ctx.send_protocol(
+            dest,
+            MhhMsg::PqTransfer {
+                client,
+                events,
+                stage: TransferStage::Tq,
+            },
+        );
+    }
+    ctx.send_protocol(tq.next, MhhMsg::DeliverTq { client, dest });
+}
+
 /// Drain the next PQ-list element at a destination broker. Local elements
 /// are delivered (or parked) immediately; the first remote element triggers a
 /// `drain_request` and the walk pauses until `drain_complete` arrives.
@@ -526,6 +548,8 @@ impl MobilityProtocol for Mhh {
                         queue: EventQueue::new(core.alloc_pq_id(client), QueueKind::Temporary),
                         next,
                         dest,
+                        acked: false,
+                        deliver_pending: None,
                     });
                     ctx.send_protocol(from, MhhMsg::SubMigrationAck { client });
                     let cancel = !filter_needed_excluding(
@@ -553,6 +577,21 @@ impl MobilityProtocol for Mhh {
                 // flushed into our queue (FIFO), so stop accepting events for
                 // the client here.
                 core.filters.remove(Peer::Client(client), &filter);
+                // Path broker: the capture window is now safely closed — but
+                // only an ack from *this* TQ's next hop closes it (a broker
+                // can be origin of an older migration and path broker of a
+                // newer one for the same client at once; the older ack must
+                // not close the newer window). If the deliver_TQ chain
+                // outran the ack (possible under link jitter), it parked
+                // itself — resume it now.
+                if let Some(tq) = st.tq.as_mut() {
+                    if from == tq.next {
+                        tq.acked = true;
+                        if tq.deliver_pending.take().is_some() {
+                            flush_tq(st, core, client, ctx);
+                        }
+                    }
+                }
                 if let Some(ob) = st.outbound.take() {
                     // We are the origin: start event migration. The leading
                     // locally-held PQ-list elements are streamed in paced
@@ -586,19 +625,24 @@ impl MobilityProtocol for Mhh {
                             finalize_dest(st, core, client, ctx);
                         }
                     }
-                } else if let Some(mut tq) = st.tq.take() {
-                    let events = tq.queue.drain();
-                    if !events.is_empty() {
-                        ctx.send_protocol(
-                            dest,
-                            MhhMsg::PqTransfer {
-                                client,
-                                events,
-                                stage: TransferStage::Tq,
-                            },
-                        );
+                } else if st.tq.as_ref().is_some_and(|tq| tq.dest == dest) {
+                    // (A deliver_TQ whose dest differs belongs to an older
+                    // migration whose TQ was overwritten; it falls through to
+                    // the chain-forwarding arm so *its* chain stays alive
+                    // instead of hijacking the newer TQ.)
+                    let tq = st.tq.as_mut().expect("checked above");
+                    if !tq.acked {
+                        // The chain outran the next hop's ack (link jitter):
+                        // old-direction events from the next hop may still be
+                        // in flight, and FIFO only guarantees they precede
+                        // the *ack*. Park the chain until it arrives — the
+                        // capture window must not close early, or the
+                        // stragglers would be dropped as stale (the exact
+                        // loss the FIFO-under-jitter property test caught).
+                        tq.deliver_pending = Some(dest);
+                    } else {
+                        flush_tq(st, core, client, ctx);
                     }
-                    ctx.send_protocol(tq.next, MhhMsg::DeliverTq { client, dest });
                 } else {
                     // No TQ here (nothing was captured); keep the chain going.
                     let next = core.next_hop_to(dest);

@@ -32,6 +32,16 @@ pub struct TqState {
     pub next: BrokerId,
     /// The migration destination.
     pub dest: BrokerId,
+    /// Whether the next hop's `sub_migration_ack` has arrived. The capture
+    /// window may only close after it: FIFO guarantees every old-direction
+    /// in-transit event from the next hop precedes the ack, so flushing
+    /// earlier would strand stragglers. Under constant latency the ack
+    /// always beats the `deliver_TQ` chain; under link jitter the chain can
+    /// arrive first and must wait (see `deliver_pending`).
+    pub acked: bool,
+    /// A `deliver_TQ` that arrived before the ack, parked until the capture
+    /// window can close (the destination it carried).
+    pub deliver_pending: Option<BrokerId>,
 }
 
 /// This broker is the origin of an outbound migration and is waiting for the
@@ -279,6 +289,8 @@ mod tests {
             queue: tq,
             next: BrokerId(1),
             dest: BrokerId(2),
+            acked: false,
+            deliver_pending: None,
         });
         let mut dest = DestState::new(BrokerId(3), Filter::match_all(), true, q(2), q(3));
         dest.imm

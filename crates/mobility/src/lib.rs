@@ -61,6 +61,7 @@ pub mod sweep;
 pub mod trace;
 
 pub use kind::ModelKind;
+pub use mhh_simnet::TopologyKind;
 pub use models::{
     GroupPlatoon, HotspotCommuter, ManhattanGrid, RandomWaypoint, TracePlayback, TraceRecord,
     UniformRandom,

@@ -87,8 +87,28 @@ impl Default for RandomWaypoint {
     }
 }
 
+/// One step from `cur` toward `target` on an arbitrary topology: choose
+/// uniformly among the physical neighbors that strictly reduce the
+/// shortest-path distance (there is always at least one on a connected
+/// graph when `cur != target`).
+fn step_toward_graph(rng: &mut DetRng, world: &MobilityWorld, cur: u32, target: u32) -> u32 {
+    let here = world.distance(cur, target);
+    let options: Vec<u32> = world
+        .neighbors(cur)
+        .into_iter()
+        .filter(|&n| world.distance(n, target) < here)
+        .collect();
+    debug_assert!(
+        !options.is_empty(),
+        "step_toward_graph called at the target"
+    );
+    options[rng.index(options.len())]
+}
+
 /// One grid step from `cur` toward `target`, choosing uniformly between the
-/// row-wise and column-wise moves when both reduce the distance.
+/// row-wise and column-wise moves when both reduce the distance. Kept as the
+/// plain-grid path (cell math, pre-refactor RNG stream); non-grid worlds go
+/// through [`step_toward_graph`].
 fn step_toward(rng: &mut DetRng, cur: u32, target: u32, side: usize) -> u32 {
     let (r, c) = grid::cell(cur, side);
     let (tr, tc) = grid::cell(target, side);
@@ -119,6 +139,7 @@ impl MobilityModel for RandomWaypoint {
         tb.proclaiming(true);
         let count = world.broker_count();
         if count >= 2 {
+            let on_grid = world.is_grid();
             let mut rng = DetRng::new(seed);
             let mut waypoint = random_other(&mut rng, home, count);
             let mut pause = 0.0f64;
@@ -127,7 +148,11 @@ impl MobilityModel for RandomWaypoint {
                     pause = rng.exponential(self.pause_mean_s);
                     waypoint = random_other(&mut rng, tb.position(), count);
                 }
-                let to = step_toward(&mut rng, tb.position(), waypoint, world.grid_side);
+                let to = if on_grid {
+                    step_toward(&mut rng, tb.position(), waypoint, world.grid_side())
+                } else {
+                    step_toward_graph(&mut rng, world, tb.position(), waypoint)
+                };
                 let dwell = rng.exponential(world.conn_mean_s) + pause;
                 pause = 0.0;
                 let gap = rng.exponential(world.disc_mean_s);
@@ -181,9 +206,12 @@ impl MobilityModel for ManhattanGrid {
         // before departure, so every move is proclaimed (§4.1) — this is the
         // road-network predictability argument of the mix-zones literature.
         tb.proclaiming(true);
-        let side = world.grid_side;
-        if world.broker_count() >= 2 {
-            let mut rng = DetRng::new(seed);
+        if world.broker_count() < 2 {
+            return tb.finish();
+        }
+        let mut rng = DetRng::new(seed);
+        if world.is_grid() {
+            let side = world.grid_side();
             let mut heading = DIRS[rng.index(4)];
             loop {
                 // Keep going straight with p=1/2, turn with p=1/4 each; fall
@@ -210,6 +238,37 @@ impl MobilityModel for ManhattanGrid {
                 if !tb.move_after(dwell, gap, to) {
                     break;
                 }
+            }
+        } else {
+            // Any other topology: the "street" is the physical adjacency.
+            // Momentum is "don't turn back": hop to a uniformly chosen
+            // neighbor other than the cell just left, falling back to a
+            // U-turn only in a dead end. Every hop is still adjacent and
+            // announced before departure.
+            let mut prev: Option<u32> = None;
+            loop {
+                let here = tb.position();
+                let neighbors = world.neighbors(here);
+                let forward: Vec<u32> = neighbors
+                    .iter()
+                    .copied()
+                    .filter(|&n| Some(n) != prev)
+                    .collect();
+                let choices = if forward.is_empty() {
+                    &neighbors
+                } else {
+                    &forward
+                };
+                if choices.is_empty() {
+                    break; // isolated station: nowhere to walk
+                }
+                let to = choices[rng.index(choices.len())];
+                let dwell = rng.exponential(world.conn_mean_s);
+                let gap = rng.exponential(world.disc_mean_s);
+                if !tb.move_after(dwell, gap, to) {
+                    break;
+                }
+                prev = Some(here);
             }
         }
         tb.finish()
@@ -471,12 +530,16 @@ mod tests {
     use crate::trace::validate_trace;
 
     fn world() -> MobilityWorld {
+        MobilityWorld::grid(5, 30.0, 20.0, 2_000.0, 99)
+    }
+
+    /// A non-grid world of the same scale (scale-free, 25 brokers).
+    fn scale_free_world() -> MobilityWorld {
         MobilityWorld {
-            grid_side: 5,
-            conn_mean_s: 30.0,
-            disc_mean_s: 20.0,
-            horizon_s: 2_000.0,
-            scenario_seed: 99,
+            topology: std::sync::Arc::new(
+                mhh_simnet::TopologyKind::ScaleFree { edges_per_node: 2 }.build(5, 99),
+            ),
+            ..world()
         }
     }
 
@@ -536,9 +599,50 @@ mod tests {
             for seed in 0..5u64 {
                 for s in model.trace(&w, 0, 12, seed).steps {
                     assert_eq!(
-                        grid::manhattan(s.from, s.to, w.grid_side),
+                        grid::manhattan(s.from, s.to, w.grid_side()),
                         1,
                         "{} hopped {} -> {}",
+                        model.name(),
+                        s.from,
+                        s.to
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_model_walks_non_grid_topologies() {
+        let w = scale_free_world();
+        for model in all_models() {
+            let home = if model.name() == "trace-playback" {
+                3
+            } else {
+                6
+            };
+            for seed in [7u64, 8, 9] {
+                let t = model.trace(&w, 0, home, seed);
+                assert!(!t.steps.is_empty(), "{}: no moves off-grid", model.name());
+                validate_trace(&w, home, &t)
+                    .unwrap_or_else(|e| panic!("{}: invalid off-grid trace: {e}", model.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn street_models_hop_along_topology_edges_off_grid() {
+        // On a non-grid topology the waypoint walker and the street walker
+        // must move through *physical adjacency*, one edge per handoff.
+        let w = scale_free_world();
+        for model in [
+            Box::new(RandomWaypoint::default()) as Box<dyn MobilityModel>,
+            Box::new(ManhattanGrid),
+        ] {
+            for seed in 0..5u64 {
+                for s in model.trace(&w, 0, 12, seed).steps {
+                    assert!(
+                        w.neighbors(s.from).contains(&s.to),
+                        "{} hopped {} -> {} across a non-edge",
                         model.name(),
                         s.from,
                         s.to
@@ -569,10 +673,7 @@ mod tests {
 
     #[test]
     fn hotspot_degenerate_single_broker_world_is_empty() {
-        let w = MobilityWorld {
-            grid_side: 1,
-            ..world()
-        };
+        let w = MobilityWorld::grid(1, 30.0, 20.0, 2_000.0, 99);
         for model in all_models() {
             assert!(model.trace(&w, 0, 0, 7).is_empty(), "{}", model.name());
         }

@@ -1,14 +1,22 @@
 //! The [`MobilityModel`] trait, the move-trace data model and the
 //! invariant-enforcing [`TraceBuilder`].
 
+use std::sync::Arc;
+
+use mhh_simnet::{Network, TopologyKind};
+
 /// Static description of the world a model moves clients through.
 ///
 /// Everything a model may depend on is in here (plus the per-call seed), so
-/// traces are pure functions of `(world, client, home, seed)`.
-#[derive(Debug, Clone, PartialEq)]
+/// traces are pure functions of `(world, client, home, seed)`. The world
+/// carries the broker [`Network`] itself — built once per run and shared
+/// with the deployment — so models move via topology neighbor queries and
+/// work on any graph, not just the paper's grid.
+#[derive(Debug, Clone)]
 pub struct MobilityWorld {
-    /// Side length k of the k×k base-station grid (k² brokers).
-    pub grid_side: usize,
+    /// The broker network clients move across (physical adjacency decides
+    /// what "walking to the next cell" means for street-style models).
+    pub topology: Arc<Network>,
     /// Mean connection-period length in seconds (how long a client lingers
     /// at a broker before moving; exponentially distributed where sampled).
     pub conn_mean_s: f64,
@@ -23,9 +31,60 @@ pub struct MobilityWorld {
 }
 
 impl MobilityWorld {
-    /// Number of brokers (k²).
+    /// Convenience constructor for the paper's k×k grid world (the network
+    /// is built from `scenario_seed`, matching what the harness deploys).
+    pub fn grid(
+        grid_side: usize,
+        conn_mean_s: f64,
+        disc_mean_s: f64,
+        horizon_s: f64,
+        scenario_seed: u64,
+    ) -> Self {
+        MobilityWorld {
+            topology: Arc::new(Network::grid(grid_side, scenario_seed)),
+            conn_mean_s,
+            disc_mean_s,
+            horizon_s,
+            scenario_seed,
+        }
+    }
+
+    /// Number of brokers.
     pub fn broker_count(&self) -> usize {
-        self.grid_side * self.grid_side
+        self.topology.broker_count()
+    }
+
+    /// True when the world is the paper's plain k×k grid; grid-specific
+    /// movement (heading math, Manhattan steps) applies only then and keeps
+    /// its pre-refactor RNG streams byte for byte.
+    pub fn is_grid(&self) -> bool {
+        self.topology.is_grid()
+    }
+
+    /// Grid side length (meaningful for the grid family; the build hint
+    /// otherwise).
+    pub fn grid_side(&self) -> usize {
+        self.topology.side
+    }
+
+    /// Physical neighbors of a broker on the topology, in deterministic
+    /// adjacency order.
+    pub fn neighbors(&self, b: u32) -> Vec<u32> {
+        self.topology
+            .neighbors(b as usize)
+            .map(|n| n as u32)
+            .collect()
+    }
+
+    /// Shortest-path hop distance between two brokers on the physical
+    /// graph.
+    pub fn distance(&self, a: u32, b: u32) -> u32 {
+        self.topology.grid_distance(a as usize, b as usize)
+    }
+
+    /// The label of the topology kind this world runs on.
+    pub fn topology_kind(&self) -> &TopologyKind {
+        &self.topology.kind
     }
 }
 
@@ -277,13 +336,7 @@ mod tests {
     use super::*;
 
     fn world() -> MobilityWorld {
-        MobilityWorld {
-            grid_side: 3,
-            conn_mean_s: 10.0,
-            disc_mean_s: 5.0,
-            horizon_s: 100.0,
-            scenario_seed: 1,
-        }
+        MobilityWorld::grid(3, 10.0, 5.0, 100.0, 1)
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::time::Duration;
 
 use mhh_mobility::sweep::{available_workers, map_parallel};
 use mhh_mobility::ModelKind;
+use mhh_simnet::TopologyKind;
 
 use crate::config::ScenarioConfig;
 use crate::experiments::{
@@ -58,6 +59,13 @@ pub enum SimError {
         /// All registered protocol names.
         available: Vec<String>,
     },
+    /// No topology kind with this name.
+    UnknownTopology {
+        /// The requested name.
+        name: String,
+        /// All parseable topology names.
+        available: Vec<String>,
+    },
 }
 
 impl SimError {
@@ -77,6 +85,16 @@ impl SimError {
             available: registry.names().iter().map(|n| n.to_string()).collect(),
         }
     }
+
+    pub(crate) fn unknown_topology(name: &str) -> SimError {
+        SimError::UnknownTopology {
+            name: name.to_string(),
+            available: TopologyKind::names()
+                .iter()
+                .map(|n| n.to_string())
+                .collect(),
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -90,6 +108,12 @@ impl std::fmt::Display for SimError {
             SimError::UnknownProtocol { name, available } => write!(
                 f,
                 "unknown protocol {name:?}; registered protocols: {}",
+                available.join(", ")
+            ),
+            SimError::UnknownTopology { name, available } => write!(
+                f,
+                "unknown topology {name:?}; parseable topologies: {} \
+                 (edge lists go through ScenarioConfig::topology directly)",
                 available.join(", ")
             ),
         }
@@ -152,6 +176,52 @@ impl SimBuilder {
     /// Replace the mobility model.
     pub fn mobility(mut self, kind: ModelKind) -> Self {
         self.configure_in_place(|c| c.mobility = kind);
+        self
+    }
+
+    /// Select the network topology by name (`"grid"`, `"torus"`,
+    /// `"random-geometric"`, `"scale-free"`) with default parameters. An
+    /// unknown name surfaces as [`SimError::UnknownTopology`] from the
+    /// terminal call. Parameterized or imported topologies go through
+    /// [`topology_kind`](Self::topology_kind).
+    pub fn topology(mut self, name: &str) -> Self {
+        match TopologyKind::parse(name) {
+            Some(kind) => self.configure_in_place(|c| c.topology = kind),
+            None => {
+                if self.config.is_ok() {
+                    self.config = Err(SimError::unknown_topology(name));
+                }
+            }
+        }
+        self
+    }
+
+    /// Replace the network topology with an explicit kind (parameter
+    /// points, imported edge lists).
+    pub fn topology_kind(mut self, kind: TopologyKind) -> Self {
+        self.configure_in_place(|c| c.topology = kind);
+        self
+    }
+
+    /// Bound the per-message link jitter (milliseconds); `0` restores the
+    /// paper's constant latencies (and the byte-identical fast path).
+    pub fn jitter_ms(mut self, jitter_ms: u64) -> Self {
+        self.configure_in_place(|c| c.jitter_ms = jitter_ms);
+        self
+    }
+
+    /// Set the per-direction link asymmetry (each ordered pair's latency is
+    /// scaled by a stable factor in `[1, 1 + asymmetry]`).
+    pub fn link_asymmetry(mut self, asymmetry: f64) -> Self {
+        self.configure_in_place(|c| c.link_asymmetry = asymmetry.max(0.0));
+        self
+    }
+
+    /// Make this fraction of proclaimed moves announce a *wrong*
+    /// destination broker (client announces B, reconnects at C) —
+    /// prediction error exercising MHH's pending-handoff/abort path.
+    pub fn misproclaim_fraction(mut self, fraction: f64) -> Self {
+        self.configure_in_place(|c| c.misproclaim_fraction = fraction.clamp(0.0, 1.0));
         self
     }
 
@@ -359,6 +429,10 @@ mod tests {
     fn builder_overrides_compose() {
         let config = Sim::scenario("paper-fig5")
             .mobility(ModelKind::ManhattanGrid)
+            .topology("scale-free")
+            .jitter_ms(4)
+            .link_asymmetry(0.1)
+            .misproclaim_fraction(0.5)
             .grid_side(4)
             .clients_per_broker(2)
             .duration_s(120.0)
@@ -371,6 +445,34 @@ mod tests {
         assert_eq!(config.seed, 9);
         assert_eq!(config.publish_interval_s, 30.0);
         assert_eq!(config.mobility, ModelKind::ManhattanGrid);
+        assert_eq!(
+            config.topology,
+            TopologyKind::ScaleFree { edges_per_node: 2 }
+        );
+        assert_eq!(config.jitter_ms, 4);
+        assert_eq!(config.link_asymmetry, 0.1);
+        assert_eq!(config.misproclaim_fraction, 0.5);
+    }
+
+    #[test]
+    fn unknown_topology_surfaces_at_the_terminal_call() {
+        let err = Sim::scenario("trace-smoke")
+            .topology("mesh-of-trees")
+            .run()
+            .unwrap_err();
+        match err {
+            SimError::UnknownTopology { name, available } => {
+                assert_eq!(name, "mesh-of-trees");
+                assert!(available.iter().any(|t| t == "scale-free"));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        let shown = Sim::scenario("trace-smoke")
+            .topology("nope")
+            .run()
+            .unwrap_err()
+            .to_string();
+        assert!(shown.contains("nope") && shown.contains("torus"), "{shown}");
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Scenario configuration mirroring Section 5.1 of the paper, extended with
-//! a pluggable mobility model (`mhh-mobility`).
+//! a pluggable mobility model (`mhh-mobility`), a pluggable network
+//! topology and a variable-latency link model (`mhh-simnet`).
+
+use std::sync::Arc;
 
 use mhh_mobility::ModelKind;
+use mhh_simnet::{DegradedWindow, LinkModel, Network, SimDuration, SimTime, TopologyKind};
 
 /// Which of the paper's three protocols to run on the generic fast path
 /// ([`run_scenario`](crate::runner::run_scenario)).
@@ -46,8 +50,11 @@ impl Protocol {
 /// Full description of one simulation run.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
-    /// Grid side length k (k² base stations / brokers).
+    /// Grid side length k (k² base stations / brokers for the grid-family
+    /// and random topologies; an imported edge list brings its own count).
     pub grid_side: usize,
+    /// The network shape brokers are wired into (paper: the k×k grid).
+    pub topology: TopologyKind,
     /// Clients attached to each broker in the initial state (paper: 10).
     pub clients_per_broker: usize,
     /// Fraction of clients that move (paper: 0.2).
@@ -66,6 +73,16 @@ pub struct ScenarioConfig {
     pub wired_ms: u64,
     /// Wireless link latency in milliseconds (paper: 20 ms).
     pub wireless_ms: u64,
+    /// Maximum per-message link jitter in milliseconds (0 = the paper's
+    /// constant latencies; sampled uniformly per message, seeded).
+    pub jitter_ms: u64,
+    /// Per-direction link asymmetry: each ordered broker pair's latency is
+    /// scaled by a stable factor drawn from `[1, 1 + asymmetry]` (0 =
+    /// symmetric links).
+    pub link_asymmetry: f64,
+    /// Timed link-degradation windows as `(start_s, end_s, factor)`: during
+    /// the window every link's latency is multiplied by `factor`.
+    pub degraded_windows: Vec<(f64, f64, f64)>,
     /// Whether brokers apply the covering optimisation.
     pub covering: bool,
     /// Master random seed; every run is a pure function of it.
@@ -81,6 +98,11 @@ pub struct ScenarioConfig {
     /// paper's proclaimed handoff under the otherwise-unpredictable uniform
     /// random pattern.
     pub proclaimed_fraction: f64,
+    /// Fraction of *proclaimed* moves whose announcement is wrong: the
+    /// client announces broker B but reconnects at a different broker C
+    /// (prediction error), exercising MHH's pending-handoff/abort path.
+    /// `0.0` (the default) proclaims truthfully.
+    pub misproclaim_fraction: f64,
 }
 
 impl Default for ScenarioConfig {
@@ -95,6 +117,7 @@ impl ScenarioConfig {
     pub fn paper_defaults() -> Self {
         ScenarioConfig {
             grid_side: 10,
+            topology: TopologyKind::Grid,
             clients_per_broker: 10,
             mobile_fraction: 0.2,
             conn_mean_s: 300.0,
@@ -104,10 +127,14 @@ impl ScenarioConfig {
             duration_s: 1_800.0,
             wired_ms: 10,
             wireless_ms: 20,
+            jitter_ms: 0,
+            link_asymmetry: 0.0,
+            degraded_windows: Vec::new(),
             covering: true,
             seed: 0x4d48_485f_3230,
             mobility: ModelKind::UniformRandom,
             proclaimed_fraction: 0.0,
+            misproclaim_fraction: 0.0,
         }
     }
 
@@ -125,18 +152,48 @@ impl ScenarioConfig {
             publish_interval_s: 30.0,
             selectivity: 0.0625,
             duration_s: 600.0,
-            wired_ms: 10,
-            wireless_ms: 20,
-            covering: true,
             seed: 7,
-            mobility: ModelKind::UniformRandom,
-            proclaimed_fraction: 0.0,
+            ..ScenarioConfig::paper_defaults()
         }
     }
 
-    /// Number of brokers (k²).
+    /// Number of brokers (k² for the grid-family and random topologies; an
+    /// imported edge list brings its own count).
     pub fn broker_count(&self) -> usize {
-        self.grid_side * self.grid_side
+        self.topology.node_count(self.grid_side)
+    }
+
+    /// Build this scenario's broker network — topology, MST overlay,
+    /// distance and routing tables — deterministically from the seed. The
+    /// harness calls this **once per run** and shares the result between
+    /// the workload generator, the fabric and the deployment.
+    pub fn build_network(&self) -> Arc<Network> {
+        Arc::new(self.topology.build(self.grid_side, self.seed))
+    }
+
+    /// The link model the latency knobs describe, or `None` when links are
+    /// the paper's constants (zero jitter, symmetric, no degradation) — the
+    /// byte-identical fast path.
+    pub fn link_model(&self) -> Option<LinkModel> {
+        let model = LinkModel {
+            seed: self.seed ^ 0x4c49_4e4b_4a49_5454,
+            jitter: SimDuration::from_millis(self.jitter_ms),
+            asymmetry: self.link_asymmetry.max(0.0),
+            degraded: self
+                .degraded_windows
+                .iter()
+                .map(|&(start_s, end_s, factor)| DegradedWindow {
+                    start: SimTime::ZERO + SimDuration::from_secs_f64(start_s),
+                    end: SimTime::ZERO + SimDuration::from_secs_f64(end_s),
+                    factor,
+                })
+                .collect(),
+        };
+        if model.is_constant() {
+            None
+        } else {
+            Some(model)
+        }
     }
 
     /// Total number of clients.
@@ -160,6 +217,27 @@ impl ScenarioConfig {
     /// defers to the mobility model's own per-move decision.
     pub fn with_proclaimed_fraction(mut self, fraction: f64) -> Self {
         self.proclaimed_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Replace the network topology, keeping everything else.
+    pub fn with_topology(mut self, topology: TopologyKind) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Replace the per-message link jitter bound (milliseconds), keeping
+    /// everything else. `0` restores the paper's constant latencies.
+    pub fn with_jitter_ms(mut self, jitter_ms: u64) -> Self {
+        self.jitter_ms = jitter_ms;
+        self
+    }
+
+    /// Replace the mis-proclamation fraction (clamped to `[0, 1]`), keeping
+    /// everything else: that share of proclaimed moves announces a wrong
+    /// destination broker.
+    pub fn with_misproclaim_fraction(mut self, fraction: f64) -> Self {
+        self.misproclaim_fraction = fraction.clamp(0.0, 1.0);
         self
     }
 
@@ -208,6 +286,51 @@ mod tests {
         }
         .with_adaptive_duration(1.5);
         assert_eq!(d.duration_s, 600.0);
+    }
+
+    #[test]
+    fn default_topology_and_links_are_the_papers() {
+        let c = ScenarioConfig::paper_defaults();
+        assert_eq!(c.topology, TopologyKind::Grid);
+        assert_eq!(c.jitter_ms, 0);
+        assert!(c.link_model().is_none(), "constant links skip the wrapper");
+        assert_eq!(c.misproclaim_fraction, 0.0);
+        let net = c.build_network();
+        assert_eq!(net.broker_count(), c.broker_count());
+        assert!(net.is_grid());
+    }
+
+    #[test]
+    fn broker_count_follows_the_topology() {
+        let sf = ScenarioConfig {
+            topology: TopologyKind::ScaleFree { edges_per_node: 2 },
+            grid_side: 6,
+            ..ScenarioConfig::paper_defaults()
+        };
+        assert_eq!(sf.broker_count(), 36);
+        assert_eq!(sf.build_network().broker_count(), 36);
+        let el = ScenarioConfig {
+            topology: TopologyKind::EdgeList(Arc::new(vec![(0, 1), (1, 2)])),
+            ..ScenarioConfig::paper_defaults()
+        };
+        assert_eq!(el.broker_count(), 3, "edge lists bring their own count");
+    }
+
+    #[test]
+    fn link_knobs_produce_a_model_and_sub_zero_asymmetry_is_clamped() {
+        let c = ScenarioConfig {
+            jitter_ms: 5,
+            link_asymmetry: 0.2,
+            degraded_windows: vec![(10.0, 20.0, 3.0)],
+            ..ScenarioConfig::paper_defaults()
+        };
+        let m = c.link_model().expect("non-constant links");
+        assert_eq!(m.jitter, SimDuration::from_millis(5));
+        assert_eq!(m.degraded.len(), 1);
+        assert_eq!(m.degraded[0].start, SimTime::from_secs(10));
+        // The model seed derives from the scenario seed: same scenario,
+        // same jitter stream.
+        assert_eq!(c.link_model(), c.link_model());
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub struct ExperimentPoint {
     /// Label of the mobility model the point ran under (parameter point
     /// included, e.g. `random-waypoint(pause=60s)`).
     pub mobility: String,
+    /// Label of the network topology the point ran on (parameter point
+    /// included, e.g. `scale-free(m=2)`).
+    pub topology: String,
     /// The collected metrics.
     pub result: RunResult,
 }
@@ -162,6 +165,7 @@ pub fn figure5_budgeted_in(
             x: conn,
             protocol: spec.label().to_string(),
             mobility: config.mobility.to_string(),
+            topology: config.topology.to_string(),
             result,
         }
     });
@@ -226,9 +230,13 @@ pub fn figure6_budgeted_in(
         .with_adaptive_duration(1.5);
         let result = run_spec(&config, spec);
         ExperimentPoint {
+            // x is the swept side², not broker_count(): an EdgeList topology
+            // ignores grid_side, and identical x values would collapse the
+            // sweep's rows in every rendered panel.
             x: (side * side) as f64,
             protocol: spec.label().to_string(),
             mobility: config.mobility.to_string(),
+            topology: config.topology.to_string(),
             result,
         }
     });
@@ -253,6 +261,8 @@ pub struct MatrixPoint {
     pub mobility: ModelKind,
     /// Display label of the protocol run in this cell.
     pub protocol: String,
+    /// Label of the network topology the cell ran on.
+    pub topology: String,
     /// The collected metrics.
     pub result: RunResult,
 }
@@ -339,6 +349,7 @@ pub fn mobility_matrix_budgeted_in(
         MatrixPoint {
             mobility: kind.clone(),
             protocol: spec.label().to_string(),
+            topology: config.topology.to_string(),
             result,
         }
     });
@@ -658,7 +669,7 @@ mod tests {
             "static",
             "static",
             "no mobility support",
-            |_| Box::new(|_| erase(NoProtocol)),
+            |_, _| Box::new(|_| erase(NoProtocol)),
         ));
         let matrix = mobility_matrix_in(&registry, &tiny_base(), &[ModelKind::UniformRandom], 2);
         assert_eq!(matrix.points.len(), 4);

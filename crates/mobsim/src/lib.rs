@@ -56,8 +56,9 @@ pub use experiments::{
     figure5, figure6, mobility_matrix, proclaimed_comparison, ExperimentPoint, FigureResult,
     MatrixPoint, MatrixResult, ProclaimedComparePoint, ProclaimedCompareResult,
 };
-pub use metrics::{HandoverKind, HandoverLedger, HandoverRecord, RunResult};
+pub use metrics::{GapPercentiles, HandoverKind, HandoverLedger, HandoverRecord, RunResult};
 pub use mhh_mobility::ModelKind;
+pub use mhh_simnet::TopologyKind;
 pub use protocols::{ProtocolRegistry, ProtocolSpec};
 pub use runner::{run_named, run_scenario, run_spec};
 pub use scenarios::Scenario;

@@ -250,17 +250,45 @@ impl HandoverLedger {
     /// Mean first-delivery gap of one handover kind, or `None` when no
     /// handoff of that kind saw a delivery.
     pub fn mean_gap_ms_of(&self, kind: HandoverKind) -> Option<f64> {
-        let delays: Vec<f64> = self
-            .records
-            .iter()
-            .filter(|r| r.is_handoff && r.kind == kind)
-            .filter_map(HandoverRecord::first_delivery_gap_ms)
-            .collect();
+        let delays = self.kind_delays_ms(kind);
         if delays.is_empty() {
             None
         } else {
             Some(delays.iter().sum::<f64>() / delays.len() as f64)
         }
+    }
+
+    /// First-delivery gaps (ms) of one handover kind, in ledger order.
+    pub fn kind_delays_ms(&self, kind: HandoverKind) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.is_handoff && r.kind == kind)
+            .filter_map(HandoverRecord::first_delivery_gap_ms)
+            .collect()
+    }
+
+    /// The `q`-th percentile (`0 < q <= 100`, nearest-rank) of the
+    /// first-delivery gaps over all real handoffs that saw a delivery, or
+    /// `None` when none did. `percentile_gap_ms(50.0)` is the median.
+    pub fn percentile_gap_ms(&self, q: f64) -> Option<f64> {
+        percentile(self.delays_ms(), q)
+    }
+
+    /// The `q`-th percentile of one handover kind's first-delivery gaps.
+    pub fn percentile_gap_ms_of(&self, kind: HandoverKind, q: f64) -> Option<f64> {
+        percentile(self.kind_delays_ms(kind), q)
+    }
+
+    /// The (p50, p95, p99) first-delivery gap summary the distribution
+    /// reports print, or `None` when no handoff saw a delivery. One ledger
+    /// scan and one sort for all three ranks.
+    pub fn gap_percentiles_ms(&self) -> Option<GapPercentiles> {
+        GapPercentiles::of(self.delays_ms())
+    }
+
+    /// The (p50, p95, p99) summary of one handover kind's gaps.
+    pub fn kind_gap_percentiles_ms(&self, kind: HandoverKind) -> Option<GapPercentiles> {
+        GapPercentiles::of(self.kind_delays_ms(kind))
     }
 
     /// Sum of per-handover lost counts.
@@ -277,6 +305,50 @@ impl HandoverLedger {
     pub fn total_buffered(&self) -> u64 {
         self.records.iter().map(|r| r.buffered).sum()
     }
+}
+
+/// The p50/p95/p99 summary of a ledger's first-delivery gap distribution —
+/// the tail the mean hides (ROADMAP: percentile reporting over the ledger).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapPercentiles {
+    /// Median first-delivery gap (ms).
+    pub p50: f64,
+    /// 95th-percentile gap (ms).
+    pub p95: f64,
+    /// 99th-percentile gap (ms).
+    pub p99: f64,
+}
+
+impl GapPercentiles {
+    /// Summarize an unsorted sample: one sort, three nearest-rank reads.
+    fn of(mut samples: Vec<f64>) -> Option<GapPercentiles> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(f64::total_cmp);
+        Some(GapPercentiles {
+            p50: nearest_rank(&samples, 50.0),
+            p95: nearest_rank(&samples, 95.0),
+            p99: nearest_rank(&samples, 99.0),
+        })
+    }
+}
+
+/// Nearest-rank percentile of a **sorted, non-empty** sample.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let q = q.clamp(f64::MIN_POSITIVE, 100.0);
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Nearest-rank percentile of an unsorted sample (`0 < q <= 100`); `None`
+/// on an empty sample.
+fn percentile(mut samples: Vec<f64>, q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_by(f64::total_cmp);
+    Some(nearest_rank(&samples, q))
 }
 
 /// The outcome of one scenario run: the paper's two performance metrics plus
@@ -413,6 +485,39 @@ mod tests {
         assert_eq!(r.mean_gap_ms(HandoverKind::Reactive), Some(80.0));
         assert_eq!(r.mean_gap_ms(HandoverKind::Proclaimed), Some(20.0));
         assert_eq!(r.avg_handoff_delay_ms, 50.0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_over_the_gap_distribution() {
+        // 100 handoffs with gaps 1..=100 ms: p50 = 50, p95 = 95, p99 = 99.
+        let ledger = HandoverLedger {
+            records: (1..=100u64)
+                .map(|i| record(HandoverKind::Reactive, 1_000, Some(1_000 + i)))
+                .collect(),
+        };
+        let p = ledger.gap_percentiles_ms().expect("gaps exist");
+        assert_eq!((p.p50, p.p95, p.p99), (50.0, 95.0, 99.0));
+        assert_eq!(ledger.percentile_gap_ms(100.0), Some(100.0));
+        assert_eq!(ledger.percentile_gap_ms(1.0), Some(1.0));
+        assert_eq!(
+            ledger.percentile_gap_ms_of(HandoverKind::Reactive, 50.0),
+            Some(50.0)
+        );
+        assert_eq!(
+            ledger.percentile_gap_ms_of(HandoverKind::Proclaimed, 50.0),
+            None
+        );
+        // Empty ledger: no percentiles.
+        assert!(HandoverLedger::default().gap_percentiles_ms().is_none());
+        // Records without deliveries contribute nothing.
+        let sparse = HandoverLedger {
+            records: vec![
+                record(HandoverKind::Reactive, 100, None),
+                record(HandoverKind::Reactive, 100, Some(170)),
+            ],
+        };
+        let p = sparse.gap_percentiles_ms().unwrap();
+        assert_eq!((p.p50, p.p95, p.p99), (70.0, 70.0, 70.0));
     }
 
     #[test]

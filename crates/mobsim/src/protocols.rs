@@ -5,9 +5,11 @@
 //! protocol it has never heard of: a kebab-case registry key, the display
 //! label used in reports, a one-line summary and a constructor producing one
 //! type-erased protocol instance (`Box<dyn DynProtocol>`) per broker. The
-//! constructor sees the full [`ScenarioConfig`] so protocols can derive
-//! run-wide parameters — the sub-unsub safety interval, for example, is the
-//! overlay diameter times the wired hop latency.
+//! constructor sees the full [`ScenarioConfig`] *and* the run's shared
+//! broker [`Network`] so protocols can derive run-wide parameters — the
+//! sub-unsub safety interval, for example, is the overlay diameter times
+//! the wired hop latency (stretched to the link model's worst case when
+//! links jitter) — without rebuilding the topology.
 //!
 //! [`ProtocolRegistry::builtin`] carries the paper's three protocols in the
 //! figures' column order (sub-unsub, MHH, home-broker). External protocols
@@ -24,7 +26,7 @@
 //!     "static",
 //!     "static",
 //!     "no mobility support: moved clients just re-subscribe",
-//!     |_config| Box::new(|_broker| erase(NoProtocol)),
+//!     |_config, _network| Box::new(|_broker| erase(NoProtocol)),
 //! ));
 //! let result = Sim::scenario("trace-smoke")
 //!     .protocol("static")
@@ -38,7 +40,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use mhh_baselines::{HomeBroker, SubUnsub};
 use mhh_core::Mhh;
 use mhh_pubsub::{erase, BrokerId, DynProtocol};
-use mhh_simnet::SimDuration;
+use mhh_simnet::{Network, SimDuration};
 
 use crate::config::ScenarioConfig;
 
@@ -47,13 +49,34 @@ use crate::config::ScenarioConfig;
 /// state.
 pub type BrokerFactory = Box<dyn FnMut(BrokerId) -> Box<dyn DynProtocol>>;
 
+/// The spec constructor: sees the scenario and the run's shared network,
+/// returns the per-broker factory.
+type SpecConstructor = dyn Fn(&ScenarioConfig, &Network) -> BrokerFactory + Send + Sync;
+
+/// The sub-unsub safety interval for one run: "the maximum time for message
+/// delivery between any two stations" (Section 5.1) — the overlay diameter
+/// times the wired hop latency, plus one hop of slack, stretched to the
+/// link model's worst case when the scenario jitters, skews or degrades
+/// links. Events forward hop-by-hop over the overlay, so each of the
+/// `wait_hops` links samples its **own** jitter — the bound budgets one
+/// jitter allowance per hop (`worst_case_path`), not one per path. Shared
+/// by the generic and the registry path.
+pub fn sub_unsub_wait(config: &ScenarioConfig, network: &Network) -> SimDuration {
+    let wait_hops = network.tree_diameter() as u64 + 1;
+    let base = SimDuration::from_millis(wait_hops * config.wired_ms);
+    match config.link_model() {
+        Some(model) => model.worst_case_path(base, wait_hops),
+        None => base,
+    }
+}
+
 /// One registered protocol: name, report label, summary and constructor.
 #[derive(Clone)]
 pub struct ProtocolSpec {
     name: String,
     label: String,
     summary: String,
-    make: Arc<dyn Fn(&ScenarioConfig) -> BrokerFactory + Send + Sync>,
+    make: Arc<SpecConstructor>,
 }
 
 impl std::fmt::Debug for ProtocolSpec {
@@ -76,7 +99,7 @@ impl ProtocolSpec {
         name: impl Into<String>,
         label: impl Into<String>,
         summary: impl Into<String>,
-        make: impl Fn(&ScenarioConfig) -> BrokerFactory + Send + Sync + 'static,
+        make: impl Fn(&ScenarioConfig, &Network) -> BrokerFactory + Send + Sync + 'static,
     ) -> Self {
         ProtocolSpec {
             name: name.into(),
@@ -102,9 +125,10 @@ impl ProtocolSpec {
         &self.summary
     }
 
-    /// Create the per-broker constructor for one run of `config`.
-    pub fn instantiate(&self, config: &ScenarioConfig) -> BrokerFactory {
-        (self.make)(config)
+    /// Create the per-broker constructor for one run of `config` over the
+    /// run's shared `network`.
+    pub fn instantiate(&self, config: &ScenarioConfig, network: &Network) -> BrokerFactory {
+        (self.make)(config, network)
     }
 }
 
@@ -129,14 +153,8 @@ impl ProtocolRegistry {
             "sub-unsub",
             "re-subscribe at the new broker, wait out the safety interval, \
              then cancel the old subscription and shuttle the stored queue",
-            |config: &ScenarioConfig| {
-                // The safety interval is "the maximum time for message
-                // delivery between any two stations" (Section 5.1): the
-                // overlay diameter times the wired hop latency, plus one hop
-                // of slack.
-                let net = mhh_simnet::Network::grid(config.grid_side, config.seed);
-                let wait_hops = net.tree_diameter() as u64 + 1;
-                let wait = SimDuration::from_millis(wait_hops * config.wired_ms);
+            |config: &ScenarioConfig, network: &Network| {
+                let wait = sub_unsub_wait(config, network);
                 Box::new(move |_| erase(SubUnsub::new(wait)))
             },
         ));
@@ -145,14 +163,14 @@ impl ProtocolRegistry {
             "MHH",
             "the paper's multi-hop handoff protocol: anchor chain, paced \
              event migration, proclaimed and silent moves",
-            |_config| Box::new(|_| erase(Mhh::new())),
+            |_config, _network| Box::new(|_| erase(Mhh::new())),
         ));
         reg.register(ProtocolSpec::new(
             "home-broker",
             "HB",
             "Mobile-IP style: a fixed home broker holds the subscription and \
              triangle-routes events to the client's current location",
-            |_config| Box::new(|_| erase(HomeBroker::new())),
+            |_config, _network| Box::new(|_| erase(HomeBroker::new())),
         ));
         reg
     }
@@ -270,7 +288,8 @@ mod tests {
     fn every_builtin_constructs_a_protocol_reporting_its_own_name() {
         let config = ScenarioConfig::small();
         for spec in ProtocolRegistry::builtin().specs() {
-            let mut factory = spec.instantiate(&config);
+            let network = config.build_network();
+            let mut factory = spec.instantiate(&config, &network);
             let proto = factory(BrokerId(0));
             // The protocol's self-reported name round-trips to the registry
             // entry it came from: it is either the registry key ("home-
@@ -292,14 +311,17 @@ mod tests {
             "static",
             "static",
             "no mobility support",
-            |_| Box::new(|_| erase(NoProtocol)),
+            |_, _| Box::new(|_| erase(NoProtocol)),
         ));
         assert_eq!(reg.len(), 4);
         assert_eq!(reg.find("static").unwrap().label(), "static");
         // Replacement keeps the count and position.
-        reg.register(ProtocolSpec::new("static", "static-v2", "replaced", |_| {
-            Box::new(|_| erase(NoProtocol))
-        }));
+        reg.register(ProtocolSpec::new(
+            "static",
+            "static-v2",
+            "replaced",
+            |_, _| Box::new(|_| erase(NoProtocol)),
+        ));
         assert_eq!(reg.len(), 4);
         assert_eq!(reg.find("static").unwrap().label(), "static-v2");
         assert_eq!(reg.names()[3], "static");
@@ -315,7 +337,7 @@ mod tests {
             "mhh-tuned",
             "MHH",
             "tuned variant reusing the builtin label",
-            |_| Box::new(|_| erase(Mhh::new())),
+            |_, _| Box::new(|_| erase(Mhh::new())),
         ));
     }
 }

@@ -9,14 +9,21 @@ use std::fmt::Write as _;
 
 use crate::experiments::{FigureResult, MatrixResult, ProclaimedCompareResult};
 use crate::json::Json;
-use crate::metrics::{HandoverKind, RunResult};
+use crate::metrics::{HandoverKind, HandoverLedger, RunResult};
 
-/// Render one figure as two fixed-width tables (overhead panel and delay
-/// panel), in the same orientation as the paper's plots: one row per x value,
-/// one column per protocol.
+/// Render one figure as fixed-width tables (overhead, mean-delay and
+/// delay-percentile panels), in the same orientation as the paper's plots:
+/// one row per x value, one column per protocol. Points that ran on a
+/// non-grid topology announce it in the header.
 pub fn render_figure(fig: &FigureResult) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {} ==", fig.name);
+    let mut topologies: Vec<&str> = fig.points.iter().map(|p| p.topology.as_str()).collect();
+    topologies.sort_unstable();
+    topologies.dedup();
+    if topologies.iter().any(|t| *t != "grid") {
+        let _ = writeln!(out, "-- topology: {} --", topologies.join(", "));
+    }
     let _ = writeln!(out, "-- (a) message overhead per handoff (hops) --");
     out.push_str(&render_panel(fig, &fig.x_label, |p| {
         p.result.overhead_per_handoff
@@ -25,6 +32,8 @@ pub fn render_figure(fig: &FigureResult) -> String {
     out.push_str(&render_panel(fig, &fig.x_label, |p| {
         p.result.avg_handoff_delay_ms
     }));
+    let _ = writeln!(out, "-- (c) first-delivery gap p50/p95/p99 (ms) --");
+    out.push_str(&render_gap_percentiles(fig));
     let _ = writeln!(out, "-- reliability (lost / duplicated / out-of-order) --");
     out.push_str(&render_reliability(fig));
     // The handover-mix panel only appears when some run actually proclaimed
@@ -72,6 +81,44 @@ fn render_handover_mix(fig: &FigureResult) -> String {
     out
 }
 
+fn render_gap_percentiles(fig: &FigureResult) -> String {
+    let protocols = fig.protocols();
+    let mut out = panel_header(&fig.x_label, &protocols);
+    for x in x_values(fig) {
+        let _ = write!(out, "{x:>28}");
+        for proto in &protocols {
+            let point = fig
+                .points
+                .iter()
+                .find(|p| p.protocol == *proto && (p.x - x).abs() < 1e-9);
+            match point.and_then(|p| p.result.ledger.gap_percentiles_ms()) {
+                Some(g) => {
+                    let cell = format!("{:.0}/{:.0}/{:.0}", g.p50, g.p95, g.p99);
+                    let _ = write!(out, " | {cell:>12}");
+                }
+                None => {
+                    let _ = write!(out, " | {:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// The shared `{x_label} | proto | proto …` header + separator line of the
+/// figure panels.
+fn panel_header(x_label: &str, protocols: &[&str]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{x_label:>28}");
+    for proto in protocols {
+        let _ = write!(out, " | {proto:>12}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(28 + protocols.len() * 15));
+    out
+}
+
 fn x_values(fig: &FigureResult) -> Vec<f64> {
     let mut xs: Vec<f64> = fig.points.iter().map(|p| p.x).collect();
     xs.sort_by(f64::total_cmp);
@@ -85,13 +132,7 @@ fn render_panel(
     metric: impl Fn(&crate::experiments::ExperimentPoint) -> f64,
 ) -> String {
     let protocols = fig.protocols();
-    let mut out = String::new();
-    let _ = write!(out, "{x_label:>28}");
-    for proto in &protocols {
-        let _ = write!(out, " | {proto:>12}");
-    }
-    let _ = writeln!(out);
-    let _ = writeln!(out, "{}", "-".repeat(28 + protocols.len() * 15));
+    let mut out = panel_header(x_label, &protocols);
     for x in x_values(fig) {
         let _ = write!(out, "{x:>28}");
         for proto in &protocols {
@@ -136,9 +177,18 @@ fn render_reliability(fig: &FigureResult) -> String {
 
 /// JSON document for one run's metrics, including the ledger-derived
 /// handover summary (counts per kind, mean first-delivery gap per kind,
-/// buffered catch-ups).
+/// p50/p95/p99 gap percentiles overall and per kind, buffered catch-ups).
 pub fn run_result_json(r: &RunResult) -> Json {
     let gap = |kind| r.mean_gap_ms(kind).map(Json::Num).unwrap_or(Json::Null);
+    let pct = |p: Option<crate::metrics::GapPercentiles>| match p {
+        Some(g) => Json::obj(vec![
+            ("p50", Json::Num(g.p50)),
+            ("p95", Json::Num(g.p95)),
+            ("p99", Json::Num(g.p99)),
+        ]),
+        None => Json::Null,
+    };
+    let kind_pct = |kind| pct(r.ledger.kind_gap_percentiles_ms(kind));
     Json::obj(vec![
         ("protocol", Json::str(&r.protocol)),
         ("handoffs", Json::UInt(r.handoffs)),
@@ -146,6 +196,7 @@ pub fn run_result_json(r: &RunResult) -> Json {
         ("overhead_per_handoff", Json::Num(r.overhead_per_handoff)),
         ("avg_handoff_delay_ms", Json::Num(r.avg_handoff_delay_ms)),
         ("delay_samples", Json::UInt(r.delay_samples)),
+        ("gap_percentiles_ms", pct(r.ledger.gap_percentiles_ms())),
         (
             "handover",
             Json::obj(vec![
@@ -153,6 +204,14 @@ pub fn run_result_json(r: &RunResult) -> Json {
                 ("reactive", Json::UInt(r.reactive_handoffs())),
                 ("proclaimed_gap_ms", gap(HandoverKind::Proclaimed)),
                 ("reactive_gap_ms", gap(HandoverKind::Reactive)),
+                (
+                    "proclaimed_gap_percentiles_ms",
+                    kind_pct(HandoverKind::Proclaimed),
+                ),
+                (
+                    "reactive_gap_percentiles_ms",
+                    kind_pct(HandoverKind::Reactive),
+                ),
                 ("buffered", Json::UInt(r.ledger.total_buffered())),
                 ("ledger_lost", Json::UInt(r.ledger.total_lost())),
                 ("ledger_duplicates", Json::UInt(r.ledger.total_duplicates())),
@@ -194,6 +253,7 @@ pub fn to_json(fig: &FigureResult) -> String {
                             ("x", Json::Num(p.x)),
                             ("protocol", Json::str(&p.protocol)),
                             ("mobility", Json::str(&p.mobility)),
+                            ("topology", Json::str(&p.topology)),
                             ("result", run_result_json(&p.result)),
                         ])
                     })
@@ -203,6 +263,72 @@ pub fn to_json(fig: &FigureResult) -> String {
         (
             "skipped",
             Json::Arr(fig.skipped.iter().map(Json::str).collect()),
+        ),
+    ])
+    .pretty()
+}
+
+/// Serialise one ledger as a JSON array of per-handover records (times in
+/// milliseconds), the raw material for external plotting of gap
+/// distributions (`--dump-ledger`).
+pub fn ledger_json(ledger: &HandoverLedger) -> Json {
+    Json::Arr(
+        ledger
+            .records
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("client", Json::UInt(r.client.0 as u64)),
+                    (
+                        "kind",
+                        Json::str(match r.kind {
+                            HandoverKind::Proclaimed => "proclaimed",
+                            HandoverKind::Reactive => "reactive",
+                        }),
+                    ),
+                    ("from", Json::UInt(r.from.0 as u64)),
+                    ("to", Json::UInt(r.to.0 as u64)),
+                    ("departed_ms", Json::Num(r.departed.as_millis_f64())),
+                    ("arrived_ms", Json::Num(r.arrived.as_millis_f64())),
+                    (
+                        "first_delivery_gap_ms",
+                        r.first_delivery_gap_ms()
+                            .map(Json::Num)
+                            .unwrap_or(Json::Null),
+                    ),
+                    ("is_handoff", Json::Bool(r.is_handoff)),
+                    ("buffered", Json::UInt(r.buffered)),
+                    ("lost", Json::UInt(r.lost)),
+                    ("duplicates", Json::UInt(r.duplicates)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Serialise every per-point ledger of a figure to pretty JSON — one entry
+/// per `(x, protocol)` point with the full handover record list. This is
+/// the `--dump-ledger` export for external plotting.
+pub fn figure_ledgers_json(fig: &FigureResult) -> String {
+    Json::obj(vec![
+        ("name", Json::str(&fig.name)),
+        ("x_label", Json::str(&fig.x_label)),
+        (
+            "points",
+            Json::Arr(
+                fig.points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("x", Json::Num(p.x)),
+                            ("protocol", Json::str(&p.protocol)),
+                            ("mobility", Json::str(&p.mobility)),
+                            ("topology", Json::str(&p.topology)),
+                            ("ledger", ledger_json(&p.result.ledger)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ])
     .pretty()
@@ -274,6 +400,7 @@ pub fn matrix_to_json(matrix: &MatrixResult) -> String {
                             ("mobility", Json::str(p.mobility.to_string())),
                             ("model", Json::str(p.mobility.label())),
                             ("protocol", Json::str(&p.protocol)),
+                            ("topology", Json::str(&p.topology)),
                             ("result", run_result_json(&p.result)),
                         ])
                     })
@@ -315,6 +442,21 @@ pub fn render_proclaimed(cmp: &ProclaimedCompareResult) -> String {
             p.gap_reduction() * 100.0,
             p.reactive.overhead_per_handoff,
             p.proclaimed.overhead_per_handoff,
+        );
+    }
+    // The tail the means hide: per-kind gap percentiles from the ledgers.
+    let _ = writeln!(out, "-- first-delivery gap p50/p95/p99 (ms) --");
+    let fmt_pct = |ledger: &HandoverLedger| match ledger.gap_percentiles_ms() {
+        Some(g) => format!("{:.0}/{:.0}/{:.0}", g.p50, g.p95, g.p99),
+        None => "-".to_string(),
+    };
+    for p in &cmp.points {
+        let _ = writeln!(
+            out,
+            "{:>12} | reactive {:>16} | proclaimed {:>16}",
+            p.protocol,
+            fmt_pct(&p.reactive.ledger),
+            fmt_pct(&p.proclaimed.ledger),
         );
     }
     if !cmp.skipped.is_empty() {

@@ -9,26 +9,30 @@
 //! and exchange the identical messages, so their [`RunResult`]s are
 //! byte-identical — asserted by the integration tests and the sweep bench.
 
+use std::sync::Arc;
+
 use mhh_baselines::{HomeBroker, SubUnsub};
 use mhh_core::Mhh;
 use mhh_pubsub::broker::MobilityProtocol;
 use mhh_pubsub::delivery::{audit, SubscriberLog};
 use mhh_pubsub::{ClientId, Deployment, DeploymentConfig, Event, NetMsg};
-use mhh_simnet::{SimDuration, TrafficClass};
+use mhh_simnet::{Network, SimDuration, TrafficClass};
 
 use crate::builder::SimError;
 use crate::config::{Protocol, ScenarioConfig};
 use crate::metrics::{ClientHandoverLog, HandoverLedger, RunResult};
-use crate::protocols::{ProtocolRegistry, ProtocolSpec};
+use crate::protocols::{sub_unsub_wait, ProtocolRegistry, ProtocolSpec};
 use crate::workload::Workload;
 
 /// Translate a scenario config into the deployment config of the substrate.
 fn deployment_config(config: &ScenarioConfig) -> DeploymentConfig {
     DeploymentConfig {
         grid_side: config.grid_side,
+        topology: config.topology.clone(),
         seed: config.seed,
         wired_latency: SimDuration::from_millis(config.wired_ms),
         wireless_latency: SimDuration::from_millis(config.wireless_ms),
+        link_model: config.link_model(),
         covering: config.covering,
     }
 }
@@ -36,21 +40,22 @@ fn deployment_config(config: &ScenarioConfig) -> DeploymentConfig {
 /// Run one scenario with one protocol and collect the metrics — the generic
 /// fast path (one monomorphized deployment per protocol). The workload is
 /// regenerated from the scenario seed, so calling this for different
-/// protocols with the same config performs a paired comparison.
+/// protocols with the same config performs a paired comparison. The broker
+/// network — topology, MST overlay, distance and routing tables — is built
+/// **once** here and shared by the workload generator, the safety-interval
+/// derivation and the deployment.
 pub fn run_scenario(config: &ScenarioConfig, protocol: Protocol) -> RunResult {
-    let workload = Workload::generate(config);
+    let network = config.build_network();
+    let workload = Workload::generate_on(config, &network);
     let label = protocol.label();
     match protocol {
-        Protocol::Mhh => run_with(config, label, &workload, |_| Mhh::new()),
-        Protocol::HomeBroker => run_with(config, label, &workload, |_| HomeBroker::new()),
+        Protocol::Mhh => run_with(config, network, label, &workload, |_| Mhh::new()),
+        Protocol::HomeBroker => run_with(config, network, label, &workload, |_| HomeBroker::new()),
         Protocol::SubUnsub => {
-            // The safety interval is "the maximum time for message delivery
-            // between any two stations" (Section 5.1): the overlay diameter
-            // times the wired hop latency, plus one hop of slack.
-            let net = mhh_simnet::Network::grid(config.grid_side, config.seed);
-            let wait_hops = net.tree_diameter() as u64 + 1;
-            let wait = SimDuration::from_millis(wait_hops * config.wired_ms);
-            run_with(config, label, &workload, move |_| SubUnsub::new(wait))
+            let wait = sub_unsub_wait(config, &network);
+            run_with(config, network.clone(), label, &workload, move |_| {
+                SubUnsub::new(wait)
+            })
         }
     }
 }
@@ -60,9 +65,10 @@ pub fn run_scenario(config: &ScenarioConfig, protocol: Protocol) -> RunResult {
 /// every registered protocol; results are byte-identical to the generic
 /// path for the same protocol.
 pub fn run_spec(config: &ScenarioConfig, spec: &ProtocolSpec) -> RunResult {
-    let workload = Workload::generate(config);
-    let factory = spec.instantiate(config);
-    run_with(config, spec.label(), &workload, factory)
+    let network = config.build_network();
+    let workload = Workload::generate_on(config, &network);
+    let factory = spec.instantiate(config, &network);
+    run_with(config, network, spec.label(), &workload, factory)
 }
 
 /// Run one scenario with a protocol resolved by name in the process-wide
@@ -77,6 +83,7 @@ pub fn run_named(config: &ScenarioConfig, protocol: &str) -> Result<RunResult, S
 
 fn run_with<P, F>(
     config: &ScenarioConfig,
+    network: Arc<Network>,
     label: &str,
     workload: &Workload,
     make_protocol: F,
@@ -86,7 +93,8 @@ where
     F: FnMut(mhh_pubsub::BrokerId) -> P,
 {
     let dep_config = deployment_config(config);
-    let mut dep: Deployment<P> = Deployment::build(&dep_config, &workload.clients, make_protocol);
+    let mut dep: Deployment<P> =
+        Deployment::build_on(network, &dep_config, &workload.clients, make_protocol);
 
     for entry in &workload.timeline {
         dep.engine.schedule_external(

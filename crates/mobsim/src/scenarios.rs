@@ -14,6 +14,7 @@
 use std::sync::Arc;
 
 use mhh_mobility::{ModelKind, TraceRecord};
+use mhh_simnet::TopologyKind;
 
 use crate::config::ScenarioConfig;
 
@@ -77,6 +78,34 @@ pub fn registry() -> Vec<Scenario> {
                     platoon_size: 5,
                     jitter_s: 10.0,
                 },
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
+            name: "scale-free-jitter",
+            summary: "Beyond the paper's environment: a Barabási–Albert \
+                      scale-free broker backbone with jittered, asymmetric \
+                      links — hub congestion plus variable latency, the \
+                      regime where per-link FIFO must hold by construction.",
+            config: ScenarioConfig {
+                topology: TopologyKind::ScaleFree { edges_per_node: 2 },
+                jitter_ms: 8,
+                link_asymmetry: 0.2,
+                mobile_fraction: 0.3,
+                conn_mean_s: 120.0,
+                disc_mean_s: 60.0,
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
+            name: "degraded-window",
+            summary: "The paper's grid with a mid-run link-degradation \
+                      window (all latencies tripled for five minutes): \
+                      handovers and safety intervals under transient \
+                      congestion.",
+            config: ScenarioConfig {
+                degraded_windows: vec![(600.0, 900.0, 3.0)],
+                jitter_ms: 2,
                 ..ScenarioConfig::paper_defaults()
             },
         },
@@ -227,6 +256,18 @@ mod tests {
             find("platoon-convoy").unwrap().config.mobility.label(),
             "group-platoon"
         );
+    }
+
+    #[test]
+    fn jittered_presets_carry_topology_and_link_models() {
+        let sf = find("scale-free-jitter").unwrap().config;
+        assert_eq!(sf.topology.label(), "scale-free");
+        assert_eq!(sf.jitter_ms, 8);
+        assert!(sf.link_model().is_some());
+        let dw = find("degraded-window").unwrap().config;
+        assert_eq!(dw.topology.label(), "grid");
+        assert_eq!(dw.degraded_windows.len(), 1);
+        assert!(dw.link_model().is_some());
     }
 
     #[test]

@@ -6,11 +6,13 @@
 //! protocol being compared — the comparison in the figures is therefore
 //! paired, like the paper's.
 
+use std::sync::Arc;
+
 use mhh_mobility::{MobilityWorld, MoveStep};
 use mhh_pubsub::event::EventBuilder;
 use mhh_pubsub::{BrokerId, ClientAction, ClientId, ClientSpec, Event, Filter, Op};
 use mhh_simnet::random::DetRng;
-use mhh_simnet::{SimDuration, SimTime};
+use mhh_simnet::{Network, SimDuration, SimTime};
 
 use crate::config::ScenarioConfig;
 
@@ -40,28 +42,42 @@ pub struct Workload {
     /// How many of the scheduled moves are proclaimed (§4.1) — the model's
     /// own decision plus the scenario's `proclaimed_fraction` override.
     pub proclaimed_count: usize,
+    /// How many proclaimed moves announce a *wrong* destination (the
+    /// scenario's `misproclaim_fraction` prediction error).
+    pub misproclaimed_count: usize,
 }
 
 impl Workload {
     /// Generate the workload for a scenario. Mobility timelines come from
     /// the scenario's pluggable [`MobilityModel`](mhh_mobility::MobilityModel).
+    /// Builds the scenario's network itself; the runner uses
+    /// [`generate_on`](Self::generate_on) to share the one built per run.
     pub fn generate(config: &ScenarioConfig) -> Workload {
+        Self::generate_on(config, &config.build_network())
+    }
+
+    /// [`generate`](Self::generate) over an already-built network (must be
+    /// the scenario's own — same topology, same seed).
+    pub fn generate_on(config: &ScenarioConfig, network: &Arc<Network>) -> Workload {
         let mut rng = DetRng::new(config.seed);
         let clients = make_clients(config, &mut rng);
         let model = config.mobility.build();
         let world = MobilityWorld {
-            grid_side: config.grid_side,
+            topology: network.clone(),
             conn_mean_s: config.conn_mean_s,
             disc_mean_s: config.disc_mean_s,
             horizon_s: config.duration_s,
             scenario_seed: config.seed,
         };
+        let broker_count = network.broker_count();
         let mut timeline = Vec::new();
         let mut publish_count = 0usize;
         let mut move_count = 0usize;
         let mut proclaimed_count = 0usize;
+        let mut misproclaimed_count = 0usize;
         let horizon = config.duration_s;
         let proclaimed_fraction = config.proclaimed_fraction.clamp(0.0, 1.0);
+        let misproclaim_fraction = config.misproclaim_fraction.clamp(0.0, 1.0);
 
         let mut event_id = 1u64;
         for (i, spec) in clients.iter().enumerate() {
@@ -99,24 +115,40 @@ impl Workload {
                 // schedule itself — proclaimed and reactive runs of the same
                 // scenario seed are paired move for move.
                 let mut prng = crng.fork(0x5052_4f43);
+                // Mis-proclamations draw from their own stream, forked after
+                // the proclamation stream, so turning the knob perturbs
+                // neither the move schedule nor the proclamation decisions.
+                let mut mrng = crng.fork(0x4d49_5350);
                 for MoveStep {
                     depart_s,
                     arrive_s,
+                    from,
                     to,
                     proclaimed,
-                    ..
                 } in trace.steps
                 {
                     let proclaimed = proclaimed
                         || (proclaimed_fraction > 0.0 && prng.chance(proclaimed_fraction));
+                    // The announced destination: normally the true one; a
+                    // mis-proclaimed move announces a wrong broker (≠ the
+                    // real destination, ≠ the departure broker) while the
+                    // client still reconnects at the true destination.
+                    let mut announced = to;
                     if proclaimed {
                         proclaimed_count += 1;
+                        if misproclaim_fraction > 0.0
+                            && broker_count >= 3
+                            && mrng.chance(misproclaim_fraction)
+                        {
+                            announced = wrong_destination(&mut mrng, from, to, broker_count);
+                            misproclaimed_count += 1;
+                        }
                     }
                     timeline.push(TimelineEntry {
                         at: SimTime::ZERO + SimDuration::from_secs_f64(depart_s),
                         client,
                         action: ClientAction::Disconnect {
-                            proclaimed_dest: proclaimed.then_some(BrokerId(to)),
+                            proclaimed_dest: proclaimed.then_some(BrokerId(announced)),
                         },
                     });
                     timeline.push(TimelineEntry {
@@ -150,8 +182,24 @@ impl Workload {
             publish_count,
             move_count,
             proclaimed_count,
+            misproclaimed_count,
         }
     }
+}
+
+/// Pick a uniformly random broker that is neither the departure broker nor
+/// the true destination (requires `count >= 3`).
+fn wrong_destination(rng: &mut DetRng, from: u32, to: u32, count: usize) -> u32 {
+    debug_assert!(count >= 3 && from != to);
+    let (lo, hi) = (from.min(to), from.max(to));
+    let mut pick = rng.index(count - 2) as u32;
+    if pick >= lo {
+        pick += 1;
+    }
+    if pick >= hi {
+        pick += 1;
+    }
+    pick
 }
 
 /// Build the client population: `clients_per_broker` clients at every broker,
@@ -331,6 +379,58 @@ mod tests {
                 ds, &reconnects[client],
                 "client {client} proclaims truthfully"
             );
+        }
+    }
+
+    #[test]
+    fn misproclaim_lies_about_destinations_without_perturbing_the_schedule() {
+        let truthful = Workload::generate(&ScenarioConfig {
+            proclaimed_fraction: 1.0,
+            ..small()
+        });
+        let lying = Workload::generate(&ScenarioConfig {
+            proclaimed_fraction: 1.0,
+            misproclaim_fraction: 1.0,
+            ..small()
+        });
+        // Identical schedule and proclamation decisions; only announcements
+        // change.
+        assert_eq!(truthful.move_count, lying.move_count);
+        assert_eq!(truthful.proclaimed_count, lying.proclaimed_count);
+        assert_eq!(truthful.misproclaimed_count, 0);
+        assert_eq!(lying.misproclaimed_count, lying.proclaimed_count);
+        for (t, l) in truthful.timeline.iter().zip(&lying.timeline) {
+            assert_eq!(t.at, l.at);
+            assert_eq!(t.client, l.client);
+            match (&t.action, &l.action) {
+                (
+                    ClientAction::Disconnect {
+                        proclaimed_dest: Some(truth),
+                    },
+                    ClientAction::Disconnect {
+                        proclaimed_dest: Some(lie),
+                    },
+                ) => assert_ne!(truth, lie, "every announcement must be wrong"),
+                (ClientAction::Reconnect { broker: a }, ClientAction::Reconnect { broker: b }) => {
+                    assert_eq!(a, b, "the physical move is unchanged")
+                }
+                (a, b) => assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "action kinds must line up"
+                ),
+            }
+        }
+        // A wrong announcement is still a valid broker and never the broker
+        // being departed (sorted per client, positions chain).
+        let cfg = small();
+        for e in &lying.timeline {
+            if let ClientAction::Disconnect {
+                proclaimed_dest: Some(d),
+            } = e.action
+            {
+                assert!((d.0 as usize) < cfg.broker_count());
+            }
         }
     }
 

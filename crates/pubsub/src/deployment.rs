@@ -9,7 +9,10 @@
 
 use std::sync::Arc;
 
-use mhh_simnet::{Context, Engine, Envelope, GridFabric, Network, Node, SimDuration, SimTime};
+use mhh_simnet::{
+    Context, Engine, Envelope, Fabric, GridFabric, JitteredFabric, LinkModel, Network, Node,
+    SimDuration, SimTime, TopologyKind,
+};
 
 use crate::address::{AddressBook, BrokerId, ClientId};
 use crate::broker::{install_subscription, Broker, BrokerCore, MobilityProtocol};
@@ -56,14 +59,21 @@ impl<P: MobilityProtocol> Node<NetMsg<P::Msg>> for SimNode<P> {
 /// Configuration of a deployment.
 #[derive(Debug, Clone)]
 pub struct DeploymentConfig {
-    /// Grid side length (k ⇒ k² brokers).
+    /// Grid side length (k ⇒ k² brokers for the grid-family and random
+    /// topologies; edge lists bring their own count).
     pub grid_side: usize,
-    /// Seed for the overlay tree construction.
+    /// Which network shape to build (default: the paper's grid).
+    pub topology: TopologyKind,
+    /// Seed for the topology and overlay tree construction.
     pub seed: u64,
     /// Wired per-hop latency (paper: 10 ms).
     pub wired_latency: SimDuration,
     /// Wireless link latency (paper: 20 ms).
     pub wireless_latency: SimDuration,
+    /// Variable-latency link model (`None` = the paper's constant links;
+    /// a constant model is also treated as `None`, keeping zero-jitter runs
+    /// on the unwrapped fast path).
+    pub link_model: Option<LinkModel>,
     /// Whether brokers apply the covering optimisation.
     pub covering: bool,
 }
@@ -72,9 +82,11 @@ impl Default for DeploymentConfig {
     fn default() -> Self {
         DeploymentConfig {
             grid_side: 3,
+            topology: TopologyKind::Grid,
             seed: 1,
             wired_latency: SimDuration::from_millis(10),
             wireless_latency: SimDuration::from_millis(20),
+            link_model: None,
             covering: true,
         }
     }
@@ -105,20 +117,42 @@ impl<P: MobilityProtocol> Deployment<P> {
     /// Build a deployment. `make_protocol` constructs one protocol instance
     /// per broker, `clients` describes the client population; every client is
     /// attached to its home broker with its subscription pre-installed
-    /// everywhere (no warm-up messages).
+    /// everywhere (no warm-up messages). The network is built from the
+    /// config's [`TopologyKind`]; use [`build_on`](Self::build_on) to share
+    /// an already-built network (the harness builds it once per run for the
+    /// workload generator, the fabric and the deployment together).
     pub fn build(
+        config: &DeploymentConfig,
+        clients: &[ClientSpec],
+        make_protocol: impl FnMut(BrokerId) -> P,
+    ) -> Self {
+        let network = Arc::new(config.topology.build(config.grid_side, config.seed));
+        Self::build_on(network, config, clients, make_protocol)
+    }
+
+    /// [`build`](Self::build) over an already-constructed network (the
+    /// config's `grid_side`/`topology` are ignored in favour of it).
+    pub fn build_on(
+        network: Arc<Network>,
         config: &DeploymentConfig,
         clients: &[ClientSpec],
         mut make_protocol: impl FnMut(BrokerId) -> P,
     ) -> Self {
-        let network = Arc::new(Network::grid(config.grid_side, config.seed));
         let broker_count = network.broker_count();
         let book = AddressBook::new(broker_count, clients.len());
-        let fabric = Arc::new(GridFabric::new(
+        let base = GridFabric::new(
             network.clone(),
             config.wired_latency,
             config.wireless_latency,
-        ));
+        );
+        // Zero-jitter runs keep the unwrapped fabric: one virtual call per
+        // message, byte-identical to the pre-refactor constant-latency path.
+        let fabric: Arc<dyn Fabric> = match &config.link_model {
+            Some(model) if !model.is_constant() => {
+                Arc::new(JitteredFabric::new(base, model.clone()))
+            }
+            _ => Arc::new(base),
+        };
 
         let mut brokers: Vec<Broker<P>> = book
             .brokers()

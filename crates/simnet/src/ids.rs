@@ -17,6 +17,12 @@ impl NodeId {
     }
 }
 
+/// Pack an ordered node pair into one word — the link key shared by the
+/// engine's channel clocks and the jittered fabric's per-pair sampling.
+pub(crate) fn pack_pair(from: NodeId, to: NodeId) -> u64 {
+    ((from.0 as u64) << 32) | to.0 as u64
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "n{}", self.0)

@@ -8,12 +8,17 @@
 //!   [`SimDuration`]),
 //! * a discrete-event engine ([`Engine`]) delivering messages between
 //!   [`Node`]s with per-link FIFO ordering — the correctness assumption the
-//!   MHH protocol relies on (paper, Section 3),
-//! * topology construction: the k×k base-station grid of Section 5.1, a
+//!   MHH protocol relies on (paper, Section 3) — enforced by per-link
+//!   channel clocks, so it holds even under variable link latency,
+//! * topology construction ([`topology`]): the pluggable [`TopologyKind`]
+//!   family — the k×k base-station grid of Section 5.1 plus torus,
+//!   random-geometric, scale-free and imported edge lists — each with a
 //!   minimum spanning tree overlay, shortest-path distances and per-broker
-//!   routing tables ([`topology`]),
-//! * a latency/hop model ([`Fabric`]) with the paper's constants
-//!   (10 ms wired, 20 ms wireless),
+//!   routing tables built once per run,
+//! * a link-cost model ([`Fabric`], one [`LinkCost`] per message) with the
+//!   paper's constants (10 ms wired, 20 ms wireless) and a
+//!   [`JitteredFabric`] wrapper (seeded per-message jitter, per-direction
+//!   asymmetry, timed degradation windows — [`LinkModel`]),
 //! * traffic accounting by class ([`stats::TrafficStats`]) so that the
 //!   "message overhead measured in hops" metric of Section 5.1 can be
 //!   collected without instrumenting protocol code, and
@@ -37,8 +42,10 @@ pub mod time;
 pub mod topology;
 
 pub use engine::{Context, Engine, EngineConfig, Envelope, Node, RunOutcome};
-pub use fabric::{Fabric, GridFabric, UniformFabric};
+pub use fabric::{
+    DegradedWindow, Fabric, GridFabric, JitteredFabric, LinkCost, LinkModel, UniformFabric,
+};
 pub use ids::NodeId;
 pub use stats::{Message, TrafficClass, TrafficStats};
 pub use time::{SimDuration, SimTime};
-pub use topology::{Graph, Network, Tree};
+pub use topology::{parse_edge_list, Graph, Network, TopologyKind, Tree};

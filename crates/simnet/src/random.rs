@@ -26,6 +26,15 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One splitmix64 step over a standalone key: turns a structured word into a
+/// uniform-looking one in a handful of instructions. Shared by the jittered
+/// fabric's per-message sampling and the engine's link-clock hasher — both
+/// hot paths where constructing a full [`DetRng`] would dominate.
+pub(crate) fn mix64(key: u64) -> u64 {
+    let mut s = key;
+    splitmix64(&mut s)
+}
+
 impl DetRng {
     /// Create a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {

@@ -10,6 +10,7 @@
 //! cargo run --release --example reproduce_figures -- fig5 --paper-scale
 //! cargo run --release --example reproduce_figures -- --workers 4
 //! cargo run --release --example reproduce_figures -- --budget-ms 60000
+//! cargo run --release --example reproduce_figures -- fig5 --dump-ledger ledgers.json
 //! ```
 //!
 //! By default the sweeps run at a reduced scale (49 brokers, 5 clients per
@@ -26,6 +27,11 @@
 //! move schedule (`proclaimed_fraction` 0 and 1), reporting the paired
 //! per-handover first-delivery gaps from the handover ledger.
 //!
+//! `--dump-ledger <path>` additionally exports every executed figure
+//! point's complete per-handover ledger (one JSON record per handover:
+//! kind, from→to, depart/arrive, first-delivery gap, buffered/lost/
+//! duplicate counts) for external plotting of gap distributions.
+//!
 //! Every curve comes from the protocol registry, so a protocol registered
 //! via `mhh_mobsim::protocols::register` before the sweep gains a column in
 //! both figures automatically.
@@ -34,8 +40,10 @@
 //! EXPERIMENTS.md.
 
 use mhh_suite::mobility::sweep::available_workers;
-use mhh_suite::mobsim::experiments::{FIG5_CONN_PERIODS_S, FIG6_GRID_SIDES};
-use mhh_suite::mobsim::report::{proclaimed_to_json, render_figure, render_proclaimed, to_json};
+use mhh_suite::mobsim::experiments::{FigureResult, FIG5_CONN_PERIODS_S, FIG6_GRID_SIDES};
+use mhh_suite::mobsim::report::{
+    figure_ledgers_json, proclaimed_to_json, render_figure, render_proclaimed, to_json,
+};
 use mhh_suite::mobsim::{Sim, SimBuilder};
 
 /// Parse `--workers N` (defaults to all cores).
@@ -53,6 +61,14 @@ fn budget_flag(args: &[String]) -> Option<u64> {
         .position(|a| a == "--budget-ms")
         .and_then(|i| args.get(i + 1))
         .and_then(|n| n.parse().ok())
+}
+
+/// Parse `--dump-ledger <path>` (default: no ledger export).
+fn dump_ledger_flag(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--dump-ledger")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn builder(
@@ -90,6 +106,8 @@ fn main() {
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
     let workers = workers_flag(&args);
     let budget_ms = budget_flag(&args);
+    let dump_ledger = dump_ledger_flag(&args);
+    let mut executed_figures: Vec<FigureResult> = Vec::new();
     let modes = ["fig5", "fig6", "handover"];
     let explicit = args.iter().any(|a| modes.contains(&a.as_str()));
     // Without an explicit mode the example keeps its documented default:
@@ -123,6 +141,7 @@ fn main() {
         report_skipped(&fig.skipped);
         std::fs::write("figure5.json", to_json(&fig)).expect("write figure5.json");
         println!("wrote figure5.json");
+        executed_figures.push(fig);
     }
     if want("fig6") {
         let sides: &[usize] = if paper_scale {
@@ -137,6 +156,7 @@ fn main() {
         report_skipped(&fig.skipped);
         std::fs::write("figure6.json", to_json(&fig)).expect("write figure6.json");
         println!("wrote figure6.json");
+        executed_figures.push(fig);
     }
     if want("handover") {
         let cmp = builder("paper-fig5", paper_scale, workers, budget_ms)
@@ -146,5 +166,21 @@ fn main() {
         report_skipped(&cmp.skipped);
         std::fs::write("handover.json", proclaimed_to_json(&cmp)).expect("write handover.json");
         println!("wrote handover.json");
+    }
+    if let Some(path) = dump_ledger {
+        // One document with every executed figure's per-handover records,
+        // for external plotting of gap distributions.
+        let docs: Vec<String> = executed_figures.iter().map(figure_ledgers_json).collect();
+        let doc = format!("[{}]\n", docs.join(","));
+        std::fs::write(&path, doc).expect("write ledger dump");
+        println!(
+            "wrote {path} ({} figure(s), {} handover record(s))",
+            executed_figures.len(),
+            executed_figures
+                .iter()
+                .flat_map(|f| f.points.iter())
+                .map(|p| p.result.ledger.len())
+                .sum::<usize>()
+        );
     }
 }

@@ -151,9 +151,13 @@ fn main() {
     };
 
     println!("=== stock ticker: 25 brokers, 12 traders (4 mobile), 600 quotes ===");
+    // One shared network per protocol comparison: topology, overlay and
+    // routing tables are built once and reused by every deployment.
+    let network = scenario.build_network();
     for spec in ProtocolRegistry::global().specs() {
-        let factory = spec.instantiate(&scenario);
-        let dep: Deployment<Box<dyn DynProtocol>> = Deployment::build(&config, &specs, factory);
+        let factory = spec.instantiate(&scenario, &network);
+        let dep: Deployment<Box<dyn DynProtocol>> =
+            Deployment::build_on(network.clone(), &config, &specs, factory);
         let (m, r) = drive(dep);
         println!("{:11} {m}\n            {r}", spec.label());
     }

@@ -55,13 +55,7 @@ fn all_kinds() -> Vec<ModelKind> {
 }
 
 fn small_world() -> MobilityWorld {
-    MobilityWorld {
-        grid_side: 4,
-        conn_mean_s: 40.0,
-        disc_mean_s: 20.0,
-        horizon_s: 600.0,
-        scenario_seed: 77,
-    }
+    MobilityWorld::grid(4, 40.0, 20.0, 600.0, 77)
 }
 
 /// Property: identical seeds produce identical traces; traces always satisfy

@@ -40,8 +40,9 @@ fn registry_round_trip_every_name_constructs_and_self_reports() {
         );
     }
     let config = fig5_seeded();
+    let network = config.build_network();
     for spec in registry.specs() {
-        let mut factory = spec.instantiate(&config);
+        let mut factory = spec.instantiate(&config, &network);
         // One instance per broker; each must self-report a name that
         // round-trips to its registry entry.
         for b in 0..3 {
@@ -108,7 +109,7 @@ fn externally_registered_protocol_runs_via_the_facade() {
         "static-external",
         "static",
         "no mobility support (registered by an integration test)",
-        |_config| Box::new(|_broker| erase(NoProtocol)),
+        |_config, _network| Box::new(|_broker| erase(NoProtocol)),
     ));
     let result = Sim::config(fig5_seeded())
         .protocol("static-external")
@@ -159,8 +160,9 @@ fn hand_built_deployments_run_registry_protocols() {
         mobile: true,
     }];
     let scenario = fig5_seeded();
+    let network = scenario.build_network();
     for spec in ProtocolRegistry::builtin().specs() {
-        let factory = spec.instantiate(&scenario);
+        let factory = spec.instantiate(&scenario, &network);
         let dep: Deployment<Box<dyn DynProtocol>> =
             Deployment::build(&dep_config, &clients, factory);
         assert_eq!(
