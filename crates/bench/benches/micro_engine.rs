@@ -1,59 +1,40 @@
-//! Micro-benchmarks of the raw discrete-event engine throughput and of the
-//! fabric dispatch cost: the old two-virtual-call `latency()` + `hops()`
-//! pair against the unified single-call `link()` fast path the engine now
-//! uses.
+//! Micro-benchmarks of raw discrete-event engine throughput — the
+//! overhauled hot path (pooled 4-ary event list, dense/sharded link clocks,
+//! scratch outbox, interned stats) against the pre-overhaul
+//! `ReferenceEngine` baseline (`BinaryHeap` + `HashMap` + per-delivery
+//! allocation + `String`-keyed stats) on identical workloads — plus the
+//! fabric dispatch comparison: the old two-virtual-call `latency()` +
+//! `hops()` pair against the unified single-call `link()` fast path.
+//!
+//! The same ring/burst workloads also anchor the `engine_micro` section of
+//! `BENCH_engine.json` (emitted by the `sweep_runner` bench), where the
+//! ≥20 % deliveries/sec acceptance bar is recorded. CI runs this bench in
+//! fast test mode via `MHH_BENCH_FAST=1`.
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mhh_simnet::{
-    Context, Engine, Envelope, Fabric, GridFabric, Message, Network, Node, NodeId, SimDuration,
-    SimTime, TrafficClass, UniformFabric,
-};
-
-#[derive(Debug, Clone)]
-struct Token(u64);
-
-impl Message for Token {
-    fn traffic_class(&self) -> TrafficClass {
-        TrafficClass::EventRouting
-    }
-    fn kind(&self) -> &'static str {
-        "token"
-    }
-}
-
-struct Ring {
-    next: NodeId,
-    remaining: u64,
-}
-
-impl Node<Token> for Ring {
-    fn on_message(&mut self, env: Envelope<Token>, ctx: &mut Context<Token>) {
-        if self.remaining > 0 {
-            self.remaining -= 1;
-            ctx.send(self.next, Token(env.msg.0 + 1));
-        }
-    }
-}
+use mhh_bench::engine_micro::{burst_new, burst_reference, ring_new, ring_reference};
+use mhh_simnet::{Fabric, GridFabric, Network, NodeId, SimTime};
 
 fn micro_engine(c: &mut Criterion) {
-    c.bench_function("engine_ring_100k_messages", |b| {
-        b.iter(|| {
-            let n = 16u32;
-            let nodes: Vec<Ring> = (0..n)
-                .map(|i| Ring {
-                    next: NodeId((i + 1) % n),
-                    remaining: 100_000 / n as u64,
-                })
-                .collect();
-            let fabric = Arc::new(UniformFabric::new(SimDuration::from_millis(1)));
-            let mut eng = Engine::new(nodes, fabric);
-            eng.schedule_external(SimTime::ZERO, NodeId(0), Token(0));
-            eng.run_to_completion();
-            std::hint::black_box(eng.deliveries())
-        })
+    let mut group = c.benchmark_group("engine_ring_100k_messages");
+    group.bench_function("overhauled", |b| {
+        b.iter(|| std::hint::black_box(ring_new(16, 100_000)))
     });
+    group.bench_function("reference_binaryheap", |b| {
+        b.iter(|| std::hint::black_box(ring_reference(16, 100_000)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("engine_burst_dispatch");
+    group.bench_function("overhauled", |b| {
+        b.iter(|| std::hint::black_box(burst_new(64, 400, 128)))
+    });
+    group.bench_function("reference_binaryheap", |b| {
+        b.iter(|| std::hint::black_box(burst_reference(64, 400, 128)))
+    });
+    group.finish();
 }
 
 /// Old vs new fabric dispatch on the engine's hot path, both through

@@ -11,16 +11,26 @@
 //! the executor. A third, generic-fast-path pass (`run_scenario`) anchors
 //! the `dyn_overhead` field and the byte-identity assertion (dyn ==
 //! generic == parallel).
+//!
+//! A second trajectory file, `BENCH_engine.json` (path overridable via
+//! `BENCH_ENGINE_OUT`), tracks the raw engine hot path: deliveries/sec of
+//! the overhauled engine vs the pre-overhaul `ReferenceEngine` on the
+//! shared ring/burst micro-workloads, plus scenario-level events/sec, peak
+//! queue depth and the allocations-per-delivery sanity counter from
+//! [`run_scenario_perf`] (including a `city-scale` point that exercises the
+//! sharded clock table).
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mhh_bench::engine_micro::{burst_new, burst_reference, measure, ring_new, ring_reference};
 use mhh_bench::{bench_base, BENCH_FIG5_CONN_S};
 use mhh_mobility::sweep::{available_workers, map_parallel};
 use mhh_mobsim::experiments::figure5_with_workers;
 use mhh_mobsim::json::Json;
 use mhh_mobsim::{
-    run_scenario, run_spec, Protocol, ProtocolRegistry, ProtocolSpec, RunResult, ScenarioConfig,
+    run_scenario, run_scenario_perf, run_spec, scenarios, Protocol, ProtocolRegistry, ProtocolSpec,
+    RunResult, ScenarioConfig,
 };
 
 fn sweep_runner(c: &mut Criterion) {
@@ -160,6 +170,98 @@ fn sweep_runner(c: &mut Criterion) {
         serial_s / parallel_s,
         serial_s / generic_serial_s
     );
+
+    engine_trajectory();
+}
+
+/// One micro comparison row: `(workload, deliveries, new, reference)`.
+fn micro_row(workload: &str, deliveries: u64, new_s: f64, reference_s: f64) -> Json {
+    let new_eps = deliveries as f64 / new_s;
+    let ref_eps = deliveries as f64 / reference_s;
+    println!(
+        "engine_micro/{workload:<16} new {new_eps:>12.0} ev/s, reference {ref_eps:>12.0} ev/s \
+         (speedup {:.2}x)",
+        new_eps / ref_eps
+    );
+    Json::obj(vec![
+        ("workload", Json::str(workload)),
+        ("deliveries", Json::UInt(deliveries)),
+        ("new_wall_s", Json::Num(new_s)),
+        ("reference_wall_s", Json::Num(reference_s)),
+        ("new_events_per_sec", Json::Num(new_eps)),
+        ("reference_events_per_sec", Json::Num(ref_eps)),
+        ("speedup", Json::Num(new_eps / ref_eps)),
+    ])
+}
+
+/// Emit `BENCH_engine.json`: the raw-engine half of the perf trajectory.
+fn engine_trajectory() {
+    let tries = if criterion::fast_mode() { 1 } else { 5 };
+
+    // Micro: overhauled vs reference engine on identical workloads. The
+    // ring isolates per-delivery fixed cost; the burst stresses queue depth
+    // and the clock table. These are the acceptance benchmarks — the
+    // recorded speedup is the hot-path overhaul's ≥20 % deliveries/sec bar.
+    let (ring_d, ring_new_s) = measure(tries, || ring_new(16, 100_000));
+    let (ring_rd, ring_ref_s) = measure(tries, || ring_reference(16, 100_000));
+    assert_eq!(ring_d, ring_rd);
+    let (burst_d, burst_new_s) = measure(tries, || burst_new(64, 400, 128));
+    let (burst_rd, burst_ref_s) = measure(tries, || burst_reference(64, 400, 128));
+    assert_eq!(burst_d, burst_rd);
+    let micro = vec![
+        micro_row("ring_100k", ring_d, ring_new_s, ring_ref_s),
+        micro_row("burst_dispatch", burst_d, burst_new_s, burst_ref_s),
+    ];
+
+    // Scenario-level: full pub/sub runs through `run_scenario_perf`. The
+    // figure-bench base runs on the dense clock table; the reduced
+    // `city-scale` point (full 2k-client population, shortened horizon)
+    // runs on the sharded one.
+    let city = scenarios::find("city-scale").expect("registered").config;
+    let scenario_points = [
+        ("bench-fig5-base", bench_base()),
+        (
+            "city-scale-short",
+            ScenarioConfig {
+                duration_s: 300.0,
+                ..city
+            },
+        ),
+    ];
+    let mut scenario_rows = Vec::new();
+    for (name, config) in scenario_points {
+        let t = Instant::now();
+        let (result, perf) = run_scenario_perf(&config, Protocol::Mhh);
+        let wall = t.elapsed().as_secs_f64();
+        let eps = perf.deliveries as f64 / wall;
+        let apd = perf.alloc_events as f64 / perf.deliveries.max(1) as f64;
+        println!(
+            "engine_scenario/{name:<16} {eps:>12.0} ev/s, peak queue {:>8}, \
+             allocs/delivery {apd:.6}",
+            perf.peak_queue_depth
+        );
+        assert!(result.reliable(), "{name}: MHH must stay reliable");
+        scenario_rows.push(Json::obj(vec![
+            ("scenario", Json::str(name)),
+            ("protocol", Json::str("MHH")),
+            ("deliveries", Json::UInt(perf.deliveries)),
+            ("wall_s", Json::Num(wall)),
+            ("events_per_sec", Json::Num(eps)),
+            ("peak_queue_depth", Json::UInt(perf.peak_queue_depth as u64)),
+            ("alloc_events", Json::UInt(perf.alloc_events)),
+            ("allocs_per_delivery", Json::Num(apd)),
+        ]));
+    }
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("engine_hot_path")),
+        ("micro", Json::Arr(micro)),
+        ("scenarios", Json::Arr(scenario_rows)),
+    ]);
+    let out = std::env::var("BENCH_ENGINE_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").into());
+    std::fs::write(&out, doc.pretty() + "\n").expect("write BENCH_engine.json");
+    println!("engine_trajectory -> {out}");
 }
 
 criterion_group!(benches, sweep_runner);

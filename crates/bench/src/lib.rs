@@ -12,6 +12,8 @@
 
 use mhh_mobsim::ScenarioConfig;
 
+pub mod engine_micro;
+
 /// The scaled-down base scenario used by the figure benches.
 pub fn bench_base() -> ScenarioConfig {
     ScenarioConfig {

@@ -47,6 +47,14 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// True when `MHH_BENCH_FAST` is set (to anything but `0`): every bench
+/// runs one warm-up pass and one timed sample, regardless of configured
+/// sampling. This is the shim's "test mode" — CI uses it to smoke-run the
+/// bench binaries in seconds while keeping the printed output shape.
+pub fn fast_mode() -> bool {
+    std::env::var_os("MHH_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
 /// Runs closures under timing; handed to the `bench_*` callbacks.
 pub struct Bencher {
     sample_size: usize,
@@ -59,6 +67,11 @@ impl Bencher {
     /// Time the closure. The closure is run once per sample after a warm-up
     /// pass; the mean and minimum are recorded.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if fast_mode() {
+            self.sample_size = 1;
+            self.warm_up_time = Duration::ZERO;
+            self.measurement_time = Duration::ZERO;
+        }
         // Warm-up: run until the warm-up budget is spent (at least once).
         let warm_start = Instant::now();
         loop {

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use crate::models::{
-    GroupPlatoon, HotspotCommuter, ManhattanGrid, RandomWaypoint, TracePlayback, TraceRecord,
+    GroupPlatoon, HotspotCommuter, ManhattanGrid, Mix, RandomWaypoint, TracePlayback, TraceRecord,
     UniformRandom,
 };
 use crate::trace::MobilityModel;
@@ -38,11 +38,24 @@ pub enum ModelKind {
     },
     /// Replay of an explicit `(time, client, from, to)` move list.
     TracePlayback(Arc<Vec<TraceRecord>>),
+    /// A weighted mixture: each client is deterministically assigned one
+    /// component model for the whole run (heterogeneous populations, e.g.
+    /// the `city-scale` preset's platoon + hotspot mix).
+    Mix(Arc<Vec<(f64, ModelKind)>>),
 }
 
 impl ModelKind {
     /// Instantiate the described model.
     pub fn build(&self) -> Box<dyn MobilityModel> {
+        self.build_at(0)
+    }
+
+    /// [`build`](Self::build) at a mixture nesting depth: each nested `Mix`
+    /// salts its per-client assignment draw with its depth, so an inner
+    /// mixture's draw is independent of the outer one (identical streams
+    /// would starve inner components — every client reaching the inner mix
+    /// would carry a correlated draw).
+    fn build_at(&self, depth: u64) -> Box<dyn MobilityModel> {
         match self {
             ModelKind::UniformRandom => Box::new(UniformRandom),
             ModelKind::RandomWaypoint { pause_mean_s } => Box::new(RandomWaypoint {
@@ -64,6 +77,13 @@ impl ModelKind {
             ModelKind::TracePlayback(records) => {
                 Box::new(TracePlayback::new(records.as_ref().clone()))
             }
+            ModelKind::Mix(parts) => Box::new(Mix::with_salt(
+                depth,
+                parts
+                    .iter()
+                    .map(|(w, k)| (*w, k.build_at(depth + 1)))
+                    .collect(),
+            )),
         }
     }
 
@@ -77,7 +97,13 @@ impl ModelKind {
             ModelKind::HotspotCommuter { .. } => "hotspot-commuter",
             ModelKind::GroupPlatoon { .. } => "group-platoon",
             ModelKind::TracePlayback(_) => "trace-playback",
+            ModelKind::Mix(_) => "mix",
         }
+    }
+
+    /// A weighted mixture of the given `(weight, kind)` components.
+    pub fn mix(parts: Vec<(f64, ModelKind)>) -> ModelKind {
+        ModelKind::Mix(Arc::new(parts))
     }
 
     /// The five synthetic models with default parameters (everything except
@@ -123,6 +149,16 @@ impl std::fmt::Display for ModelKind {
             }
             ModelKind::TracePlayback(records) => {
                 write!(f, "{}(n={})", self.label(), records.len())
+            }
+            ModelKind::Mix(parts) => {
+                write!(f, "{}(", self.label())?;
+                for (i, (w, kind)) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{kind}:{w}")?;
+                }
+                f.write_str(")")
             }
         }
     }
@@ -178,6 +214,30 @@ mod tests {
             ModelKind::TracePlayback(Arc::new(vec![])).to_string(),
             "trace-playback(n=0)"
         );
+    }
+
+    #[test]
+    fn mix_kind_builds_and_displays_components() {
+        let mix = ModelKind::mix(vec![
+            (
+                0.5,
+                ModelKind::GroupPlatoon {
+                    platoon_size: 8,
+                    jitter_s: 10.0,
+                },
+            ),
+            (0.5, ModelKind::HotspotCommuter { hotspots: 5 }),
+        ]);
+        assert_eq!(mix.label(), "mix");
+        assert_eq!(mix.build().name(), "mix");
+        assert_eq!(
+            mix.to_string(),
+            "mix(group-platoon(size=8,jitter=10s):0.5,hotspot-commuter(hotspots=5):0.5)"
+        );
+        // Parameter points stay distinguishable through the mixture.
+        let other = ModelKind::mix(vec![(1.0, ModelKind::ManhattanGrid)]);
+        assert_ne!(mix.to_string(), other.to_string());
+        assert_eq!(other.to_string(), "mix(manhattan-grid:1)");
     }
 
     #[test]

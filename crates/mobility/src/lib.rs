@@ -63,7 +63,7 @@ pub mod trace;
 pub use kind::ModelKind;
 pub use mhh_simnet::TopologyKind;
 pub use models::{
-    GroupPlatoon, HotspotCommuter, ManhattanGrid, RandomWaypoint, TracePlayback, TraceRecord,
+    GroupPlatoon, HotspotCommuter, ManhattanGrid, Mix, RandomWaypoint, TracePlayback, TraceRecord,
     UniformRandom,
 };
 pub use parse::{parse_trace, TraceParseError};

@@ -524,6 +524,101 @@ impl MobilityModel for GroupPlatoon {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Mix
+// ---------------------------------------------------------------------------
+
+/// A weighted mixture of mobility models: each client is assigned **one**
+/// component for the whole run by a deterministic weighted draw keyed on
+/// `(scenario_seed, client)`, then behaves exactly like that component.
+/// This is how heterogeneous city workloads are described — e.g. the
+/// `city-scale` preset mixes vehicle platoons (bulk proclaimed migrations)
+/// with hotspot commuters (flash-crowd contention) in one population.
+///
+/// The assignment draw is independent of the per-client trace seed, so a
+/// component model sees exactly the seed it would have seen running alone.
+pub struct Mix {
+    /// `(weight, model)` components; weights are relative (normalized over
+    /// their sum) and non-positive weights drop the component.
+    pub parts: Vec<(f64, Box<dyn MobilityModel>)>,
+    /// Decorrelation salt for the assignment draw. A *nested* mixture must
+    /// not reuse its parent's `(scenario_seed, client)` stream — the inner
+    /// draw would be perfectly correlated with the outer one and starve
+    /// components — so [`ModelKind::build`](crate::ModelKind::build) salts
+    /// each nesting level with its depth. `0` for a top-level mixture.
+    pub salt: u64,
+}
+
+impl Mix {
+    /// Build a top-level mixture from weighted components.
+    pub fn new(parts: Vec<(f64, Box<dyn MobilityModel>)>) -> Self {
+        Mix { parts, salt: 0 }
+    }
+
+    /// Build a mixture whose assignment draw is decorrelated by `salt`
+    /// (nested mixtures: pass the nesting depth).
+    pub fn with_salt(salt: u64, parts: Vec<(f64, Box<dyn MobilityModel>)>) -> Self {
+        Mix { parts, salt }
+    }
+
+    /// Which component moves `client` (index into `parts`), or `None` when
+    /// the mixture is empty or all weights are non-positive.
+    pub fn component_of(&self, world: &MobilityWorld, client: u32) -> Option<usize> {
+        let total: f64 = self.parts.iter().map(|(w, _)| w.max(0.0)).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        // One draw per client from a stream independent of the trace seeds
+        // (and, via the salt, of any enclosing mixture's draw).
+        let mut rng = DetRng::new(
+            world.scenario_seed
+                ^ (client as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ self.salt.wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        let mut x = rng.next_f64() * total;
+        for (i, (w, _)) in self.parts.iter().enumerate() {
+            let w = w.max(0.0);
+            if x < w {
+                return Some(i);
+            }
+            x -= w;
+        }
+        // Float rounding landed past the last positive weight.
+        self.parts.iter().rposition(|(w, _)| *w > 0.0)
+    }
+}
+
+impl MobilityModel for Mix {
+    fn name(&self) -> &'static str {
+        "mix"
+    }
+
+    fn trace(&self, world: &MobilityWorld, client: u32, home: u32, seed: u64) -> MoveTrace {
+        match self.component_of(world, client) {
+            Some(i) => self.parts[i].1.trace(world, client, home, seed),
+            None => MoveTrace::default(),
+        }
+    }
+
+    fn drives_all_clients(&self) -> bool {
+        // Conservative answer for callers that only have the coarse flag; the
+        // workload generator asks the precise per-client question below.
+        self.parts.iter().any(|(_, m)| m.drives_all_clients())
+    }
+
+    fn drives_client(&self, world: &MobilityWorld, client: u32, mobile: bool) -> bool {
+        // Ask the client's assigned component: a playback component drives
+        // its recorded clients regardless of the mobile flag, while clients
+        // assigned to a synthetic component stay bound by the sampled
+        // mobile fraction (a mixture must not move more of the population
+        // than its components would alone).
+        match self.component_of(world, client) {
+            Some(i) => self.parts[i].1.drives_client(world, client, mobile),
+            None => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -786,5 +881,158 @@ mod tests {
         assert!(!UniformRandom.drives_all_clients());
         // Clients with no records do not move.
         assert!(m.trace(&w, 5, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn mix_assigns_each_client_one_component_deterministically() {
+        let w = world();
+        let mix = Mix::new(vec![
+            (
+                0.5,
+                Box::new(GroupPlatoon::default()) as Box<dyn MobilityModel>,
+            ),
+            (0.5, Box::new(HotspotCommuter::default())),
+        ]);
+        let mut counts = [0usize; 2];
+        for client in 0..200u32 {
+            let c = mix.component_of(&w, client).expect("positive weights");
+            counts[c] += 1;
+            assert_eq!(
+                mix.component_of(&w, client),
+                Some(c),
+                "assignment must be deterministic"
+            );
+            // The trace is exactly the assigned component's trace.
+            let got = mix.trace(&w, client, client % 25, 7 + client as u64);
+            let want = if c == 0 {
+                GroupPlatoon::default().trace(&w, client, client % 25, 7 + client as u64)
+            } else {
+                HotspotCommuter::default().trace(&w, client, client % 25, 7 + client as u64)
+            };
+            assert_eq!(got, want);
+            assert!(validate_trace(&w, client % 25, &got).is_ok());
+        }
+        // Both components actually occur at ~even weights.
+        assert!(counts[0] > 50 && counts[1] > 50, "skewed split: {counts:?}");
+        assert!(!mix.drives_all_clients());
+    }
+
+    #[test]
+    fn mix_weights_shift_the_split_and_degenerate_cases_are_safe() {
+        let w = world();
+        let lopsided = Mix::new(vec![
+            (9.0, Box::new(UniformRandom) as Box<dyn MobilityModel>),
+            (1.0, Box::new(ManhattanGrid)),
+        ]);
+        let uniform_share = (0..300u32)
+            .filter(|&c| lopsided.component_of(&w, c) == Some(0))
+            .count();
+        assert!(uniform_share > 230, "9:1 weights, got {uniform_share}/300");
+        // Non-positive weights drop components; all-dropped moves nobody.
+        let dead = Mix::new(vec![(
+            0.0,
+            Box::new(UniformRandom) as Box<dyn MobilityModel>,
+        )]);
+        assert_eq!(dead.component_of(&w, 3), None);
+        assert!(dead.trace(&w, 3, 0, 1).is_empty());
+        let skewed = Mix::new(vec![
+            (-1.0, Box::new(UniformRandom) as Box<dyn MobilityModel>),
+            (2.0, Box::new(ManhattanGrid)),
+        ]);
+        assert_eq!(skewed.component_of(&w, 11), Some(1));
+    }
+
+    #[test]
+    fn mix_with_playback_component_drives_all_clients() {
+        let mix = Mix::new(vec![
+            (1.0, Box::new(UniformRandom) as Box<dyn MobilityModel>),
+            (
+                1.0,
+                Box::new(TracePlayback::new(vec![TraceRecord {
+                    at_s: 10.0,
+                    client: 0,
+                    from: 0,
+                    to: 1,
+                }])),
+            ),
+        ]);
+        assert!(mix.drives_all_clients());
+        assert_eq!(mix.name(), "mix");
+    }
+
+    /// A playback component must not smuggle the whole synthetic half of a
+    /// mixture past the mobile fraction: per client, only the *assigned*
+    /// component's answer counts.
+    #[test]
+    fn mix_with_playback_keeps_synthetic_clients_bound_by_the_mobile_flag() {
+        let w = world();
+        let mix = Mix::new(vec![
+            (1.0, Box::new(UniformRandom) as Box<dyn MobilityModel>),
+            (
+                1.0,
+                Box::new(TracePlayback::new(vec![TraceRecord {
+                    at_s: 10.0,
+                    client: 0,
+                    from: 0,
+                    to: 1,
+                }])),
+            ),
+        ]);
+        let mut playback_assigned = 0;
+        for client in 0..100u32 {
+            let assigned = mix.component_of(&w, client).unwrap();
+            playback_assigned += usize::from(assigned == 1);
+            // Non-mobile clients are consulted only when their assigned
+            // component is the playback; mobile clients always are.
+            assert_eq!(mix.drives_client(&w, client, false), assigned == 1);
+            assert!(mix.drives_client(&w, client, true));
+        }
+        assert!(playback_assigned > 0, "split must hit both components");
+        // A pure-synthetic mixture never overrides the mobile flag.
+        let synthetic = Mix::new(vec![
+            (1.0, Box::new(UniformRandom) as Box<dyn MobilityModel>),
+            (1.0, Box::new(ManhattanGrid)),
+        ]);
+        assert!((0..100).all(|c| !synthetic.drives_client(&w, c, false)));
+    }
+
+    /// A nested mixture's assignment draw must be independent of the outer
+    /// one: without the depth salt, every client routed into the inner mix
+    /// carries a correlated draw and one inner component is starved.
+    #[test]
+    fn nested_mix_components_are_not_starved() {
+        use crate::ModelKind;
+        let w = world();
+        let kind = ModelKind::mix(vec![
+            (0.5, ModelKind::UniformRandom),
+            (
+                0.5,
+                ModelKind::mix(vec![
+                    (0.5, ModelKind::ManhattanGrid),
+                    (0.5, ModelKind::HotspotCommuter { hotspots: 3 }),
+                ]),
+            ),
+        ]);
+        let model = kind.build();
+        // Distinguish which leaf moved each client by the trace it produces.
+        let outer_uniform = UniformRandom;
+        let inner_manhattan = ManhattanGrid;
+        let (mut uniform, mut manhattan, mut hotspot) = (0, 0, 0);
+        for client in 0..400u32 {
+            let seed = 1000 + client as u64;
+            let got = model.trace(&w, client, client % 25, seed);
+            if got == outer_uniform.trace(&w, client, client % 25, seed) {
+                uniform += 1;
+            } else if got == inner_manhattan.trace(&w, client, client % 25, seed) {
+                manhattan += 1;
+            } else {
+                hotspot += 1;
+            }
+        }
+        // Expected ~200/100/100; the starvation bug made one inner count 0.
+        assert!(
+            uniform > 120 && manhattan > 40 && hotspot > 40,
+            "skewed nested split: uniform={uniform} manhattan={manhattan} hotspot={hotspot}"
+        );
     }
 }

@@ -154,6 +154,18 @@ pub trait MobilityModel: Send + Sync {
     fn drives_all_clients(&self) -> bool {
         false
     }
+
+    /// Whether the workload generator should consult this model for *this*
+    /// client, given the client's sampled mobile flag. The default —
+    /// `mobile || drives_all_clients()` — is what the generator historically
+    /// inlined; [`Mix`](crate::models::Mix) overrides it to ask the client's
+    /// *assigned component*, so a playback component drives exactly its
+    /// recorded clients while synthetic components keep honouring the
+    /// sampled mobile fraction.
+    fn drives_client(&self, world: &MobilityWorld, client: u32, mobile: bool) -> bool {
+        let _ = (world, client);
+        mobile || self.drives_all_clients()
+    }
 }
 
 /// Minimum dwell/gap length in seconds; keeps successive times strictly

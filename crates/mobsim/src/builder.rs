@@ -28,7 +28,7 @@
 
 use std::time::Duration;
 
-use mhh_mobility::sweep::{available_workers, map_parallel};
+use mhh_mobility::sweep::{available_workers, map_parallel_budgeted};
 use mhh_mobility::ModelKind;
 use mhh_simnet::TopologyKind;
 
@@ -321,15 +321,38 @@ impl SimBuilder {
 
     /// Run the configured scenario once per registered protocol (paired
     /// comparison over the identical workload), in registry order, fanned
-    /// out over the configured workers.
+    /// out over the configured workers. Ignores any configured budget; use
+    /// [`run_all_budgeted`](Self::run_all_budgeted) to honour it.
     pub fn run_all(self) -> Result<Vec<RunResult>, SimError> {
+        // One shared fan-out path: an unbudgeted map completes every spec.
+        let (results, skipped) = Self {
+            budget: None,
+            ..self
+        }
+        .run_all_budgeted()?;
+        debug_assert!(skipped.is_empty());
+        Ok(results)
+    }
+
+    /// [`run_all`](Self::run_all) honouring any
+    /// [`budget_ms`](Self::budget_ms): protocols that cannot *start* before
+    /// the budget elapses are dropped from the results and reported by
+    /// label in the second element (never silently truncated). The CI smoke
+    /// of the `city-scale` stress preset runs through this, so a slow
+    /// machine degrades to fewer protocols instead of a hung job.
+    pub fn run_all_budgeted(self) -> Result<(Vec<RunResult>, Vec<String>), SimError> {
         let registry = self.registry_in_use();
         let workers = self.workers_in_use();
+        let budget = self.budget;
         let config = self.config?;
         let specs: Vec<_> = registry.specs().to_vec();
-        Ok(map_parallel(&specs, workers, |spec| {
-            run_spec(&config, spec)
-        }))
+        let map = map_parallel_budgeted(&specs, workers, budget, |spec| run_spec(&config, spec));
+        let skipped = map
+            .skipped
+            .iter()
+            .map(|&i| specs[i].label().to_string())
+            .collect();
+        Ok((map.results.into_iter().flatten().collect(), skipped))
     }
 
     /// Run the Figure 5 sweep (connection-period lengths × every registered
@@ -423,6 +446,33 @@ mod tests {
             shown.contains("nope") && shown.contains("paper-fig5"),
             "{shown}"
         );
+    }
+
+    #[test]
+    fn run_all_budgeted_without_budget_matches_run_all() {
+        let shrink = |b: SimBuilder| {
+            b.grid_side(3)
+                .clients_per_broker(2)
+                .duration_s(120.0)
+                .workers(2)
+        };
+        let (budgeted, skipped) = shrink(Sim::scenario("trace-smoke"))
+            .run_all_budgeted()
+            .unwrap();
+        assert!(
+            skipped.is_empty(),
+            "no budget, nothing skipped: {skipped:?}"
+        );
+        let plain = shrink(Sim::scenario("trace-smoke")).run_all().unwrap();
+        assert_eq!(format!("{budgeted:?}"), format!("{plain:?}"));
+        // An already-expired budget skips every protocol, reported by label.
+        let (none, skipped) = shrink(Sim::scenario("trace-smoke"))
+            .budget_ms(0)
+            .run_all_budgeted()
+            .unwrap();
+        assert!(none.is_empty());
+        assert_eq!(skipped.len(), 3, "all three builtins reported: {skipped:?}");
+        assert!(skipped.iter().any(|s| s == "MHH"));
     }
 
     #[test]

@@ -60,6 +60,6 @@ pub use metrics::{GapPercentiles, HandoverKind, HandoverLedger, HandoverRecord, 
 pub use mhh_mobility::ModelKind;
 pub use mhh_simnet::TopologyKind;
 pub use protocols::{ProtocolRegistry, ProtocolSpec};
-pub use runner::{run_named, run_scenario, run_spec};
+pub use runner::{run_named, run_scenario, run_scenario_perf, run_spec};
 pub use scenarios::Scenario;
 pub use workload::Workload;

@@ -16,7 +16,7 @@ use mhh_core::Mhh;
 use mhh_pubsub::broker::MobilityProtocol;
 use mhh_pubsub::delivery::{audit, SubscriberLog};
 use mhh_pubsub::{ClientId, Deployment, DeploymentConfig, Event, NetMsg};
-use mhh_simnet::{Network, SimDuration, TrafficClass};
+use mhh_simnet::{EnginePerf, Network, SimDuration, TrafficClass};
 
 use crate::builder::SimError;
 use crate::config::{Protocol, ScenarioConfig};
@@ -45,6 +45,14 @@ fn deployment_config(config: &ScenarioConfig) -> DeploymentConfig {
 /// **once** here and shared by the workload generator, the safety-interval
 /// derivation and the deployment.
 pub fn run_scenario(config: &ScenarioConfig, protocol: Protocol) -> RunResult {
+    run_scenario_perf(config, protocol).0
+}
+
+/// [`run_scenario`] plus the engine's hot-path performance counters
+/// ([`EnginePerf`]: peak queue depth, storage-growth events) — the counters
+/// the `BENCH_engine.json` trajectory records. The metrics half is
+/// byte-identical to [`run_scenario`]'s.
+pub fn run_scenario_perf(config: &ScenarioConfig, protocol: Protocol) -> (RunResult, EnginePerf) {
     let network = config.build_network();
     let workload = Workload::generate_on(config, &network);
     let label = protocol.label();
@@ -68,7 +76,7 @@ pub fn run_spec(config: &ScenarioConfig, spec: &ProtocolSpec) -> RunResult {
     let network = config.build_network();
     let workload = Workload::generate_on(config, &network);
     let factory = spec.instantiate(config, &network);
-    run_with(config, network, spec.label(), &workload, factory)
+    run_with(config, network, spec.label(), &workload, factory).0
 }
 
 /// Run one scenario with a protocol resolved by name in the process-wide
@@ -87,7 +95,7 @@ fn run_with<P, F>(
     label: &str,
     workload: &Workload,
     make_protocol: F,
-) -> RunResult
+) -> (RunResult, EnginePerf)
 where
     P: MobilityProtocol,
     F: FnMut(mhh_pubsub::BrokerId) -> P,
@@ -104,7 +112,8 @@ where
         );
     }
     dep.engine.run_to_completion();
-    collect(config, label, dep)
+    let perf = dep.engine.perf();
+    (collect(config, label, dep), perf)
 }
 
 fn collect<P: MobilityProtocol>(
@@ -256,6 +265,28 @@ mod tests {
         let generic = run_scenario(&cfg, Protocol::Mhh);
         assert_eq!(format!("{by_name:?}"), format!("{generic:?}"));
         assert!(run_named(&cfg, "no-such-protocol").is_err());
+    }
+
+    #[test]
+    fn perf_counters_accompany_identical_metrics() {
+        let cfg = tiny();
+        let (r, perf) = run_scenario_perf(&cfg, Protocol::Mhh);
+        let plain = run_scenario(&cfg, Protocol::Mhh);
+        assert_eq!(
+            format!("{r:?}"),
+            format!("{plain:?}"),
+            "the perf variant must not change the metrics"
+        );
+        assert!(perf.deliveries > 0);
+        assert!(perf.peak_queue_depth > 0);
+        // The allocation sanity counter: storage growths are a vanishing
+        // fraction of deliveries even in a short run.
+        assert!(
+            (perf.alloc_events as f64) < 0.5 * perf.deliveries as f64,
+            "alloc_events {} vs deliveries {}",
+            perf.alloc_events,
+            perf.deliveries
+        );
     }
 
     #[test]

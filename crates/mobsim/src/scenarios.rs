@@ -82,6 +82,36 @@ pub fn registry() -> Vec<Scenario> {
             },
         },
         Scenario {
+            name: "city-scale",
+            summary: "The engine stress preset: a 64-broker scale-free city \
+                      backbone with 2,048 clients, half the movers in \
+                      proclaimed vehicle platoons and half commuting into \
+                      five shared hotspots — the workload the hot-path \
+                      overhaul (dense/sharded link clocks, pooled event \
+                      list) is sized for.",
+            config: ScenarioConfig {
+                grid_side: 8,
+                topology: TopologyKind::ScaleFree { edges_per_node: 2 },
+                clients_per_broker: 32,
+                mobile_fraction: 0.3,
+                conn_mean_s: 120.0,
+                disc_mean_s: 45.0,
+                publish_interval_s: 120.0,
+                duration_s: 900.0,
+                mobility: ModelKind::mix(vec![
+                    (
+                        0.5,
+                        ModelKind::GroupPlatoon {
+                            platoon_size: 8,
+                            jitter_s: 10.0,
+                        },
+                    ),
+                    (0.5, ModelKind::HotspotCommuter { hotspots: 5 }),
+                ]),
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
             name: "scale-free-jitter",
             summary: "Beyond the paper's environment: a Barabási–Albert \
                       scale-free broker backbone with jittered, asymmetric \
@@ -255,6 +285,25 @@ mod tests {
         assert_eq!(
             find("platoon-convoy").unwrap().config.mobility.label(),
             "group-platoon"
+        );
+        assert_eq!(find("city-scale").unwrap().config.mobility.label(), "mix");
+    }
+
+    #[test]
+    fn city_scale_is_actually_city_scale() {
+        let c = find("city-scale").unwrap().config;
+        assert!(c.broker_count() >= 64, "needs a city-sized backbone");
+        assert!(c.client_count() >= 2_000, "needs ≥2000 clients");
+        assert_eq!(c.topology.label(), "scale-free");
+        // The mixture carries both stress components.
+        let rendered = c.mobility.to_string();
+        assert!(rendered.contains("group-platoon"), "{rendered}");
+        assert!(rendered.contains("hotspot-commuter"), "{rendered}");
+        // Past the dense clock-table threshold: this preset exercises the
+        // sharded representation (brokers + clients = engine nodes).
+        assert!(
+            c.broker_count() + c.client_count() > mhh_simnet::clocks::DENSE_NODE_LIMIT,
+            "city-scale should run on the sharded clock table"
         );
     }
 

@@ -107,8 +107,9 @@ impl Workload {
             // into a deterministic move trace; each step becomes a
             // disconnect/reconnect pair on the timeline. Synthetic models
             // move the sampled mobile fraction; trace playback drives
-            // exactly the clients its records mention.
-            if spec.mobile || model.drives_all_clients() {
+            // exactly the clients its records mention; a mixture answers
+            // per client via its assigned component.
+            if model.drives_client(&world, client.0, spec.mobile) {
                 let trace = model.trace(&world, client.0, spec.home.0, crng.next_u64());
                 // The proclamation override draws from a stream forked *after*
                 // the trace seed, so enabling it never perturbs the move

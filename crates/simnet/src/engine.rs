@@ -22,14 +22,35 @@
 //! zero-jitter runs byte-identical to the pre-clock engine. Property tests
 //! in this module and in `tests/network_substrate.rs` check the guarantee
 //! directly.
+//!
+//! # The hot path
+//!
+//! One delivery = one [`EventQueue`] pop, one node callback, and one
+//! [`LinkClocks::advance`] + [`TrafficStats::record`] per outgoing message.
+//! All three structures are allocation-free in steady state:
+//!
+//! * the future-event list is a pooled, indexed 4-ary min-heap
+//!   ([`crate::queue`]) — sifting moves 24-byte keys, envelopes sit in
+//!   recycled slab slots;
+//! * the channel clocks are a dense flat table for grid-sized runs and
+//!   sharded open addressing at city scale ([`crate::clocks`]);
+//! * the per-delivery outbox is an engine-owned scratch buffer swapped into
+//!   the [`Context`] and drained back out, so its capacity is reused across
+//!   every delivery of the run;
+//! * stats record through interned kind indices ([`crate::stats`]).
+//!
+//! [`Engine::perf`] reports the peak queue depth and a storage-growth
+//! counter so benches can assert the steady state really stops allocating.
+//! The pre-overhaul engine survives as [`crate::reference::ReferenceEngine`]
+//! — a differential oracle: `tests/engine_equivalence.rs` drives identical
+//! seeded workloads through both and asserts identical delivery sequences.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-use std::hash::BuildHasherDefault;
 use std::sync::Arc;
 
+use crate::clocks::LinkClocks;
 use crate::fabric::Fabric;
 use crate::ids::NodeId;
+use crate::queue::{EventQueue, PopBefore};
 use crate::stats::{Message, TrafficStats};
 use crate::time::{SimDuration, SimTime};
 
@@ -54,6 +75,10 @@ pub trait Node<M: Message> {
 
 /// Per-delivery context handed to a node: lets the node read the clock and
 /// queue outgoing messages/timers. The engine drains it after the callback.
+///
+/// The outbox storage is owned by the engine and swapped in per delivery, so
+/// a warmed-up run performs no allocation here no matter how many messages
+/// a callback emits.
 #[derive(Debug)]
 pub struct Context<M> {
     now: SimTime,
@@ -62,18 +87,24 @@ pub struct Context<M> {
 }
 
 #[derive(Debug)]
-enum Outgoing<M> {
+pub(crate) enum Outgoing<M> {
     Send { to: NodeId, msg: M },
     Timer { delay: SimDuration, msg: M },
 }
 
 impl<M> Context<M> {
-    fn new(now: SimTime, self_id: NodeId) -> Self {
+    /// Build a context around an existing (reused) outbox buffer.
+    pub(crate) fn with_outbox(now: SimTime, self_id: NodeId, outbox: Vec<Outgoing<M>>) -> Self {
         Context {
             now,
             self_id,
-            outbox: Vec::new(),
+            outbox,
         }
+    }
+
+    /// Surrender the outbox (engine-side drain after the node callback).
+    pub(crate) fn into_outbox(self) -> Vec<Outgoing<M>> {
+        self.outbox
     }
 
     /// Current simulation time.
@@ -95,54 +126,6 @@ impl<M> Context<M> {
     /// Timers do not traverse the network and are never counted as traffic.
     pub fn schedule(&mut self, delay: SimDuration, msg: M) {
         self.outbox.push(Outgoing::Timer { delay, msg });
-    }
-}
-
-/// One entry of the future event list.
-#[derive(Debug)]
-struct Scheduled<M> {
-    at: SimTime,
-    seq: u64,
-    env: Envelope<M>,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-/// Multiply-mix hasher for the packed `(from, to)` link keys: the channel
-/// clock lookup sits on the engine's per-send hot path, where the default
-/// SipHash would cost more than the virtual call the `LinkCost` refactor
-/// saved. One shared [`mix64`](crate::random) finalization over a single
-/// `u64` is plenty for dense node-id pairs.
-#[derive(Default)]
-struct LinkKeyHasher(u64);
-
-impl std::hash::Hasher for LinkKeyHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        // Only u64 link keys are ever hashed; keep a correct fallback.
-        for &b in bytes {
-            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-    fn write_u64(&mut self, v: u64) {
-        self.0 = crate::random::mix64(v);
     }
 }
 
@@ -174,10 +157,29 @@ pub enum RunOutcome {
     HitDeliveryLimit,
 }
 
+/// Engine-level performance counters, read after (or during) a run.
+///
+/// `alloc_events` counts storage-growth events across the engine's hot-path
+/// structures: future-event-list slab slots and heap regrowths, channel
+/// clock-table rehashes, and scratch-outbox capacity growths. Divided by
+/// [`deliveries`](Self::deliveries) it is the *allocations-per-delivery
+/// sanity counter*: in steady state the ratio falls toward zero because
+/// every structure recycles its storage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnginePerf {
+    /// Messages delivered so far (including timers).
+    pub deliveries: u64,
+    /// High-water mark of the future event list.
+    pub peak_queue_depth: usize,
+    /// Storage growth events across queue slab/heap, clock table and
+    /// scratch outbox.
+    pub alloc_events: u64,
+}
+
 /// The discrete-event engine.
 pub struct Engine<M: Message, N: Node<M>> {
     nodes: Vec<N>,
-    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    queue: EventQueue<M>,
     now: SimTime,
     seq: u64,
     fabric: Arc<dyn Fabric>,
@@ -185,25 +187,36 @@ pub struct Engine<M: Message, N: Node<M>> {
     config: EngineConfig,
     delivered: u64,
     /// Per-`(from, to)` channel clocks: the latest delivery instant already
-    /// scheduled on each ordered pair (keyed by `ids::pack_pair`). Deliveries
-    /// are clamped to `max(now + latency, clock)`, which is what makes
-    /// per-link FIFO hold under variable-latency fabrics.
-    link_clock: HashMap<u64, SimTime, BuildHasherDefault<LinkKeyHasher>>,
+    /// scheduled on each ordered pair. Deliveries are clamped to
+    /// `max(now + latency, clock)`, which is what makes per-link FIFO hold
+    /// under variable-latency fabrics. Dense flat table for grid-sized
+    /// runs, sharded open addressing above [`crate::clocks::DENSE_NODE_LIMIT`].
+    link_clock: LinkClocks,
+    /// Engine-owned outbox storage, swapped into each delivery's
+    /// [`Context`]; `scratch_cap`/`scratch_grows` track its growth for the
+    /// allocation sanity counter.
+    scratch: Vec<Outgoing<M>>,
+    scratch_cap: usize,
+    scratch_grows: u64,
 }
 
 impl<M: Message, N: Node<M>> Engine<M, N> {
     /// Create an engine over the given nodes and fabric.
     pub fn new(nodes: Vec<N>, fabric: Arc<dyn Fabric>) -> Self {
+        let link_clock = LinkClocks::new(nodes.len());
         Engine {
             nodes,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             now: SimTime::ZERO,
             seq: 0,
             fabric,
             stats: TrafficStats::new(),
             config: EngineConfig::default(),
             delivered: 0,
-            link_clock: HashMap::default(),
+            link_clock,
+            scratch: Vec::new(),
+            scratch_cap: 0,
+            scratch_grows: 0,
         }
     }
 
@@ -253,22 +266,33 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         self.queue.len()
     }
 
+    /// Hot-path performance counters (peak queue depth, storage growths).
+    pub fn perf(&self) -> EnginePerf {
+        EnginePerf {
+            deliveries: self.delivered,
+            peak_queue_depth: self.queue.peak_len(),
+            alloc_events: self.queue.alloc_events()
+                + self.link_clock.alloc_events()
+                + self.scratch_grows,
+        }
+    }
+
     /// Inject a message from the outside world (workload driver) to be
     /// delivered to `to` at absolute time `at`. The `from` field of the
     /// envelope is set to `to` itself, mirroring a local timer.
     pub fn schedule_external(&mut self, at: SimTime, to: NodeId, msg: M) {
         assert!(at >= self.now, "cannot schedule in the past");
         let seq = self.next_seq();
-        self.queue.push(Reverse(Scheduled {
+        self.queue.push(
             at,
             seq,
-            env: Envelope {
+            Envelope {
                 from: to,
                 to,
                 sent_at: at,
                 msg,
             },
-        }));
+        );
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -277,8 +301,10 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         s
     }
 
-    fn enqueue_outgoing(&mut self, origin: NodeId, sent_at: SimTime, out: Vec<Outgoing<M>>) {
-        for o in out {
+    /// Drain a delivery's outbox into the future event list. The buffer is
+    /// left empty (capacity intact) for reuse.
+    fn enqueue_outgoing(&mut self, origin: NodeId, sent_at: SimTime, out: &mut Vec<Outgoing<M>>) {
+        for o in out.drain(..) {
             match o {
                 Outgoing::Send { to, msg } => {
                     // One virtual call on the hot path: latency and hops come
@@ -289,55 +315,64 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                         .record(msg.traffic_class(), msg.kind(), cost.hops);
                     // Per-link FIFO by construction: never deliver before
                     // anything already scheduled on this ordered pair.
-                    let clock = self
-                        .link_clock
-                        .entry(crate::ids::pack_pair(origin, to))
-                        .or_insert(SimTime::ZERO);
-                    let at = (sent_at + cost.latency).max(*clock);
-                    *clock = at;
-                    self.queue.push(Reverse(Scheduled {
+                    let at = self.link_clock.advance(origin, to, sent_at + cost.latency);
+                    self.queue.push(
                         at,
                         seq,
-                        env: Envelope {
+                        Envelope {
                             from: origin,
                             to,
                             sent_at,
                             msg,
                         },
-                    }));
+                    );
                 }
                 Outgoing::Timer { delay, msg } => {
                     let seq = self.next_seq();
-                    self.queue.push(Reverse(Scheduled {
-                        at: sent_at + delay,
+                    self.queue.push(
+                        sent_at + delay,
                         seq,
-                        env: Envelope {
+                        Envelope {
                             from: origin,
                             to: origin,
                             sent_at,
                             msg,
                         },
-                    }));
+                    );
                 }
             }
         }
     }
 
-    /// Deliver a single message. Returns `false` when the queue is empty.
-    pub fn step(&mut self) -> bool {
-        let Some(Reverse(next)) = self.queue.pop() else {
-            return false;
-        };
-        debug_assert!(next.at >= self.now, "time must be monotone");
-        self.now = next.at;
+    /// Deliver one already-popped event: advance the clock, run the node
+    /// callback with the engine's scratch outbox, enqueue what it emitted.
+    fn deliver(&mut self, at: SimTime, env: Envelope<M>) {
+        debug_assert!(at >= self.now, "time must be monotone");
+        self.now = at;
         self.delivered += 1;
         self.stats.deliveries += 1;
-        let to = next.env.to;
-        let mut ctx = Context::new(self.now, to);
-        self.nodes[to.index()].on_message(next.env, &mut ctx);
-        let outbox = std::mem::take(&mut ctx.outbox);
-        self.enqueue_outgoing(to, self.now, outbox);
-        true
+        let to = env.to;
+        let mut ctx = Context::with_outbox(at, to, std::mem::take(&mut self.scratch));
+        self.nodes[to.index()].on_message(env, &mut ctx);
+        let mut out = ctx.into_outbox();
+        if out.capacity() > self.scratch_cap {
+            self.scratch_cap = out.capacity();
+            self.scratch_grows += 1;
+        }
+        self.enqueue_outgoing(to, at, &mut out);
+        debug_assert!(out.is_empty());
+        self.scratch = out;
+    }
+
+    /// Deliver a single message. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((at, env)) => {
+                self.deliver(at, env);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Run until the future event list is empty or a limit is hit.
@@ -354,19 +389,24 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
 
     /// Run until the clock passes `horizon` (events scheduled later stay in
     /// the queue), the queue drains, or a limit is hit.
+    ///
+    /// The hot loop performs a *single* queue access per delivery:
+    /// [`EventQueue::pop_at_or_before`] peeks the root key in place and only
+    /// pops when the event is due (the old loop peeked the `BinaryHeap`,
+    /// then `step()` popped the same entry again).
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
         let budget = self.config.max_deliveries;
         let start = self.delivered;
         loop {
-            match self.queue.peek() {
-                None => return RunOutcome::Drained,
-                Some(Reverse(next)) if next.at > horizon => return RunOutcome::ReachedHorizon,
-                Some(_) => {}
-            }
-            let progressed = self.step();
-            debug_assert!(progressed);
-            if self.delivered - start >= budget {
-                return RunOutcome::HitDeliveryLimit;
+            match self.queue.pop_at_or_before(horizon) {
+                PopBefore::Empty => return RunOutcome::Drained,
+                PopBefore::Later => return RunOutcome::ReachedHorizon,
+                PopBefore::Due(at, env) => {
+                    self.deliver(at, env);
+                    if self.delivered - start >= budget {
+                        return RunOutcome::HitDeliveryLimit;
+                    }
+                }
             }
         }
     }
@@ -514,6 +554,30 @@ mod tests {
     }
 
     #[test]
+    fn run_until_honours_the_delivery_limit() {
+        struct Loopy;
+        impl Node<Toy> for Loopy {
+            fn on_message(&mut self, env: Envelope<Toy>, ctx: &mut Context<Toy>) {
+                match env.msg {
+                    Toy::Ping(n) => ctx.send(env.from, Toy::Pong(n)),
+                    Toy::Pong(n) => ctx.send(env.from, Toy::Ping(n + 1)),
+                    Toy::Tick => ctx.send(NodeId(1), Toy::Ping(0)),
+                }
+            }
+        }
+        let fabric = Arc::new(UniformFabric::new(SimDuration::from_millis(1)));
+        let mut eng = Engine::new(vec![Loopy, Loopy], fabric).with_config(EngineConfig {
+            max_deliveries: 500,
+        });
+        eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+        assert_eq!(
+            eng.run_until(SimTime::from_secs(3600)),
+            RunOutcome::HitDeliveryLimit
+        );
+        assert_eq!(eng.deliveries(), 500);
+    }
+
+    #[test]
     #[should_panic(expected = "cannot schedule in the past")]
     fn scheduling_in_the_past_panics() {
         let mut eng = two_node_engine(1);
@@ -656,5 +720,31 @@ mod tests {
         }
         eng.run_to_completion();
         assert_eq!(eng.node(NodeId(0)).got, (0..50).collect::<Vec<_>>());
+    }
+
+    /// Steady-state traffic must stop growing engine storage: after a
+    /// warm-up burst, further identical bursts leave the allocation counter
+    /// untouched while deliveries keep climbing.
+    #[test]
+    fn steady_state_stops_allocating() {
+        let mut eng = two_node_engine(5);
+        eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+        eng.run_to_completion();
+        let warmed = eng.perf();
+        assert!(warmed.alloc_events > 0, "warm-up must have allocated");
+        // Re-run the identical ping/pong cycle many times over.
+        for round in 1..=20u64 {
+            let at = SimTime::from_secs(round * 10);
+            eng.node_mut(NodeId(0)).ticks = 0;
+            eng.schedule_external(at, NodeId(0), Toy::Tick);
+            eng.run_to_completion();
+        }
+        let after = eng.perf();
+        assert!(after.deliveries > warmed.deliveries * 10);
+        assert_eq!(
+            after.alloc_events, warmed.alloc_events,
+            "steady-state deliveries must not grow any engine storage"
+        );
+        assert!(after.peak_queue_depth >= 1);
     }
 }

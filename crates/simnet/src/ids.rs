@@ -18,8 +18,12 @@ impl NodeId {
 }
 
 /// Pack an ordered node pair into one word — the link key shared by the
-/// engine's channel clocks and the jittered fabric's per-pair sampling.
-pub(crate) fn pack_pair(from: NodeId, to: NodeId) -> u64 {
+/// engine's channel clocks ([`clocks`](crate::clocks)) and the jittered
+/// fabric's per-pair sampling. Injective for all real node ids, so it can
+/// key hash tables directly; `pack_pair(NodeId(u32::MAX), NodeId(u32::MAX))`
+/// (= `u64::MAX`) is reserved as the open-addressing empty sentinel, which
+/// is unreachable because node ids are dense indices into the node vector.
+pub const fn pack_pair(from: NodeId, to: NodeId) -> u64 {
     ((from.0 as u64) << 32) | to.0 as u64
 }
 

@@ -33,19 +33,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clocks;
 pub mod engine;
 pub mod fabric;
 pub mod ids;
+pub mod queue;
 pub mod random;
+pub mod reference;
 pub mod stats;
 pub mod time;
 pub mod topology;
 
-pub use engine::{Context, Engine, EngineConfig, Envelope, Node, RunOutcome};
+pub use clocks::LinkClocks;
+pub use engine::{Context, Engine, EngineConfig, EnginePerf, Envelope, Node, RunOutcome};
 pub use fabric::{
     DegradedWindow, Fabric, GridFabric, JitteredFabric, LinkCost, LinkModel, UniformFabric,
 };
 pub use ids::NodeId;
+pub use queue::EventQueue;
+pub use reference::ReferenceEngine;
 pub use stats::{Message, TrafficClass, TrafficStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{parse_edge_list, Graph, Network, TopologyKind, Tree};

@@ -11,8 +11,28 @@
 //! every message it transports through the [`Message`] trait and accumulates
 //! per-class hop counts here. The evaluation harness then derives
 //! "overhead caused by mobile clients" as the sum of the mobility classes.
-
-use std::collections::BTreeMap;
+//!
+//! # Representation
+//!
+//! [`record`](TrafficStats::record) runs once per transported message — the
+//! engine's hot path — so neither side of the breakdown touches an
+//! allocating map anymore:
+//!
+//! * per-**class** counters live in a fixed `[ClassCounter; N]` array
+//!   indexed by the enum discriminant (the old `BTreeMap<TrafficClass, _>`
+//!   cost a tree walk per message);
+//! * per-**kind** counters are indexed through an interning registry over
+//!   the `&'static str` labels [`Message::kind`] returns: each distinct
+//!   label pointer resolves once to a dense index (open addressing over the
+//!   pointer identity, with a content-equality fallback so equal labels
+//!   from different crates share one counter), after which recording is an
+//!   array increment. A one-entry cache short-circuits the common case of
+//!   consecutive messages sharing a kind. The old path allocated a
+//!   `String` per *lookup* (`BTreeMap<String, _>::entry(kind.to_string())`)
+//!   — per message, not per kind.
+//!
+//! Everything observable (per-kind totals, iteration order, merge results)
+//! is keyed by label *content*, so the interner is invisible to callers.
 
 /// Coarse classification of simulated traffic used for the paper's metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -39,6 +59,26 @@ pub enum TrafficClass {
 }
 
 impl TrafficClass {
+    /// Number of traffic classes (the size of the per-class counter array).
+    pub const COUNT: usize = 7;
+
+    /// Every class, in declaration (= counter array) order.
+    pub const ALL: [TrafficClass; TrafficClass::COUNT] = [
+        TrafficClass::EventRouting,
+        TrafficClass::EventDelivery,
+        TrafficClass::Subscription,
+        TrafficClass::MobilityControl,
+        TrafficClass::MobilityTransfer,
+        TrafficClass::ClientControl,
+        TrafficClass::Timer,
+    ];
+
+    /// The class's slot in the per-class counter array.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Whether this class counts toward the paper's "overhead caused by
     /// mobile clients".
     pub fn is_mobility(self) -> bool {
@@ -66,17 +106,6 @@ pub trait Message: Clone + std::fmt::Debug {
     }
 }
 
-/// Per-class counters plus a per-kind breakdown.
-#[derive(Debug, Clone, Default)]
-pub struct TrafficStats {
-    /// messages and hops per traffic class
-    per_class: BTreeMap<TrafficClass, ClassCounter>,
-    /// messages and hops per message kind string
-    per_kind: BTreeMap<String, ClassCounter>,
-    /// Total number of engine deliveries (including timers).
-    pub deliveries: u64,
-}
-
 /// A (messages, hops) pair.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassCounter {
@@ -86,6 +115,70 @@ pub struct ClassCounter {
     pub hops: u64,
 }
 
+impl ClassCounter {
+    #[inline]
+    fn bump(&mut self, hops: u32) {
+        self.messages += 1;
+        self.hops += hops as u64;
+    }
+}
+
+/// One slot of the kind-interner's pointer index. `ptr == 0` is the empty
+/// sentinel (no `&'static str` has a null data pointer).
+#[derive(Clone, Copy)]
+struct PtrSlot {
+    ptr: usize,
+    len: u32,
+    idx: u32,
+}
+
+const PTR_EMPTY: PtrSlot = PtrSlot {
+    ptr: 0,
+    len: 0,
+    idx: 0,
+};
+
+/// Per-class counters plus a per-kind breakdown.
+#[derive(Clone)]
+pub struct TrafficStats {
+    /// Messages and hops per traffic class, indexed by
+    /// [`TrafficClass::index`].
+    per_class: [ClassCounter; TrafficClass::COUNT],
+    /// Interned kind labels, in first-seen order; parallel to `kind_counts`.
+    kind_names: Vec<&'static str>,
+    /// Messages and hops per interned kind.
+    kind_counts: Vec<ClassCounter>,
+    /// Open-addressing index from label *pointer identity* to interned
+    /// index. Content equality is resolved on first sight of a pointer, so
+    /// two equal literals at different addresses alias to one counter.
+    ptr_index: Vec<PtrSlot>,
+    /// Occupied slots in `ptr_index` (load-factor check).
+    ptr_used: usize,
+    /// One-entry cache: the last label recorded and its index.
+    last: Option<(&'static str, u32)>,
+    /// Total number of engine deliveries (including timers).
+    pub deliveries: u64,
+}
+
+impl Default for TrafficStats {
+    fn default() -> Self {
+        TrafficStats {
+            per_class: [ClassCounter::default(); TrafficClass::COUNT],
+            kind_names: Vec::new(),
+            kind_counts: Vec::new(),
+            ptr_index: Vec::new(),
+            ptr_used: 0,
+            last: None,
+            deliveries: 0,
+        }
+    }
+}
+
+#[inline]
+fn same_label(a: &'static str, b: &'static str) -> bool {
+    std::ptr::eq(a.as_ptr(), b.as_ptr()) && a.len() == b.len()
+}
+
 impl TrafficStats {
     /// Create an empty stats collector.
     pub fn new() -> Self {
@@ -93,81 +186,206 @@ impl TrafficStats {
     }
 
     /// Record one transported message.
+    #[inline]
     pub fn record(&mut self, class: TrafficClass, kind: &'static str, hops: u32) {
-        let c = self.per_class.entry(class).or_default();
-        c.messages += 1;
-        c.hops += hops as u64;
-        let k = self.per_kind.entry(kind.to_string()).or_default();
-        k.messages += 1;
-        k.hops += hops as u64;
+        self.per_class[class.index()].bump(hops);
+        let idx = match self.last {
+            Some((s, idx)) if same_label(s, kind) => idx,
+            _ => {
+                let idx = self.kind_slot(kind);
+                self.last = Some((kind, idx));
+                idx
+            }
+        };
+        self.kind_counts[idx as usize].bump(hops);
+    }
+
+    /// Resolve a label to its interned index via the pointer table
+    /// (inserting on first sight). Cold relative to `record`'s cache hit,
+    /// but still allocation-free except when a genuinely new kind appears.
+    fn kind_slot(&mut self, kind: &'static str) -> u32 {
+        if self.ptr_index.is_empty() {
+            self.ptr_index = vec![PTR_EMPTY; 64];
+        }
+        let ptr = kind.as_ptr() as usize;
+        let hash = crate::random::mix64(ptr as u64 ^ ((kind.len() as u64) << 48));
+        let mask = self.ptr_index.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let slot = self.ptr_index[i];
+            if slot.ptr == ptr && slot.len as usize == kind.len() {
+                return slot.idx;
+            }
+            if slot.ptr == 0 {
+                // First sight of this pointer: alias to an existing label
+                // with equal content, or intern a new one.
+                let idx = self.intern_name(kind);
+                self.ptr_index[i] = PtrSlot {
+                    ptr,
+                    len: kind.len() as u32,
+                    idx,
+                };
+                self.ptr_used += 1;
+                if self.ptr_used * 8 >= self.ptr_index.len() * 7 {
+                    self.grow_ptr_index();
+                }
+                return idx;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow_ptr_index(&mut self) {
+        let new_cap = self.ptr_index.len() * 2;
+        let old = std::mem::replace(&mut self.ptr_index, vec![PTR_EMPTY; new_cap]);
+        let mask = new_cap - 1;
+        for slot in old {
+            if slot.ptr == 0 {
+                continue;
+            }
+            let hash = crate::random::mix64(slot.ptr as u64 ^ ((slot.len as u64) << 48));
+            let mut i = (hash as usize) & mask;
+            while self.ptr_index[i].ptr != 0 {
+                i = (i + 1) & mask;
+            }
+            self.ptr_index[i] = slot;
+        }
+    }
+
+    /// Add a whole pre-aggregated class counter (reference-engine stats
+    /// conversion).
+    pub(crate) fn add_class_counter(&mut self, class: TrafficClass, counter: ClassCounter) {
+        let c = &mut self.per_class[class.index()];
+        c.messages += counter.messages;
+        c.hops += counter.hops;
+    }
+
+    /// Add a whole pre-aggregated kind counter (reference-engine stats
+    /// conversion), merging by content.
+    pub(crate) fn add_kind_counter(&mut self, kind: &'static str, counter: ClassCounter) {
+        let idx = self.intern_name(kind) as usize;
+        self.kind_counts[idx].messages += counter.messages;
+        self.kind_counts[idx].hops += counter.hops;
+    }
+
+    /// Find-or-create the counter index for a label by *content*.
+    fn intern_name(&mut self, kind: &'static str) -> u32 {
+        if let Some(i) = self.kind_names.iter().position(|&n| n == kind) {
+            return i as u32;
+        }
+        self.kind_names.push(kind);
+        self.kind_counts.push(ClassCounter::default());
+        (self.kind_names.len() - 1) as u32
     }
 
     /// Counter for one class.
     pub fn class(&self, class: TrafficClass) -> ClassCounter {
-        self.per_class.get(&class).copied().unwrap_or_default()
+        self.per_class[class.index()]
     }
 
     /// Counter for one message kind.
     pub fn kind(&self, kind: &str) -> ClassCounter {
-        self.per_kind.get(kind).copied().unwrap_or_default()
+        self.kind_names
+            .iter()
+            .position(|&n| n == kind)
+            .map(|i| self.kind_counts[i])
+            .unwrap_or_default()
     }
 
     /// Iterate over the per-kind breakdown (sorted by kind name).
     pub fn kinds(&self) -> impl Iterator<Item = (&str, ClassCounter)> {
-        self.per_kind.iter().map(|(k, v)| (k.as_str(), *v))
+        let mut order: Vec<usize> = (0..self.kind_names.len()).collect();
+        order.sort_by_key(|&i| self.kind_names[i]);
+        order
+            .into_iter()
+            .map(move |i| (self.kind_names[i], self.kind_counts[i]))
     }
 
     /// Total hops attributable to mobility management ("overhead caused by
     /// mobile clients" in the paper's metric).
     pub fn mobility_hops(&self) -> u64 {
-        self.per_class
+        TrafficClass::ALL
             .iter()
-            .filter(|(c, _)| c.is_mobility())
-            .map(|(_, v)| v.hops)
+            .filter(|c| c.is_mobility())
+            .map(|c| self.per_class[c.index()].hops)
             .sum()
     }
 
     /// Total messages attributable to mobility management.
     pub fn mobility_messages(&self) -> u64 {
-        self.per_class
+        TrafficClass::ALL
             .iter()
-            .filter(|(c, _)| c.is_mobility())
-            .map(|(_, v)| v.messages)
+            .filter(|c| c.is_mobility())
+            .map(|c| self.per_class[c.index()].messages)
             .sum()
     }
 
     /// Total hops over all network classes.
     pub fn total_hops(&self) -> u64 {
-        self.per_class
+        TrafficClass::ALL
             .iter()
-            .filter(|(c, _)| c.is_network())
-            .map(|(_, v)| v.hops)
+            .filter(|c| c.is_network())
+            .map(|c| self.per_class[c.index()].hops)
             .sum()
     }
 
     /// Total messages over all network classes.
     pub fn total_messages(&self) -> u64 {
-        self.per_class
+        TrafficClass::ALL
             .iter()
-            .filter(|(c, _)| c.is_network())
-            .map(|(_, v)| v.messages)
+            .filter(|c| c.is_network())
+            .map(|c| self.per_class[c.index()].messages)
             .sum()
     }
 
     /// Merge another stats collector into this one (used when aggregating
-    /// across repeated runs of the same experiment point).
+    /// across repeated runs of the same experiment point). Kind counters
+    /// merge by label content.
     pub fn merge(&mut self, other: &TrafficStats) {
-        for (class, counter) in &other.per_class {
-            let c = self.per_class.entry(*class).or_default();
-            c.messages += counter.messages;
-            c.hops += counter.hops;
+        for class in TrafficClass::ALL {
+            let c = &mut self.per_class[class.index()];
+            let o = other.per_class[class.index()];
+            c.messages += o.messages;
+            c.hops += o.hops;
         }
-        for (kind, counter) in &other.per_kind {
-            let c = self.per_kind.entry(kind.clone()).or_default();
-            c.messages += counter.messages;
-            c.hops += counter.hops;
+        for (i, &name) in other.kind_names.iter().enumerate() {
+            let idx = self.intern_name(name) as usize;
+            let o = other.kind_counts[i];
+            self.kind_counts[idx].messages += o.messages;
+            self.kind_counts[idx].hops += o.hops;
         }
         self.deliveries += other.deliveries;
+    }
+}
+
+/// Deterministic, content-keyed rendering: classes in declaration order
+/// (non-zero only), kinds sorted by name — independent of interner layout.
+impl std::fmt::Debug for TrafficStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        struct Classes<'a>(&'a TrafficStats);
+        impl std::fmt::Debug for Classes<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                let mut m = f.debug_map();
+                for class in TrafficClass::ALL {
+                    let c = self.0.per_class[class.index()];
+                    if c != ClassCounter::default() {
+                        m.entry(&class, &c);
+                    }
+                }
+                m.finish()
+            }
+        }
+        struct Kinds<'a>(&'a TrafficStats);
+        impl std::fmt::Debug for Kinds<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_map().entries(self.0.kinds()).finish()
+            }
+        }
+        f.debug_struct("TrafficStats")
+            .field("deliveries", &self.deliveries)
+            .field("per_class", &Classes(self))
+            .field("per_kind", &Kinds(self))
+            .finish()
     }
 }
 
@@ -211,6 +429,16 @@ mod tests {
     }
 
     #[test]
+    fn class_indices_cover_every_class_once() {
+        let mut seen = [false; TrafficClass::COUNT];
+        for class in TrafficClass::ALL {
+            assert!(!seen[class.index()], "duplicate index {}", class.index());
+            seen[class.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
     fn merge_adds_counters() {
         let mut a = TrafficStats::new();
         a.record(TrafficClass::EventRouting, "forward", 3);
@@ -220,6 +448,7 @@ mod tests {
         b.deliveries = 10;
         a.merge(&b);
         assert_eq!(a.class(TrafficClass::EventRouting).hops, 7);
+        assert_eq!(a.kind("forward").hops, 7, "kinds merge by content");
         assert_eq!(a.mobility_hops(), 6);
         assert_eq!(a.deliveries, 10);
     }
@@ -232,5 +461,74 @@ mod tests {
             s.class(TrafficClass::EventDelivery),
             ClassCounter::default()
         );
+    }
+
+    #[test]
+    fn kinds_iterate_sorted_by_name() {
+        let mut s = TrafficStats::new();
+        s.record(TrafficClass::EventRouting, "zeta", 1);
+        s.record(TrafficClass::EventRouting, "alpha", 2);
+        s.record(TrafficClass::EventRouting, "mid", 3);
+        s.record(TrafficClass::EventRouting, "alpha", 2);
+        let names: Vec<&str> = s.kinds().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+        assert_eq!(s.kind("alpha").messages, 2);
+    }
+
+    /// Equal label content at *different* static addresses must land in one
+    /// counter — the interner aliases pointers by content on first sight.
+    #[test]
+    fn distinct_pointers_with_equal_content_share_a_counter() {
+        // Two separate statics with identical content; the optimizer may or
+        // may not pool them, so exercise both possibilities via subslicing
+        // (guaranteed-distinct addresses inside one literal).
+        static A: &str = "xforwardx";
+        let first: &'static str = &A[1..8]; // "forward" at offset 1
+        static B: &str = "forwardyy";
+        let second: &'static str = &B[0..7]; // "forward" at offset 0
+        assert!(!std::ptr::eq(first.as_ptr(), second.as_ptr()));
+        let mut s = TrafficStats::new();
+        s.record(TrafficClass::EventRouting, first, 1);
+        s.record(TrafficClass::EventRouting, second, 2);
+        assert_eq!(s.kind("forward").messages, 2);
+        assert_eq!(s.kind("forward").hops, 3);
+        assert_eq!(s.kinds().count(), 1);
+    }
+
+    /// Interning many distinct kinds forces the pointer table to grow and
+    /// must not lose or double-count anything.
+    #[test]
+    fn interner_survives_growth() {
+        // 80 distinct &'static str labels without leaking: windows of one
+        // big static at distinct offsets and two distinct lengths.
+        static BIG: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+        let mut s = TrafficStats::new();
+        let mut labels: Vec<&'static str> = Vec::new();
+        for i in 0..40usize {
+            labels.push(&BIG[i..i + 3]);
+            labels.push(&BIG[i..i + 4]);
+        }
+        for &label in &labels {
+            s.record(TrafficClass::EventRouting, label, 1);
+            s.record(TrafficClass::EventRouting, label, 1);
+        }
+        for label in labels {
+            assert_eq!(s.kind(label).messages, 2, "label {label}");
+        }
+        assert_eq!(s.class(TrafficClass::EventRouting).messages, 160);
+        assert_eq!(s.kinds().count(), 80);
+    }
+
+    #[test]
+    fn debug_output_is_content_keyed_and_deterministic() {
+        let mut a = TrafficStats::new();
+        a.record(TrafficClass::EventRouting, "beta", 1);
+        a.record(TrafficClass::Timer, "alpha", 0);
+        let mut b = TrafficStats::new();
+        // Same content, different record order → same Debug rendering.
+        b.record(TrafficClass::Timer, "alpha", 0);
+        b.record(TrafficClass::EventRouting, "beta", 1);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(format!("{a:?}").contains("alpha"));
     }
 }

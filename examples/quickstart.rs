@@ -6,30 +6,42 @@
 //!
 //! With a scenario name as argument (`quickstart -- vehicular-commute`) it
 //! instead smoke-runs that preset at reduced scale for every registered
-//! protocol — the CI example matrix uses this to exercise new presets.
+//! protocol — the CI example matrix uses this to exercise new presets. Two
+//! flags tune the smoke mode:
+//!
+//! * `--full` keeps the preset at its registered scale (CI uses this to
+//!   smoke the `city-scale` stress preset at its real 2k-client size);
+//! * `--budget-ms <N>` bounds the wall clock: protocols that cannot start
+//!   before the budget elapses are skipped and reported, never hung on.
 
 use std::sync::Arc;
 
 use mhh_suite::mobility::{ModelKind, TraceRecord};
 use mhh_suite::mobsim::{protocols::ProtocolRegistry, scenarios, Sim};
 
-/// Smoke-run a named preset, scaled down, across every registered protocol.
-fn smoke(name: &str) {
-    println!("=== smoke: {name} (reduced scale) ===");
-    let results = Sim::scenario(name)
-        .grid_side(4)
-        .clients_per_broker(3)
-        .duration_s(300.0)
-        .configure(|c| {
-            c.conn_mean_s = c.conn_mean_s.min(60.0);
-            c.disc_mean_s = c.disc_mean_s.min(30.0);
-            c.publish_interval_s = c.publish_interval_s.min(30.0);
-        })
-        .run_all()
-        .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        });
+/// Smoke-run a named preset across every registered protocol.
+fn smoke(name: &str, full: bool, budget_ms: Option<u64>) {
+    let scale = if full { "full scale" } else { "reduced scale" };
+    println!("=== smoke: {name} ({scale}) ===");
+    let mut sim = Sim::scenario(name);
+    if !full {
+        sim = sim
+            .grid_side(4)
+            .clients_per_broker(3)
+            .duration_s(300.0)
+            .configure(|c| {
+                c.conn_mean_s = c.conn_mean_s.min(60.0);
+                c.disc_mean_s = c.disc_mean_s.min(30.0);
+                c.publish_interval_s = c.publish_interval_s.min(30.0);
+            });
+    }
+    if let Some(b) = budget_ms {
+        sim = sim.budget_ms(b);
+    }
+    let (results, skipped) = sim.run_all_budgeted().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     for r in &results {
         println!(
             "  {:10} handoffs {:4} ({} proclaimed / {} reactive) | \
@@ -43,17 +55,46 @@ fn smoke(name: &str) {
             r.audit.lost
         );
     }
-    let mhh = results
-        .iter()
-        .find(|r| r.protocol == "MHH")
-        .expect("MHH is builtin");
-    assert!(mhh.handoffs > 0, "smoke scenario must move clients");
-    assert!(mhh.reliable(), "MHH must stay reliable: {:?}", mhh.audit);
+    if !skipped.is_empty() {
+        println!("  skipped under --budget-ms: {}", skipped.join(", "));
+    }
+    match results.iter().find(|r| r.protocol == "MHH") {
+        Some(mhh) => {
+            assert!(mhh.handoffs > 0, "smoke scenario must move clients");
+            assert!(mhh.reliable(), "MHH must stay reliable: {:?}", mhh.audit);
+        }
+        None => {
+            // Only a budget may drop protocols; without one this is a bug.
+            assert!(
+                budget_ms.is_some() && skipped.iter().any(|s| s == "MHH"),
+                "MHH missing without a budget skip"
+            );
+            println!("  (MHH skipped by the wall-clock budget on this machine)");
+        }
+    }
+}
+
+fn usage_error() -> ! {
+    eprintln!("usage: quickstart [<scenario> [--full] [--budget-ms <N>]]");
+    std::process::exit(2);
 }
 
 fn main() {
-    if let Some(name) = std::env::args().nth(1) {
-        smoke(&name);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a.starts_with("--")) {
+        // Flags make no sense without a scenario; falling through to the
+        // tutorial would silently ignore them.
+        usage_error();
+    }
+    if let Some(name) = args.first() {
+        let full = args.iter().any(|a| a == "--full");
+        let budget_ms = args.iter().position(|a| a == "--budget-ms").map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage_error())
+        });
+        smoke(name, full, budget_ms);
         return;
     }
     println!("=== MHH quickstart ===");
