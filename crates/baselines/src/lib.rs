@@ -17,12 +17,32 @@
 //!   the client currently is. Fast handoff, but triangle routing inflates
 //!   traffic with network size, and events in transit to a foreign broker the
 //!   client just left are lost.
+//!
+//! Plus one protocol from outside the paper, used by the failure panel:
+//!
+//! * [`psvr::Psvr`] — a self-stabilizing protocol over a virtual broker
+//!   ring (adapted from Siegemund & Turau, arXiv 1609.06841): soft-state
+//!   subscription leases, ring-sweep handoffs, no dedicated recovery
+//!   dialogue — convergence from arbitrary state is the design itself.
+//!
+//! **Recovery behaviour under injected faults:** `SubUnsub` and
+//! `HomeBroker` rely entirely on the shared repair layer of `mhh-pubsub`
+//! (crash detours, partition tunnels, checkpoint/restore with filter
+//! resync) and the default no-op
+//! [`MobilityProtocol::on_restart`](mhh_pubsub::broker::MobilityProtocol::on_restart):
+//! their protocol state is plain soft routing data that the resync
+//! re-announces, so no protocol-specific recovery dialogue exists — losses
+//! during an outage window are the baseline's honest cost. MHH
+//! (`mhh-core`) adds explicit retry/abort recovery; PSVR recovers by
+//! construction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod home_broker;
+pub mod psvr;
 pub mod sub_unsub;
 
 pub use home_broker::{HbMsg, HomeBroker};
+pub use psvr::{Psvr, PsvrMsg};
 pub use sub_unsub::{SuMsg, SubUnsub};

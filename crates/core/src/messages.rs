@@ -110,6 +110,20 @@ pub enum MhhMsg {
         /// The client whose migration is aborted.
         client: ClientId,
     },
+    /// Self-scheduled watchdog at the origin of an outbound migration (never
+    /// transported on a link). Armed only when the protocol runs with
+    /// recovery enabled: if the first hop's `sub_migration_ack` has not
+    /// arrived when it fires (the hop crashed or the message fell into an
+    /// outage window), the `sub_migration` is re-sent, and after a bounded
+    /// number of attempts the migration is abandoned so the subscription
+    /// root keeps collecting events here instead of stalling forever.
+    MigrationRetry {
+        /// The client whose outbound migration is being watched.
+        client: ClientId,
+        /// The attempt this watchdog was armed for; stale timers from an
+        /// earlier attempt are ignored.
+        attempt: u32,
+    },
 }
 
 impl ProtocolMessage for MhhMsg {
@@ -125,6 +139,7 @@ impl ProtocolMessage for MhhMsg {
             MhhMsg::DrainComplete { .. } => "drain_complete",
             MhhMsg::StreamTick { .. } => "stream_tick",
             MhhMsg::StopEventMigration { .. } => "stop_event_migration",
+            MhhMsg::MigrationRetry { .. } => "migration_retry",
         }
     }
 

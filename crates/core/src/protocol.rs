@@ -23,11 +23,21 @@ const STREAM_BATCH: usize = 32;
 /// Interval between streaming batches at the origin.
 const STREAM_TICK: SimDuration = SimDuration::from_millis(20);
 
+/// How many times an un-acked `sub_migration` is re-sent (recovery mode
+/// only) before the origin gives up and keeps the subscription rooted here.
+const MAX_MIGRATION_RETRIES: u32 = 3;
+
 /// Per-broker MHH protocol state: one [`MhhClient`] record per client this
 /// broker currently plays a role for.
 #[derive(Debug, Default, Clone)]
 pub struct Mhh {
     clients: BTreeMap<ClientId, MhhClient>,
+    /// Watchdog interval for un-acked outbound migrations. `None` (the
+    /// default, [`Mhh::new`]) disables recovery entirely: no timers are
+    /// armed and no retransmissions happen, so fault-free runs are
+    /// bit-identical to the pre-recovery protocol. Fault-injected runs
+    /// construct the protocol with [`Mhh::with_recovery`] instead.
+    retry: Option<SimDuration>,
 }
 
 type Ctx<'a> = BrokerCtx<'a, MhhMsg>;
@@ -36,6 +46,19 @@ impl Mhh {
     /// Create an empty protocol instance (one per broker).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create a protocol instance with crash recovery enabled: outbound
+    /// migrations are watched by a retry timer of the given interval
+    /// (re-sent a bounded number of times, then abandoned so the
+    /// origin keeps anchoring the subscription), and
+    /// [`MobilityProtocol::on_restart`] re-arms timers and in-flight
+    /// exchanges lost in a crash.
+    pub fn with_recovery(retry: SimDuration) -> Self {
+        Mhh {
+            clients: BTreeMap::new(),
+            retry: Some(retry),
+        }
     }
 
     /// Access the per-client state (primarily for tests and invariant
@@ -81,6 +104,7 @@ fn start_outbound(
     core: &mut BrokerCore,
     client: ClientId,
     dest: BrokerId,
+    retry: Option<SimDuration>,
     ctx: &mut Ctx<'_>,
 ) {
     if dest == core.id {
@@ -114,7 +138,11 @@ fn start_outbound(
         dest,
         first_hop,
         filter,
+        attempt: 0,
     });
+    if let Some(interval) = retry {
+        ctx.schedule_protocol(interval, MhhMsg::MigrationRetry { client, attempt: 0 });
+    }
 }
 
 /// Stream up to one batch of locally stored PQ-list events toward the
@@ -261,7 +289,13 @@ fn pull_next(st: &mut MhhClient, core: &mut BrokerCore, client: ClientId, ctx: &
 /// connected client (normal completion) or park the queues and become the
 /// client's new anchor (aborted handoff / proclaimed move whose client has
 /// not arrived yet).
-fn finalize_dest(st: &mut MhhClient, core: &mut BrokerCore, client: ClientId, ctx: &mut Ctx<'_>) {
+fn finalize_dest(
+    st: &mut MhhClient,
+    core: &mut BrokerCore,
+    client: ClientId,
+    retry: Option<SimDuration>,
+    ctx: &mut Ctx<'_>,
+) {
     let Some(d) = st.dest.take() else { return };
     let mut d = d;
     if d.client_connected && !d.aborted {
@@ -311,7 +345,7 @@ fn finalize_dest(st: &mut MhhClient, core: &mut BrokerCore, client: ClientId, ct
             open: Some(open_id),
         });
         if let Some(next_broker) = st.pending_handoff.take() {
-            start_outbound(st, core, client, next_broker, ctx);
+            start_outbound(st, core, client, next_broker, retry, ctx);
         }
     }
 }
@@ -323,6 +357,7 @@ fn handle_local_resume(
     st: &mut MhhClient,
     core: &mut BrokerCore,
     client: ClientId,
+    retry: Option<SimDuration>,
     ctx: &mut Ctx<'_>,
 ) {
     let anchor = st.anchor.take().unwrap_or_default();
@@ -345,7 +380,7 @@ fn handle_local_resume(
     st.dest = Some(d);
     pull_next(st, core, client, ctx);
     if st.dest.as_ref().map(|d| d.finished()).unwrap_or(false) {
-        finalize_dest(st, core, client, ctx);
+        finalize_dest(st, core, client, retry, ctx);
     }
 }
 
@@ -357,6 +392,7 @@ impl MobilityProtocol for Mhh {
     }
 
     fn on_client_connect(&mut self, core: &mut BrokerCore, info: ConnectInfo, ctx: &mut Ctx<'_>) {
+        let retry = self.retry;
         let client = info.client;
         let st = self.entry(client, &info.filter);
         st.filter = info.filter.clone();
@@ -375,7 +411,7 @@ impl MobilityProtocol for Mhh {
             }
             pull_next(st, core, client, ctx);
             if st.dest.as_ref().map(|d| d.finished()).unwrap_or(false) {
-                finalize_dest(st, core, client, ctx);
+                finalize_dest(st, core, client, retry, ctx);
             }
             return;
         }
@@ -385,10 +421,10 @@ impl MobilityProtocol for Mhh {
             // everything the client needs is already rooted here.
             None => {
                 core.apply_subscribe(Peer::Client(client), info.filter.clone(), false, ctx);
-                handle_local_resume(st, core, client, ctx);
+                handle_local_resume(st, core, client, retry, ctx);
             }
             Some(last) if last == core.id => {
-                handle_local_resume(st, core, client, ctx);
+                handle_local_resume(st, core, client, retry, ctx);
             }
             // Case 3: silent move — ask the last-visited broker to start the
             // multi-hop handoff (Section 4.2).
@@ -422,6 +458,7 @@ impl MobilityProtocol for Mhh {
         proclaimed_dest: Option<BrokerId>,
         ctx: &mut Ctx<'_>,
     ) {
+        let retry = self.retry;
         let st = self.entry(client, &filter);
         if !filter.is_empty() {
             st.filter = filter;
@@ -436,11 +473,19 @@ impl MobilityProtocol for Mhh {
             d.aborted = true;
             let origin = d.origin;
             let finished = d.finished();
+            // A proclaimed departure names where the client goes next; keep
+            // it so the finalized queues migrate there instead of stranding
+            // in an anchor the overlay no longer routes to.
+            if let Some(next) = proclaimed_dest {
+                if next != core.id {
+                    st.pending_handoff = Some(next);
+                }
+            }
             if origin != core.id {
                 ctx.send_protocol(origin, MhhMsg::StopEventMigration { client });
             }
             if finished {
-                finalize_dest(st, core, client, ctx);
+                finalize_dest(st, core, client, retry, ctx);
             }
             return;
         }
@@ -458,7 +503,7 @@ impl MobilityProtocol for Mhh {
         // right away (Section 4.1).
         if let Some(dest) = proclaimed_dest {
             if dest != core.id {
-                start_outbound(st, core, client, dest, ctx);
+                start_outbound(st, core, client, dest, retry, ctx);
             }
         }
     }
@@ -470,6 +515,7 @@ impl MobilityProtocol for Mhh {
         msg: MhhMsg,
         ctx: &mut Ctx<'_>,
     ) {
+        let retry = self.retry;
         match msg {
             MhhMsg::HandoffRequest {
                 client,
@@ -477,20 +523,34 @@ impl MobilityProtocol for Mhh {
                 filter,
             } => {
                 let st = self.entry(client, &filter);
-                st.filter = filter;
+                st.filter = filter.clone();
                 if new_broker == core.id {
                     return;
                 }
-                if st.dest.is_some() || st.outbound.is_some() {
-                    // We are still catching up on a migration of our own for
+                if st.dest.is_some() {
+                    // We are still catching up on an inbound migration for
                     // this client; serve the new request when it completes.
                     st.pending_handoff = Some(new_broker);
+                    return;
+                }
+                if let Some(ob) = st.outbound.as_ref() {
+                    // Pure origin: the root is already moving to `ob.dest`
+                    // and nothing here ever finalizes, so a parked request
+                    // would rot. Let the new root serve it instead.
+                    ctx.send_protocol(
+                        ob.dest,
+                        MhhMsg::HandoffRequest {
+                            client,
+                            new_broker,
+                            filter,
+                        },
+                    );
                     return;
                 }
                 if st.anchor.is_none() {
                     st.anchor = Some(AnchorState::default());
                 }
-                start_outbound(st, core, client, new_broker, ctx);
+                start_outbound(st, core, client, new_broker, retry, ctx);
             }
 
             MhhMsg::SubMigration {
@@ -503,11 +563,31 @@ impl MobilityProtocol for Mhh {
                 let st = self.entry(client, &filter);
                 st.filter = filter.clone();
                 if cancel_prev {
-                    core.filters.remove(Peer::Broker(from), &filter);
+                    // The sender no longer needs the filter — unless *we*
+                    // re-established that very entry as the route of a newer
+                    // migration for the same client (crossing migrations: a
+                    // proclaimed move and the handoff triggered by the
+                    // misproclaimed reconnect can travel the same link in
+                    // opposite roles). Removing it then black-holes the
+                    // filter until an unrelated migration repairs the path.
+                    let route_of_newer =
+                        st.outbound.as_ref().is_some_and(|ob| ob.first_hop == from)
+                            || st.tq.as_ref().is_some_and(|tq| tq.next == from);
+                    if !route_of_newer {
+                        core.filters.remove(Peer::Broker(from), &filter);
+                    }
                 }
                 if core.id == dest {
                     // Destination broker: the subscription now roots here.
+                    // The entry may already exist with a stale capture-window
+                    // label (this broker was a path broker of an earlier
+                    // migration); the root entry must accept events from any
+                    // direction — unless we have *already* started migrating
+                    // the root onward (outbound in flight), in which case the
+                    // entry is the capture window of that newer migration.
                     core.filters.add(Peer::Client(client), filter.clone());
+                    let label = st.outbound.as_ref().map(|ob| Peer::Broker(ob.first_hop));
+                    core.filters.set_label(Peer::Client(client), &filter, label);
                     let connected = core.is_connected(client);
                     if st.dest.is_none() {
                         let imm = EventQueue::new(core.alloc_pq_id(client), QueueKind::Persistent);
@@ -532,25 +612,44 @@ impl MobilityProtocol for Mhh {
                     }
                     ctx.send_protocol(from, MhhMsg::SubMigrationAck { client });
                     if st.dest.as_ref().map(|d| d.finished()).unwrap_or(false) {
-                        finalize_dest(st, core, client, ctx);
+                        finalize_dest(st, core, client, retry, ctx);
                     }
                 } else {
                     // Broker on the path: re-point the overlay entries,
                     // capture in-transit events, acknowledge and forward.
                     let next = core.next_hop_to(dest);
                     core.filters.add(Peer::Broker(next), filter.clone());
-                    core.filters.add_labeled(
-                        Peer::Client(client),
-                        filter.clone(),
-                        Some(Peer::Broker(next)),
-                    );
-                    st.tq = Some(TqState {
-                        queue: EventQueue::new(core.alloc_pq_id(client), QueueKind::Temporary),
-                        next,
-                        dest,
-                        acked: false,
-                        deliver_pending: None,
-                    });
+                    let inserted = core.filters.add(Peer::Client(client), filter.clone());
+                    if inserted || !core.is_connected(client) {
+                        // Point the capture window at the next hop, refreshing
+                        // a stale label from an earlier migration through this
+                        // broker. A live root entry (client connected here,
+                        // racing migration passing through) keeps accepting
+                        // events from every direction instead.
+                        core.filters.set_label(
+                            Peer::Client(client),
+                            &filter,
+                            Some(Peer::Broker(next)),
+                        );
+                    }
+                    // Recovery mode only: a retransmitted sub_migration for a
+                    // window we already hold (the ack was lost in an outage)
+                    // must not overwrite the temporary queue — the captured
+                    // events would vanish. Keep it and just re-acknowledge.
+                    let duplicate = retry.is_some()
+                        && st
+                            .tq
+                            .as_ref()
+                            .is_some_and(|tq| tq.next == next && tq.dest == dest);
+                    if !duplicate {
+                        st.tq = Some(TqState {
+                            queue: EventQueue::new(core.alloc_pq_id(client), QueueKind::Temporary),
+                            next,
+                            dest,
+                            acked: false,
+                            deliver_pending: None,
+                        });
+                    }
                     ctx.send_protocol(from, MhhMsg::SubMigrationAck { client });
                     let cancel = !filter_needed_excluding(
                         core,
@@ -575,8 +674,15 @@ impl MobilityProtocol for Mhh {
                 let filter = st.filter.clone();
                 // All in-transit events from the acking neighbor have been
                 // flushed into our queue (FIFO), so stop accepting events for
-                // the client here.
-                core.filters.remove(Peer::Client(client), &filter);
+                // the client here — but only close the capture window this
+                // ack belongs to. An unlabeled entry is the client's *root*
+                // (a newer crossing migration re-rooted the subscription
+                // here); a different label belongs to a newer window. Either
+                // way a stale ack must not tear it down.
+                if core.filters.label_of(Peer::Client(client), &filter) == Some(Peer::Broker(from))
+                {
+                    core.filters.remove(Peer::Client(client), &filter);
+                }
                 // Path broker: the capture window is now safely closed — but
                 // only an ack from *this* TQ's next hop closes it (a broker
                 // can be origin of an older migration and path broker of a
@@ -593,6 +699,14 @@ impl MobilityProtocol for Mhh {
                     }
                 }
                 if let Some(ob) = st.outbound.take() {
+                    // Crossing migrations: an inbound migration for the same
+                    // client is still landing here while the root has already
+                    // been handed onward. Its queues would strand in a local
+                    // anchor nothing routes to any more — re-migrate them to
+                    // where the root went once the inbound leg finalizes.
+                    if st.dest.is_some() && st.pending_handoff.is_none() {
+                        st.pending_handoff = Some(ob.dest);
+                    }
                     // We are the origin: start event migration. The leading
                     // locally-held PQ-list elements are streamed in paced
                     // batches (so a stop_event_migration can halt them); once
@@ -622,7 +736,7 @@ impl MobilityProtocol for Mhh {
                             d.tq_done = true;
                         }
                         if st.dest.as_ref().map(|d| d.finished()).unwrap_or(false) {
-                            finalize_dest(st, core, client, ctx);
+                            finalize_dest(st, core, client, retry, ctx);
                         }
                     }
                 } else if st.tq.as_ref().is_some_and(|tq| tq.dest == dest) {
@@ -693,7 +807,7 @@ impl MobilityProtocol for Mhh {
                 }
                 pull_next(st, core, client, ctx);
                 if st.dest.as_ref().map(|d| d.finished()).unwrap_or(false) {
-                    finalize_dest(st, core, client, ctx);
+                    finalize_dest(st, core, client, retry, ctx);
                 }
             }
 
@@ -743,8 +857,65 @@ impl MobilityProtocol for Mhh {
                 }
                 pull_next(st, core, client, ctx);
                 if st.dest.as_ref().map(|d| d.finished()).unwrap_or(false) {
-                    finalize_dest(st, core, client, ctx);
+                    finalize_dest(st, core, client, retry, ctx);
                 }
+            }
+
+            MhhMsg::MigrationRetry { client, attempt } => {
+                // Watchdog for an un-acked outbound migration (recovery mode
+                // only — never armed otherwise). If the ack arrived in the
+                // meantime the outbound state is gone and the timer is moot;
+                // a timer from a superseded attempt is ignored too.
+                let Some(interval) = retry else { return };
+                let st = self.entry_unknown(client);
+                let Some(ob) = st.outbound.as_mut() else {
+                    return;
+                };
+                if ob.attempt != attempt {
+                    return;
+                }
+                if attempt + 1 >= MAX_MIGRATION_RETRIES {
+                    // Give up: the first hop (or the path beyond it) stayed
+                    // unreachable across every attempt. Keep the subscription
+                    // rooted here — clearing the accept-only-from label lets
+                    // events flow into the local anchor again, and the
+                    // client's next reconnect triggers a fresh handoff from
+                    // this broker. The first-hop filter entry is left in
+                    // place: at worst it forwards copies toward a region the
+                    // fault schedule is already dropping, and removing it
+                    // could sever an unrelated subscriber with the same
+                    // filter.
+                    let filter = ob.filter.clone();
+                    st.outbound = None;
+                    st.stream = None;
+                    core.filters.set_label(Peer::Client(client), &filter, None);
+                    if st.anchor.is_none() {
+                        st.anchor = Some(AnchorState::default());
+                    }
+                    return;
+                }
+                ob.attempt = attempt + 1;
+                let next_attempt = ob.attempt;
+                let (first_hop, dest, filter) = (ob.first_hop, ob.dest, ob.filter.clone());
+                // Re-send without cancel_prev: the first attempt already
+                // decided whether the previous-path entry should go.
+                ctx.send_protocol(
+                    first_hop,
+                    MhhMsg::SubMigration {
+                        client,
+                        filter,
+                        dest,
+                        origin: core.id,
+                        cancel_prev: false,
+                    },
+                );
+                ctx.schedule_protocol(
+                    interval,
+                    MhhMsg::MigrationRetry {
+                        client,
+                        attempt: next_attempt,
+                    },
+                );
             }
         }
     }
@@ -813,6 +984,51 @@ impl MobilityProtocol for Mhh {
         // Otherwise the event matched a stale entry; dropping it here would
         // surface as loss in the delivery audit, which is the correct way to
         // expose a protocol bug.
+    }
+
+    fn on_restart(&mut self, core: &mut BrokerCore, ctx: &mut Ctx<'_>) {
+        // A crash loses every pending timer and every in-flight message to or
+        // from this broker; the durable part (filter table, connections,
+        // protocol state) came back via the checkpoint. Re-arm whatever was
+        // driven by the lost messages so no handoff stalls forever.
+        let retry = self.retry;
+        for (&client, st) in self.clients.iter_mut() {
+            // The pacing timer of an event-migration stream died with us.
+            if st.stream.is_some() {
+                ctx.schedule_protocol(STREAM_TICK, MhhMsg::StreamTick { client });
+            }
+            // An outbound migration may have lost its sub_migration (sent
+            // just before the crash) or the returning ack: re-send and start
+            // a fresh watchdog generation. The path brokers treat the
+            // retransmission as a duplicate of a window they already hold.
+            if let Some(ob) = st.outbound.as_mut() {
+                ob.attempt = 0;
+                let first_hop = ob.first_hop;
+                let dest = ob.dest;
+                let filter = ob.filter.clone();
+                ctx.send_protocol(
+                    first_hop,
+                    MhhMsg::SubMigration {
+                        client,
+                        filter,
+                        dest,
+                        origin: core.id,
+                        cancel_prev: false,
+                    },
+                );
+                if let Some(interval) = retry {
+                    ctx.schedule_protocol(interval, MhhMsg::MigrationRetry { client, attempt: 0 });
+                }
+            }
+            // A destination mid-drain may have lost the drain_request (or the
+            // reply): ask again. A double drain is harmless — the holder
+            // answers an already-drained queue with just drain_complete.
+            if let Some(d) = st.dest.as_ref() {
+                if let Some(pq) = d.pulling {
+                    ctx.send_protocol(pq.broker, MhhMsg::DrainRequest { client, pq });
+                }
+            }
+        }
     }
 
     fn buffered_events(&self) -> Vec<(ClientId, Event)> {

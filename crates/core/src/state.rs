@@ -55,6 +55,11 @@ pub struct OutboundState {
     pub first_hop: BrokerId,
     /// The client's filter.
     pub filter: Filter,
+    /// How many times the `sub_migration` has been (re-)sent without an
+    /// acknowledgement. Only advances when the protocol runs with recovery
+    /// enabled (see `Mhh::with_recovery`); stale watchdog timers carry the
+    /// attempt they were armed for and are ignored when this has moved on.
+    pub attempt: u32,
 }
 
 /// Batched streaming of this broker's locally stored PQ-list elements toward

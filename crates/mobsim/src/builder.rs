@@ -217,6 +217,14 @@ impl SimBuilder {
         self
     }
 
+    /// Replace the fault-injection plan (broker crashes, link partitions,
+    /// region outages, seeded crash storms). An empty plan — the default —
+    /// keeps the run on the byte-identical zero-fault fast path.
+    pub fn faults(mut self, plan: crate::config::FaultPlan) -> Self {
+        self.configure_in_place(|c| c.faults = plan);
+        self
+    }
+
     /// Make this fraction of proclaimed moves announce a *wrong*
     /// destination broker (client announces B, reconnects at C) —
     /// prediction error exercising MHH's pending-handoff/abort path.
@@ -531,6 +539,22 @@ mod tests {
         assert_eq!(result.protocol, "MHH");
         assert_eq!(result.handoffs, 5, "trace-smoke replays five moves");
         assert!(result.reliable(), "{:?}", result.audit);
+    }
+
+    #[test]
+    fn fluent_faults_override_reaches_the_run() {
+        let plan = crate::config::FaultPlan {
+            broker_crashes: vec![(0, 30.0, 60.0)],
+            ..crate::config::FaultPlan::default()
+        };
+        let result = Sim::scenario("trace-smoke")
+            .protocol("mhh")
+            .duration_s(200.0)
+            .faults(plan)
+            .run()
+            .unwrap();
+        assert_eq!(result.recovery.len(), 1, "one outage window recorded");
+        assert!(result.recovery.reconciles_with(&result.audit));
     }
 
     #[test]

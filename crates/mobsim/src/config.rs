@@ -5,7 +5,9 @@
 use std::sync::Arc;
 
 use mhh_mobility::ModelKind;
-use mhh_simnet::{DegradedWindow, LinkModel, Network, SimDuration, SimTime, TopologyKind};
+use mhh_simnet::{
+    DegradedWindow, FaultSchedule, LinkModel, Network, NodeId, SimDuration, SimTime, TopologyKind,
+};
 
 /// Which of the paper's three protocols to run on the generic fast path
 /// ([`run_scenario`](crate::runner::run_scenario)).
@@ -44,6 +46,61 @@ impl Protocol {
             Protocol::SubUnsub => "sub-unsub",
             Protocol::HomeBroker => "home-broker",
         }
+    }
+}
+
+/// Declarative fault-injection plan for a scenario: which brokers crash,
+/// which links partition, which regions go dark, and how the recovery
+/// machinery is tuned. The default plan is empty, which keeps every run on
+/// the byte-identical zero-fault fast path (the engine never consults a
+/// fault schedule).
+///
+/// Times are scenario-relative seconds; [`ScenarioConfig::fault_schedule`]
+/// compiles the plan into a [`FaultSchedule`] against a concrete network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Broker crash windows as `(broker, start_s, end_s)`: the broker drops
+    /// every envelope in the window and restarts from checkpoint at `end_s`.
+    pub broker_crashes: Vec<(usize, f64, f64)>,
+    /// Link partition windows as `(broker_a, broker_b, start_s, end_s)`:
+    /// both directions of the link drop envelopes during the window.
+    pub link_partitions: Vec<(usize, usize, f64, f64)>,
+    /// Region outages as `(epicenter, radius_hops, start_s, end_s)`: every
+    /// broker within `radius_hops` of the epicenter is down in the window.
+    pub region_outages: Vec<(usize, u32, f64, f64)>,
+    /// Seeded crash storm as `(count, mean_down_s)`: `count` broker crashes
+    /// with uniformly drawn victims and start times and exponentially
+    /// distributed downtimes, derived deterministically from the scenario
+    /// seed.
+    pub crash_storm: Option<(usize, f64)>,
+    /// How long after an outage begins neighbours notice and start routing
+    /// around it (the failure-detection delay of the repair layer).
+    pub detection_delay_s: f64,
+    /// Watchdog period for MHH's explicit migration retry/abort recovery;
+    /// ignored by protocols without a recovery dialogue.
+    pub repair_timeout_s: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            broker_crashes: Vec::new(),
+            link_partitions: Vec::new(),
+            region_outages: Vec::new(),
+            crash_storm: None,
+            detection_delay_s: 0.5,
+            repair_timeout_s: 2.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing — the zero-fault fast path.
+    pub fn is_empty(&self) -> bool {
+        self.broker_crashes.is_empty()
+            && self.link_partitions.is_empty()
+            && self.region_outages.is_empty()
+            && self.crash_storm.is_none()
     }
 }
 
@@ -103,6 +160,9 @@ pub struct ScenarioConfig {
     /// (prediction error), exercising MHH's pending-handoff/abort path.
     /// `0.0` (the default) proclaims truthfully.
     pub misproclaim_fraction: f64,
+    /// Fault-injection plan; empty (the default) keeps the run on the
+    /// byte-identical zero-fault fast path.
+    pub faults: FaultPlan,
 }
 
 impl Default for ScenarioConfig {
@@ -135,6 +195,7 @@ impl ScenarioConfig {
             mobility: ModelKind::UniformRandom,
             proclaimed_fraction: 0.0,
             misproclaim_fraction: 0.0,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -196,6 +257,43 @@ impl ScenarioConfig {
         }
     }
 
+    /// Compile the declarative [`FaultPlan`] into a concrete
+    /// [`FaultSchedule`] against this scenario's network. Deterministic: the
+    /// crash-storm seed derives from the scenario seed, so the same scenario
+    /// always suffers the same outages. An empty plan compiles to an empty
+    /// schedule (which the engine treats as "no fault layer at all").
+    pub fn fault_schedule(&self, network: &Network) -> FaultSchedule {
+        let at = |s: f64| SimTime::from_secs_f64(s);
+        let mut schedule = if let Some((count, mean_down_s)) = self.faults.crash_storm {
+            FaultSchedule::crash_storm(
+                self.seed ^ 0x4641_554c_5453,
+                network.broker_count(),
+                count,
+                at(self.duration_s),
+                SimDuration::from_secs_f64(mean_down_s),
+            )
+        } else {
+            FaultSchedule::new()
+        };
+        for &(broker, start_s, end_s) in &self.faults.broker_crashes {
+            schedule = schedule.crash(NodeId(broker as u32), at(start_s), at(end_s));
+        }
+        for &(a, b, start_s, end_s) in &self.faults.link_partitions {
+            schedule =
+                schedule.partition(NodeId(a as u32), NodeId(b as u32), at(start_s), at(end_s));
+        }
+        for &(epicenter, radius, start_s, end_s) in &self.faults.region_outages {
+            schedule = schedule.region_outage(
+                network,
+                NodeId(epicenter as u32),
+                radius,
+                at(start_s),
+                at(end_s),
+            );
+        }
+        schedule
+    }
+
     /// Total number of clients.
     pub fn client_count(&self) -> usize {
         self.broker_count() * self.clients_per_broker
@@ -238,6 +336,13 @@ impl ScenarioConfig {
     /// destination broker.
     pub fn with_misproclaim_fraction(mut self, fraction: f64) -> Self {
         self.misproclaim_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Replace the fault-injection plan, keeping everything else. An empty
+    /// plan restores the zero-fault fast path.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -331,6 +436,40 @@ mod tests {
         // The model seed derives from the scenario seed: same scenario,
         // same jitter stream.
         assert_eq!(c.link_model(), c.link_model());
+    }
+
+    #[test]
+    fn default_fault_plan_is_empty_and_compiles_to_nothing() {
+        let c = ScenarioConfig::paper_defaults();
+        assert!(c.faults.is_empty(), "defaults must stay on the fast path");
+        let net = c.build_network();
+        assert!(c.fault_schedule(&net).is_empty());
+    }
+
+    #[test]
+    fn fault_plan_compiles_deterministically() {
+        let c = ScenarioConfig::small().with_faults(FaultPlan {
+            broker_crashes: vec![(3, 10.0, 40.0)],
+            link_partitions: vec![(0, 1, 20.0, 50.0)],
+            region_outages: vec![(12, 1, 100.0, 130.0)],
+            crash_storm: Some((4, 30.0)),
+            ..FaultPlan::default()
+        });
+        assert!(!c.faults.is_empty());
+        let net = c.build_network();
+        let a = c.fault_schedule(&net);
+        let b = c.fault_schedule(&net);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same storm");
+        // 4 storm crashes + explicit crash + partition + region outage.
+        assert_eq!(a.windows().len(), 7);
+        // The explicit crash window survives compilation verbatim.
+        assert!(a.is_down(NodeId(3), SimTime::from_secs(11)));
+        assert!(!a.is_down(NodeId(3), SimTime::from_secs(41)));
+        // A different scenario seed reshuffles the storm.
+        let mut other = c.clone();
+        other.seed ^= 1;
+        let shuffled = other.fault_schedule(&net);
+        assert_ne!(format!("{a:?}"), format!("{shuffled:?}"));
     }
 
     #[test]

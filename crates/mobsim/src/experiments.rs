@@ -364,6 +364,131 @@ pub fn mobility_matrix_budgeted_in(
     }
 }
 
+/// The scenario presets the failure panel runs by default: the seeded
+/// broker-crash storm and the partition/region-outage city (see
+/// [`crate::scenarios::registry`]).
+pub const FAILURE_PRESETS: [&str; 2] = ["broker-crash-storm", "partitioned-city"];
+
+/// One `(fault preset, protocol)` cell of the failure panel.
+#[derive(Debug, Clone)]
+pub struct FailurePanelPoint {
+    /// Name of the fault-injecting scenario preset.
+    pub scenario: String,
+    /// Display label of the protocol run in this cell.
+    pub protocol: String,
+    /// The collected metrics, including the per-outage
+    /// [`RecoveryLedger`](crate::metrics::RecoveryLedger).
+    pub result: RunResult,
+}
+
+/// The failure panel: every fault preset run against every registered
+/// protocol (by default the paper's three plus PSVR), comparing losses,
+/// duplicates, dropped envelopes and time-to-repair under identical
+/// injected outages. Every cell's recovery ledger reconciles exactly with
+/// its delivery audit — asserted at assembly time, so a panel that reports
+/// numbers at all reports numbers that add up.
+#[derive(Debug, Clone)]
+pub struct FailurePanelResult {
+    /// All completed cells, preset-major in registry order.
+    pub points: Vec<FailurePanelPoint>,
+    /// Cells skipped because a wall-clock budget ran out, as
+    /// `"preset × protocol"` labels. Empty for unbudgeted runs.
+    pub skipped: Vec<String>,
+}
+
+impl FailurePanelResult {
+    /// The distinct preset names, in first-seen order.
+    pub fn scenarios(&self) -> Vec<&str> {
+        first_seen(self.points.iter().map(|p| p.scenario.as_str()))
+    }
+
+    /// The distinct protocol labels, in first-seen (= registry) order.
+    pub fn protocols(&self) -> Vec<&str> {
+        first_seen(self.points.iter().map(|p| p.protocol.as_str()))
+    }
+
+    /// Look up one cell by preset name and protocol label.
+    pub fn cell(&self, scenario: &str, protocol: &str) -> Option<&FailurePanelPoint> {
+        self.points
+            .iter()
+            .find(|p| p.scenario == scenario && p.protocol == protocol)
+    }
+}
+
+/// Run the failure panel over the default presets ([`FAILURE_PRESETS`])
+/// with the extended registry (the paper's three protocols plus PSVR), in
+/// parallel over the available cores.
+pub fn failure_panel() -> FailurePanelResult {
+    let presets: Vec<crate::scenarios::Scenario> = FAILURE_PRESETS
+        .iter()
+        .map(|name| crate::scenarios::find(name).expect("failure preset registered"))
+        .collect();
+    failure_panel_budgeted_in(
+        &ProtocolRegistry::extended(),
+        &presets,
+        available_workers(),
+        None,
+    )
+}
+
+/// [`failure_panel`] over explicit presets, registry and worker count.
+pub fn failure_panel_in(
+    registry: &ProtocolRegistry,
+    presets: &[crate::scenarios::Scenario],
+    workers: usize,
+) -> FailurePanelResult {
+    failure_panel_budgeted_in(registry, presets, workers, None)
+}
+
+/// [`failure_panel_in`] under an optional wall-clock budget: cells that
+/// cannot start before the budget elapses are recorded in
+/// [`FailurePanelResult::skipped`].
+///
+/// # Panics
+/// Panics when a completed cell's recovery ledger does not reconcile
+/// exactly with its delivery audit — that would mean the per-outage
+/// attribution lost count drifted from the ground truth, and the panel
+/// refuses to report numbers that don't add up.
+pub fn failure_panel_budgeted_in(
+    registry: &ProtocolRegistry,
+    presets: &[crate::scenarios::Scenario],
+    workers: usize,
+    budget: Option<Duration>,
+) -> FailurePanelResult {
+    let jobs: Vec<(&crate::scenarios::Scenario, &ProtocolSpec)> = presets
+        .iter()
+        .flat_map(|preset| registry.specs().iter().map(move |spec| (preset, spec)))
+        .collect();
+    let budgeted = map_parallel_budgeted(&jobs, workers, budget, |&(preset, spec)| {
+        let result = run_spec(&preset.config, spec);
+        FailurePanelPoint {
+            scenario: preset.name.to_string(),
+            protocol: spec.label().to_string(),
+            result,
+        }
+    });
+    let skipped = budgeted
+        .skipped
+        .iter()
+        .map(|&i| format!("{} × {}", jobs[i].0.name, jobs[i].1.label()))
+        .collect();
+    let points: Vec<FailurePanelPoint> = budgeted.results.into_iter().flatten().collect();
+    for p in &points {
+        assert!(
+            p.result.recovery.reconciles_with(&p.result.audit),
+            "{} × {}: recovery ledger (lost {}, dup {}) does not reconcile \
+             with the delivery audit (lost {}, dup {})",
+            p.scenario,
+            p.protocol,
+            p.result.recovery.total_lost(),
+            p.result.recovery.total_duplicates(),
+            p.result.audit.lost,
+            p.result.audit.duplicates,
+        );
+    }
+    FailurePanelResult { points, skipped }
+}
+
 /// One protocol's paired reactive-vs-proclaimed comparison: the *same* move
 /// schedule (same seed, same workload) run once with every move silent and
 /// once with every move proclaimed.
@@ -658,6 +783,52 @@ mod tests {
         );
         assert!(mhh.gap_reduction() > 0.0);
         assert!(mhh.proclaimed.reliable(), "{:?}", mhh.proclaimed.audit);
+    }
+
+    #[test]
+    fn failure_panel_runs_four_protocols_on_faulty_presets_and_reconciles() {
+        use crate::config::FaultPlan;
+        use crate::scenarios::Scenario;
+        // Two tiny fault presets so the panel smoke-runs in seconds.
+        let base = ScenarioConfig {
+            duration_s: 200.0,
+            ..tiny_base()
+        };
+        let presets = [
+            Scenario {
+                name: "tiny-crash",
+                summary: "one mid-run broker crash",
+                config: base.clone().with_faults(FaultPlan {
+                    broker_crashes: vec![(5, 60.0, 90.0)],
+                    ..FaultPlan::default()
+                }),
+            },
+            Scenario {
+                name: "tiny-partition",
+                summary: "one mid-run link partition",
+                config: base.with_faults(FaultPlan {
+                    link_partitions: vec![(0, 1, 60.0, 120.0)],
+                    ..FaultPlan::default()
+                }),
+            },
+        ];
+        let registry = ProtocolRegistry::extended();
+        let panel = failure_panel_in(&registry, &presets, 4);
+        assert_eq!(panel.points.len(), 8, "2 presets × 4 protocols");
+        assert!(panel.skipped.is_empty());
+        assert_eq!(panel.scenarios(), vec!["tiny-crash", "tiny-partition"]);
+        assert_eq!(panel.protocols(), vec!["sub-unsub", "MHH", "HB", "PSVR"]);
+        for p in &panel.points {
+            assert_eq!(p.result.recovery.len(), 1, "one injected window");
+            // Reconciliation is asserted inside the panel; double-check the
+            // invariant is really exact here too.
+            assert!(p.result.recovery.reconciles_with(&p.result.audit));
+        }
+        // A budget of zero skips whole cells, never half-reports them.
+        let starved = failure_panel_budgeted_in(&registry, &presets, 2, Some(Duration::ZERO));
+        assert!(starved.points.is_empty());
+        assert_eq!(starved.skipped.len(), 8);
+        assert!(starved.skipped.iter().any(|s| s.contains("PSVR")));
     }
 
     #[test]

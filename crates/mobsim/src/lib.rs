@@ -23,6 +23,17 @@
 //!   [`protocols::register`] and run dyn-dispatched
 //!   (`Box<dyn DynProtocol>`) through the exact same harness.
 //!
+//! Beyond the paper's fault-free setting, every scenario can carry a
+//! [`FaultPlan`] (broker crashes, link partitions, region outages, or a
+//! seeded crash storm). The runner compiles the plan into a
+//! `simnet` fault schedule, schedules the overlay-repair drives from
+//! `mhh-pubsub`, and attributes every lost or duplicated delivery to the
+//! outage window that caused it in a per-run [`RecoveryLedger`] that
+//! reconciles exactly with the delivery audit. The
+//! [`experiments::failure_panel`] experiment compares all four protocols
+//! (including the self-stabilizing PSVR variant from
+//! [`ProtocolRegistry::extended`]) on the failure presets.
+//!
 //! The [`Sim`] builder is the one fluent entry point tying the axes
 //! together:
 //!
@@ -51,12 +62,16 @@ pub mod scenarios;
 pub mod workload;
 
 pub use builder::{Sim, SimBuilder, SimError};
-pub use config::{Protocol, ScenarioConfig};
+pub use config::{FaultPlan, Protocol, ScenarioConfig};
 pub use experiments::{
-    figure5, figure6, mobility_matrix, proclaimed_comparison, ExperimentPoint, FigureResult,
-    MatrixPoint, MatrixResult, ProclaimedComparePoint, ProclaimedCompareResult,
+    failure_panel, figure5, figure6, mobility_matrix, proclaimed_comparison, ExperimentPoint,
+    FailurePanelPoint, FailurePanelResult, FigureResult, MatrixPoint, MatrixResult,
+    ProclaimedComparePoint, ProclaimedCompareResult, FAILURE_PRESETS,
 };
-pub use metrics::{GapPercentiles, HandoverKind, HandoverLedger, HandoverRecord, RunResult};
+pub use metrics::{
+    GapPercentiles, HandoverKind, HandoverLedger, HandoverRecord, OutageRecord, RecoveryLedger,
+    RunResult,
+};
 pub use mhh_mobility::ModelKind;
 pub use mhh_simnet::TopologyKind;
 pub use protocols::{ProtocolRegistry, ProtocolSpec};

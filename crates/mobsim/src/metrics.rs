@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use mhh_pubsub::client::{DeliveryRecord, DisconnectRecord, ReconnectRecord};
 use mhh_pubsub::{ClientId, DeliveryAudit, Event, EventId, Filter};
-use mhh_simnet::SimTime;
+use mhh_simnet::{DropRecord, OutageWindow, SimTime};
 
 /// How a handover was initiated (paper §4.1 vs §4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -307,6 +307,221 @@ impl HandoverLedger {
     }
 }
 
+/// One injected outage window with its measured impact on the run: how many
+/// envelopes the fault layer dropped inside it, how many subscriber-side
+/// losses and duplicates trace back to it, and how long the overlay took to
+/// resume delivering after it healed.
+#[derive(Debug, Clone)]
+pub struct OutageRecord {
+    /// Fault kind label (`"crash"`, `"partition"`, `"region"`).
+    pub kind: &'static str,
+    /// Human-readable scope (`"broker 12"`, `"link 3-4"`, `"region(5 nodes)"`).
+    pub scope: String,
+    /// Window start.
+    pub start: SimTime,
+    /// Window end (the repair instant).
+    pub end: SimTime,
+    /// Envelopes the fault layer dropped inside this window (exact: every
+    /// drop is stamped with its window index at drop time).
+    pub dropped_envelopes: u64,
+    /// Subscriber-side losses attributed to this window (the lost event was
+    /// published before this window healed, and no earlier-healing window
+    /// claims it).
+    pub lost: u64,
+    /// Duplicate deliveries attributed to this window, by delivery time.
+    pub duplicates: u64,
+    /// Time from the window healing to the first client delivery anywhere in
+    /// the system at or after the heal — the observed time-to-repair. `None`
+    /// when nothing was delivered after the window (it healed too close to
+    /// the end of the run).
+    pub repair_ms: Option<f64>,
+}
+
+impl OutageRecord {
+    /// Window length in milliseconds.
+    pub fn outage_ms(&self) -> f64 {
+        self.end.since(self.start).as_millis_f64()
+    }
+}
+
+/// The per-outage recovery ledger of one run: one [`OutageRecord`] per
+/// injected fault window, in schedule order, plus the losses and duplicates
+/// no window accounts for.
+///
+/// Attribution is a *partition*: every audited loss goes to exactly one
+/// window (the earliest-healing window still open — in the
+/// published-before-heal sense — when the event was published) or to
+/// `unattributed_lost`, and likewise for duplicates by delivery time. So
+/// `total_lost() == audit.lost` and `total_duplicates() == audit.duplicates`
+/// **exactly**, which [`RecoveryLedger::reconciles_with`] asserts — the
+/// failure panel refuses to report numbers that don't add up.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryLedger {
+    /// One record per injected outage window, in schedule order.
+    pub records: Vec<OutageRecord>,
+    /// Audited losses of events published after every window had healed
+    /// (losses with no outage to blame).
+    pub unattributed_lost: u64,
+    /// Duplicates delivered after every window had healed.
+    pub unattributed_duplicates: u64,
+}
+
+impl RecoveryLedger {
+    /// Build the ledger from the run's fault schedule, the engine's drop
+    /// log, and the same raw logs the delivery audit consumes. Returns the
+    /// empty ledger when no faults were injected (the zero-fault fast path
+    /// does no per-delivery work).
+    ///
+    /// Unlike [`HandoverLedger::assemble`], every subscriber participates —
+    /// a stationary client loses events when its broker crashes, even though
+    /// it never hands over.
+    pub fn assemble(
+        windows: &[OutageWindow],
+        drops: &[DropRecord],
+        published: &[Event],
+        clients: &[ClientHandoverLog<'_>],
+        pending: &[(ClientId, EventId)],
+    ) -> RecoveryLedger {
+        if windows.is_empty() {
+            return RecoveryLedger::default();
+        }
+        let mut records: Vec<OutageRecord> = windows
+            .iter()
+            .map(|w| OutageRecord {
+                kind: w.kind.label(),
+                scope: w.scope_label(),
+                start: w.start,
+                end: w.end,
+                dropped_envelopes: 0,
+                lost: 0,
+                duplicates: 0,
+                repair_ms: None,
+            })
+            .collect();
+        for d in drops {
+            if let Some(r) = records.get_mut(d.window) {
+                r.dropped_envelopes += 1;
+            }
+        }
+
+        // Attribution order: earliest-healing window first, so a loss
+        // overlapped by two windows goes to the one that healed first (the
+        // one that could not have saved it).
+        let mut by_end: Vec<usize> = (0..windows.len()).collect();
+        by_end.sort_by_key(|&i| (windows[i].end, windows[i].start));
+        let attribute = |t: SimTime| by_end.iter().copied().find(|&i| t < windows[i].end);
+
+        let publish_time: BTreeMap<EventId, SimTime> =
+            published.iter().map(|e| (e.id, e.published_at)).collect();
+        let mut pending_by_client: BTreeMap<ClientId, BTreeSet<EventId>> = BTreeMap::new();
+        for (c, e) in pending {
+            pending_by_client.entry(*c).or_default().insert(*e);
+        }
+
+        let mut unattributed_lost = 0u64;
+        let mut unattributed_duplicates = 0u64;
+        let mut first_after: Vec<Option<SimTime>> = vec![None; windows.len()];
+
+        for log in clients {
+            // Mirror the audit exactly: expected = published events matching
+            // the filter, minus own publications; duplicates = every
+            // delivery beyond the first of an event; lost = expected events
+            // neither seen nor pending.
+            let expected: BTreeSet<EventId> = published
+                .iter()
+                .filter(|e| e.publisher != log.client && log.filter.matches(e))
+                .map(|e| e.id)
+                .collect();
+            let mut seen: BTreeSet<EventId> = BTreeSet::new();
+            for d in log.deliveries {
+                if !seen.insert(d.event) {
+                    match attribute(d.at) {
+                        Some(i) => records[i].duplicates += 1,
+                        None => unattributed_duplicates += 1,
+                    }
+                }
+                for (i, w) in windows.iter().enumerate() {
+                    if d.at >= w.end && first_after[i].is_none_or(|t| d.at < t) {
+                        first_after[i] = Some(d.at);
+                    }
+                }
+            }
+            let empty = BTreeSet::new();
+            let pending_here = pending_by_client.get(&log.client).unwrap_or(&empty);
+            for missing in expected.difference(&seen) {
+                if pending_here.contains(missing) {
+                    continue;
+                }
+                let at = publish_time.get(missing).copied().unwrap_or(SimTime::ZERO);
+                match attribute(at) {
+                    Some(i) => records[i].lost += 1,
+                    None => unattributed_lost += 1,
+                }
+            }
+        }
+        for (i, r) in records.iter_mut().enumerate() {
+            r.repair_ms = first_after[i].map(|t| t.since(windows[i].end).as_millis_f64());
+        }
+        RecoveryLedger {
+            records,
+            unattributed_lost,
+            unattributed_duplicates,
+        }
+    }
+
+    /// Number of injected outage windows.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no faults were injected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total envelopes the fault layer dropped.
+    pub fn total_dropped(&self) -> u64 {
+        self.records.iter().map(|r| r.dropped_envelopes).sum()
+    }
+
+    /// Total audited losses — attributed plus unattributed. Equals
+    /// `audit.lost` by construction.
+    pub fn total_lost(&self) -> u64 {
+        self.records.iter().map(|r| r.lost).sum::<u64>() + self.unattributed_lost
+    }
+
+    /// Total audited duplicates — attributed plus unattributed. Equals
+    /// `audit.duplicates` by construction.
+    pub fn total_duplicates(&self) -> u64 {
+        self.records.iter().map(|r| r.duplicates).sum::<u64>() + self.unattributed_duplicates
+    }
+
+    /// Mean observed time-to-repair over the windows that saw a delivery
+    /// after healing; `None` when none did (or no faults were injected).
+    pub fn mean_repair_ms(&self) -> Option<f64> {
+        let repairs: Vec<f64> = self.records.iter().filter_map(|r| r.repair_ms).collect();
+        if repairs.is_empty() {
+            None
+        } else {
+            Some(repairs.iter().sum::<f64>() / repairs.len() as f64)
+        }
+    }
+
+    /// Worst observed time-to-repair, if any window saw one.
+    pub fn max_repair_ms(&self) -> Option<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| r.repair_ms)
+            .max_by(f64::total_cmp)
+    }
+
+    /// Whether the ledger's loss and duplicate totals match the run-level
+    /// delivery audit exactly — the failure panel's sanity gate.
+    pub fn reconciles_with(&self, audit: &DeliveryAudit) -> bool {
+        self.total_lost() == audit.lost && self.total_duplicates() == audit.duplicates
+    }
+}
+
 /// The p50/p95/p99 summary of a ledger's first-delivery gap distribution —
 /// the tail the mean hides (ROADMAP: percentile reporting over the ledger).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -381,6 +596,8 @@ pub struct RunResult {
     pub audit: DeliveryAudit,
     /// The per-handover ledger (one record per disconnect/reconnect pair).
     pub ledger: HandoverLedger,
+    /// The per-outage recovery ledger (empty on zero-fault runs).
+    pub recovery: RecoveryLedger,
     /// Total events published during the run.
     pub published: u64,
     /// Total event deliveries to clients.
@@ -443,6 +660,7 @@ mod tests {
                 out_of_order: 0,
             },
             ledger,
+            recovery: RecoveryLedger::default(),
             published: 40,
             delivered_messages: 98,
             total_hops: 10_000,
@@ -608,6 +826,119 @@ mod tests {
         let with_pending =
             HandoverLedger::assemble(&published, &logs, &[(ClientId(0), EventId(4))]);
         assert_eq!(with_pending.total_lost(), 0);
+    }
+
+    #[test]
+    fn recovery_ledger_partitions_losses_and_reconciles_with_the_audit() {
+        use mhh_simnet::{FaultKind, NodeId, OutageScope, TrafficClass};
+        let windows = vec![
+            OutageWindow {
+                kind: FaultKind::BrokerCrash,
+                start: SimTime::from_millis(100),
+                end: SimTime::from_millis(300),
+                scope: OutageScope::Node(NodeId(0)),
+            },
+            OutageWindow {
+                kind: FaultKind::LinkPartition,
+                start: SimTime::from_millis(200),
+                end: SimTime::from_millis(600),
+                scope: OutageScope::Link(NodeId(1), NodeId(2)),
+            },
+        ];
+        let drop = |at_ms: u64, window: usize| DropRecord {
+            at: SimTime::from_millis(at_ms),
+            from: NodeId(1),
+            to: NodeId(0),
+            kind: "event",
+            class: TrafficClass::EventDelivery,
+            window,
+        };
+        let drops = vec![drop(120, 0), drop(150, 0), drop(250, 1)];
+
+        let filter = Filter::single("g", Op::Eq, 1i64);
+        let ev = |id: u64, at_ms: u64| {
+            EventBuilder::new()
+                .attr("g", 1i64)
+                .build(id, ClientId(9), id)
+                .stamped(SimTime::from_millis(at_ms))
+        };
+        // e4 delivered live; e1 delivered (plus two duplicate copies); e5
+        // vanished during the crash; e2 vanished during the partition; e3
+        // (published after every window healed) vanished with no outage to
+        // blame; e6 is still pending, so it is not lost.
+        let published = vec![
+            ev(1, 150),
+            ev(2, 400),
+            ev(3, 700),
+            ev(4, 50),
+            ev(5, 150),
+            ev(6, 150),
+        ];
+        let mk = |id: u64, pub_ms: u64, at_ms: u64| DeliveryRecord {
+            at: SimTime::from_millis(at_ms),
+            event: EventId(id),
+            publisher: ClientId(9),
+            seq: id,
+            published_at: SimTime::from_millis(pub_ms),
+        };
+        let deliveries = vec![
+            mk(1, 150, 250),
+            mk(1, 150, 280),
+            mk(4, 50, 350),
+            mk(1, 150, 650),
+        ];
+        let logs = [ClientHandoverLog {
+            client: ClientId(0),
+            filter: &filter,
+            disconnects: &[],
+            reconnects: &[],
+            deliveries: &deliveries,
+        }];
+        let ledger = RecoveryLedger::assemble(
+            &windows,
+            &drops,
+            &published,
+            &logs,
+            &[(ClientId(0), EventId(6))],
+        );
+
+        assert_eq!(ledger.len(), 2);
+        let (w0, w1) = (&ledger.records[0], &ledger.records[1]);
+        assert_eq!((w0.kind, w0.scope.as_str()), ("crash", "broker 0"));
+        assert_eq!((w1.kind, w1.scope.as_str()), ("partition", "link 1-2"));
+        assert_eq!(w0.dropped_envelopes, 2);
+        assert_eq!(w1.dropped_envelopes, 1);
+        assert_eq!(w0.lost, 1, "e5 published at 150 < crash heal 300");
+        assert_eq!(w1.lost, 1, "e2 published at 400 < partition heal 600");
+        assert_eq!(ledger.unattributed_lost, 1, "e3 outlived every window");
+        assert_eq!(w0.duplicates, 1, "the copy at 280 fell inside the crash");
+        assert_eq!(w1.duplicates, 0);
+        assert_eq!(
+            ledger.unattributed_duplicates, 1,
+            "the copy at 650 is past both windows"
+        );
+        // Time-to-repair: first delivery at/after each heal instant.
+        assert_eq!(w0.repair_ms, Some(50.0), "350 − heal 300");
+        assert_eq!(w1.repair_ms, Some(50.0), "650 − heal 600");
+        assert_eq!(w0.outage_ms(), 200.0);
+        assert_eq!(ledger.mean_repair_ms(), Some(50.0));
+        assert_eq!(ledger.max_repair_ms(), Some(50.0));
+        assert_eq!(ledger.total_dropped(), 3);
+        // Exact reconciliation with the audit-style totals.
+        assert_eq!(ledger.total_lost(), 3);
+        assert_eq!(ledger.total_duplicates(), 2);
+        let audit = DeliveryAudit {
+            expected: 5,
+            delivered: 2,
+            duplicates: 2,
+            pending: 1,
+            lost: 3,
+            out_of_order: 0,
+        };
+        assert!(ledger.reconciles_with(&audit));
+        assert!(!ledger.reconciles_with(&DeliveryAudit::default()));
+        // Zero faults: the empty ledger, no per-delivery work.
+        assert!(RecoveryLedger::assemble(&[], &[], &published, &logs, &[]).is_empty());
     }
 
     #[test]

@@ -37,7 +37,7 @@
 
 use std::sync::{Arc, Mutex, OnceLock};
 
-use mhh_baselines::{HomeBroker, SubUnsub};
+use mhh_baselines::{HomeBroker, Psvr, SubUnsub};
 use mhh_core::Mhh;
 use mhh_pubsub::{erase, BrokerId, DynProtocol};
 use mhh_simnet::{Network, SimDuration};
@@ -67,6 +67,24 @@ pub fn sub_unsub_wait(config: &ScenarioConfig, network: &Network) -> SimDuration
     match config.link_model() {
         Some(model) => model.worst_case_path(base, wait_hops),
         None => base,
+    }
+}
+
+/// PSVR's subscription-lease interval. Generous relative to the scenarios'
+/// typical disconnect gaps so soft-state expiry punishes genuinely
+/// abandoned roots, not ordinary handoffs.
+const PSVR_LEASE: SimDuration = SimDuration::from_millis(10_000);
+
+/// The MHH constructor shared by the generic fast path
+/// ([`run_scenario`](crate::runner::run_scenario)) and the registry spec, so
+/// the dyn and generic paths stay byte-identical: plain [`Mhh::new`] on the
+/// zero-fault fast path, [`Mhh::with_recovery`] (the migration retry/abort
+/// watchdog) when the scenario injects faults.
+pub(crate) fn mhh_for(config: &ScenarioConfig) -> Mhh {
+    if config.faults.is_empty() {
+        Mhh::new()
+    } else {
+        Mhh::with_recovery(SimDuration::from_secs_f64(config.faults.repair_timeout_s))
     }
 }
 
@@ -163,7 +181,10 @@ impl ProtocolRegistry {
             "MHH",
             "the paper's multi-hop handoff protocol: anchor chain, paced \
              event migration, proclaimed and silent moves",
-            |_config, _network| Box::new(|_| erase(Mhh::new())),
+            |config: &ScenarioConfig, _network| {
+                let config = config.clone();
+                Box::new(move |_| erase(mhh_for(&config)))
+            },
         ));
         reg.register(ProtocolSpec::new(
             "home-broker",
@@ -171,6 +192,26 @@ impl ProtocolRegistry {
             "Mobile-IP style: a fixed home broker holds the subscription and \
              triangle-routes events to the client's current location",
             |_config, _network| Box::new(|_| erase(HomeBroker::new())),
+        ));
+        reg
+    }
+
+    /// The paper's three protocols plus PSVR, the self-stabilizing
+    /// virtual-ring protocol the failure panel compares them against.
+    /// Kept out of [`builtin`](Self::builtin) so the paper-reproduction
+    /// experiments keep exactly the figures' three columns.
+    pub fn extended() -> Self {
+        let mut reg = Self::builtin();
+        reg.register(ProtocolSpec::new(
+            "psvr",
+            "PSVR",
+            "self-stabilizing virtual-ring protocol: soft-state subscription \
+             leases, ring-sweep handoffs, recovery by convergence instead of \
+             a dedicated dialogue",
+            |_config: &ScenarioConfig, network: &Network| {
+                let ring = network.broker_count() as u32;
+                Box::new(move |_| erase(Psvr::new(ring, PSVR_LEASE)))
+            },
         ));
         reg
     }
@@ -302,6 +343,39 @@ mod tests {
                 proto.name()
             );
         }
+    }
+
+    #[test]
+    fn extended_adds_psvr_after_the_builtin_three() {
+        let reg = ProtocolRegistry::extended();
+        assert_eq!(reg.names(), vec!["sub-unsub", "mhh", "home-broker", "psvr"]);
+        assert_eq!(reg.find("psvr").unwrap().label(), "PSVR");
+        // The paper-reproduction registry stays exactly the figures' three.
+        assert_eq!(ProtocolRegistry::builtin().len(), 3);
+        let config = ScenarioConfig::small();
+        let network = config.build_network();
+        let mut factory = reg.find("psvr").unwrap().instantiate(&config, &network);
+        assert_eq!(factory(BrokerId(0)).name(), "PSVR");
+    }
+
+    #[test]
+    fn mhh_constructor_is_fault_aware() {
+        use crate::config::FaultPlan;
+        let plain = ScenarioConfig::small();
+        assert_eq!(
+            format!("{:?}", mhh_for(&plain)),
+            format!("{:?}", Mhh::new()),
+            "zero-fault scenarios construct the stock protocol"
+        );
+        let faulty = plain.with_faults(FaultPlan {
+            broker_crashes: vec![(0, 1.0, 2.0)],
+            ..FaultPlan::default()
+        });
+        assert_ne!(
+            format!("{:?}", mhh_for(&faulty)),
+            format!("{:?}", Mhh::new()),
+            "fault plans arm the migration retry watchdog"
+        );
     }
 
     #[test]

@@ -7,9 +7,9 @@
 
 use std::fmt::Write as _;
 
-use crate::experiments::{FigureResult, MatrixResult, ProclaimedCompareResult};
+use crate::experiments::{FailurePanelResult, FigureResult, MatrixResult, ProclaimedCompareResult};
 use crate::json::Json;
-use crate::metrics::{HandoverKind, HandoverLedger, RunResult};
+use crate::metrics::{HandoverKind, HandoverLedger, RecoveryLedger, RunResult};
 
 /// Render one figure as fixed-width tables (overhead, mean-delay and
 /// delay-percentile panels), in the same orientation as the paper's plots:
@@ -228,10 +228,54 @@ pub fn run_result_json(r: &RunResult) -> Json {
                 ("out_of_order", Json::UInt(r.audit.out_of_order)),
             ]),
         ),
+        ("recovery", recovery_json(&r.recovery)),
         ("published", Json::UInt(r.published)),
         ("delivered_messages", Json::UInt(r.delivered_messages)),
         ("total_hops", Json::UInt(r.total_hops)),
         ("sim_duration_s", Json::Num(r.sim_duration_s)),
+    ])
+}
+
+/// JSON document for one run's per-outage recovery ledger. `Null` for
+/// zero-fault runs, so fault-free figure exports stay clean.
+pub fn recovery_json(ledger: &RecoveryLedger) -> Json {
+    if ledger.is_empty() {
+        return Json::Null;
+    }
+    let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+    Json::obj(vec![
+        (
+            "outages",
+            Json::Arr(
+                ledger
+                    .records
+                    .iter()
+                    .map(|o| {
+                        Json::obj(vec![
+                            ("kind", Json::str(o.kind)),
+                            ("scope", Json::str(&o.scope)),
+                            ("start_ms", Json::Num(o.start.as_millis_f64())),
+                            ("end_ms", Json::Num(o.end.as_millis_f64())),
+                            ("outage_ms", Json::Num(o.outage_ms())),
+                            ("dropped_envelopes", Json::UInt(o.dropped_envelopes)),
+                            ("lost", Json::UInt(o.lost)),
+                            ("duplicates", Json::UInt(o.duplicates)),
+                            ("repair_ms", opt(o.repair_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("unattributed_lost", Json::UInt(ledger.unattributed_lost)),
+        (
+            "unattributed_duplicates",
+            Json::UInt(ledger.unattributed_duplicates),
+        ),
+        ("total_dropped", Json::UInt(ledger.total_dropped())),
+        ("total_lost", Json::UInt(ledger.total_lost())),
+        ("total_duplicates", Json::UInt(ledger.total_duplicates())),
+        ("mean_repair_ms", opt(ledger.mean_repair_ms())),
+        ("max_repair_ms", opt(ledger.max_repair_ms())),
     ])
 }
 
@@ -329,6 +373,121 @@ pub fn figure_ledgers_json(fig: &FigureResult) -> String {
                     })
                     .collect(),
             ),
+        ),
+    ])
+    .pretty()
+}
+
+/// Render the failure panel as fixed-width tables: per fault preset, one
+/// protocol-summary table (drops, losses, duplicates, time-to-repair) and
+/// one per-outage table (each injected window's losses and observed
+/// time-to-repair per protocol).
+pub fn render_failure_panel(panel: &FailurePanelResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== failure & recovery panel ==");
+    let fmt_ms = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.0}"),
+        None => "-".to_string(),
+    };
+    for scenario in panel.scenarios() {
+        let _ = writeln!(out, "-- {scenario} --");
+        let _ = writeln!(
+            out,
+            "{:>12} | {:>8} | {:>6} | {:>6} | {:>9} | {:>14} | {:>13}",
+            "protocol", "dropped", "lost", "dup", "loss rate", "mean repair ms", "max repair ms"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(88));
+        for proto in panel.protocols() {
+            let Some(p) = panel.cell(scenario, proto) else {
+                continue;
+            };
+            let rec = &p.result.recovery;
+            let _ = writeln!(
+                out,
+                "{:>12} | {:>8} | {:>6} | {:>6} | {:>8.2}% | {:>14} | {:>13}",
+                proto,
+                rec.total_dropped(),
+                rec.total_lost(),
+                rec.total_duplicates(),
+                p.result.loss_rate() * 100.0,
+                fmt_ms(rec.mean_repair_ms()),
+                fmt_ms(rec.max_repair_ms()),
+            );
+        }
+        // The injected schedule is identical for every protocol of a preset,
+        // so row labels come from the first cell that has them.
+        let Some(first) = panel
+            .protocols()
+            .iter()
+            .find_map(|proto| panel.cell(scenario, proto))
+        else {
+            continue;
+        };
+        if first.result.recovery.is_empty() {
+            continue;
+        }
+        let protocols = panel.protocols();
+        let _ = writeln!(out, "-- {scenario}: per-outage lost / repair ms --");
+        let _ = write!(out, "{:>34}", "outage");
+        for proto in &protocols {
+            let _ = write!(out, " | {proto:>12}");
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{}", "-".repeat(34 + protocols.len() * 15));
+        for (i, o) in first.result.recovery.records.iter().enumerate() {
+            let label = format!(
+                "{} {} [{:.0}s,{:.0}s)",
+                o.kind,
+                o.scope,
+                o.start.as_millis_f64() / 1_000.0,
+                o.end.as_millis_f64() / 1_000.0
+            );
+            let _ = write!(out, "{label:>34}");
+            for proto in &protocols {
+                let cell = panel
+                    .cell(scenario, proto)
+                    .and_then(|p| p.result.recovery.records.get(i))
+                    .map(|o| format!("{} / {}", o.lost, fmt_ms(o.repair_ms)))
+                    .unwrap_or_else(|| "-".to_string());
+                let _ = write!(out, " | {cell:>12}");
+            }
+            let _ = writeln!(out);
+        }
+    }
+    if !panel.skipped.is_empty() {
+        let _ = writeln!(
+            out,
+            "-- skipped (wall-clock budget exhausted): {} --",
+            panel.skipped.join(", ")
+        );
+    }
+    out
+}
+
+/// Serialise the failure panel to pretty JSON; each point's `result`
+/// carries the full per-outage recovery section. Budget-skipped cells are
+/// listed under `"skipped"`.
+pub fn failure_to_json(panel: &FailurePanelResult) -> String {
+    Json::obj(vec![
+        (
+            "points",
+            Json::Arr(
+                panel
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("scenario", Json::str(&p.scenario)),
+                            ("protocol", Json::str(&p.protocol)),
+                            ("result", run_result_json(&p.result)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "skipped",
+            Json::Arr(panel.skipped.iter().map(Json::str).collect()),
         ),
     ])
     .pretty()
@@ -559,6 +718,37 @@ mod tests {
         );
         let cjson = proclaimed_to_json(&cmp);
         assert!(cjson.contains("\"gap_reduction\""));
+    }
+
+    #[test]
+    fn failure_panel_renders_outage_tables_and_json_recovery_sections() {
+        use crate::config::FaultPlan;
+        use crate::experiments::failure_panel_in;
+        use crate::scenarios::Scenario;
+        let preset = Scenario {
+            name: "tiny-crash",
+            summary: "one mid-run crash",
+            config: base().with_faults(FaultPlan {
+                broker_crashes: vec![(4, 30.0, 50.0)],
+                ..FaultPlan::default()
+            }),
+        };
+        let panel = failure_panel_in(&ProtocolRegistry::extended(), &[preset], 4);
+        let text = render_failure_panel(&panel);
+        assert!(text.contains("failure & recovery panel"), "{text}");
+        assert!(text.contains("tiny-crash"), "{text}");
+        assert!(text.contains("PSVR"), "{text}");
+        assert!(text.contains("crash broker 4"), "{text}");
+        assert!(text.contains("mean repair ms"), "{text}");
+        let json = failure_to_json(&panel);
+        assert!(json.contains("\"recovery\""), "{json}");
+        assert!(json.contains("\"repair_ms\""), "{json}");
+        assert!(json.contains("\"dropped_envelopes\""), "{json}");
+        assert!(json.contains("\"skipped\": []"), "{json}");
+        // Zero-fault runs export a null recovery section.
+        let fig = figure5_in(&ProtocolRegistry::builtin(), &base(), &[20.0], 2);
+        let fig_json = to_json(&fig);
+        assert!(fig_json.contains("\"recovery\": null"), "{fig_json}");
     }
 
     #[test]

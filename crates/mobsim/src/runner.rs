@@ -12,16 +12,15 @@
 use std::sync::Arc;
 
 use mhh_baselines::{HomeBroker, SubUnsub};
-use mhh_core::Mhh;
 use mhh_pubsub::broker::MobilityProtocol;
 use mhh_pubsub::delivery::{audit, SubscriberLog};
-use mhh_pubsub::{ClientId, Deployment, DeploymentConfig, Event, NetMsg};
-use mhh_simnet::{EnginePerf, Network, SimDuration, TrafficClass};
+use mhh_pubsub::{repair_drives, ClientId, Deployment, DeploymentConfig, Event, NetMsg};
+use mhh_simnet::{EnginePerf, FaultSchedule, Network, SimDuration, TrafficClass};
 
 use crate::builder::SimError;
 use crate::config::{Protocol, ScenarioConfig};
-use crate::metrics::{ClientHandoverLog, HandoverLedger, RunResult};
-use crate::protocols::{sub_unsub_wait, ProtocolRegistry, ProtocolSpec};
+use crate::metrics::{ClientHandoverLog, HandoverLedger, RecoveryLedger, RunResult};
+use crate::protocols::{mhh_for, sub_unsub_wait, ProtocolRegistry, ProtocolSpec};
 use crate::workload::Workload;
 
 /// Translate a scenario config into the deployment config of the substrate.
@@ -57,7 +56,7 @@ pub fn run_scenario_perf(config: &ScenarioConfig, protocol: Protocol) -> (RunRes
     let workload = Workload::generate_on(config, &network);
     let label = protocol.label();
     match protocol {
-        Protocol::Mhh => run_with(config, network, label, &workload, |_| Mhh::new()),
+        Protocol::Mhh => run_with(config, network, label, &workload, |_| mhh_for(config)),
         Protocol::HomeBroker => run_with(config, network, label, &workload, |_| HomeBroker::new()),
         Protocol::SubUnsub => {
             let wait = sub_unsub_wait(config, &network);
@@ -101,11 +100,50 @@ where
     F: FnMut(mhh_pubsub::BrokerId) -> P,
 {
     let dep_config = deployment_config(config);
-    let mut dep: Deployment<P> =
-        Deployment::build_on(network, &dep_config, &workload.clients, make_protocol);
+    let faults = config.fault_schedule(&network);
+    let mut dep: Deployment<P> = Deployment::build_on(
+        network.clone(),
+        &dep_config,
+        &workload.clients,
+        make_protocol,
+    );
 
-    for entry in &workload.timeline {
-        dep.engine.schedule_external(
+    // The repair layer's failure-detection drives (peer-down/up, link-down/up
+    // and restart kicks). Empty on the zero-fault fast path, where the
+    // engine never even stores the schedule.
+    let drives = if faults.is_empty() {
+        Vec::new()
+    } else {
+        dep.engine.set_faults(Arc::new(faults.clone()));
+        repair_drives(
+            &faults,
+            &network,
+            &dep.book,
+            SimDuration::from_secs_f64(config.faults.detection_delay_s),
+        )
+    };
+
+    // External messages (repair drives first, then the timeline) claim the
+    // sequence window [0, N) up front so lazy injection below assigns the
+    // same (time, seq) total order the old schedule-everything-eagerly loop
+    // produced — runs stay byte-identical — while the event queue only ever
+    // holds the in-flight horizon instead of the whole workload.
+    dep.engine
+        .reserve_external_seqs((drives.len() + workload.timeline.len()) as u64);
+    for (at, node, msg) in drives {
+        dep.engine.schedule_external_reserved(at, node, msg);
+    }
+
+    // Lazy timeline injection: drain the engine strictly up to each entry's
+    // timestamp, then enqueue it. The timeline is interleaved per client, so
+    // a stable sort by time (preserving generation order at equal instants)
+    // fixes the injection order.
+    let mut order: Vec<usize> = (0..workload.timeline.len()).collect();
+    order.sort_by_key(|&i| workload.timeline[i].at);
+    for &i in &order {
+        let entry = &workload.timeline[i];
+        dep.engine.run_strictly_before(entry.at);
+        dep.engine.schedule_external_reserved(
             entry.at,
             dep.book.client_node(entry.client),
             NetMsg::Action(entry.action.clone()),
@@ -113,13 +151,14 @@ where
     }
     dep.engine.run_to_completion();
     let perf = dep.engine.perf();
-    (collect(config, label, dep), perf)
+    (collect(config, label, dep, &faults), perf)
 }
 
 fn collect<P: MobilityProtocol>(
     config: &ScenarioConfig,
     protocol: &str,
     dep: Deployment<P>,
+    faults: &FaultSchedule,
 ) -> RunResult {
     let published: Vec<Event> = dep.clients().flat_map(|c| c.published.clone()).collect();
     let buffered = dep.buffered_events();
@@ -156,6 +195,13 @@ fn collect<P: MobilityProtocol>(
         })
         .collect();
     let ledger = HandoverLedger::assemble(&published, &handover_logs, &buffered);
+    let recovery = RecoveryLedger::assemble(
+        faults.windows(),
+        dep.engine.drops(),
+        &published,
+        &handover_logs,
+        &buffered,
+    );
 
     let handoffs = ledger.handoff_count();
     let delays = ledger.delays_ms();
@@ -179,6 +225,7 @@ fn collect<P: MobilityProtocol>(
         delay_samples,
         audit: audit_result,
         ledger,
+        recovery,
         published: published.len() as u64,
         delivered_messages,
         total_hops: stats.total_hops(),

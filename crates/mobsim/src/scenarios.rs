@@ -16,7 +16,7 @@ use std::sync::Arc;
 use mhh_mobility::{ModelKind, TraceRecord};
 use mhh_simnet::TopologyKind;
 
-use crate::config::ScenarioConfig;
+use crate::config::{FaultPlan, ScenarioConfig};
 
 /// One named preset.
 #[derive(Debug, Clone)]
@@ -177,6 +177,55 @@ pub fn registry() -> Vec<Scenario> {
             },
         },
         Scenario {
+            name: "broker-crash-storm",
+            summary: "The failure-panel crash preset: a seeded storm of six \
+                      broker crashes (half-minute mean downtime) over a \
+                      reduced grid — checkpoint/restore, crash detours and \
+                      each protocol's recovery dialogue under repeated \
+                      mid-run restarts.",
+            config: ScenarioConfig {
+                grid_side: 5,
+                clients_per_broker: 4,
+                mobile_fraction: 0.25,
+                conn_mean_s: 60.0,
+                disc_mean_s: 40.0,
+                publish_interval_s: 15.0,
+                duration_s: 600.0,
+                seed: 0x0053_544f_524d,
+                faults: FaultPlan {
+                    crash_storm: Some((6, 30.0)),
+                    ..FaultPlan::default()
+                },
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
+            name: "partitioned-city",
+            summary: "The failure-panel partition preset: two overlay links \
+                      sever mid-run and a nine-broker region blacks out — \
+                      partition tunnels, region detours and post-heal \
+                      convergence on the paper's grid.",
+            config: ScenarioConfig {
+                grid_side: 5,
+                clients_per_broker: 4,
+                mobile_fraction: 0.25,
+                conn_mean_s: 60.0,
+                disc_mean_s: 40.0,
+                publish_interval_s: 15.0,
+                duration_s: 600.0,
+                seed: 0x5041_5254,
+                faults: FaultPlan {
+                    // Two grid-adjacent overlay links go dark for a minute
+                    // each, staggered; then the city centre (broker 12 and
+                    // its grid neighbours) blacks out for 45 s.
+                    link_partitions: vec![(6, 7, 120.0, 180.0), (17, 18, 200.0, 260.0)],
+                    region_outages: vec![(12, 1, 350.0, 395.0)],
+                    ..FaultPlan::default()
+                },
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
             name: "trace-smoke",
             summary: "Tiny deterministic trace-playback scenario for regression \
                       tests: fixed move list, fixed gaps, no sampled mobility.",
@@ -317,6 +366,54 @@ mod tests {
         assert_eq!(dw.topology.label(), "grid");
         assert_eq!(dw.degraded_windows.len(), 1);
         assert!(dw.link_model().is_some());
+    }
+
+    #[test]
+    fn failure_presets_inject_faults_and_zero_fault_presets_do_not() {
+        for preset in registry() {
+            let faulty = preset.name == "broker-crash-storm" || preset.name == "partitioned-city";
+            assert_eq!(
+                !preset.config.faults.is_empty(),
+                faulty,
+                "{}: only the failure-panel presets may inject faults",
+                preset.name
+            );
+        }
+        let storm = find("broker-crash-storm").unwrap().config;
+        assert_eq!(storm.faults.crash_storm, Some((6, 30.0)));
+        let net = storm.build_network();
+        assert_eq!(storm.fault_schedule(&net).windows().len(), 6);
+        let city = find("partitioned-city").unwrap().config;
+        let net = city.build_network();
+        let schedule = city.fault_schedule(&net);
+        assert_eq!(schedule.windows().len(), 3, "two partitions + one region");
+        // The centre of a 5×5 grid plus its four neighbours go down.
+        assert_eq!(schedule.windows()[2].down_nodes().len(), 5);
+    }
+
+    #[test]
+    fn crash_storm_preset_actually_bites() {
+        let preset = find("broker-crash-storm").unwrap();
+        let r = run_scenario(&preset.config, Protocol::Mhh);
+        assert!(
+            !r.recovery.is_empty(),
+            "the storm must leave outage records"
+        );
+        assert_eq!(r.recovery.len(), 6);
+        assert!(
+            r.recovery.total_dropped() > 0,
+            "six crashes over ten minutes must drop envelopes: {:?}",
+            r.recovery
+        );
+        assert!(
+            r.recovery.reconciles_with(&r.audit),
+            "ledger {:?} must reconcile with audit {:?}",
+            r.recovery,
+            r.audit
+        );
+        // Deterministic end to end under faults.
+        let again = run_scenario(&preset.config, Protocol::Mhh);
+        assert_eq!(format!("{r:?}"), format!("{again:?}"));
     }
 
     #[test]

@@ -16,15 +16,16 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use mhh_simnet::{Context, Envelope, Network, Node, SimDuration, SimTime};
+use mhh_simnet::{Context, Envelope, Network, Node, NodeId, SimDuration, SimTime};
 
 use crate::address::{AddressBook, BrokerId, ClientId, Peer};
 use crate::dynproto::BoxedMsg;
 use crate::event::Event;
 use crate::filter::Filter;
 use crate::filter_table::FilterTable;
-use crate::messages::{ConnectInfo, NetMsg, ProtocolMessage};
+use crate::messages::{ConnectInfo, NetMsg, ProtocolMessage, RepairMsg};
 use crate::queue::PqId;
+use crate::repair::RepairState;
 
 /// Where a [`BrokerCtx`] routes outgoing messages.
 ///
@@ -44,14 +45,38 @@ enum CtxSink<'a, P: ProtocolMessage> {
 pub struct BrokerCtx<'a, P: ProtocolMessage> {
     sink: CtxSink<'a, P>,
     book: AddressBook,
+    /// The broker this context belongs to (None for client/test contexts).
+    self_broker: Option<BrokerId>,
+    /// Partitioned peers to tunnel around (snapshot of the broker's
+    /// [`RepairState::tunnels`]; empty in the fault-free common case).
+    tunnels: Arc<BTreeMap<BrokerId, BrokerId>>,
 }
 
 impl<'a, P: ProtocolMessage> BrokerCtx<'a, P> {
-    /// Wrap a simulator context.
+    /// Wrap a simulator context (no tunnel interception — clients, tests).
     pub fn new(inner: &'a mut Context<NetMsg<P>>, book: AddressBook) -> Self {
         BrokerCtx {
             sink: CtxSink::Direct(inner),
             book,
+            self_broker: None,
+            tunnels: Arc::new(BTreeMap::new()),
+        }
+    }
+
+    /// Wrap a simulator context for a specific broker: sends to a
+    /// partitioned peer are transparently wrapped in a
+    /// [`RepairMsg::Tunnel`] through that peer's relay.
+    pub fn for_broker(
+        inner: &'a mut Context<NetMsg<P>>,
+        book: AddressBook,
+        broker: BrokerId,
+        tunnels: Arc<BTreeMap<BrokerId, BrokerId>>,
+    ) -> Self {
+        BrokerCtx {
+            sink: CtxSink::Direct(inner),
+            book,
+            self_broker: Some(broker),
+            tunnels,
         }
     }
 
@@ -75,8 +100,22 @@ impl<'a, P: ProtocolMessage> BrokerCtx<'a, P> {
         }
     }
 
-    /// Send an arbitrary message to another broker.
+    /// Send an arbitrary message to another broker. While the direct channel
+    /// to `broker` is partitioned, the message is transparently tunneled
+    /// through the relay recorded by the repair layer (tunnels themselves
+    /// are never re-wrapped — the relay forwards them as-is).
     pub fn send_to_broker(&mut self, broker: BrokerId, msg: NetMsg<P>) {
+        if !self.tunnels.is_empty() && !matches!(msg, NetMsg::Repair(RepairMsg::Tunnel { .. })) {
+            if let (Some(me), Some(&relay)) = (self.self_broker, self.tunnels.get(&broker)) {
+                let wrapped = NetMsg::Repair(RepairMsg::Tunnel {
+                    src: me,
+                    dst: broker,
+                    inner: Box::new(msg),
+                });
+                self.send(self.book.broker_node(relay), wrapped);
+                return;
+            }
+        }
         self.send(self.book.broker_node(broker), msg);
     }
 
@@ -112,6 +151,8 @@ impl<'a> BrokerCtx<'a, BoxedMsg> {
     /// context of its own message type while the engine runs type-erased.
     pub fn erased<M: ProtocolMessage>(&mut self) -> BrokerCtx<'_, M> {
         let book = self.book;
+        let self_broker = self.self_broker;
+        let tunnels = self.tunnels.clone();
         // Both arms hold a `Context<NetMsg<BoxedMsg>>` when `P = BoxedMsg`.
         let inner: &mut Context<NetMsg<BoxedMsg>> = match &mut self.sink {
             CtxSink::Direct(inner) => inner,
@@ -120,6 +161,8 @@ impl<'a> BrokerCtx<'a, BoxedMsg> {
         BrokerCtx {
             sink: CtxSink::Erased(inner),
             book,
+            self_broker,
+            tunnels,
         }
     }
 }
@@ -182,6 +225,14 @@ pub trait MobilityProtocol: Sized {
     fn buffered_events(&self) -> Vec<(ClientId, Event)> {
         Vec::new()
     }
+
+    /// This broker just restarted from a crash: durable core state was
+    /// reloaded from the checkpoint, but all pending timers and in-flight
+    /// messages were lost while the broker was down. Protocols override this
+    /// to re-arm stalled state machines (MHH re-kicks pending migrations).
+    fn on_restart(&mut self, core: &mut BrokerCore, ctx: &mut BrokerCtx<'_, Self::Msg>) {
+        let _ = (core, ctx);
+    }
 }
 
 /// Protocol-agnostic broker state.
@@ -200,6 +251,8 @@ pub struct BrokerCore {
     /// Whether the covering optimisation is applied to subscription
     /// propagation.
     pub covering_enabled: bool,
+    /// Overlay-repair bookkeeping (dead peers, detours, partition tunnels).
+    pub repair: RepairState,
     /// Per-client allocator for persistent-queue identifiers.
     pq_seq: BTreeMap<ClientId, u32>,
 }
@@ -214,6 +267,7 @@ impl BrokerCore {
             filters: FilterTable::new(),
             connected: BTreeMap::new(),
             covering_enabled: covering,
+            repair: RepairState::default(),
             pq_seq: BTreeMap::new(),
         }
     }
@@ -351,6 +405,31 @@ impl BrokerCore {
                 // them to us.
                 continue;
             }
+            if self.covering_enabled {
+                // Covering re-propagation: subscriptions whose propagation
+                // toward this neighbor was suppressed because the filter
+                // being removed covered them must be re-announced *before*
+                // the unsubscription (per-link FIFO keeps the order), or the
+                // neighbor drops the route for filters still needed here.
+                let mut repropagate: Vec<Filter> = Vec::new();
+                for e in self.filters.entries() {
+                    if e.peer != Peer::Broker(nb)
+                        && filter.covers(&e.filter)
+                        && !repropagate.contains(&e.filter)
+                    {
+                        repropagate.push(e.filter.clone());
+                    }
+                }
+                for f in repropagate {
+                    ctx.send_to_broker(
+                        nb,
+                        NetMsg::SubPropagate {
+                            filter: f,
+                            mobility: false,
+                        },
+                    );
+                }
+            }
             ctx.send_to_broker(
                 nb,
                 NetMsg::UnsubPropagate {
@@ -391,13 +470,18 @@ impl<P: MobilityProtocol> Broker<P> {
             }
         }
     }
-}
 
-impl<P: MobilityProtocol> Node<NetMsg<P::Msg>> for Broker<P> {
-    fn on_message(&mut self, env: Envelope<NetMsg<P::Msg>>, ctx: &mut Context<NetMsg<P::Msg>>) {
+    /// Process one message as if it arrived from `from_node`. Split out of
+    /// [`Node::on_message`] so a tunneled envelope can be re-dispatched with
+    /// the *original* sender once it is unwrapped at its destination.
+    pub(crate) fn dispatch(
+        &mut self,
+        from_node: NodeId,
+        msg: NetMsg<P::Msg>,
+        bctx: &mut BrokerCtx<'_, P::Msg>,
+    ) {
         let book = self.core.book;
-        let mut bctx = BrokerCtx::new(ctx, book);
-        match env.msg {
+        match msg {
             NetMsg::Connect(info) => {
                 self.core.connected.insert(info.client, info.filter.clone());
                 if info.initial {
@@ -406,11 +490,10 @@ impl<P: MobilityProtocol> Node<NetMsg<P::Msg>> for Broker<P> {
                         Peer::Client(info.client),
                         info.filter.clone(),
                         false,
-                        &mut bctx,
+                        bctx,
                     );
                 } else {
-                    self.proto
-                        .on_client_connect(&mut self.core, info, &mut bctx);
+                    self.proto.on_client_connect(&mut self.core, info, bctx);
                 }
             }
             NetMsg::Disconnect {
@@ -434,41 +517,59 @@ impl<P: MobilityProtocol> Node<NetMsg<P::Msg>> for Broker<P> {
                     client,
                     filter,
                     proclaimed_dest,
-                    &mut bctx,
+                    bctx,
                 );
             }
             NetMsg::Publish(event) => {
                 let from = Peer::Client(event.publisher);
-                self.handle_event(event, from, &mut bctx);
+                self.handle_event(event, from, bctx);
             }
             NetMsg::Forward(event) => {
-                let from = book.node_peer(env.from);
-                self.handle_event(event, from, &mut bctx);
+                let from = book.node_peer(from_node);
+                self.handle_event(event, from, bctx);
             }
             NetMsg::SubPropagate { filter, mobility } => {
-                let from = book.node_peer(env.from);
-                self.core.apply_subscribe(from, filter, mobility, &mut bctx);
+                let from = book.node_peer(from_node);
+                self.core.apply_subscribe(from, filter, mobility, bctx);
             }
             NetMsg::UnsubPropagate { filter, mobility } => {
-                let from = book.node_peer(env.from);
-                self.core
-                    .apply_unsubscribe(from, filter, mobility, &mut bctx);
+                let from = book.node_peer(from_node);
+                self.core.apply_unsubscribe(from, filter, mobility, bctx);
             }
             NetMsg::Protocol(msg) => {
-                let from = if book.is_broker_node(env.from) {
-                    book.node_broker(env.from)
+                let from = if book.is_broker_node(from_node) {
+                    book.node_broker(from_node)
                 } else {
                     // Protocol messages only travel between brokers (and as
                     // self-timers); a client sender would be a logic error.
                     self.core.id
                 };
-                self.proto
-                    .on_protocol_msg(&mut self.core, from, msg, &mut bctx);
+                self.proto.on_protocol_msg(&mut self.core, from, msg, bctx);
+            }
+            NetMsg::Repair(msg) => {
+                let from = if book.is_broker_node(from_node) {
+                    book.node_broker(from_node)
+                } else {
+                    self.core.id
+                };
+                self.on_repair(from, msg, bctx);
             }
             // Messages addressed to clients or timer actions are never
             // handled by brokers.
             NetMsg::Deliver(_) | NetMsg::Action(_) => {}
         }
+    }
+}
+
+impl<P: MobilityProtocol> Node<NetMsg<P::Msg>> for Broker<P> {
+    fn on_message(&mut self, env: Envelope<NetMsg<P::Msg>>, ctx: &mut Context<NetMsg<P::Msg>>) {
+        let mut bctx = BrokerCtx::for_broker(
+            ctx,
+            self.core.book,
+            self.core.id,
+            self.core.repair.tunnels.clone(),
+        );
+        self.dispatch(env.from, env.msg, &mut bctx);
     }
 }
 

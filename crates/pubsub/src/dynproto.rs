@@ -165,6 +165,10 @@ pub trait DynProtocol {
 
     /// Events currently buffered for disconnected or mid-handoff clients.
     fn buffered_events(&self) -> Vec<(ClientId, Event)>;
+
+    /// This broker just restarted from a crash (see
+    /// [`MobilityProtocol::on_restart`]).
+    fn on_restart(&mut self, core: &mut BrokerCore, ctx: &mut BrokerCtx<'_, BoxedMsg>);
 }
 
 /// Adapter wrapping a concrete [`MobilityProtocol`] as a [`DynProtocol`]:
@@ -239,6 +243,10 @@ impl<P: MobilityProtocol> DynProtocol for ErasedProtocol<P> {
     fn buffered_events(&self) -> Vec<(ClientId, Event)> {
         self.0.buffered_events()
     }
+
+    fn on_restart(&mut self, core: &mut BrokerCore, ctx: &mut BrokerCtx<'_, BoxedMsg>) {
+        self.0.on_restart(core, &mut ctx.erased::<P::Msg>());
+    }
 }
 
 /// Erase a concrete protocol into a boxed [`DynProtocol`].
@@ -301,6 +309,10 @@ impl MobilityProtocol for Box<dyn DynProtocol> {
 
     fn buffered_events(&self) -> Vec<(ClientId, Event)> {
         self.as_ref().buffered_events()
+    }
+
+    fn on_restart(&mut self, core: &mut BrokerCore, ctx: &mut BrokerCtx<'_, Self::Msg>) {
+        self.as_mut().on_restart(core, ctx);
     }
 }
 

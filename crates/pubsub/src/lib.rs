@@ -25,7 +25,11 @@
 //!   which is what lets registries and data-driven experiments pick
 //!   protocols by name at run time, and
 //! * delivery auditing: exactly-once, loss, duplication and per-publisher
-//!   ordering checks ([`delivery`]).
+//!   ordering checks ([`delivery`]), and
+//! * overlay repair under injected faults ([`repair`]): sticky-path
+//!   re-routing around crashed brokers, partition tunneling, and broker
+//!   checkpoint/restore with a protocol [`broker::MobilityProtocol::on_restart`]
+//!   recovery hook.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +45,7 @@ pub mod filter;
 pub mod filter_table;
 pub mod messages;
 pub mod queue;
+pub mod repair;
 pub mod value;
 
 pub use address::{AddressBook, BrokerId, ClientId, Peer};
@@ -52,6 +57,7 @@ pub use dynproto::{erase, BoxedMsg, DynProtocol, ErasedProtocol};
 pub use event::{Event, EventId};
 pub use filter::{Constraint, Filter, Op};
 pub use filter_table::{FilterEntry, FilterTable};
-pub use messages::{ClientAction, ConnectInfo, NetMsg, ProtocolMessage};
+pub use messages::{ClientAction, ConnectInfo, NetMsg, ProtocolMessage, RepairMsg};
 pub use queue::{EventQueue, PqId, QueueKind};
+pub use repair::{repair_drives, BrokerCheckpoint, RepairState};
 pub use value::Value;

@@ -61,6 +61,67 @@ pub enum ClientAction {
     },
 }
 
+/// Overlay-repair messages (failure detection, filter re-announcement and
+/// partition tunneling).
+///
+/// The failure-driver variants (`PeerDown`, `PeerUp`, `LinkDown`, `LinkUp`,
+/// `Restarted`) are injected by the deployment driver at deterministic
+/// instants derived from the fault schedule — they stand in for the timeout
+/// envelopes a real overlay's failure detector would produce. `Announce` and
+/// `Tunnel` are genuine broker↔broker repair traffic.
+#[derive(Debug, Clone)]
+pub enum RepairMsg<P> {
+    /// A tree-neighbor broker crashed: drop routes through it and re-route
+    /// around it (sticky-path repair: routes are only rebuilt when the
+    /// next hop actually died).
+    PeerDown {
+        /// The crashed broker.
+        peer: BrokerId,
+    },
+    /// A previously crashed tree neighbor restarted: revert the detours.
+    PeerUp {
+        /// The restarted broker.
+        peer: BrokerId,
+    },
+    /// The virtual channel to `peer` is partitioned: tunnel envelopes for it
+    /// through `relay` until the partition heals.
+    LinkDown {
+        /// The unreachable broker.
+        peer: BrokerId,
+        /// The broker to tunnel through meanwhile.
+        relay: BrokerId,
+    },
+    /// The partition toward `peer` healed: stop tunneling.
+    LinkUp {
+        /// The reachable-again broker.
+        peer: BrokerId,
+    },
+    /// This broker just restarted from its checkpoint: reload durable state,
+    /// let the mobility protocol recover, and resync with the neighbors.
+    Restarted,
+    /// Filter re-announcement. With `dead: Some(d)` this installs *detour*
+    /// entries at the receiver (reverted when `d` restarts); with
+    /// `dead: None` it is a post-restart resync and the filters are applied
+    /// as ordinary subscriptions.
+    Announce {
+        /// The crashed broker being routed around, if any.
+        dead: Option<BrokerId>,
+        /// The filters the sender still needs events for.
+        filters: Vec<Filter>,
+    },
+    /// An envelope for `dst` routed through a relay because the direct
+    /// channel `src → dst` is partitioned. The relay forwards it; `dst`
+    /// processes the inner message exactly as if it had arrived from `src`.
+    Tunnel {
+        /// The original sender.
+        src: BrokerId,
+        /// The final destination broker.
+        dst: BrokerId,
+        /// The wrapped message.
+        inner: Box<NetMsg<P>>,
+    },
+}
+
 /// The complete message set transported by the simulation engine.
 #[derive(Debug, Clone)]
 pub enum NetMsg<P> {
@@ -107,6 +168,9 @@ pub enum NetMsg<P> {
     Forward(Event),
     /// A mobility-protocol-specific message.
     Protocol(P),
+    /// An overlay-repair message (failure notifications, re-announcements,
+    /// partition tunnels).
+    Repair(RepairMsg<P>),
 
     // ------------------------------------------------------------------
     // self-scheduled (timers, workload injection) — never traverse links
@@ -138,6 +202,21 @@ impl<P> NetMsg<P> {
             }
             NetMsg::Forward(e) => NetMsg::Forward(e),
             NetMsg::Protocol(p) => NetMsg::Protocol(f(p)),
+            NetMsg::Repair(r) => NetMsg::Repair(match r {
+                RepairMsg::PeerDown { peer } => RepairMsg::PeerDown { peer },
+                RepairMsg::PeerUp { peer } => RepairMsg::PeerUp { peer },
+                RepairMsg::LinkDown { peer, relay } => RepairMsg::LinkDown { peer, relay },
+                RepairMsg::LinkUp { peer } => RepairMsg::LinkUp { peer },
+                RepairMsg::Restarted => RepairMsg::Restarted,
+                RepairMsg::Announce { dead, filters } => RepairMsg::Announce { dead, filters },
+                // A tunnel wraps at most one protocol payload, so the
+                // `FnOnce` is used at most once down the recursion.
+                RepairMsg::Tunnel { src, dst, inner } => RepairMsg::Tunnel {
+                    src,
+                    dst,
+                    inner: Box::new(inner.map_protocol(f)),
+                },
+            }),
             NetMsg::Action(a) => NetMsg::Action(a),
         }
     }
@@ -159,6 +238,7 @@ impl<P: ProtocolMessage> Message for NetMsg<P> {
             }
             NetMsg::Forward(_) => TrafficClass::EventRouting,
             NetMsg::Protocol(p) => p.traffic_class(),
+            NetMsg::Repair(_) => TrafficClass::Repair,
             NetMsg::Action(_) => TrafficClass::Timer,
         }
     }
@@ -173,6 +253,15 @@ impl<P: ProtocolMessage> Message for NetMsg<P> {
             NetMsg::UnsubPropagate { .. } => "unsub_propagate",
             NetMsg::Forward(_) => "forward",
             NetMsg::Protocol(p) => p.kind(),
+            NetMsg::Repair(r) => match r {
+                RepairMsg::PeerDown { .. } => "repair_peer_down",
+                RepairMsg::PeerUp { .. } => "repair_peer_up",
+                RepairMsg::LinkDown { .. } => "repair_link_down",
+                RepairMsg::LinkUp { .. } => "repair_link_up",
+                RepairMsg::Restarted => "repair_restarted",
+                RepairMsg::Announce { .. } => "repair_announce",
+                RepairMsg::Tunnel { .. } => "repair_tunnel",
+            },
             NetMsg::Action(_) => "action",
         }
     }

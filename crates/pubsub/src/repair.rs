@@ -1,0 +1,613 @@
+//! Overlay repair: routing around crashed brokers and partitioned links,
+//! and restoring broker state from a checkpoint after a restart.
+//!
+//! The repair layer keeps the paper's acyclic-overlay routing usable while a
+//! [`FaultSchedule`] is active:
+//!
+//! * **sticky-path crash repair** — routes through a broker are kept until
+//!   that broker actually dies. When it does, each surviving tree neighbor
+//!   drops its routes through the dead broker and *announces* the filters it
+//!   still needs to the dead broker's other tree neighbors, which install
+//!   temporary **detour** entries pointing straight at the announcer. Events
+//!   then skip over the dead broker; reverse-path-forwarding's from-exclusion
+//!   keeps the detours loop-free. When the broker restarts, the detours are
+//!   reverted and both sides resync.
+//! * **partition tunneling** — a severed broker↔broker channel (both ends
+//!   alive) is bridged by wrapping every envelope for the unreachable peer in
+//!   a [`RepairMsg::Tunnel`] through a relay broker; the destination unwraps
+//!   it and processes the inner message exactly as if it had arrived
+//!   directly, so routing semantics (RPF exclusions, protocol handshakes)
+//!   are unchanged.
+//! * **checkpoint/restore** — a restarting broker reloads its durable state
+//!   ([`BrokerCheckpoint`]: filter table + connected set) and hands control
+//!   to the mobility protocol's
+//!   [`on_restart`](crate::broker::MobilityProtocol::on_restart) hook; timers
+//!   and in-flight messages are lost (the engine dropped them), which is
+//!   precisely what the hook must recover from.
+//!
+//! Failure *detection* is driven deterministically: [`repair_drives`]
+//! translates a fault schedule into the timeout envelopes a real failure
+//! detector would produce (`PeerDown` after a detection delay, `Restarted` /
+//! `PeerUp` at the heal instant), so the whole repair sequence is a pure
+//! function of the schedule and the seed.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use mhh_simnet::{FaultSchedule, Network, NodeId, OutageScope, SimDuration, SimTime};
+
+use crate::address::{AddressBook, BrokerId, ClientId, Peer};
+use crate::broker::{Broker, BrokerCore, BrokerCtx, MobilityProtocol};
+use crate::filter::Filter;
+use crate::filter_table::FilterTable;
+use crate::messages::{NetMsg, ProtocolMessage, RepairMsg};
+
+/// Per-broker repair bookkeeping, embedded in [`BrokerCore`].
+#[derive(Debug, Clone, Default)]
+pub struct RepairState {
+    /// Tree neighbors currently believed crashed.
+    pub dead: BTreeSet<BrokerId>,
+    /// Detour entries installed while a broker was dead:
+    /// `dead → [(via, filter)]`, reverted on `PeerUp`.
+    pub detours: BTreeMap<BrokerId, Vec<(BrokerId, Filter)>>,
+    /// Partitioned peers and the relay to tunnel through:
+    /// `unreachable → relay`. Shared with every [`BrokerCtx`] so all
+    /// broker→broker sends are transparently tunneled.
+    pub tunnels: Arc<BTreeMap<BrokerId, BrokerId>>,
+}
+
+/// The durable state a broker reloads after a restart (the "synchronous
+/// checkpointing" model: the filter table and client attachments survive,
+/// soft protocol state, timers and in-flight messages do not).
+#[derive(Debug, Clone)]
+pub struct BrokerCheckpoint {
+    /// The filter table at checkpoint time.
+    pub filters: FilterTable,
+    /// Locally connected clients and their filters.
+    pub connected: BTreeMap<ClientId, Filter>,
+}
+
+impl BrokerCore {
+    /// Snapshot this broker's durable state.
+    pub fn checkpoint(&self) -> BrokerCheckpoint {
+        BrokerCheckpoint {
+            filters: self.filters.clone(),
+            connected: self.connected.clone(),
+        }
+    }
+
+    /// Reload durable state from a checkpoint (everything else — repair
+    /// bookkeeping, protocol soft state — is the caller's to reset).
+    pub fn restore(&mut self, checkpoint: BrokerCheckpoint) {
+        self.filters = checkpoint.filters;
+        self.connected = checkpoint.connected;
+    }
+
+    /// Overlay-tree neighbors of an arbitrary broker.
+    pub fn tree_neighbors_of(&self, broker: BrokerId) -> Vec<BrokerId> {
+        self.network
+            .tree
+            .neighbors(broker.index())
+            .iter()
+            .map(|&n| BrokerId(n as u32))
+            .collect()
+    }
+
+    /// Every distinct filter this broker still has at least one entry for —
+    /// the set of filters it must keep receiving matching events for.
+    pub fn needed_filters(&self) -> Vec<Filter> {
+        let mut out: Vec<Filter> = Vec::new();
+        for e in self.filters.entries() {
+            if !out.contains(&e.filter) {
+                out.push(e.filter.clone());
+            }
+        }
+        out
+    }
+
+    /// A tree neighbor crashed: drop every route through it and announce the
+    /// filters still needed here to the dead broker's other tree neighbors,
+    /// which will install detour entries pointing back at this broker.
+    pub fn repair_peer_down<P: ProtocolMessage>(
+        &mut self,
+        dead: BrokerId,
+        ctx: &mut BrokerCtx<'_, P>,
+    ) {
+        if !self.repair.dead.insert(dead) {
+            return;
+        }
+        self.filters.remove_peer(Peer::Broker(dead));
+        let needed = self.needed_filters();
+        if needed.is_empty() {
+            return;
+        }
+        for nb in self.tree_neighbors_of(dead) {
+            if nb == self.id || self.repair.dead.contains(&nb) {
+                continue;
+            }
+            ctx.send_to_broker(
+                nb,
+                NetMsg::Repair(RepairMsg::Announce {
+                    dead: Some(dead),
+                    filters: needed.clone(),
+                }),
+            );
+        }
+    }
+
+    /// A filter announcement arrived from `from`. Detour announces
+    /// (`dead: Some`) install direct entries reverted at `PeerUp`; resync
+    /// announces (`dead: None`) are applied as ordinary mobility
+    /// subscriptions so genuinely new filters re-propagate past this broker
+    /// (subscriptions that arose while a neighbor was down never crossed it).
+    pub fn repair_announce<P: ProtocolMessage>(
+        &mut self,
+        from: BrokerId,
+        dead: Option<BrokerId>,
+        filters: Vec<Filter>,
+        ctx: &mut BrokerCtx<'_, P>,
+    ) {
+        match dead {
+            Some(d) => {
+                for f in filters {
+                    if self.filters.add(Peer::Broker(from), f.clone()) {
+                        self.repair.detours.entry(d).or_default().push((from, f));
+                    }
+                }
+            }
+            None => {
+                for f in filters {
+                    self.apply_subscribe(Peer::Broker(from), f, true, ctx);
+                }
+            }
+        }
+    }
+
+    /// A crashed tree neighbor restarted: revert the detours that were
+    /// routing around it and resync it with the filters still needed here.
+    pub fn repair_peer_up<P: ProtocolMessage>(
+        &mut self,
+        peer: BrokerId,
+        ctx: &mut BrokerCtx<'_, P>,
+    ) {
+        if !self.repair.dead.remove(&peer) {
+            return;
+        }
+        if let Some(detours) = self.repair.detours.remove(&peer) {
+            for (via, f) in detours {
+                self.filters.remove(Peer::Broker(via), &f);
+            }
+        }
+        let needed = self.needed_filters();
+        if !needed.is_empty() {
+            ctx.send_to_broker(
+                peer,
+                NetMsg::Repair(RepairMsg::Announce {
+                    dead: None,
+                    filters: needed,
+                }),
+            );
+        }
+    }
+
+    /// Start (or update) tunneling for a partitioned peer.
+    pub fn repair_link_down(&mut self, peer: BrokerId, relay: BrokerId) {
+        Arc::make_mut(&mut self.repair.tunnels).insert(peer, relay);
+    }
+
+    /// The partition toward `peer` healed: stop tunneling.
+    pub fn repair_link_up(&mut self, peer: BrokerId) {
+        Arc::make_mut(&mut self.repair.tunnels).remove(&peer);
+    }
+}
+
+impl<P: MobilityProtocol> Broker<P> {
+    /// Handle a repair message. `from` is the sending broker (or this
+    /// broker's own id for driver-injected notifications).
+    pub(crate) fn on_repair(
+        &mut self,
+        from: BrokerId,
+        msg: RepairMsg<P::Msg>,
+        ctx: &mut BrokerCtx<'_, P::Msg>,
+    ) {
+        match msg {
+            RepairMsg::PeerDown { peer } => self.core.repair_peer_down(peer, ctx),
+            RepairMsg::PeerUp { peer } => self.core.repair_peer_up(peer, ctx),
+            RepairMsg::LinkDown { peer, relay } => self.core.repair_link_down(peer, relay),
+            RepairMsg::LinkUp { peer } => self.core.repair_link_up(peer),
+            RepairMsg::Announce { dead, filters } => {
+                self.core.repair_announce(from, dead, filters, ctx)
+            }
+            RepairMsg::Restarted => {
+                // Reload durable state from the synchronous checkpoint (the
+                // round-trip models the reload; timers and in-flight messages
+                // were dropped by the engine while the window was active).
+                let checkpoint = self.core.checkpoint();
+                self.core.restore(checkpoint);
+                self.core.repair = RepairState::default();
+                self.proto.on_restart(&mut self.core, ctx);
+                let needed = self.core.needed_filters();
+                if !needed.is_empty() {
+                    for nb in self.core.neighbors() {
+                        ctx.send_to_broker(
+                            nb,
+                            NetMsg::Repair(RepairMsg::Announce {
+                                dead: None,
+                                filters: needed.clone(),
+                            }),
+                        );
+                    }
+                }
+            }
+            RepairMsg::Tunnel { src, dst, inner } => {
+                if dst == self.core.id {
+                    // Final hop: process the inner message exactly as if it
+                    // had arrived directly from the original sender.
+                    self.dispatch(ctx.book().broker_node(src), *inner, ctx);
+                } else {
+                    // Relay hop: pass the tunnel through unchanged.
+                    ctx.send_to_broker(dst, NetMsg::Repair(RepairMsg::Tunnel { src, dst, inner }));
+                }
+            }
+        }
+    }
+}
+
+/// Translate a fault schedule into the deterministic "timeout envelope"
+/// stream that drives the repair layer: for every window, failure
+/// notifications `detection_delay` after the outage starts and heal
+/// notifications at the instant it ends.
+///
+/// * **crash** (broker [`OutageScope::Node`]): `PeerDown` to each tree
+///   neighbor once detected, then `Restarted` to the broker itself and
+///   `PeerUp` to the neighbors at the restart instant;
+/// * **region**: as crash for every broker in the region, with notifications
+///   only to tree neighbors *outside* the region (brokers inside are down
+///   and would drop them anyway);
+/// * **partition** ([`OutageScope::Link`]): `LinkDown` with a deterministic
+///   relay (the lowest-id broker that is neither endpoint) to both ends,
+///   `LinkUp` at the heal instant.
+///
+/// Windows too short to detect (`start + detection_delay >= end`) produce no
+/// down-phase notifications; crashes still get the `Restarted` kick so the
+/// mobility protocol can recover lost timers.
+pub fn repair_drives<P>(
+    schedule: &FaultSchedule,
+    network: &Network,
+    book: &AddressBook,
+    detection_delay: SimDuration,
+) -> Vec<(SimTime, NodeId, NetMsg<P>)> {
+    let broker_count = network.broker_count();
+    let as_broker = |n: NodeId| (n.index() < broker_count).then_some(BrokerId(n.0));
+    let mut out: Vec<(SimTime, NodeId, NetMsg<P>)> = Vec::new();
+
+    for window in schedule.windows() {
+        let detect = window.start + detection_delay;
+        let detected = detect < window.end;
+        match &window.scope {
+            OutageScope::Node(n) => {
+                let Some(b) = as_broker(*n) else { continue };
+                broker_outage_drives(
+                    &mut out,
+                    network,
+                    book,
+                    b,
+                    detect,
+                    detected,
+                    window.end,
+                    &[],
+                );
+            }
+            OutageScope::Region(nodes) => {
+                let down: Vec<BrokerId> = nodes.iter().filter_map(|&n| as_broker(n)).collect();
+                for &b in &down {
+                    broker_outage_drives(
+                        &mut out, network, book, b, detect, detected, window.end, &down,
+                    );
+                }
+            }
+            OutageScope::Link(x, y) => {
+                let (Some(a), Some(b)) = (as_broker(*x), as_broker(*y)) else {
+                    continue;
+                };
+                // Deterministic relay: the lowest-id broker that is neither
+                // endpoint (partitions only sever the direct a↔b channel).
+                let Some(relay) = (0..broker_count)
+                    .map(|i| BrokerId(i as u32))
+                    .find(|&r| r != a && r != b)
+                else {
+                    continue;
+                };
+                if detected {
+                    for (me, peer) in [(a, b), (b, a)] {
+                        out.push((
+                            detect,
+                            book.broker_node(me),
+                            NetMsg::Repair(RepairMsg::LinkDown { peer, relay }),
+                        ));
+                    }
+                    for (me, peer) in [(a, b), (b, a)] {
+                        out.push((
+                            window.end,
+                            book.broker_node(me),
+                            NetMsg::Repair(RepairMsg::LinkUp { peer }),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Drive messages for one crashed broker: `PeerDown`/`PeerUp` to its tree
+/// neighbors outside `also_down`, plus the `Restarted` kick to itself.
+#[allow(clippy::too_many_arguments)]
+fn broker_outage_drives<P>(
+    out: &mut Vec<(SimTime, NodeId, NetMsg<P>)>,
+    network: &Network,
+    book: &AddressBook,
+    broker: BrokerId,
+    detect: SimTime,
+    detected: bool,
+    end: SimTime,
+    also_down: &[BrokerId],
+) {
+    let neighbors: Vec<BrokerId> = network
+        .tree
+        .neighbors(broker.index())
+        .iter()
+        .map(|&n| BrokerId(n as u32))
+        .filter(|nb| !also_down.contains(nb))
+        .collect();
+    if detected {
+        for &nb in &neighbors {
+            out.push((
+                detect,
+                book.broker_node(nb),
+                NetMsg::Repair(RepairMsg::PeerDown { peer: broker }),
+            ));
+        }
+    }
+    out.push((
+        end,
+        book.broker_node(broker),
+        NetMsg::Repair(RepairMsg::Restarted),
+    ));
+    if detected {
+        for &nb in &neighbors {
+            out.push((
+                end,
+                book.broker_node(nb),
+                NetMsg::Repair(RepairMsg::PeerUp { peer: broker }),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::NoProtocol;
+    use crate::deployment::{ClientSpec, Deployment, DeploymentConfig};
+    use crate::event::EventBuilder;
+    use crate::filter::Op;
+    use mhh_simnet::SimTime;
+
+    fn filter(group: i64) -> Filter {
+        Filter::single("group", Op::Eq, group)
+    }
+
+    /// A subscriber at one tree neighbor of the dead broker, a publisher at
+    /// another: during the outage the event must detour around the dead
+    /// broker, and after the restart the resync must restore the tree route.
+    #[test]
+    fn crash_detour_routes_around_dead_broker_and_heals() {
+        let config = DeploymentConfig::default();
+        let network = Arc::new(mhh_simnet::TopologyKind::Grid.build(config.grid_side, config.seed));
+        // A broker with at least two overlay-tree neighbors sits on the
+        // unique tree path between those neighbors.
+        let dead = (0..network.broker_count())
+            .find(|&b| network.tree.neighbors(b).len() >= 2)
+            .expect("a 3x3 MST has interior nodes");
+        let nbs = network.tree.neighbors(dead);
+        let (sub_home, pub_home) = (BrokerId(nbs[0] as u32), BrokerId(nbs[1] as u32));
+        let clients = vec![
+            ClientSpec {
+                filter: filter(1),
+                home: sub_home,
+                mobile: false,
+            },
+            ClientSpec {
+                filter: filter(99),
+                home: pub_home,
+                mobile: false,
+            },
+        ];
+        let schedule = FaultSchedule::new().crash(
+            NodeId(dead as u32),
+            SimTime::from_secs(1),
+            SimTime::from_secs(10),
+        );
+
+        let run = |repair: bool| {
+            let mut dep: Deployment<NoProtocol> =
+                Deployment::build_on(network.clone(), &config, &clients, |_| NoProtocol);
+            dep.engine.set_faults(Arc::new(schedule.clone()));
+            if repair {
+                let drives = repair_drives(
+                    &schedule,
+                    &network,
+                    &dep.book,
+                    SimDuration::from_millis(500),
+                );
+                for (at, node, msg) in drives {
+                    dep.engine.schedule_external(at, node, msg);
+                }
+            }
+            // One publish mid-outage (after detection), one after the heal.
+            for (at, id) in [(3u64, 1u64), (12, 2)] {
+                let event = EventBuilder::new()
+                    .attr("group", 1i64)
+                    .build(id, ClientId(1), id);
+                dep.schedule_publish(SimTime::from_secs(at), ClientId(1), event);
+            }
+            dep.engine.run_to_completion();
+            let ids: Vec<u64> = dep
+                .client(ClientId(0))
+                .received
+                .iter()
+                .map(|r| r.event.0)
+                .collect();
+            ids
+        };
+
+        assert_eq!(
+            run(false),
+            vec![2],
+            "without repair the mid-outage event dies at the crashed broker"
+        );
+        assert_eq!(
+            run(true),
+            vec![1, 2],
+            "the detour delivers the mid-outage event exactly once, \
+             and the post-restart resync restores the tree route"
+        );
+    }
+
+    /// A partitioned tree edge is bridged by tunneling through a relay;
+    /// after the heal the tunnel is dismantled.
+    #[test]
+    fn partition_tunnel_bridges_severed_tree_edge() {
+        let config = DeploymentConfig::default();
+        let network = Arc::new(mhh_simnet::TopologyKind::Grid.build(config.grid_side, config.seed));
+        let a = 0usize;
+        let b = network.tree.neighbors(a)[0];
+        let clients = vec![
+            ClientSpec {
+                filter: filter(1),
+                home: BrokerId(a as u32),
+                mobile: false,
+            },
+            ClientSpec {
+                filter: filter(99),
+                home: BrokerId(b as u32),
+                mobile: false,
+            },
+        ];
+        let schedule = FaultSchedule::new().partition(
+            NodeId(a as u32),
+            NodeId(b as u32),
+            SimTime::from_secs(1),
+            SimTime::from_secs(10),
+        );
+
+        let run = |repair: bool| {
+            let mut dep: Deployment<NoProtocol> =
+                Deployment::build_on(network.clone(), &config, &clients, |_| NoProtocol);
+            dep.engine.set_faults(Arc::new(schedule.clone()));
+            if repair {
+                let drives = repair_drives(
+                    &schedule,
+                    &network,
+                    &dep.book,
+                    SimDuration::from_millis(500),
+                );
+                for (at, node, msg) in drives {
+                    dep.engine.schedule_external(at, node, msg);
+                }
+            }
+            for (at, id) in [(3u64, 1u64), (12, 2)] {
+                let event = EventBuilder::new()
+                    .attr("group", 1i64)
+                    .build(id, ClientId(1), id);
+                dep.schedule_publish(SimTime::from_secs(at), ClientId(1), event);
+            }
+            dep.engine.run_to_completion();
+            let ids: Vec<u64> = dep
+                .client(ClientId(0))
+                .received
+                .iter()
+                .map(|r| r.event.0)
+                .collect();
+            let tunneled = dep.engine.stats().kind("repair_tunnel").messages;
+            (ids, tunneled)
+        };
+
+        let (ids, tunneled) = run(false);
+        assert_eq!(ids, vec![2], "severed edge loses the mid-outage event");
+        assert_eq!(tunneled, 0);
+        let (ids, tunneled) = run(true);
+        assert_eq!(ids, vec![1, 2], "the tunnel bridges the partition");
+        assert!(
+            tunneled >= 2,
+            "a tunneled envelope crosses the relay in two tunnel sends, got {tunneled}"
+        );
+    }
+
+    /// Durable state survives a checkpoint/restore round-trip; later
+    /// mutations are rolled back to the snapshot.
+    #[test]
+    fn checkpoint_restore_round_trips_durable_state() {
+        let network = Arc::new(Network::grid(3, 7));
+        let book = AddressBook::new(9, 2);
+        let mut core = BrokerCore::new(BrokerId(4), book, network, true);
+        core.filters.add(Peer::Client(ClientId(0)), filter(1));
+        core.filters.add(Peer::Broker(BrokerId(1)), filter(2));
+        core.connected.insert(ClientId(0), filter(1));
+        let checkpoint = core.checkpoint();
+
+        core.filters.remove(Peer::Client(ClientId(0)), &filter(1));
+        core.connected.clear();
+        core.filters.add(Peer::Broker(BrokerId(2)), filter(3));
+        core.restore(checkpoint);
+
+        assert!(core.filters.contains(Peer::Client(ClientId(0)), &filter(1)));
+        assert!(core.filters.contains(Peer::Broker(BrokerId(1)), &filter(2)));
+        assert!(!core.filters.contains(Peer::Broker(BrokerId(2)), &filter(3)));
+        assert_eq!(core.connected.len(), 1);
+        assert_eq!(core.needed_filters().len(), 2);
+    }
+
+    /// The drive generator emits the full detect/heal sequence for a crash
+    /// and nothing for windows too short to detect (except the restart kick).
+    #[test]
+    fn repair_drives_cover_detect_and_heal_phases() {
+        let network = Arc::new(Network::grid(3, 7));
+        let book = AddressBook::new(9, 0);
+        let dead = (0..9)
+            .find(|&b| network.tree.neighbors(b).len() >= 2)
+            .unwrap();
+        let degree = network.tree.neighbors(dead).len();
+        let schedule = FaultSchedule::new().crash(
+            NodeId(dead as u32),
+            SimTime::from_secs(1),
+            SimTime::from_secs(10),
+        );
+        let drives: Vec<(SimTime, NodeId, NetMsg<crate::messages::NoProtocolMsg>)> =
+            repair_drives(&schedule, &network, &book, SimDuration::from_secs(2));
+        // degree × PeerDown at 3s, Restarted + degree × PeerUp at 10s.
+        assert_eq!(drives.len(), 2 * degree + 1);
+        assert!(
+            drives
+                .iter()
+                .filter(
+                    |(at, _, m)| matches!(m, NetMsg::Repair(RepairMsg::PeerDown { .. }))
+                        && *at == SimTime::from_secs(3)
+                )
+                .count()
+                == degree
+        );
+
+        // Too short to detect: only the Restarted kick remains.
+        let blip = FaultSchedule::new().crash(
+            NodeId(dead as u32),
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        let drives: Vec<(SimTime, NodeId, NetMsg<crate::messages::NoProtocolMsg>)> =
+            repair_drives(&blip, &network, &book, SimDuration::from_secs(5));
+        assert_eq!(drives.len(), 1);
+        assert!(matches!(drives[0].2, NetMsg::Repair(RepairMsg::Restarted)));
+    }
+}

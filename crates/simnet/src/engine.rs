@@ -49,6 +49,7 @@ use std::sync::Arc;
 
 use crate::clocks::LinkClocks;
 use crate::fabric::Fabric;
+use crate::faults::{DropRecord, FaultSchedule};
 use crate::ids::NodeId;
 use crate::queue::{EventQueue, PopBefore};
 use crate::stats::{Message, TrafficStats};
@@ -198,6 +199,17 @@ pub struct Engine<M: Message, N: Node<M>> {
     scratch: Vec<Outgoing<M>>,
     scratch_cap: usize,
     scratch_grows: u64,
+    /// Fault plan consulted on the delivery path. `None` (the zero-fault
+    /// fast path) whenever no non-empty schedule was installed, so
+    /// fault-free runs stay byte-identical to a faultless engine.
+    faults: Option<Arc<FaultSchedule>>,
+    /// Every envelope dropped by the fault plan, in delivery order.
+    drops: Vec<DropRecord>,
+    /// Next reserved low sequence number handed to
+    /// [`schedule_external_reserved`](Self::schedule_external_reserved).
+    external_next: u64,
+    /// One past the last reserved low sequence number.
+    external_end: u64,
 }
 
 impl<M: Message, N: Node<M>> Engine<M, N> {
@@ -217,6 +229,10 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
             scratch: Vec::new(),
             scratch_cap: 0,
             scratch_grows: 0,
+            faults: None,
+            drops: Vec::new(),
+            external_next: 0,
+            external_end: 0,
         }
     }
 
@@ -277,12 +293,76 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         }
     }
 
+    /// Install a fault schedule, consulted on every delivery. An **empty**
+    /// schedule is not installed at all: the delivery path then performs no
+    /// fault check, keeping zero-fault runs byte-identical to a faultless
+    /// engine.
+    pub fn set_faults(&mut self, schedule: Arc<FaultSchedule>) {
+        self.faults = (!schedule.is_empty()).then_some(schedule);
+    }
+
+    /// The fault schedule in effect, if a non-empty one was installed.
+    pub fn faults(&self) -> Option<&FaultSchedule> {
+        self.faults.as_deref()
+    }
+
+    /// Every envelope the fault schedule dropped so far, in delivery order.
+    pub fn drops(&self) -> &[DropRecord] {
+        &self.drops
+    }
+
     /// Inject a message from the outside world (workload driver) to be
     /// delivered to `to` at absolute time `at`. The `from` field of the
     /// envelope is set to `to` itself, mirroring a local timer.
     pub fn schedule_external(&mut self, at: SimTime, to: NodeId, msg: M) {
         assert!(at >= self.now, "cannot schedule in the past");
         let seq = self.next_seq();
+        self.queue.push(
+            at,
+            seq,
+            Envelope {
+                from: to,
+                to,
+                sent_at: at,
+                msg,
+            },
+        );
+    }
+
+    /// Reserve the `count` lowest sequence numbers for external injections
+    /// that will arrive *lazily* via
+    /// [`schedule_external_reserved`](Self::schedule_external_reserved).
+    ///
+    /// Must be called before any message has been sequenced. Afterwards,
+    /// internally generated traffic draws sequence numbers from `count`
+    /// upwards, so a lazily injected external event at instant `t` sorts
+    /// before every internal event at the same `t` — exactly where it would
+    /// have sorted had all externals been scheduled upfront. This is what
+    /// makes lazy timeline injection byte-identical to eager injection
+    /// while keeping the future-event list's peak depth proportional to the
+    /// *in-flight* set instead of the whole timeline.
+    pub fn reserve_external_seqs(&mut self, count: u64) {
+        assert!(
+            self.seq == 0 && self.external_end == 0,
+            "reserve_external_seqs must run before any message is sequenced"
+        );
+        self.seq = count;
+        self.external_next = 0;
+        self.external_end = count;
+    }
+
+    /// Inject one external message using the next reserved low sequence
+    /// number (see [`reserve_external_seqs`](Self::reserve_external_seqs)).
+    /// Injections must happen in the intended tie-break order; panics when
+    /// the reservation is exhausted.
+    pub fn schedule_external_reserved(&mut self, at: SimTime, to: NodeId, msg: M) {
+        assert!(
+            self.external_next < self.external_end,
+            "external sequence reservation exhausted"
+        );
+        assert!(at >= self.now, "cannot schedule in the past");
+        let seq = self.external_next;
+        self.external_next += 1;
         self.queue.push(
             at,
             seq,
@@ -349,6 +429,24 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
     fn deliver(&mut self, at: SimTime, env: Envelope<M>) {
         debug_assert!(at >= self.now, "time must be monotone");
         self.now = at;
+        // Fault consultation: a dropped envelope is recorded, never
+        // silently vanished, and the destination's callback does not run —
+        // crashed nodes receive nothing (timers included) and partitioned
+        // links deliver nothing. Absent a schedule this branch is not taken
+        // and the path below is the unchanged fast path.
+        if let Some(faults) = &self.faults {
+            if let Some((window, _)) = faults.verdict(env.from, env.to, at) {
+                self.drops.push(DropRecord {
+                    at,
+                    from: env.from,
+                    to: env.to,
+                    kind: env.msg.kind(),
+                    class: env.msg.traffic_class(),
+                    window,
+                });
+                return;
+            }
+        }
         self.delivered += 1;
         self.stats.deliveries += 1;
         let to = env.to;
@@ -399,6 +497,28 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         let start = self.delivered;
         loop {
             match self.queue.pop_at_or_before(horizon) {
+                PopBefore::Empty => return RunOutcome::Drained,
+                PopBefore::Later => return RunOutcome::ReachedHorizon,
+                PopBefore::Due(at, env) => {
+                    self.deliver(at, env);
+                    if self.delivered - start >= budget {
+                        return RunOutcome::HitDeliveryLimit;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run until the next event is due *at or after* `horizon` (events at
+    /// exactly `horizon` stay queued), the queue drains, or a limit is hit.
+    /// The lazy-injection counterpart of [`run_until`](Self::run_until): the
+    /// runner drains strictly up to the next external action's instant,
+    /// injects it with its reserved low sequence number, and continues.
+    pub fn run_strictly_before(&mut self, horizon: SimTime) -> RunOutcome {
+        let budget = self.config.max_deliveries;
+        let start = self.delivered;
+        loop {
+            match self.queue.pop_strictly_before(horizon) {
                 PopBefore::Empty => return RunOutcome::Drained,
                 PopBefore::Later => return RunOutcome::ReachedHorizon,
                 PopBefore::Due(at, env) => {
@@ -720,6 +840,107 @@ mod tests {
         }
         eng.run_to_completion();
         assert_eq!(eng.node(NodeId(0)).got, (0..50).collect::<Vec<_>>());
+    }
+
+    /// A crash window must silence the node for exactly the window: pings
+    /// delivered inside it are dropped (and recorded), pings before and
+    /// after go through, and the node never reacts to a dropped message.
+    #[test]
+    fn crash_window_drops_and_records_deliveries() {
+        use crate::faults::FaultSchedule;
+        let mut eng = two_node_engine(10);
+        eng.set_faults(Arc::new(FaultSchedule::new().crash(
+            NodeId(1),
+            SimTime::from_millis(105),
+            SimTime::from_millis(205),
+        )));
+        eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+        assert_eq!(eng.run_to_completion(), RunOutcome::Drained);
+        // Ticks at 0/100/200 ping node 1 at 10/110/210; the middle one dies.
+        let node1 = eng.node(NodeId(1));
+        let seen: Vec<SimTime> = node1.seen.iter().map(|(at, _)| *at).collect();
+        assert_eq!(
+            seen,
+            vec![SimTime::from_millis(10), SimTime::from_millis(210)]
+        );
+        // The drop is on the record, attributed to window 0.
+        assert_eq!(eng.drops().len(), 1);
+        let drop = &eng.drops()[0];
+        assert_eq!(drop.at, SimTime::from_millis(110));
+        assert_eq!((drop.from, drop.to), (NodeId(0), NodeId(1)));
+        assert_eq!(drop.kind, "ping");
+        assert_eq!(drop.window, 0);
+        // Dropped envelopes are not deliveries: only 2 pings answered.
+        let node0 = eng.node(NodeId(0));
+        let pongs = node0
+            .seen
+            .iter()
+            .filter(|(_, m)| matches!(m, Toy::Pong(_)))
+            .count();
+        assert_eq!(pongs, 2, "the crashed node must not answer");
+    }
+
+    /// Installing an empty schedule must keep the zero-fault fast path: the
+    /// run is byte-identical to one with no schedule at all.
+    #[test]
+    fn empty_schedule_is_the_fast_path() {
+        use crate::faults::FaultSchedule;
+        let run = |faulted: bool| {
+            let mut eng = two_node_engine(10);
+            if faulted {
+                eng.set_faults(Arc::new(FaultSchedule::new()));
+            }
+            eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+            eng.run_to_completion();
+            assert!(eng.faults().is_none(), "empty schedules are not installed");
+            (
+                eng.node(NodeId(0)).seen.clone(),
+                eng.node(NodeId(1)).seen.clone(),
+                eng.deliveries(),
+                format!("{:?}", eng.stats()),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// Lazy injection with reserved sequence numbers must replay the exact
+    /// delivery order of eager upfront injection, even when an internal
+    /// event is due at the same instant as a later external one.
+    #[test]
+    fn reserved_lazy_injection_matches_eager_injection() {
+        // Node 0 pings node 1 on every tick; externals land at instants that
+        // collide with in-flight pongs (latency 10ms, ticks every 20ms).
+        let timeline: Vec<(SimTime, Toy)> = (0..20u64)
+            .map(|i| (SimTime::from_millis(i * 20), Toy::Tick))
+            .collect();
+        let run_eager = || {
+            let mut eng = two_node_engine(10);
+            for (at, msg) in &timeline {
+                eng.schedule_external(*at, NodeId(0), msg.clone());
+            }
+            eng.run_to_completion();
+            (
+                eng.node(NodeId(0)).seen.clone(),
+                eng.node(NodeId(1)).seen.clone(),
+            )
+        };
+        let run_lazy = || {
+            let mut eng = two_node_engine(10);
+            eng.reserve_external_seqs(timeline.len() as u64);
+            for (at, msg) in &timeline {
+                eng.run_strictly_before(*at);
+                eng.schedule_external_reserved(*at, NodeId(0), msg.clone());
+            }
+            eng.run_to_completion();
+            (
+                eng.node(NodeId(0)).seen.clone(),
+                eng.node(NodeId(1)).seen.clone(),
+            )
+        };
+        let (e0, e1) = run_eager();
+        let (l0, l1) = run_lazy();
+        assert_eq!(e0, l0);
+        assert_eq!(e1, l1);
     }
 
     /// Steady-state traffic must stop growing engine storage: after a

@@ -1,0 +1,415 @@
+//! Deterministic fault injection: crash windows, link partitions, region
+//! outages.
+//!
+//! A [`FaultSchedule`] is plain data — a list of [`OutageWindow`]s fixed
+//! before the run starts — that the engine consults on the delivery path.
+//! While a window is active, envelopes it covers are **dropped, not
+//! delayed**: the engine records a [`DropRecord`] (when, which link, which
+//! message kind, which window) instead of invoking the destination's
+//! callback, so nothing vanishes silently and the delivery audit still
+//! reconciles every lost event against an outage window.
+//!
+//! Three failure scopes are modelled:
+//!
+//! * **broker crash/restart** ([`OutageScope::Node`]): every envelope whose
+//!   delivery instant falls inside the window and whose *destination* is the
+//!   crashed node is dropped — including its own timers, which is how a
+//!   restart loses pending timer state. In-flight messages the node sent
+//!   before crashing still arrive (they were already on the wire).
+//! * **link partition** ([`OutageScope::Link`]): envelopes between the two
+//!   endpoints (either direction) are dropped; both nodes stay up and can
+//!   route around the cut.
+//! * **region outage** ([`OutageScope::Region`]): a set of nodes — typically
+//!   everything within `radius` hops of an epicenter on *any*
+//!   [`TopologyKind`](crate::topology::TopologyKind), computed by
+//!   [`FaultSchedule::region_outage`] via BFS over the physical graph — all
+//!   down for the window.
+//!
+//! Determinism: the schedule is immutable data and
+//! [`verdict`](FaultSchedule::verdict) is a pure function of
+//! `(from, to, instant)`, so the same schedule over the same seeded workload
+//! drops the byte-identical envelope sequence. The seeded generator
+//! [`FaultSchedule::crash_storm`] derives windows from a [`DetRng`] stream,
+//! making randomized storms reproducible from a single seed. An **empty**
+//! schedule is never installed by the engine (`set_faults` keeps the fast
+//! path), so zero-fault runs stay byte-identical to a faultless build.
+
+use crate::ids::NodeId;
+use crate::random::DetRng;
+use crate::stats::TrafficClass;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Network;
+
+/// What kind of failure an outage window models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A single broker is down and later restarts.
+    BrokerCrash,
+    /// A link drops all traffic between two nodes, both of which stay up.
+    LinkPartition,
+    /// A set of nodes (an area of the topology) is down.
+    RegionOutage,
+}
+
+impl FaultKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::BrokerCrash => "crash",
+            FaultKind::LinkPartition => "partition",
+            FaultKind::RegionOutage => "region",
+        }
+    }
+}
+
+/// Which envelopes an outage window covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutageScope {
+    /// Everything delivered *to* this node (including its own timers).
+    Node(NodeId),
+    /// Everything between these two nodes, in either direction.
+    Link(NodeId, NodeId),
+    /// Everything delivered to any node in the set.
+    Region(Vec<NodeId>),
+}
+
+impl OutageScope {
+    /// Whether an envelope `from → to` falls under this scope.
+    #[inline]
+    fn covers(&self, from: NodeId, to: NodeId) -> bool {
+        match self {
+            OutageScope::Node(n) => to == *n,
+            OutageScope::Link(a, b) => (from == *a && to == *b) || (from == *b && to == *a),
+            OutageScope::Region(nodes) => nodes.contains(&to),
+        }
+    }
+}
+
+/// One failure interval: `[start, end)` in simulation time. At `end` the
+/// broker restarts / the link heals; an envelope delivered exactly at `end`
+/// goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutageWindow {
+    /// The failure class this window models.
+    pub kind: FaultKind,
+    /// First instant of the outage (inclusive).
+    pub start: SimTime,
+    /// Restart/heal instant (exclusive — the fault is over at `end`).
+    pub end: SimTime,
+    /// Which envelopes the window covers.
+    pub scope: OutageScope,
+}
+
+impl OutageWindow {
+    /// Whether the window is active at `t`.
+    #[inline]
+    pub fn active_at(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// The nodes this window takes down (empty for a partition — both
+    /// endpoints stay up).
+    pub fn down_nodes(&self) -> &[NodeId] {
+        match &self.scope {
+            OutageScope::Node(n) => std::slice::from_ref(n),
+            OutageScope::Link(..) => &[],
+            OutageScope::Region(nodes) => nodes,
+        }
+    }
+
+    /// Human-readable scope label (`"broker 12"`, `"link 3↔4"`,
+    /// `"region(5 nodes)"`).
+    pub fn scope_label(&self) -> String {
+        match &self.scope {
+            OutageScope::Node(n) => format!("broker {}", n.0),
+            OutageScope::Link(a, b) => format!("link {}-{}", a.0, b.0),
+            OutageScope::Region(nodes) => format!("region({} nodes)", nodes.len()),
+        }
+    }
+}
+
+/// One envelope the engine dropped instead of delivering. The engine keeps
+/// these in delivery order; downstream ledgers attribute losses to outage
+/// windows through the `window` index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropRecord {
+    /// The delivery instant at which the drop happened.
+    pub at: SimTime,
+    /// Sender of the dropped envelope.
+    pub from: NodeId,
+    /// Destination that never saw it.
+    pub to: NodeId,
+    /// The message's kind label ([`crate::stats::Message::kind`]).
+    pub kind: &'static str,
+    /// The message's traffic class.
+    pub class: TrafficClass,
+    /// Index into [`FaultSchedule::windows`] of the window that caused the
+    /// drop (the first active covering window wins).
+    pub window: usize,
+}
+
+/// A fixed, deterministic plan of failures for one run.
+///
+/// Build one with the chainable constructors ([`crash`](Self::crash),
+/// [`partition`](Self::partition), [`region_outage`](Self::region_outage))
+/// or generate a randomized-but-seeded storm with
+/// [`crash_storm`](Self::crash_storm), then install it on the engine via
+/// `Engine::set_faults`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    windows: Vec<OutageWindow>,
+    /// Earliest window start — a cheap pre-filter for the per-delivery check.
+    first_start: Option<SimTime>,
+    /// Latest window end.
+    last_end: Option<SimTime>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (never installed by the engine; keeps the
+    /// zero-fault fast path).
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Whether the schedule contains no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// All outage windows, in insertion order (the order `DropRecord.window`
+    /// indexes).
+    pub fn windows(&self) -> &[OutageWindow] {
+        &self.windows
+    }
+
+    /// Append an arbitrary window.
+    pub fn push(&mut self, window: OutageWindow) {
+        debug_assert!(window.start < window.end, "empty outage window");
+        self.first_start = Some(match self.first_start {
+            Some(s) => s.min(window.start),
+            None => window.start,
+        });
+        self.last_end = Some(match self.last_end {
+            Some(e) => e.max(window.end),
+            None => window.end,
+        });
+        self.windows.push(window);
+    }
+
+    /// Add a broker crash/restart window: `node` is down in `[start, end)`.
+    pub fn crash(mut self, node: NodeId, start: SimTime, end: SimTime) -> Self {
+        self.push(OutageWindow {
+            kind: FaultKind::BrokerCrash,
+            start,
+            end,
+            scope: OutageScope::Node(node),
+        });
+        self
+    }
+
+    /// Add a link partition window: all traffic between `a` and `b` (both
+    /// directions) is dropped in `[start, end)`.
+    pub fn partition(mut self, a: NodeId, b: NodeId, start: SimTime, end: SimTime) -> Self {
+        self.push(OutageWindow {
+            kind: FaultKind::LinkPartition,
+            start,
+            end,
+            scope: OutageScope::Link(a, b),
+        });
+        self
+    }
+
+    /// Add a region outage: every broker within `radius` hops of
+    /// `epicenter` on the physical graph (BFS — works over any topology
+    /// kind) is down in `[start, end)`.
+    pub fn region_outage(
+        mut self,
+        network: &Network,
+        epicenter: NodeId,
+        radius: u32,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
+        let nodes: Vec<NodeId> = (0..network.broker_count())
+            .filter(|&b| network.grid_distance(epicenter.index(), b) <= radius)
+            .map(|b| NodeId(b as u32))
+            .collect();
+        self.push(OutageWindow {
+            kind: FaultKind::RegionOutage,
+            start,
+            end,
+            scope: OutageScope::Region(nodes),
+        });
+        self
+    }
+
+    /// Generate a seeded storm of `count` broker crashes: victims drawn
+    /// uniformly from `0..brokers`, starts uniform over the middle of
+    /// `[0, horizon]` (10%–80%, so every crash has room to repair before the
+    /// run ends), downtime exponential around `mean_down` (clamped to at
+    /// least one tenth of it). The same seed always generates the same
+    /// storm.
+    pub fn crash_storm(
+        seed: u64,
+        brokers: usize,
+        count: usize,
+        horizon: SimTime,
+        mean_down: SimDuration,
+    ) -> Self {
+        let mut rng = DetRng::new(seed);
+        let mut schedule = FaultSchedule::new();
+        let horizon_s = horizon.as_secs_f64();
+        let mean_down_s = mean_down.as_secs_f64();
+        for _ in 0..count {
+            let node = NodeId(rng.index(brokers.max(1)) as u32);
+            let start_s = rng.range_f64(0.1 * horizon_s, 0.8 * horizon_s);
+            let down_s = rng.exponential(mean_down_s).max(0.1 * mean_down_s);
+            schedule.push(OutageWindow {
+                kind: FaultKind::BrokerCrash,
+                start: SimTime::from_secs_f64(start_s),
+                end: SimTime::from_secs_f64(start_s + down_s),
+                scope: OutageScope::Node(node),
+            });
+        }
+        schedule
+    }
+
+    /// Whether `node` is down (covered by an active Node/Region window) at
+    /// `t`.
+    pub fn is_down(&self, node: NodeId, t: SimTime) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.active_at(t) && w.down_nodes().contains(&node))
+    }
+
+    /// The fault verdict for an envelope `from → to` delivered at `t`:
+    /// `Some((window index, kind))` of the first active window covering it,
+    /// `None` when it goes through. Pure — same arguments, same answer.
+    #[inline]
+    pub fn verdict(&self, from: NodeId, to: NodeId, t: SimTime) -> Option<(usize, FaultKind)> {
+        // Cheap bounds pre-filter: most deliveries fall outside every window.
+        if self.first_start.is_none_or(|s| t < s) || self.last_end.is_some_and(|e| t >= e) {
+            return None;
+        }
+        self.windows
+            .iter()
+            .enumerate()
+            .find(|(_, w)| w.active_at(t) && w.scope.covers(from, to))
+            .map(|(i, w)| (i, w.kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn crash_window_drops_only_traffic_into_the_node_during_the_window() {
+        let s = FaultSchedule::new().crash(NodeId(3), t(10), t(20));
+        // Before, at-end and after: delivered.
+        assert_eq!(s.verdict(NodeId(0), NodeId(3), t(9)), None);
+        assert_eq!(
+            s.verdict(NodeId(0), NodeId(3), t(20)),
+            None,
+            "end exclusive"
+        );
+        // During: dropped, including self-timers; outbound survives.
+        assert_eq!(
+            s.verdict(NodeId(0), NodeId(3), t(10)),
+            Some((0, FaultKind::BrokerCrash)),
+            "start inclusive"
+        );
+        assert_eq!(
+            s.verdict(NodeId(3), NodeId(3), t(15)),
+            Some((0, FaultKind::BrokerCrash)),
+            "timers die with the node"
+        );
+        assert_eq!(
+            s.verdict(NodeId(3), NodeId(0), t(15)),
+            None,
+            "in-flight messages it sent before crashing still arrive"
+        );
+        assert!(s.is_down(NodeId(3), t(15)));
+        assert!(!s.is_down(NodeId(3), t(20)));
+    }
+
+    #[test]
+    fn partition_drops_both_directions_but_nobody_is_down() {
+        let s = FaultSchedule::new().partition(NodeId(1), NodeId(2), t(5), t(6));
+        assert_eq!(
+            s.verdict(NodeId(1), NodeId(2), t(5)),
+            Some((0, FaultKind::LinkPartition))
+        );
+        assert_eq!(
+            s.verdict(NodeId(2), NodeId(1), t(5)),
+            Some((0, FaultKind::LinkPartition))
+        );
+        assert_eq!(
+            s.verdict(NodeId(1), NodeId(3), t(5)),
+            None,
+            "other links live"
+        );
+        assert!(!s.is_down(NodeId(1), t(5)));
+        assert!(!s.is_down(NodeId(2), t(5)));
+    }
+
+    #[test]
+    fn region_outage_covers_the_bfs_ball_on_any_topology() {
+        let network = Network::grid(4, 7);
+        let s = FaultSchedule::new().region_outage(&network, NodeId(5), 1, t(1), t(2));
+        let OutageScope::Region(nodes) = &s.windows()[0].scope else {
+            panic!("expected a region scope");
+        };
+        // Node 5 of a 4×4 grid has neighbors 1, 4, 6, 9.
+        let mut got: Vec<u32> = nodes.iter().map(|n| n.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 4, 5, 6, 9]);
+        for &n in nodes {
+            assert!(s.is_down(n, t(1)));
+            assert_eq!(
+                s.verdict(NodeId(0), n, t(1)),
+                Some((0, FaultKind::RegionOutage))
+            );
+        }
+        assert_eq!(s.verdict(NodeId(0), NodeId(15), t(1)), None);
+    }
+
+    #[test]
+    fn crash_storm_is_seeded_and_deterministic() {
+        let horizon = t(600);
+        let a = FaultSchedule::crash_storm(42, 16, 6, horizon, SimDuration::from_secs(30));
+        let b = FaultSchedule::crash_storm(42, 16, 6, horizon, SimDuration::from_secs(30));
+        assert_eq!(a, b, "same seed, same storm");
+        assert_eq!(a.windows().len(), 6);
+        for w in a.windows() {
+            assert_eq!(w.kind, FaultKind::BrokerCrash);
+            assert!(w.start < w.end);
+            assert!(w.start >= SimTime::from_secs_f64(60.0));
+            assert!(w.start <= SimTime::from_secs_f64(480.0));
+        }
+        let c = FaultSchedule::crash_storm(43, 16, 6, horizon, SimDuration::from_secs(30));
+        assert_ne!(a, c, "different seed, different storm");
+    }
+
+    #[test]
+    fn first_active_covering_window_wins() {
+        let s = FaultSchedule::new()
+            .crash(NodeId(1), t(10), t(30))
+            .crash(NodeId(1), t(20), t(40));
+        assert_eq!(s.verdict(NodeId(0), NodeId(1), t(25)).unwrap().0, 0);
+        assert_eq!(s.verdict(NodeId(0), NodeId(1), t(35)).unwrap().0, 1);
+    }
+
+    #[test]
+    fn empty_schedule_never_drops() {
+        let s = FaultSchedule::new();
+        assert!(s.is_empty());
+        assert_eq!(s.verdict(NodeId(0), NodeId(1), t(0)), None);
+        assert!(!s.is_down(NodeId(0), t(0)));
+    }
+}

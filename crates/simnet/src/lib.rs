@@ -19,6 +19,10 @@
 //!   paper's constants (10 ms wired, 20 ms wireless) and a
 //!   [`JitteredFabric`] wrapper (seeded per-message jitter, per-direction
 //!   asymmetry, timed degradation windows — [`LinkModel`]),
+//! * deterministic fault injection ([`faults`]): a seeded [`FaultSchedule`]
+//!   of broker crash/restart windows, envelope-dropping link partitions and
+//!   region outages that the engine consults on the delivery path,
+//!   recording every dropped envelope so delivery audits still reconcile,
 //! * traffic accounting by class ([`stats::TrafficStats`]) so that the
 //!   "message overhead measured in hops" metric of Section 5.1 can be
 //!   collected without instrumenting protocol code, and
@@ -36,6 +40,7 @@
 pub mod clocks;
 pub mod engine;
 pub mod fabric;
+pub mod faults;
 pub mod ids;
 pub mod queue;
 pub mod random;
@@ -49,6 +54,7 @@ pub use engine::{Context, Engine, EngineConfig, EnginePerf, Envelope, Node, RunO
 pub use fabric::{
     DegradedWindow, Fabric, GridFabric, JitteredFabric, LinkCost, LinkModel, UniformFabric,
 };
+pub use faults::{DropRecord, FaultKind, FaultSchedule, OutageScope, OutageWindow};
 pub use ids::NodeId;
 pub use queue::EventQueue;
 pub use reference::ReferenceEngine;

@@ -168,6 +168,24 @@ impl<M> EventQueue<M> {
         PopBefore::Due(top.at, env)
     }
 
+    /// Pop the earliest event only if it is due *strictly before* `horizon` —
+    /// the lazy-injection path of the scenario runner: the engine drains
+    /// everything earlier than the next external action, then injects the
+    /// action, so an internal event at exactly the action's instant (whose
+    /// sequence number is necessarily larger than the action's reserved one)
+    /// is popped after it.
+    pub fn pop_strictly_before(&mut self, horizon: SimTime) -> PopBefore<M> {
+        let Some(top) = self.heap.first().copied() else {
+            return PopBefore::Empty;
+        };
+        if top.at >= horizon {
+            return PopBefore::Later;
+        }
+        self.remove_root();
+        let env = self.release(top.slot);
+        PopBefore::Due(top.at, env)
+    }
+
     /// Take the envelope out of a slot and recycle the slot.
     fn release(&mut self, slot: u32) -> Envelope<M> {
         let env = self.slab[slot as usize]

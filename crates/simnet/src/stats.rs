@@ -54,13 +54,16 @@ pub enum TrafficClass {
     /// Control messages between a client and its broker (connect, disconnect,
     /// publish requests).
     ClientControl,
+    /// Overlay-repair traffic after a fault: failure notifications, filter
+    /// re-announcements and tunneled envelopes routed around a partition.
+    Repair,
     /// Self-scheduled timers — not transported on any link, never counted.
     Timer,
 }
 
 impl TrafficClass {
     /// Number of traffic classes (the size of the per-class counter array).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every class, in declaration (= counter array) order.
     pub const ALL: [TrafficClass; TrafficClass::COUNT] = [
@@ -70,6 +73,7 @@ impl TrafficClass {
         TrafficClass::MobilityControl,
         TrafficClass::MobilityTransfer,
         TrafficClass::ClientControl,
+        TrafficClass::Repair,
         TrafficClass::Timer,
     ];
 

@@ -36,6 +36,12 @@ impl SimTime {
         SimTime(s * 1_000_000)
     }
 
+    /// Construct from fractional seconds (rounded to the microsecond grid,
+    /// like [`SimDuration::from_secs_f64`]).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s * 1_000_000.0).round() as u64)
+    }
+
     /// The raw microsecond count.
     pub const fn as_micros(self) -> u64 {
         self.0

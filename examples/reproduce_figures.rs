@@ -7,6 +7,7 @@
 //! cargo run --release --example reproduce_figures -- fig5    # Figure 5 only
 //! cargo run --release --example reproduce_figures -- fig6    # Figure 6 only
 //! cargo run --release --example reproduce_figures -- handover # §4.1 vs §4.2 comparison
+//! cargo run --release --example reproduce_figures -- failure  # fault-injection panel
 //! cargo run --release --example reproduce_figures -- fig5 --paper-scale
 //! cargo run --release --example reproduce_figures -- --workers 4
 //! cargo run --release --example reproduce_figures -- --budget-ms 60000
@@ -27,6 +28,13 @@
 //! move schedule (`proclaimed_fraction` 0 and 1), reporting the paired
 //! per-handover first-delivery gaps from the handover ledger.
 //!
+//! The `failure` mode steps outside the paper's fault-free setting: it runs
+//! all four protocols (the paper's three plus the self-stabilizing PSVR
+//! variant) on the failure presets — a seeded broker crash storm and a
+//! partitioned-city schedule — and reports per-outage time-to-repair and
+//! loss counts from the recovery ledger, which reconcile exactly with the
+//! delivery audit.
+//!
 //! `--dump-ledger <path>` additionally exports every executed figure
 //! point's complete per-handover ledger (one JSON record per handover:
 //! kind, from→to, depart/arrive, first-delivery gap, buffered/lost/
@@ -40,11 +48,14 @@
 //! EXPERIMENTS.md.
 
 use mhh_suite::mobility::sweep::available_workers;
-use mhh_suite::mobsim::experiments::{FigureResult, FIG5_CONN_PERIODS_S, FIG6_GRID_SIDES};
-use mhh_suite::mobsim::report::{
-    figure_ledgers_json, proclaimed_to_json, render_figure, render_proclaimed, to_json,
+use mhh_suite::mobsim::experiments::{
+    failure_panel_budgeted_in, FigureResult, FIG5_CONN_PERIODS_S, FIG6_GRID_SIDES,
 };
-use mhh_suite::mobsim::{Sim, SimBuilder};
+use mhh_suite::mobsim::report::{
+    failure_to_json, figure_ledgers_json, proclaimed_to_json, render_failure_panel, render_figure,
+    render_proclaimed, to_json,
+};
+use mhh_suite::mobsim::{scenarios, ProtocolRegistry, Sim, SimBuilder, FAILURE_PRESETS};
 
 /// Parse `--workers N` (defaults to all cores).
 fn workers_flag(args: &[String]) -> usize {
@@ -108,15 +119,15 @@ fn main() {
     let budget_ms = budget_flag(&args);
     let dump_ledger = dump_ledger_flag(&args);
     let mut executed_figures: Vec<FigureResult> = Vec::new();
-    let modes = ["fig5", "fig6", "handover"];
+    let modes = ["fig5", "fig6", "handover", "failure"];
     let explicit = args.iter().any(|a| modes.contains(&a.as_str()));
     // Without an explicit mode the example keeps its documented default:
-    // both figures. The handover comparison is opt-in.
+    // both figures. The handover comparison and failure panel are opt-in.
     let want = |name: &str| {
         if explicit {
             args.iter().any(|a| a == name)
         } else {
-            name != "handover"
+            name == "fig5" || name == "fig6"
         }
     };
 
@@ -166,6 +177,23 @@ fn main() {
         report_skipped(&cmp.skipped);
         std::fs::write("handover.json", proclaimed_to_json(&cmp)).expect("write handover.json");
         println!("wrote handover.json");
+    }
+    if want("failure") {
+        let presets: Vec<_> = FAILURE_PRESETS
+            .iter()
+            .map(|name| scenarios::find(name).expect("failure preset registered"))
+            .collect();
+        let panel = failure_panel_budgeted_in(
+            &ProtocolRegistry::extended(),
+            &presets,
+            workers,
+            budget_ms.map(std::time::Duration::from_millis),
+        );
+        println!("{}", render_failure_panel(&panel));
+        report_skipped(&panel.skipped);
+        std::fs::write("failure_panel.json", failure_to_json(&panel))
+            .expect("write failure_panel.json");
+        println!("wrote failure_panel.json");
     }
     if let Some(path) = dump_ledger {
         // One document with every executed figure's per-handover records,

@@ -1,0 +1,38 @@
+# Per-outage failure & recovery panel: clustered histograms of lost
+# deliveries (top) and time-to-repair (bottom) per protocol, one cluster
+# per outage window.
+#
+# Driven by plot_recovery.sh, which supplies:
+#   datafile  TSV from failure_panel.json (header row, outage label in
+#             column 1, then nproto lost columns, then nproto repair
+#             columns)
+#   outfile   SVG to write
+#   scenario  scenario name for the title
+#   nproto    number of protocol columns per metric
+#
+# Standalone: gnuplot -e "datafile='...'" -e "outfile='...'" \
+#                     -e "scenario='...'" -e "nproto=4" scripts/plot_recovery.gp
+
+set terminal svg size 1000,760 dynamic background 'white'
+set output outfile
+
+set datafile separator '\t'
+set datafile missing 'NaN'
+set style data histograms
+set style histogram clustered gap 1
+set style fill solid 0.8 border -1
+set boxwidth 0.9
+set key outside right top autotitle columnhead
+set grid ytics
+set xtics rotate by -25 scale 0
+set bmargin 6
+
+set multiplot layout 2,1 title sprintf("failure & recovery — %s", scenario)
+
+set ylabel 'lost deliveries'
+plot for [i=2:1+nproto] datafile using i:xtic(1)
+
+set ylabel 'time to repair (ms)'
+plot for [i=2+nproto:1+2*nproto] datafile using i:xtic(1)
+
+unset multiplot

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Plot the failure & recovery panel emitted by
+#
+#   cargo run --release --example reproduce_figures -- failure
+#
+# Usage: scripts/plot_recovery.sh [failure_panel.json]
+#
+# For every scenario in the panel this extracts a TSV
+# (failure_panel.<scenario>.tsv: one row per outage window, per-protocol
+# lost-delivery and time-to-repair columns) and, when gnuplot is
+# installed, renders recovery_<scenario>.svg via plot_recovery.gp with a
+# clustered per-outage histogram pair (losses on top, repair times
+# below). Without gnuplot the TSVs are still written for any other
+# plotting tool.
+set -euo pipefail
+
+panel="${1:-failure_panel.json}"
+gp="$(dirname "$0")/plot_recovery.gp"
+[ -r "$panel" ] || { echo "error: cannot read $panel" >&2; exit 1; }
+
+# Flatten points -> one TSV per scenario. Only the Python stdlib is used.
+mapfile -t scenarios < <(python3 - "$panel" <<'PY'
+import json, sys
+
+panel = json.load(open(sys.argv[1]))
+by_scenario = {}
+for p in panel["points"]:
+    by_scenario.setdefault(p["scenario"], []).append(p)
+
+for scenario, points in by_scenario.items():
+    protocols = [p["protocol"] for p in points]
+    ledgers = [p["result"]["recovery"] for p in points]
+    if any(l is None for l in ledgers):
+        continue  # a zero-fault scenario has nothing to plot
+    out = f"failure_panel.{scenario}.tsv"
+    with open(out, "w") as f:
+        head = ["outage"]
+        head += [f'"{p} lost"' for p in protocols]
+        head += [f'"{p} repair ms"' for p in protocols]
+        print("\t".join(head), file=f)
+        for i, outage in enumerate(ledgers[0]["outages"]):
+            label = '"{} {} [{:.0f}s,{:.0f}s)"'.format(
+                outage["kind"], outage["scope"],
+                outage["start_ms"] / 1000, outage["end_ms"] / 1000)
+            row = [label]
+            row += [str(l["outages"][i]["lost"]) for l in ledgers]
+            row += ["NaN" if l["outages"][i]["repair_ms"] is None
+                    else str(l["outages"][i]["repair_ms"]) for l in ledgers]
+            print("\t".join(row), file=f)
+    print(f"{scenario}\t{len(protocols)}")
+PY
+)
+
+for line in "${scenarios[@]}"; do
+    scenario="${line%%$'\t'*}"
+    nproto="${line##*$'\t'}"
+    tsv="failure_panel.${scenario}.tsv"
+    echo "wrote $tsv"
+    if command -v gnuplot >/dev/null; then
+        gnuplot -e "datafile='$tsv'" -e "outfile='recovery_${scenario}.svg'" \
+                -e "scenario='$scenario'" -e "nproto=$nproto" "$gp"
+        echo "wrote recovery_${scenario}.svg"
+    else
+        echo "gnuplot not found: skipped recovery_${scenario}.svg" >&2
+    fi
+done

@@ -323,18 +323,18 @@ fn misproclaimed_moves_abort_cleanly_without_losing_deliveries() {
     }
 }
 
-/// Known limitation, kept as a runnable repro (`cargo test -- --ignored`):
-/// under *extreme* churn — bulk platoon migrations with every move
-/// proclaimed, half of them wrongly, over heavily jittered asymmetric
-/// links — a covering/unsubscribe-propagation race can black-hole a
-/// *stationary* subscriber's events for a window (losses cluster on one
-/// unmoving client while overlapping migrations churn the shared interest
-/// entries upstream). This is a pre-existing covering-protocol timing
-/// assumption that constant latency masked; the per-link FIFO machinery of
-/// this refactor is not the culprit (the same run is lossless with
-/// `covering: false`-style isolation at lower churn). Tracked in ROADMAP.
+/// Regression test for the crossing-migration race: under extreme churn —
+/// bulk platoon migrations with every move proclaimed, half of them
+/// wrongly, over heavily jittered asymmetric links — a proclaimed move and
+/// the handoff triggered by its misproclaimed reconnect used to travel the
+/// same link in opposite roles, and the older migration's `cancel_prev` /
+/// `sub_migration_ack` would tear down the filter entries the newer one
+/// had just installed, black-holing the subscriber's events until an
+/// unrelated migration crossed the same broker again. Fixed by guarding
+/// `cancel_prev` against severing a newer outbound route, closing capture
+/// windows only from the matching neighbor (label-checked ack removal),
+/// and re-migrating queues that finalize after the root moved on.
 #[test]
-#[ignore = "known covering-vs-bulk-churn race under extreme jitter; see ROADMAP"]
 fn extreme_platoon_churn_under_jitter_stays_reliable() {
     let config = ScenarioConfig {
         grid_side: 5,
