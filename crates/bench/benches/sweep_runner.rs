@@ -29,8 +29,8 @@ use mhh_mobility::sweep::{available_workers, map_parallel};
 use mhh_mobsim::experiments::figure5_with_workers;
 use mhh_mobsim::json::Json;
 use mhh_mobsim::{
-    run_scenario, run_scenario_perf, run_spec, scenarios, Protocol, ProtocolRegistry, ProtocolSpec,
-    RunResult, ScenarioConfig,
+    run_scenario, run_scenario_perf, run_scenario_phases, run_spec, scenarios, Protocol,
+    ProtocolRegistry, ProtocolSpec, RunResult, ScenarioConfig,
 };
 
 fn sweep_runner(c: &mut Criterion) {
@@ -216,31 +216,41 @@ fn engine_trajectory() {
     // Scenario-level: full pub/sub runs through `run_scenario_perf`. The
     // figure-bench base runs on the dense clock table; the reduced
     // `city-scale` point (full 2k-client population, shortened horizon)
-    // runs on the sharded one.
+    // runs on the sharded one. Each point also gets a *separate* profiled
+    // pass (`run_scenario_phases`) — profiling adds per-delivery timer
+    // reads, so the timing pass above it stays clean.
     let city = scenarios::find("city-scale").expect("registered").config;
+    let city_short = ScenarioConfig {
+        duration_s: 300.0,
+        ..city
+    };
     let scenario_points = [
         ("bench-fig5-base", bench_base()),
-        (
-            "city-scale-short",
-            ScenarioConfig {
-                duration_s: 300.0,
-                ..city
-            },
-        ),
+        ("city-scale-short", city_short.clone()),
     ];
     let mut scenario_rows = Vec::new();
+    let mut city_baseline: Option<(String, f64)> = None;
     for (name, config) in scenario_points {
         let t = Instant::now();
         let (result, perf) = run_scenario_perf(&config, Protocol::Mhh);
         let wall = t.elapsed().as_secs_f64();
         let eps = perf.deliveries as f64 / wall;
         let apd = perf.alloc_events as f64 / perf.deliveries.max(1) as f64;
+        let (_, _, phases) = run_scenario_phases(&config, Protocol::Mhh);
+        let total_ns = phases.total_ns().max(1) as f64;
         println!(
             "engine_scenario/{name:<16} {eps:>12.0} ev/s, peak queue {:>8}, \
-             allocs/delivery {apd:.6}",
-            perf.peak_queue_depth
+             allocs/delivery {apd:.6}, phases q/c/p/s {:.0}/{:.0}/{:.0}/{:.0}%",
+            perf.peak_queue_depth,
+            100.0 * phases.queue_ns as f64 / total_ns,
+            100.0 * phases.clocks_ns as f64 / total_ns,
+            100.0 * phases.protocol_ns as f64 / total_ns,
+            100.0 * phases.stats_ns as f64 / total_ns,
         );
         assert!(result.reliable(), "{name}: MHH must stay reliable");
+        if name == "city-scale-short" {
+            city_baseline = Some((format!("{result:?}"), wall));
+        }
         scenario_rows.push(Json::obj(vec![
             ("scenario", Json::str(name)),
             ("protocol", Json::str("MHH")),
@@ -250,6 +260,64 @@ fn engine_trajectory() {
             ("peak_queue_depth", Json::UInt(perf.peak_queue_depth as u64)),
             ("alloc_events", Json::UInt(perf.alloc_events)),
             ("allocs_per_delivery", Json::Num(apd)),
+            ("phase_queue_ns", Json::UInt(phases.queue_ns)),
+            ("phase_clocks_ns", Json::UInt(phases.clocks_ns)),
+            ("phase_protocol_ns", Json::UInt(phases.protocol_ns)),
+            ("phase_stats_ns", Json::UInt(phases.stats_ns)),
+            (
+                "phase_queue_frac",
+                Json::Num(phases.queue_ns as f64 / total_ns),
+            ),
+            (
+                "phase_clocks_frac",
+                Json::Num(phases.clocks_ns as f64 / total_ns),
+            ),
+            (
+                "phase_protocol_frac",
+                Json::Num(phases.protocol_ns as f64 / total_ns),
+            ),
+            (
+                "phase_stats_frac",
+                Json::Num(phases.stats_ns as f64 / total_ns),
+            ),
+        ]));
+    }
+
+    // Parallel-backend trajectory: the windowed engine on the city-scale
+    // point, serial baseline vs 1/2/4/8 shards. Every worker count must
+    // reproduce the serial metrics byte for byte; `speedup` is wall-clock
+    // against the serial timing pass above, so on a single-core host it
+    // honestly records the windowing overhead instead of a thread win.
+    let (city_metrics, city_serial_wall) =
+        city_baseline.expect("the city-scale point is in the scenario table");
+    let worker_points: &[usize] = if criterion::fast_mode() {
+        &[4]
+    } else {
+        &[1, 2, 4, 8]
+    };
+    let mut worker_rows = Vec::new();
+    for &shards in worker_points {
+        let config = ScenarioConfig {
+            engine_workers: shards,
+            ..city_short.clone()
+        };
+        let t = Instant::now();
+        let result = run_scenario(&config, Protocol::Mhh);
+        let wall = t.elapsed().as_secs_f64();
+        assert_eq!(
+            format!("{result:?}"),
+            city_metrics,
+            "engine_workers={shards} must not change any metric"
+        );
+        let speedup = city_serial_wall / wall;
+        println!(
+            "engine_parallel/city-scale-short workers={shards} wall {wall:.2}s \
+             (speedup {speedup:.2}x vs serial {city_serial_wall:.2}s)"
+        );
+        worker_rows.push(Json::obj(vec![
+            ("workers", Json::UInt(shards as u64)),
+            ("wall_s", Json::Num(wall)),
+            ("speedup", Json::Num(speedup)),
         ]));
     }
 
@@ -257,6 +325,15 @@ fn engine_trajectory() {
         ("bench", Json::str("engine_hot_path")),
         ("micro", Json::Arr(micro)),
         ("scenarios", Json::Arr(scenario_rows)),
+        (
+            "parallel",
+            Json::obj(vec![
+                ("scenario", Json::str("city-scale-short")),
+                ("serial_wall_s", Json::Num(city_serial_wall)),
+                ("host_workers", Json::UInt(available_workers() as u64)),
+                ("workers", Json::Arr(worker_rows)),
+            ]),
+        ),
     ]);
     let out = std::env::var("BENCH_ENGINE_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").into());

@@ -163,6 +163,12 @@ pub struct ScenarioConfig {
     /// Fault-injection plan; empty (the default) keeps the run on the
     /// byte-identical zero-fault fast path.
     pub faults: FaultPlan,
+    /// Worker shards for the conservative-parallel engine. `0` (the default)
+    /// and `1` run the serial engine; `k > 1` partitions brokers into `k`
+    /// contiguous blocks (clients follow their home broker) and runs the
+    /// windowed parallel engine. Either way the delivery sequence — and
+    /// therefore every metric — is byte-identical.
+    pub engine_workers: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -196,6 +202,7 @@ impl ScenarioConfig {
             proclaimed_fraction: 0.0,
             misproclaim_fraction: 0.0,
             faults: FaultPlan::default(),
+            engine_workers: 0,
         }
     }
 
@@ -343,6 +350,13 @@ impl ScenarioConfig {
     /// plan restores the zero-fault fast path.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Replace the parallel-engine worker count, keeping everything else.
+    /// `0`/`1` run the serial engine; results are byte-identical regardless.
+    pub fn with_engine_workers(mut self, workers: usize) -> Self {
+        self.engine_workers = workers;
         self
     }
 

@@ -75,6 +75,8 @@ pub use metrics::{
 pub use mhh_mobility::ModelKind;
 pub use mhh_simnet::TopologyKind;
 pub use protocols::{ProtocolRegistry, ProtocolSpec};
-pub use runner::{run_named, run_scenario, run_scenario_perf, run_spec};
+pub use runner::{
+    run_named, run_scenario, run_scenario_perf, run_scenario_phases, run_spec, run_spec_perf,
+};
 pub use scenarios::Scenario;
 pub use workload::Workload;

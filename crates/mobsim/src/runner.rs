@@ -9,13 +9,17 @@
 //! and exchange the identical messages, so their [`RunResult`]s are
 //! byte-identical — asserted by the integration tests and the sweep bench.
 
+use std::cell::Cell;
 use std::sync::Arc;
 
 use mhh_baselines::{HomeBroker, SubUnsub};
 use mhh_pubsub::broker::MobilityProtocol;
 use mhh_pubsub::delivery::{audit, SubscriberLog};
+use mhh_pubsub::dynproto::BoxedMsg;
 use mhh_pubsub::{repair_drives, ClientId, Deployment, DeploymentConfig, Event, NetMsg};
-use mhh_simnet::{EnginePerf, FaultSchedule, Network, SimDuration, TrafficClass};
+use mhh_simnet::{
+    EngineArena, EnginePerf, FaultSchedule, Network, PhaseBreakdown, SimDuration, TrafficClass,
+};
 
 use crate::builder::SimError;
 use crate::config::{Protocol, ScenarioConfig};
@@ -33,6 +37,7 @@ fn deployment_config(config: &ScenarioConfig) -> DeploymentConfig {
         wireless_latency: SimDuration::from_millis(config.wireless_ms),
         link_model: config.link_model(),
         covering: config.covering,
+        engine_workers: config.engine_workers,
     }
 }
 
@@ -52,19 +57,69 @@ pub fn run_scenario(config: &ScenarioConfig, protocol: Protocol) -> RunResult {
 /// the `BENCH_engine.json` trajectory records. The metrics half is
 /// byte-identical to [`run_scenario`]'s.
 pub fn run_scenario_perf(config: &ScenarioConfig, protocol: Protocol) -> (RunResult, EnginePerf) {
+    let (result, perf, _) = run_scenario_full(config, protocol, false);
+    (result, perf)
+}
+
+/// [`run_scenario_perf`] plus the serial engine's per-phase cost breakdown
+/// (queue / clocks / protocol / stats nanoseconds). Profiling is a
+/// serial-engine feature, so the run is forced onto the serial backend
+/// whatever `engine_workers` says; the metrics half stays byte-identical to
+/// an unprofiled serial run. The timer reads add per-delivery overhead, so
+/// report throughput from a separate unprofiled pass.
+pub fn run_scenario_phases(
+    config: &ScenarioConfig,
+    protocol: Protocol,
+) -> (RunResult, EnginePerf, PhaseBreakdown) {
+    let serial = ScenarioConfig {
+        engine_workers: 0,
+        ..config.clone()
+    };
+    let (result, perf, phases) = run_scenario_full(&serial, protocol, true);
+    (
+        result,
+        perf,
+        phases.expect("the serial engine was asked to profile"),
+    )
+}
+
+fn run_scenario_full(
+    config: &ScenarioConfig,
+    protocol: Protocol,
+    profile: bool,
+) -> (RunResult, EnginePerf, Option<PhaseBreakdown>) {
     let network = config.build_network();
     let workload = Workload::generate_on(config, &network);
     let label = protocol.label();
     match protocol {
-        Protocol::Mhh => run_with(config, network, label, &workload, |_| mhh_for(config)),
-        Protocol::HomeBroker => run_with(config, network, label, &workload, |_| HomeBroker::new()),
+        Protocol::Mhh => run_with(config, network, label, &workload, profile, |_| {
+            mhh_for(config)
+        }),
+        Protocol::HomeBroker => run_with(config, network, label, &workload, profile, |_| {
+            HomeBroker::new()
+        }),
         Protocol::SubUnsub => {
             let wait = sub_unsub_wait(config, &network);
-            run_with(config, network.clone(), label, &workload, move |_| {
-                SubUnsub::new(wait)
-            })
+            run_with(
+                config,
+                network.clone(),
+                label,
+                &workload,
+                profile,
+                move |_| SubUnsub::new(wait),
+            )
         }
     }
+}
+
+thread_local! {
+    /// The dyn path's recycled engine storage. Every registry protocol runs
+    /// as `Deployment<Box<dyn DynProtocol>>`, so one arena type fits them
+    /// all: a sweep worker thread grows the queue/clock/scratch storage on
+    /// its first point and then reuses it for every subsequent point
+    /// (allocation-free steady state; `EnginePerf::alloc_events` stays flat
+    /// across a sweep). Dies with the sweep worker's scoped thread.
+    static SWEEP_ARENA: Cell<Option<EngineArena<NetMsg<BoxedMsg>>>> = const { Cell::new(None) };
 }
 
 /// Run one scenario with a registry protocol — the dyn path. The deployment
@@ -72,10 +127,31 @@ pub fn run_scenario_perf(config: &ScenarioConfig, protocol: Protocol) -> (RunRes
 /// every registered protocol; results are byte-identical to the generic
 /// path for the same protocol.
 pub fn run_spec(config: &ScenarioConfig, spec: &ProtocolSpec) -> RunResult {
+    run_spec_perf(config, spec).0
+}
+
+/// [`run_spec`] plus the engine's hot-path counters (see
+/// [`run_scenario_perf`]). This is the path sweep workers take: the engine
+/// arena is recycled across calls on the same thread, so back-to-back
+/// points reuse the warmed storage instead of re-growing it.
+pub fn run_spec_perf(config: &ScenarioConfig, spec: &ProtocolSpec) -> (RunResult, EnginePerf) {
     let network = config.build_network();
     let workload = Workload::generate_on(config, &network);
     let factory = spec.instantiate(config, &network);
-    run_with(config, network, spec.label(), &workload, factory).0
+    let arena = SWEEP_ARENA.take().unwrap_or_default();
+    let (result, perf, _, arena) = run_with_arena(
+        config,
+        network,
+        spec.label(),
+        &workload,
+        false,
+        factory,
+        arena,
+    );
+    if let Some(arena) = arena {
+        SWEEP_ARENA.set(Some(arena));
+    }
+    (result, perf)
 }
 
 /// Run one scenario with a protocol resolved by name in the process-wide
@@ -93,20 +169,59 @@ fn run_with<P, F>(
     network: Arc<Network>,
     label: &str,
     workload: &Workload,
+    profile: bool,
     make_protocol: F,
-) -> (RunResult, EnginePerf)
+) -> (RunResult, EnginePerf, Option<PhaseBreakdown>)
+where
+    P: MobilityProtocol,
+    F: FnMut(mhh_pubsub::BrokerId) -> P,
+{
+    let (result, perf, phases, _) = run_with_arena(
+        config,
+        network,
+        label,
+        workload,
+        profile,
+        make_protocol,
+        EngineArena::new(),
+    );
+    (result, perf, phases)
+}
+
+/// [`run_with`] threading a recycled storage arena in and back out (`None`
+/// comes back when the run used the parallel backend, whose storage is
+/// sharded and not recyclable).
+#[allow(clippy::type_complexity)]
+fn run_with_arena<P, F>(
+    config: &ScenarioConfig,
+    network: Arc<Network>,
+    label: &str,
+    workload: &Workload,
+    profile: bool,
+    make_protocol: F,
+    arena: EngineArena<NetMsg<P::Msg>>,
+) -> (
+    RunResult,
+    EnginePerf,
+    Option<PhaseBreakdown>,
+    Option<EngineArena<NetMsg<P::Msg>>>,
+)
 where
     P: MobilityProtocol,
     F: FnMut(mhh_pubsub::BrokerId) -> P,
 {
     let dep_config = deployment_config(config);
     let faults = config.fault_schedule(&network);
-    let mut dep: Deployment<P> = Deployment::build_on(
+    let mut dep: Deployment<P> = Deployment::build_on_in(
         network.clone(),
         &dep_config,
         &workload.clients,
         make_protocol,
+        arena,
     );
+    if profile {
+        dep.engine.enable_phase_profile();
+    }
 
     // The repair layer's failure-detection drives (peer-down/up, link-down/up
     // and restart kicks). Empty on the zero-fault fast path, where the
@@ -151,13 +266,16 @@ where
     }
     dep.engine.run_to_completion();
     let perf = dep.engine.perf();
-    (collect(config, label, dep, &faults), perf)
+    let phases = dep.engine.phase_breakdown();
+    let result = collect(config, label, &dep, &faults);
+    let (_, _, _, recycled) = dep.engine.recycle();
+    (result, perf, phases, recycled)
 }
 
 fn collect<P: MobilityProtocol>(
     config: &ScenarioConfig,
     protocol: &str,
-    dep: Deployment<P>,
+    dep: &Deployment<P>,
     faults: &FaultSchedule,
 ) -> RunResult {
     let published: Vec<Event> = dep.clients().flat_map(|c| c.published.clone()).collect();
@@ -334,6 +452,57 @@ mod tests {
             perf.alloc_events,
             perf.deliveries
         );
+    }
+
+    #[test]
+    fn parallel_engine_runs_are_byte_identical_to_serial() {
+        // The full metrics pipeline — delivery audit, handover ledger,
+        // recovery ledger, traffic stats — as the equality oracle, across
+        // worker counts, on both the constant-latency fast path and the
+        // jittered + crash-storm slow path.
+        let constant = tiny();
+        let jittered = tiny()
+            .with_jitter_ms(5)
+            .with_faults(crate::config::FaultPlan {
+                crash_storm: Some((3, 30.0)),
+                ..crate::config::FaultPlan::default()
+            });
+        for cfg in [constant, jittered] {
+            let serial = run_scenario(&cfg, Protocol::Mhh);
+            for workers in [2, 4, 8] {
+                let par = run_scenario(&cfg.clone().with_engine_workers(workers), Protocol::Mhh);
+                assert_eq!(
+                    format!("{serial:?}"),
+                    format!("{par:?}"),
+                    "engine_workers={workers} must not change any metric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_arena_reuse_pins_allocations_flat() {
+        let registry = ProtocolRegistry::builtin();
+        let spec = registry.find("mhh").expect("mhh is builtin");
+        let points: Vec<ScenarioConfig> = [11u64, 12, 13]
+            .into_iter()
+            .map(|seed| ScenarioConfig { seed, ..tiny() })
+            .collect();
+        // First pass grows this thread's arena to the sweep's high-water
+        // mark; the second pass over the same points must then be
+        // allocation-free — the reuse satellite's whole point.
+        let first: Vec<_> = points.iter().map(|c| run_spec_perf(c, spec)).collect();
+        assert!(first.iter().any(|(_, p)| p.alloc_events > 0));
+        for (c, (warm_result, _)) in points.iter().zip(&first) {
+            let (result, perf) = run_spec_perf(c, spec);
+            assert_eq!(perf.alloc_events, 0, "seed {}: arena must be warm", c.seed);
+            assert_eq!(
+                format!("{result:?}"),
+                format!("{warm_result:?}"),
+                "seed {}: reuse must not change the metrics",
+                c.seed
+            );
+        }
     }
 
     #[test]

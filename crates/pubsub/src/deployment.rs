@@ -4,14 +4,15 @@
 //! The evaluation harness (`mhh-mobsim`), the protocol crates' own tests and
 //! the examples all need the same boilerplate: a grid [`Network`], one
 //! [`Broker`] per base station, a set of [`ClientNode`]s with their
-//! subscriptions pre-installed, and an [`Engine`] over the union of the two
-//! node populations. [`Deployment`] packages that.
+//! subscriptions pre-installed, and an [`AnyEngine`] (serial or sharded
+//! parallel) over the union of the two node populations. [`Deployment`]
+//! packages that.
 
 use std::sync::Arc;
 
 use mhh_simnet::{
-    Context, Engine, Envelope, Fabric, GridFabric, JitteredFabric, LinkModel, Network, Node,
-    SimDuration, SimTime, TopologyKind,
+    AnyEngine, Context, EngineArena, Envelope, Fabric, GridFabric, JitteredFabric, LinkModel,
+    Network, Node, Partition, SimDuration, SimTime, TopologyKind,
 };
 
 use crate::address::{AddressBook, BrokerId, ClientId};
@@ -76,6 +77,12 @@ pub struct DeploymentConfig {
     pub link_model: Option<LinkModel>,
     /// Whether brokers apply the covering optimisation.
     pub covering: bool,
+    /// Worker shards for the conservative-parallel engine. `0` and `1` run
+    /// the serial [`Engine`](mhh_simnet::Engine); `k > 1` partitions brokers
+    /// into `k` contiguous blocks (clients follow their home broker) and runs
+    /// the [`mhh_simnet::ParallelEngine`], which reconstructs the serial
+    /// delivery sequence byte for byte — results are identical either way.
+    pub engine_workers: usize,
 }
 
 impl Default for DeploymentConfig {
@@ -88,6 +95,7 @@ impl Default for DeploymentConfig {
             wireless_latency: SimDuration::from_millis(20),
             link_model: None,
             covering: true,
+            engine_workers: 0,
         }
     }
 }
@@ -98,8 +106,9 @@ pub struct Deployment<P: MobilityProtocol> {
     pub network: Arc<Network>,
     /// The address book.
     pub book: AddressBook,
-    /// The engine holding all broker and client nodes.
-    pub engine: Engine<NetMsg<P::Msg>, SimNode<P>>,
+    /// The engine holding all broker and client nodes (serial or parallel
+    /// per [`DeploymentConfig::engine_workers`]; same results either way).
+    pub engine: AnyEngine<NetMsg<P::Msg>, SimNode<P>>,
 }
 
 /// Description of one client to create.
@@ -136,7 +145,23 @@ impl<P: MobilityProtocol> Deployment<P> {
         network: Arc<Network>,
         config: &DeploymentConfig,
         clients: &[ClientSpec],
+        make_protocol: impl FnMut(BrokerId) -> P,
+    ) -> Self {
+        Self::build_on_in(network, config, clients, make_protocol, EngineArena::new())
+    }
+
+    /// [`build_on`](Self::build_on) reusing a recycled
+    /// [`EngineArena`] (from [`AnyEngine::recycle`]) so sweep workers
+    /// running many deployments back to back stop re-growing the engine's
+    /// event-queue, clock and scratch storage on every run. The arena only
+    /// feeds the serial backend; a parallel build (`engine_workers > 1`)
+    /// uses sharded storage and drops it.
+    pub fn build_on_in(
+        network: Arc<Network>,
+        config: &DeploymentConfig,
+        clients: &[ClientSpec],
         mut make_protocol: impl FnMut(BrokerId) -> P,
+        arena: EngineArena<NetMsg<P::Msg>>,
     ) -> Self {
         let broker_count = network.broker_count();
         let book = AddressBook::new(broker_count, clients.len());
@@ -176,10 +201,17 @@ impl<P: MobilityProtocol> Deployment<P> {
 
         let mut nodes: Vec<SimNode<P>> = brokers.into_iter().map(SimNode::Broker).collect();
         nodes.extend(client_nodes.into_iter().map(SimNode::Client));
+        let engine = if config.engine_workers > 1 {
+            let homes: Vec<usize> = clients.iter().map(|s| s.home.0 as usize).collect();
+            let partition = Partition::broker_blocks(&network, &homes, config.engine_workers);
+            AnyEngine::parallel(nodes, fabric, &partition)
+        } else {
+            AnyEngine::serial_in(nodes, fabric, arena)
+        };
         Deployment {
             network,
             book,
-            engine: Engine::new(nodes, fabric),
+            engine,
         }
     }
 
@@ -258,6 +290,31 @@ mod tests {
         assert_eq!(dep.clients().count(), 5);
         assert_eq!(dep.brokers().count(), 9);
         assert!(dep.client(ClientId(0)).current_broker.is_some());
+    }
+
+    #[test]
+    fn parallel_deployment_matches_serial() {
+        let clients = specs(6, 9);
+        let event = EventBuilder::new()
+            .attr("group", 1i64)
+            .build(1, ClientId(2), 0);
+        let run = |workers: usize| {
+            let config = DeploymentConfig {
+                engine_workers: workers,
+                ..DeploymentConfig::default()
+            };
+            let mut dep: Deployment<NoProtocol> =
+                Deployment::build(&config, &clients, |_| NoProtocol);
+            dep.schedule_publish(SimTime::from_millis(1), ClientId(2), event.clone());
+            dep.engine.run_to_completion();
+            let received: Vec<String> =
+                dep.clients().map(|c| format!("{:?}", c.received)).collect();
+            (received, format!("{:?}", dep.engine.stats()))
+        };
+        let serial = run(0);
+        for workers in [2, 4, 8] {
+            assert_eq!(run(workers), serial, "workers={workers}");
+        }
     }
 
     #[test]

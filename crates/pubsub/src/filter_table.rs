@@ -13,10 +13,42 @@
 //!   label;
 //! * per-entry bookkeeping helpers used by subscription propagation with the
 //!   optional covering optimisation.
+//!
+//! # Indexing
+//!
+//! At city scale every broker's table holds an entry per remote subscriber
+//! (distinct per-client filters defeat `(peer, filter)` deduplication), so
+//! the original flat-`Vec` representation made event matching *and* the
+//! duplicate check on insert O(table) — the dominant per-event cost of the
+//! whole simulation. The table therefore keeps incremental indexes beside
+//! the entry vector:
+//!
+//! * per attribute, an **equality map** from the attribute value to the
+//!   single-`Eq` entries pinned to it, and a bucketed **interval grid** over
+//!   single-attribute numeric range filters (the evaluation workload's
+//!   `lo <= v < hi` selectivity windows) — an event value probes one bucket;
+//! * a **residual scan list** for entries the index cannot classify
+//!   (multi-attribute filters, `Ne`/`Prefix`/`Exists`, match-all), always
+//!   probed;
+//! * a **duplicate map** keyed by `(peer, filter-content-hash)` and a
+//!   **per-peer position list**, making `add`'s set check, `contains`,
+//!   `filters_for` and the label helpers O(entries of that peer).
+//!
+//! Candidates coming out of the index are probed in ascending entry
+//! position — exactly the insertion order the plain linear scan used — and
+//! re-checked with the real filter, so matching results are byte-identical
+//! to a naive in-order scan (pinned by a differential property test).
+//! Removals tombstone the entry and unlink it from the indexes in O(its
+//! buckets); the vector is compacted (and the indexes rebuilt) only when
+//! dead entries outnumber live ones.
+
+use std::collections::HashMap;
+use std::fmt;
 
 use crate::address::Peer;
 use crate::event::Event;
-use crate::filter::Filter;
+use crate::filter::{Filter, Op};
+use crate::value::Value;
 
 /// One `(neighbor, filter)` entry, optionally labeled.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,10 +62,243 @@ pub struct FilterEntry {
     pub accept_only_from: Option<Peer>,
 }
 
+/// Hashable canonical form of a [`Value`] for the equality map. Two values
+/// share a key exactly when [`Value::eq_value`] holds between them: numerics
+/// canonicalise through `f64` (so `Int(3)` and `Float(3.0)` collide, as
+/// matching requires) and `-0.0` folds onto `0.0`. NaN keys may collide
+/// without harm — candidates are re-checked with the real filter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ValueKey {
+    Num(u64),
+    Str(String),
+    Bool(bool),
+}
+
+impl ValueKey {
+    fn of(value: &Value) -> Self {
+        match value {
+            Value::Int(i) => Self::num(*i as f64),
+            Value::Float(f) => Self::num(*f),
+            Value::Str(s) => ValueKey::Str(s.clone()),
+            Value::Bool(b) => ValueKey::Bool(*b),
+        }
+    }
+
+    fn num(f: f64) -> Self {
+        ValueKey::Num(if f == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            f.to_bits()
+        })
+    }
+}
+
+/// FNV-1a content hash of a filter, respecting `Filter`'s derived equality
+/// (equal filters hash equal; constraint order matters, as it does for
+/// `PartialEq`). Used only to key the duplicate map — lookups always confirm
+/// with a real equality check, so collisions cost a probe, never
+/// correctness.
+fn filter_hash(filter: &Filter) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |word: u64| {
+        h ^= word;
+        h = h.wrapping_mul(PRIME);
+    };
+    for c in &filter.constraints {
+        for b in c.attr.as_bytes() {
+            mix(*b as u64);
+        }
+        mix(0xff);
+        mix(c.op as u64);
+        match &c.value {
+            Value::Int(i) => {
+                mix(1);
+                mix(*i as u64);
+            }
+            Value::Float(f) => {
+                mix(2);
+                mix(f.to_bits());
+            }
+            Value::Str(s) => {
+                mix(3);
+                for b in s.as_bytes() {
+                    mix(*b as u64);
+                }
+                mix(0xff);
+            }
+            Value::Bool(b) => {
+                mix(4);
+                mix(*b as u64);
+            }
+        }
+    }
+    h
+}
+
+/// The numeric interval `[lo, hi]` that over-approximates a filter whose
+/// constraints all bound one attribute: any event value satisfying the
+/// filter lies inside it (boundaries included — `Gt`/`Lt` only shrink the
+/// true match set, and a false candidate is re-checked anyway). `None` when
+/// the filter is not a single-attribute numeric range conjunction.
+fn as_interval(filter: &Filter) -> Option<(&str, f64, f64)> {
+    let mut attr: Option<&str> = None;
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    for c in &filter.constraints {
+        let v = c.value.as_f64()?;
+        match attr {
+            None => attr = Some(&c.attr),
+            Some(a) if a == c.attr => {}
+            Some(_) => return None,
+        }
+        match c.op {
+            Op::Ge | Op::Gt => lo = lo.max(v),
+            Op::Le | Op::Lt => hi = hi.min(v),
+            Op::Eq => {
+                lo = lo.max(v);
+                hi = hi.min(v);
+            }
+            _ => return None,
+        }
+    }
+    attr.map(|a| (a, lo, hi))
+}
+
+/// How an entry is registered in the index (recomputed from the filter, so
+/// removal unlinks exactly what insertion linked).
+enum Class {
+    Eq(String, ValueKey),
+    Interval(String, f64, f64),
+    Scan,
+}
+
+fn classify(filter: &Filter) -> Class {
+    if let [c] = filter.constraints.as_slice() {
+        if c.op == Op::Eq {
+            return Class::Eq(c.attr.clone(), ValueKey::of(&c.value));
+        }
+    }
+    match as_interval(filter) {
+        Some((attr, lo, hi)) => Class::Interval(attr.to_string(), lo, hi),
+        None => Class::Scan,
+    }
+}
+
+/// Bucketed 1-D grid over the interval entries of one attribute. An
+/// interval is registered in every bucket it touches; a query value probes
+/// exactly one bucket. Out-of-domain values and bounds clamp onto the edge
+/// buckets, which keeps the structure sound (a superset of true matches) for
+/// intervals appended after the grid was sized.
+#[derive(Clone)]
+struct Grid {
+    lo: f64,
+    inv_step: f64,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl Grid {
+    fn bucket_of(&self, v: f64) -> usize {
+        // Negative and NaN casts saturate to 0, oversized to usize::MAX.
+        (((v - self.lo) * self.inv_step) as usize).min(self.buckets.len() - 1)
+    }
+
+    fn insert(&mut self, pos: u32, lo: f64, hi: f64) {
+        for b in self.bucket_of(lo)..=self.bucket_of(hi) {
+            self.buckets[b].push(pos);
+        }
+    }
+
+    fn remove(&mut self, pos: u32, lo: f64, hi: f64) {
+        for b in self.bucket_of(lo)..=self.bucket_of(hi) {
+            self.buckets[b].retain(|&p| p != pos);
+        }
+    }
+}
+
+/// Per-attribute index: the equality map plus the interval entries and
+/// their lazily-built grid.
+#[derive(Clone, Default)]
+struct AttrIndex {
+    eq: HashMap<ValueKey, Vec<u32>>,
+    /// Every interval entry of this attribute (master list; the grid is
+    /// derived from it and rebuilt lazily after being dropped).
+    intervals: Vec<u32>,
+    grid: Option<Grid>,
+}
+
+impl AttrIndex {
+    /// The grid, built on first use from the live interval entries.
+    fn grid_mut(&mut self, entries: &[FilterEntry], live: &[bool]) -> &mut Grid {
+        if self.grid.is_none() {
+            let mut spans: Vec<(u32, f64, f64)> = Vec::with_capacity(self.intervals.len());
+            let (mut dom_lo, mut dom_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &pos in &self.intervals {
+                if !live[pos as usize] {
+                    continue;
+                }
+                let (_, lo, hi) = as_interval(&entries[pos as usize].filter)
+                    .expect("interval entries re-classify as intervals");
+                spans.push((pos, lo, hi));
+                if lo.is_finite() {
+                    dom_lo = dom_lo.min(lo);
+                    dom_hi = dom_hi.max(lo);
+                }
+                if hi.is_finite() {
+                    dom_lo = dom_lo.min(hi);
+                    dom_hi = dom_hi.max(hi);
+                }
+            }
+            let buckets = spans.len().clamp(1, 512);
+            let span = (dom_hi - dom_lo).max(f64::MIN_POSITIVE);
+            let mut grid = Grid {
+                lo: if dom_lo.is_finite() { dom_lo } else { 0.0 },
+                inv_step: if dom_lo.is_finite() {
+                    buckets as f64 / span
+                } else {
+                    0.0
+                },
+                buckets: vec![Vec::new(); buckets],
+            };
+            // Ascending positions per bucket: `intervals` is ascending.
+            for (pos, lo, hi) in spans {
+                grid.insert(pos, lo, hi);
+            }
+            self.grid = Some(grid);
+        }
+        self.grid.as_mut().expect("just built")
+    }
+}
+
+/// All incremental indexes over the entry vector.
+#[derive(Clone, Default)]
+struct TableIndex {
+    attrs: HashMap<String, AttrIndex>,
+    /// Unclassifiable entries, always probed.
+    scan: Vec<u32>,
+    /// `(peer, filter_hash)` → positions, for O(1) duplicate/`contains`/
+    /// label lookups (confirmed by real equality at the listed positions).
+    dup: HashMap<(Peer, u64), Vec<u32>>,
+    /// Peer → positions, ascending, for `filters_for`/`remove_peer`.
+    by_peer: HashMap<Peer, Vec<u32>>,
+}
+
 /// The filter table of a broker.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct FilterTable {
     entries: Vec<FilterEntry>,
+    /// Tombstone flags, parallel to `entries`.
+    live: Vec<bool>,
+    live_count: usize,
+    index: TableIndex,
+}
+
+impl fmt::Debug for FilterTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The indexes and tombstones are derived state; keep diagnostics
+        // (and any debug-format comparisons) pinned to the live entries.
+        f.debug_list().entries(self.entries()).finish()
+    }
 }
 
 impl FilterTable {
@@ -44,17 +309,115 @@ impl FilterTable {
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live_count
     }
 
     /// True when the table has no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live_count == 0
     }
 
-    /// Iterate over all entries.
+    /// Iterate over all entries, in insertion order.
     pub fn entries(&self) -> impl Iterator<Item = &FilterEntry> {
-        self.entries.iter()
+        self.entries
+            .iter()
+            .zip(&self.live)
+            .filter_map(|(e, &alive)| alive.then_some(e))
+    }
+
+    /// Register a (new) position in every index. The entry must already be
+    /// pushed and live.
+    fn link(&mut self, pos: u32) {
+        let e = &self.entries[pos as usize];
+        let peer = e.peer;
+        let h = filter_hash(&e.filter);
+        match classify(&e.filter) {
+            Class::Eq(attr, key) => self
+                .index
+                .attrs
+                .entry(attr)
+                .or_default()
+                .eq
+                .entry(key)
+                .or_default()
+                .push(pos),
+            Class::Interval(attr, lo, hi) => {
+                let aidx = self.index.attrs.entry(attr).or_default();
+                aidx.intervals.push(pos);
+                if let Some(grid) = aidx.grid.as_mut() {
+                    grid.insert(pos, lo, hi);
+                }
+            }
+            Class::Scan => self.index.scan.push(pos),
+        }
+        self.index.dup.entry((peer, h)).or_default().push(pos);
+        self.index.by_peer.entry(peer).or_default().push(pos);
+    }
+
+    /// Tombstone a live position and unlink it from every index.
+    fn kill(&mut self, pos: u32) {
+        debug_assert!(self.live[pos as usize]);
+        self.live[pos as usize] = false;
+        self.live_count -= 1;
+        let e = &self.entries[pos as usize];
+        let peer = e.peer;
+        let h = filter_hash(&e.filter);
+        let class = classify(&e.filter);
+        match class {
+            Class::Eq(attr, key) => {
+                if let Some(aidx) = self.index.attrs.get_mut(&attr) {
+                    if let Some(bucket) = aidx.eq.get_mut(&key) {
+                        bucket.retain(|&p| p != pos);
+                    }
+                }
+            }
+            Class::Interval(attr, lo, hi) => {
+                if let Some(aidx) = self.index.attrs.get_mut(&attr) {
+                    aidx.intervals.retain(|&p| p != pos);
+                    if let Some(grid) = aidx.grid.as_mut() {
+                        grid.remove(pos, lo, hi);
+                    }
+                }
+            }
+            Class::Scan => self.index.scan.retain(|&p| p != pos),
+        }
+        if let Some(bucket) = self.index.dup.get_mut(&(peer, h)) {
+            bucket.retain(|&p| p != pos);
+            if bucket.is_empty() {
+                self.index.dup.remove(&(peer, h));
+            }
+        }
+        if let Some(positions) = self.index.by_peer.get_mut(&peer) {
+            positions.retain(|&p| p != pos);
+        }
+    }
+
+    /// Compact the entry vector and rebuild the indexes once tombstones
+    /// outnumber live entries (amortized O(1) per removal).
+    fn maybe_compact(&mut self) {
+        let dead = self.entries.len() - self.live_count;
+        if dead <= self.live_count.max(64) {
+            return;
+        }
+        let mut alive = self.live.iter();
+        self.entries
+            .retain(|_| *alive.next().expect("parallel vecs"));
+        self.live.clear();
+        self.live.resize(self.entries.len(), true);
+        self.live_count = self.entries.len();
+        self.index = TableIndex::default();
+        for pos in 0..self.entries.len() as u32 {
+            self.link(pos);
+        }
+    }
+
+    /// The live position holding exactly `(peer, filter)`, if any.
+    fn position_of(&self, peer: Peer, filter: &Filter) -> Option<u32> {
+        let bucket = self.index.dup.get(&(peer, filter_hash(filter)))?;
+        bucket
+            .iter()
+            .copied()
+            .find(|&p| self.live[p as usize] && &self.entries[p as usize].filter == filter)
     }
 
     /// Add an unlabeled entry. Duplicate `(peer, filter)` pairs are ignored
@@ -66,77 +429,85 @@ impl FilterTable {
     /// Add an entry with an accept-only-from label.
     /// Returns `true` when the entry was actually inserted.
     pub fn add_labeled(&mut self, peer: Peer, filter: Filter, label: Option<Peer>) -> bool {
-        if self
-            .entries
-            .iter()
-            .any(|e| e.peer == peer && e.filter == filter)
-        {
+        if self.position_of(peer, &filter).is_some() {
             return false;
         }
+        self.maybe_compact();
+        let pos = self.entries.len() as u32;
         self.entries.push(FilterEntry {
             peer,
             filter,
             accept_only_from: label,
         });
+        self.live.push(true);
+        self.live_count += 1;
+        self.link(pos);
         true
     }
 
     /// Remove the `(peer, filter)` entry. Returns `true` when present.
     pub fn remove(&mut self, peer: Peer, filter: &Filter) -> bool {
-        let before = self.entries.len();
-        self.entries
-            .retain(|e| !(e.peer == peer && &e.filter == filter));
-        self.entries.len() != before
+        match self.position_of(peer, filter) {
+            Some(pos) => {
+                self.kill(pos);
+                self.maybe_compact();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Remove every entry for a peer, returning the removed filters.
     pub fn remove_peer(&mut self, peer: Peer) -> Vec<Filter> {
-        let mut removed = Vec::new();
-        self.entries.retain(|e| {
-            if e.peer == peer {
-                removed.push(e.filter.clone());
-                false
-            } else {
-                true
+        let positions = match self.index.by_peer.get(&peer) {
+            Some(positions) => positions.clone(),
+            None => return Vec::new(),
+        };
+        let mut removed = Vec::with_capacity(positions.len());
+        for pos in positions {
+            if self.live[pos as usize] {
+                removed.push(self.entries[pos as usize].filter.clone());
+                self.kill(pos);
             }
-        });
+        }
+        self.index.by_peer.remove(&peer);
+        self.maybe_compact();
         removed
     }
 
     /// Whether the `(peer, filter)` entry exists.
     pub fn contains(&self, peer: Peer, filter: &Filter) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.peer == peer && &e.filter == filter)
+        self.position_of(peer, filter).is_some()
     }
 
     /// All filters registered for a peer.
     pub fn filters_for(&self, peer: Peer) -> Vec<&Filter> {
-        self.entries
-            .iter()
-            .filter(|e| e.peer == peer)
-            .map(|e| &e.filter)
-            .collect()
+        match self.index.by_peer.get(&peer) {
+            Some(positions) => positions
+                .iter()
+                .filter(|&&p| self.live[p as usize])
+                .map(|&p| &self.entries[p as usize].filter)
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Set (or clear) the accept-only-from label on an existing entry.
     /// Returns `true` when the entry was found.
     pub fn set_label(&mut self, peer: Peer, filter: &Filter, label: Option<Peer>) -> bool {
-        for e in &mut self.entries {
-            if e.peer == peer && &e.filter == filter {
-                e.accept_only_from = label;
-                return true;
+        match self.position_of(peer, filter) {
+            Some(pos) => {
+                self.entries[pos as usize].accept_only_from = label;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// The current label of an entry (None when unlabeled or absent).
     pub fn label_of(&self, peer: Peer, filter: &Filter) -> Option<Peer> {
-        self.entries
-            .iter()
-            .find(|e| e.peer == peer && &e.filter == filter)
-            .and_then(|e| e.accept_only_from)
+        self.position_of(peer, filter)
+            .and_then(|pos| self.entries[pos as usize].accept_only_from)
     }
 
     /// Reverse-path-forwarding matching: the set of neighbors an event
@@ -146,10 +517,35 @@ impl FilterTable {
     /// * labeled entries only match when the event arrived from the label.
     ///
     /// Each peer is returned at most once even if several of its filters
-    /// match.
-    pub fn matching_targets(&self, event: &Event, from: Peer) -> Vec<Peer> {
+    /// match. Candidate entries come from the per-attribute equality maps
+    /// and interval grids plus the residual scan list; probing them in
+    /// ascending position keeps the result order identical to a plain
+    /// in-order scan of the table.
+    pub fn matching_targets(&mut self, event: &Event, from: Peer) -> Vec<Peer> {
+        let mut cand: Vec<u32> = self.index.scan.clone();
+        for (attr, aidx) in self.index.attrs.iter_mut() {
+            let Some(value) = event.get(attr) else {
+                continue;
+            };
+            if !aidx.eq.is_empty() {
+                if let Some(hits) = aidx.eq.get(&ValueKey::of(value)) {
+                    cand.extend_from_slice(hits);
+                }
+            }
+            if !aidx.intervals.is_empty() {
+                if let Some(v) = value.as_f64() {
+                    let grid = aidx.grid_mut(&self.entries, &self.live);
+                    cand.extend_from_slice(&grid.buckets[grid.bucket_of(v)]);
+                }
+            }
+        }
+        cand.sort_unstable();
         let mut out: Vec<Peer> = Vec::new();
-        for e in &self.entries {
+        for &pos in &cand {
+            if !self.live[pos as usize] {
+                continue;
+            }
+            let e = &self.entries[pos as usize];
             if e.peer == from {
                 continue;
             }
@@ -170,8 +566,7 @@ impl FilterTable {
     /// subscription needs to be propagated to a neighbor, and whether an
     /// unsubscription may be suppressed.
     pub fn covered_by_other(&self, filter: &Filter, except: Peer) -> bool {
-        self.entries
-            .iter()
+        self.entries()
             .any(|e| e.peer != except && e.filter.covers(filter))
     }
 
@@ -185,7 +580,7 @@ impl FilterTable {
     /// All client peers that currently have at least one entry.
     pub fn client_peers(&self) -> Vec<Peer> {
         let mut out = Vec::new();
-        for e in &self.entries {
+        for e in self.entries() {
             if matches!(e.peer, Peer::Client(_)) && !out.contains(&e.peer) {
                 out.push(e.peer);
             }
@@ -307,5 +702,141 @@ mod tests {
         t.add(C1, f(2));
         assert_eq!(t.filters_for(C1).len(), 2);
         assert!(t.filters_for(B1).is_empty());
+    }
+
+    #[test]
+    fn cross_type_numeric_eq_entries_still_match() {
+        // eq_value treats Int(3) and Float(3.0) as equal; the equality map
+        // must keep that semantics for single-Eq entries.
+        let mut t = FilterTable::new();
+        t.add(C1, Filter::single("group", Op::Eq, 3.0f64));
+        let e = ev(3); // carries Int(3)
+        assert_eq!(t.matching_targets(&e, B1), vec![C1]);
+    }
+
+    #[test]
+    fn range_entries_match_through_the_grid() {
+        // The evaluation workload's filter shape: lo <= v < hi.
+        let mut t = FilterTable::new();
+        for i in 0..50u32 {
+            let lo = i as f64 / 50.0;
+            t.add(
+                Peer::Client(ClientId(i)),
+                Filter::new(vec![])
+                    .and("v", Op::Ge, lo)
+                    .and("v", Op::Lt, lo + 0.1),
+            );
+        }
+        let e = EventBuilder::new()
+            .attr("v", 0.505)
+            .build(1, ClientId(0), 0);
+        let targets = t.matching_targets(&e, B1);
+        // Clients with lo in (0.405, 0.505]: indices 21..=25.
+        let expect: Vec<Peer> = (21..=25).map(|i| Peer::Client(ClientId(i))).collect();
+        assert_eq!(targets, expect);
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_content() {
+        let mut t = FilterTable::new();
+        for i in 0..200u32 {
+            t.add(Peer::Client(ClientId(i)), f(i as i64 % 5));
+        }
+        for i in 0..150u32 {
+            assert!(t.remove(Peer::Client(ClientId(i)), &f(i as i64 % 5)));
+        }
+        assert_eq!(t.len(), 50);
+        let survivors: Vec<Peer> = t.entries().map(|e| e.peer).collect();
+        let expect: Vec<Peer> = (150..200).map(|i| Peer::Client(ClientId(i))).collect();
+        assert_eq!(survivors, expect, "insertion order survives compaction");
+        let targets = t.matching_targets(&ev(3), B1);
+        let matching: Vec<Peer> = (150..200)
+            .filter(|i| i % 5 == 3)
+            .map(|i| Peer::Client(ClientId(i)))
+            .collect();
+        assert_eq!(targets, matching);
+    }
+
+    /// Differential check: the indexed matcher must return exactly what the
+    /// original in-order linear scan returned, across random tables, random
+    /// events, and interleaved removals (which exercise tombstones, grid
+    /// unlinking and compaction).
+    #[test]
+    fn indexed_matching_equals_linear_scan() {
+        use mhh_simnet::random::DetRng;
+
+        fn reference(t: &FilterTable, event: &Event, from: Peer) -> Vec<Peer> {
+            let mut out: Vec<Peer> = Vec::new();
+            for e in t.entries() {
+                if e.peer == from {
+                    continue;
+                }
+                if let Some(label) = e.accept_only_from {
+                    if label != from {
+                        continue;
+                    }
+                }
+                if e.filter.matches(event) && !out.contains(&e.peer) {
+                    out.push(e.peer);
+                }
+            }
+            out
+        }
+
+        let mut rng = DetRng::new(0xf117_ab1e);
+        let peer = |rng: &mut DetRng| -> Peer {
+            if rng.index(2) == 0 {
+                Peer::Broker(BrokerId(rng.index(4) as u32))
+            } else {
+                Peer::Client(ClientId(rng.index(6) as u32))
+            }
+        };
+        let filt = |rng: &mut DetRng| -> Filter {
+            match rng.index(5) {
+                0 => f(rng.index(5) as i64),
+                1 => Filter::single("price", Op::Ge, rng.index(50) as f64),
+                2 => Filter::single("group", Op::Eq, rng.index(5) as f64),
+                3 => {
+                    let lo = rng.index(40) as f64;
+                    Filter::new(vec![])
+                        .and("price", Op::Ge, lo)
+                        .and("price", Op::Lt, lo + 10.0)
+                }
+                _ => Filter::match_all(),
+            }
+        };
+        for _ in 0..64 {
+            let mut t = FilterTable::new();
+            for _ in 0..rng.index(24) {
+                let label = if rng.index(3) == 0 {
+                    Some(peer(&mut rng))
+                } else {
+                    None
+                };
+                t.add_labeled(peer(&mut rng), filt(&mut rng), label);
+            }
+            for _ in 0..8 {
+                // Exercise append, tombstone-removal and compaction paths.
+                match rng.index(3) {
+                    0 => {
+                        t.add(peer(&mut rng), filt(&mut rng));
+                    }
+                    1 => {
+                        t.remove_peer(peer(&mut rng));
+                    }
+                    _ => {}
+                }
+                let event = EventBuilder::new()
+                    .attr("group", rng.index(5) as i64)
+                    .attr("price", rng.index(50) as f64)
+                    .build(1, ClientId(0), 0);
+                let from = peer(&mut rng);
+                assert_eq!(
+                    t.matching_targets(&event, from),
+                    reference(&t, &event, from),
+                    "index diverged from linear scan"
+                );
+            }
+        }
     }
 }

@@ -7,10 +7,13 @@
 //! * **sticky-path crash repair** — routes through a broker are kept until
 //!   that broker actually dies. When it does, each surviving tree neighbor
 //!   drops its routes through the dead broker and *announces* the filters it
-//!   still needs to the dead broker's other tree neighbors, which install
-//!   temporary **detour** entries pointing straight at the announcer. Events
-//!   then skip over the dead broker; reverse-path-forwarding's from-exclusion
-//!   keeps the detours loop-free. When the broker restarts, the detours are
+//!   still needs toward a deterministic **detour hub** (the dead broker's
+//!   lowest-id surviving neighbor), which installs temporary **detour**
+//!   entries pointing at the announcer and relays the announcement to the
+//!   other neighbors, which route via the hub. The detour overlay is thus a
+//!   star centred on the hub — a tree — so reverse-path-forwarding's
+//!   from-exclusion keeps detoured events loop-free whatever the dead
+//!   broker's tree degree. When the broker restarts, the detours are
 //!   reverted and both sides resync.
 //! * **partition tunneling** — a severed broker↔broker channel (both ends
 //!   alive) is bridged by wrapping every envelope for the unreachable peer in
@@ -105,9 +108,25 @@ impl BrokerCore {
         out
     }
 
+    /// The deterministic detour hub for a dead broker: its lowest-id tree
+    /// neighbor this broker still believes alive. All detour announces flow
+    /// through the hub, which re-announces them to the dead broker's other
+    /// neighbors — the detour overlay is a *star* centred on the hub. A star
+    /// is a tree, so reverse-path forwarding's from-exclusion keeps detoured
+    /// events loop-free whatever the dead broker's tree degree (an all-to-all
+    /// detour mesh is a clique, and from-exclusion only breaks 2-cycles:
+    /// three or more neighbors would circulate events forever).
+    pub fn detour_hub(&self, dead: BrokerId) -> Option<BrokerId> {
+        self.tree_neighbors_of(dead)
+            .into_iter()
+            .filter(|nb| !self.repair.dead.contains(nb))
+            .min()
+    }
+
     /// A tree neighbor crashed: drop every route through it and announce the
-    /// filters still needed here to the dead broker's other tree neighbors,
-    /// which will install detour entries pointing back at this broker.
+    /// filters still needed here toward the detour hub, which installs detour
+    /// entries pointing back at this broker (and, as hub, relays the
+    /// announcement to the dead broker's other neighbors).
     pub fn repair_peer_down<P: ProtocolMessage>(
         &mut self,
         dead: BrokerId,
@@ -121,25 +140,42 @@ impl BrokerCore {
         if needed.is_empty() {
             return;
         }
-        for nb in self.tree_neighbors_of(dead) {
-            if nb == self.id || self.repair.dead.contains(&nb) {
-                continue;
+        let Some(hub) = self.detour_hub(dead) else {
+            return;
+        };
+        if hub == self.id {
+            for nb in self.tree_neighbors_of(dead) {
+                if nb == self.id || self.repair.dead.contains(&nb) {
+                    continue;
+                }
+                ctx.send_to_broker(
+                    nb,
+                    NetMsg::Repair(RepairMsg::Announce {
+                        dead: Some(dead),
+                        filters: needed.clone(),
+                    }),
+                );
             }
+        } else {
             ctx.send_to_broker(
-                nb,
+                hub,
                 NetMsg::Repair(RepairMsg::Announce {
                     dead: Some(dead),
-                    filters: needed.clone(),
+                    filters: needed,
                 }),
             );
         }
     }
 
     /// A filter announcement arrived from `from`. Detour announces
-    /// (`dead: Some`) install direct entries reverted at `PeerUp`; resync
-    /// announces (`dead: None`) are applied as ordinary mobility
-    /// subscriptions so genuinely new filters re-propagate past this broker
-    /// (subscriptions that arose while a neighbor was down never crossed it).
+    /// (`dead: Some`) install direct entries reverted at `PeerUp` — and when
+    /// this broker is the detour hub, the freshly installed filters are
+    /// relayed to the dead broker's other surviving neighbors so they route
+    /// via the hub (keeping the detour overlay a star, see
+    /// [`detour_hub`](Self::detour_hub)). Resync announces (`dead: None`)
+    /// are applied as ordinary mobility subscriptions so genuinely new
+    /// filters re-propagate past this broker (subscriptions that arose while
+    /// a neighbor was down never crossed it).
     pub fn repair_announce<P: ProtocolMessage>(
         &mut self,
         from: BrokerId,
@@ -149,9 +185,37 @@ impl BrokerCore {
     ) {
         match dead {
             Some(d) => {
+                // A detour announce for a broker no longer believed dead is
+                // late (the outage healed while the announce was in flight):
+                // installing it now would leave a stale entry no `PeerUp`
+                // will ever revert, and stale detours alongside healed tree
+                // routes form routing cycles.
+                if !self.repair.dead.contains(&d) {
+                    return;
+                }
+                let mut fresh = Vec::new();
                 for f in filters {
                     if self.filters.add(Peer::Broker(from), f.clone()) {
-                        self.repair.detours.entry(d).or_default().push((from, f));
+                        self.repair
+                            .detours
+                            .entry(d)
+                            .or_default()
+                            .push((from, f.clone()));
+                        fresh.push(f);
+                    }
+                }
+                if !fresh.is_empty() && self.detour_hub(d) == Some(self.id) {
+                    for nb in self.tree_neighbors_of(d) {
+                        if nb == self.id || nb == from || self.repair.dead.contains(&nb) {
+                            continue;
+                        }
+                        ctx.send_to_broker(
+                            nb,
+                            NetMsg::Repair(RepairMsg::Announce {
+                                dead: Some(d),
+                                filters: fresh.clone(),
+                            }),
+                        );
                     }
                 }
             }
@@ -219,6 +283,17 @@ impl<P: MobilityProtocol> Broker<P> {
                 self.core.repair_announce(from, dead, filters, ctx)
             }
             RepairMsg::Restarted => {
+                // Detour entries are soft state living inside the durable
+                // filter table: revert any recorded before the crash, because
+                // the restart wipes the bookkeeping (`PeerUp` may itself have
+                // been dropped while this broker was down) and a stale detour
+                // alongside resynced tree routes is a routing cycle.
+                let repair = std::mem::take(&mut self.core.repair);
+                for detours in repair.detours.into_values() {
+                    for (via, f) in detours {
+                        self.core.filters.remove(Peer::Broker(via), &f);
+                    }
+                }
                 // Reload durable state from the synchronous checkpoint (the
                 // round-trip models the reload; timers and in-flight messages
                 // were dropped by the engine while the window was active).
@@ -472,6 +547,76 @@ mod tests {
             vec![1, 2],
             "the detour delivers the mid-outage event exactly once, \
              and the post-restart resync restores the tree route"
+        );
+    }
+
+    /// Overlapping crashes on *adjacent* brokers: the second crash swallows
+    /// the first broker's `PeerUp`/resync while the detour hub is down, so
+    /// the hub restarts with detour entries still sitting in its (durable)
+    /// filter table and no bookkeeping left to revert them. Stale detours
+    /// alongside healed tree routes form a routing cycle whose events
+    /// multiply without bound — this test only returns from
+    /// `run_to_completion` because `Restarted` reverts recorded detours.
+    #[test]
+    fn overlapping_adjacent_crashes_heal_without_forwarding_storm() {
+        let config = DeploymentConfig::default();
+        let network = Arc::new(mhh_simnet::TopologyKind::Grid.build(config.grid_side, config.seed));
+        let dead = (0..network.broker_count())
+            .find(|&b| network.tree.neighbors(b).len() >= 2)
+            .expect("a grid MST has interior nodes");
+        let nbs = network.tree.neighbors(dead);
+        let hub = *nbs.iter().min().expect("interior node has neighbors");
+        let (sub_home, pub_home) = (BrokerId(nbs[0] as u32), BrokerId(nbs[1] as u32));
+        let clients = vec![
+            ClientSpec {
+                filter: filter(1),
+                home: sub_home,
+                mobile: false,
+            },
+            ClientSpec {
+                filter: filter(99),
+                home: pub_home,
+                mobile: false,
+            },
+        ];
+        let schedule = FaultSchedule::new()
+            .crash(
+                NodeId(dead as u32),
+                SimTime::from_secs(1),
+                SimTime::from_secs(10),
+            )
+            .crash(
+                NodeId(hub as u32),
+                SimTime::from_secs(9),
+                SimTime::from_secs(20),
+            );
+        let mut dep: Deployment<NoProtocol> =
+            Deployment::build_on(network.clone(), &config, &clients, |_| NoProtocol);
+        dep.engine.set_faults(Arc::new(schedule.clone()));
+        let drives = repair_drives(
+            &schedule,
+            &network,
+            &dep.book,
+            SimDuration::from_millis(500),
+        );
+        for (at, node, msg) in drives {
+            dep.engine.schedule_external(at, node, msg);
+        }
+        let event = EventBuilder::new()
+            .attr("group", 1i64)
+            .build(7, ClientId(1), 1);
+        dep.schedule_publish(SimTime::from_secs(25), ClientId(1), event);
+        dep.engine.run_to_completion();
+        let ids: Vec<u64> = dep
+            .client(ClientId(0))
+            .received
+            .iter()
+            .map(|r| r.event.0)
+            .collect();
+        assert_eq!(
+            ids,
+            vec![7],
+            "the post-heal event must arrive exactly once over the resynced tree"
         );
     }
 

@@ -1,23 +1,32 @@
-//! Per-link channel clocks: the engine's FIFO-by-construction state.
+//! Per-link channel state: the engine's FIFO-by-construction clocks plus
+//! the per-link send counters that key variable-latency sampling.
 //!
-//! Every ordered `(from, to)` node pair carries the latest delivery instant
-//! already scheduled on that link; a new message is clamped to
-//! `max(now + latency, clock)` so later sends can never overtake earlier
-//! ones (see the engine module docs). The clock table sits on the per-send
-//! hot path, so its representation matters:
+//! Every ordered `(from, to)` node pair carries two words:
 //!
-//! * **Dense** — for runs up to [`DENSE_NODE_LIMIT`] nodes (the paper's
-//!   10×10 grid with 1 000 clients is 1 100 nodes) the table is a flat
-//!   `Vec<SimTime>` indexed by `from * n + to`: one multiply-add and one
-//!   cache line, no hashing, no probing, no possibility of growth.
-//! * **Sharded** — above the threshold (the `city-scale` preset runs 64
-//!   brokers + 2 048 clients and beyond) a dense n² table would waste
-//!   hundreds of megabytes on pairs that never talk, so the clocks live in
-//!   16 open-addressing shards (linear probing, power-of-two capacity,
-//!   keyed by [`pack_pair`], hashed by
-//!   [`LinkKeyHasher`]). Sharding bounds the cost of any single rehash and
-//!   is the seam along which a future parallel engine can partition link
-//!   state (see ROADMAP, Scale).
+//! * the **channel clock** — the latest delivery instant already scheduled
+//!   on that link; a new message is clamped to `max(now + latency, clock)`
+//!   so later sends can never overtake earlier ones (see the engine module
+//!   docs);
+//! * the **send counter** — how many messages have been sent on the link so
+//!   far. Variable fabrics ([`JitteredFabric`](crate::fabric::JitteredFabric))
+//!   key their per-message jitter off `(from, to, link send index)` instead
+//!   of a global sequence number, which makes every link's latency stream a
+//!   *local* property: a partitioned engine that owns the sender's link
+//!   state reproduces the serial engine's samples exactly, with no global
+//!   coordination (see `parallel`).
+//!
+//! Both live in one 16-byte entry so the per-send hot path touches a single
+//! cache line. The table sits on that hot path, so its representation
+//! matters:
+//!
+//! * **Dense** — for runs up to [`DENSE_NODE_LIMIT`] nodes the table is a
+//!   flat `Vec<LinkState>` indexed by `from * n + to`: one multiply-add and
+//!   one cache line, no hashing, no probing, no possibility of growth.
+//! * **Sharded** — above the threshold a dense n² table would waste
+//!   gigabytes on pairs that never talk, so the link state lives in 16
+//!   open-addressing shards (linear probing, power-of-two capacity, keyed
+//!   by [`pack_pair`], hashed by [`LinkKeyHasher`]). Sharding bounds the
+//!   cost of any single rehash.
 //!
 //! Both representations are pure lookup tables — which one is active can
 //! never change delivery timestamps, only how fast they are computed. The
@@ -30,7 +39,7 @@ use crate::ids::{pack_pair, NodeId};
 use crate::time::SimTime;
 
 /// Node-count threshold up to which the dense n×n table is used
-/// (`DENSE_NODE_LIMIT²` clock words ≈ 13 MB of `SimTime`s at the limit).
+/// (`DENSE_NODE_LIMIT²` 16-byte link entries ≈ 26 MB at the limit).
 pub const DENSE_NODE_LIMIT: usize = 1_280;
 
 /// Number of open-addressing shards in the sparse representation.
@@ -38,6 +47,14 @@ const SHARDS: usize = 16;
 
 /// Initial per-shard capacity (slots); must be a power of two.
 const SHARD_INITIAL: usize = 256;
+
+/// One ordered link's state: FIFO clock + send counter, sized to share a
+/// cache line pair-wise.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkState {
+    clock: SimTime,
+    sends: u64,
+}
 
 /// Multiply-mix hasher for the packed `(from, to)` link keys: the channel
 /// clock lookup sits on the engine's per-send hot path, where the default
@@ -89,7 +106,7 @@ fn hash_key(key: u64) -> u64 {
 #[derive(Debug)]
 struct Shard {
     keys: Vec<u64>,
-    clocks: Vec<SimTime>,
+    states: Vec<LinkState>,
     len: usize,
 }
 
@@ -99,36 +116,39 @@ impl Shard {
     fn new() -> Self {
         Shard {
             keys: vec![EMPTY; SHARD_INITIAL],
-            clocks: vec![SimTime::ZERO; SHARD_INITIAL],
+            states: vec![LinkState::default(); SHARD_INITIAL],
             len: 0,
         }
     }
 
-    /// Clamp-and-store: returns `max(proposed, clock)` and records it as the
-    /// link's new clock. Inserts on first touch of a link.
+    /// Find the slot for `key`, inserting a default entry on first touch.
+    /// Returns `(slot index, grew)`.
     #[inline]
-    fn advance(&mut self, key: u64, hash: u64, proposed: SimTime) -> (SimTime, bool) {
+    fn slot_for(&mut self, key: u64, hash: u64) -> (usize, bool) {
         debug_assert_ne!(key, EMPTY);
         let mask = self.keys.len() - 1;
         let mut i = (hash as usize) & mask;
         loop {
             let k = self.keys[i];
             if k == key {
-                let at = proposed.max(self.clocks[i]);
-                self.clocks[i] = at;
-                return (at, false);
+                return (i, false);
             }
             if k == EMPTY {
                 self.keys[i] = key;
-                self.clocks[i] = proposed;
+                self.states[i] = LinkState::default();
                 self.len += 1;
-                let grew = if self.len * 8 >= self.keys.len() * 7 {
+                if self.len * 8 >= self.keys.len() * 7 {
                     self.grow();
-                    true
-                } else {
-                    false
-                };
-                return (proposed, grew);
+                    // The slot moved during the rehash; re-probe (the table
+                    // just doubled, so this terminates immediately).
+                    let mask = self.keys.len() - 1;
+                    let mut j = (hash as usize) & mask;
+                    while self.keys[j] != key {
+                        j = (j + 1) & mask;
+                    }
+                    return (j, true);
+                }
+                return (i, false);
             }
             i = (i + 1) & mask;
         }
@@ -137,9 +157,9 @@ impl Shard {
     fn grow(&mut self) {
         let new_cap = self.keys.len() * 2;
         let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
-        let old_clocks = std::mem::replace(&mut self.clocks, vec![SimTime::ZERO; new_cap]);
+        let old_states = std::mem::replace(&mut self.states, vec![LinkState::default(); new_cap]);
         let mask = new_cap - 1;
-        for (k, c) in old_keys.into_iter().zip(old_clocks) {
+        for (k, s) in old_keys.into_iter().zip(old_states) {
             if k == EMPTY {
                 continue;
             }
@@ -148,12 +168,19 @@ impl Shard {
                 i = (i + 1) & mask;
             }
             self.keys[i] = k;
-            self.clocks[i] = c;
+            self.states[i] = s;
         }
+    }
+
+    /// Drop all entries but keep the slot capacity (arena reuse).
+    fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.states.fill(LinkState::default());
+        self.len = 0;
     }
 }
 
-/// The engine's per-link channel clock table — dense flat array for
+/// The engine's per-link channel state table — dense flat array for
 /// grid-sized runs, sharded open addressing at city scale. See the module
 /// docs for the trade. The representation is chosen once, from the node
 /// count, in [`new`](Self::new).
@@ -165,7 +192,7 @@ pub struct LinkClocks {
 #[derive(Debug)]
 enum Repr {
     /// Flat `n × n` table indexed by `from * n + to`.
-    Dense { n: usize, table: Vec<SimTime> },
+    Dense { n: usize, table: Vec<LinkState> },
     /// Open-addressing shards keyed by the packed pair; a key's shard is
     /// the top bits of its hash. `grows` counts rehash events for the
     /// allocation sanity counter.
@@ -178,7 +205,7 @@ impl LinkClocks {
         let repr = if node_count <= DENSE_NODE_LIMIT {
             Repr::Dense {
                 n: node_count,
-                table: vec![SimTime::ZERO; node_count * node_count],
+                table: vec![LinkState::default(); node_count * node_count],
             }
         } else {
             Repr::sharded()
@@ -187,7 +214,8 @@ impl LinkClocks {
     }
 
     /// The sharded representation regardless of node count (tests compare
-    /// it against the dense table on identical traffic).
+    /// it against the dense table on identical traffic; the parallel
+    /// engine's per-shard tables use it to avoid `K` dense n² copies).
     pub fn sharded() -> Self {
         LinkClocks {
             repr: Repr::sharded(),
@@ -199,17 +227,52 @@ impl LinkClocks {
         matches!(self.repr, Repr::Dense { .. })
     }
 
-    /// Clamp a proposed delivery instant against the link's channel clock
-    /// and advance the clock: returns `max(proposed, clock)` and stores it.
-    /// This is the engine's one per-send call into the table.
+    /// Reset all link state for a fresh run over `node_count` nodes,
+    /// keeping the backing storage when the representation allows it
+    /// (dense table of the same size, or any sharded table). This is the
+    /// arena-reuse path: a reset table reports zero
+    /// [`alloc_events`](Self::alloc_events) again.
+    pub fn reset(&mut self, node_count: usize) {
+        let want_dense = node_count <= DENSE_NODE_LIMIT;
+        match &mut self.repr {
+            Repr::Dense { n, table } if want_dense && *n == node_count => {
+                table.fill(LinkState::default());
+            }
+            Repr::Sharded { shards, grows } if !want_dense => {
+                for s in shards {
+                    s.clear();
+                }
+                *grows = 0;
+            }
+            repr => *repr = LinkClocks::new(node_count).repr,
+        }
+    }
+
+    /// The one per-send call into the table: look the ordered link up
+    /// **once**, hand its current send index to `propose` (which samples
+    /// the fabric and returns the proposed delivery instant), then clamp
+    /// against the channel clock, advance it, and bump the send counter.
+    /// Returns the FIFO-clamped delivery instant.
+    ///
+    /// The send index passed to `propose` is the number of messages sent on
+    /// this ordered link *before* this one — a per-link sequence that is
+    /// identical however the node set is partitioned, because every send on
+    /// `(from, to)` is performed by `from`.
     #[inline]
-    pub fn advance(&mut self, from: NodeId, to: NodeId, proposed: SimTime) -> SimTime {
+    pub fn advance_send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        propose: impl FnOnce(u64) -> SimTime,
+    ) -> SimTime {
         match &mut self.repr {
             Repr::Dense { n, table } => {
                 debug_assert!(from.index() < *n && to.index() < *n);
                 let slot = &mut table[from.index() * *n + to.index()];
-                let at = proposed.max(*slot);
-                *slot = at;
+                let proposed = propose(slot.sends);
+                slot.sends += 1;
+                let at = proposed.max(slot.clock);
+                slot.clock = at;
                 at
             }
             Repr::Sharded { shards, grows } => {
@@ -218,13 +281,28 @@ impl LinkClocks {
                 // Top hash bits pick the shard, low bits the probe start —
                 // independent, so shard fill stays uniform.
                 let shard = &mut shards[(hash >> 60) as usize & (SHARDS - 1)];
-                let (at, grew) = shard.advance(key, hash, proposed);
+                let (i, grew) = shard.slot_for(key, hash);
                 if grew {
                     *grows += 1;
                 }
+                let slot = &mut shard.states[i];
+                let proposed = propose(slot.sends);
+                slot.sends += 1;
+                let at = proposed.max(slot.clock);
+                slot.clock = at;
                 at
             }
         }
+    }
+
+    /// Clamp a proposed delivery instant against the link's channel clock
+    /// and advance the clock (and send counter): returns
+    /// `max(proposed, clock)` and stores it. Convenience wrapper over
+    /// [`advance_send`](Self::advance_send) for callers whose proposal does
+    /// not depend on the send index.
+    #[inline]
+    pub fn advance(&mut self, from: NodeId, to: NodeId, proposed: SimTime) -> SimTime {
+        self.advance_send(from, to, |_| proposed)
     }
 
     /// Number of table growth events (0 for the dense table, which
@@ -273,6 +351,30 @@ mod tests {
             c.advance(a, b, SimTime::from_millis(12)),
             SimTime::from_millis(12)
         );
+    }
+
+    #[test]
+    fn send_counters_count_per_ordered_link() {
+        for mut c in [LinkClocks::new(8), LinkClocks::sharded()] {
+            let (a, b) = (NodeId(1), NodeId(2));
+            let mut seen = Vec::new();
+            for _ in 0..3 {
+                c.advance_send(a, b, |s| {
+                    seen.push(s);
+                    SimTime::ZERO
+                });
+            }
+            // The reverse direction and other links count independently.
+            c.advance_send(b, a, |s| {
+                seen.push(s);
+                SimTime::ZERO
+            });
+            c.advance_send(a, b, |s| {
+                seen.push(s);
+                SimTime::ZERO
+            });
+            assert_eq!(seen, vec![0, 1, 2, 0, 3]);
+        }
     }
 
     #[test]
@@ -329,5 +431,60 @@ mod tests {
                 assert_eq!(c.advance(NodeId(from), NodeId(to), SimTime::ZERO), want);
             }
         }
+    }
+
+    /// A slot inserted on the probe that triggers a rehash must stay
+    /// reachable (the rehash moves it; `slot_for` re-probes).
+    #[test]
+    fn growth_probe_returns_the_moved_slot() {
+        let mut c = LinkClocks::sharded();
+        let mut expected = Vec::new();
+        for i in 0..40_000u32 {
+            let from = NodeId(i / 64);
+            let to = NodeId(i % 64);
+            let t = SimTime::from_micros(i as u64 + 1);
+            c.advance(from, to, t);
+            expected.push((from, to, t));
+        }
+        for (from, to, t) in expected {
+            assert_eq!(c.advance(from, to, SimTime::ZERO), t);
+        }
+    }
+
+    /// `reset` keeps capacity but behaves like a fresh table.
+    #[test]
+    fn reset_clears_clocks_and_counters() {
+        for sharded in [false, true] {
+            let mut c = if sharded {
+                LinkClocks::sharded()
+            } else {
+                LinkClocks::new(32)
+            };
+            for i in 0..32u32 {
+                c.advance(NodeId(i), NodeId((i + 1) % 32), SimTime::from_secs(9));
+            }
+            c.reset(32);
+            if !sharded {
+                assert!(c.is_dense());
+            }
+            assert_eq!(c.alloc_events(), 0);
+            // Clock cleared: an early proposal is no longer clamped.
+            assert_eq!(
+                c.advance(NodeId(0), NodeId(1), SimTime::from_millis(1)),
+                SimTime::from_millis(1)
+            );
+            // Counter cleared: the next send index is 0 again.
+            c.advance_send(NodeId(2), NodeId(3), |s| {
+                assert_eq!(s, 0);
+                SimTime::ZERO
+            });
+        }
+        // A size change rebuilds the dense table at the new size.
+        let mut c = LinkClocks::new(4);
+        c.reset(8);
+        assert_eq!(
+            c.advance(NodeId(7), NodeId(6), SimTime::from_millis(2)),
+            SimTime::from_millis(2)
+        );
     }
 }

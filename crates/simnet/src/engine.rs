@@ -26,8 +26,8 @@
 //! # The hot path
 //!
 //! One delivery = one [`EventQueue`] pop, one node callback, and one
-//! [`LinkClocks::advance`] + [`TrafficStats::record`] per outgoing message.
-//! All three structures are allocation-free in steady state:
+//! [`LinkClocks::advance_send`] + [`TrafficStats::record`] per outgoing
+//! message. All three structures are allocation-free in steady state:
 //!
 //! * the future-event list is a pooled, indexed 4-ary min-heap
 //!   ([`crate::queue`]) — sifting moves 24-byte keys, envelopes sit in
@@ -170,11 +170,69 @@ pub enum RunOutcome {
 pub struct EnginePerf {
     /// Messages delivered so far (including timers).
     pub deliveries: u64,
-    /// High-water mark of the future event list.
+    /// High-water mark of the future event list (summed across shards for
+    /// the parallel engine, approximating the global in-flight set).
     pub peak_queue_depth: usize,
     /// Storage growth events across queue slab/heap, clock table and
     /// scratch outbox.
     pub alloc_events: u64,
+}
+
+/// Wall-clock cost of each hot-path phase, accumulated while
+/// [`Engine::enable_phase_profile`] is on. The buckets partition one
+/// delivery: future-event-list pops and pushes (`queue_ns`), fabric
+/// sampling plus channel-clock clamping (`clocks_ns`), the node callback
+/// (`protocol_ns`), and traffic accounting (`stats_ns`). Timer reads add a
+/// fixed overhead per phase boundary, so profiled throughput is *not* the
+/// number to report — run the breakdown pass separately from the timing
+/// pass (as `sweep_runner` does).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Nanoseconds spent popping and pushing the future event list.
+    pub queue_ns: u64,
+    /// Nanoseconds spent sampling the fabric and advancing channel clocks.
+    pub clocks_ns: u64,
+    /// Nanoseconds spent inside node `on_message` callbacks.
+    pub protocol_ns: u64,
+    /// Nanoseconds spent recording traffic statistics.
+    pub stats_ns: u64,
+}
+
+impl PhaseBreakdown {
+    /// Total accounted nanoseconds across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.queue_ns + self.clocks_ns + self.protocol_ns + self.stats_ns
+    }
+}
+
+/// Reusable engine storage: the pooled future-event list, the channel-clock
+/// table, and the scratch outbox. A sweep worker that runs hundreds of
+/// scenario points can [`recycle`](Engine::recycle) each finished engine
+/// and build the next one with [`Engine::new_in`], so the slabs warmed up
+/// by the first point absorb every later one without allocating — the
+/// cross-*run* analogue of the engine's cross-delivery pooling.
+#[derive(Debug)]
+pub struct EngineArena<M> {
+    queue: EventQueue<M>,
+    clocks: LinkClocks,
+    scratch: Vec<Outgoing<M>>,
+}
+
+impl<M> EngineArena<M> {
+    /// An empty arena (cold storage; the first run warms it up).
+    pub fn new() -> Self {
+        EngineArena {
+            queue: EventQueue::new(),
+            clocks: LinkClocks::new(0),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl<M> Default for EngineArena<M> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// The discrete-event engine.
@@ -210,29 +268,45 @@ pub struct Engine<M: Message, N: Node<M>> {
     external_next: u64,
     /// One past the last reserved low sequence number.
     external_end: u64,
+    /// Per-phase wall-clock accumulator; `None` (the default) keeps the hot
+    /// path free of timer reads.
+    profile: Option<Box<PhaseBreakdown>>,
 }
 
 impl<M: Message, N: Node<M>> Engine<M, N> {
     /// Create an engine over the given nodes and fabric.
     pub fn new(nodes: Vec<N>, fabric: Arc<dyn Fabric>) -> Self {
-        let link_clock = LinkClocks::new(nodes.len());
+        Self::new_in(nodes, fabric, EngineArena::new())
+    }
+
+    /// Create an engine reusing the storage of a recycled one (see
+    /// [`EngineArena`]): the event-list slab, clock table, and scratch
+    /// outbox keep their capacity but are reset to empty, so a warmed arena
+    /// makes the whole run allocation-free and [`perf`](Self::perf) reports
+    /// zero `alloc_events` until traffic outgrows the pool.
+    pub fn new_in(nodes: Vec<N>, fabric: Arc<dyn Fabric>, mut arena: EngineArena<M>) -> Self {
+        arena.queue.reset();
+        arena.clocks.reset(nodes.len());
+        arena.scratch.clear();
+        let scratch_cap = arena.scratch.capacity();
         Engine {
             nodes,
-            queue: EventQueue::new(),
+            queue: arena.queue,
             now: SimTime::ZERO,
             seq: 0,
             fabric,
             stats: TrafficStats::new(),
             config: EngineConfig::default(),
             delivered: 0,
-            link_clock,
-            scratch: Vec::new(),
-            scratch_cap: 0,
+            link_clock: arena.clocks,
+            scratch: arena.scratch,
+            scratch_cap,
             scratch_grows: 0,
             faults: None,
             drops: Vec::new(),
             external_next: 0,
             external_end: 0,
+            profile: None,
         }
     }
 
@@ -291,6 +365,18 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                 + self.link_clock.alloc_events()
                 + self.scratch_grows,
         }
+    }
+
+    /// Start accumulating the per-phase wall-clock breakdown (see
+    /// [`PhaseBreakdown`]). Adds two timer reads per phase boundary, so
+    /// enable it only on dedicated profiling passes.
+    pub fn enable_phase_profile(&mut self) {
+        self.profile = Some(Box::default());
+    }
+
+    /// The accumulated phase breakdown, if profiling was enabled.
+    pub fn phase_breakdown(&self) -> Option<PhaseBreakdown> {
+        self.profile.as_deref().copied()
     }
 
     /// Install a fault schedule, consulted on every delivery. An **empty**
@@ -383,19 +469,37 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
 
     /// Drain a delivery's outbox into the future event list. The buffer is
     /// left empty (capacity intact) for reuse.
+    ///
+    /// Variable fabrics sample per-message variation keyed off the **link
+    /// send index** — how many messages this ordered `(from, to)` pair has
+    /// carried — not the global send sequence. Every send on a link is
+    /// performed by its `from` node, so the index stream is identical under
+    /// any partitioning of the node set: the parallel engine reproduces the
+    /// serial engine's latency samples shard-locally. Constant fabrics
+    /// ignore the key entirely, which keeps zero-jitter runs byte-identical
+    /// across the change.
     fn enqueue_outgoing(&mut self, origin: NodeId, sent_at: SimTime, out: &mut Vec<Outgoing<M>>) {
+        let profiling = self.profile.is_some();
         for o in out.drain(..) {
             match o {
                 Outgoing::Send { to, msg } => {
-                    // One virtual call on the hot path: latency and hops come
-                    // back together as a LinkCost.
                     let seq = self.next_seq();
-                    let cost = self.fabric.link(origin, to, sent_at, seq);
-                    self.stats
-                        .record(msg.traffic_class(), msg.kind(), cost.hops);
-                    // Per-link FIFO by construction: never deliver before
-                    // anything already scheduled on this ordered pair.
-                    let at = self.link_clock.advance(origin, to, sent_at + cost.latency);
+                    let t0 = profiling.then(std::time::Instant::now);
+                    // One probe of the clock table serves both halves of the
+                    // hot path: the closure receives the link send index,
+                    // makes the single virtual fabric call, and the returned
+                    // proposal is FIFO-clamped in place — never deliver
+                    // before anything already scheduled on this ordered pair.
+                    let fabric = &*self.fabric;
+                    let mut hops = 0;
+                    let at = self.link_clock.advance_send(origin, to, |link_seq| {
+                        let cost = fabric.link(origin, to, sent_at, link_seq);
+                        hops = cost.hops;
+                        sent_at + cost.latency
+                    });
+                    let t1 = profiling.then(std::time::Instant::now);
+                    self.stats.record(msg.traffic_class(), msg.kind(), hops);
+                    let t2 = profiling.then(std::time::Instant::now);
                     self.queue.push(
                         at,
                         seq,
@@ -406,9 +510,17 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                             msg,
                         },
                     );
+                    if let (Some(p), Some(t0), Some(t1), Some(t2)) =
+                        (self.profile.as_deref_mut(), t0, t1, t2)
+                    {
+                        p.clocks_ns += (t1 - t0).as_nanos() as u64;
+                        p.stats_ns += (t2 - t1).as_nanos() as u64;
+                        p.queue_ns += t2.elapsed().as_nanos() as u64;
+                    }
                 }
                 Outgoing::Timer { delay, msg } => {
                     let seq = self.next_seq();
+                    let t0 = profiling.then(std::time::Instant::now);
                     self.queue.push(
                         sent_at + delay,
                         seq,
@@ -419,6 +531,9 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                             msg,
                         },
                     );
+                    if let (Some(p), Some(t0)) = (self.profile.as_deref_mut(), t0) {
+                        p.queue_ns += t0.elapsed().as_nanos() as u64;
+                    }
                 }
             }
         }
@@ -451,7 +566,11 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         self.stats.deliveries += 1;
         let to = env.to;
         let mut ctx = Context::with_outbox(at, to, std::mem::take(&mut self.scratch));
+        let t0 = self.profile.is_some().then(std::time::Instant::now);
         self.nodes[to.index()].on_message(env, &mut ctx);
+        if let (Some(p), Some(t0)) = (self.profile.as_deref_mut(), t0) {
+            p.protocol_ns += t0.elapsed().as_nanos() as u64;
+        }
         let mut out = ctx.into_outbox();
         if out.capacity() > self.scratch_cap {
             self.scratch_cap = out.capacity();
@@ -462,9 +581,30 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         self.scratch = out;
     }
 
+    /// Pop the next due event, charging the pop to the queue phase when
+    /// profiling. `strict` selects the strictly-before horizon semantics.
+    #[inline]
+    fn profiled_pop(&mut self, horizon: SimTime, strict: bool) -> PopBefore<M> {
+        let t0 = self.profile.is_some().then(std::time::Instant::now);
+        let r = if strict {
+            self.queue.pop_strictly_before(horizon)
+        } else {
+            self.queue.pop_at_or_before(horizon)
+        };
+        if let (Some(p), Some(t0)) = (self.profile.as_deref_mut(), t0) {
+            p.queue_ns += t0.elapsed().as_nanos() as u64;
+        }
+        r
+    }
+
     /// Deliver a single message. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        match self.queue.pop() {
+        let t0 = self.profile.is_some().then(std::time::Instant::now);
+        let popped = self.queue.pop();
+        if let (Some(p), Some(t0)) = (self.profile.as_deref_mut(), t0) {
+            p.queue_ns += t0.elapsed().as_nanos() as u64;
+        }
+        match popped {
             Some((at, env)) => {
                 self.deliver(at, env);
                 true
@@ -496,7 +636,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         let budget = self.config.max_deliveries;
         let start = self.delivered;
         loop {
-            match self.queue.pop_at_or_before(horizon) {
+            match self.profiled_pop(horizon, false) {
                 PopBefore::Empty => return RunOutcome::Drained,
                 PopBefore::Later => return RunOutcome::ReachedHorizon,
                 PopBefore::Due(at, env) => {
@@ -518,7 +658,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         let budget = self.config.max_deliveries;
         let start = self.delivered;
         loop {
-            match self.queue.pop_strictly_before(horizon) {
+            match self.profiled_pop(horizon, true) {
                 PopBefore::Empty => return RunOutcome::Drained,
                 PopBefore::Later => return RunOutcome::ReachedHorizon,
                 PopBefore::Due(at, env) => {
@@ -531,10 +671,50 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         }
     }
 
+    /// Run a whole reserved timeline to completion: for each `(at, to, msg)`
+    /// entry (which must come pre-sorted by instant, in reservation order),
+    /// drain strictly up to `at`, inject the entry with its reserved low
+    /// sequence number, and finally drain the rest. Equivalent to the
+    /// injection loop the scenario runner used to drive externally — hoisted
+    /// into the engine so a parallel implementation can keep its worker
+    /// threads alive across the whole run instead of re-spawning per
+    /// injection. Requires a prior [`reserve_external_seqs`] covering every
+    /// entry.
+    ///
+    /// [`reserve_external_seqs`]: Self::reserve_external_seqs
+    pub fn run_timeline(
+        &mut self,
+        timeline: impl IntoIterator<Item = (SimTime, NodeId, M)>,
+    ) -> RunOutcome {
+        for (at, to, msg) in timeline {
+            // Intermediate outcomes are horizon reports, not errors; the
+            // delivery budget is re-checked by the final drain.
+            let _ = self.run_strictly_before(at);
+            self.schedule_external_reserved(at, to, msg);
+        }
+        self.run_to_completion()
+    }
+
     /// Consume the engine and return its parts (nodes + stats), used by the
     /// harness to collect per-node logs after a run.
     pub fn into_parts(self) -> (Vec<N>, TrafficStats, SimTime) {
         (self.nodes, self.stats, self.now)
+    }
+
+    /// Consume the engine, returning its parts **plus** the reusable
+    /// storage arena — [`into_parts`](Self::into_parts) for callers that
+    /// will build another engine next (see [`EngineArena`]).
+    pub fn recycle(self) -> (Vec<N>, TrafficStats, SimTime, EngineArena<M>) {
+        (
+            self.nodes,
+            self.stats,
+            self.now,
+            EngineArena {
+                queue: self.queue,
+                clocks: self.link_clock,
+                scratch: self.scratch,
+            },
+        )
     }
 }
 
@@ -967,5 +1147,99 @@ mod tests {
             "steady-state deliveries must not grow any engine storage"
         );
         assert!(after.peak_queue_depth >= 1);
+    }
+
+    /// `run_timeline` must replay the exact behaviour of the external
+    /// drain-inject-drain loop it replaces.
+    #[test]
+    fn run_timeline_matches_manual_injection_loop() {
+        let timeline: Vec<(SimTime, NodeId, Toy)> = (0..20u64)
+            .map(|i| (SimTime::from_millis(i * 20), NodeId(0), Toy::Tick))
+            .collect();
+        let run_manual = || {
+            let mut eng = two_node_engine(10);
+            eng.reserve_external_seqs(timeline.len() as u64);
+            for (at, to, msg) in &timeline {
+                eng.run_strictly_before(*at);
+                eng.schedule_external_reserved(*at, *to, msg.clone());
+            }
+            eng.run_to_completion();
+            (
+                eng.node(NodeId(0)).seen.clone(),
+                eng.node(NodeId(1)).seen.clone(),
+                eng.deliveries(),
+            )
+        };
+        let run_via_timeline = || {
+            let mut eng = two_node_engine(10);
+            eng.reserve_external_seqs(timeline.len() as u64);
+            let outcome = eng.run_timeline(timeline.iter().cloned());
+            assert_eq!(outcome, RunOutcome::Drained);
+            (
+                eng.node(NodeId(0)).seen.clone(),
+                eng.node(NodeId(1)).seen.clone(),
+                eng.deliveries(),
+            )
+        };
+        assert_eq!(run_manual(), run_via_timeline());
+    }
+
+    /// A recycled arena must make the next engine's whole run
+    /// allocation-free (same workload shape), with identical results.
+    #[test]
+    fn arena_reuse_is_allocation_free_and_identical() {
+        let run = |arena: EngineArena<Toy>| {
+            let fabric = Arc::new(UniformFabric::new(SimDuration::from_millis(10)));
+            let a = Echo {
+                peer: Some(NodeId(1)),
+                ..Echo::default()
+            };
+            let mut eng = Engine::new_in(vec![a, Echo::default()], fabric, arena);
+            eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+            eng.run_to_completion();
+            let perf = eng.perf();
+            let (nodes, stats, _, arena) = eng.recycle();
+            (nodes[1].seen.clone(), format!("{stats:?}"), perf, arena)
+        };
+        let (seen1, stats1, perf1, arena) = run(EngineArena::new());
+        assert!(perf1.alloc_events > 0, "cold arena must warm up");
+        let (seen2, stats2, perf2, arena) = run(arena);
+        assert_eq!(seen1, seen2, "arena reuse must not change results");
+        assert_eq!(stats1, stats2);
+        assert_eq!(perf2.alloc_events, 0, "warmed arena must not allocate");
+        assert_eq!(perf1.deliveries, perf2.deliveries);
+        let (_, _, perf3, _) = run(arena);
+        assert_eq!(perf3.alloc_events, 0);
+    }
+
+    /// Phase profiling accounts every hot-path phase and never changes
+    /// results.
+    #[test]
+    fn phase_profile_accumulates_and_preserves_results() {
+        let run = |profiled: bool| {
+            let mut eng = two_node_engine(10);
+            if profiled {
+                eng.enable_phase_profile();
+            }
+            eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+            eng.run_to_completion();
+            (
+                eng.node(NodeId(1)).seen.clone(),
+                eng.deliveries(),
+                eng.phase_breakdown(),
+            )
+        };
+        let (seen_off, del_off, bd_off) = run(false);
+        let (seen_on, del_on, bd_on) = run(true);
+        assert_eq!(bd_off, None);
+        assert_eq!(seen_off, seen_on);
+        assert_eq!(del_off, del_on);
+        let bd = bd_on.expect("profiling was enabled");
+        assert!(bd.protocol_ns > 0, "callbacks must be accounted");
+        assert!(bd.queue_ns > 0, "queue ops must be accounted");
+        assert_eq!(
+            bd.total_ns(),
+            bd.queue_ns + bd.clocks_ns + bd.protocol_ns + bd.stats_ns
+        );
     }
 }

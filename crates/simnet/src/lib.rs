@@ -29,10 +29,16 @@
 //! * small deterministic random-number utilities ([`random`]) so that every
 //!   experiment run is exactly reproducible from a seed.
 //!
-//! The simulator is intentionally single-threaded per run: determinism is a
-//! property the reproduction tests rely on. Parallelism is applied one level
-//! up across *independent* runs, by the scoped-thread sweep executor in
-//! `mhh-mobility::sweep`.
+//! Determinism is a property the reproduction tests rely on, and it does
+//! not require running single-threaded: the conservative-parallel
+//! [`ParallelEngine`] shards the node set ([`topology::Partition`]) and
+//! synchronises at lookahead-bounded window barriers, reconstructing the
+//! serial engine's exact delivery sequence — same seed, same order, same
+//! stats, byte for byte (differentially tested against [`Engine`] in
+//! `tests/parallel_equivalence.rs`). Parallelism is also applied one level
+//! up across *independent* runs by the scoped-thread sweep executor in
+//! `mhh-mobility::sweep`; [`with_thread_allowance`] budgets the two levels
+//! against each other so nesting never oversubscribes the machine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +48,7 @@ pub mod engine;
 pub mod fabric;
 pub mod faults;
 pub mod ids;
+pub mod parallel;
 pub mod queue;
 pub mod random;
 pub mod reference;
@@ -50,14 +57,20 @@ pub mod time;
 pub mod topology;
 
 pub use clocks::LinkClocks;
-pub use engine::{Context, Engine, EngineConfig, EnginePerf, Envelope, Node, RunOutcome};
+pub use engine::{
+    Context, Engine, EngineArena, EngineConfig, EnginePerf, Envelope, Node, PhaseBreakdown,
+    RunOutcome,
+};
 pub use fabric::{
     DegradedWindow, Fabric, GridFabric, JitteredFabric, LinkCost, LinkModel, UniformFabric,
 };
 pub use faults::{DropRecord, FaultKind, FaultSchedule, OutageScope, OutageWindow};
 pub use ids::NodeId;
+pub use parallel::{
+    thread_allowance, with_thread_allowance, AnyEngine, ParallelEngine, ParallelPerf, ShardPerf,
+};
 pub use queue::EventQueue;
 pub use reference::ReferenceEngine;
 pub use stats::{Message, TrafficClass, TrafficStats};
 pub use time::{SimDuration, SimTime};
-pub use topology::{parse_edge_list, Graph, Network, TopologyKind, Tree};
+pub use topology::{parse_edge_list, CutReport, Graph, Network, Partition, TopologyKind, Tree};

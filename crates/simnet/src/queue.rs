@@ -250,6 +250,39 @@ impl<M> EventQueue<M> {
         self.heap[i] = entry;
     }
 
+    /// Rewrite every scheduled entry's sequence number through `f`, in
+    /// place, without re-heapifying.
+    ///
+    /// **Caller contract:** `f` must be order-preserving over the keys
+    /// actually present — for any two entries, `(at_a, f(seq_a)) <
+    /// (at_b, f(seq_b))` iff `(at_a, seq_a) < (at_b, seq_b)`. The parallel
+    /// engine satisfies this when it resolves provisional sequence numbers
+    /// to their final global values at a window barrier: provisional
+    /// numbers sort after all final ones and are assigned final values in
+    /// ascending provisional order, so the relabeling is order-isomorphic
+    /// and the heap arrangement stays valid untouched. Checked by
+    /// `assert_invariants` in tests.
+    pub fn remap_seqs(&mut self, mut f: impl FnMut(u64) -> u64) {
+        for e in &mut self.heap {
+            e.seq = f(e.seq);
+        }
+    }
+
+    /// Drop any remaining events and reset the lifetime counters, keeping
+    /// the slab, free-list, and heap capacity — the arena-reuse path. A
+    /// reset queue reports zero [`alloc_events`](Self::alloc_events) until
+    /// traffic outgrows the warmed pool.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.free.clear();
+        for (i, slot) in self.slab.iter_mut().enumerate() {
+            *slot = None;
+            self.free.push(i as u32);
+        }
+        self.peak = 0;
+        self.grows = 0;
+    }
+
     /// Check the heap invariant (every parent ≤ each of its children) and
     /// the slab/free-list bookkeeping. Test-only; O(n).
     #[cfg(test)]
@@ -416,6 +449,63 @@ mod tests {
                 }
                 q.assert_invariants();
             }
+        }
+    }
+
+    #[test]
+    fn reset_recycles_storage_and_zeroes_counters() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_micros(i), i, env(i));
+        }
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.alloc_events(), 0);
+        assert_eq!(q.peak_len(), 0);
+        q.assert_invariants();
+        // The warmed pool absorbs the same load without allocating.
+        for i in 0..100 {
+            q.push(SimTime::from_micros(i), 1000 + i, env(i));
+        }
+        assert_eq!(q.alloc_events(), 0, "reset pool must be reused");
+        q.assert_invariants();
+        while q.pop().is_some() {}
+    }
+
+    /// An order-preserving seq relabeling keeps the heap valid and the pop
+    /// order equal to relabeling the would-be pop sequence directly.
+    #[test]
+    fn remap_seqs_preserves_heap_order() {
+        let mut rng = DetRng::new(0x5E9);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        const PROV: u64 = 1 << 63;
+        // True seqs 0..50 mixed with provisional seqs PROV..PROV+50 at
+        // overlapping instants (provisional sort after true at equal `at`,
+        // as in the parallel engine).
+        for i in 0..50u64 {
+            q.push(SimTime::from_micros(rng.next_below(20)), i, env(i));
+            q.push(
+                SimTime::from_micros(rng.next_below(20)),
+                PROV | i,
+                env(PROV | i),
+            );
+        }
+        // Resolve provisional i -> 50 + i (ascending in provisional order,
+        // all above the true range): order-isomorphic.
+        q.remap_seqs(|s| if s & PROV != 0 { 50 + (s & !PROV) } else { s });
+        q.assert_invariants();
+        let mut last = None;
+        while let Some((at, e)) = q.pop() {
+            let seq = if e.msg & PROV != 0 {
+                50 + (e.msg & !PROV)
+            } else {
+                e.msg
+            };
+            let key = (at, seq);
+            if let Some(prev) = last {
+                assert!(prev < key, "pop order broke after remap");
+            }
+            last = Some(key);
         }
     }
 }

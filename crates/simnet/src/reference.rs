@@ -107,7 +107,10 @@ pub struct ReferenceEngine<M: Message, N: Node<M>> {
     fabric: Arc<dyn Fabric>,
     stats: LegacyStats,
     delivered: u64,
-    link_clock: HashMap<u64, SimTime, BuildHasherDefault<LinkKeyHasher>>,
+    /// Per ordered link: `(channel clock, send counter)` — the counter
+    /// mirrors the semantic change that keys variable-fabric sampling off
+    /// the link-local send index instead of the global sequence.
+    link_clock: HashMap<u64, (SimTime, u64), BuildHasherDefault<LinkKeyHasher>>,
 }
 
 impl<M: Message, N: Node<M>> ReferenceEngine<M, N> {
@@ -174,13 +177,16 @@ impl<M: Message, N: Node<M>> ReferenceEngine<M, N> {
             match o {
                 Outgoing::Send { to, msg } => {
                     let seq = self.next_seq();
-                    let cost = self.fabric.link(origin, to, sent_at, seq);
-                    self.stats
-                        .record(msg.traffic_class(), msg.kind(), cost.hops);
-                    let clock = self
+                    let (clock, sends) = self
                         .link_clock
                         .entry(crate::ids::pack_pair(origin, to))
-                        .or_insert(SimTime::ZERO);
+                        .or_insert((SimTime::ZERO, 0));
+                    // Sample the fabric with this link's send index (the
+                    // engine's jitter key), then bump the counter.
+                    let cost = self.fabric.link(origin, to, sent_at, *sends);
+                    *sends += 1;
+                    self.stats
+                        .record(msg.traffic_class(), msg.kind(), cost.hops);
                     let at = (sent_at + cost.latency).max(*clock);
                     *clock = at;
                     self.queue.push(Reverse(Scheduled {

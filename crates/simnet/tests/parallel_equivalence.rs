@@ -1,0 +1,361 @@
+//! Differential byte-identity tests: the sharded windowed [`ParallelEngine`]
+//! against the serial [`Engine`] on identical seeded workloads.
+//!
+//! The property is strict equality, not statistical agreement: for every
+//! cell of seeds × fabrics × worker counts × fault plans, the parallel run
+//! must reproduce the serial run's per-node delivery logs (time, source,
+//! payload, in order), delivery count, final clock, rendered traffic
+//! statistics, and fault drop log. The serial total order `(at, seq)` is
+//! reconstructed exactly at each window barrier, so any divergence —
+//! lookahead clipped too loosely, a handoff mis-keyed, a provisional
+//! sequence renumbered out of order — fails loudly here.
+
+use std::sync::Arc;
+
+use mhh_simnet::fabric::{GridFabric, JitteredFabric, LinkModel, UniformFabric};
+use mhh_simnet::random::DetRng;
+use mhh_simnet::stats::{Message, TrafficClass};
+use mhh_simnet::topology::Network;
+use mhh_simnet::{
+    Context, DropRecord, Engine, Envelope, Fabric, FaultSchedule, Node, NodeId, ParallelEngine,
+    Partition, RunOutcome, SimDuration, SimTime,
+};
+
+/// A payload with a TTL so random cascades always terminate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Chatter {
+    tag: u64,
+    ttl: u8,
+}
+
+impl Message for Chatter {
+    fn traffic_class(&self) -> TrafficClass {
+        match self.tag % 4 {
+            0 => TrafficClass::EventRouting,
+            1 => TrafficClass::MobilityControl,
+            2 => TrafficClass::ClientControl,
+            _ => TrafficClass::MobilityTransfer,
+        }
+    }
+    fn kind(&self) -> &'static str {
+        match self.tag % 5 {
+            0 => "chatter_a",
+            1 => "chatter_b",
+            2 => "chatter_c",
+            3 => "chatter_d",
+            _ => "chatter_e",
+        }
+    }
+}
+
+/// A node that reacts to every delivery with a deterministic (seeded)
+/// burst of sends and timers. Its RNG advances once per delivery, so the
+/// instant delivery order diverges between backends, everything downstream
+/// diverges loudly.
+#[derive(Clone)]
+struct Gossip {
+    rng: DetRng,
+    n: u32,
+    log: Vec<(SimTime, NodeId, u64, u8)>,
+}
+
+impl Node<Chatter> for Gossip {
+    fn on_message(&mut self, env: Envelope<Chatter>, ctx: &mut Context<Chatter>) {
+        self.log
+            .push((ctx.now(), env.from, env.msg.tag, env.msg.ttl));
+        if env.msg.ttl == 0 {
+            return;
+        }
+        let fanout = self.rng.next_below(4);
+        for _ in 0..fanout {
+            let to = NodeId(self.rng.next_below(self.n as u64) as u32);
+            let tag = self.rng.next_u64();
+            let msg = Chatter {
+                tag,
+                ttl: env.msg.ttl - 1,
+            };
+            if to == ctx.self_id() {
+                ctx.schedule(
+                    SimDuration::from_micros(1 + self.rng.next_below(5_000)),
+                    msg,
+                );
+            } else {
+                ctx.send(to, msg);
+            }
+        }
+    }
+}
+
+fn make_nodes(n: u32, seed: u64) -> Vec<Gossip> {
+    let mut root = DetRng::new(seed);
+    (0..n)
+        .map(|i| Gossip {
+            rng: root.fork(i as u64 + 1),
+            n,
+            log: Vec::new(),
+        })
+        .collect()
+}
+
+/// The fabric dimension of the property grid.
+#[derive(Clone, Copy, Debug)]
+enum FabricKind {
+    Constant,
+    Jittered,
+    Grid,
+}
+
+/// The grid scenario's broker network: a 4×4 grid, 16 brokers; nodes
+/// 16..n are clients homed round-robin.
+const GRID_SIDE: usize = 4;
+const GRID_BROKERS: usize = GRID_SIDE * GRID_SIDE;
+
+fn fabric_for(kind: FabricKind, seed: u64) -> Arc<dyn Fabric> {
+    match kind {
+        FabricKind::Constant => Arc::new(UniformFabric::new(SimDuration::from_millis(3))),
+        FabricKind::Jittered => Arc::new(JitteredFabric::new(
+            UniformFabric::new(SimDuration::from_millis(3)),
+            LinkModel {
+                seed,
+                jitter: SimDuration::from_millis(25),
+                asymmetry: 0.4,
+                degraded: Vec::new(),
+            },
+        )),
+        FabricKind::Grid => Arc::new(GridFabric::new(
+            Arc::new(Network::grid(GRID_SIDE, seed)),
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(5),
+        )),
+    }
+}
+
+fn partition_for(kind: FabricKind, n: usize, workers: usize, seed: u64) -> Partition {
+    match kind {
+        // The deployment-style partition: contiguous broker blocks,
+        // clients following their home broker's shard.
+        FabricKind::Grid => {
+            let network = Network::grid(GRID_SIDE, seed);
+            let homes: Vec<usize> = (0..n - GRID_BROKERS).map(|i| i % GRID_BROKERS).collect();
+            Partition::broker_blocks(&network, &homes, workers)
+        }
+        _ => Partition::contiguous(n, workers),
+    }
+}
+
+fn faults_for(faulted: bool, seed: u64, n: usize) -> Option<Arc<FaultSchedule>> {
+    faulted.then(|| {
+        // Storm windows concentrated inside the cascade's active period
+        // (~40ms), so the fault path genuinely fires.
+        Arc::new(FaultSchedule::crash_storm(
+            seed ^ 0xFA17,
+            n,
+            12,
+            SimTime::from_millis(40),
+            SimDuration::from_millis(15),
+        ))
+    })
+}
+
+/// Everything the oracle compares, byte for byte.
+type Fingerprint = (
+    Vec<Vec<(SimTime, NodeId, u64, u8)>>,
+    u64,
+    SimTime,
+    String,
+    Vec<DropRecord>,
+);
+
+fn inject(seed: u64, n: u32, mut kick: impl FnMut(SimTime, NodeId, Chatter)) {
+    let mut rng = DetRng::new(seed ^ 0x1113);
+    for i in 0..24 {
+        let at = SimTime::from_micros(rng.next_below(2_000));
+        let to = NodeId(rng.next_below(n as u64) as u32);
+        kick(
+            at,
+            to,
+            Chatter {
+                tag: rng.next_u64().wrapping_add(i),
+                ttl: 6,
+            },
+        );
+    }
+}
+
+fn run_serial(kind: FabricKind, seed: u64, n: u32, faulted: bool) -> Fingerprint {
+    let mut eng = Engine::new(make_nodes(n, seed), fabric_for(kind, seed));
+    if let Some(schedule) = faults_for(faulted, seed, n as usize) {
+        eng.set_faults(schedule);
+    }
+    inject(seed, n, |at, to, msg| eng.schedule_external(at, to, msg));
+    assert_eq!(eng.run_to_completion(), RunOutcome::Drained);
+    let deliveries = eng.deliveries();
+    let drops = eng.drops().to_vec();
+    let stats = format!("{:?}", eng.stats());
+    let (nodes, _, now) = eng.into_parts();
+    (
+        nodes.into_iter().map(|nd| nd.log).collect(),
+        deliveries,
+        now,
+        stats,
+        drops,
+    )
+}
+
+fn run_parallel(kind: FabricKind, seed: u64, n: u32, faulted: bool, workers: usize) -> Fingerprint {
+    let part = partition_for(kind, n as usize, workers, seed);
+    let mut eng = ParallelEngine::new(make_nodes(n, seed), fabric_for(kind, seed), &part);
+    if let Some(schedule) = faults_for(faulted, seed, n as usize) {
+        eng.set_faults(schedule);
+    }
+    inject(seed, n, |at, to, msg| eng.schedule_external(at, to, msg));
+    assert_eq!(eng.run_to_completion(), RunOutcome::Drained);
+    let deliveries = eng.deliveries();
+    let drops = eng.drops().to_vec();
+    let stats = format!("{:?}", eng.stats());
+    let (nodes, _, now) = eng.into_parts();
+    (
+        nodes.into_iter().map(|nd| nd.log).collect(),
+        deliveries,
+        now,
+        stats,
+        drops,
+    )
+}
+
+/// The full property grid: every cell must agree byte for byte. One
+/// serial fingerprint anchors each (fabric, seed, fault) row; the worker
+/// dimension reuses it.
+fn sweep_cells(kind: FabricKind, n: u32, seeds: std::ops::Range<u64>) {
+    let mut total_drops = 0usize;
+    for seed in seeds {
+        for faulted in [false, true] {
+            let serial = run_serial(kind, seed, n, faulted);
+            if faulted {
+                total_drops += serial.4.len();
+            }
+            for workers in [1usize, 2, 4, 8] {
+                let parallel = run_parallel(kind, seed, n, faulted, workers);
+                assert_eq!(
+                    serial, parallel,
+                    "{kind:?}/seed {seed}/faulted {faulted}/{workers} workers diverged"
+                );
+            }
+        }
+    }
+    assert!(
+        total_drops > 0,
+        "{kind:?}: no seed's crash storm dropped anything — the faulted cells tested nothing"
+    );
+}
+
+#[test]
+fn constant_latency_cells_match_serial() {
+    sweep_cells(FabricKind::Constant, 24, 0..4);
+}
+
+#[test]
+fn jittered_cells_match_serial() {
+    // Jitter exercises the FIFO clamp and the link-send-index sampling —
+    // exactly where a partition-dependent jitter key would diverge.
+    sweep_cells(FabricKind::Jittered, 24, 0..4);
+}
+
+#[test]
+fn grid_topology_cells_match_serial() {
+    // Grid fabric + broker-block partition: multi-hop wired latencies,
+    // wireless client links, clients co-sharded with their home brokers.
+    sweep_cells(FabricKind::Grid, (GRID_BROKERS + 8) as u32, 0..4);
+}
+
+/// A one-shard partition must be *exactly* the serial engine — the
+/// degenerate case runs the same windowed code path with whole-horizon
+/// windows, and nothing else.
+#[test]
+fn degenerate_partition_is_serial() {
+    for kind in [FabricKind::Constant, FabricKind::Jittered] {
+        let serial = run_serial(kind, 7, 16, true);
+        let single = {
+            let part = Partition::single(16);
+            let mut eng = ParallelEngine::new(make_nodes(16, 7), fabric_for(kind, 7), &part);
+            assert_eq!(eng.shard_count(), 1);
+            if let Some(schedule) = faults_for(true, 7, 16) {
+                eng.set_faults(schedule);
+            }
+            inject(7, 16, |at, to, msg| eng.schedule_external(at, to, msg));
+            assert_eq!(eng.run_to_completion(), RunOutcome::Drained);
+            let deliveries = eng.deliveries();
+            let drops = eng.drops().to_vec();
+            let stats = format!("{:?}", eng.stats());
+            let (nodes, _, now) = eng.into_parts();
+            (
+                nodes.into_iter().map(|nd| nd.log).collect::<Vec<_>>(),
+                deliveries,
+                now,
+                stats,
+                drops,
+            )
+        };
+        assert_eq!(serial, single, "{kind:?} degenerate partition diverged");
+    }
+}
+
+/// Horizon-interleaved driving (the deployment runner's pattern) must
+/// stay byte-identical too: `run_until` / `run_strictly_before` /
+/// reserved timeline injection all cross window-clipping code paths.
+#[test]
+fn interleaved_timeline_driving_matches_serial() {
+    let n = 20u32;
+    let timeline: Vec<(SimTime, NodeId, Chatter)> = {
+        let mut rng = DetRng::new(0x7171);
+        let mut at = SimTime::ZERO;
+        (0..30)
+            .map(|i| {
+                at += SimDuration::from_micros(500 + rng.next_below(4_000));
+                (
+                    at,
+                    NodeId(rng.next_below(n as u64) as u32),
+                    Chatter {
+                        tag: rng.next_u64().wrapping_add(i),
+                        ttl: 5,
+                    },
+                )
+            })
+            .collect()
+    };
+    let serial = {
+        let mut eng = Engine::new(make_nodes(n, 3), fabric_for(FabricKind::Jittered, 3));
+        eng.reserve_external_seqs(timeline.len() as u64);
+        assert_eq!(
+            eng.run_timeline(timeline.iter().cloned()),
+            RunOutcome::Drained
+        );
+        let deliveries = eng.deliveries();
+        let (nodes, stats, now) = eng.into_parts();
+        (
+            nodes.into_iter().map(|nd| nd.log).collect::<Vec<_>>(),
+            deliveries,
+            now,
+            format!("{stats:?}"),
+        )
+    };
+    for workers in [2usize, 4, 8] {
+        let part = Partition::contiguous(n as usize, workers);
+        let mut eng =
+            ParallelEngine::new(make_nodes(n, 3), fabric_for(FabricKind::Jittered, 3), &part);
+        eng.reserve_external_seqs(timeline.len() as u64);
+        assert_eq!(
+            eng.run_timeline(timeline.iter().cloned()),
+            RunOutcome::Drained
+        );
+        let deliveries = eng.deliveries();
+        let (nodes, stats, now) = eng.into_parts();
+        let parallel = (
+            nodes.into_iter().map(|nd| nd.log).collect::<Vec<_>>(),
+            deliveries,
+            now,
+            format!("{stats:?}"),
+        );
+        assert_eq!(serial, parallel, "{workers} workers diverged");
+    }
+}

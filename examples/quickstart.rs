@@ -12,7 +12,10 @@
 //! * `--full` keeps the preset at its registered scale (CI uses this to
 //!   smoke the `city-scale` stress preset at its real 2k-client size);
 //! * `--budget-ms <N>` bounds the wall clock: protocols that cannot start
-//!   before the budget elapses are skipped and reported, never hung on.
+//!   before the budget elapses are skipped and reported, never hung on;
+//! * `--engine-workers <K>` runs each simulation on the windowed parallel
+//!   engine with `K` shards — results are byte-identical to the serial
+//!   engine, so CI smokes the parallel backend with the same assertions.
 
 use std::sync::Arc;
 
@@ -20,10 +23,16 @@ use mhh_suite::mobility::{ModelKind, TraceRecord};
 use mhh_suite::mobsim::{protocols::ProtocolRegistry, scenarios, Sim};
 
 /// Smoke-run a named preset across every registered protocol.
-fn smoke(name: &str, full: bool, budget_ms: Option<u64>) {
+fn smoke(name: &str, full: bool, budget_ms: Option<u64>, engine_workers: Option<usize>) {
     let scale = if full { "full scale" } else { "reduced scale" };
-    println!("=== smoke: {name} ({scale}) ===");
+    match engine_workers {
+        Some(k) => println!("=== smoke: {name} ({scale}, {k}-shard parallel engine) ==="),
+        None => println!("=== smoke: {name} ({scale}) ==="),
+    }
     let mut sim = Sim::scenario(name);
+    if let Some(k) = engine_workers {
+        sim = sim.engine_workers(k);
+    }
     if !full {
         sim = sim
             .grid_side(4)
@@ -75,7 +84,7 @@ fn smoke(name: &str, full: bool, budget_ms: Option<u64>) {
 }
 
 fn usage_error() -> ! {
-    eprintln!("usage: quickstart [<scenario> [--full] [--budget-ms <N>]]");
+    eprintln!("usage: quickstart [<scenario> [--full] [--budget-ms <N>] [--engine-workers <K>]]");
     std::process::exit(2);
 }
 
@@ -88,13 +97,17 @@ fn main() {
     }
     if let Some(name) = args.first() {
         let full = args.iter().any(|a| a == "--full");
-        let budget_ms = args.iter().position(|a| a == "--budget-ms").map(|i| {
-            args.get(i + 1)
-                .filter(|v| !v.starts_with("--"))
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| usage_error())
-        });
-        smoke(name, full, budget_ms);
+        fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+            args.iter().position(|a| a == flag).map(|i| {
+                args.get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage_error())
+            })
+        }
+        let budget_ms: Option<u64> = flag_value(&args, "--budget-ms");
+        let engine_workers: Option<usize> = flag_value(&args, "--engine-workers");
+        smoke(name, full, budget_ms, engine_workers);
         return;
     }
     println!("=== MHH quickstart ===");
