@@ -470,16 +470,19 @@ mod tests {
                 filter: filter(1),
                 home: BrokerId(0),
                 mobile: true,
+                initially_attached: true,
             },
             ClientSpec {
                 filter: filter(2),
                 home: BrokerId(((side * side) / 2) as u32),
                 mobile: false,
+                initially_attached: true,
             },
             ClientSpec {
                 filter: filter(1),
                 home: BrokerId((side * side - 1) as u32),
                 mobile: false,
+                initially_attached: true,
             },
         ];
         let config = DeploymentConfig {

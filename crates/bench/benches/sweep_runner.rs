@@ -29,8 +29,8 @@ use mhh_mobility::sweep::{available_workers, map_parallel};
 use mhh_mobsim::experiments::figure5_with_workers;
 use mhh_mobsim::json::Json;
 use mhh_mobsim::{
-    run_scenario, run_scenario_perf, run_scenario_phases, run_spec, scenarios, Protocol,
-    ProtocolRegistry, ProtocolSpec, RunResult, ScenarioConfig,
+    run_scenario, run_scenario_perf, run_scenario_phases, run_spec, scenarios, FanoutMode,
+    Protocol, ProtocolRegistry, ProtocolSpec, RunResult, ScenarioConfig,
 };
 
 fn sweep_runner(c: &mut Criterion) {
@@ -321,10 +321,109 @@ fn engine_trajectory() {
         ]));
     }
 
+    // Fan-out trajectory: the serialize-once cached path vs the
+    // clone-per-destination baseline on the `fan-out-storm` preset (100
+    // publishers broadcasting to 2 000 subscribers with modeled payloads).
+    // Delivery results are byte-identical between modes — asserted here, so
+    // the recorded savings are measured on provably equivalent runs. The
+    // cached path must hold a ≥10× margin on both fan-out allocations and
+    // bytes serialized; fast mode trims the subscriber population, which
+    // only *shrinks* the fan-out degree and thus tightens that bar.
+    let storm = scenarios::find("fan-out-storm").expect("registered").config;
+    let storm = if criterion::fast_mode() {
+        ScenarioConfig {
+            storm_subscribers: 400,
+            ..storm
+        }
+    } else {
+        storm
+    };
+    let mut fanout_rows = Vec::new();
+    let mut fanout_results = Vec::new();
+    for mode in [FanoutMode::Cached, FanoutMode::CloneBaseline] {
+        let config = storm.clone().with_fanout_mode(mode);
+        let t = Instant::now();
+        let result = run_scenario(&config, Protocol::Mhh);
+        let wall = t.elapsed().as_secs_f64();
+        let eps = result.delivered_messages as f64 / wall;
+        let traffic = result.traffic;
+        println!(
+            "engine_fanout/fan-out-storm {:<6} {eps:>12.0} ev/s, allocs {:>8}, \
+             bytes serialized {:>12}",
+            mode.label(),
+            traffic.fanout_allocs,
+            traffic.bytes_serialized,
+        );
+        fanout_rows.push(Json::obj(vec![
+            ("mode", Json::str(mode.label())),
+            ("delivered", Json::UInt(result.delivered_messages)),
+            ("wall_s", Json::Num(wall)),
+            ("events_per_sec", Json::Num(eps)),
+            ("fanouts", Json::UInt(traffic.fanouts)),
+            ("serializations", Json::UInt(traffic.serializations)),
+            ("bytes_serialized", Json::UInt(traffic.bytes_serialized)),
+            ("fanout_allocs", Json::UInt(traffic.fanout_allocs)),
+            ("cache_hits", Json::UInt(traffic.cache_hits)),
+            ("delivery_bytes", Json::UInt(traffic.delivery_bytes)),
+        ]));
+        fanout_results.push(result);
+    }
+    let (cached, clone) = (&fanout_results[0], &fanout_results[1]);
+    assert_eq!(
+        (cached.delivered_messages, cached.traffic.delivery_bytes),
+        (clone.delivered_messages, clone.traffic.delivery_bytes),
+        "cached and clone fan-out must deliver identically"
+    );
+    assert!(
+        cached.traffic.fanout_allocs * 10 <= clone.traffic.fanout_allocs,
+        "cached fan-out must allocate >=10x less (cached {} vs clone {})",
+        cached.traffic.fanout_allocs,
+        clone.traffic.fanout_allocs
+    );
+    assert!(
+        cached.traffic.bytes_serialized * 10 <= clone.traffic.bytes_serialized,
+        "cached fan-out must serialize >=10x fewer bytes (cached {} vs clone {})",
+        cached.traffic.bytes_serialized,
+        clone.traffic.bytes_serialized
+    );
+    println!(
+        "engine_fanout/fan-out-storm cached saves {:.1}x allocations, {:.1}x bytes serialized",
+        clone.traffic.fanout_allocs as f64 / cached.traffic.fanout_allocs.max(1) as f64,
+        clone.traffic.bytes_serialized as f64 / cached.traffic.bytes_serialized.max(1) as f64,
+    );
+
     let doc = Json::obj(vec![
         ("bench", Json::str("engine_hot_path")),
         ("micro", Json::Arr(micro)),
         ("scenarios", Json::Arr(scenario_rows)),
+        (
+            "fanout",
+            Json::obj(vec![
+                ("scenario", Json::str("fan-out-storm")),
+                ("publishers", Json::UInt(storm.storm_publishers as u64)),
+                ("subscribers", Json::UInt(storm.storm_subscribers as u64)),
+                (
+                    "payload_bytes_mean",
+                    Json::UInt(storm.payload_bytes_mean as u64),
+                ),
+                ("host_workers", Json::UInt(available_workers() as u64)),
+                (
+                    "alloc_savings",
+                    Json::Num(
+                        clone.traffic.fanout_allocs as f64
+                            / cached.traffic.fanout_allocs.max(1) as f64,
+                    ),
+                ),
+                (
+                    "bytes_savings",
+                    Json::Num(
+                        clone.traffic.bytes_serialized as f64
+                            / cached.traffic.bytes_serialized.max(1) as f64,
+                    ),
+                ),
+                ("modes", Json::Arr(fanout_rows)),
+            ]),
+        ),
         (
             "parallel",
             Json::obj(vec![

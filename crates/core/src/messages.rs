@@ -149,6 +149,13 @@ impl ProtocolMessage for MhhMsg {
             _ => TrafficClass::MobilityControl,
         }
     }
+
+    fn wire_bytes(&self) -> u32 {
+        match self {
+            MhhMsg::PqTransfer { events, .. } => events.iter().map(Event::wire_size).sum(),
+            _ => 0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1037,4 +1037,8 @@ impl MobilityProtocol for Mhh {
             .flat_map(|(c, st)| st.buffered().into_iter().map(move |e| (*c, e)))
             .collect()
     }
+
+    fn buffered_bytes(&self) -> u64 {
+        self.clients.values().map(MhhClient::buffered_bytes).sum()
+    }
 }

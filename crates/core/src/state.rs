@@ -222,6 +222,32 @@ impl MhhClient {
         out
     }
 
+    /// Modeled wire bytes of every event buffered at this broker for the
+    /// client — the same walk as [`buffered`](Self::buffered) without
+    /// cloning. Zero when payload modeling is off. Feeds the broker
+    /// memory-high-water accounting.
+    pub fn buffered_bytes(&self) -> u64 {
+        let mut total: u64 = 0;
+        for q in self.local.values() {
+            total += q.iter().map(|e| e.wire_size() as u64).sum::<u64>();
+        }
+        if let Some(tq) = &self.tq {
+            total += tq.queue.iter().map(|e| e.wire_size() as u64).sum::<u64>();
+        }
+        if let Some(dest) = &self.dest {
+            total += dest.imm.iter().map(|e| e.wire_size() as u64).sum::<u64>();
+            total += dest
+                .tq_buf
+                .iter()
+                .map(|e| e.wire_size() as u64)
+                .sum::<u64>();
+            if let Some(q) = &dest.new_q {
+                total += q.iter().map(|e| e.wire_size() as u64).sum::<u64>();
+            }
+        }
+        total
+    }
+
     /// Whether this broker holds no state for the client anymore and the
     /// entry can be dropped.
     pub fn is_empty(&self) -> bool {

@@ -40,16 +40,19 @@ fn build(side: usize) -> Deployment<Mhh> {
             filter: filter(GROUP_WATCHED),
             home: BrokerId(0),
             mobile: true,
+            initially_attached: true,
         },
         ClientSpec {
             filter: filter(GROUP_OTHER),
             home: BrokerId((brokers / 2) as u32),
             mobile: false,
+            initially_attached: true,
         },
         ClientSpec {
             filter: filter(GROUP_WATCHED),
             home: BrokerId((brokers - 1) as u32),
             mobile: false,
+            initially_attached: true,
         },
     ];
     let config = DeploymentConfig {
@@ -293,21 +296,25 @@ fn concurrent_mobility_of_same_filter_clients_does_not_disturb_others() {
             filter: filter(GROUP_WATCHED),
             home: BrokerId(0),
             mobile: true,
+            initially_attached: true,
         },
         ClientSpec {
             filter: filter(GROUP_OTHER),
             home: BrokerId(7),
             mobile: false,
+            initially_attached: true,
         },
         ClientSpec {
             filter: filter(GROUP_WATCHED),
             home: BrokerId(15),
             mobile: false,
+            initially_attached: true,
         },
         ClientSpec {
             filter: filter(GROUP_WATCHED),
             home: BrokerId(3),
             mobile: true,
+            initially_attached: true,
         },
     ];
     let config = DeploymentConfig {

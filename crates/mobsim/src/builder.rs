@@ -292,6 +292,31 @@ impl SimBuilder {
         self
     }
 
+    /// Replace the mean modeled payload size in bytes (`0` = payload
+    /// modeling off, the byte-identical pre-payload path).
+    pub fn payload_bytes(mut self, mean: u32) -> Self {
+        self.configure_in_place(|c| c.payload_bytes_mean = mean);
+        self
+    }
+
+    /// Replace the broker fan-out mode (serialize-once cached vs the
+    /// clone-per-destination baseline). Delivery results are byte-identical
+    /// between modes; only the serialization accounting differs.
+    pub fn fanout_mode(mut self, mode: mhh_pubsub::FanoutMode) -> Self {
+        self.configure_in_place(|c| c.fanout_mode = mode);
+        self
+    }
+
+    /// Switch to a storm-shaped workload (static publishers/subscribers, no
+    /// mobility); `(0, 0)` restores the paper's mobile population.
+    pub fn storm(mut self, publishers: u32, subscribers: u32) -> Self {
+        self.configure_in_place(|c| {
+            c.storm_publishers = publishers;
+            c.storm_subscribers = subscribers;
+        });
+        self
+    }
+
     /// Arbitrary configuration access, for knobs without a dedicated
     /// builder method.
     pub fn configure(mut self, f: impl FnOnce(&mut ScenarioConfig)) -> Self {

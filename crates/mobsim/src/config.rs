@@ -5,6 +5,7 @@
 use std::sync::Arc;
 
 use mhh_mobility::ModelKind;
+use mhh_pubsub::FanoutMode;
 use mhh_simnet::{
     DegradedWindow, FaultSchedule, LinkModel, Network, NodeId, SimDuration, SimTime, TopologyKind,
 };
@@ -169,6 +170,36 @@ pub struct ScenarioConfig {
     /// windowed parallel engine. Either way the delivery sequence — and
     /// therefore every metric — is byte-identical.
     pub engine_workers: usize,
+    /// Mean modeled application-payload size in bytes. `0` (the default)
+    /// turns payload modeling off entirely: events carry no wire size, no
+    /// byte accounting happens and runs are byte-identical to the
+    /// pre-payload simulator. `> 0` gives every published event a seeded
+    /// size drawn uniformly from `[mean/2, 3·mean/2]`.
+    pub payload_bytes_mean: u32,
+    /// How brokers materialize wire forms during fan-out (serialize-once
+    /// cached, the default, or the clone-per-destination baseline).
+    /// Delivery behavior is byte-identical either way.
+    pub fanout_mode: FanoutMode,
+    /// Enable the brokers' retained-message store and replay-on-connect.
+    pub retained: bool,
+    /// Shared-subscription group size (`0`/`1` = off): same-broker
+    /// subscribers are bucketed into groups of this size and each event is
+    /// delivered to exactly one member per group.
+    pub shared_group_size: u32,
+    /// Track broker memory high-water marks (buffered protocol bytes and
+    /// checkpoint sizes). Off by default; the sampling walk is per-message.
+    pub track_mem: bool,
+    /// Storm-shaped workload: number of publisher clients (`0`, the
+    /// default, keeps the paper's population and mobility timeline; `> 0`
+    /// together with [`storm_subscribers`](Self::storm_subscribers)
+    /// replaces both with a static MQTT-shaped pub/sub population).
+    pub storm_publishers: u32,
+    /// Storm-shaped workload: number of subscriber clients.
+    pub storm_subscribers: u32,
+    /// Fraction of storm subscribers that start *detached* and join midway
+    /// through the run (retained-replay late joiners). Ignored outside
+    /// storm workloads.
+    pub late_subscriber_fraction: f64,
 }
 
 impl Default for ScenarioConfig {
@@ -203,6 +234,14 @@ impl ScenarioConfig {
             misproclaim_fraction: 0.0,
             faults: FaultPlan::default(),
             engine_workers: 0,
+            payload_bytes_mean: 0,
+            fanout_mode: FanoutMode::default(),
+            retained: false,
+            shared_group_size: 0,
+            track_mem: false,
+            storm_publishers: 0,
+            storm_subscribers: 0,
+            late_subscriber_fraction: 0.0,
         }
     }
 
@@ -358,6 +397,61 @@ impl ScenarioConfig {
     pub fn with_engine_workers(mut self, workers: usize) -> Self {
         self.engine_workers = workers;
         self
+    }
+
+    /// Replace the mean modeled payload size (bytes), keeping everything
+    /// else. `0` restores the accounting-free pre-payload behavior.
+    pub fn with_payload_bytes(mut self, mean: u32) -> Self {
+        self.payload_bytes_mean = mean;
+        self
+    }
+
+    /// Replace the broker fan-out mode, keeping everything else. Delivery
+    /// results are byte-identical between modes; only accounting differs.
+    pub fn with_fanout_mode(mut self, mode: FanoutMode) -> Self {
+        self.fanout_mode = mode;
+        self
+    }
+
+    /// Enable/disable the retained-message store, keeping everything else.
+    pub fn with_retained(mut self, retained: bool) -> Self {
+        self.retained = retained;
+        self
+    }
+
+    /// Replace the shared-subscription group size (`0`/`1` = off), keeping
+    /// everything else.
+    pub fn with_shared_groups(mut self, size: u32) -> Self {
+        self.shared_group_size = size;
+        self
+    }
+
+    /// Enable/disable broker memory high-water tracking, keeping everything
+    /// else.
+    pub fn with_mem_tracking(mut self, track: bool) -> Self {
+        self.track_mem = track;
+        self
+    }
+
+    /// Switch to a storm-shaped workload with the given publisher and
+    /// subscriber counts, keeping everything else.
+    pub fn with_storm(mut self, publishers: u32, subscribers: u32) -> Self {
+        self.storm_publishers = publishers;
+        self.storm_subscribers = subscribers;
+        self
+    }
+
+    /// Replace the late-joiner fraction of storm subscribers (clamped to
+    /// `[0, 1]`), keeping everything else.
+    pub fn with_late_subscribers(mut self, fraction: f64) -> Self {
+        self.late_subscriber_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// True when this scenario runs the storm-shaped workload instead of
+    /// the paper's mobile population.
+    pub fn is_storm(&self) -> bool {
+        self.storm_publishers > 0 && self.storm_subscribers > 0
     }
 
     /// Pick a simulation duration long enough for every mobile client to

@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use mhh_mobility::sweep::{available_workers, map_parallel_budgeted};
 use mhh_mobility::ModelKind;
+use mhh_pubsub::FanoutMode;
 
 use crate::config::ScenarioConfig;
 use crate::metrics::RunResult;
@@ -487,6 +488,123 @@ pub fn failure_panel_budgeted_in(
         );
     }
     FailurePanelResult { points, skipped }
+}
+
+/// The MQTT-shaped storm presets the traffic panel runs by default (see
+/// [`crate::scenarios::registry`]).
+pub const TRAFFIC_PRESETS: [&str; 4] = [
+    "fan-in-storm",
+    "fan-out-storm",
+    "retained-replay",
+    "shared-subscription",
+];
+
+/// One `(storm preset, fan-out mode)` cell of the traffic panel.
+#[derive(Debug, Clone)]
+pub struct TrafficPanelPoint {
+    /// Name of the storm preset.
+    pub scenario: String,
+    /// Fan-out mode label (`"cached"` or `"clone"`).
+    pub mode: String,
+    /// The collected metrics, including the
+    /// [`TrafficReport`](crate::metrics::TrafficReport) byte accounting.
+    pub result: RunResult,
+}
+
+/// The traffic panel: every storm preset run under both fan-out modes
+/// (serialize-once cached vs clone-per-destination), comparing fan-out
+/// allocations, bytes serialized and throughput on byte-identical delivery
+/// results. Every pair's delivery-side metrics are asserted identical at
+/// assembly time — a panel that reports a speedup at all reports one
+/// measured on provably equivalent runs.
+#[derive(Debug, Clone)]
+pub struct TrafficPanelResult {
+    /// All completed cells, preset-major, cached before clone.
+    pub points: Vec<TrafficPanelPoint>,
+    /// Cells skipped because a wall-clock budget ran out, as
+    /// `"preset × mode"` labels. Empty for unbudgeted runs.
+    pub skipped: Vec<String>,
+}
+
+impl TrafficPanelResult {
+    /// The distinct preset names, in first-seen order.
+    pub fn scenarios(&self) -> Vec<&str> {
+        first_seen(self.points.iter().map(|p| p.scenario.as_str()))
+    }
+
+    /// Look up one cell by preset name and fan-out mode label.
+    pub fn cell(&self, scenario: &str, mode: &str) -> Option<&TrafficPanelPoint> {
+        self.points
+            .iter()
+            .find(|p| p.scenario == scenario && p.mode == mode)
+    }
+}
+
+/// Run the traffic panel over the default storm presets
+/// ([`TRAFFIC_PRESETS`]) with MHH, in parallel over the available cores.
+pub fn traffic_panel() -> TrafficPanelResult {
+    let presets: Vec<crate::scenarios::Scenario> = TRAFFIC_PRESETS
+        .iter()
+        .map(|name| crate::scenarios::find(name).expect("traffic preset registered"))
+        .collect();
+    traffic_panel_budgeted_in(&presets, available_workers(), None)
+}
+
+/// [`traffic_panel`] over explicit presets, worker count and an optional
+/// wall-clock budget; skipped cells are recorded instead of truncating.
+///
+/// # Panics
+/// Panics when a completed cached/clone pair differs in any delivery-side
+/// metric — the serialize-once cache must never change behavior, only
+/// accounting.
+pub fn traffic_panel_budgeted_in(
+    presets: &[crate::scenarios::Scenario],
+    workers: usize,
+    budget: Option<Duration>,
+) -> TrafficPanelResult {
+    let modes = [FanoutMode::Cached, FanoutMode::CloneBaseline];
+    let jobs: Vec<(&crate::scenarios::Scenario, FanoutMode)> = presets
+        .iter()
+        .flat_map(|preset| modes.iter().map(move |&m| (preset, m)))
+        .collect();
+    let budgeted = map_parallel_budgeted(&jobs, workers, budget, |&(preset, mode)| {
+        let config = preset.config.clone().with_fanout_mode(mode);
+        let result = crate::runner::run_scenario(&config, crate::config::Protocol::Mhh);
+        TrafficPanelPoint {
+            scenario: preset.name.to_string(),
+            mode: mode.label().to_string(),
+            result,
+        }
+    });
+    let skipped = budgeted
+        .skipped
+        .iter()
+        .map(|&i| format!("{} × {}", jobs[i].0.name, jobs[i].1.label()))
+        .collect();
+    let points: Vec<TrafficPanelPoint> = budgeted.results.into_iter().flatten().collect();
+    let panel = TrafficPanelResult { points, skipped };
+    for scenario in panel.scenarios() {
+        let (Some(cached), Some(clone)) = (
+            panel.cell(scenario, "cached"),
+            panel.cell(scenario, "clone"),
+        ) else {
+            continue;
+        };
+        assert_eq!(
+            (
+                cached.result.delivered_messages,
+                cached.result.traffic.delivery_bytes,
+                format!("{:?}", cached.result.audit),
+            ),
+            (
+                clone.result.delivered_messages,
+                clone.result.traffic.delivery_bytes,
+                format!("{:?}", clone.result.audit),
+            ),
+            "{scenario}: cached and clone fan-out must deliver identically"
+        );
+    }
+    panel
 }
 
 /// One protocol's paired reactive-vs-proclaimed comparison: the *same* move

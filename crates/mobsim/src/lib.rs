@@ -64,15 +64,17 @@ pub mod workload;
 pub use builder::{Sim, SimBuilder, SimError};
 pub use config::{FaultPlan, Protocol, ScenarioConfig};
 pub use experiments::{
-    failure_panel, figure5, figure6, mobility_matrix, proclaimed_comparison, ExperimentPoint,
-    FailurePanelPoint, FailurePanelResult, FigureResult, MatrixPoint, MatrixResult,
-    ProclaimedComparePoint, ProclaimedCompareResult, FAILURE_PRESETS,
+    failure_panel, figure5, figure6, mobility_matrix, proclaimed_comparison, traffic_panel,
+    ExperimentPoint, FailurePanelPoint, FailurePanelResult, FigureResult, MatrixPoint,
+    MatrixResult, ProclaimedComparePoint, ProclaimedCompareResult, TrafficPanelPoint,
+    TrafficPanelResult, FAILURE_PRESETS, TRAFFIC_PRESETS,
 };
 pub use metrics::{
     GapPercentiles, HandoverKind, HandoverLedger, HandoverRecord, OutageRecord, RecoveryLedger,
-    RunResult,
+    RunResult, TrafficReport,
 };
 pub use mhh_mobility::ModelKind;
+pub use mhh_pubsub::FanoutMode;
 pub use mhh_simnet::TopologyKind;
 pub use protocols::{ProtocolRegistry, ProtocolSpec};
 pub use runner::{

@@ -566,10 +566,37 @@ fn percentile(mut samples: Vec<f64>, q: f64) -> Option<f64> {
     Some(nearest_rank(&samples, q))
 }
 
+/// Bytes-on-wire and serialization accounting of one run. All counters stay
+/// zero when payload modeling is off (`payload_bytes_mean == 0`), which is
+/// what lets [`RunResult`]'s `Debug` omit the whole block and keep
+/// pre-payload goldens byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Bytes carried by event deliveries (broker → subscriber).
+    pub delivery_bytes: u64,
+    /// Bytes carried by every message class, summed over all links.
+    pub total_wire_bytes: u64,
+    /// Fan-outs that rendered at least one wire form.
+    pub fanouts: u64,
+    /// Full wire-form renders performed by brokers.
+    pub serializations: u64,
+    /// Total bytes rendered across all serializations.
+    pub bytes_serialized: u64,
+    /// Heap buffers allocated for fan-out wire forms.
+    pub fanout_allocs: u64,
+    /// Destinations served from an already-rendered cached form.
+    pub cache_hits: u64,
+    /// Highest buffered-bytes sample at any single broker (zero unless
+    /// memory tracking was on).
+    pub buffered_bytes_peak: u64,
+    /// Largest modeled checkpoint written by any single broker restart.
+    pub checkpoint_bytes_peak: u64,
+}
+
 /// The outcome of one scenario run: the paper's two performance metrics plus
 /// the reliability audit, the per-handover ledger and raw counters useful
 /// for debugging and reports.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RunResult {
     /// Display label of the protocol that was run (e.g. `"MHH"`). A label
     /// rather than a closed enum, so registry-provided protocols flow
@@ -606,6 +633,36 @@ pub struct RunResult {
     pub total_hops: u64,
     /// Simulated duration in seconds.
     pub sim_duration_s: f64,
+    /// Bytes-on-wire and serialization accounting; all-zero (the default)
+    /// when payload modeling is off.
+    pub traffic: TrafficReport,
+}
+
+/// Hand-written so the `traffic` block only appears when payload modeling
+/// produced any accounting: zero-payload runs print exactly the derived
+/// `Debug` the pre-payload simulator had, which pins every existing golden
+/// (`debug_fnv` hashes this output) without regeneration.
+impl std::fmt::Debug for RunResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("RunResult");
+        s.field("protocol", &self.protocol)
+            .field("handoffs", &self.handoffs)
+            .field("mobility_hops", &self.mobility_hops)
+            .field("overhead_per_handoff", &self.overhead_per_handoff)
+            .field("avg_handoff_delay_ms", &self.avg_handoff_delay_ms)
+            .field("delay_samples", &self.delay_samples)
+            .field("audit", &self.audit)
+            .field("ledger", &self.ledger)
+            .field("recovery", &self.recovery)
+            .field("published", &self.published)
+            .field("delivered_messages", &self.delivered_messages)
+            .field("total_hops", &self.total_hops)
+            .field("sim_duration_s", &self.sim_duration_s);
+        if self.traffic != TrafficReport::default() {
+            s.field("traffic", &self.traffic);
+        }
+        s.finish()
+    }
 }
 
 impl RunResult {
@@ -665,7 +722,19 @@ mod tests {
             delivered_messages: 98,
             total_hops: 10_000,
             sim_duration_s: 600.0,
+            traffic: TrafficReport::default(),
         }
+    }
+
+    #[test]
+    fn run_result_debug_omits_an_all_zero_traffic_block() {
+        // Golden safety: zero-payload runs must print the exact pre-payload
+        // Debug form, so the block only appears once any counter is set.
+        let plain = sample_result(HandoverLedger::default());
+        assert!(!format!("{plain:?}").contains("traffic"));
+        let mut with_bytes = plain.clone();
+        with_bytes.traffic.delivery_bytes = 1;
+        assert!(format!("{with_bytes:?}").contains("traffic"));
     }
 
     fn record(kind: HandoverKind, arrived_ms: u64, first_ms: Option<u64>) -> HandoverRecord {

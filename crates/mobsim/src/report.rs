@@ -7,9 +7,11 @@
 
 use std::fmt::Write as _;
 
-use crate::experiments::{FailurePanelResult, FigureResult, MatrixResult, ProclaimedCompareResult};
+use crate::experiments::{
+    FailurePanelResult, FigureResult, MatrixResult, ProclaimedCompareResult, TrafficPanelResult,
+};
 use crate::json::Json;
-use crate::metrics::{HandoverKind, HandoverLedger, RecoveryLedger, RunResult};
+use crate::metrics::{HandoverKind, HandoverLedger, RecoveryLedger, RunResult, TrafficReport};
 
 /// Render one figure as fixed-width tables (overhead, mean-delay and
 /// delay-percentile panels), in the same orientation as the paper's plots:
@@ -233,6 +235,27 @@ pub fn run_result_json(r: &RunResult) -> Json {
         ("delivered_messages", Json::UInt(r.delivered_messages)),
         ("total_hops", Json::UInt(r.total_hops)),
         ("sim_duration_s", Json::Num(r.sim_duration_s)),
+        ("traffic", traffic_json(&r.traffic)),
+    ])
+}
+
+/// JSON document for one run's byte accounting. `Null` when payload
+/// modeling was off (every counter zero), so classic paper-figure exports
+/// stay clean.
+pub fn traffic_json(t: &TrafficReport) -> Json {
+    if *t == TrafficReport::default() {
+        return Json::Null;
+    }
+    Json::obj(vec![
+        ("delivery_bytes", Json::UInt(t.delivery_bytes)),
+        ("total_wire_bytes", Json::UInt(t.total_wire_bytes)),
+        ("fanouts", Json::UInt(t.fanouts)),
+        ("serializations", Json::UInt(t.serializations)),
+        ("bytes_serialized", Json::UInt(t.bytes_serialized)),
+        ("fanout_allocs", Json::UInt(t.fanout_allocs)),
+        ("cache_hits", Json::UInt(t.cache_hits)),
+        ("buffered_bytes_peak", Json::UInt(t.buffered_bytes_peak)),
+        ("checkpoint_bytes_peak", Json::UInt(t.checkpoint_bytes_peak)),
     ])
 }
 
@@ -479,6 +502,118 @@ pub fn failure_to_json(panel: &FailurePanelResult) -> String {
                         Json::obj(vec![
                             ("scenario", Json::str(&p.scenario)),
                             ("protocol", Json::str(&p.protocol)),
+                            ("result", run_result_json(&p.result)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "skipped",
+            Json::Arr(panel.skipped.iter().map(Json::str).collect()),
+        ),
+    ])
+    .pretty()
+}
+
+/// Render the traffic panel as fixed-width tables: per storm preset, one
+/// row per fan-out mode (serialize-once cached vs clone-per-destination)
+/// with delivery and serialization byte counters, followed by the cached
+/// path's savings factors. Delivery columns are identical between modes by
+/// construction — the panel asserts it — so the table makes the
+/// accounting-only nature of the cache visible at a glance.
+pub fn render_traffic(panel: &TrafficPanelResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== payload traffic panel (mhh) ==");
+    let ratio = |clone: u64, cached: u64| -> String {
+        if cached == 0 {
+            if clone == 0 {
+                "-".to_string()
+            } else {
+                "inf".to_string()
+            }
+        } else {
+            format!("{:.1}x", clone as f64 / cached as f64)
+        }
+    };
+    for scenario in panel.scenarios() {
+        let _ = writeln!(out, "-- {scenario} --");
+        let _ = writeln!(
+            out,
+            "{:>8} | {:>9} | {:>12} | {:>8} | {:>10} | {:>12} | {:>10} | {:>10}",
+            "mode",
+            "delivered",
+            "deliv bytes",
+            "fanouts",
+            "serialize",
+            "bytes ser",
+            "allocs",
+            "cache hits"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(98));
+        for mode in ["cached", "clone"] {
+            let Some(p) = panel.cell(scenario, mode) else {
+                continue;
+            };
+            let t = &p.result.traffic;
+            let _ = writeln!(
+                out,
+                "{:>8} | {:>9} | {:>12} | {:>8} | {:>10} | {:>12} | {:>10} | {:>10}",
+                mode,
+                p.result.delivered_messages,
+                t.delivery_bytes,
+                t.fanouts,
+                t.serializations,
+                t.bytes_serialized,
+                t.fanout_allocs,
+                t.cache_hits
+            );
+        }
+        if let (Some(cached), Some(clone)) = (
+            panel.cell(scenario, "cached"),
+            panel.cell(scenario, "clone"),
+        ) {
+            let (ct, bt) = (&cached.result.traffic, &clone.result.traffic);
+            let _ = writeln!(
+                out,
+                "   cached saves: {} fewer fan-out allocations, {} fewer bytes serialized",
+                ratio(bt.fanout_allocs, ct.fanout_allocs),
+                ratio(bt.bytes_serialized, ct.bytes_serialized),
+            );
+            if ct.buffered_bytes_peak > 0 || ct.checkpoint_bytes_peak > 0 {
+                let _ = writeln!(
+                    out,
+                    "   memory high-water: buffered {} B, checkpoints {} B",
+                    ct.buffered_bytes_peak, ct.checkpoint_bytes_peak
+                );
+            }
+        }
+    }
+    if !panel.skipped.is_empty() {
+        let _ = writeln!(
+            out,
+            "-- skipped (wall-clock budget exhausted): {} --",
+            panel.skipped.join(", ")
+        );
+    }
+    out
+}
+
+/// Serialise the traffic panel to pretty JSON; each point's `result`
+/// carries the full byte-accounting section. Budget-skipped cells are
+/// listed under `"skipped"`.
+pub fn traffic_to_json(panel: &TrafficPanelResult) -> String {
+    Json::obj(vec![
+        (
+            "points",
+            Json::Arr(
+                panel
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("scenario", Json::str(&p.scenario)),
+                            ("mode", Json::str(&p.mode)),
                             ("result", run_result_json(&p.result)),
                         ])
                     })

@@ -23,7 +23,7 @@ use mhh_simnet::{
 
 use crate::builder::SimError;
 use crate::config::{Protocol, ScenarioConfig};
-use crate::metrics::{ClientHandoverLog, HandoverLedger, RecoveryLedger, RunResult};
+use crate::metrics::{ClientHandoverLog, HandoverLedger, RecoveryLedger, RunResult, TrafficReport};
 use crate::protocols::{mhh_for, sub_unsub_wait, ProtocolRegistry, ProtocolSpec};
 use crate::workload::Workload;
 
@@ -38,6 +38,10 @@ fn deployment_config(config: &ScenarioConfig) -> DeploymentConfig {
         link_model: config.link_model(),
         covering: config.covering,
         engine_workers: config.engine_workers,
+        fanout_mode: config.fanout_mode,
+        retained: config.retained,
+        shared_group_size: config.shared_group_size,
+        track_mem: config.track_mem,
     }
 }
 
@@ -334,6 +338,19 @@ fn collect<P: MobilityProtocol>(
     };
     let delivered_messages = stats.class(TrafficClass::EventDelivery).messages;
 
+    let fanout = dep.fanout_stats();
+    let traffic = TrafficReport {
+        delivery_bytes: stats.class(TrafficClass::EventDelivery).bytes,
+        total_wire_bytes: stats.total_bytes(),
+        fanouts: fanout.fanouts,
+        serializations: fanout.serializations,
+        bytes_serialized: fanout.bytes_serialized,
+        fanout_allocs: fanout.fanout_allocs,
+        cache_hits: fanout.cache_hits,
+        buffered_bytes_peak: dep.buffered_bytes_peak(),
+        checkpoint_bytes_peak: dep.checkpoint_bytes_peak(),
+    };
+
     RunResult {
         protocol: protocol.to_string(),
         handoffs,
@@ -348,6 +365,7 @@ fn collect<P: MobilityProtocol>(
         delivered_messages,
         total_hops: stats.total_hops(),
         sim_duration_s: config.duration_s,
+        traffic,
     }
 }
 

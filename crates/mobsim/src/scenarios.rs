@@ -226,6 +226,82 @@ pub fn registry() -> Vec<Scenario> {
             },
         },
         Scenario {
+            name: "fan-in-storm",
+            summary: "MQTT-shaped fan-in: 2,000 publishers flood 100 \
+                      subscribers with 512-byte payloads — many small \
+                      publishes, modest per-event fan-out; the \
+                      serialize-once cache is measured against this shape's \
+                      render-heavy baseline.",
+            config: ScenarioConfig {
+                grid_side: 4,
+                publish_interval_s: 10.0,
+                duration_s: 20.0,
+                seed: 0x4641_4e49,
+                payload_bytes_mean: 512,
+                track_mem: true,
+                storm_publishers: 2_000,
+                storm_subscribers: 100,
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
+            name: "fan-out-storm",
+            summary: "MQTT-shaped fan-out: 100 publishers, 2,000 \
+                      subscribers, 1 KiB payloads — every publish fans out \
+                      to ~125 local subscribers per broker, the shape where \
+                      serialize-once beats clone-per-subscriber by well \
+                      over an order of magnitude.",
+            config: ScenarioConfig {
+                grid_side: 4,
+                publish_interval_s: 10.0,
+                duration_s: 20.0,
+                seed: 0x4641_4e4f,
+                payload_bytes_mean: 1_024,
+                track_mem: true,
+                storm_publishers: 100,
+                storm_subscribers: 2_000,
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
+            name: "retained-replay",
+            summary: "The MQTT retained-message pattern: brokers keep each \
+                      publisher's last event; half the subscribers join \
+                      mid-run and receive the retained matches on connect.",
+            config: ScenarioConfig {
+                grid_side: 4,
+                publish_interval_s: 15.0,
+                duration_s: 60.0,
+                seed: 0x5245_5441,
+                payload_bytes_mean: 512,
+                retained: true,
+                track_mem: true,
+                storm_publishers: 100,
+                storm_subscribers: 400,
+                late_subscriber_fraction: 0.5,
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
+            name: "shared-subscription",
+            summary: "MQTT shared subscriptions: same-broker subscribers are \
+                      bucketed into groups of four and each event is \
+                      delivered to exactly one member per group \
+                      (load-balanced consumption, deterministic pick).",
+            config: ScenarioConfig {
+                grid_side: 4,
+                publish_interval_s: 10.0,
+                duration_s: 30.0,
+                seed: 0x5348_4152,
+                payload_bytes_mean: 512,
+                shared_group_size: 4,
+                track_mem: true,
+                storm_publishers: 100,
+                storm_subscribers: 800,
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
             name: "trace-smoke",
             summary: "Tiny deterministic trace-playback scenario for regression \
                       tests: fixed move list, fixed gaps, no sampled mobility.",
@@ -414,6 +490,36 @@ mod tests {
         // Deterministic end to end under faults.
         let again = run_scenario(&preset.config, Protocol::Mhh);
         assert_eq!(format!("{r:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn storm_presets_are_storm_shaped_and_zero_fault() {
+        for name in [
+            "fan-in-storm",
+            "fan-out-storm",
+            "retained-replay",
+            "shared-subscription",
+        ] {
+            let c = find(name).unwrap().config;
+            assert!(c.is_storm(), "{name} must use the storm workload");
+            assert!(c.faults.is_empty(), "{name} must stay zero-fault");
+            assert!(c.payload_bytes_mean > 0, "{name} must model payloads");
+        }
+        let fan_in = find("fan-in-storm").unwrap().config;
+        assert_eq!(
+            (fan_in.storm_publishers, fan_in.storm_subscribers),
+            (2_000, 100)
+        );
+        let fan_out = find("fan-out-storm").unwrap().config;
+        assert_eq!(
+            (fan_out.storm_publishers, fan_out.storm_subscribers),
+            (100, 2_000)
+        );
+        let replay = find("retained-replay").unwrap().config;
+        assert!(replay.retained);
+        assert_eq!(replay.late_subscriber_fraction, 0.5);
+        let shared = find("shared-subscription").unwrap().config;
+        assert_eq!(shared.shared_group_size, 4);
     }
 
     #[test]

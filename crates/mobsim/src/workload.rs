@@ -60,6 +60,9 @@ impl Workload {
     /// the scenario's own — same topology, same seed).
     pub fn generate_on(config: &ScenarioConfig, network: &Arc<Network>) -> Workload {
         let mut rng = DetRng::new(config.seed);
+        if config.is_storm() {
+            return generate_storm(config, network, &mut rng);
+        }
         let clients = make_clients(config, &mut rng);
         let model = config.mobility.build();
         let world = MobilityWorld {
@@ -84,6 +87,11 @@ impl Workload {
             let client = ClientId(i as u32);
             let mut crng = rng.fork(i as u64 + 1);
 
+            // Payload sizes draw from their own stream, forked only when
+            // modeling is on: zero-payload runs never touch it, keeping
+            // their rng stream — and therefore every golden — unchanged.
+            let mut payload_rng = (config.payload_bytes_mean > 0).then(|| crng.fork(0x5041_594c));
+
             // Publication schedule: one event every `publish_interval_s`,
             // with a per-client phase so publications spread uniformly.
             let phase = crng.range_f64(0.0, config.publish_interval_s);
@@ -91,7 +99,10 @@ impl Workload {
             let mut seq = 0u64;
             while t < horizon {
                 let value = crng.next_f64();
-                let event = make_event(event_id, client, seq, value);
+                let mut event = make_event(event_id, client, seq, value);
+                if let Some(prng) = payload_rng.as_mut() {
+                    event = event.with_payload(sample_payload(prng, config.payload_bytes_mean));
+                }
                 event_id += 1;
                 seq += 1;
                 timeline.push(TimelineEntry {
@@ -188,6 +199,102 @@ impl Workload {
     }
 }
 
+/// Generate an MQTT-shaped storm workload: a static population of
+/// `storm_publishers` pure publishers and `storm_subscribers` pure
+/// subscribers, no mobility. Publishers carry a never-matching filter (they
+/// subscribe to nothing); every subscriber's filter matches every published
+/// event, so full fan-out reconciles exactly: each event is delivered once
+/// per attached subscriber. Subscribers are placed in contiguous id blocks
+/// per broker so shared-subscription groups (consecutive ids) land on the
+/// same home broker. A `late_subscriber_fraction` tail of the subscribers
+/// starts detached and joins midway through the run — the late-joiner shape
+/// retained-replay exercises.
+fn generate_storm(config: &ScenarioConfig, network: &Arc<Network>, rng: &mut DetRng) -> Workload {
+    let brokers = network.broker_count();
+    let pubs = config.storm_publishers as usize;
+    let subs = config.storm_subscribers as usize;
+    let late = (subs as f64 * config.late_subscriber_fraction.clamp(0.0, 1.0)).round() as usize;
+    let horizon = config.duration_s;
+
+    let mut clients = Vec::with_capacity(pubs + subs);
+    for i in 0..pubs {
+        clients.push(ClientSpec {
+            // `v` is drawn from [0, 1), so this never matches: publishers
+            // receive nothing and the audit expects nothing for them.
+            filter: Filter::single("v", Op::Lt, -1.0),
+            home: BrokerId((i % brokers) as u32),
+            mobile: false,
+            initially_attached: true,
+        });
+    }
+    for j in 0..subs {
+        clients.push(ClientSpec {
+            filter: Filter::single("v", Op::Ge, 0.0),
+            home: BrokerId((j * brokers / subs) as u32),
+            mobile: false,
+            initially_attached: j < subs - late,
+        });
+    }
+
+    let mut timeline = Vec::new();
+    let mut publish_count = 0usize;
+    let mut event_id = 1u64;
+    for i in 0..pubs {
+        let client = ClientId(i as u32);
+        let mut crng = rng.fork(i as u64 + 1);
+        let mut payload_rng = (config.payload_bytes_mean > 0).then(|| crng.fork(0x5041_594c));
+        let phase = crng.range_f64(0.0, config.publish_interval_s);
+        let mut t = phase;
+        let mut seq = 0u64;
+        while t < horizon {
+            let value = crng.next_f64();
+            let mut event = make_event(event_id, client, seq, value);
+            if let Some(prng) = payload_rng.as_mut() {
+                event = event.with_payload(sample_payload(prng, config.payload_bytes_mean));
+            }
+            event_id += 1;
+            seq += 1;
+            timeline.push(TimelineEntry {
+                at: SimTime::ZERO + SimDuration::from_secs_f64(t),
+                client,
+                action: ClientAction::Publish(event),
+            });
+            publish_count += 1;
+            t += config.publish_interval_s;
+        }
+    }
+
+    // Late joiners connect (for the first time) at a seeded instant in the
+    // middle half of the run; the broker replays retained matches to them.
+    let mut jrng = rng.fork(0x4c41_5445);
+    for j in (subs - late)..subs {
+        let client = ClientId((pubs + j) as u32);
+        let at = jrng.range_f64(0.25 * horizon, 0.75 * horizon);
+        timeline.push(TimelineEntry {
+            at: SimTime::ZERO + SimDuration::from_secs_f64(at),
+            client,
+            action: ClientAction::Reconnect {
+                broker: clients[pubs + j].home,
+            },
+        });
+    }
+
+    Workload {
+        clients,
+        timeline,
+        publish_count,
+        move_count: 0,
+        proclaimed_count: 0,
+        misproclaimed_count: 0,
+    }
+}
+
+/// Seeded payload size: uniform over `[mean/2, 3·mean/2]`.
+fn sample_payload(rng: &mut DetRng, mean: u32) -> u32 {
+    let half = mean / 2;
+    half + rng.range_u64(0, mean as u64) as u32
+}
+
 /// Pick a uniformly random broker that is neither the departure broker nor
 /// the true destination (requires `count >= 3`).
 fn wrong_destination(rng: &mut DetRng, from: u32, to: u32, count: usize) -> u32 {
@@ -227,6 +334,7 @@ fn make_clients(config: &ScenarioConfig, rng: &mut DetRng) -> Vec<ClientSpec> {
                 filter,
                 home,
                 mobile: mobile_set.contains(&i),
+                initially_attached: true,
             }
         })
         .collect()

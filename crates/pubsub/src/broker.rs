@@ -21,11 +21,13 @@ use mhh_simnet::{Context, Envelope, Network, Node, NodeId, SimDuration, SimTime}
 use crate::address::{AddressBook, BrokerId, ClientId, Peer};
 use crate::dynproto::BoxedMsg;
 use crate::event::Event;
+use crate::event::EventId;
 use crate::filter::Filter;
 use crate::filter_table::FilterTable;
 use crate::messages::{ConnectInfo, NetMsg, ProtocolMessage, RepairMsg};
 use crate::queue::PqId;
 use crate::repair::RepairState;
+use crate::wire::{CachedEvent, FanoutMode, FanoutStats};
 
 /// Where a [`BrokerCtx`] routes outgoing messages.
 ///
@@ -142,6 +144,15 @@ impl<'a, P: ProtocolMessage> BrokerCtx<'a, P> {
             CtxSink::Erased(inner) => inner.schedule(delay, NetMsg::Protocol(BoxedMsg::new(msg))),
         }
     }
+
+    /// Report fan-out buffer allocations to the engine's perf counters
+    /// (see [`Context::note_fanout_allocs`]).
+    pub fn note_fanout_allocs(&mut self, n: u64) {
+        match &mut self.sink {
+            CtxSink::Direct(inner) => inner.note_fanout_allocs(n),
+            CtxSink::Erased(inner) => inner.note_fanout_allocs(n),
+        }
+    }
 }
 
 impl<'a> BrokerCtx<'a, BoxedMsg> {
@@ -226,6 +237,15 @@ pub trait MobilityProtocol: Sized + Send {
         Vec::new()
     }
 
+    /// Total modeled wire bytes of the events in
+    /// [`buffered_events`](Self::buffered_events), without materializing
+    /// them. Sampled by the broker after each message (only when payload
+    /// modeling is on) to track the buffered-memory high-water mark during
+    /// handoff and capture windows.
+    fn buffered_bytes(&self) -> u64 {
+        0
+    }
+
     /// This broker just restarted from a crash: durable core state was
     /// reloaded from the checkpoint, but all pending timers and in-flight
     /// messages were lost while the broker was down. Protocols override this
@@ -253,6 +273,32 @@ pub struct BrokerCore {
     pub covering_enabled: bool,
     /// Overlay-repair bookkeeping (dead peers, detours, partition tunnels).
     pub repair: RepairState,
+    /// How event fan-out materializes wire forms (serialize-once cached
+    /// vs. clone-per-subscriber baseline). Only observable through byte
+    /// and allocation accounting — delivery behavior is identical.
+    pub fanout_mode: FanoutMode,
+    /// Fan-out serialization counters for this broker.
+    pub fanout: FanoutStats,
+    /// When set, this broker keeps the last event of each publisher it
+    /// routed and replays matching retained events to newly attaching
+    /// subscribers (the MQTT retained-message pattern).
+    pub retained_enabled: bool,
+    /// Last routed event per publisher (retained store; empty unless
+    /// [`retained_enabled`](Self::retained_enabled)).
+    pub retained: BTreeMap<ClientId, Event>,
+    /// Shared-subscription group width: matched local subscribers whose
+    /// ids fall in the same `id / size` bucket receive each event on
+    /// exactly one member (load-balanced delivery groups). 0 or 1 = off.
+    pub shared_group_size: u32,
+    /// Track buffered/checkpoint byte high-water marks (enabled together
+    /// with payload modeling; off by default so the hot path stays free
+    /// of sampling).
+    pub track_mem: bool,
+    /// Peak modeled bytes buffered by the mobility protocol at this
+    /// broker (handoff/capture windows).
+    pub buffered_bytes_peak: u64,
+    /// Peak modeled checkpoint size written by this broker.
+    pub checkpoint_bytes_peak: u64,
     /// Per-client allocator for persistent-queue identifiers.
     pq_seq: BTreeMap<ClientId, u32>,
 }
@@ -268,7 +314,55 @@ impl BrokerCore {
             connected: BTreeMap::new(),
             covering_enabled: covering,
             repair: RepairState::default(),
+            fanout_mode: FanoutMode::default(),
+            fanout: FanoutStats::default(),
+            retained_enabled: false,
+            retained: BTreeMap::new(),
+            shared_group_size: 0,
+            track_mem: false,
+            buffered_bytes_peak: 0,
+            checkpoint_bytes_peak: 0,
             pq_seq: BTreeMap::new(),
+        }
+    }
+
+    /// Select the fan-out materialization mode (builder-style).
+    pub fn with_fanout_mode(mut self, mode: FanoutMode) -> Self {
+        self.fanout_mode = mode;
+        self
+    }
+
+    /// Enable the retained-message store and replay (builder-style).
+    pub fn with_retained(mut self, enabled: bool) -> Self {
+        self.retained_enabled = enabled;
+        self
+    }
+
+    /// Set the shared-subscription group width (builder-style); 0 or 1
+    /// disables group collapsing.
+    pub fn with_shared_groups(mut self, size: u32) -> Self {
+        self.shared_group_size = size;
+        self
+    }
+
+    /// Enable buffered/checkpoint memory high-water tracking
+    /// (builder-style).
+    pub fn with_mem_tracking(mut self, enabled: bool) -> Self {
+        self.track_mem = enabled;
+        self
+    }
+
+    /// Record a buffered-bytes sample, keeping the high-water mark.
+    pub fn note_buffered_bytes(&mut self, bytes: u64) {
+        if bytes > self.buffered_bytes_peak {
+            self.buffered_bytes_peak = bytes;
+        }
+    }
+
+    /// Record the modeled size of a checkpoint write.
+    pub fn note_checkpoint_bytes(&mut self, bytes: u64) {
+        if bytes > self.checkpoint_bytes_peak {
+            self.checkpoint_bytes_peak = bytes;
         }
     }
 
@@ -441,6 +535,28 @@ impl BrokerCore {
     }
 }
 
+/// Collapse matched client targets into shared-subscription groups: for
+/// every group (`client.0 / group_size`) with more than zero matched local
+/// members, exactly one member — chosen by the event id, round-robin over
+/// the sorted members — keeps the event. Broker targets (overlay hops)
+/// are never collapsed: remote group members may win the event at their
+/// own broker. Deterministic by construction, so runs reproduce exactly.
+fn collapse_shared_groups(targets: &mut Vec<Peer>, group_size: u32, id: EventId) {
+    let mut groups: BTreeMap<u32, Vec<ClientId>> = BTreeMap::new();
+    targets.retain(|t| match t {
+        Peer::Client(c) => {
+            groups.entry(c.0 / group_size).or_default().push(*c);
+            false
+        }
+        Peer::Broker(_) => true,
+    });
+    for members in groups.values_mut() {
+        members.sort_unstable();
+        let pick = members[(id.0 % members.len() as u64) as usize];
+        targets.push(Peer::Client(pick));
+    }
+}
+
 /// A broker node: protocol-agnostic core plus a mobility protocol.
 pub struct Broker<P: MobilityProtocol> {
     /// Protocol-agnostic state.
@@ -458,8 +574,57 @@ impl<P: MobilityProtocol> Broker<P> {
     /// Route an event that arrived from `from` (a client publish or an
     /// overlay forward): matching broker neighbors get a `Forward`, matching
     /// client entries are handed to the protocol.
+    ///
+    /// When payload modeling is on (`event.wire_size() > 0`), the wire form
+    /// is materialized per [`FanoutMode`]: rendered once and `Arc`-shared
+    /// across all targets (cached), or re-rendered per target (the clone
+    /// baseline). Both modes transport the same `Event` values, so delivery
+    /// behavior — order, timing, audit, ledger — is byte-identical; only
+    /// the serialization/allocation counters differ.
     fn handle_event(&mut self, event: Event, from: Peer, ctx: &mut BrokerCtx<'_, P::Msg>) {
-        let targets = self.core.filters.matching_targets(&event, from);
+        if self.core.retained_enabled {
+            self.core.retained.insert(event.publisher, event.clone());
+        }
+        let mut targets = self.core.filters.matching_targets(&event, from);
+        if self.core.shared_group_size > 1 {
+            collapse_shared_groups(&mut targets, self.core.shared_group_size, event.id);
+        }
+        if !targets.is_empty() {
+            match self.core.fanout_mode {
+                FanoutMode::Cached => {
+                    if let Some(cached) = CachedEvent::render(&event) {
+                        self.core.fanout.fanouts += 1;
+                        self.core.fanout.serializations += 1;
+                        self.core.fanout.bytes_serialized += cached.len() as u64;
+                        self.core.fanout.fanout_allocs += 1;
+                        ctx.note_fanout_allocs(1);
+                        for target in &targets {
+                            let shared = cached.share();
+                            let dest = match target {
+                                Peer::Broker(b) => ctx.book().broker_node(*b).0,
+                                Peer::Client(c) => ctx.book().client_node(*c).0,
+                            };
+                            std::hint::black_box(shared.patch_header(dest));
+                            self.core.fanout.cache_hits += 1;
+                        }
+                    }
+                }
+                FanoutMode::CloneBaseline => {
+                    if event.wire_size() > 0 {
+                        self.core.fanout.fanouts += 1;
+                        for _ in &targets {
+                            let rendered =
+                                CachedEvent::render(&event).expect("wire_size checked above");
+                            self.core.fanout.serializations += 1;
+                            self.core.fanout.bytes_serialized += rendered.len() as u64;
+                            self.core.fanout.fanout_allocs += 1;
+                            ctx.note_fanout_allocs(1);
+                            std::hint::black_box(rendered.bytes());
+                        }
+                    }
+                }
+            }
+        }
         for target in targets {
             match target {
                 Peer::Broker(b) => ctx.forward(b, event.clone()),
@@ -492,6 +657,18 @@ impl<P: MobilityProtocol> Broker<P> {
                         false,
                         bctx,
                     );
+                    // Retained replay: a late subscriber immediately gets the
+                    // last matching event of every publisher this broker has
+                    // routed (the MQTT retained-message pattern). Replay is
+                    // initial-attach only, so mobility handoffs stay
+                    // untouched.
+                    if self.core.retained_enabled {
+                        for event in self.core.retained.values() {
+                            if event.publisher != info.client && info.filter.matches(event) {
+                                bctx.deliver(info.client, event.clone());
+                            }
+                        }
+                    }
                 } else {
                     self.proto.on_client_connect(&mut self.core, info, bctx);
                 }
@@ -570,6 +747,10 @@ impl<P: MobilityProtocol> Node<NetMsg<P::Msg>> for Broker<P> {
             self.core.repair.tunnels.clone(),
         );
         self.dispatch(env.from, env.msg, &mut bctx);
+        if self.core.track_mem {
+            let buffered = self.proto.buffered_bytes();
+            self.core.note_buffered_bytes(buffered);
+        }
     }
 }
 
@@ -679,6 +860,7 @@ mod tests {
     /// A node that is either a broker or a client, so one engine can hold
     /// both. The mobsim crate has its own richer version; this one is for
     /// substrate tests.
+    #[allow(clippy::large_enum_variant)]
     enum TestNode {
         Broker(Broker<NoProtocol>),
         Client(ClientNode),

@@ -21,8 +21,13 @@ use crate::client::ClientNode;
 use crate::event::Event;
 use crate::filter::Filter;
 use crate::messages::{ClientAction, NetMsg};
+use crate::wire::{FanoutMode, FanoutStats};
 
 /// Either a broker or a client, so one engine can hold the whole system.
+// The variants are deliberately unboxed: nodes live in one long-lived Vec,
+// so the size gap costs a few hundred bytes per client slot once, while
+// boxing the broker would put a pointer chase on every event dispatch.
+#[allow(clippy::large_enum_variant)]
 pub enum SimNode<P: MobilityProtocol> {
     /// An event broker.
     Broker(Broker<P>),
@@ -83,6 +88,21 @@ pub struct DeploymentConfig {
     /// the [`mhh_simnet::ParallelEngine`], which reconstructs the serial
     /// delivery sequence byte for byte — results are identical either way.
     pub engine_workers: usize,
+    /// How brokers materialize event wire forms during fan-out: serialize
+    /// once and share ([`FanoutMode::Cached`], the default) or render per
+    /// destination ([`FanoutMode::CloneBaseline`]). Delivery behavior is
+    /// byte-identical either way; only the accounting differs.
+    pub fanout_mode: FanoutMode,
+    /// Enable the retained-message store: brokers keep each publisher's last
+    /// routed event and replay matches to newly attaching subscribers.
+    pub retained: bool,
+    /// Shared-subscription group size: clients on the same broker are
+    /// bucketed into groups of this size and each event goes to exactly one
+    /// member per group. `0` or `1` disables grouping.
+    pub shared_group_size: u32,
+    /// Track broker memory high-water marks (buffered protocol bytes and
+    /// checkpoint sizes). Off by default — the sampling walk is per-message.
+    pub track_mem: bool,
 }
 
 impl Default for DeploymentConfig {
@@ -96,6 +116,10 @@ impl Default for DeploymentConfig {
             link_model: None,
             covering: true,
             engine_workers: 0,
+            fanout_mode: FanoutMode::default(),
+            retained: false,
+            shared_group_size: 0,
+            track_mem: false,
         }
     }
 }
@@ -120,6 +144,12 @@ pub struct ClientSpec {
     pub home: BrokerId,
     /// Whether the client is in the mobile 20 %.
     pub mobile: bool,
+    /// Whether the client starts attached to its home broker with its
+    /// subscription pre-installed (the default). Detached clients join the
+    /// system only when the workload schedules their first
+    /// [`ClientAction::Reconnect`], which the broker treats as an initial
+    /// connect — the late-subscriber shape retained-replay scenarios need.
+    pub initially_attached: bool,
 }
 
 impl<P: MobilityProtocol> Deployment<P> {
@@ -183,7 +213,11 @@ impl<P: MobilityProtocol> Deployment<P> {
             .brokers()
             .map(|b| {
                 Broker::new(
-                    BrokerCore::new(b, book, network.clone(), config.covering),
+                    BrokerCore::new(b, book, network.clone(), config.covering)
+                        .with_fanout_mode(config.fanout_mode)
+                        .with_retained(config.retained)
+                        .with_shared_groups(config.shared_group_size)
+                        .with_mem_tracking(config.track_mem),
                     make_protocol(b),
                 )
             })
@@ -192,9 +226,11 @@ impl<P: MobilityProtocol> Deployment<P> {
         let mut client_nodes = Vec::with_capacity(clients.len());
         for (i, spec) in clients.iter().enumerate() {
             let id = ClientId(i as u32);
-            install_subscription(&mut brokers, &network, id, &spec.filter, spec.home, true);
             let mut node = ClientNode::new(id, book, spec.filter.clone(), spec.home);
-            node.attach_initially();
+            if spec.initially_attached {
+                install_subscription(&mut brokers, &network, id, &spec.filter, spec.home, true);
+                node.attach_initially();
+            }
             node.mobile = spec.mobile;
             client_nodes.push(node);
         }
@@ -260,6 +296,32 @@ impl<P: MobilityProtocol> Deployment<P> {
             .map(|(c, e)| (c, e.id))
             .collect()
     }
+
+    /// Fan-out accounting summed over every broker.
+    pub fn fanout_stats(&self) -> FanoutStats {
+        let mut total = FanoutStats::default();
+        for b in self.brokers() {
+            total.merge(&b.core.fanout);
+        }
+        total
+    }
+
+    /// Highest buffered-bytes sample observed at any single broker (only
+    /// non-zero when [`DeploymentConfig::track_mem`] was set).
+    pub fn buffered_bytes_peak(&self) -> u64 {
+        self.brokers()
+            .map(|b| b.core.buffered_bytes_peak)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest modeled checkpoint written by any single broker restart.
+    pub fn checkpoint_bytes_peak(&self) -> u64 {
+        self.brokers()
+            .map(|b| b.core.checkpoint_bytes_peak)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +337,7 @@ mod tests {
                 filter: Filter::single("group", Op::Eq, 1i64),
                 home: BrokerId((i % brokers) as u32),
                 mobile: false,
+                initially_attached: true,
             })
             .collect()
     }

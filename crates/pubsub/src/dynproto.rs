@@ -41,6 +41,7 @@ use crate::messages::{ConnectInfo, ProtocolMessage};
 trait ErasedMessage: fmt::Debug + Send {
     fn kind(&self) -> &'static str;
     fn traffic_class(&self) -> TrafficClass;
+    fn wire_bytes(&self) -> u32;
     fn clone_box(&self) -> Box<dyn ErasedMessage>;
     fn as_any(&self) -> &dyn Any;
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
@@ -52,6 +53,9 @@ impl<M: ProtocolMessage> ErasedMessage for M {
     }
     fn traffic_class(&self) -> TrafficClass {
         ProtocolMessage::traffic_class(self)
+    }
+    fn wire_bytes(&self) -> u32 {
+        ProtocolMessage::wire_bytes(self)
     }
     fn clone_box(&self) -> Box<dyn ErasedMessage> {
         Box::new(self.clone())
@@ -116,6 +120,9 @@ impl ProtocolMessage for BoxedMsg {
     fn traffic_class(&self) -> TrafficClass {
         self.0.traffic_class()
     }
+    fn wire_bytes(&self) -> u32 {
+        self.0.wire_bytes()
+    }
 }
 
 /// The object-safe mirror of [`MobilityProtocol`]: same hooks, with the
@@ -165,6 +172,10 @@ pub trait DynProtocol: Send {
 
     /// Events currently buffered for disconnected or mid-handoff clients.
     fn buffered_events(&self) -> Vec<(ClientId, Event)>;
+
+    /// Total modeled wire bytes of the buffered events (see
+    /// [`MobilityProtocol::buffered_bytes`]).
+    fn buffered_bytes(&self) -> u64;
 
     /// This broker just restarted from a crash (see
     /// [`MobilityProtocol::on_restart`]).
@@ -244,6 +255,10 @@ impl<P: MobilityProtocol> DynProtocol for ErasedProtocol<P> {
         self.0.buffered_events()
     }
 
+    fn buffered_bytes(&self) -> u64 {
+        self.0.buffered_bytes()
+    }
+
     fn on_restart(&mut self, core: &mut BrokerCore, ctx: &mut BrokerCtx<'_, BoxedMsg>) {
         self.0.on_restart(core, &mut ctx.erased::<P::Msg>());
     }
@@ -311,6 +326,10 @@ impl MobilityProtocol for Box<dyn DynProtocol> {
         self.as_ref().buffered_events()
     }
 
+    fn buffered_bytes(&self) -> u64 {
+        self.as_ref().buffered_bytes()
+    }
+
     fn on_restart(&mut self, core: &mut BrokerCore, ctx: &mut BrokerCtx<'_, Self::Msg>) {
         self.as_mut().on_restart(core, ctx);
     }
@@ -359,6 +378,7 @@ mod tests {
                 filter: Filter::single("group", Op::Eq, 1i64),
                 home: BrokerId((i % 9) as u32),
                 mobile: false,
+                initially_attached: true,
             })
             .collect()
     }

@@ -44,9 +44,19 @@ pub struct Event {
     pub seq: u64,
     /// Simulation time at which the event was published.
     pub published_at: SimTime,
+    /// Modeled application payload size in bytes. Zero (the default) means
+    /// payload modeling is off: [`wire_size`](Event::wire_size) reports 0
+    /// and every byte counter downstream stays silent, so workloads that
+    /// never opt in behave exactly as before.
+    pub payload_bytes: u32,
     /// Shared attribute payload.
     pub data: Arc<EventData>,
 }
+
+/// Fixed per-message framing cost charged by [`Event::wire_size`]: event
+/// id (8) + publisher (4) + per-publisher seq (8) + attribute count and
+/// flags (4).
+pub const WIRE_HEADER_BYTES: u32 = 24;
 
 impl Event {
     /// Build an event from attribute pairs.
@@ -56,8 +66,45 @@ impl Event {
             publisher,
             seq,
             published_at: SimTime::ZERO,
+            payload_bytes: 0,
             data: Arc::new(EventData { attrs }),
         }
+    }
+
+    /// Attach a modeled payload size (builder-style). Zero turns payload
+    /// modeling back off for this event.
+    pub fn with_payload(mut self, bytes: u32) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// The modeled wire form size of this event in bytes, or 0 when
+    /// payload modeling is off (`payload_bytes == 0`).
+    ///
+    /// The size model is deliberately simple and deterministic: a fixed
+    /// header ([`WIRE_HEADER_BYTES`]), each attribute's name length plus a
+    /// type-dependent value encoding (8 bytes for numbers, 1 for booleans,
+    /// length-prefixed strings), and the opaque application payload. It
+    /// only feeds byte *accounting* — latency never depends on it — so
+    /// enabling it cannot change delivery behavior.
+    pub fn wire_size(&self) -> u32 {
+        if self.payload_bytes == 0 {
+            return 0;
+        }
+        let attrs: u32 = self
+            .data
+            .attrs
+            .iter()
+            .map(|(name, value)| {
+                let value_bytes = match value {
+                    Value::Int(_) | Value::Float(_) => 8,
+                    Value::Str(s) => 2 + s.len() as u32,
+                    Value::Bool(_) => 1,
+                };
+                2 + name.len() as u32 + value_bytes
+            })
+            .sum();
+        WIRE_HEADER_BYTES + attrs + self.payload_bytes
     }
 
     /// Look up an attribute by name.
@@ -170,5 +217,18 @@ mod tests {
     #[test]
     fn display_mentions_publisher_and_seq() {
         assert_eq!(format!("{}", sample()), "e1[C7 #4]");
+    }
+
+    #[test]
+    fn wire_size_is_zero_with_payload_modeling_off() {
+        assert_eq!(sample().wire_size(), 0);
+    }
+
+    #[test]
+    fn wire_size_counts_header_attrs_and_payload() {
+        let e = sample().with_payload(100);
+        // header 24 + group (2+5+8) + price (2+5+8) + symbol (2+6+2+4)
+        // + payload 100
+        assert_eq!(e.wire_size(), 24 + 15 + 15 + 14 + 100);
     }
 }

@@ -214,6 +214,25 @@ impl Filter {
     pub fn is_empty(&self) -> bool {
         self.constraints.is_empty()
     }
+
+    /// Modeled serialized size of the filter, using the same per-value cost
+    /// model as [`Event::wire_size`](crate::event::Event::wire_size):
+    /// 2-byte constraint count, then per constraint a 2-byte name length,
+    /// the name, a 1-byte operator, and the encoded value. Feeds the
+    /// checkpoint-size accounting only — it never affects matching or
+    /// simulated latency.
+    pub fn modeled_bytes(&self) -> u64 {
+        let mut total = 2u64;
+        for c in &self.constraints {
+            let value = match &c.value {
+                Value::Int(_) | Value::Float(_) => 8,
+                Value::Str(s) => 2 + s.len() as u64,
+                Value::Bool(_) => 1,
+            };
+            total += 2 + c.attr.len() as u64 + 1 + value;
+        }
+        total
+    }
 }
 
 impl fmt::Display for Filter {

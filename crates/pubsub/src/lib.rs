@@ -47,6 +47,7 @@ pub mod messages;
 pub mod queue;
 pub mod repair;
 pub mod value;
+pub mod wire;
 
 pub use address::{AddressBook, BrokerId, ClientId, Peer};
 pub use broker::{Broker, BrokerCore, BrokerCtx, MobilityProtocol};
@@ -61,3 +62,4 @@ pub use messages::{ClientAction, ConnectInfo, NetMsg, ProtocolMessage, RepairMsg
 pub use queue::{EventQueue, PqId, QueueKind};
 pub use repair::{repair_drives, BrokerCheckpoint, RepairState};
 pub use value::Value;
+pub use wire::{CachedEvent, FanoutMode, FanoutStats};

@@ -24,6 +24,13 @@ pub trait ProtocolMessage: Clone + std::fmt::Debug + Send + 'static {
     /// [`TrafficClass::MobilityControl`]; moved events are
     /// [`TrafficClass::MobilityTransfer`].
     fn traffic_class(&self) -> TrafficClass;
+    /// Modeled wire size in bytes (0 when payload modeling is off, which
+    /// is also the default for control-only messages). Protocols that move
+    /// events should report the sum of the moved events' wire sizes so
+    /// handoff transfers show up in bytes-on-wire accounting.
+    fn wire_bytes(&self) -> u32 {
+        0
+    }
 }
 
 /// Information a client presents when it (re)connects to a broker.
@@ -263,6 +270,15 @@ impl<P: ProtocolMessage> Message for NetMsg<P> {
                 RepairMsg::Tunnel { .. } => "repair_tunnel",
             },
             NetMsg::Action(_) => "action",
+        }
+    }
+
+    fn wire_bytes(&self) -> u32 {
+        match self {
+            NetMsg::Publish(e) | NetMsg::Deliver(e) | NetMsg::Forward(e) => e.wire_size(),
+            NetMsg::Protocol(p) => p.wire_bytes(),
+            NetMsg::Repair(RepairMsg::Tunnel { inner, .. }) => inner.wire_bytes(),
+            _ => 0,
         }
     }
 }

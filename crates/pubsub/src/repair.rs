@@ -70,6 +70,22 @@ pub struct BrokerCheckpoint {
     pub connected: BTreeMap<ClientId, Filter>,
 }
 
+impl BrokerCheckpoint {
+    /// Modeled on-disk size of the checkpoint: a 4-byte peer id plus the
+    /// filter's [`Filter::modeled_bytes`] per filter-table entry, and the
+    /// same per connected client. Pure accounting — restores never pay a
+    /// size-dependent latency.
+    pub fn modeled_bytes(&self) -> u64 {
+        let table: u64 = self
+            .filters
+            .entries()
+            .map(|e| 4 + e.filter.modeled_bytes())
+            .sum();
+        let connected: u64 = self.connected.values().map(|f| 4 + f.modeled_bytes()).sum();
+        table + connected
+    }
+}
+
 impl BrokerCore {
     /// Snapshot this broker's durable state.
     pub fn checkpoint(&self) -> BrokerCheckpoint {
@@ -298,6 +314,10 @@ impl<P: MobilityProtocol> Broker<P> {
                 // round-trip models the reload; timers and in-flight messages
                 // were dropped by the engine while the window was active).
                 let checkpoint = self.core.checkpoint();
+                if self.core.track_mem {
+                    let bytes = checkpoint.modeled_bytes();
+                    self.core.note_checkpoint_bytes(bytes);
+                }
                 self.core.restore(checkpoint);
                 self.core.repair = RepairState::default();
                 self.proto.on_restart(&mut self.core, ctx);
@@ -492,11 +512,13 @@ mod tests {
                 filter: filter(1),
                 home: sub_home,
                 mobile: false,
+                initially_attached: true,
             },
             ClientSpec {
                 filter: filter(99),
                 home: pub_home,
                 mobile: false,
+                initially_attached: true,
             },
         ];
         let schedule = FaultSchedule::new().crash(
@@ -572,11 +594,13 @@ mod tests {
                 filter: filter(1),
                 home: sub_home,
                 mobile: false,
+                initially_attached: true,
             },
             ClientSpec {
                 filter: filter(99),
                 home: pub_home,
                 mobile: false,
+                initially_attached: true,
             },
         ];
         let schedule = FaultSchedule::new()
@@ -633,11 +657,13 @@ mod tests {
                 filter: filter(1),
                 home: BrokerId(a as u32),
                 mobile: false,
+                initially_attached: true,
             },
             ClientSpec {
                 filter: filter(99),
                 home: BrokerId(b as u32),
                 mobile: false,
+                initially_attached: true,
             },
         ];
         let schedule = FaultSchedule::new().partition(

@@ -85,6 +85,7 @@ pub struct Context<M> {
     now: SimTime,
     self_id: NodeId,
     outbox: Vec<Outgoing<M>>,
+    fanout_allocs: u64,
 }
 
 #[derive(Debug)]
@@ -100,12 +101,29 @@ impl<M> Context<M> {
             now,
             self_id,
             outbox,
+            fanout_allocs: 0,
         }
     }
 
     /// Surrender the outbox (engine-side drain after the node callback).
     pub(crate) fn into_outbox(self) -> Vec<Outgoing<M>> {
         self.outbox
+    }
+
+    /// Fan-out allocations reported by the node during this delivery (see
+    /// [`note_fanout_allocs`](Self::note_fanout_allocs)); harvested by the
+    /// engine before the outbox drain.
+    pub(crate) fn fanout_allocs(&self) -> u64 {
+        self.fanout_allocs
+    }
+
+    /// Report `n` payload-buffer allocations performed while fanning an
+    /// event out to its matched destinations. Nodes that serialize once and
+    /// share the rendered buffer report 1 per publish; a clone-per-subscriber
+    /// baseline reports 1 per destination. Accumulated into
+    /// [`EnginePerf::fanout_allocs`].
+    pub fn note_fanout_allocs(&mut self, n: u64) {
+        self.fanout_allocs += n;
     }
 
     /// Current simulation time.
@@ -176,6 +194,10 @@ pub struct EnginePerf {
     /// Storage growth events across queue slab/heap, clock table and
     /// scratch outbox.
     pub alloc_events: u64,
+    /// Payload-buffer allocations reported by nodes while fanning events out
+    /// (see [`Context::note_fanout_allocs`]). Zero unless the workload
+    /// models payloads.
+    pub fanout_allocs: u64,
 }
 
 /// Wall-clock cost of each hot-path phase, accumulated while
@@ -263,6 +285,9 @@ pub struct Engine<M: Message, N: Node<M>> {
     faults: Option<Arc<FaultSchedule>>,
     /// Every envelope dropped by the fault plan, in delivery order.
     drops: Vec<DropRecord>,
+    /// Fan-out allocations harvested from delivery contexts (see
+    /// [`Context::note_fanout_allocs`]).
+    fanout_allocs: u64,
     /// Next reserved low sequence number handed to
     /// [`schedule_external_reserved`](Self::schedule_external_reserved).
     external_next: u64,
@@ -304,6 +329,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
             scratch_grows: 0,
             faults: None,
             drops: Vec::new(),
+            fanout_allocs: 0,
             external_next: 0,
             external_end: 0,
             profile: None,
@@ -364,6 +390,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
             alloc_events: self.queue.alloc_events()
                 + self.link_clock.alloc_events()
                 + self.scratch_grows,
+            fanout_allocs: self.fanout_allocs,
         }
     }
 
@@ -498,7 +525,12 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                         sent_at + cost.latency
                     });
                     let t1 = profiling.then(std::time::Instant::now);
-                    self.stats.record(msg.traffic_class(), msg.kind(), hops);
+                    let bytes = msg.wire_bytes();
+                    self.stats
+                        .record(msg.traffic_class(), msg.kind(), hops, bytes);
+                    if bytes > 0 {
+                        self.stats.record_link(origin.0, to.0, bytes);
+                    }
                     let t2 = profiling.then(std::time::Instant::now);
                     self.queue.push(
                         at,
@@ -571,6 +603,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         if let (Some(p), Some(t0)) = (self.profile.as_deref_mut(), t0) {
             p.protocol_ns += t0.elapsed().as_nanos() as u64;
         }
+        self.fanout_allocs += ctx.fanout_allocs();
         let mut out = ctx.into_outbox();
         if out.capacity() > self.scratch_cap {
             self.scratch_cap = out.capacity();

@@ -24,6 +24,25 @@
 //! degrades to a single shard running whole-horizon windows: correct,
 //! just not parallel.
 //!
+//! ## Adaptive windows
+//!
+//! Fixed `L`-wide windows burn one barrier per lookahead span even when the
+//! run is quiescent (one shard draining a long stretch of local timers and
+//! intra-shard traffic). The engine therefore grows the window after quiet
+//! barriers: a barrier that routed **zero** cross-shard envelopes doubles a
+//! growth factor `G` (capped at 64), any routed envelope resets it to 1,
+//! and the next window may span `G·L` — but only when exactly **one**
+//! shard has pending events below the grown end. That guard is what keeps
+//! the merged run byte-identical to the serial engine: with a single
+//! active shard, the window's delivery set is a contiguous prefix of the
+//! serial schedule (no other shard has anything to deliver in the span),
+//! and the active shard *self-clamps* its window to `first cross-shard
+//! emission + L` the moment it parks an envelope — everything it parks
+//! afterwards arrives at or past the clamped end, so no shard ever
+//! processes past an in-flight arrival. With `G = 1`, or whenever two or
+//! more shards are active below the grown end, the window is the classic
+//! uniform `[t_next, t_next + L)`.
+//!
 //! # Exact sequence reconstruction
 //!
 //! The serial engine's total delivery order is `(at, seq)` with `seq` the
@@ -131,6 +150,11 @@ pub fn thread_allowance() -> usize {
     THREAD_ALLOWANCE.with(Cell::get)
 }
 
+/// Cap on the adaptive window growth factor: a fully quiet run's windows
+/// stop growing at 64 lookahead spans, bounding how far a single window
+/// can speculate past the point where traffic resumes.
+const MAX_WINDOW_GROWTH: u64 = 64;
+
 /// Where a shard's window stops.
 #[derive(Debug, Clone, Copy)]
 enum WindowEnd {
@@ -194,19 +218,37 @@ struct ShardState<M, N> {
     delivered: u64,
     windows_active: u64,
     handoffs: u64,
+    /// Fabric lookahead, mirrored here so the grown-window self-clamp can
+    /// compute `first cross-shard emission + L` without the engine.
+    lookahead: SimDuration,
+    /// The end bound of the window currently running. `enqueue_outgoing`
+    /// tightens it when the self-clamp arms and an envelope parks, so
+    /// `run_window` re-reads it every iteration.
+    window_end: WindowEnd,
+    /// Armed for grown windows only: the first parked cross-shard envelope
+    /// pulls `window_end` down to its emission time + lookahead.
+    clamp_on_park: bool,
+    /// Fan-out allocation units harvested from delivery contexts (see
+    /// [`Context::note_fanout_allocs`]).
+    fanout_allocs: u64,
 }
 
 impl<M: Message, N: Node<M>> ShardState<M, N> {
     /// Run this shard up to `end`, delivering at most `cap` non-dropped
-    /// messages. Returns the number delivered.
-    fn run_window(&mut self, end: WindowEnd, cap: u64) -> u64 {
+    /// messages. Returns the number delivered. When `clamp` is set (grown
+    /// windows), the first parked cross-shard envelope tightens the end to
+    /// its emission time + lookahead, so the bound is re-read every
+    /// iteration.
+    fn run_window(&mut self, end: WindowEnd, clamp: bool, cap: u64) -> u64 {
+        self.window_end = end;
+        self.clamp_on_park = clamp;
         let mut count = 0u64;
         let mut popped_any = false;
         while count < cap {
             let Some((at, key)) = self.queue.peek_key() else {
                 break;
             };
-            let due = match end {
+            let due = match self.window_end {
                 WindowEnd::Unbounded => true,
                 WindowEnd::Inclusive(h) => at <= h,
                 WindowEnd::Exclusive(h) => at < h,
@@ -253,6 +295,7 @@ impl<M: Message, N: Node<M>> ShardState<M, N> {
         let local = self.local_of[to.index()] as usize;
         let mut ctx = Context::with_outbox(at, to, std::mem::take(&mut self.scratch));
         self.nodes[local].on_message(env, &mut ctx);
+        self.fanout_allocs += ctx.fanout_allocs();
         let mut out = ctx.into_outbox();
         if out.capacity() > self.scratch_cap {
             self.scratch_cap = out.capacity();
@@ -291,7 +334,12 @@ impl<M: Message, N: Node<M>> ShardState<M, N> {
                         hops = cost.hops;
                         sent_at + cost.latency
                     });
-                    self.stats.record(msg.traffic_class(), msg.kind(), hops);
+                    let bytes = msg.wire_bytes();
+                    self.stats
+                        .record(msg.traffic_class(), msg.kind(), hops, bytes);
+                    if bytes > 0 {
+                        self.stats.record_link(origin.0, to.0, bytes);
+                    }
                     let env = Envelope {
                         from: origin,
                         to,
@@ -302,6 +350,26 @@ impl<M: Message, N: Node<M>> ShardState<M, N> {
                     if dest == self.id {
                         self.queue.push(at, pkey, env);
                     } else {
+                        if self.clamp_on_park {
+                            // First cross-shard emission of a grown window:
+                            // everything parked from here on is emitted at
+                            // ≥ sent_at, so it arrives at ≥ sent_at + L —
+                            // clamping the window there keeps the delivery
+                            // set an exact prefix of the serial schedule.
+                            self.clamp_on_park = false;
+                            let bound = sent_at + self.lookahead;
+                            self.window_end = match self.window_end {
+                                WindowEnd::Unbounded => WindowEnd::Exclusive(bound),
+                                WindowEnd::Inclusive(h) => {
+                                    if bound <= h {
+                                        WindowEnd::Exclusive(bound)
+                                    } else {
+                                        WindowEnd::Inclusive(h)
+                                    }
+                                }
+                                WindowEnd::Exclusive(h) => WindowEnd::Exclusive(h.min(bound)),
+                            };
+                        }
                         self.outbound[dest as usize].push((at, pkey, env));
                         self.handoffs += 1;
                     }
@@ -328,6 +396,7 @@ struct Job<M, N> {
     idx: usize,
     state: ShardState<M, N>,
     end: WindowEnd,
+    clamp: bool,
     cap: u64,
 }
 
@@ -344,12 +413,18 @@ enum Exec<M, N> {
 }
 
 impl<M: Message, N: Node<M>> Exec<M, N> {
-    fn run_all(&mut self, shards: &mut [Option<ShardState<M, N>>], end: WindowEnd, cap: u64) {
+    fn run_all(
+        &mut self,
+        shards: &mut [Option<ShardState<M, N>>],
+        end: WindowEnd,
+        clamp: bool,
+        cap: u64,
+    ) {
         match self {
             Exec::Inline => {
                 for slot in shards.iter_mut() {
                     let state = slot.as_mut().expect("shard present");
-                    state.run_window(end, cap);
+                    state.run_window(end, clamp, cap);
                 }
             }
             Exec::Pool { jobs, results } => {
@@ -361,6 +436,7 @@ impl<M: Message, N: Node<M>> Exec<M, N> {
                             idx,
                             state,
                             end,
+                            clamp,
                             cap,
                         })
                         .expect("worker thread died");
@@ -424,6 +500,10 @@ pub struct ParallelEngine<M: Message, N: Node<M>> {
     /// Shard stats merged at the end of every public run call.
     merged_stats: TrafficStats,
     windows: u64,
+    /// Adaptive window growth factor `G` (see module docs): doubled after
+    /// barriers that routed zero cross-shard envelopes (capped at
+    /// [`MAX_WINDOW_GROWTH`]), reset to 1 by any routed envelope.
+    growth: u64,
     /// Barrier scratch: per-shard provisional→true maps, merge cursors,
     /// and the drop-merge buffer — reused so barriers stop allocating.
     prov_maps: Vec<Vec<u64>>,
@@ -509,6 +589,10 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
                     delivered: 0,
                     windows_active: 0,
                     handoffs: 0,
+                    lookahead,
+                    window_end: WindowEnd::Unbounded,
+                    clamp_on_park: false,
+                    fanout_allocs: 0,
                 })
             })
             .collect();
@@ -528,6 +612,7 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
             faults: None,
             merged_stats: TrafficStats::new(),
             windows: 0,
+            growth: 1,
             prov_maps: Vec::new(),
             heads: Vec::new(),
             drop_scratch: Vec::new(),
@@ -607,6 +692,7 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
             perf.peak_queue_depth += s.queue.peak_len();
             perf.alloc_events +=
                 s.queue.alloc_events() + s.link_clock.alloc_events() + s.scratch_grows;
+            perf.fanout_allocs += s.fanout_allocs;
         }
         perf
     }
@@ -794,7 +880,7 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
                 let res_tx = res_tx.clone();
                 scope.spawn(move || {
                     while let Ok(mut job) = rx.recv() {
-                        job.state.run_window(job.end, job.cap);
+                        job.state.run_window(job.end, job.clamp, job.cap);
                         if res_tx.send((job.idx, job.state)).is_err() {
                             break;
                         }
@@ -821,10 +907,21 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
     fn run_windows(&mut self, limit: Limit, exec: &mut Exec<M, N>) -> RunOutcome {
         let budget = self.config.max_deliveries;
         let start = self.delivered;
+        let k = self.shards.len();
+        // Per-shard earliest pending instants, rescanned each window (used
+        // by the adaptive single-active-shard check).
+        let mut earliest: Vec<Option<SimTime>> = vec![None; k];
         loop {
             let mut t_next: Option<SimTime> = None;
-            for s in &self.shards {
-                if let Some((at, _)) = s.as_ref().expect("shard present").queue.peek_key() {
+            for (s, slot) in self.shards.iter().enumerate() {
+                let head = slot
+                    .as_ref()
+                    .expect("shard present")
+                    .queue
+                    .peek_key()
+                    .map(|(at, _)| at);
+                earliest[s] = head;
+                if let Some(at) = head {
                     t_next = Some(t_next.map_or(at, |t| t.min(at)));
                 }
             }
@@ -843,7 +940,8 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
                 }
                 _ => {}
             }
-            let end = if self.shards.len() == 1 {
+            let mut clamp = false;
+            let end = if k == 1 {
                 // Degenerate single shard: no cross-shard traffic exists,
                 // so one window may span the whole limit.
                 match limit {
@@ -852,10 +950,29 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
                     Limit::StrictlyBefore(h) => WindowEnd::Exclusive(h),
                 }
             } else {
-                let w = t_next + self.lookahead;
                 // Emissions at t ≥ t_next arrive cross-shard at ≥ t_next +
-                // lookahead = w, so any window bounded above by w is safe;
-                // when w overshoots the horizon, clip to the horizon with
+                // lookahead, so any window bounded above by that is safe
+                // unconditionally. After quiet barriers the window may grow
+                // to `G` lookahead spans — but only when exactly one shard
+                // has anything pending below the grown end (otherwise two
+                // shards could deliver either side of an in-flight parked
+                // envelope and the merged order would diverge from the
+                // serial schedule). The lone active shard self-clamps at
+                // its first cross-shard emission (see `enqueue_outgoing`),
+                // which keeps every window an exact serial prefix.
+                let mut w = t_next + self.lookahead;
+                if self.growth > 1 {
+                    let grown = t_next + self.lookahead.times(self.growth);
+                    let active = earliest
+                        .iter()
+                        .filter(|e| e.is_some_and(|at| at < grown))
+                        .count();
+                    if active == 1 {
+                        w = grown;
+                        clamp = true;
+                    }
+                }
+                // When w overshoots the horizon, clip to the horizon with
                 // the limit's own inclusivity.
                 match limit {
                     Limit::Completion => WindowEnd::Exclusive(w),
@@ -880,9 +997,14 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
             // barrier notices, which mirrors the serial cap's granularity
             // of "stop after the delivery that crossed the line".
             let cap = budget.saturating_sub(self.delivered - start).max(1);
-            exec.run_all(&mut self.shards, end, cap);
+            exec.run_all(&mut self.shards, end, clamp, cap);
             self.windows += 1;
-            self.barrier();
+            let routed = self.barrier();
+            self.growth = if routed == 0 {
+                (self.growth * 2).min(MAX_WINDOW_GROWTH)
+            } else {
+                1
+            };
             if self.delivered - start >= budget {
                 self.refresh_merged_stats();
                 return RunOutcome::HitDeliveryLimit;
@@ -893,8 +1015,9 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
     /// The window barrier: reconstruct the serial sequence assignment by
     /// k-way merging the shard delivery logs, then relabel queues, route
     /// cross-shard handoffs, and merge drop records (module docs, "Exact
-    /// sequence reconstruction").
-    fn barrier(&mut self) {
+    /// sequence reconstruction"). Returns the number of cross-shard
+    /// envelopes routed, which drives the adaptive window growth factor.
+    fn barrier(&mut self) -> u64 {
         let k = self.shards.len();
         let mut maps = std::mem::take(&mut self.prov_maps);
         maps.resize_with(k, Vec::new);
@@ -949,6 +1072,7 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
         }
         // Route the parked cross-shard envelopes with their resolved keys.
         // Buffers are taken and restored so their capacity is reused.
+        let mut routed = 0u64;
         for src in 0..k {
             for dest in 0..k {
                 if dest == src {
@@ -958,6 +1082,7 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
                     &mut self.shards[src].as_mut().expect("shard present").outbound[dest],
                 );
                 if !buf.is_empty() {
+                    routed += buf.len() as u64;
                     let dq = self.shards[dest].as_mut().expect("shard present");
                     for (at, key, env) in buf.drain(..) {
                         dq.queue.push(at, resolve_key(key, &maps), env);
@@ -982,6 +1107,7 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
         self.delivered = delivered;
         self.prov_maps = maps;
         self.heads = heads;
+        routed
     }
 
     /// Re-merge shard stats into the cached [`stats`](Self::stats) view.

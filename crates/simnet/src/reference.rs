@@ -40,17 +40,20 @@ use crate::time::SimTime;
 struct LegacyStats {
     per_class: BTreeMap<TrafficClass, ClassCounter>,
     per_kind: BTreeMap<String, ClassCounter>,
+    per_link: BTreeMap<(u32, u32), u64>,
     deliveries: u64,
 }
 
 impl LegacyStats {
-    fn record(&mut self, class: TrafficClass, kind: &'static str, hops: u32) {
+    fn record(&mut self, class: TrafficClass, kind: &'static str, hops: u32, bytes: u32) {
         let c = self.per_class.entry(class).or_default();
         c.messages += 1;
         c.hops += hops as u64;
+        c.bytes += bytes as u64;
         let k = self.per_kind.entry(kind.to_string()).or_default();
         k.messages += 1;
         k.hops += hops as u64;
+        k.bytes += bytes as u64;
     }
 
     /// Convert to the modern representation for comparison. The handful of
@@ -64,6 +67,9 @@ impl LegacyStats {
         }
         for (kind, &counter) in &self.per_kind {
             stats.add_kind_counter(Box::leak(kind.clone().into_boxed_str()), counter);
+        }
+        for (&(src, dst), &bytes) in &self.per_link {
+            stats.add_link_bytes(src, dst, bytes);
         }
         stats.deliveries = self.deliveries;
         stats
@@ -185,8 +191,12 @@ impl<M: Message, N: Node<M>> ReferenceEngine<M, N> {
                     // engine's jitter key), then bump the counter.
                     let cost = self.fabric.link(origin, to, sent_at, *sends);
                     *sends += 1;
+                    let bytes = msg.wire_bytes();
                     self.stats
-                        .record(msg.traffic_class(), msg.kind(), cost.hops);
+                        .record(msg.traffic_class(), msg.kind(), cost.hops, bytes);
+                    if bytes > 0 {
+                        *self.stats.per_link.entry((origin.0, to.0)).or_insert(0) += bytes as u64;
+                    }
                     let at = (sent_at + cost.latency).max(*clock);
                     *clock = at;
                     self.queue.push(Reverse(Scheduled {

@@ -108,22 +108,34 @@ pub trait Message: Clone + std::fmt::Debug {
     fn kind(&self) -> &'static str {
         "message"
     }
+
+    /// Modeled size of the message on the wire, in bytes. The default of 0
+    /// keeps byte accounting inert (and allocation-free) for message types
+    /// that do not model payloads; protocols opt in by returning the
+    /// rendered wire size of payload-bearing messages.
+    fn wire_bytes(&self) -> u32 {
+        0
+    }
 }
 
-/// A (messages, hops) pair.
+/// A (messages, hops, bytes) triple.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassCounter {
     /// Number of messages recorded.
     pub messages: u64,
     /// Total hops traveled by those messages.
     pub hops: u64,
+    /// Total modeled bytes-on-wire of those messages (0 unless the workload
+    /// models payloads — see [`Message::wire_bytes`]).
+    pub bytes: u64,
 }
 
 impl ClassCounter {
     #[inline]
-    fn bump(&mut self, hops: u32) {
+    fn bump(&mut self, hops: u32, bytes: u32) {
         self.messages += 1;
         self.hops += hops as u64;
+        self.bytes += bytes as u64;
     }
 }
 
@@ -160,6 +172,10 @@ pub struct TrafficStats {
     ptr_used: usize,
     /// One-entry cache: the last label recorded and its index.
     last: Option<(&'static str, u32)>,
+    /// Per-link bytes-on-wire, keyed by `(src, dst)` node index. Only ever
+    /// populated for messages with a non-zero wire size, so workloads
+    /// without payload modeling never touch (or allocate) the map.
+    per_link: std::collections::BTreeMap<(u32, u32), u64>,
     /// Total number of engine deliveries (including timers).
     pub deliveries: u64,
 }
@@ -173,6 +189,7 @@ impl Default for TrafficStats {
             ptr_index: Vec::new(),
             ptr_used: 0,
             last: None,
+            per_link: std::collections::BTreeMap::new(),
             deliveries: 0,
         }
     }
@@ -191,8 +208,8 @@ impl TrafficStats {
 
     /// Record one transported message.
     #[inline]
-    pub fn record(&mut self, class: TrafficClass, kind: &'static str, hops: u32) {
-        self.per_class[class.index()].bump(hops);
+    pub fn record(&mut self, class: TrafficClass, kind: &'static str, hops: u32, bytes: u32) {
+        self.per_class[class.index()].bump(hops, bytes);
         let idx = match self.last {
             Some((s, idx)) if same_label(s, kind) => idx,
             _ => {
@@ -201,7 +218,15 @@ impl TrafficStats {
                 idx
             }
         };
-        self.kind_counts[idx as usize].bump(hops);
+        self.kind_counts[idx as usize].bump(hops, bytes);
+    }
+
+    /// Record bytes-on-wire for one directed link. Call only for messages
+    /// with a non-zero wire size: the per-link map stays empty (and the hot
+    /// path allocation-free) when payloads are not modeled.
+    #[inline]
+    pub fn record_link(&mut self, src: u32, dst: u32, bytes: u32) {
+        *self.per_link.entry((src, dst)).or_insert(0) += bytes as u64;
     }
 
     /// Resolve a label to its interned index via the pointer table
@@ -262,6 +287,7 @@ impl TrafficStats {
         let c = &mut self.per_class[class.index()];
         c.messages += counter.messages;
         c.hops += counter.hops;
+        c.bytes += counter.bytes;
     }
 
     /// Add a whole pre-aggregated kind counter (reference-engine stats
@@ -270,6 +296,13 @@ impl TrafficStats {
         let idx = self.intern_name(kind) as usize;
         self.kind_counts[idx].messages += counter.messages;
         self.kind_counts[idx].hops += counter.hops;
+        self.kind_counts[idx].bytes += counter.bytes;
+    }
+
+    /// Add pre-aggregated per-link bytes (reference-engine stats conversion
+    /// and parallel-shard merging).
+    pub(crate) fn add_link_bytes(&mut self, src: u32, dst: u32, bytes: u64) {
+        *self.per_link.entry((src, dst)).or_insert(0) += bytes;
     }
 
     /// Find-or-create the counter index for a label by *content*.
@@ -342,6 +375,27 @@ impl TrafficStats {
             .sum()
     }
 
+    /// Total modeled bytes-on-wire over all network classes (0 when the
+    /// workload does not model payloads).
+    pub fn total_bytes(&self) -> u64 {
+        TrafficClass::ALL
+            .iter()
+            .filter(|c| c.is_network())
+            .map(|c| self.per_class[c.index()].bytes)
+            .sum()
+    }
+
+    /// Iterate over per-link bytes-on-wire (sorted by `(src, dst)` — the
+    /// map is a `BTreeMap`, so the order is deterministic).
+    pub fn per_link(&self) -> impl Iterator<Item = ((u32, u32), u64)> + '_ {
+        self.per_link.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of directed links that carried modeled payload bytes.
+    pub fn links_with_bytes(&self) -> usize {
+        self.per_link.len()
+    }
+
     /// Merge another stats collector into this one (used when aggregating
     /// across repeated runs of the same experiment point). Kind counters
     /// merge by label content.
@@ -351,12 +405,17 @@ impl TrafficStats {
             let o = other.per_class[class.index()];
             c.messages += o.messages;
             c.hops += o.hops;
+            c.bytes += o.bytes;
         }
         for (i, &name) in other.kind_names.iter().enumerate() {
             let idx = self.intern_name(name) as usize;
             let o = other.kind_counts[i];
             self.kind_counts[idx].messages += o.messages;
             self.kind_counts[idx].hops += o.hops;
+            self.kind_counts[idx].bytes += o.bytes;
+        }
+        for (&(src, dst), &bytes) in other.per_link.iter() {
+            *self.per_link.entry((src, dst)).or_insert(0) += bytes;
         }
         self.deliveries += other.deliveries;
     }
@@ -385,11 +444,17 @@ impl std::fmt::Debug for TrafficStats {
                 f.debug_map().entries(self.0.kinds()).finish()
             }
         }
-        f.debug_struct("TrafficStats")
-            .field("deliveries", &self.deliveries)
+        let mut s = f.debug_struct("TrafficStats");
+        s.field("deliveries", &self.deliveries)
             .field("per_class", &Classes(self))
-            .field("per_kind", &Kinds(self))
-            .finish()
+            .field("per_kind", &Kinds(self));
+        // Rendered only when payload bytes were actually recorded, so the
+        // Debug output (pinned by equivalence suites) is unchanged for
+        // workloads without payload modeling.
+        if !self.per_link.is_empty() {
+            s.field("per_link", &self.per_link);
+        }
+        s.finish()
     }
 }
 
@@ -400,10 +465,10 @@ mod tests {
     #[test]
     fn record_accumulates_by_class_and_kind() {
         let mut s = TrafficStats::new();
-        s.record(TrafficClass::MobilityControl, "sub_migration", 1);
-        s.record(TrafficClass::MobilityControl, "sub_migration", 1);
-        s.record(TrafficClass::MobilityTransfer, "pq_transfer", 5);
-        s.record(TrafficClass::EventRouting, "forward", 1);
+        s.record(TrafficClass::MobilityControl, "sub_migration", 1, 0);
+        s.record(TrafficClass::MobilityControl, "sub_migration", 1, 0);
+        s.record(TrafficClass::MobilityTransfer, "pq_transfer", 5, 0);
+        s.record(TrafficClass::EventRouting, "forward", 1, 0);
 
         assert_eq!(s.class(TrafficClass::MobilityControl).messages, 2);
         assert_eq!(s.class(TrafficClass::MobilityControl).hops, 2);
@@ -417,7 +482,7 @@ mod tests {
     #[test]
     fn timers_never_count_as_network_traffic() {
         let mut s = TrafficStats::new();
-        s.record(TrafficClass::Timer, "timer", 0);
+        s.record(TrafficClass::Timer, "timer", 0, 0);
         assert_eq!(s.total_messages(), 0);
         assert_eq!(s.total_hops(), 0);
         assert!(!TrafficClass::Timer.is_network());
@@ -445,10 +510,10 @@ mod tests {
     #[test]
     fn merge_adds_counters() {
         let mut a = TrafficStats::new();
-        a.record(TrafficClass::EventRouting, "forward", 3);
+        a.record(TrafficClass::EventRouting, "forward", 3, 0);
         let mut b = TrafficStats::new();
-        b.record(TrafficClass::EventRouting, "forward", 4);
-        b.record(TrafficClass::MobilityControl, "handoff_request", 6);
+        b.record(TrafficClass::EventRouting, "forward", 4, 0);
+        b.record(TrafficClass::MobilityControl, "handoff_request", 6, 0);
         b.deliveries = 10;
         a.merge(&b);
         assert_eq!(a.class(TrafficClass::EventRouting).hops, 7);
@@ -470,10 +535,10 @@ mod tests {
     #[test]
     fn kinds_iterate_sorted_by_name() {
         let mut s = TrafficStats::new();
-        s.record(TrafficClass::EventRouting, "zeta", 1);
-        s.record(TrafficClass::EventRouting, "alpha", 2);
-        s.record(TrafficClass::EventRouting, "mid", 3);
-        s.record(TrafficClass::EventRouting, "alpha", 2);
+        s.record(TrafficClass::EventRouting, "zeta", 1, 0);
+        s.record(TrafficClass::EventRouting, "alpha", 2, 0);
+        s.record(TrafficClass::EventRouting, "mid", 3, 0);
+        s.record(TrafficClass::EventRouting, "alpha", 2, 0);
         let names: Vec<&str> = s.kinds().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["alpha", "mid", "zeta"]);
         assert_eq!(s.kind("alpha").messages, 2);
@@ -492,8 +557,8 @@ mod tests {
         let second: &'static str = &B[0..7]; // "forward" at offset 0
         assert!(!std::ptr::eq(first.as_ptr(), second.as_ptr()));
         let mut s = TrafficStats::new();
-        s.record(TrafficClass::EventRouting, first, 1);
-        s.record(TrafficClass::EventRouting, second, 2);
+        s.record(TrafficClass::EventRouting, first, 1, 0);
+        s.record(TrafficClass::EventRouting, second, 2, 0);
         assert_eq!(s.kind("forward").messages, 2);
         assert_eq!(s.kind("forward").hops, 3);
         assert_eq!(s.kinds().count(), 1);
@@ -513,8 +578,8 @@ mod tests {
             labels.push(&BIG[i..i + 4]);
         }
         for &label in &labels {
-            s.record(TrafficClass::EventRouting, label, 1);
-            s.record(TrafficClass::EventRouting, label, 1);
+            s.record(TrafficClass::EventRouting, label, 1, 0);
+            s.record(TrafficClass::EventRouting, label, 1, 0);
         }
         for label in labels {
             assert_eq!(s.kind(label).messages, 2, "label {label}");
@@ -526,12 +591,12 @@ mod tests {
     #[test]
     fn debug_output_is_content_keyed_and_deterministic() {
         let mut a = TrafficStats::new();
-        a.record(TrafficClass::EventRouting, "beta", 1);
-        a.record(TrafficClass::Timer, "alpha", 0);
+        a.record(TrafficClass::EventRouting, "beta", 1, 0);
+        a.record(TrafficClass::Timer, "alpha", 0, 0);
         let mut b = TrafficStats::new();
         // Same content, different record order → same Debug rendering.
-        b.record(TrafficClass::Timer, "alpha", 0);
-        b.record(TrafficClass::EventRouting, "beta", 1);
+        b.record(TrafficClass::Timer, "alpha", 0, 0);
+        b.record(TrafficClass::EventRouting, "beta", 1, 0);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
         assert!(format!("{a:?}").contains("alpha"));
     }

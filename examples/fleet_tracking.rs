@@ -29,6 +29,7 @@ fn main() {
             filter: Filter::single("zone", Op::Eq, (i as i64) % zones).and("kind", Op::Eq, "order"),
             home: BrokerId((i * 4 % 36) as u32),
             mobile: true,
+            initially_attached: true,
         })
         .collect();
     // The dispatch centre.
@@ -36,6 +37,7 @@ fn main() {
         filter: Filter::single("kind", Op::Eq, "ack"),
         home: BrokerId(18),
         mobile: false,
+        initially_attached: true,
     });
     let dispatch = ClientId(vans as u32);
 

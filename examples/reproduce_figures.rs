@@ -8,6 +8,7 @@
 //! cargo run --release --example reproduce_figures -- fig6    # Figure 6 only
 //! cargo run --release --example reproduce_figures -- handover # §4.1 vs §4.2 comparison
 //! cargo run --release --example reproduce_figures -- failure  # fault-injection panel
+//! cargo run --release --example reproduce_figures -- traffic  # storm / byte-accounting panel
 //! cargo run --release --example reproduce_figures -- fig5 --paper-scale
 //! cargo run --release --example reproduce_figures -- --workers 4
 //! cargo run --release --example reproduce_figures -- --budget-ms 60000
@@ -40,6 +41,12 @@
 //! loss counts from the recovery ledger, which reconcile exactly with the
 //! delivery audit.
 //!
+//! The `traffic` mode runs the four MQTT-shaped storm presets (fan-in,
+//! fan-out, retained replay, shared subscriptions) with MHH under both
+//! fan-out modes — serialize-once cached and clone-per-destination — and
+//! reports bytes on the wire, serialization counts and the cached path's
+//! allocation savings on provably byte-identical delivery results.
+//!
 //! `--dump-ledger <path>` additionally exports every executed figure
 //! point's complete per-handover ledger (one JSON record per handover:
 //! kind, from→to, depart/arrive, first-delivery gap, buffered/lost/
@@ -54,13 +61,16 @@
 
 use mhh_suite::mobility::sweep::available_workers;
 use mhh_suite::mobsim::experiments::{
-    failure_panel_budgeted_in, FigureResult, FIG5_CONN_PERIODS_S, FIG6_GRID_SIDES,
+    failure_panel_budgeted_in, traffic_panel_budgeted_in, FigureResult, FIG5_CONN_PERIODS_S,
+    FIG6_GRID_SIDES,
 };
 use mhh_suite::mobsim::report::{
     failure_to_json, figure_ledgers_json, proclaimed_to_json, render_failure_panel, render_figure,
-    render_proclaimed, to_json,
+    render_proclaimed, render_traffic, to_json, traffic_to_json,
 };
-use mhh_suite::mobsim::{scenarios, ProtocolRegistry, Sim, SimBuilder, FAILURE_PRESETS};
+use mhh_suite::mobsim::{
+    scenarios, ProtocolRegistry, Sim, SimBuilder, FAILURE_PRESETS, TRAFFIC_PRESETS,
+};
 
 /// Parse `--workers N` (defaults to all cores).
 fn workers_flag(args: &[String]) -> usize {
@@ -137,7 +147,7 @@ fn main() {
     let dump_ledger = dump_ledger_flag(&args);
     let engine_workers = engine_workers_flag(&args);
     let mut executed_figures: Vec<FigureResult> = Vec::new();
-    let modes = ["fig5", "fig6", "handover", "failure"];
+    let modes = ["fig5", "fig6", "handover", "failure", "traffic"];
     let explicit = args.iter().any(|a| modes.contains(&a.as_str()));
     // Without an explicit mode the example keeps its documented default:
     // both figures. The handover comparison and failure panel are opt-in.
@@ -233,6 +243,22 @@ fn main() {
         std::fs::write("failure_panel.json", failure_to_json(&panel))
             .expect("write failure_panel.json");
         println!("wrote failure_panel.json");
+    }
+    if want("traffic") {
+        let presets: Vec<_> = TRAFFIC_PRESETS
+            .iter()
+            .map(|name| scenarios::find(name).expect("storm preset registered"))
+            .collect();
+        let panel = traffic_panel_budgeted_in(
+            &presets,
+            workers,
+            budget_ms.map(std::time::Duration::from_millis),
+        );
+        println!("{}", render_traffic(&panel));
+        report_skipped(&panel.skipped);
+        std::fs::write("traffic_panel.json", traffic_to_json(&panel))
+            .expect("write traffic_panel.json");
+        println!("wrote traffic_panel.json");
     }
     if let Some(path) = dump_ledger {
         // One document with every executed figure's per-handover records,

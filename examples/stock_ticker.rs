@@ -38,12 +38,14 @@ fn trader_specs() -> Vec<ClientSpec> {
             ),
             home: BrokerId((i * 2 % 25) as u32),
             mobile: i < 4,
+            initially_attached: true,
         })
         .chain(std::iter::once(ClientSpec {
             // The market-data gateway: publishes, subscribes to nothing real.
             filter: Filter::single("symbol", Op::Eq, "NONE"),
             home: BrokerId(12),
             mobile: false,
+            initially_attached: true,
         }))
         .collect()
 }

@@ -1,0 +1,210 @@
+//! Differential property tests of the serialize-once fan-out path: the
+//! cached [`CachedEvent`](mhh_suite::pubsub::CachedEvent) mode and the
+//! clone-per-subscriber baseline must produce byte-identical delivery
+//! results — serialization is an accounting model, never behavior — while
+//! the accounting itself must reconcile exactly with the delivery audit and
+//! show the order-of-magnitude allocation win the cache exists for.
+
+use mhh_suite::mobsim::{run_scenario, scenarios, FanoutMode, Protocol, RunResult, ScenarioConfig};
+
+/// A small storm: 20 publishers, 120 subscribers on a 3×3 grid, modeled
+/// payloads. Full fan-out — every subscriber's filter matches every event —
+/// so byte totals reconcile in closed form.
+fn mini_storm() -> ScenarioConfig {
+    ScenarioConfig {
+        grid_side: 3,
+        publish_interval_s: 20.0,
+        duration_s: 60.0,
+        seed: 0xD1FF,
+        payload_bytes_mean: 256,
+        track_mem: true,
+        storm_publishers: 20,
+        storm_subscribers: 120,
+        ..ScenarioConfig::paper_defaults()
+    }
+}
+
+/// A seeded churn scenario with payload modeling on: mobile clients,
+/// handoffs, buffered event migration — the path where cached wire forms
+/// ride through protocol queues and transfers.
+fn churn() -> ScenarioConfig {
+    ScenarioConfig {
+        grid_side: 4,
+        clients_per_broker: 3,
+        mobile_fraction: 0.25,
+        conn_mean_s: 40.0,
+        disc_mean_s: 40.0,
+        publish_interval_s: 20.0,
+        duration_s: 400.0,
+        seed: 11,
+        payload_bytes_mean: 200,
+        ..ScenarioConfig::paper_defaults()
+    }
+}
+
+fn run_both(config: &ScenarioConfig, protocol: Protocol) -> (RunResult, RunResult) {
+    let cached = run_scenario(
+        &config.clone().with_fanout_mode(FanoutMode::Cached),
+        protocol,
+    );
+    let clone = run_scenario(
+        &config.clone().with_fanout_mode(FanoutMode::CloneBaseline),
+        protocol,
+    );
+    (cached, clone)
+}
+
+/// Strip the serialization-side counters (the only fields that *should*
+/// differ between modes) and compare everything else byte for byte.
+fn assert_delivery_identical(cached: &RunResult, clone: &RunResult, label: &str) {
+    let strip = |r: &RunResult| {
+        let mut r = r.clone();
+        r.traffic.serializations = 0;
+        r.traffic.bytes_serialized = 0;
+        r.traffic.fanout_allocs = 0;
+        r.traffic.cache_hits = 0;
+        r.traffic.fanouts = 0;
+        format!("{r:?}")
+    };
+    assert_eq!(
+        strip(cached),
+        strip(clone),
+        "{label}: delivery stats, audit and ledgers must be byte-identical \
+         between fan-out modes"
+    );
+}
+
+#[test]
+fn cached_and_clone_fanout_deliver_identically_across_seeded_churn() {
+    for protocol in [Protocol::Mhh, Protocol::SubUnsub, Protocol::HomeBroker] {
+        let (cached, clone) = run_both(&churn(), protocol);
+        assert_delivery_identical(&cached, &clone, protocol.label());
+        assert!(
+            cached.traffic.delivery_bytes > 0,
+            "payloads must be modeled"
+        );
+    }
+    // Across seeds too, on the paper's own protocol.
+    for seed in [12u64, 13] {
+        let cfg = ScenarioConfig { seed, ..churn() };
+        let (cached, clone) = run_both(&cfg, Protocol::Mhh);
+        assert_delivery_identical(&cached, &clone, "mhh-seeded");
+    }
+}
+
+#[test]
+fn storm_byte_totals_reconcile_with_per_message_sizes() {
+    let (cached, clone) = run_both(&mini_storm(), Protocol::Mhh);
+    assert_delivery_identical(&cached, &clone, "mini-storm");
+
+    // Full fan-out: every published event reaches every one of the 120
+    // attached subscribers exactly once, so delivery bytes are exactly
+    // (subscribers × Σ per-event wire size). The audit supplies the
+    // delivered count; wire sizes come from the generated workload itself.
+    let workload = mhh_suite::mobsim::Workload::generate(&mini_storm());
+    let total_wire: u64 = workload
+        .timeline
+        .iter()
+        .filter_map(|e| match &e.action {
+            mhh_suite::pubsub::ClientAction::Publish(ev) => Some(ev.wire_size() as u64),
+            _ => None,
+        })
+        .sum();
+    assert!(total_wire > 0);
+    assert_eq!(
+        cached.audit.expected,
+        workload.publish_count as u64 * 120,
+        "full fan-out: every subscriber expects every event"
+    );
+    assert_eq!(cached.audit.delivered, cached.audit.expected, "no loss");
+    assert_eq!(
+        cached.traffic.delivery_bytes,
+        120 * total_wire,
+        "delivery bytes must equal subscribers × total published wire bytes"
+    );
+    assert_eq!(clone.traffic.delivery_bytes, cached.traffic.delivery_bytes);
+}
+
+#[test]
+fn cached_fanout_saves_an_order_of_magnitude_on_storms() {
+    let (cached, clone) = run_both(&mini_storm(), Protocol::Mhh);
+    assert!(
+        cached.traffic.fanout_allocs * 10 <= clone.traffic.fanout_allocs,
+        "cached path must allocate ≥10× less: cached {} vs clone {}",
+        cached.traffic.fanout_allocs,
+        clone.traffic.fanout_allocs
+    );
+    assert!(
+        cached.traffic.bytes_serialized * 10 <= clone.traffic.bytes_serialized,
+        "cached path must serialize ≥10× fewer bytes: cached {} vs clone {}",
+        cached.traffic.bytes_serialized,
+        clone.traffic.bytes_serialized
+    );
+    assert!(
+        cached.traffic.cache_hits > 0,
+        "the cache must actually serve destinations"
+    );
+    // The memory tracker saw protocol buffers only if events were parked;
+    // on a static storm it stays quiet, but the counters must at least be
+    // internally consistent.
+    assert_eq!(cached.traffic.fanouts, clone.traffic.fanouts);
+    assert_eq!(
+        cached.traffic.serializations, cached.traffic.fanout_allocs,
+        "cached mode allocates exactly once per serialization"
+    );
+}
+
+#[test]
+fn retained_replay_preset_reaches_late_joiners() {
+    let cfg = ScenarioConfig {
+        storm_publishers: 10,
+        storm_subscribers: 40,
+        duration_s: 60.0,
+        publish_interval_s: 15.0,
+        ..scenarios::find("retained-replay")
+            .expect("registered")
+            .config
+    };
+    let (cached, clone) = run_both(&cfg, Protocol::Mhh);
+    assert_delivery_identical(&cached, &clone, "retained-replay");
+    // Late joiners received replayed retained events on connect: total
+    // deliveries exceed what their post-join live stream alone explains is
+    // hard to pin generically, but replay must at least produce deliveries
+    // to the detached half that joined mid-run.
+    assert!(cached.delivered_messages > 0);
+}
+
+#[test]
+fn shared_subscription_groups_split_the_stream_deterministically() {
+    // 12 publishers + 36 subscribers on 9 brokers: subscriber ids start at
+    // 12 (a multiple of the group size) and land 4 per broker, so the
+    // id-bucket groups coincide exactly with the per-broker populations —
+    // each event collapses to exactly one delivery per broker.
+    let cfg = ScenarioConfig {
+        shared_group_size: 4,
+        storm_publishers: 12,
+        storm_subscribers: 36,
+        late_subscriber_fraction: 0.0,
+        ..mini_storm()
+    };
+    let (cached, clone) = run_both(&cfg, Protocol::Mhh);
+    assert_delivery_identical(&cached, &clone, "shared-subscription");
+    let no_groups = run_scenario(
+        &ScenarioConfig {
+            shared_group_size: 0,
+            ..cfg.clone()
+        },
+        Protocol::Mhh,
+    );
+    assert_eq!(
+        cached.delivered_messages * 4,
+        no_groups.delivered_messages,
+        "aligned groups of 4 must collapse fan-out to exactly one delivery \
+         per group: grouped {} vs ungrouped {}",
+        cached.delivered_messages,
+        no_groups.delivered_messages
+    );
+    // Deterministic: the same grouped run reproduces byte for byte.
+    let again = run_scenario(&cfg, Protocol::Mhh);
+    assert_eq!(format!("{cached:?}"), format!("{again:?}"));
+}

@@ -158,6 +158,7 @@ fn hand_built_deployments_run_registry_protocols() {
         filter: mhh_suite::pubsub::Filter::single("k", mhh_suite::pubsub::Op::Eq, 1i64),
         home: BrokerId(0),
         mobile: true,
+        initially_attached: true,
     }];
     let scenario = fig5_seeded();
     let network = scenario.build_network();

@@ -21,6 +21,7 @@ fn static_pubsub_reaches_every_matching_subscriber_on_a_large_grid() {
             filter: Filter::single("group", Op::Eq, (i % 3) as i64),
             home: BrokerId((i % 49) as u32),
             mobile: false,
+            initially_attached: true,
         })
         .collect();
     let mut dep: Deployment<NoProtocol> = Deployment::build(&config, &clients, |_| NoProtocol);
