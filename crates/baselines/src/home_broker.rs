@@ -147,7 +147,7 @@ impl MobilityProtocol for HomeBroker {
         // client first (it is the oldest backlog), then proceed normally.
         if let Some(mut q) = self.expected.remove(&client) {
             for ev in q.drain() {
-                ctx.deliver(client, ev);
+                core.deliver(client, ev, ctx);
             }
         }
         if info.home_broker == core.id {
@@ -157,7 +157,7 @@ impl MobilityProtocol for HomeBroker {
             rec.location = None;
             let stored: Vec<Event> = rec.store.drain();
             for ev in stored {
-                ctx.deliver(client, ev);
+                core.deliver(client, ev, ctx);
             }
         } else {
             // Foreign broker: remember the home and register the new
@@ -262,7 +262,7 @@ impl MobilityProtocol for HomeBroker {
                 // the client is here, buffer if it was proclaimed to arrive,
                 // otherwise it is lost (the paper's reliability gap).
                 if core.is_connected(client) {
-                    ctx.deliver(client, event);
+                    core.deliver(client, event, ctx);
                 } else if let Some(q) = self.expected.get_mut(&client) {
                     q.push(event);
                 }
@@ -315,7 +315,7 @@ impl MobilityProtocol for HomeBroker {
             }
             None => {
                 if connected_here {
-                    ctx.deliver(client, event);
+                    core.deliver(client, event, ctx);
                 } else {
                     rec.store.push(event);
                 }

@@ -137,21 +137,32 @@ impl RootRecord {
 
     /// Deliver through the per-publisher watermark: drop copies and
     /// stragglers the client has effectively moved past.
-    fn deliver_checked(&mut self, client: ClientId, ev: Event, ctx: &mut BrokerCtx<'_, PsvrMsg>) {
+    fn deliver_checked(
+        &mut self,
+        core: &mut BrokerCore,
+        client: ClientId,
+        ev: Event,
+        ctx: &mut BrokerCtx<'_, PsvrMsg>,
+    ) {
         let next = self.seen.entry(ev.publisher).or_insert(0);
         if ev.seq < *next {
             return;
         }
         *next = ev.seq + 1;
-        ctx.deliver(client, ev);
+        core.deliver(client, ev, ctx);
     }
 
     /// Go (back) to live delivery: flush everything held, in order.
-    fn go_live(&mut self, client: ClientId, ctx: &mut BrokerCtx<'_, PsvrMsg>) {
+    fn go_live(
+        &mut self,
+        core: &mut BrokerCore,
+        client: ClientId,
+        ctx: &mut BrokerCtx<'_, PsvrMsg>,
+    ) {
         self.stabilizing = false;
         let held: Vec<Event> = self.parked.drain();
         for ev in held {
-            self.deliver_checked(client, ev, ctx);
+            self.deliver_checked(core, client, ev, ctx);
         }
     }
 }
@@ -252,7 +263,7 @@ impl MobilityProtocol for Psvr {
                 },
             );
         } else {
-            rec.go_live(client, ctx);
+            rec.go_live(core, client, ctx);
         }
         self.arm_tick(ctx);
     }
@@ -335,9 +346,9 @@ impl MobilityProtocol for Psvr {
                 match self.roots.get_mut(&client) {
                     Some(rec) if rec.connected => {
                         for ev in events {
-                            rec.deliver_checked(client, ev, ctx);
+                            rec.deliver_checked(core, client, ev, ctx);
                         }
-                        rec.go_live(client, ctx);
+                        rec.go_live(core, client, ctx);
                     }
                     Some(rec) => {
                         rec.stabilizing = false;
@@ -386,7 +397,7 @@ impl MobilityProtocol for Psvr {
                 for client in give_up {
                     if let Some(rec) = self.roots.get_mut(&client) {
                         rec.idle_ticks = 0;
-                        rec.go_live(client, ctx);
+                        rec.go_live(core, client, ctx);
                     }
                 }
                 for (client, filter) in expired {
@@ -410,7 +421,7 @@ impl MobilityProtocol for Psvr {
         let connected = core.is_connected(client);
         match self.roots.get_mut(&client) {
             Some(rec) if (rec.connected || connected) && !rec.stabilizing => {
-                rec.deliver_checked(client, event, ctx)
+                rec.deliver_checked(core, client, event, ctx)
             }
             // Disconnected — or holding for the sweep so its older backlog
             // can be delivered first.
@@ -418,7 +429,9 @@ impl MobilityProtocol for Psvr {
             // No root: the event matched a not-yet-withdrawn stale entry.
             // Deliver if the client happens to be attached; otherwise it is
             // lost and the audit says so.
-            None if connected => ctx.deliver(client, event),
+            None if connected => {
+                core.deliver(client, event, ctx);
+            }
             None => {}
         }
     }

@@ -192,12 +192,13 @@ impl SubUnsub {
     /// delivered it (the duplicate-suppression step of the protocol).
     fn deliver_once(
         st: &mut SuClient,
+        core: &mut BrokerCore,
         client: ClientId,
         event: Event,
         ctx: &mut BrokerCtx<'_, SuMsg>,
     ) {
         if st.delivered.insert(event.id) {
-            ctx.deliver(client, event);
+            core.deliver(client, event, ctx);
         }
     }
 
@@ -241,7 +242,7 @@ impl SubUnsub {
         merged.merge_dedup_sorted(handoff.incoming);
         if handoff.client_connected && core.is_connected(client) {
             for ev in merged.drain() {
-                Self::deliver_once(st, client, ev, ctx);
+                Self::deliver_once(st, core, client, ev, ctx);
             }
         } else {
             // The client left again before the handoff finished: the merged
@@ -327,7 +328,7 @@ impl MobilityProtocol for SubUnsub {
                     handoff.client_connected = true;
                 } else if let Some(mut store) = st.store.take() {
                     for ev in store.drain() {
-                        Self::deliver_once(st, client, ev, ctx);
+                        Self::deliver_once(st, core, client, ev, ctx);
                     }
                 }
             }
@@ -401,7 +402,7 @@ impl MobilityProtocol for SubUnsub {
                     }
                 } else if core.is_connected(client) {
                     for event in events {
-                        Self::deliver_once(st, client, event, ctx);
+                        Self::deliver_once(st, core, client, event, ctx);
                     }
                 }
             }
@@ -451,7 +452,7 @@ impl MobilityProtocol for SubUnsub {
         let connected = core.is_connected(client);
         let Some(st) = self.clients.get_mut(&client) else {
             if connected {
-                ctx.deliver(client, event);
+                core.deliver(client, event, ctx);
             }
             return;
         };
@@ -464,7 +465,7 @@ impl MobilityProtocol for SubUnsub {
             return;
         }
         if connected {
-            Self::deliver_once(st, client, event, ctx);
+            Self::deliver_once(st, core, client, event, ctx);
         }
     }
 

@@ -264,7 +264,7 @@ fn pull_next(st: &mut MhhClient, core: &mut BrokerCore, client: ClientId, ctx: &
             let d = st.dest.as_mut().expect("dest state present");
             for ev in events {
                 if d.client_connected && !d.aborted {
-                    ctx.deliver(client, ev);
+                    core.deliver(client, ev, ctx);
                 } else {
                     d.imm.push(ev);
                 }
@@ -303,14 +303,14 @@ fn finalize_dest(
         // client arrived after they did), then the TQ captures, then the
         // events that arrived over the new route — exactly the PQ-list order.
         for ev in d.imm.drain() {
-            ctx.deliver(client, ev);
+            core.deliver(client, ev, ctx);
         }
         for ev in d.tq_buf.drain() {
-            ctx.deliver(client, ev);
+            core.deliver(client, ev, ctx);
         }
         if let Some(mut q) = d.new_q.take() {
             for ev in q.drain() {
-                ctx.deliver(client, ev);
+                core.deliver(client, ev, ctx);
             }
         }
         st.anchor = Some(AnchorState::default());
@@ -406,7 +406,7 @@ impl MobilityProtocol for Mhh {
                 d.aborted = false;
                 let backlog: Vec<Event> = d.imm.drain();
                 for ev in backlog {
-                    ctx.deliver(client, ev);
+                    core.deliver(client, ev, ctx);
                 }
             }
             pull_next(st, core, client, ctx);
@@ -782,7 +782,7 @@ impl MobilityProtocol for Mhh {
                     match stage {
                         TransferStage::PqList => {
                             if d.client_connected && !d.aborted {
-                                ctx.deliver(client, event);
+                                core.deliver(client, event, ctx);
                             } else {
                                 d.imm.push(event);
                             }
@@ -932,7 +932,7 @@ impl MobilityProtocol for Mhh {
         let Some(st) = self.clients.get_mut(&client) else {
             // No protocol state: the client is simply attached and live.
             if connected {
-                ctx.deliver(client, event);
+                core.deliver(client, event, ctx);
             }
             return;
         };
@@ -964,7 +964,7 @@ impl MobilityProtocol for Mhh {
                 }
             }
             if connected {
-                ctx.deliver(client, event);
+                core.deliver(client, event, ctx);
                 return;
             }
             // Anchor exists but no open queue and the client is away: open
@@ -979,7 +979,7 @@ impl MobilityProtocol for Mhh {
             return;
         }
         if connected {
-            ctx.deliver(client, event);
+            core.deliver(client, event, ctx);
         }
         // Otherwise the event matched a stale entry; dropping it here would
         // surface as loss in the delivery audit, which is the correct way to

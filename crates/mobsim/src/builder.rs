@@ -307,6 +307,36 @@ impl SimBuilder {
         self
     }
 
+    /// Set the per-message link loss and corruption probabilities (clamped
+    /// to `[0, 1]`); `(0, 0)` restores the lossless byte-identical fast
+    /// path.
+    pub fn loss(mut self, loss_rate: f64, corruption_rate: f64) -> Self {
+        self.configure_in_place(|c| {
+            c.loss_rate = loss_rate.clamp(0.0, 1.0);
+            c.corruption_rate = corruption_rate.clamp(0.0, 1.0);
+        });
+        self
+    }
+
+    /// Set the broker duplicate-suppression window (`0` = off).
+    pub fn dedup_window(mut self, window: usize) -> Self {
+        self.configure_in_place(|c| c.dedup_window = window);
+        self
+    }
+
+    /// Enable/disable publisher-side ack/retransmit.
+    pub fn retransmit(mut self, retransmit: bool) -> Self {
+        self.configure_in_place(|c| c.retransmit = retransmit);
+        self
+    }
+
+    /// Set the neighbour-replicated checkpoint period in milliseconds
+    /// (`0` = the legacy local self-checkpoint restore).
+    pub fn checkpoint_replication_ms(mut self, period_ms: u64) -> Self {
+        self.configure_in_place(|c| c.checkpoint_replication_ms = period_ms);
+        self
+    }
+
     /// Switch to a storm-shaped workload (static publishers/subscribers, no
     /// mobility); `(0, 0)` restores the paper's mobile population.
     pub fn storm(mut self, publishers: u32, subscribers: u32) -> Self {

@@ -7,7 +7,8 @@ use std::sync::Arc;
 use mhh_mobility::ModelKind;
 use mhh_pubsub::FanoutMode;
 use mhh_simnet::{
-    DegradedWindow, FaultSchedule, LinkModel, Network, NodeId, SimDuration, SimTime, TopologyKind,
+    DegradedWindow, FaultSchedule, LinkModel, LossModel, Network, NodeId, SimDuration, SimTime,
+    TopologyKind,
 };
 
 /// Which of the paper's three protocols to run on the generic fast path
@@ -200,6 +201,26 @@ pub struct ScenarioConfig {
     /// through the run (retained-replay late joiners). Ignored outside
     /// storm workloads.
     pub late_subscriber_fraction: f64,
+    /// Per-message link loss probability. `0.0` (the default) keeps the
+    /// lossless byte-identical fast path; `> 0` drops that fraction of
+    /// messages, seeded per `(from, to, link_seq)` so replays are identical.
+    pub loss_rate: f64,
+    /// Per-message link corruption probability: affected messages arrive but
+    /// are discarded at the receiver (recorded as corrupted in the drop log).
+    pub corruption_rate: f64,
+    /// Per-client duplicate-suppression window on brokers (`0` = off): the
+    /// broker remembers this many recent event ids plus per-publisher
+    /// sequence watermarks and silently drops re-deliveries.
+    pub dedup_window: usize,
+    /// End-to-end publish reliability: brokers ack accepted publishes and
+    /// publishers retransmit unacked events with bounded exponential backoff.
+    pub retransmit: bool,
+    /// Neighbour-replicated checkpoint period in milliseconds (`0` = the
+    /// legacy local self-checkpoint restore): brokers push their durable
+    /// state to the lowest-id overlay neighbour on this period and a crashed
+    /// broker restores from that possibly-stale replica, re-subscribing any
+    /// clients the replica missed.
+    pub checkpoint_replication_ms: u64,
 }
 
 impl Default for ScenarioConfig {
@@ -242,6 +263,11 @@ impl ScenarioConfig {
             storm_publishers: 0,
             storm_subscribers: 0,
             late_subscriber_fraction: 0.0,
+            loss_rate: 0.0,
+            corruption_rate: 0.0,
+            dedup_window: 0,
+            retransmit: false,
+            checkpoint_replication_ms: 0,
         }
     }
 
@@ -297,6 +323,22 @@ impl ScenarioConfig {
                 .collect(),
         };
         if model.is_constant() {
+            None
+        } else {
+            Some(model)
+        }
+    }
+
+    /// The loss model the reliability knobs describe, or `None` when links
+    /// are lossless (zero loss, zero corruption) — the byte-identical fast
+    /// path, where the engine never consults a loss model.
+    pub fn loss_model(&self) -> Option<LossModel> {
+        let model = LossModel::new(
+            self.seed ^ 0x4c4f_5353_5f52,
+            self.loss_rate,
+            self.corruption_rate,
+        );
+        if model.is_lossless() {
             None
         } else {
             Some(model)
@@ -445,6 +487,35 @@ impl ScenarioConfig {
     /// `[0, 1]`), keeping everything else.
     pub fn with_late_subscribers(mut self, fraction: f64) -> Self {
         self.late_subscriber_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Replace the link loss and corruption probabilities (clamped to
+    /// `[0, 1]`), keeping everything else. `(0, 0)` restores the lossless
+    /// byte-identical fast path.
+    pub fn with_loss(mut self, loss_rate: f64, corruption_rate: f64) -> Self {
+        self.loss_rate = loss_rate.clamp(0.0, 1.0);
+        self.corruption_rate = corruption_rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Replace the broker duplicate-suppression window (`0` = off), keeping
+    /// everything else.
+    pub fn with_dedup_window(mut self, window: usize) -> Self {
+        self.dedup_window = window;
+        self
+    }
+
+    /// Enable/disable publisher-side ack/retransmit, keeping everything else.
+    pub fn with_retransmit(mut self, retransmit: bool) -> Self {
+        self.retransmit = retransmit;
+        self
+    }
+
+    /// Replace the neighbour-replication checkpoint period in milliseconds
+    /// (`0` = legacy local restore), keeping everything else.
+    pub fn with_checkpoint_replication_ms(mut self, period_ms: u64) -> Self {
+        self.checkpoint_replication_ms = period_ms;
         self
     }
 

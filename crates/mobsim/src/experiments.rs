@@ -366,9 +366,14 @@ pub fn mobility_matrix_budgeted_in(
 }
 
 /// The scenario presets the failure panel runs by default: the seeded
-/// broker-crash storm and the partition/region-outage city (see
+/// broker-crash storm, the partition/region-outage city, and the lossy
+/// crash storm whose ledgers carry the reliability-layer counters (see
 /// [`crate::scenarios::registry`]).
-pub const FAILURE_PRESETS: [&str; 2] = ["broker-crash-storm", "partitioned-city"];
+pub const FAILURE_PRESETS: [&str; 3] = [
+    "broker-crash-storm",
+    "partitioned-city",
+    "lossy-crash-storm",
+];
 
 /// One `(fault preset, protocol)` cell of the failure panel.
 #[derive(Debug, Clone)]
@@ -488,6 +493,135 @@ pub fn failure_panel_budgeted_in(
         );
     }
     FailurePanelResult { points, skipped }
+}
+
+/// The reliability modes the reliability panel compares, in column order:
+/// no reliability layer at all, broker dedup alone, and dedup plus
+/// publisher ack/retransmit.
+pub const RELIABILITY_MODES: [&str; 3] = ["baseline", "dedup", "dedup+retransmit"];
+
+/// One `(mode, protocol)` cell of the reliability panel.
+#[derive(Debug, Clone)]
+pub struct ReliabilityPanelPoint {
+    /// The reliability mode (one of [`RELIABILITY_MODES`]).
+    pub mode: String,
+    /// Display label of the protocol run in this cell.
+    pub protocol: String,
+    /// The collected metrics, including the
+    /// [`RecoveryLedger`](crate::metrics::RecoveryLedger)'s per-cause drop
+    /// accounting and reliability counters.
+    pub result: RunResult,
+}
+
+/// The reliability trade-off panel: the `lossy-crash-storm` preset (2 %
+/// link loss, 0.5 % corruption, a six-crash storm) run for every registered
+/// protocol under each of the three reliability modes. Dedup is expected to
+/// eliminate audited duplicates; retransmission trades extra mobility-layer
+/// traffic for recovering link-lost publishes. Every cell's ledger
+/// reconciles exactly with its delivery audit.
+#[derive(Debug, Clone)]
+pub struct ReliabilityPanelResult {
+    /// All completed cells, mode-major in [`RELIABILITY_MODES`] order.
+    pub points: Vec<ReliabilityPanelPoint>,
+    /// Cells skipped under a wall-clock budget, as `"mode × protocol"`.
+    pub skipped: Vec<String>,
+}
+
+impl ReliabilityPanelResult {
+    /// The distinct mode names, in first-seen (= column) order.
+    pub fn modes(&self) -> Vec<&str> {
+        first_seen(self.points.iter().map(|p| p.mode.as_str()))
+    }
+
+    /// The distinct protocol labels, in first-seen (= registry) order.
+    pub fn protocols(&self) -> Vec<&str> {
+        first_seen(self.points.iter().map(|p| p.protocol.as_str()))
+    }
+
+    /// Look up one cell by mode name and protocol label.
+    pub fn cell(&self, mode: &str, protocol: &str) -> Option<&ReliabilityPanelPoint> {
+        self.points
+            .iter()
+            .find(|p| p.mode == mode && p.protocol == protocol)
+    }
+}
+
+/// Derive one reliability mode's configuration from the panel's base
+/// scenario: same seed, same storm, same lossy links — only the reliability
+/// layer differs, so cells in a row are a paired comparison.
+fn reliability_mode_config(base: &ScenarioConfig, mode: &str) -> ScenarioConfig {
+    let mut config = base.clone();
+    match mode {
+        "baseline" => {
+            config.dedup_window = 0;
+            config.retransmit = false;
+        }
+        "dedup" => {
+            config.retransmit = false;
+        }
+        _ => {}
+    }
+    config
+}
+
+/// Run the reliability panel over the `lossy-crash-storm` preset with the
+/// extended registry, in parallel over the available cores.
+pub fn reliability_panel() -> ReliabilityPanelResult {
+    let base = crate::scenarios::find("lossy-crash-storm")
+        .expect("lossy-crash-storm preset registered")
+        .config;
+    reliability_panel_budgeted_in(
+        &ProtocolRegistry::extended(),
+        &base,
+        available_workers(),
+        None,
+    )
+}
+
+/// [`reliability_panel`] over an explicit base scenario, registry and
+/// worker count, under an optional wall-clock budget: cells that cannot
+/// start before the budget elapses are recorded in
+/// [`ReliabilityPanelResult::skipped`]. The base scenario should carry the
+/// full reliability configuration (lossy links, dedup window, retransmit,
+/// replication); the panel switches the dedup/retransmit knobs off per
+/// mode.
+///
+/// # Panics
+/// Panics when a completed cell's recovery ledger does not reconcile with
+/// its delivery audit (see [`failure_panel_budgeted_in`]).
+pub fn reliability_panel_budgeted_in(
+    registry: &ProtocolRegistry,
+    base: &ScenarioConfig,
+    workers: usize,
+    budget: Option<Duration>,
+) -> ReliabilityPanelResult {
+    let jobs: Vec<(&str, &ProtocolSpec)> = RELIABILITY_MODES
+        .iter()
+        .flat_map(|&mode| registry.specs().iter().map(move |spec| (mode, spec)))
+        .collect();
+    let budgeted = map_parallel_budgeted(&jobs, workers, budget, |&(mode, spec)| {
+        let config = reliability_mode_config(base, mode);
+        ReliabilityPanelPoint {
+            mode: mode.to_string(),
+            protocol: spec.label().to_string(),
+            result: run_spec(&config, spec),
+        }
+    });
+    let skipped = budgeted
+        .skipped
+        .iter()
+        .map(|&i| format!("{} × {}", jobs[i].0, jobs[i].1.label()))
+        .collect();
+    let points: Vec<ReliabilityPanelPoint> = budgeted.results.into_iter().flatten().collect();
+    for p in &points {
+        assert!(
+            p.result.recovery.reconciles_with(&p.result.audit),
+            "{} × {}: recovery ledger does not reconcile with the audit",
+            p.mode,
+            p.protocol,
+        );
+    }
+    ReliabilityPanelResult { points, skipped }
 }
 
 /// The MQTT-shaped storm presets the traffic panel runs by default (see
@@ -947,6 +1081,72 @@ mod tests {
         assert!(starved.points.is_empty());
         assert_eq!(starved.skipped.len(), 8);
         assert!(starved.skipped.iter().any(|s| s.contains("PSVR")));
+    }
+
+    #[test]
+    fn reliability_panel_trades_duplicates_for_retransmissions() {
+        use crate::config::FaultPlan;
+        // A shrunk lossy-crash-storm: same knobs, smaller world, so the
+        // 3 modes × 4 protocols panel smoke-runs in seconds.
+        let base = ScenarioConfig {
+            duration_s: 300.0,
+            publish_interval_s: 15.0,
+            loss_rate: 0.02,
+            corruption_rate: 0.005,
+            dedup_window: 64,
+            retransmit: true,
+            checkpoint_replication_ms: 5_000,
+            ..tiny_base()
+        }
+        .with_faults(FaultPlan {
+            crash_storm: Some((3, 20.0)),
+            ..FaultPlan::default()
+        });
+        let registry = ProtocolRegistry::extended();
+        let panel = reliability_panel_budgeted_in(&registry, &base, 4, None);
+        assert_eq!(panel.points.len(), 12, "3 modes × 4 protocols");
+        assert!(panel.skipped.is_empty());
+        assert_eq!(panel.modes(), RELIABILITY_MODES.to_vec());
+        assert_eq!(panel.protocols(), vec!["sub-unsub", "MHH", "HB", "PSVR"]);
+        for proto in panel.protocols() {
+            let baseline = &panel.cell("baseline", proto).unwrap().result;
+            let dedup = &panel.cell("dedup", proto).unwrap().result;
+            let full = &panel.cell("dedup+retransmit", proto).unwrap().result;
+            // The baseline never suppresses or retransmits anything.
+            assert_eq!(baseline.recovery.duplicates_suppressed, 0);
+            assert_eq!(baseline.recovery.retransmissions, 0);
+            // Dedup can only remove audited duplicates, never add them.
+            assert!(
+                dedup.audit.duplicates <= baseline.audit.duplicates,
+                "{proto}: dedup {} vs baseline {}",
+                dedup.audit.duplicates,
+                baseline.audit.duplicates
+            );
+            assert_eq!(dedup.recovery.retransmissions, 0);
+            // Retransmission really fires under 2% loss, and its duplicate
+            // copies are absorbed by the dedup layer, not the subscribers.
+            assert!(
+                full.recovery.retransmissions > 0,
+                "{proto}: lossy links must trigger retransmissions"
+            );
+            if proto == "PSVR" {
+                // PSVR re-delivers events during ring stabilization on top
+                // of the retransmit copies, so the bounded window can only
+                // cap its duplicates, never zero them.
+                assert!(
+                    full.audit.duplicates <= baseline.audit.duplicates,
+                    "{proto}: full {} vs baseline {}",
+                    full.audit.duplicates,
+                    baseline.audit.duplicates
+                );
+            } else {
+                assert_eq!(
+                    full.audit.duplicates, 0,
+                    "{proto}: dedup must absorb retransmitted copies: {:?}",
+                    full.audit
+                );
+            }
+        }
     }
 
     #[test]

@@ -64,10 +64,11 @@ pub mod workload;
 pub use builder::{Sim, SimBuilder, SimError};
 pub use config::{FaultPlan, Protocol, ScenarioConfig};
 pub use experiments::{
-    failure_panel, figure5, figure6, mobility_matrix, proclaimed_comparison, traffic_panel,
-    ExperimentPoint, FailurePanelPoint, FailurePanelResult, FigureResult, MatrixPoint,
-    MatrixResult, ProclaimedComparePoint, ProclaimedCompareResult, TrafficPanelPoint,
-    TrafficPanelResult, FAILURE_PRESETS, TRAFFIC_PRESETS,
+    failure_panel, figure5, figure6, mobility_matrix, proclaimed_comparison, reliability_panel,
+    traffic_panel, ExperimentPoint, FailurePanelPoint, FailurePanelResult, FigureResult,
+    MatrixPoint, MatrixResult, ProclaimedComparePoint, ProclaimedCompareResult,
+    ReliabilityPanelPoint, ReliabilityPanelResult, TrafficPanelPoint, TrafficPanelResult,
+    FAILURE_PRESETS, RELIABILITY_MODES, TRAFFIC_PRESETS,
 };
 pub use metrics::{
     GapPercentiles, HandoverKind, HandoverLedger, HandoverRecord, OutageRecord, RecoveryLedger,

@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use mhh_pubsub::client::{DeliveryRecord, DisconnectRecord, ReconnectRecord};
 use mhh_pubsub::{ClientId, DeliveryAudit, Event, EventId, Filter};
-use mhh_simnet::{DropRecord, OutageWindow, SimTime};
+use mhh_simnet::{DropCause, DropRecord, OutageWindow, SimTime};
 
 /// How a handover was initiated (paper §4.1 vs §4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -355,7 +355,7 @@ impl OutageRecord {
 /// `total_lost() == audit.lost` and `total_duplicates() == audit.duplicates`
 /// **exactly**, which [`RecoveryLedger::reconciles_with`] asserts — the
 /// failure panel refuses to report numbers that don't add up.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct RecoveryLedger {
     /// One record per injected outage window, in schedule order.
     pub records: Vec<OutageRecord>,
@@ -364,13 +364,61 @@ pub struct RecoveryLedger {
     pub unattributed_lost: u64,
     /// Duplicates delivered after every window had healed.
     pub unattributed_duplicates: u64,
+    /// Envelopes the link layer lost outright ([`DropCause::Loss`]) — the
+    /// lossy-link counterpart of the per-window `dropped_envelopes`.
+    pub lost_envelopes: u64,
+    /// Envelopes delivered corrupted and discarded ([`DropCause::Corruption`]).
+    pub corrupted: u64,
+    /// Duplicate deliveries the broker dedup layer suppressed before they
+    /// reached a client (filled in by the runner from broker counters; zero
+    /// when `dedup_window == 0`).
+    pub duplicates_suppressed: u64,
+    /// Publisher-side retransmissions performed (filled in by the runner
+    /// from client counters; zero unless retransmission was enabled).
+    pub retransmissions: u64,
+    /// Subscriptions a restarting broker had to re-install because its
+    /// neighbour-held checkpoint replica was stale (filled in by the runner
+    /// from broker counters; zero unless replication was enabled).
+    pub stale_resubscribes: u64,
+}
+
+/// Hand-written so the reliability counters introduced with lossy links only
+/// print when set: zero-loss, zero-dedup runs emit exactly the pre-reliability
+/// `Debug` form, which keeps every existing golden (`debug_fnv` hashes this
+/// output) byte-identical without regeneration.
+impl std::fmt::Debug for RecoveryLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("RecoveryLedger");
+        s.field("records", &self.records)
+            .field("unattributed_lost", &self.unattributed_lost)
+            .field("unattributed_duplicates", &self.unattributed_duplicates);
+        if self.lost_envelopes > 0 {
+            s.field("lost_envelopes", &self.lost_envelopes);
+        }
+        if self.corrupted > 0 {
+            s.field("corrupted", &self.corrupted);
+        }
+        if self.duplicates_suppressed > 0 {
+            s.field("duplicates_suppressed", &self.duplicates_suppressed);
+        }
+        if self.retransmissions > 0 {
+            s.field("retransmissions", &self.retransmissions);
+        }
+        if self.stale_resubscribes > 0 {
+            s.field("stale_resubscribes", &self.stale_resubscribes);
+        }
+        s.finish()
+    }
 }
 
 impl RecoveryLedger {
     /// Build the ledger from the run's fault schedule, the engine's drop
     /// log, and the same raw logs the delivery audit consumes. Returns the
-    /// empty ledger when no faults were injected (the zero-fault fast path
-    /// does no per-delivery work).
+    /// empty ledger when no faults were injected and no envelope was
+    /// dropped (the zero-fault, zero-loss fast path does no per-delivery
+    /// work). A loss-only run (no outage windows, but lossy links dropped
+    /// envelopes) still gets a full ledger: its audited losses all land in
+    /// `unattributed_lost`, and every drop is counted by cause.
     ///
     /// Unlike [`HandoverLedger::assemble`], every subscriber participates —
     /// a stationary client loses events when its broker crashes, even though
@@ -382,7 +430,7 @@ impl RecoveryLedger {
         clients: &[ClientHandoverLog<'_>],
         pending: &[(ClientId, EventId)],
     ) -> RecoveryLedger {
-        if windows.is_empty() {
+        if windows.is_empty() && drops.is_empty() {
             return RecoveryLedger::default();
         }
         let mut records: Vec<OutageRecord> = windows
@@ -398,9 +446,17 @@ impl RecoveryLedger {
                 repair_ms: None,
             })
             .collect();
+        let mut lost_envelopes = 0u64;
+        let mut corrupted = 0u64;
         for d in drops {
-            if let Some(r) = records.get_mut(d.window) {
-                r.dropped_envelopes += 1;
+            match d.cause {
+                DropCause::Fault(w) => {
+                    if let Some(r) = records.get_mut(w) {
+                        r.dropped_envelopes += 1;
+                    }
+                }
+                DropCause::Loss => lost_envelopes += 1,
+                DropCause::Corruption => corrupted += 1,
             }
         }
 
@@ -466,6 +522,11 @@ impl RecoveryLedger {
             records,
             unattributed_lost,
             unattributed_duplicates,
+            lost_envelopes,
+            corrupted,
+            duplicates_suppressed: 0,
+            retransmissions: 0,
+            stale_resubscribes: 0,
         }
     }
 
@@ -474,14 +535,30 @@ impl RecoveryLedger {
         self.records.len()
     }
 
-    /// True when no faults were injected.
+    /// True when the ledger has nothing to report: no faults were injected,
+    /// no envelope was lost or corrupted, and the reliability layer never
+    /// acted. Zero-fault, zero-loss runs stay on this path, which is what
+    /// keeps their JSON exports (`"recovery": null`) byte-identical.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+            && self.unattributed_lost == 0
+            && self.unattributed_duplicates == 0
+            && self.lost_envelopes == 0
+            && self.corrupted == 0
+            && self.duplicates_suppressed == 0
+            && self.retransmissions == 0
+            && self.stale_resubscribes == 0
     }
 
-    /// Total envelopes the fault layer dropped.
+    /// Total envelopes dropped, by any cause: fault windows plus link loss
+    /// plus corruption.
     pub fn total_dropped(&self) -> u64 {
-        self.records.iter().map(|r| r.dropped_envelopes).sum()
+        self.records
+            .iter()
+            .map(|r| r.dropped_envelopes)
+            .sum::<u64>()
+            + self.lost_envelopes
+            + self.corrupted
     }
 
     /// Total audited losses — attributed plus unattributed. Equals
@@ -591,6 +668,9 @@ pub struct TrafficReport {
     pub buffered_bytes_peak: u64,
     /// Largest modeled checkpoint written by any single broker restart.
     pub checkpoint_bytes_peak: u64,
+    /// Highest dedup-state sample (watermarks plus recent-id window) at any
+    /// single broker (zero unless memory tracking and dedup were both on).
+    pub dedup_bytes_peak: u64,
 }
 
 /// The outcome of one scenario run: the paper's two performance metrics plus
@@ -914,15 +994,19 @@ mod tests {
                 scope: OutageScope::Link(NodeId(1), NodeId(2)),
             },
         ];
-        let drop = |at_ms: u64, window: usize| DropRecord {
+        let drop = |at_ms: u64, cause: DropCause| DropRecord {
             at: SimTime::from_millis(at_ms),
             from: NodeId(1),
             to: NodeId(0),
             kind: "event",
             class: TrafficClass::EventDelivery,
-            window,
+            cause,
         };
-        let drops = vec![drop(120, 0), drop(150, 0), drop(250, 1)];
+        let drops = vec![
+            drop(120, DropCause::Fault(0)),
+            drop(150, DropCause::Fault(0)),
+            drop(250, DropCause::Fault(1)),
+        ];
 
         let filter = Filter::single("g", Op::Eq, 1i64);
         let ev = |id: u64, at_ms: u64| {
@@ -1008,6 +1092,68 @@ mod tests {
         assert!(!ledger.reconciles_with(&DeliveryAudit::default()));
         // Zero faults: the empty ledger, no per-delivery work.
         assert!(RecoveryLedger::assemble(&[], &[], &published, &logs, &[]).is_empty());
+    }
+
+    #[test]
+    fn loss_only_runs_assemble_a_ledger_and_debug_omits_zero_reliability_fields() {
+        use mhh_simnet::{NodeId, TrafficClass};
+        // Golden safety: the default ledger prints the exact pre-reliability
+        // Debug form — no lost_envelopes / corrupted / suppressed /
+        // retransmissions fields.
+        let plain = format!("{:?}", RecoveryLedger::default());
+        assert_eq!(
+            plain,
+            "RecoveryLedger { records: [], unattributed_lost: 0, \
+             unattributed_duplicates: 0 }"
+        );
+
+        // A run with no outage windows but lossy-link drops still gets a
+        // ledger: drops counted by cause, audited losses unattributed.
+        let filter = Filter::single("g", Op::Eq, 1i64);
+        let published = vec![EventBuilder::new()
+            .attr("g", 1i64)
+            .build(1, ClientId(9), 1)
+            .stamped(SimTime::from_millis(50))];
+        let logs = [ClientHandoverLog {
+            client: ClientId(0),
+            filter: &filter,
+            disconnects: &[],
+            reconnects: &[],
+            deliveries: &[],
+        }];
+        let drop = |cause: DropCause| DropRecord {
+            at: SimTime::from_millis(60),
+            from: NodeId(1),
+            to: NodeId(0),
+            kind: "event",
+            class: TrafficClass::EventDelivery,
+            cause,
+        };
+        let drops = vec![
+            drop(DropCause::Loss),
+            drop(DropCause::Loss),
+            drop(DropCause::Corruption),
+        ];
+        let ledger = RecoveryLedger::assemble(&[], &drops, &published, &logs, &[]);
+        assert!(!ledger.is_empty(), "loss-only runs are not empty ledgers");
+        assert_eq!(ledger.lost_envelopes, 2);
+        assert_eq!(ledger.corrupted, 1);
+        assert_eq!(ledger.total_dropped(), 3);
+        assert_eq!(ledger.unattributed_lost, 1, "e1 lost, no window to blame");
+        let audit = DeliveryAudit {
+            expected: 1,
+            delivered: 0,
+            duplicates: 0,
+            pending: 0,
+            lost: 1,
+            out_of_order: 0,
+        };
+        assert!(ledger.reconciles_with(&audit));
+        let dbg = format!("{ledger:?}");
+        assert!(dbg.contains("lost_envelopes: 2"), "{dbg}");
+        assert!(dbg.contains("corrupted: 1"), "{dbg}");
+        assert!(!dbg.contains("duplicates_suppressed"), "{dbg}");
+        assert!(!dbg.contains("retransmissions"), "{dbg}");
     }
 
     #[test]

@@ -8,7 +8,8 @@
 use std::fmt::Write as _;
 
 use crate::experiments::{
-    FailurePanelResult, FigureResult, MatrixResult, ProclaimedCompareResult, TrafficPanelResult,
+    FailurePanelResult, FigureResult, MatrixResult, ProclaimedCompareResult,
+    ReliabilityPanelResult, TrafficPanelResult,
 };
 use crate::json::Json;
 use crate::metrics::{HandoverKind, HandoverLedger, RecoveryLedger, RunResult, TrafficReport};
@@ -256,6 +257,7 @@ pub fn traffic_json(t: &TrafficReport) -> Json {
         ("cache_hits", Json::UInt(t.cache_hits)),
         ("buffered_bytes_peak", Json::UInt(t.buffered_bytes_peak)),
         ("checkpoint_bytes_peak", Json::UInt(t.checkpoint_bytes_peak)),
+        ("dedup_bytes_peak", Json::UInt(t.dedup_bytes_peak)),
     ])
 }
 
@@ -294,6 +296,14 @@ pub fn recovery_json(ledger: &RecoveryLedger) -> Json {
             "unattributed_duplicates",
             Json::UInt(ledger.unattributed_duplicates),
         ),
+        ("lost_envelopes", Json::UInt(ledger.lost_envelopes)),
+        ("corrupted", Json::UInt(ledger.corrupted)),
+        (
+            "duplicates_suppressed",
+            Json::UInt(ledger.duplicates_suppressed),
+        ),
+        ("retransmissions", Json::UInt(ledger.retransmissions)),
+        ("stale_resubscribes", Json::UInt(ledger.stale_resubscribes)),
         ("total_dropped", Json::UInt(ledger.total_dropped())),
         ("total_lost", Json::UInt(ledger.total_lost())),
         ("total_duplicates", Json::UInt(ledger.total_duplicates())),
@@ -416,10 +426,19 @@ pub fn render_failure_panel(panel: &FailurePanelResult) -> String {
         let _ = writeln!(out, "-- {scenario} --");
         let _ = writeln!(
             out,
-            "{:>12} | {:>8} | {:>6} | {:>6} | {:>9} | {:>14} | {:>13}",
-            "protocol", "dropped", "lost", "dup", "loss rate", "mean repair ms", "max repair ms"
+            "{:>12} | {:>8} | {:>6} | {:>6} | {:>10} | {:>7} | {:>10} | {:>9} | {:>14} | {:>13}",
+            "protocol",
+            "dropped",
+            "lost",
+            "dup",
+            "suppressed",
+            "retrans",
+            "unattr l/d",
+            "loss rate",
+            "mean repair ms",
+            "max repair ms"
         );
-        let _ = writeln!(out, "{}", "-".repeat(88));
+        let _ = writeln!(out, "{}", "-".repeat(122));
         for proto in panel.protocols() {
             let Some(p) = panel.cell(scenario, proto) else {
                 continue;
@@ -427,15 +446,40 @@ pub fn render_failure_panel(panel: &FailurePanelResult) -> String {
             let rec = &p.result.recovery;
             let _ = writeln!(
                 out,
-                "{:>12} | {:>8} | {:>6} | {:>6} | {:>8.2}% | {:>14} | {:>13}",
+                "{:>12} | {:>8} | {:>6} | {:>6} | {:>10} | {:>7} | {:>10} | {:>8.2}% | {:>14} | {:>13}",
                 proto,
                 rec.total_dropped(),
                 rec.total_lost(),
                 rec.total_duplicates(),
+                rec.duplicates_suppressed,
+                rec.retransmissions,
+                format!("{}/{}", rec.unattributed_lost, rec.unattributed_duplicates),
                 p.result.loss_rate() * 100.0,
                 fmt_ms(rec.mean_repair_ms()),
                 fmt_ms(rec.max_repair_ms()),
             );
+        }
+        // Loss-by-cause line, only when lossy links actually dropped
+        // something (zero-loss panels render exactly as before).
+        for proto in panel.protocols() {
+            let Some(p) = panel.cell(scenario, proto) else {
+                continue;
+            };
+            let rec = &p.result.recovery;
+            if rec.lost_envelopes > 0 || rec.corrupted > 0 {
+                let _ = writeln!(
+                    out,
+                    "{:>12} : link drops — {} lost, {} corrupted",
+                    proto, rec.lost_envelopes, rec.corrupted
+                );
+            }
+            if rec.stale_resubscribes > 0 {
+                let _ = writeln!(
+                    out,
+                    "{:>12} : {} re-subscribes forced by stale checkpoint replicas",
+                    proto, rec.stale_resubscribes
+                );
+            }
         }
         // The injected schedule is identical for every protocol of a preset,
         // so row labels come from the first cell that has them.
@@ -501,6 +545,90 @@ pub fn failure_to_json(panel: &FailurePanelResult) -> String {
                     .map(|p| {
                         Json::obj(vec![
                             ("scenario", Json::str(&p.scenario)),
+                            ("protocol", Json::str(&p.protocol)),
+                            ("result", run_result_json(&p.result)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "skipped",
+            Json::Arr(panel.skipped.iter().map(Json::str).collect()),
+        ),
+    ])
+    .pretty()
+}
+
+/// Render the reliability panel as one fixed-width trade-off table per
+/// protocol: a row per reliability mode (baseline / dedup /
+/// dedup+retransmit) with the audited losses and duplicates, the broker's
+/// suppression work, the publisher's retransmission work and the per-cause
+/// drop accounting — the end-to-end delivery-guarantee trade-off at a
+/// glance.
+pub fn render_reliability_panel(panel: &ReliabilityPanelResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== reliability trade-off panel (lossy links) ==");
+    for proto in panel.protocols() {
+        let _ = writeln!(out, "-- {proto} --");
+        let _ = writeln!(
+            out,
+            "{:>17} | {:>6} | {:>6} | {:>10} | {:>7} | {:>10} | {:>9} | {:>7} | {:>12}",
+            "mode",
+            "lost",
+            "dup",
+            "suppressed",
+            "retrans",
+            "link l/c",
+            "resubs",
+            "dropped",
+            "deliv msgs"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(106));
+        for mode in panel.modes() {
+            let Some(p) = panel.cell(mode, proto) else {
+                continue;
+            };
+            let rec = &p.result.recovery;
+            let _ = writeln!(
+                out,
+                "{:>17} | {:>6} | {:>6} | {:>10} | {:>7} | {:>10} | {:>9} | {:>7} | {:>12}",
+                mode,
+                p.result.audit.lost,
+                p.result.audit.duplicates,
+                rec.duplicates_suppressed,
+                rec.retransmissions,
+                format!("{}/{}", rec.lost_envelopes, rec.corrupted),
+                rec.stale_resubscribes,
+                rec.total_dropped(),
+                p.result.delivered_messages,
+            );
+        }
+    }
+    if !panel.skipped.is_empty() {
+        let _ = writeln!(
+            out,
+            "-- skipped (wall-clock budget exhausted): {} --",
+            panel.skipped.join(", ")
+        );
+    }
+    out
+}
+
+/// Serialise the reliability panel to pretty JSON; each point's `result`
+/// carries the recovery ledger's per-cause drop counters and reliability
+/// totals. Budget-skipped cells are listed under `"skipped"`.
+pub fn reliability_to_json(panel: &ReliabilityPanelResult) -> String {
+    Json::obj(vec![
+        (
+            "points",
+            Json::Arr(
+                panel
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("mode", Json::str(&p.mode)),
                             ("protocol", Json::str(&p.protocol)),
                             ("result", run_result_json(&p.result)),
                         ])

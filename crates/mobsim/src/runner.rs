@@ -42,6 +42,12 @@ fn deployment_config(config: &ScenarioConfig) -> DeploymentConfig {
         retained: config.retained,
         shared_group_size: config.shared_group_size,
         track_mem: config.track_mem,
+        dedup_window: config.dedup_window,
+        retransmit: config.retransmit,
+        checkpoint_replication_ms: config.checkpoint_replication_ms,
+        // The replication tick stops re-arming at the workload horizon, so
+        // the post-horizon drain terminates.
+        replication_horizon_ms: (config.duration_s * 1000.0).ceil() as u64,
     }
 }
 
@@ -216,6 +222,11 @@ where
 {
     let dep_config = deployment_config(config);
     let faults = config.fault_schedule(&network);
+    // Reject malformed schedules up front with the typed error instead of
+    // letting an unsorted or never-firing window skew ledger attribution.
+    if let Err(e) = faults.validate(mhh_simnet::SimTime::from_secs_f64(config.duration_s)) {
+        panic!("invalid fault schedule: {e}");
+    }
     let mut dep: Deployment<P> = Deployment::build_on_in(
         network.clone(),
         &dep_config,
@@ -225,6 +236,9 @@ where
     );
     if profile {
         dep.engine.enable_phase_profile();
+    }
+    if let Some(loss) = config.loss_model() {
+        dep.engine.set_loss(loss);
     }
 
     // The repair layer's failure-detection drives (peer-down/up, link-down/up
@@ -249,6 +263,9 @@ where
     // holds the in-flight horizon instead of the whole workload.
     dep.engine
         .reserve_external_seqs((drives.len() + workload.timeline.len()) as u64);
+    // The replication clock draws ordinary (post-reservation) sequence
+    // numbers, so it must be armed after the reservation above.
+    dep.arm_replication_ticks();
     for (at, node, msg) in drives {
         dep.engine.schedule_external_reserved(at, node, msg);
     }
@@ -317,13 +334,18 @@ fn collect<P: MobilityProtocol>(
         })
         .collect();
     let ledger = HandoverLedger::assemble(&published, &handover_logs, &buffered);
-    let recovery = RecoveryLedger::assemble(
+    let mut recovery = RecoveryLedger::assemble(
         faults.windows(),
         dep.engine.drops(),
         &published,
         &handover_logs,
         &buffered,
     );
+    // Reliability-layer counters live in the brokers/clients, not the drop
+    // log; all zero (and Debug-invisible) unless the knobs were turned on.
+    recovery.duplicates_suppressed = dep.duplicates_suppressed();
+    recovery.retransmissions = dep.retransmissions();
+    recovery.stale_resubscribes = dep.stale_resubscribes();
 
     let handoffs = ledger.handoff_count();
     let delays = ledger.delays_ms();
@@ -349,6 +371,7 @@ fn collect<P: MobilityProtocol>(
         cache_hits: fanout.cache_hits,
         buffered_bytes_peak: dep.buffered_bytes_peak(),
         checkpoint_bytes_peak: dep.checkpoint_bytes_peak(),
+        dedup_bytes_peak: dep.dedup_bytes_peak(),
     };
 
     RunResult {

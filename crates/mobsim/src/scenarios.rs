@@ -200,6 +200,34 @@ pub fn registry() -> Vec<Scenario> {
             },
         },
         Scenario {
+            name: "lossy-crash-storm",
+            summary: "The reliability preset: the crash-storm grid with 2 % \
+                      link loss and 0.5 % corruption, broker dedup \
+                      watermarks, publisher ack/retransmit and 5 s \
+                      neighbour-replicated checkpoints — every drop \
+                      accounted by cause, zero silent loss end to end.",
+            config: ScenarioConfig {
+                grid_side: 5,
+                clients_per_broker: 4,
+                mobile_fraction: 0.25,
+                conn_mean_s: 60.0,
+                disc_mean_s: 40.0,
+                publish_interval_s: 15.0,
+                duration_s: 600.0,
+                seed: 0x004c_4f53_5359,
+                loss_rate: 0.02,
+                corruption_rate: 0.005,
+                dedup_window: 64,
+                retransmit: true,
+                checkpoint_replication_ms: 5_000,
+                faults: FaultPlan {
+                    crash_storm: Some((6, 30.0)),
+                    ..FaultPlan::default()
+                },
+                ..ScenarioConfig::paper_defaults()
+            },
+        },
+        Scenario {
             name: "partitioned-city",
             summary: "The failure-panel partition preset: two overlay links \
                       sever mid-run and a nine-broker region blacks out — \
@@ -447,7 +475,9 @@ mod tests {
     #[test]
     fn failure_presets_inject_faults_and_zero_fault_presets_do_not() {
         for preset in registry() {
-            let faulty = preset.name == "broker-crash-storm" || preset.name == "partitioned-city";
+            let faulty = preset.name == "broker-crash-storm"
+                || preset.name == "partitioned-city"
+                || preset.name == "lossy-crash-storm";
             assert_eq!(
                 !preset.config.faults.is_empty(),
                 faulty,
@@ -465,6 +495,19 @@ mod tests {
         assert_eq!(schedule.windows().len(), 3, "two partitions + one region");
         // The centre of a 5×5 grid plus its four neighbours go down.
         assert_eq!(schedule.windows()[2].down_nodes().len(), 5);
+    }
+
+    #[test]
+    fn lossy_preset_turns_every_reliability_knob() {
+        let c = find("lossy-crash-storm").unwrap().config;
+        assert!(c.loss_model().is_some(), "lossy links must be modeled");
+        assert_eq!(c.dedup_window, 64);
+        assert!(c.retransmit);
+        assert_eq!(c.checkpoint_replication_ms, 5_000);
+        assert_eq!(c.faults.crash_storm, Some((6, 30.0)));
+        // The seed differs from broker-crash-storm, so the two storms are
+        // independent draws.
+        assert_ne!(c.seed, find("broker-crash-storm").unwrap().config.seed);
     }
 
     #[test]

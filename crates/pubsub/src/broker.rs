@@ -132,8 +132,17 @@ impl<'a, P: ProtocolMessage> BrokerCtx<'a, P> {
     }
 
     /// Deliver an event to a connected client over the wireless link.
+    ///
+    /// Protocol code should normally go through [`BrokerCore::deliver`] (or
+    /// [`BrokerCore::try_deliver`]) instead, which applies the broker's
+    /// duplicate-suppression window before reaching this raw send.
     pub fn deliver(&mut self, client: ClientId, event: Event) {
         self.send(self.book.client_node(client), NetMsg::Deliver(event));
+    }
+
+    /// Acknowledge a client publish (publisher-side retransmission support).
+    pub fn ack_publish(&mut self, client: ClientId, id: EventId) {
+        self.send(self.book.client_node(client), NetMsg::PublishAck { id });
     }
 
     /// Schedule a protocol message back to this broker after `delay`
@@ -142,6 +151,18 @@ impl<'a, P: ProtocolMessage> BrokerCtx<'a, P> {
         match &mut self.sink {
             CtxSink::Direct(inner) => inner.schedule(delay, NetMsg::Protocol(msg)),
             CtxSink::Erased(inner) => inner.schedule(delay, NetMsg::Protocol(BoxedMsg::new(msg))),
+        }
+    }
+
+    /// Schedule a repair message back to this broker after `delay`
+    /// (a timer — never counted as network traffic). Drives the periodic
+    /// checkpoint-replication tick.
+    pub fn schedule_repair(&mut self, delay: SimDuration, msg: RepairMsg<P>) {
+        match &mut self.sink {
+            CtxSink::Direct(inner) => inner.schedule(delay, NetMsg::Repair(msg)),
+            CtxSink::Erased(inner) => {
+                inner.schedule(delay, NetMsg::Repair(msg).map_protocol(BoxedMsg::new))
+            }
         }
     }
 
@@ -255,6 +276,31 @@ pub trait MobilityProtocol: Sized + Send {
     }
 }
 
+/// Per-client duplicate-suppression state: a per-publisher delivery
+/// watermark (the highest per-publisher sequence number already delivered)
+/// plus a bounded window of recently delivered event ids. An event is
+/// suppressed when its sequence number is at or below the publisher's
+/// watermark *or* its id is still in the recent window; otherwise it is
+/// delivered and both structures advance. The watermark is what kills the
+/// unbounded crash-recovery duplicate storm (re-forwarded backlogs replay
+/// entire histories); the id window catches re-sends that race ahead of it.
+#[derive(Debug, Clone, Default)]
+pub struct DedupState {
+    /// Highest delivered sequence number per publisher.
+    pub watermarks: BTreeMap<ClientId, u64>,
+    /// Recently delivered event ids, oldest first, bounded by the broker's
+    /// [`BrokerCore::dedup_window`].
+    pub recent: std::collections::VecDeque<EventId>,
+}
+
+impl DedupState {
+    /// Modeled memory footprint: 12 bytes per watermark entry (4-byte
+    /// client id + 8-byte sequence), 8 bytes per windowed event id.
+    pub fn modeled_bytes(&self) -> u64 {
+        self.watermarks.len() as u64 * 12 + self.recent.len() as u64 * 8
+    }
+}
+
 /// Protocol-agnostic broker state.
 #[derive(Debug, Clone)]
 pub struct BrokerCore {
@@ -299,6 +345,37 @@ pub struct BrokerCore {
     pub buffered_bytes_peak: u64,
     /// Peak modeled checkpoint size written by this broker.
     pub checkpoint_bytes_peak: u64,
+    /// Delivery duplicate-suppression window width (0 = off: deliveries
+    /// bypass the dedup state entirely, the pre-reliability fast path).
+    pub dedup_window: usize,
+    /// Per-client dedup state (empty unless
+    /// [`dedup_window`](Self::dedup_window) is set). Intentionally survives
+    /// a simulated restart, like the retained store: suppression state is
+    /// client-scoped, not part of the broker's durable checkpoint.
+    pub dedup: BTreeMap<ClientId, DedupState>,
+    /// Deliveries suppressed as duplicates at this broker.
+    pub duplicates_suppressed: u64,
+    /// Peak modeled bytes of dedup state (tracked only with
+    /// [`track_mem`](Self::track_mem)).
+    pub dedup_bytes_peak: u64,
+    /// Whether this broker acknowledges client publishes
+    /// ([`NetMsg::PublishAck`]); enabled together with publisher-side
+    /// retransmission.
+    pub acks_enabled: bool,
+    /// Period of the neighbour-replicated checkpoint tick
+    /// ([`RepairMsg::ReplicateTick`]); zero disables replication and keeps
+    /// restarts on the self-checkpoint fast path.
+    pub replication_period: SimDuration,
+    /// The tick never re-arms past this instant — the bound that lets a
+    /// run drain to quiescence after the workload horizon. [`SimTime::ZERO`]
+    /// (the default) means replication is never armed at all.
+    pub replication_until: SimTime,
+    /// Clients re-subscribed after a replica restore because the stale
+    /// replica predated their attachment (the modeled staleness cost).
+    pub stale_resubscribes: u64,
+    /// Pre-crash connected snapshot stashed between `Restarted` and the
+    /// replica holder's `ReplicaResponse`.
+    pub(crate) pending_restore: Option<BTreeMap<ClientId, Filter>>,
     /// Per-client allocator for persistent-queue identifiers.
     pq_seq: BTreeMap<ClientId, u32>,
 }
@@ -322,6 +399,15 @@ impl BrokerCore {
             track_mem: false,
             buffered_bytes_peak: 0,
             checkpoint_bytes_peak: 0,
+            dedup_window: 0,
+            dedup: BTreeMap::new(),
+            duplicates_suppressed: 0,
+            dedup_bytes_peak: 0,
+            acks_enabled: false,
+            replication_period: SimDuration::ZERO,
+            replication_until: SimTime::ZERO,
+            stale_resubscribes: 0,
+            pending_restore: None,
             pq_seq: BTreeMap::new(),
         }
     }
@@ -349,6 +435,31 @@ impl BrokerCore {
     /// (builder-style).
     pub fn with_mem_tracking(mut self, enabled: bool) -> Self {
         self.track_mem = enabled;
+        self
+    }
+
+    /// Set the delivery duplicate-suppression window width (builder-style);
+    /// 0 keeps deliveries on the dedup-free fast path.
+    pub fn with_dedup_window(mut self, window: usize) -> Self {
+        self.dedup_window = window;
+        self
+    }
+
+    /// Enable publish acknowledgments (builder-style); paired with
+    /// publisher-side retransmission on the clients.
+    pub fn with_publish_acks(mut self, enabled: bool) -> Self {
+        self.acks_enabled = enabled;
+        self
+    }
+
+    /// Set the neighbour-replicated checkpoint period and the horizon past
+    /// which the tick stops re-arming (builder-style);
+    /// [`SimDuration::ZERO`] disables replication. The horizon is what lets
+    /// `run_to_completion` terminate: without it the self-rearming tick
+    /// would keep the event queue non-empty forever.
+    pub fn with_checkpoint_replication(mut self, period: SimDuration, until: SimTime) -> Self {
+        self.replication_period = period;
+        self.replication_until = until;
         self
     }
 
@@ -409,16 +520,69 @@ impl BrokerCore {
         self.connected.contains_key(&client)
     }
 
+    /// Deliver an event to a client, applying the duplicate-suppression
+    /// window first. This is the single choke point every protocol delivery
+    /// routes through; with [`dedup_window`](Self::dedup_window) at 0 it
+    /// degenerates to the raw [`BrokerCtx::deliver`] send. Returns `true`
+    /// when the event actually went out, `false` when it was suppressed.
+    pub fn deliver<P: ProtocolMessage>(
+        &mut self,
+        client: ClientId,
+        event: Event,
+        ctx: &mut BrokerCtx<'_, P>,
+    ) -> bool {
+        if self.dedup_window > 0 && self.note_delivery_is_duplicate(client, &event) {
+            self.duplicates_suppressed += 1;
+            return false;
+        }
+        ctx.deliver(client, event);
+        true
+    }
+
+    /// Check an imminent delivery against the client's dedup state and,
+    /// when it is fresh, advance the watermark and the recent-id window.
+    fn note_delivery_is_duplicate(&mut self, client: ClientId, event: &Event) -> bool {
+        let st = self.dedup.entry(client).or_default();
+        let duplicate = st
+            .watermarks
+            .get(&event.publisher)
+            .is_some_and(|&max| event.seq <= max)
+            || st.recent.contains(&event.id);
+        if !duplicate {
+            st.watermarks.insert(event.publisher, event.seq);
+            st.recent.push_back(event.id);
+            while st.recent.len() > self.dedup_window {
+                st.recent.pop_front();
+            }
+        }
+        duplicate
+    }
+
+    /// Total modeled bytes of dedup state across clients (memory tracking).
+    pub fn dedup_bytes(&self) -> u64 {
+        self.dedup.values().map(DedupState::modeled_bytes).sum()
+    }
+
+    /// Record a dedup-state memory sample, keeping the high-water mark.
+    pub fn note_dedup_bytes(&mut self) {
+        let bytes = self.dedup_bytes();
+        if bytes > self.dedup_bytes_peak {
+            self.dedup_bytes_peak = bytes;
+        }
+    }
+
     /// Deliver to the client if it is attached here; returns `false`
-    /// otherwise so the caller can buffer instead.
+    /// otherwise so the caller can buffer instead. Routes through
+    /// [`deliver`](Self::deliver), so suppression still applies (a
+    /// suppressed duplicate counts as handled — `true`).
     pub fn try_deliver<P: ProtocolMessage>(
-        &self,
+        &mut self,
         client: ClientId,
         event: Event,
         ctx: &mut BrokerCtx<'_, P>,
     ) -> bool {
         if self.is_connected(client) {
-            ctx.deliver(client, event);
+            self.deliver(client, event, ctx);
             true
         } else {
             false
@@ -663,10 +827,15 @@ impl<P: MobilityProtocol> Broker<P> {
                     // initial-attach only, so mobility handoffs stay
                     // untouched.
                     if self.core.retained_enabled {
-                        for event in self.core.retained.values() {
-                            if event.publisher != info.client && info.filter.matches(event) {
-                                bctx.deliver(info.client, event.clone());
-                            }
+                        let replay: Vec<Event> = self
+                            .core
+                            .retained
+                            .values()
+                            .filter(|e| e.publisher != info.client && info.filter.matches(e))
+                            .cloned()
+                            .collect();
+                        for event in replay {
+                            self.core.deliver(info.client, event, bctx);
                         }
                     }
                 } else {
@@ -698,6 +867,13 @@ impl<P: MobilityProtocol> Broker<P> {
                 );
             }
             NetMsg::Publish(event) => {
+                // Acknowledge before routing (only when retransmission is
+                // on): a re-sent publish whose original got through is
+                // re-acked and its duplicate deliveries suppressed by the
+                // subscribers' brokers.
+                if self.core.acks_enabled {
+                    bctx.ack_publish(event.publisher, event.id);
+                }
                 let from = Peer::Client(event.publisher);
                 self.handle_event(event, from, bctx);
             }
@@ -733,7 +909,7 @@ impl<P: MobilityProtocol> Broker<P> {
             }
             // Messages addressed to clients or timer actions are never
             // handled by brokers.
-            NetMsg::Deliver(_) | NetMsg::Action(_) => {}
+            NetMsg::Deliver(_) | NetMsg::PublishAck { .. } | NetMsg::Action(_) => {}
         }
     }
 }
@@ -750,6 +926,9 @@ impl<P: MobilityProtocol> Node<NetMsg<P::Msg>> for Broker<P> {
         if self.core.track_mem {
             let buffered = self.proto.buffered_bytes();
             self.core.note_buffered_bytes(buffered);
+            if self.core.dedup_window > 0 {
+                self.core.note_dedup_bytes();
+            }
         }
     }
 }

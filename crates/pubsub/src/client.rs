@@ -12,12 +12,25 @@
 //! *handoff delay* ("the period from a client's reconnection time to the
 //! time it receives the first event").
 
-use mhh_simnet::{Context, Envelope, Node, SimTime};
+use std::collections::BTreeMap;
+
+use mhh_simnet::{Context, Envelope, Node, SimDuration, SimTime};
 
 use crate::address::{AddressBook, BrokerId, ClientId};
 use crate::event::{Event, EventId};
 use crate::filter::Filter;
 use crate::messages::{ClientAction, ConnectInfo, NetMsg, ProtocolMessage};
+
+/// Base delay in milliseconds before the first publish retry; doubles per
+/// attempt (exponential backoff).
+pub const RETRY_BASE_MS: u64 = 250;
+
+/// Base delay before the first publish retry.
+pub const RETRY_BASE: SimDuration = SimDuration::from_millis(RETRY_BASE_MS);
+
+/// Resend attempts per publish before the publisher gives up (the loss then
+/// surfaces in the delivery audit instead of retrying forever).
+pub const MAX_PUBLISH_RETRIES: u32 = 5;
 
 /// One delivered event as seen by a client.
 #[derive(Debug, Clone)]
@@ -91,6 +104,15 @@ pub struct ClientNode {
     pub departed_broker: Option<BrokerId>,
     /// Whether this client moves (20 % of clients in the paper's workload).
     pub mobile: bool,
+    /// Publisher-side retransmission: track every publish until the broker
+    /// acks it, resending with exponential backoff up to
+    /// [`MAX_PUBLISH_RETRIES`] attempts. Off by default (no acks, no
+    /// timers — the pre-reliability fast path).
+    pub retransmit: bool,
+    /// Publishes awaiting a broker [`NetMsg::PublishAck`].
+    pub pending_acks: BTreeMap<EventId, Event>,
+    /// Resends actually performed.
+    pub retransmissions: u64,
     /// Events this client actually published.
     pub published: Vec<Event>,
     /// Publish actions skipped because the client was disconnected.
@@ -119,6 +141,9 @@ impl ClientNode {
             last_broker: None,
             departed_broker: None,
             mobile: false,
+            retransmit: false,
+            pending_acks: BTreeMap::new(),
+            retransmissions: 0,
             published: Vec::new(),
             skipped_publishes: 0,
             received: Vec::new(),
@@ -163,10 +188,46 @@ impl ClientNode {
                 if let Some(broker) = self.current_broker {
                     let stamped = event.stamped(ctx.now());
                     self.published.push(stamped.clone());
+                    if self.retransmit {
+                        self.pending_acks.insert(stamped.id, stamped.clone());
+                        ctx.schedule(
+                            RETRY_BASE,
+                            NetMsg::Action(ClientAction::RetryPublish {
+                                id: stamped.id,
+                                attempt: 0,
+                            }),
+                        );
+                    }
                     ctx.send(self.book.broker_node(broker), NetMsg::Publish(stamped));
                 } else {
                     self.skipped_publishes += 1;
                 }
+            }
+            ClientAction::RetryPublish { id, attempt } => {
+                let Some(event) = self.pending_acks.get(&id).cloned() else {
+                    return; // acked in the meantime
+                };
+                if attempt >= MAX_PUBLISH_RETRIES {
+                    // Give up; the delivery audit records whatever was lost.
+                    self.pending_acks.remove(&id);
+                    return;
+                }
+                if let Some(broker) = self.current_broker {
+                    // Resend the original stamped event unchanged (same id,
+                    // seq and publication time) so broker-side dedup and the
+                    // audit treat it as the same event; not re-counted in
+                    // `published`.
+                    self.retransmissions += 1;
+                    ctx.send(self.book.broker_node(broker), NetMsg::Publish(event));
+                }
+                let backoff = SimDuration::from_millis(RETRY_BASE_MS << (attempt + 1));
+                ctx.schedule(
+                    backoff,
+                    NetMsg::Action(ClientAction::RetryPublish {
+                        id,
+                        attempt: attempt + 1,
+                    }),
+                );
             }
             ClientAction::Disconnect { proclaimed_dest } => {
                 if let Some(broker) = self.current_broker.take() {
@@ -247,6 +308,9 @@ impl<P: ProtocolMessage> Node<NetMsg<P>> for ClientNode {
                     }
                 }
                 self.received.push(record);
+            }
+            NetMsg::PublishAck { id } => {
+                self.pending_acks.remove(&id);
             }
             NetMsg::Action(action) => self.handle_action(action, ctx),
             // Clients ignore broker-to-broker traffic that could only reach

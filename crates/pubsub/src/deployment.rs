@@ -20,7 +20,7 @@ use crate::broker::{install_subscription, Broker, BrokerCore, MobilityProtocol};
 use crate::client::ClientNode;
 use crate::event::Event;
 use crate::filter::Filter;
-use crate::messages::{ClientAction, NetMsg};
+use crate::messages::{ClientAction, NetMsg, RepairMsg};
 use crate::wire::{FanoutMode, FanoutStats};
 
 /// Either a broker or a client, so one engine can hold the whole system.
@@ -103,6 +103,25 @@ pub struct DeploymentConfig {
     /// Track broker memory high-water marks (buffered protocol bytes and
     /// checkpoint sizes). Off by default — the sampling walk is per-message.
     pub track_mem: bool,
+    /// Per-client duplicate-suppression window on brokers: remember this many
+    /// recent event ids (plus per-publisher sequence watermarks) and drop
+    /// re-deliveries. `0` disables dedup and keeps the untouched fast path.
+    pub dedup_window: usize,
+    /// End-to-end publish reliability: brokers ack accepted publishes and
+    /// publishers retransmit unacked events with bounded exponential backoff.
+    pub retransmit: bool,
+    /// Neighbour-replicated checkpoint period in milliseconds. When non-zero
+    /// every broker pushes a checkpoint of its durable state to its lowest-id
+    /// overlay neighbour on this period, and a crashed broker restores from
+    /// that (possibly stale) replica instead of its own last self-checkpoint.
+    /// `0` keeps the legacy local self-checkpoint restore.
+    pub checkpoint_replication_ms: u64,
+    /// The instant (in milliseconds) past which the replication tick stops
+    /// re-arming — normally the workload horizon. Required whenever
+    /// `checkpoint_replication_ms` is non-zero: the self-rearming tick
+    /// would otherwise keep `run_to_completion` from ever draining. `0`
+    /// (the default) leaves replication unarmed.
+    pub replication_horizon_ms: u64,
 }
 
 impl Default for DeploymentConfig {
@@ -120,6 +139,10 @@ impl Default for DeploymentConfig {
             retained: false,
             shared_group_size: 0,
             track_mem: false,
+            dedup_window: 0,
+            retransmit: false,
+            checkpoint_replication_ms: 0,
+            replication_horizon_ms: 0,
         }
     }
 }
@@ -217,7 +240,13 @@ impl<P: MobilityProtocol> Deployment<P> {
                         .with_fanout_mode(config.fanout_mode)
                         .with_retained(config.retained)
                         .with_shared_groups(config.shared_group_size)
-                        .with_mem_tracking(config.track_mem),
+                        .with_mem_tracking(config.track_mem)
+                        .with_dedup_window(config.dedup_window)
+                        .with_publish_acks(config.retransmit)
+                        .with_checkpoint_replication(
+                            SimDuration::from_millis(config.checkpoint_replication_ms),
+                            SimTime::from_millis(config.replication_horizon_ms),
+                        ),
                     make_protocol(b),
                 )
             })
@@ -232,6 +261,7 @@ impl<P: MobilityProtocol> Deployment<P> {
                 node.attach_initially();
             }
             node.mobile = spec.mobile;
+            node.retransmit = config.retransmit;
             client_nodes.push(node);
         }
 
@@ -248,6 +278,33 @@ impl<P: MobilityProtocol> Deployment<P> {
             network,
             book,
             engine,
+        }
+    }
+
+    /// Seed the neighbour-replication clock: schedule every broker's first
+    /// [`RepairMsg::ReplicateTick`] one period into the run (each tick
+    /// re-arms itself from inside the repair handler, until the
+    /// replication horizon). A no-op unless the deployment was built with
+    /// both [`DeploymentConfig::checkpoint_replication_ms`] and
+    /// [`DeploymentConfig::replication_horizon_ms`] set. Callers that
+    /// reserve external sequence numbers (the harness runner) must arm
+    /// *after* reserving — arming draws ordinary sequence numbers.
+    pub fn arm_replication_ticks(&mut self) {
+        let (period, until) = self
+            .brokers()
+            .map(|b| (b.core.replication_period, b.core.replication_until))
+            .next()
+            .unwrap_or((SimDuration::ZERO, SimTime::ZERO));
+        let first = SimTime::ZERO + period;
+        if period == SimDuration::ZERO || first > until {
+            return;
+        }
+        for b in self.book.brokers() {
+            self.engine.schedule_external(
+                first,
+                self.book.broker_node(b),
+                NetMsg::Repair(RepairMsg::ReplicateTick),
+            );
         }
     }
 
@@ -319,6 +376,31 @@ impl<P: MobilityProtocol> Deployment<P> {
     pub fn checkpoint_bytes_peak(&self) -> u64 {
         self.brokers()
             .map(|b| b.core.checkpoint_bytes_peak)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Duplicate deliveries suppressed by broker dedup, summed system-wide.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.brokers().map(|b| b.core.duplicates_suppressed).sum()
+    }
+
+    /// Publisher-side retransmissions sent, summed over all clients.
+    pub fn retransmissions(&self) -> u64 {
+        self.clients().map(|c| c.retransmissions).sum()
+    }
+
+    /// Subscriptions re-installed because a restored replica was stale,
+    /// summed over all brokers.
+    pub fn stale_resubscribes(&self) -> u64 {
+        self.brokers().map(|b| b.core.stale_resubscribes).sum()
+    }
+
+    /// Highest dedup-state sample observed at any single broker (only
+    /// non-zero when [`DeploymentConfig::track_mem`] was set).
+    pub fn dedup_bytes_peak(&self) -> u64 {
+        self.brokers()
+            .map(|b| b.core.dedup_bytes_peak)
             .max()
             .unwrap_or(0)
     }

@@ -9,8 +9,9 @@
 use mhh_simnet::{Message, TrafficClass};
 
 use crate::address::{BrokerId, ClientId};
-use crate::event::Event;
+use crate::event::{Event, EventId};
 use crate::filter::Filter;
+use crate::repair::BrokerCheckpoint;
 
 /// Trait implemented by a mobility protocol's message enum.
 ///
@@ -65,6 +66,16 @@ pub enum ClientAction {
     Reconnect {
         /// The broker the client attaches to.
         broker: BrokerId,
+    },
+    /// Retry timer for an unacknowledged publish (publisher-side
+    /// retransmission). Fires `attempt + 1`-th resend unless the broker's
+    /// [`NetMsg::PublishAck`] arrived in the meantime.
+    RetryPublish {
+        /// The unacknowledged event.
+        id: EventId,
+        /// How many resends have already been attempted when this timer
+        /// was armed.
+        attempt: u32,
     },
 }
 
@@ -127,6 +138,34 @@ pub enum RepairMsg<P> {
         /// The wrapped message.
         inner: Box<NetMsg<P>>,
     },
+    /// Self-scheduled timer driving periodic checkpoint replication: on
+    /// each tick the broker pushes its current [`BrokerCheckpoint`] to its
+    /// replica holder and re-arms the timer.
+    ReplicateTick,
+    /// Periodic checkpoint replication: `owner`'s durable state pushed to a
+    /// neighbor for safekeeping. Real repair-class traffic — the wire size
+    /// is the checkpoint's modeled size.
+    Replicate {
+        /// The broker whose state this is.
+        owner: BrokerId,
+        /// The replicated snapshot.
+        checkpoint: Box<BrokerCheckpoint>,
+    },
+    /// A freshly restarted broker asking its replica holder for the last
+    /// snapshot it pushed before the crash.
+    ReplicaRequest {
+        /// The restarted broker (also the reply address).
+        owner: BrokerId,
+    },
+    /// The holder's reply to a [`RepairMsg::ReplicaRequest`]: the stale
+    /// replica, or `None` when no snapshot survived (the holder itself
+    /// restarted, or no replication tick ran before the crash).
+    ReplicaResponse {
+        /// The restarted broker this replica belongs to.
+        owner: BrokerId,
+        /// The last replicated snapshot, if any.
+        replica: Option<Box<BrokerCheckpoint>>,
+    },
 }
 
 /// The complete message set transported by the simulation engine.
@@ -152,6 +191,12 @@ pub enum NetMsg<P> {
     // ------------------------------------------------------------------
     /// Final delivery of an event to a connected subscriber.
     Deliver(Event),
+    /// Broker acknowledgment of a client publish (sent only when publisher
+    /// retransmission is enabled); the client stops its retry timer.
+    PublishAck {
+        /// The acknowledged event.
+        id: EventId,
+    },
 
     // ------------------------------------------------------------------
     // broker <-> broker
@@ -203,6 +248,7 @@ impl<P> NetMsg<P> {
             },
             NetMsg::Publish(e) => NetMsg::Publish(e),
             NetMsg::Deliver(e) => NetMsg::Deliver(e),
+            NetMsg::PublishAck { id } => NetMsg::PublishAck { id },
             NetMsg::SubPropagate { filter, mobility } => NetMsg::SubPropagate { filter, mobility },
             NetMsg::UnsubPropagate { filter, mobility } => {
                 NetMsg::UnsubPropagate { filter, mobility }
@@ -216,6 +262,14 @@ impl<P> NetMsg<P> {
                 RepairMsg::LinkUp { peer } => RepairMsg::LinkUp { peer },
                 RepairMsg::Restarted => RepairMsg::Restarted,
                 RepairMsg::Announce { dead, filters } => RepairMsg::Announce { dead, filters },
+                RepairMsg::ReplicateTick => RepairMsg::ReplicateTick,
+                RepairMsg::Replicate { owner, checkpoint } => {
+                    RepairMsg::Replicate { owner, checkpoint }
+                }
+                RepairMsg::ReplicaRequest { owner } => RepairMsg::ReplicaRequest { owner },
+                RepairMsg::ReplicaResponse { owner, replica } => {
+                    RepairMsg::ReplicaResponse { owner, replica }
+                }
                 // A tunnel wraps at most one protocol payload, so the
                 // `FnOnce` is used at most once down the recursion.
                 RepairMsg::Tunnel { src, dst, inner } => RepairMsg::Tunnel {
@@ -236,6 +290,7 @@ impl<P: ProtocolMessage> Message for NetMsg<P> {
                 TrafficClass::ClientControl
             }
             NetMsg::Deliver(_) => TrafficClass::EventDelivery,
+            NetMsg::PublishAck { .. } => TrafficClass::ClientControl,
             NetMsg::SubPropagate { mobility, .. } | NetMsg::UnsubPropagate { mobility, .. } => {
                 if *mobility {
                     TrafficClass::MobilityControl
@@ -256,6 +311,7 @@ impl<P: ProtocolMessage> Message for NetMsg<P> {
             NetMsg::Disconnect { .. } => "disconnect",
             NetMsg::Publish(_) => "publish",
             NetMsg::Deliver(_) => "deliver",
+            NetMsg::PublishAck { .. } => "publish_ack",
             NetMsg::SubPropagate { .. } => "sub_propagate",
             NetMsg::UnsubPropagate { .. } => "unsub_propagate",
             NetMsg::Forward(_) => "forward",
@@ -268,6 +324,10 @@ impl<P: ProtocolMessage> Message for NetMsg<P> {
                 RepairMsg::Restarted => "repair_restarted",
                 RepairMsg::Announce { .. } => "repair_announce",
                 RepairMsg::Tunnel { .. } => "repair_tunnel",
+                RepairMsg::ReplicateTick => "repair_replicate_tick",
+                RepairMsg::Replicate { .. } => "repair_replicate",
+                RepairMsg::ReplicaRequest { .. } => "repair_replica_request",
+                RepairMsg::ReplicaResponse { .. } => "repair_replica_response",
             },
             NetMsg::Action(_) => "action",
         }
@@ -278,6 +338,13 @@ impl<P: ProtocolMessage> Message for NetMsg<P> {
             NetMsg::Publish(e) | NetMsg::Deliver(e) | NetMsg::Forward(e) => e.wire_size(),
             NetMsg::Protocol(p) => p.wire_bytes(),
             NetMsg::Repair(RepairMsg::Tunnel { inner, .. }) => inner.wire_bytes(),
+            NetMsg::Repair(RepairMsg::Replicate { checkpoint, .. }) => {
+                checkpoint.modeled_bytes().min(u32::MAX as u64) as u32
+            }
+            NetMsg::Repair(RepairMsg::ReplicaResponse {
+                replica: Some(replica),
+                ..
+            }) => replica.modeled_bytes().min(u32::MAX as u64) as u32,
             _ => 0,
         }
     }

@@ -57,6 +57,11 @@ pub struct RepairState {
     /// `unreachable → relay`. Shared with every [`BrokerCtx`] so all
     /// broker→broker sends are transparently tunneled.
     pub tunnels: Arc<BTreeMap<BrokerId, BrokerId>>,
+    /// Checkpoint replicas this broker holds *for* its neighbors
+    /// (`owner → last pushed snapshot`). Soft state: wiped when the holder
+    /// itself restarts, which is exactly the double-failure a real replica
+    /// store would lose.
+    pub replicas: BTreeMap<BrokerId, BrokerCheckpoint>,
 }
 
 /// The durable state a broker reloads after a restart (the "synchronous
@@ -137,6 +142,14 @@ impl BrokerCore {
             .into_iter()
             .filter(|nb| !self.repair.dead.contains(nb))
             .min()
+    }
+
+    /// The deterministic neighbor holding this broker's checkpoint replica:
+    /// its lowest-id overlay-tree neighbor. `None` for a broker with no
+    /// tree neighbors (single-broker deployments), which disables
+    /// replication for it.
+    pub fn replica_holder(&self) -> Option<BrokerId> {
+        self.neighbors().into_iter().min()
     }
 
     /// A tree neighbor crashed: drop every route through it and announce the
@@ -303,36 +316,78 @@ impl<P: MobilityProtocol> Broker<P> {
                 // filter table: revert any recorded before the crash, because
                 // the restart wipes the bookkeeping (`PeerUp` may itself have
                 // been dropped while this broker was down) and a stale detour
-                // alongside resynced tree routes is a routing cycle.
+                // alongside resynced tree routes is a routing cycle. Taking
+                // the repair state also wipes any replicas this broker held
+                // for *other* brokers — a restart loses them.
                 let repair = std::mem::take(&mut self.core.repair);
                 for detours in repair.detours.into_values() {
                     for (via, f) in detours {
                         self.core.filters.remove(Peer::Broker(via), &f);
                     }
                 }
-                // Reload durable state from the synchronous checkpoint (the
-                // round-trip models the reload; timers and in-flight messages
-                // were dropped by the engine while the window was active).
-                let checkpoint = self.core.checkpoint();
-                if self.core.track_mem {
-                    let bytes = checkpoint.modeled_bytes();
-                    self.core.note_checkpoint_bytes(bytes);
-                }
-                self.core.restore(checkpoint);
                 self.core.repair = RepairState::default();
-                self.proto.on_restart(&mut self.core, ctx);
-                let needed = self.core.needed_filters();
-                if !needed.is_empty() {
-                    for nb in self.core.neighbors() {
+                let holder = (self.core.replication_period > SimDuration::ZERO)
+                    .then(|| self.core.replica_holder())
+                    .flatten();
+                if let Some(holder) = holder {
+                    // Neighbour-replicated restart: defer the restore until
+                    // the holder's (stale) replica arrives, stashing the
+                    // pre-crash attachment set to price the staleness.
+                    // Timers died with the crash, so re-arm the replication
+                    // tick here.
+                    self.core.pending_restore = Some(self.core.connected.clone());
+                    ctx.send_to_broker(
+                        holder,
+                        NetMsg::Repair(RepairMsg::ReplicaRequest {
+                            owner: self.core.id,
+                        }),
+                    );
+                    self.rearm_replication(ctx);
+                } else {
+                    // Reload durable state from the synchronous checkpoint
+                    // (the round-trip models the reload; timers and in-flight
+                    // messages were dropped by the engine while the window
+                    // was active).
+                    let checkpoint = self.core.checkpoint();
+                    if self.core.track_mem {
+                        let bytes = checkpoint.modeled_bytes();
+                        self.core.note_checkpoint_bytes(bytes);
+                    }
+                    self.core.restore(checkpoint);
+                    self.finish_restart(ctx);
+                }
+            }
+            RepairMsg::ReplicateTick => {
+                if self.core.replication_period > SimDuration::ZERO {
+                    if let Some(holder) = self.core.replica_holder() {
+                        let checkpoint = self.core.checkpoint();
+                        if self.core.track_mem {
+                            let bytes = checkpoint.modeled_bytes();
+                            self.core.note_checkpoint_bytes(bytes);
+                        }
                         ctx.send_to_broker(
-                            nb,
-                            NetMsg::Repair(RepairMsg::Announce {
-                                dead: None,
-                                filters: needed.clone(),
+                            holder,
+                            NetMsg::Repair(RepairMsg::Replicate {
+                                owner: self.core.id,
+                                checkpoint: Box::new(checkpoint),
                             }),
                         );
                     }
+                    self.rearm_replication(ctx);
                 }
+            }
+            RepairMsg::Replicate { owner, checkpoint } => {
+                self.core.repair.replicas.insert(owner, *checkpoint);
+            }
+            RepairMsg::ReplicaRequest { owner } => {
+                let replica = self.core.repair.replicas.get(&owner).cloned().map(Box::new);
+                ctx.send_to_broker(
+                    owner,
+                    NetMsg::Repair(RepairMsg::ReplicaResponse { owner, replica }),
+                );
+            }
+            RepairMsg::ReplicaResponse { owner: _, replica } => {
+                self.finish_replica_restore(replica.map(|b| *b), ctx);
             }
             RepairMsg::Tunnel { src, dst, inner } => {
                 if dst == self.core.id {
@@ -343,6 +398,75 @@ impl<P: MobilityProtocol> Broker<P> {
                     // Relay hop: pass the tunnel through unchanged.
                     ctx.send_to_broker(dst, NetMsg::Repair(RepairMsg::Tunnel { src, dst, inner }));
                 }
+            }
+        }
+    }
+
+    /// Schedule the next [`RepairMsg::ReplicateTick`] — unless it would
+    /// land past the replication horizon. The bound is what lets a run
+    /// drain to quiescence after the workload ends: an unconditional
+    /// re-arm would keep the event queue non-empty forever.
+    fn rearm_replication(&mut self, ctx: &mut BrokerCtx<'_, P::Msg>) {
+        let period = self.core.replication_period;
+        if period > SimDuration::ZERO && ctx.now() + period <= self.core.replication_until {
+            ctx.schedule_repair(period, RepairMsg::ReplicateTick);
+        }
+    }
+
+    /// The replica holder's response arrived: restore from the stale
+    /// snapshot (or restart cold when none survived), re-subscribe clients
+    /// the replica predates, and run the common post-restart recovery.
+    fn finish_replica_restore(
+        &mut self,
+        replica: Option<BrokerCheckpoint>,
+        ctx: &mut BrokerCtx<'_, P::Msg>,
+    ) {
+        let pre_crash = self.core.pending_restore.take().unwrap_or_default();
+        match replica {
+            Some(checkpoint) => {
+                if self.core.track_mem {
+                    let bytes = checkpoint.modeled_bytes();
+                    self.core.note_checkpoint_bytes(bytes);
+                }
+                self.core.restore(checkpoint);
+            }
+            None => {
+                // No replica survived (the holder restarted too, or the
+                // crash beat the first tick): cold restart. Broker-peer
+                // routes are rebuilt by the neighbors' resync announces.
+                self.core.filters = FilterTable::new();
+                self.core.connected = BTreeMap::new();
+            }
+        }
+        // Staleness cost: clients attached before the crash but absent from
+        // the replica (they arrived after the last tick) re-subscribe from
+        // scratch — real subscription-propagation traffic, attributed in
+        // the recovery ledger.
+        for (client, filter) in pre_crash {
+            if !self.core.connected.contains_key(&client) {
+                self.core.stale_resubscribes += 1;
+                self.core.connected.insert(client, filter.clone());
+                self.core
+                    .apply_subscribe(Peer::Client(client), filter, true, ctx);
+            }
+        }
+        self.finish_restart(ctx);
+    }
+
+    /// Common tail of both restart flavors: give the mobility protocol its
+    /// recovery hook, then resync filters with the overlay neighbors.
+    fn finish_restart(&mut self, ctx: &mut BrokerCtx<'_, P::Msg>) {
+        self.proto.on_restart(&mut self.core, ctx);
+        let needed = self.core.needed_filters();
+        if !needed.is_empty() {
+            for nb in self.core.neighbors() {
+                ctx.send_to_broker(
+                    nb,
+                    NetMsg::Repair(RepairMsg::Announce {
+                        dead: None,
+                        filters: needed.clone(),
+                    }),
+                );
             }
         }
     }

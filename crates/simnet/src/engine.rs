@@ -49,7 +49,7 @@ use std::sync::Arc;
 
 use crate::clocks::LinkClocks;
 use crate::fabric::Fabric;
-use crate::faults::{DropRecord, FaultSchedule};
+use crate::faults::{DropCause, DropRecord, FaultSchedule, LinkFate, LossModel};
 use crate::ids::NodeId;
 use crate::queue::{EventQueue, PopBefore};
 use crate::stats::{Message, TrafficStats};
@@ -64,6 +64,13 @@ pub struct Envelope<M> {
     pub to: NodeId,
     /// When the message was sent.
     pub sent_at: SimTime,
+    /// The fate sampled at send time by the installed [`LossModel`], if any
+    /// (always [`LinkFate::Intact`] on lossless links, timers and
+    /// self-deliveries). Sampling happens at *send* time — where the link
+    /// send index is in hand — while the drop itself is recorded at
+    /// *delivery* time, keeping the drop log in delivery order for both the
+    /// serial and the parallel engine.
+    pub fate: LinkFate,
     /// The payload.
     pub msg: M,
 }
@@ -283,7 +290,12 @@ pub struct Engine<M: Message, N: Node<M>> {
     /// fast path) whenever no non-empty schedule was installed, so
     /// fault-free runs stay byte-identical to a faultless engine.
     faults: Option<Arc<FaultSchedule>>,
-    /// Every envelope dropped by the fault plan, in delivery order.
+    /// Probabilistic link loss/corruption sampled on the send path. `None`
+    /// (the zero-loss fast path) whenever no lossy model was installed, so
+    /// loss-free runs stay byte-identical to a loss-free engine.
+    loss: Option<LossModel>,
+    /// Every envelope dropped by the fault plan or the loss model, in
+    /// delivery order.
     drops: Vec<DropRecord>,
     /// Fan-out allocations harvested from delivery contexts (see
     /// [`Context::note_fanout_allocs`]).
@@ -328,6 +340,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
             scratch_cap,
             scratch_grows: 0,
             faults: None,
+            loss: None,
             drops: Vec::new(),
             fanout_allocs: 0,
             external_next: 0,
@@ -419,7 +432,21 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         self.faults.as_deref()
     }
 
-    /// Every envelope the fault schedule dropped so far, in delivery order.
+    /// Install a loss model, sampled on every cross-node send. A
+    /// **lossless** model is not installed at all: the send path then
+    /// performs no fate sampling, keeping zero-loss runs byte-identical to
+    /// a loss-free engine.
+    pub fn set_loss(&mut self, model: LossModel) {
+        self.loss = (!model.is_lossless()).then_some(model);
+    }
+
+    /// The loss model in effect, if a lossy one was installed.
+    pub fn loss(&self) -> Option<&LossModel> {
+        self.loss.as_ref()
+    }
+
+    /// Every envelope the fault schedule or loss model dropped so far, in
+    /// delivery order.
     pub fn drops(&self) -> &[DropRecord] {
         &self.drops
     }
@@ -437,6 +464,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                 from: to,
                 to,
                 sent_at: at,
+                fate: LinkFate::Intact,
                 msg,
             },
         );
@@ -483,6 +511,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                 from: to,
                 to,
                 sent_at: at,
+                fate: LinkFate::Intact,
                 msg,
             },
         );
@@ -518,10 +547,22 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                     // proposal is FIFO-clamped in place — never deliver
                     // before anything already scheduled on this ordered pair.
                     let fabric = &*self.fabric;
+                    let loss = self.loss;
                     let mut hops = 0;
+                    let mut fate = LinkFate::Intact;
                     let at = self.link_clock.advance_send(origin, to, |link_seq| {
                         let cost = fabric.link(origin, to, sent_at, link_seq);
                         hops = cost.hops;
+                        // Fate is sampled here, where the link send index is
+                        // in hand, keyed exactly like jitter on
+                        // `(seed, from, to, link_seq)`. Lost/corrupted
+                        // messages still advance the link clock, consume the
+                        // send index and count in traffic stats — the bytes
+                        // *were* sent — so the jitter stream and the stats
+                        // stay byte-identical whatever the fates.
+                        if let (Some(m), false) = (&loss, origin == to) {
+                            fate = m.fate(origin, to, link_seq);
+                        }
                         sent_at + cost.latency
                     });
                     let t1 = profiling.then(std::time::Instant::now);
@@ -539,6 +580,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                             from: origin,
                             to,
                             sent_at,
+                            fate,
                             msg,
                         },
                     );
@@ -560,6 +602,7 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
                             from: origin,
                             to: origin,
                             sent_at,
+                            fate: LinkFate::Intact,
                             msg,
                         },
                     );
@@ -571,28 +614,48 @@ impl<M: Message, N: Node<M>> Engine<M, N> {
         }
     }
 
+    /// Why an envelope about to be delivered at `at` must be dropped, if it
+    /// must. A message lost in flight never reaches its destination, so loss
+    /// wins over a fault at the destination; a corrupted message *does*
+    /// arrive (and is discarded by the receiver's checksum), so a crashed
+    /// destination wins over corruption.
+    #[inline]
+    fn drop_cause(&self, env: &Envelope<M>, at: SimTime) -> Option<DropCause> {
+        if env.fate == LinkFate::Lost {
+            return Some(DropCause::Loss);
+        }
+        if let Some(faults) = &self.faults {
+            if let Some((window, _)) = faults.verdict(env.from, env.to, at) {
+                return Some(DropCause::Fault(window));
+            }
+        }
+        if env.fate == LinkFate::Corrupted {
+            return Some(DropCause::Corruption);
+        }
+        None
+    }
+
     /// Deliver one already-popped event: advance the clock, run the node
     /// callback with the engine's scratch outbox, enqueue what it emitted.
     fn deliver(&mut self, at: SimTime, env: Envelope<M>) {
         debug_assert!(at >= self.now, "time must be monotone");
         self.now = at;
-        // Fault consultation: a dropped envelope is recorded, never
+        // Fault/loss consultation: a dropped envelope is recorded, never
         // silently vanished, and the destination's callback does not run —
-        // crashed nodes receive nothing (timers included) and partitioned
-        // links deliver nothing. Absent a schedule this branch is not taken
-        // and the path below is the unchanged fast path.
-        if let Some(faults) = &self.faults {
-            if let Some((window, _)) = faults.verdict(env.from, env.to, at) {
-                self.drops.push(DropRecord {
-                    at,
-                    from: env.from,
-                    to: env.to,
-                    kind: env.msg.kind(),
-                    class: env.msg.traffic_class(),
-                    window,
-                });
-                return;
-            }
+        // crashed nodes receive nothing (timers included), partitioned
+        // links deliver nothing, and lost/corrupted messages die here.
+        // Absent a schedule and a loss model this branch is not taken and
+        // the path below is the unchanged fast path.
+        if let Some(cause) = self.drop_cause(&env, at) {
+            self.drops.push(DropRecord {
+                at,
+                from: env.from,
+                to: env.to,
+                kind: env.msg.kind(),
+                class: env.msg.traffic_class(),
+                cause,
+            });
+            return;
         }
         self.delivered += 1;
         self.stats.deliveries += 1;
@@ -1082,7 +1145,7 @@ mod tests {
         assert_eq!(drop.at, SimTime::from_millis(110));
         assert_eq!((drop.from, drop.to), (NodeId(0), NodeId(1)));
         assert_eq!(drop.kind, "ping");
-        assert_eq!(drop.window, 0);
+        assert_eq!(drop.cause, DropCause::Fault(0));
         // Dropped envelopes are not deliveries: only 2 pings answered.
         let node0 = eng.node(NodeId(0));
         let pongs = node0
@@ -1114,6 +1177,104 @@ mod tests {
             )
         };
         assert_eq!(run(false), run(true));
+    }
+
+    /// Installing a lossless model must keep the zero-loss fast path: the
+    /// run is byte-identical to one with no model at all.
+    #[test]
+    fn lossless_model_is_the_fast_path() {
+        let run = |lossy: bool| {
+            let mut eng = two_node_engine(10);
+            if lossy {
+                eng.set_loss(LossModel::new(99, 0.0, 0.0));
+            }
+            eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+            eng.run_to_completion();
+            assert!(eng.loss().is_none(), "lossless models are not installed");
+            (
+                eng.node(NodeId(0)).seen.clone(),
+                eng.node(NodeId(1)).seen.clone(),
+                eng.deliveries(),
+                format!("{:?}", eng.stats()),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// A lossy model drops some messages, records every drop with its cause,
+    /// keeps timers exempt, and replays byte-identically for the same seed.
+    #[test]
+    fn lossy_links_drop_record_and_replay_identically() {
+        let run = |seed: u64| {
+            let mut eng = two_node_engine(10);
+            eng.set_loss(LossModel::new(seed, 0.4, 0.2));
+            eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+            assert_eq!(eng.run_to_completion(), RunOutcome::Drained);
+            (
+                eng.node(NodeId(0)).seen.clone(),
+                eng.node(NodeId(1)).seen.clone(),
+                eng.drops().to_vec(),
+                eng.deliveries(),
+            )
+        };
+        // Find a seed whose fates include both losses and corruptions so the
+        // assertions below are not vacuous (the scan is deterministic).
+        let (seed, drops) = (0..64u64)
+            .map(|s| (s, run(s).2))
+            .find(|(_, d)| {
+                d.iter().any(|r| r.cause == DropCause::Loss)
+                    && d.iter().any(|r| r.cause == DropCause::Corruption)
+            })
+            .expect("some seed in 0..64 loses and corrupts at 40%/20% rates");
+        for d in &drops {
+            assert!(matches!(d.cause, DropCause::Loss | DropCause::Corruption));
+            assert_ne!(d.from, d.to, "timers and self-sends are exempt");
+            assert_ne!(d.kind, "tick");
+        }
+        // The three self-scheduled ticks always run: loss only covers links.
+        let (seen0, _, _, _) = run(seed);
+        let ticks = seen0.iter().filter(|(_, m)| matches!(m, Toy::Tick)).count();
+        assert_eq!(ticks, 3);
+        assert_eq!(run(seed), run(seed), "seeded lossy runs replay");
+    }
+
+    /// Loss, fault windows and corruption attribute drops in the documented
+    /// precedence order: lost messages never reach the node (loss wins),
+    /// corrupted messages do arrive and die at the crashed node (fault wins).
+    #[test]
+    fn drop_cause_precedence_is_loss_fault_corruption() {
+        use crate::faults::FaultSchedule;
+        // Crash node 1 for the whole run, lose everything on the wire: all
+        // drops must be attributed to loss.
+        let mut eng = two_node_engine(10);
+        eng.set_faults(Arc::new(FaultSchedule::new().crash(
+            NodeId(1),
+            SimTime::ZERO,
+            SimTime::from_secs(3600),
+        )));
+        eng.set_loss(LossModel::new(1, 1.0, 0.0));
+        eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+        eng.run_to_completion();
+        let ping_drops: Vec<_> = eng.drops().iter().filter(|d| d.kind == "ping").collect();
+        assert!(!ping_drops.is_empty());
+        assert!(ping_drops.iter().all(|d| d.cause == DropCause::Loss));
+
+        // Corrupt everything instead: the crashed destination wins.
+        let mut eng = two_node_engine(10);
+        eng.set_faults(Arc::new(FaultSchedule::new().crash(
+            NodeId(1),
+            SimTime::ZERO,
+            SimTime::from_secs(3600),
+        )));
+        eng.set_loss(LossModel::new(1, 0.0, 1.0));
+        eng.schedule_external(SimTime::ZERO, NodeId(0), Toy::Tick);
+        eng.run_to_completion();
+        let ping_drops: Vec<_> = eng.drops().iter().filter(|d| d.kind == "ping").collect();
+        assert!(!ping_drops.is_empty());
+        assert!(
+            ping_drops.iter().all(|d| d.cause == DropCause::Fault(0)),
+            "a corrupted message still arrives, and dies at the crashed node"
+        );
     }
 
     /// Lazy injection with reserved sequence numbers must replay the exact

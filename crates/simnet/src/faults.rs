@@ -35,7 +35,7 @@
 //! path), so zero-fault runs stay byte-identical to a faultless build.
 
 use crate::ids::NodeId;
-use crate::random::DetRng;
+use crate::random::{mix64, DetRng};
 use crate::stats::TrafficClass;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Network;
@@ -128,9 +128,41 @@ impl OutageWindow {
     }
 }
 
+/// Why the engine dropped an envelope instead of delivering it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// An outage window covered the envelope; the payload is the index into
+    /// [`FaultSchedule::windows`] (the first active covering window wins).
+    Fault(usize),
+    /// The link lost the message in flight ([`LossModel::fate`]).
+    Loss,
+    /// The message arrived corrupted and was discarded on receipt (the
+    /// checksum-verify-then-drop model; [`LossModel::fate`]).
+    Corruption,
+}
+
+impl DropCause {
+    /// Short label for reports (`"fault"`, `"loss"`, `"corruption"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::Fault(_) => "fault",
+            DropCause::Loss => "loss",
+            DropCause::Corruption => "corruption",
+        }
+    }
+
+    /// The outage-window index, for fault-caused drops.
+    pub fn window(self) -> Option<usize> {
+        match self {
+            DropCause::Fault(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
 /// One envelope the engine dropped instead of delivering. The engine keeps
 /// these in delivery order; downstream ledgers attribute losses to outage
-/// windows through the `window` index.
+/// windows (or to link loss/corruption) through the `cause`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DropRecord {
     /// The delivery instant at which the drop happened.
@@ -143,10 +175,138 @@ pub struct DropRecord {
     pub kind: &'static str,
     /// The message's traffic class.
     pub class: TrafficClass,
-    /// Index into [`FaultSchedule::windows`] of the window that caused the
-    /// drop (the first active covering window wins).
-    pub window: usize,
+    /// What dropped the envelope.
+    pub cause: DropCause,
 }
+
+/// The sampled fate of one envelope on a lossy link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkFate {
+    /// Delivered unharmed (the only fate on a lossless link).
+    #[default]
+    Intact,
+    /// Vanished in flight; the receiver never sees it.
+    Lost,
+    /// Arrived bit-damaged; the receiver's checksum rejects it.
+    Corrupted,
+}
+
+/// Seeded per-message probabilistic loss and corruption for cross-node
+/// links.
+///
+/// Like the jittered fabric, the model is **stateless**: each message's fate
+/// is a pure hash of `(seed, from, to, link_seq)`, so the same seeded
+/// workload replays byte-identically and inserting one extra message never
+/// perturbs the fate of the others. A lossless model (`loss_rate` and
+/// `corruption_rate` both zero) is never installed by the engine
+/// (`set_loss` keeps the fast path), so zero-loss runs stay byte-identical
+/// to a loss-free build. Timers and other self-deliveries never traverse a
+/// link and are exempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossModel {
+    /// Root seed for the fate stream (independent of the jitter seed).
+    pub seed: u64,
+    /// Probability that a message is lost in flight, in `[0, 1]`.
+    pub loss_rate: f64,
+    /// Probability that a surviving message arrives corrupted, in `[0, 1]`.
+    pub corruption_rate: f64,
+}
+
+/// Salt separating the loss coin from the jitter stream ("LOSS").
+const LOSS_SALT: u64 = 0x4c4f_5353;
+/// Salt separating the corruption coin from the loss coin ("CORR").
+const CORRUPT_SALT: u64 = 0x434f_5252;
+
+impl LossModel {
+    /// A model with the given rates (clamped to `[0, 1]`).
+    pub fn new(seed: u64, loss_rate: f64, corruption_rate: f64) -> Self {
+        LossModel {
+            seed,
+            loss_rate: loss_rate.clamp(0.0, 1.0),
+            corruption_rate: corruption_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Whether the model can never drop or corrupt anything (the engine
+    /// refuses to install such a model, keeping the fast path).
+    pub fn is_lossless(&self) -> bool {
+        self.loss_rate <= 0.0 && self.corruption_rate <= 0.0
+    }
+
+    /// Uniform `[0,1)` coin for one message, keyed exactly like the jittered
+    /// fabric's per-message sampling: a splitmix64 hash of the structured
+    /// key, no sequential state.
+    #[inline]
+    fn coin(&self, from: NodeId, to: NodeId, link_seq: u64, salt: u64) -> f64 {
+        let pair = ((from.0 as u64) << 32) | to.0 as u64;
+        let word = mix64(
+            self.seed
+                ^ pair.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ link_seq.wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ salt,
+        );
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The fate of the `link_seq`-th message on the ordered link
+    /// `from → to`. Pure — same arguments, same fate.
+    #[inline]
+    pub fn fate(&self, from: NodeId, to: NodeId, link_seq: u64) -> LinkFate {
+        if self.loss_rate > 0.0 && self.coin(from, to, link_seq, LOSS_SALT) < self.loss_rate {
+            return LinkFate::Lost;
+        }
+        if self.corruption_rate > 0.0
+            && self.coin(from, to, link_seq, CORRUPT_SALT) < self.corruption_rate
+        {
+            return LinkFate::Corrupted;
+        }
+        LinkFate::Intact
+    }
+}
+
+/// A structural defect in a [`FaultSchedule`], reported by
+/// [`FaultSchedule::validate`] at install time instead of silently accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultScheduleError {
+    /// `windows[index]` has `start >= end` (zero or negative duration).
+    EmptyWindow {
+        /// Index of the offending window.
+        index: usize,
+    },
+    /// `windows[index]` starts before its predecessor (the schedule must be
+    /// sorted by start so ledger attribution scans it in outage order).
+    Unsorted {
+        /// Index of the offending window.
+        index: usize,
+    },
+    /// `windows[index]` starts at or after the run horizon and can never
+    /// fire.
+    BeyondHorizon {
+        /// Index of the offending window.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for FaultScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultScheduleError::EmptyWindow { index } => {
+                write!(f, "outage window {index} has a non-positive duration")
+            }
+            FaultScheduleError::Unsorted { index } => {
+                write!(f, "outage window {index} starts before its predecessor")
+            }
+            FaultScheduleError::BeyondHorizon { index } => {
+                write!(
+                    f,
+                    "outage window {index} starts at or after the run horizon"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultScheduleError {}
 
 /// A fixed, deterministic plan of failures for one run.
 ///
@@ -271,7 +431,36 @@ impl FaultSchedule {
                 scope: OutageScope::Node(node),
             });
         }
+        // Keep the schedule in outage order so it validates: window indices
+        // (and therefore ledger attribution) follow outage starts.
+        schedule.windows.sort_by_key(|w| (w.start, w.end));
         schedule
+    }
+
+    /// Whether the windows are sorted by start instant (the invariant
+    /// [`validate`](Self::validate) enforces at install time).
+    fn is_sorted_by_start(&self) -> bool {
+        self.windows.windows(2).all(|p| p[0].start <= p[1].start)
+    }
+
+    /// Structurally validate the schedule before installing it: every window
+    /// must have positive duration, the windows must be sorted by start, and
+    /// every window must start inside the run horizon (a window starting at
+    /// or after `horizon` can never fire, which is always a configuration
+    /// bug). Ends past the horizon are fine — a crash may outlive the run.
+    pub fn validate(&self, horizon: SimTime) -> Result<(), FaultScheduleError> {
+        for (index, w) in self.windows.iter().enumerate() {
+            if w.start >= w.end {
+                return Err(FaultScheduleError::EmptyWindow { index });
+            }
+            if index > 0 && w.start < self.windows[index - 1].start {
+                return Err(FaultScheduleError::Unsorted { index });
+            }
+            if w.start >= horizon {
+                return Err(FaultScheduleError::BeyondHorizon { index });
+            }
+        }
+        Ok(())
     }
 
     /// Whether `node` is down (covered by an active Node/Region window) at
@@ -287,6 +476,10 @@ impl FaultSchedule {
     /// `None` when it goes through. Pure — same arguments, same answer.
     #[inline]
     pub fn verdict(&self, from: NodeId, to: NodeId, t: SimTime) -> Option<(usize, FaultKind)> {
+        debug_assert!(
+            self.is_sorted_by_start(),
+            "fault schedule must be sorted by window start (see validate())"
+        );
         // Cheap bounds pre-filter: most deliveries fall outside every window.
         if self.first_start.is_none_or(|s| t < s) || self.last_end.is_some_and(|e| t >= e) {
             return None;
@@ -411,5 +604,103 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.verdict(NodeId(0), NodeId(1), t(0)), None);
         assert!(!s.is_down(NodeId(0), t(0)));
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_empty_and_never_firing_windows() {
+        let ok = FaultSchedule::new()
+            .crash(NodeId(0), t(1), t(5))
+            .crash(NodeId(1), t(3), t(4));
+        assert_eq!(ok.validate(t(100)), Ok(()));
+
+        let unsorted =
+            FaultSchedule::new()
+                .crash(NodeId(0), t(10), t(20))
+                .crash(NodeId(1), t(1), t(5));
+        assert_eq!(
+            unsorted.validate(t(100)),
+            Err(FaultScheduleError::Unsorted { index: 1 })
+        );
+
+        let mut empty = FaultSchedule::new();
+        empty.windows.push(OutageWindow {
+            kind: FaultKind::BrokerCrash,
+            start: t(5),
+            end: t(5),
+            scope: OutageScope::Node(NodeId(0)),
+        });
+        assert_eq!(
+            empty.validate(t(100)),
+            Err(FaultScheduleError::EmptyWindow { index: 0 })
+        );
+
+        let late = FaultSchedule::new().crash(NodeId(0), t(200), t(300));
+        assert_eq!(
+            late.validate(t(100)),
+            Err(FaultScheduleError::BeyondHorizon { index: 0 })
+        );
+        // Ends past the horizon are fine — the crash simply outlives the run.
+        let overhang = FaultSchedule::new().crash(NodeId(0), t(50), t(300));
+        assert_eq!(overhang.validate(t(100)), Ok(()));
+    }
+
+    #[test]
+    fn crash_storm_validates_out_of_the_box() {
+        let horizon = t(600);
+        let s = FaultSchedule::crash_storm(42, 16, 6, horizon, SimDuration::from_secs(30));
+        assert_eq!(s.validate(horizon), Ok(()));
+    }
+
+    #[test]
+    fn loss_model_fates_are_pure_and_rate_shaped() {
+        let m = LossModel::new(7, 0.1, 0.05);
+        assert!(!m.is_lossless());
+        // Pure: same key, same fate; different seq, independent fates.
+        for seq in 0..64 {
+            assert_eq!(
+                m.fate(NodeId(0), NodeId(1), seq),
+                m.fate(NodeId(0), NodeId(1), seq)
+            );
+        }
+        let n = 100_000u64;
+        let mut lost = 0u64;
+        let mut corrupted = 0u64;
+        for seq in 0..n {
+            match m.fate(NodeId(0), NodeId(1), seq) {
+                LinkFate::Lost => lost += 1,
+                LinkFate::Corrupted => corrupted += 1,
+                LinkFate::Intact => {}
+            }
+        }
+        let loss_rate = lost as f64 / n as f64;
+        // Corruption is sampled on survivors of the loss coin.
+        let corruption_rate = corrupted as f64 / (n - lost) as f64;
+        assert!((loss_rate - 0.1).abs() < 0.01, "observed loss {loss_rate}");
+        assert!(
+            (corruption_rate - 0.05).abs() < 0.01,
+            "observed corruption {corruption_rate}"
+        );
+        // The two links of a pair and different seeds draw independent coins.
+        let fwd: Vec<LinkFate> = (0..32).map(|s| m.fate(NodeId(0), NodeId(1), s)).collect();
+        let rev: Vec<LinkFate> = (0..32).map(|s| m.fate(NodeId(1), NodeId(0), s)).collect();
+        assert_ne!(fwd, rev);
+    }
+
+    #[test]
+    fn lossless_model_is_detected_and_never_drops() {
+        let m = LossModel::new(3, 0.0, 0.0);
+        assert!(m.is_lossless());
+        for seq in 0..1000 {
+            assert_eq!(m.fate(NodeId(0), NodeId(1), seq), LinkFate::Intact);
+        }
+    }
+
+    #[test]
+    fn drop_cause_labels_and_window_accessor() {
+        assert_eq!(DropCause::Fault(3).label(), "fault");
+        assert_eq!(DropCause::Fault(3).window(), Some(3));
+        assert_eq!(DropCause::Loss.label(), "loss");
+        assert_eq!(DropCause::Loss.window(), None);
+        assert_eq!(DropCause::Corruption.label(), "corruption");
     }
 }

@@ -64,7 +64,10 @@ pub use engine::{
 pub use fabric::{
     DegradedWindow, Fabric, GridFabric, JitteredFabric, LinkCost, LinkModel, UniformFabric,
 };
-pub use faults::{DropRecord, FaultKind, FaultSchedule, OutageScope, OutageWindow};
+pub use faults::{
+    DropCause, DropRecord, FaultKind, FaultSchedule, FaultScheduleError, LinkFate, LossModel,
+    OutageScope, OutageWindow,
+};
 pub use ids::NodeId;
 pub use parallel::{
     thread_allowance, with_thread_allowance, AnyEngine, ParallelEngine, ParallelPerf, ShardPerf,

@@ -79,7 +79,7 @@ use crate::engine::{
     PhaseBreakdown, RunOutcome,
 };
 use crate::fabric::Fabric;
-use crate::faults::{DropRecord, FaultSchedule};
+use crate::faults::{DropCause, DropRecord, FaultSchedule, LinkFate, LossModel};
 use crate::ids::NodeId;
 use crate::queue::EventQueue;
 use crate::stats::{Message, TrafficStats};
@@ -196,6 +196,7 @@ struct ShardState<M, N> {
     local_of: Arc<Vec<u32>>,
     fabric: Arc<dyn Fabric>,
     faults: Option<Arc<FaultSchedule>>,
+    loss: Option<LossModel>,
     queue: EventQueue<M>,
     /// Channel clocks for links *originating* in this shard. Every send on
     /// an ordered link is performed by its `from` node, which lives in
@@ -272,22 +273,36 @@ impl<M: Message, N: Node<M>> ShardState<M, N> {
     fn deliver(&mut self, at: SimTime, key: u64, env: Envelope<M>) -> u64 {
         debug_assert!(at >= self.now, "time must be monotone per shard");
         self.now = at;
-        if let Some(faults) = &self.faults {
-            if let Some((window, _)) = faults.verdict(env.from, env.to, at) {
-                self.drops_log.push((
+        // Mirror of the serial engine's drop-cause precedence: loss wins
+        // over a fault at the destination (the message never arrived),
+        // which wins over corruption (the message arrived, damaged).
+        let cause = if env.fate == LinkFate::Lost {
+            Some(DropCause::Loss)
+        } else if let Some((window, _)) = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.verdict(env.from, env.to, at))
+        {
+            Some(DropCause::Fault(window))
+        } else if env.fate == LinkFate::Corrupted {
+            Some(DropCause::Corruption)
+        } else {
+            None
+        };
+        if let Some(cause) = cause {
+            self.drops_log.push((
+                at,
+                key,
+                DropRecord {
                     at,
-                    key,
-                    DropRecord {
-                        at,
-                        from: env.from,
-                        to: env.to,
-                        kind: env.msg.kind(),
-                        class: env.msg.traffic_class(),
-                        window,
-                    },
-                ));
-                return 0;
-            }
+                    from: env.from,
+                    to: env.to,
+                    kind: env.msg.kind(),
+                    class: env.msg.traffic_class(),
+                    cause,
+                },
+            ));
+            return 0;
         }
         self.delivered += 1;
         self.stats.deliveries += 1;
@@ -328,10 +343,18 @@ impl<M: Message, N: Node<M>> ShardState<M, N> {
             match o {
                 Outgoing::Send { to, msg } => {
                     let fabric = &*self.fabric;
+                    let loss = self.loss;
                     let mut hops = 0;
+                    let mut fate = LinkFate::Intact;
                     let at = self.link_clock.advance_send(origin, to, |link_seq| {
                         let cost = fabric.link(origin, to, sent_at, link_seq);
                         hops = cost.hops;
+                        // Same send-time sampling as the serial engine: the
+                        // link send index is shard-local-identical, so the
+                        // fate stream is byte-identical across backends.
+                        if let (Some(m), false) = (&loss, origin == to) {
+                            fate = m.fate(origin, to, link_seq);
+                        }
                         sent_at + cost.latency
                     });
                     let bytes = msg.wire_bytes();
@@ -344,6 +367,7 @@ impl<M: Message, N: Node<M>> ShardState<M, N> {
                         from: origin,
                         to,
                         sent_at,
+                        fate,
                         msg,
                     };
                     let dest = self.shard_of[to.index()];
@@ -382,6 +406,7 @@ impl<M: Message, N: Node<M>> ShardState<M, N> {
                             from: origin,
                             to: origin,
                             sent_at,
+                            fate: LinkFate::Intact,
                             msg,
                         },
                     );
@@ -497,6 +522,7 @@ pub struct ParallelEngine<M: Message, N: Node<M>> {
     delivered: u64,
     drops: Vec<DropRecord>,
     faults: Option<Arc<FaultSchedule>>,
+    loss: Option<LossModel>,
     /// Shard stats merged at the end of every public run call.
     merged_stats: TrafficStats,
     windows: u64,
@@ -568,6 +594,7 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
                     local_of: Arc::clone(&local_of),
                     fabric: Arc::clone(&fabric),
                     faults: None,
+                    loss: None,
                     queue: EventQueue::new(),
                     // A lone shard sees every link and behaves exactly like
                     // the serial engine's table; multi-shard runs use the
@@ -610,6 +637,7 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
             delivered: 0,
             drops: Vec::new(),
             faults: None,
+            loss: None,
             merged_stats: TrafficStats::new(),
             windows: 0,
             growth: 1,
@@ -744,8 +772,26 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
         self.faults.as_deref()
     }
 
-    /// Every envelope dropped by the fault plan, in serial delivery order
-    /// (merged and ordered at each barrier).
+    /// Install a loss model on every shard — see [`Engine::set_loss`]. A
+    /// lossless model is not installed, keeping the zero-loss fast path.
+    /// Fates are pure functions of `(seed, from, to, link_seq)` and the
+    /// link send index is shard-local-identical, so shard-local sampling
+    /// equals the serial fate stream.
+    pub fn set_loss(&mut self, model: LossModel) {
+        let installed = (!model.is_lossless()).then_some(model);
+        for s in &mut self.shards {
+            s.as_mut().expect("shard present").loss = installed;
+        }
+        self.loss = installed;
+    }
+
+    /// The loss model in effect, if a lossy one was installed.
+    pub fn loss(&self) -> Option<&LossModel> {
+        self.loss.as_ref()
+    }
+
+    /// Every envelope dropped by the fault plan or the loss model, in
+    /// serial delivery order (merged and ordered at each barrier).
     pub fn drops(&self) -> &[DropRecord] {
         &self.drops
     }
@@ -799,6 +845,7 @@ impl<M: Message + Send, N: Node<M> + Send> ParallelEngine<M, N> {
                     from: to,
                     to,
                     sent_at: at,
+                    fate: LinkFate::Intact,
                     msg,
                 },
             );
@@ -1269,7 +1316,24 @@ impl<M: Message + Send, N: Node<M> + Send> AnyEngine<M, N> {
         }
     }
 
-    /// Every envelope the fault plan dropped so far, in delivery order.
+    /// Install a loss model (lossless models are not installed).
+    pub fn set_loss(&mut self, model: LossModel) {
+        match self {
+            AnyEngine::Serial(e) => e.set_loss(model),
+            AnyEngine::Parallel(e) => e.set_loss(model),
+        }
+    }
+
+    /// The loss model in effect, if a lossy one was installed.
+    pub fn loss(&self) -> Option<&LossModel> {
+        match self {
+            AnyEngine::Serial(e) => e.loss(),
+            AnyEngine::Parallel(e) => e.loss(),
+        }
+    }
+
+    /// Every envelope the fault plan or loss model dropped so far, in
+    /// delivery order.
     pub fn drops(&self) -> &[DropRecord] {
         match self {
             AnyEngine::Serial(e) => e.drops(),
@@ -1554,6 +1618,39 @@ mod tests {
         };
         let serial = run_serial();
         assert!(!serial.0.is_empty(), "the crash window must drop something");
+        for shards in [1, 2, 4] {
+            assert_eq!(serial, run_parallel(shards), "{shards} shards diverged");
+        }
+    }
+
+    #[test]
+    fn lossy_links_drop_identically_across_backends() {
+        let fabric = Arc::new(UniformFabric::new(SimDuration::from_millis(3)));
+        let model = LossModel::new(0xBAD_1055, 0.25, 0.1);
+        let run_serial = || {
+            let mut eng = Engine::new(ring(12), fabric.clone());
+            eng.set_loss(model);
+            for i in 0..12u32 {
+                eng.schedule_external(SimTime::from_millis(i as u64), NodeId(i), Tok::Tick);
+            }
+            eng.run_to_completion();
+            (eng.drops().to_vec(), eng.deliveries())
+        };
+        let run_parallel = |shards: usize| {
+            let part = Partition::contiguous(12, shards);
+            let mut eng = ParallelEngine::new(ring(12), fabric.clone(), &part);
+            eng.set_loss(model);
+            for i in 0..12u32 {
+                eng.schedule_external(SimTime::from_millis(i as u64), NodeId(i), Tok::Tick);
+            }
+            eng.run_to_completion();
+            (eng.drops().to_vec(), eng.deliveries())
+        };
+        let serial = run_serial();
+        assert!(
+            serial.0.iter().any(|d| d.cause == DropCause::Loss),
+            "a 25% loss rate must lose something"
+        );
         for shards in [1, 2, 4] {
             assert_eq!(serial, run_parallel(shards), "{shards} shards diverged");
         }

@@ -322,6 +322,7 @@ mod tests {
             from: NodeId(0),
             to: NodeId(1),
             sent_at: SimTime::ZERO,
+            fate: crate::faults::LinkFate::Intact,
             msg: tag,
         }
     }

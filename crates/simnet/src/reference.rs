@@ -167,6 +167,7 @@ impl<M: Message, N: Node<M>> ReferenceEngine<M, N> {
                 from: to,
                 to,
                 sent_at: at,
+                fate: crate::faults::LinkFate::Intact,
                 msg,
             },
         }));
@@ -206,6 +207,7 @@ impl<M: Message, N: Node<M>> ReferenceEngine<M, N> {
                             from: origin,
                             to,
                             sent_at,
+                            fate: crate::faults::LinkFate::Intact,
                             msg,
                         },
                     }));
@@ -219,6 +221,7 @@ impl<M: Message, N: Node<M>> ReferenceEngine<M, N> {
                             from: origin,
                             to: origin,
                             sent_at,
+                            fate: crate::faults::LinkFate::Intact,
                             msg,
                         },
                     }));

@@ -42,6 +42,11 @@ fn smoke(name: &str, full: bool, budget_ms: Option<u64>, engine_workers: Option<
     let late_joiners = preset
         .as_ref()
         .is_some_and(|s| s.config.late_subscriber_fraction > 0.0);
+    // Lossy links and injected faults make losses legitimate; the oracle
+    // there is exact accounting, not perfection.
+    let lossy = preset
+        .as_ref()
+        .is_some_and(|s| s.config.loss_model().is_some() || !s.config.faults.is_empty());
     if !full {
         if storm {
             // Storm presets keep their own grid and duration; reduced scale
@@ -95,7 +100,14 @@ fn smoke(name: &str, full: bool, budget_ms: Option<u64>, engine_workers: Option<
             } else {
                 assert!(mhh.handoffs > 0, "smoke scenario must move clients");
             }
-            if !late_joiners {
+            if lossy {
+                assert!(
+                    mhh.recovery.reconciles_with(&mhh.audit),
+                    "every loss must be accounted: {:?} vs {:?}",
+                    mhh.recovery,
+                    mhh.audit
+                );
+            } else if !late_joiners {
                 assert!(mhh.reliable(), "MHH must stay reliable: {:?}", mhh.audit);
             }
         }

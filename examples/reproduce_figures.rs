@@ -9,6 +9,7 @@
 //! cargo run --release --example reproduce_figures -- handover # §4.1 vs §4.2 comparison
 //! cargo run --release --example reproduce_figures -- failure  # fault-injection panel
 //! cargo run --release --example reproduce_figures -- traffic  # storm / byte-accounting panel
+//! cargo run --release --example reproduce_figures -- reliability # lossy-link trade-off panel
 //! cargo run --release --example reproduce_figures -- fig5 --paper-scale
 //! cargo run --release --example reproduce_figures -- --workers 4
 //! cargo run --release --example reproduce_figures -- --budget-ms 60000
@@ -47,6 +48,13 @@
 //! reports bytes on the wire, serialization counts and the cached path's
 //! allocation savings on provably byte-identical delivery results.
 //!
+//! The `reliability` mode runs the `lossy-crash-storm` preset (2 % link
+//! loss, 0.5 % corruption on top of a six-crash storm) for all four
+//! protocols under three reliability modes — no reliability layer, broker
+//! dedup watermarks alone, and dedup plus publisher ack/retransmit — and
+//! tables the trade-off: audited losses and duplicates against suppression
+//! and retransmission work, with every link drop accounted by cause.
+//!
 //! `--dump-ledger <path>` additionally exports every executed figure
 //! point's complete per-handover ledger (one JSON record per handover:
 //! kind, from→to, depart/arrive, first-delivery gap, buffered/lost/
@@ -61,12 +69,13 @@
 
 use mhh_suite::mobility::sweep::available_workers;
 use mhh_suite::mobsim::experiments::{
-    failure_panel_budgeted_in, traffic_panel_budgeted_in, FigureResult, FIG5_CONN_PERIODS_S,
-    FIG6_GRID_SIDES,
+    failure_panel_budgeted_in, reliability_panel_budgeted_in, traffic_panel_budgeted_in,
+    FigureResult, FIG5_CONN_PERIODS_S, FIG6_GRID_SIDES,
 };
 use mhh_suite::mobsim::report::{
-    failure_to_json, figure_ledgers_json, proclaimed_to_json, render_failure_panel, render_figure,
-    render_proclaimed, render_traffic, to_json, traffic_to_json,
+    failure_to_json, figure_ledgers_json, proclaimed_to_json, reliability_to_json,
+    render_failure_panel, render_figure, render_proclaimed, render_reliability_panel,
+    render_traffic, to_json, traffic_to_json,
 };
 use mhh_suite::mobsim::{
     scenarios, ProtocolRegistry, Sim, SimBuilder, FAILURE_PRESETS, TRAFFIC_PRESETS,
@@ -147,7 +156,14 @@ fn main() {
     let dump_ledger = dump_ledger_flag(&args);
     let engine_workers = engine_workers_flag(&args);
     let mut executed_figures: Vec<FigureResult> = Vec::new();
-    let modes = ["fig5", "fig6", "handover", "failure", "traffic"];
+    let modes = [
+        "fig5",
+        "fig6",
+        "handover",
+        "failure",
+        "traffic",
+        "reliability",
+    ];
     let explicit = args.iter().any(|a| modes.contains(&a.as_str()));
     // Without an explicit mode the example keeps its documented default:
     // both figures. The handover comparison and failure panel are opt-in.
@@ -259,6 +275,22 @@ fn main() {
         std::fs::write("traffic_panel.json", traffic_to_json(&panel))
             .expect("write traffic_panel.json");
         println!("wrote traffic_panel.json");
+    }
+    if want("reliability") {
+        let base = scenarios::find("lossy-crash-storm")
+            .expect("lossy-crash-storm preset registered")
+            .config;
+        let panel = reliability_panel_budgeted_in(
+            &ProtocolRegistry::extended(),
+            &base,
+            workers,
+            budget_ms.map(std::time::Duration::from_millis),
+        );
+        println!("{}", render_reliability_panel(&panel));
+        report_skipped(&panel.skipped);
+        std::fs::write("reliability_panel.json", reliability_to_json(&panel))
+            .expect("write reliability_panel.json");
+        println!("wrote reliability_panel.json");
     }
     if let Some(path) = dump_ledger {
         // One document with every executed figure's per-handover records,

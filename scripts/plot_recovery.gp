@@ -1,19 +1,34 @@
 # Per-outage failure & recovery panel: clustered histograms of lost
-# deliveries (top) and time-to-repair (bottom) per protocol, one cluster
-# per outage window.
+# deliveries (top) and time-to-repair (middle) per protocol, one cluster
+# per outage window, plus — when the reliability layer is active — a
+# per-protocol loss-by-cause / dedup panel (bottom): envelopes dropped
+# inside fault windows vs. link loss vs. corruption, next to the
+# duplicates the broker watermarks suppressed and the publisher
+# retransmissions that recovered lost publishes.
 #
 # Driven by plot_recovery.sh, which supplies:
 #   datafile  TSV from failure_panel.json (header row, outage label in
 #             column 1, then nproto lost columns, then nproto repair
 #             columns)
+#   causefile TSV with one row per protocol and loss-by-cause columns
+#             (window-dropped, link-lost, corrupted, dup-suppressed,
+#             retransmits, stale resubs); optional — without it only the
+#             two per-outage panels are drawn
 #   outfile   SVG to write
 #   scenario  scenario name for the title
 #   nproto    number of protocol columns per metric
 #
-# Standalone: gnuplot -e "datafile='...'" -e "outfile='...'" \
-#                     -e "scenario='...'" -e "nproto=4" scripts/plot_recovery.gp
+# Standalone: gnuplot -e "datafile='...'" -e "causefile='...'" \
+#                     -e "outfile='...'" -e "scenario='...'" -e "nproto=4" \
+#                     scripts/plot_recovery.gp
 
-set terminal svg size 1000,760 dynamic background 'white'
+have_causes = exists("causefile")
+
+if (have_causes) {
+    set terminal svg size 1000,1100 dynamic background 'white'
+} else {
+    set terminal svg size 1000,760 dynamic background 'white'
+}
 set output outfile
 
 set datafile separator '\t'
@@ -27,12 +42,22 @@ set grid ytics
 set xtics rotate by -25 scale 0
 set bmargin 6
 
-set multiplot layout 2,1 title sprintf("failure & recovery — %s", scenario)
+if (have_causes) {
+    set multiplot layout 3,1 title sprintf("failure & recovery — %s", scenario)
+} else {
+    set multiplot layout 2,1 title sprintf("failure & recovery — %s", scenario)
+}
 
 set ylabel 'lost deliveries'
 plot for [i=2:1+nproto] datafile using i:xtic(1)
 
 set ylabel 'time to repair (ms)'
 plot for [i=2+nproto:1+2*nproto] datafile using i:xtic(1)
+
+if (have_causes) {
+    set ylabel 'envelopes / deliveries'
+    set xtics rotate by 0
+    plot for [i=2:7] causefile using i:xtic(1)
+}
 
 unset multiplot

@@ -5,20 +5,23 @@
 #
 # Usage: scripts/plot_recovery.sh [failure_panel.json]
 #
-# For every scenario in the panel this extracts a TSV
+# For every scenario in the panel this extracts two TSVs
 # (failure_panel.<scenario>.tsv: one row per outage window, per-protocol
-# lost-delivery and time-to-repair columns) and, when gnuplot is
-# installed, renders recovery_<scenario>.svg via plot_recovery.gp with a
-# clustered per-outage histogram pair (losses on top, repair times
-# below). Without gnuplot the TSVs are still written for any other
-# plotting tool.
+# lost-delivery and time-to-repair columns;
+# failure_panel.<scenario>.causes.tsv: one row per protocol with the
+# ledger's loss-by-cause and dedup/retransmit accounting) and, when
+# gnuplot is installed, renders recovery_<scenario>.svg via
+# plot_recovery.gp — clustered per-outage histograms (losses on top,
+# repair times below) plus the per-protocol loss-by-cause panel when the
+# reliability layer left anything to show. Without gnuplot the TSVs are
+# still written for any other plotting tool.
 set -euo pipefail
 
 panel="${1:-failure_panel.json}"
 gp="$(dirname "$0")/plot_recovery.gp"
 [ -r "$panel" ] || { echo "error: cannot read $panel" >&2; exit 1; }
 
-# Flatten points -> one TSV per scenario. Only the Python stdlib is used.
+# Flatten points -> TSVs per scenario. Only the Python stdlib is used.
 mapfile -t scenarios < <(python3 - "$panel" <<'PY'
 import json, sys
 
@@ -47,18 +50,46 @@ for scenario, points in by_scenario.items():
             row += ["NaN" if l["outages"][i]["repair_ms"] is None
                     else str(l["outages"][i]["repair_ms"]) for l in ledgers]
             print("\t".join(row), file=f)
-    print(f"{scenario}\t{len(protocols)}")
+
+    # Loss-by-cause / dedup accounting: one row per protocol. Only worth a
+    # panel when some cause beyond the fault windows fired (link loss,
+    # corruption, suppression, retransmits, stale checkpoint replicas).
+    causes = [
+        ("window dropped",
+         lambda l: sum(o["dropped_envelopes"] for o in l["outages"])),
+        ("link lost", lambda l: l.get("lost_envelopes", 0)),
+        ("corrupted", lambda l: l.get("corrupted", 0)),
+        ("dup suppressed", lambda l: l.get("duplicates_suppressed", 0)),
+        ("retransmits", lambda l: l.get("retransmissions", 0)),
+        ("stale resubs", lambda l: l.get("stale_resubscribes", 0)),
+    ]
+    reliability_active = any(
+        fn(l) for l in ledgers for (name, fn) in causes[1:])
+    if reliability_active:
+        out = f"failure_panel.{scenario}.causes.tsv"
+        with open(out, "w") as f:
+            print("\t".join(["protocol"] + [f'"{n}"' for n, _ in causes]),
+                  file=f)
+            for proto, ledger in zip(protocols, ledgers):
+                row = [f'"{proto}"'] + [str(fn(ledger)) for _, fn in causes]
+                print("\t".join(row), file=f)
+    print(f"{scenario}\t{len(protocols)}\t{int(reliability_active)}")
 PY
 )
 
 for line in "${scenarios[@]}"; do
-    scenario="${line%%$'\t'*}"
-    nproto="${line##*$'\t'}"
+    IFS=$'\t' read -r scenario nproto causes <<<"$line"
     tsv="failure_panel.${scenario}.tsv"
     echo "wrote $tsv"
+    cause_args=()
+    if [ "$causes" = 1 ]; then
+        echo "wrote failure_panel.${scenario}.causes.tsv"
+        cause_args=(-e "causefile='failure_panel.${scenario}.causes.tsv'")
+    fi
     if command -v gnuplot >/dev/null; then
         gnuplot -e "datafile='$tsv'" -e "outfile='recovery_${scenario}.svg'" \
-                -e "scenario='$scenario'" -e "nproto=$nproto" "$gp"
+                -e "scenario='$scenario'" -e "nproto=$nproto" \
+                ${cause_args[@]+"${cause_args[@]}"} "$gp"
         echo "wrote recovery_${scenario}.svg"
     else
         echo "gnuplot not found: skipped recovery_${scenario}.svg" >&2
